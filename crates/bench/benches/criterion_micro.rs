@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the simulator's own machinery: the
+//! functional kernels, trace generation, cache model and pipeline
+//! throughput. These are engineering benchmarks (simulator speed), not
+//! paper results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsim_core::sim::{SimConfig, Simulation};
+use medsim_mem::{AccessKind, MemConfig, MemRequest, MemSystem};
+use medsim_workloads::kernels::{dct, motion};
+use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::{Benchmark, InstStream, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut block = [0i16; 64];
+    for (i, b) in block.iter_mut().enumerate() {
+        *b = (i as i16 - 32) * 3;
+    }
+    c.bench_function("dct_8x8_forward", |b| {
+        b.iter(|| dct::forward(black_box(&block)));
+    });
+
+    let cur = motion::Plane::new(176, 144, 128);
+    let reference = motion::Plane::new(176, 144, 127);
+    c.bench_function("full_search_16x16_r2", |b| {
+        b.iter(|| motion::full_search(black_box(&cur), black_box(&reference), 64, 64, 2));
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_mpeg2enc_mmx_1mb", |b| {
+        b.iter(|| {
+            let spec = WorkloadSpec { scale: 1e-5, seed: 1 };
+            let mut s = Benchmark::Mpeg2Enc.stream(0, SimdIsa::Mmx, &spec);
+            let mut n = 0u64;
+            while s.next_inst().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("memsystem_1k_requests", |b| {
+        b.iter(|| {
+            let mut m = MemSystem::new(MemConfig::paper());
+            let mut now = 0;
+            for i in 0..1000u64 {
+                let req = MemRequest {
+                    tid: 0,
+                    addr: (i * 64) % (1 << 20),
+                    size: 8,
+                    kind: AccessKind::ScalarLoad,
+                };
+                if m.request(now, req).is_err() {
+                    now += 1;
+                }
+                now += 1;
+            }
+            black_box(now)
+        });
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("simulate_1thread_tiny", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(SimdIsa::Mmx, 1)
+                .with_spec(WorkloadSpec { scale: 5e-6, seed: 3 });
+            black_box(Simulation::run(&cfg).cycles)
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_trace_generation, bench_memory, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4: performance with perfect cache.
+//!
+//! Paper: SMT+MMX IPC 2.47 → 5.0 (2.02×); SMT+MOM EIPC 2.98 → 6.19
+//! (2.08×); MOM 20% better than MMX at one thread; overall SMT+MOM 2.5×
+//! an 8-way superscalar with MMX.
+
+use medsim_bench::{spec_from_env, timed};
+use medsim_core::experiments::fig4_ideal;
+use medsim_core::report::format_curves;
+
+fn main() {
+    let spec = spec_from_env();
+    let curves = timed("fig4", || fig4_ideal(&spec));
+    println!("{}", format_curves("Figure 4: ideal memory (MMX = IPC, MOM = EIPC)", &curves));
+    let mmx = &curves[0];
+    let mom = &curves[1];
+    println!(
+        "MMX SMT speedup (8 thr / 1 thr): {:.2}x   (paper 2.02x)",
+        mmx.at(8).unwrap() / mmx.at(1).unwrap()
+    );
+    println!(
+        "MOM SMT speedup (8 thr / 1 thr): {:.2}x   (paper 2.08x)",
+        mom.at(8).unwrap() / mom.at(1).unwrap()
+    );
+    println!(
+        "MOM vs MMX at 1 thread: {:+.0}%        (paper +20%)",
+        (mom.at(1).unwrap() / mmx.at(1).unwrap() - 1.0) * 100.0
+    );
+    println!(
+        "SMT+MOM (8 thr) vs MMX superscalar (1 thr): {:.2}x (paper 2.5x)",
+        mom.at(8).unwrap() / mmx.at(1).unwrap()
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 6: impact of the fetch policies (conventional hierarchy).
+//!
+//! Paper: policies only matter at high thread counts (≤9% gain at 8
+//! threads); ICOUNT best for SMT+MMX, OCOUNT best for SMT+MOM; BALANCE
+//! is the cost-effective alternative; 4 threads still beat 8.
+
+use medsim_bench::{spec_from_env, timed};
+use medsim_core::experiments::fig_fetch_policies;
+use medsim_core::report::format_curves;
+use medsim_mem::HierarchyKind;
+use medsim_workloads::trace::SimdIsa;
+
+fn main() {
+    let spec = spec_from_env();
+    let curves = timed("fig6", || fig_fetch_policies(&spec, HierarchyKind::Conventional));
+    println!("{}", format_curves("Figure 6: fetch policies, conventional hierarchy", &curves));
+    for isa in SimdIsa::ALL {
+        let rr = curves
+            .iter()
+            .find(|c| c.isa == isa && c.policy == medsim_cpu::FetchPolicy::RoundRobin)
+            .expect("round-robin curve");
+        let best = curves
+            .iter()
+            .filter(|c| c.isa == isa)
+            .max_by(|a, b| a.at(8).unwrap().total_cmp(&b.at(8).unwrap()))
+            .expect("curves present");
+        println!(
+            "{}: best policy at 8 threads = {} ({:+.1}% over RR; paper: up to +9%)",
+            isa.label(),
+            best.policy,
+            (best.at(8).unwrap() / rr.at(8).unwrap() - 1.0) * 100.0
+        );
+    }
+}

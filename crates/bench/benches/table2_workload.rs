@@ -1,0 +1,21 @@
+//! Table 2: the multiprogrammed workload description, plus the §5.1 run
+//! order and the per-benchmark work-unit counts at the current scale.
+
+use medsim_bench::spec_from_env;
+use medsim_core::report::format_table2;
+use medsim_workloads::Benchmark;
+
+fn main() {
+    println!("{}", format_table2());
+    let spec = spec_from_env();
+    println!("== §5.1 run order and scaled work units (scale {:.4}) ==", spec.scale);
+    for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+        println!(
+            "slot {slot}: {:<10} {:>8} work units ({:>7} at full scale; paper {:.1}M MMX instructions)",
+            b.name(),
+            b.units(spec.scale),
+            b.units_full(),
+            b.paper_minsts(medsim_workloads::trace::SimdIsa::Mmx),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # medsim-bench — the table/figure regeneration harness
+//!
+//! One bench target per table and figure of the paper (run with
+//! `cargo bench -p medsim-bench --bench <target>`), plus ablation
+//! sweeps and Criterion micro-benchmarks. `cargo bench --workspace`
+//! regenerates everything.
+//!
+//! The workload scale defaults to [`DEFAULT_SCALE`] (fractions of the
+//! paper's full-size instruction counts) and can be overridden with the
+//! `MEDSIM_SCALE` environment variable, e.g.
+//! `MEDSIM_SCALE=0.01 cargo bench -p medsim-bench --bench fig5_real`.
+
+use medsim_workloads::WorkloadSpec;
+use std::time::Instant;
+
+/// Default workload scale for bench runs: large enough for stable
+/// shapes, small enough to regenerate every figure in minutes.
+pub const DEFAULT_SCALE: f64 = 0.001;
+
+/// Workload spec for bench targets, honoring `MEDSIM_SCALE` and
+/// `MEDSIM_SEED` environment overrides.
+#[must_use]
+pub fn spec_from_env() -> WorkloadSpec {
+    let scale = std::env::var("MEDSIM_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(DEFAULT_SCALE);
+    let mut spec = WorkloadSpec::new(scale);
+    if let Some(seed) = std::env::var("MEDSIM_SEED").ok().and_then(|s| s.parse::<u64>().ok()) {
+        spec.seed = seed;
+    }
+    spec
+}
+
+/// Run `f`, printing its wall-clock time with a label.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_positive_scale() {
+        let s = spec_from_env();
+        assert!(s.scale > 0.0);
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("test", || 42), 42);
+    }
+}

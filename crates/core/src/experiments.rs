@@ -1,0 +1,324 @@
+//! One driver per table/figure of the paper's evaluation section.
+//!
+//! Every function returns structured rows; [`crate::report`] renders
+//! them in the paper's table shapes. The bench targets in
+//! `medsim-bench` are thin wrappers around these drivers.
+
+use crate::metrics::{EipcFactor, RunResult};
+use crate::sim::{SimConfig, Simulation};
+use medsim_cpu::FetchPolicy;
+use medsim_mem::HierarchyKind;
+use medsim_workloads::trace::{InstStream, SimdIsa};
+use medsim_workloads::{Benchmark, InstMix, MixBreakdown, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// The thread counts the paper evaluates.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A performance curve over thread counts for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// ISA of the runs.
+    pub isa: SimdIsa,
+    /// Hierarchy of the runs.
+    pub hierarchy: HierarchyKind,
+    /// Fetch policy of the runs.
+    pub policy: FetchPolicy,
+    /// `(threads, figure of merit)` points: IPC for MMX, EIPC for MOM.
+    pub points: Vec<(usize, f64)>,
+    /// The raw run results behind the points.
+    pub runs: Vec<RunResult>,
+}
+
+impl Curve {
+    /// Figure of merit at a thread count, if present.
+    #[must_use]
+    pub fn at(&self, threads: usize) -> Option<f64> {
+        self.points.iter().find(|(t, _)| *t == threads).map(|(_, v)| *v)
+    }
+}
+
+fn run_curve(
+    spec: &WorkloadSpec,
+    isa: SimdIsa,
+    hierarchy: HierarchyKind,
+    policy: FetchPolicy,
+    factor: &EipcFactor,
+) -> Curve {
+    let mut points = Vec::new();
+    let mut runs = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let cfg = SimConfig::new(isa, threads)
+            .with_hierarchy(hierarchy)
+            .with_policy(policy)
+            .with_spec(*spec);
+        let r = Simulation::run(&cfg);
+        points.push((threads, r.figure_of_merit(factor)));
+        runs.push(r);
+    }
+    Curve { isa, hierarchy, policy, points, runs }
+}
+
+/// Figure 4: performance with perfect cache — SMT+MMX IPC and SMT+MOM
+/// EIPC over 1/2/4/8 threads under the ideal memory system.
+#[must_use]
+pub fn fig4_ideal(spec: &WorkloadSpec) -> Vec<Curve> {
+    let factor = EipcFactor::compute(spec);
+    SimdIsa::ALL
+        .iter()
+        .map(|&isa| run_curve(spec, isa, HierarchyKind::Ideal, FetchPolicy::RoundRobin, &factor))
+        .collect()
+}
+
+/// Figure 5: the same curves under the real (conventional) memory
+/// system, plus the ideal curves for comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Ideal-memory curves (as figure 4).
+    pub ideal: Vec<Curve>,
+    /// Real-memory curves.
+    pub real: Vec<Curve>,
+}
+
+/// Run figure 5 (includes a figure-4 pass for the dashed reference
+/// curves).
+#[must_use]
+pub fn fig5_real(spec: &WorkloadSpec) -> Fig5 {
+    let factor = EipcFactor::compute(spec);
+    let ideal = SimdIsa::ALL
+        .iter()
+        .map(|&isa| run_curve(spec, isa, HierarchyKind::Ideal, FetchPolicy::RoundRobin, &factor))
+        .collect();
+    let real = SimdIsa::ALL
+        .iter()
+        .map(|&isa| {
+            run_curve(spec, isa, HierarchyKind::Conventional, FetchPolicy::RoundRobin, &factor)
+        })
+        .collect();
+    Fig5 { ideal, real }
+}
+
+/// One row of Table 4: cache behaviour vs thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// ISA of the run.
+    pub isa: SimdIsa,
+    /// Thread count.
+    pub threads: usize,
+    /// Instruction-cache hit rate.
+    pub icache_hit_rate: f64,
+    /// L1 data-cache hit rate.
+    pub l1_hit_rate: f64,
+    /// Average L1 latency (cycles).
+    pub l1_avg_latency: f64,
+}
+
+/// Table 4: I-cache/L1 hit rates and average L1 latency under the real
+/// memory system with round-robin fetch.
+#[must_use]
+pub fn table4_cache(spec: &WorkloadSpec) -> Vec<Table4Row> {
+    let factor = EipcFactor::compute(spec);
+    let mut rows = Vec::new();
+    for &isa in &SimdIsa::ALL {
+        let curve = run_curve(spec, isa, HierarchyKind::Conventional, FetchPolicy::RoundRobin, &factor);
+        for r in &curve.runs {
+            rows.push(Table4Row {
+                isa,
+                threads: r.threads,
+                icache_hit_rate: r.icache_hit_rate,
+                l1_hit_rate: r.l1_hit_rate,
+                l1_avg_latency: r.l1_avg_latency,
+            });
+        }
+    }
+    rows
+}
+
+/// The policy set the paper plots per ISA (figure 6/8): OCOUNT only
+/// applies to MOM (it reads the stream-length register).
+#[must_use]
+pub fn policies_for(isa: SimdIsa) -> Vec<FetchPolicy> {
+    match isa {
+        SimdIsa::Mmx => vec![FetchPolicy::RoundRobin, FetchPolicy::ICount, FetchPolicy::Balance],
+        SimdIsa::Mom => FetchPolicy::ALL.to_vec(),
+    }
+}
+
+/// Figures 6 and 8: fetch-policy comparison under the given hierarchy
+/// (figure 6 = conventional, figure 8 = decoupled).
+#[must_use]
+pub fn fig_fetch_policies(spec: &WorkloadSpec, hierarchy: HierarchyKind) -> Vec<Curve> {
+    let factor = EipcFactor::compute(spec);
+    let mut curves = Vec::new();
+    for &isa in &SimdIsa::ALL {
+        for policy in policies_for(isa) {
+            curves.push(run_curve(spec, isa, hierarchy, policy, &factor));
+        }
+    }
+    curves
+}
+
+/// Figure 9: ideal vs conventional vs decoupled hierarchies, with the
+/// best policy per ISA (ICOUNT for MMX, OCOUNT for MOM, per §5.4).
+#[must_use]
+pub fn fig9_hierarchy(spec: &WorkloadSpec) -> Vec<Curve> {
+    let factor = EipcFactor::compute(spec);
+    let mut curves = Vec::new();
+    for &isa in &SimdIsa::ALL {
+        let policy = match isa {
+            SimdIsa::Mmx => FetchPolicy::ICount,
+            SimdIsa::Mom => FetchPolicy::OCount,
+        };
+        for &h in &HierarchyKind::ALL {
+            curves.push(run_curve(spec, isa, h, policy, &factor));
+        }
+    }
+    curves
+}
+
+/// The headline numbers of the abstract: SMT speedups at 8 threads over
+/// the 1-thread MMX superscalar baseline, and the degradation vs ideal
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// Baseline: 1-thread MMX IPC under the real memory system.
+    pub baseline_ipc: f64,
+    /// Best 8-thread SMT+MMX speedup (paper: 2.1×).
+    pub mmx_speedup: f64,
+    /// Best 8-thread SMT+MOM EIPC speedup (paper: 3.3×).
+    pub mom_speedup: f64,
+    /// SMT+MMX degradation vs ideal memory at 8 threads (paper: ~30%).
+    pub mmx_degradation: f64,
+    /// SMT+MOM degradation vs ideal memory at 8 threads (paper: ~15%).
+    pub mom_degradation: f64,
+}
+
+/// Compute the headline summary from figure-9 curves.
+///
+/// # Panics
+///
+/// Panics if the curves are missing expected configurations.
+#[must_use]
+pub fn headline(curves: &[Curve]) -> Headline {
+    let find = |isa: SimdIsa, h: HierarchyKind| -> &Curve {
+        curves
+            .iter()
+            .find(|c| c.isa == isa && c.hierarchy == h)
+            .expect("figure-9 curve set complete")
+    };
+    let mmx_conv = find(SimdIsa::Mmx, HierarchyKind::Conventional);
+    let mmx_dec = find(SimdIsa::Mmx, HierarchyKind::Decoupled);
+    let mmx_ideal = find(SimdIsa::Mmx, HierarchyKind::Ideal);
+    let mom_dec = find(SimdIsa::Mom, HierarchyKind::Decoupled);
+    let mom_ideal = find(SimdIsa::Mom, HierarchyKind::Ideal);
+    let baseline = mmx_conv.at(1).expect("1-thread baseline");
+    let mmx_best = mmx_dec.at(8).expect("8-thread MMX");
+    let mom_best = mom_dec.at(8).expect("8-thread MOM");
+    Headline {
+        baseline_ipc: baseline,
+        mmx_speedup: mmx_best / baseline,
+        mom_speedup: mom_best / baseline,
+        mmx_degradation: 1.0 - mmx_best / mmx_ideal.at(8).expect("ideal MMX"),
+        mom_degradation: 1.0 - mom_best / mom_ideal.at(8).expect("ideal MOM"),
+    }
+}
+
+/// One row of Table 3: a benchmark's instruction breakdown under one ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// ISA.
+    pub isa: SimdIsa,
+    /// Percentage breakdown + total.
+    pub breakdown: MixBreakdown,
+}
+
+/// Table 3: instruction breakdown per benchmark under both ISAs,
+/// generated by walking the traces (no timing simulation needed).
+#[must_use]
+pub fn table3_breakdown(spec: &WorkloadSpec) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for (slot, &b) in Benchmark::PAPER_ORDER.iter().enumerate().take(7) {
+        for &isa in &SimdIsa::ALL {
+            let mut mix = InstMix::default();
+            let mut s = b.stream(slot, isa, spec);
+            while let Some(i) = s.next_inst() {
+                mix.record(&i);
+            }
+            rows.push(Table3Row { benchmark: b, isa, breakdown: mix.breakdown() });
+        }
+    }
+    rows
+}
+
+/// Suite-level aggregate of Table 3 (the paper's "average" column and
+/// the §4.2 reduction claims).
+#[must_use]
+pub fn table3_suite_mix(spec: &WorkloadSpec, isa: SimdIsa) -> InstMix {
+    let mut total = InstMix::default();
+    for (slot, &b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+        let mut s = b.stream(slot, isa, spec);
+        while let Some(i) = s.next_inst() {
+            total.record(&i);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkloadSpec {
+        WorkloadSpec { scale: 1.5e-5, seed: 11 }
+    }
+
+    #[test]
+    fn fig4_produces_both_isa_curves() {
+        let curves = fig4_ideal(&tiny());
+        assert_eq!(curves.len(), 2);
+        for c in &curves {
+            assert_eq!(c.points.len(), 4);
+            assert!(c.at(1).unwrap() > 0.0);
+            assert!(c.at(8).unwrap() > c.at(1).unwrap(), "SMT scales under ideal memory ({:?})", c.isa);
+        }
+    }
+
+    #[test]
+    fn policies_match_paper_figures() {
+        assert_eq!(policies_for(SimdIsa::Mmx).len(), 3, "no OCOUNT for MMX");
+        assert_eq!(policies_for(SimdIsa::Mom).len(), 4);
+    }
+
+    #[test]
+    fn table3_has_fourteen_rows() {
+        let rows = table3_breakdown(&tiny());
+        assert_eq!(rows.len(), 14, "7 benchmarks × 2 ISAs");
+        for r in &rows {
+            let b = r.breakdown;
+            let sum = b.integer_pct + b.fp_pct + b.simd_pct + b.memory_pct;
+            assert!((sum - 100.0).abs() < 1e-6, "{sum}");
+        }
+    }
+
+    #[test]
+    fn table4_rows_cover_thread_counts() {
+        let rows = table4_cache(&tiny());
+        assert_eq!(rows.len(), 8, "2 ISAs × 4 thread counts");
+        for r in &rows {
+            assert!(r.l1_hit_rate > 0.3 && r.l1_hit_rate <= 1.0, "{r:?}");
+            assert!(r.l1_avg_latency >= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn headline_computes_from_fig9() {
+        let curves = fig9_hierarchy(&tiny());
+        assert_eq!(curves.len(), 6, "2 ISAs × 3 hierarchies");
+        let h = headline(&curves);
+        assert!(h.baseline_ipc > 0.0);
+        assert!(h.mmx_speedup > 1.0, "8 threads beat 1: {}", h.mmx_speedup);
+        assert!(h.mom_speedup > h.mmx_speedup * 0.8, "MOM in the same league");
+    }
+}

@@ -1,0 +1,37 @@
+//! # medsim-core — the simulator facade
+//!
+//! Ties the substrates together into the experiments of *"DLP + TLP
+//! Processors for the Next Generation of Media Workloads"* (HPCA 2001):
+//!
+//! * [`sim`] — a single simulation run: the multiprogrammed §5.1
+//!   methodology (program list cycling through the eight contexts until
+//!   the first eight list entries complete) over a configured SMT
+//!   processor and memory hierarchy;
+//! * [`metrics`] — IPC, the **EIPC** metric for cross-ISA comparison
+//!   (`EIPC = (I_MMX / I_MOM) × IPC_MOM`, §5.1), and speedups;
+//! * [`experiments`] — one driver per table/figure of the paper's
+//!   evaluation (Tables 1–4, Figures 4–6, 8, 9);
+//! * [`report`] — plain-text rendering of the experiment results in the
+//!   paper's table shapes.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use medsim_core::sim::{SimConfig, Simulation};
+//! use medsim_workloads::{trace::SimdIsa, WorkloadSpec};
+//!
+//! let config = SimConfig::new(SimdIsa::Mom, 8).with_spec(WorkloadSpec::new(0.001));
+//! let result = Simulation::run(&config);
+//! println!("equivalent IPC {:.2}", result.equiv_ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod sim;
+
+pub use metrics::{EipcFactor, RunResult};
+pub use sim::{SimConfig, Simulation};

@@ -1,0 +1,204 @@
+//! Performance metrics: IPC, EIPC and run-result collection.
+//!
+//! §5.1 of the paper: *"the IPC is not a good measure of performance
+//! when comparing different ISAs, as every ISA needs a different number
+//! of instructions to execute a given benchmark. Therefore … EIPC stands
+//! for Equivalent IPC, and intuitively indicates the IPC a SMT+MMX
+//! processor should reach in order to match the performance of the
+//! SMT+MOM processor"*:
+//!
+//! ```text
+//! EIPC_MOM = (instructions_MMX / instructions_MOM) × IPC_MOM
+//! ```
+//!
+//! where the instruction counts are the workload totals under each ISA
+//! (Table 3's `#ins` row) and `IPC_MOM` counts equivalent (stream-length
+//! expanded) instructions per cycle.
+
+use crate::sim::SimConfig;
+use medsim_cpu::Cpu;
+use medsim_mem::HierarchyKind;
+use medsim_workloads::trace::{InstStream, SimdIsa};
+use medsim_workloads::{Benchmark, InstMix, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// The `I_MMX / I_MOM` ratio for a workload spec, computed from the
+/// generated traces (the model's own Table-3 `#ins` row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EipcFactor {
+    /// Suite total equivalent instructions under MMX.
+    pub mmx_insts: u64,
+    /// Suite total equivalent instructions under MOM.
+    pub mom_insts: u64,
+}
+
+impl EipcFactor {
+    /// Walk the eight program slots under both ISAs and total their
+    /// equivalent instruction counts. Costs one trace generation pass
+    /// per ISA; cache the result across experiments.
+    #[must_use]
+    pub fn compute(spec: &WorkloadSpec) -> Self {
+        let total = |isa: SimdIsa| -> u64 {
+            let mut sum = 0u64;
+            for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+                let mut mix = InstMix::default();
+                let mut s = b.stream(slot, isa, spec);
+                while let Some(i) = s.next_inst() {
+                    mix.record(&i);
+                }
+                sum += mix.total();
+            }
+            sum
+        };
+        EipcFactor { mmx_insts: total(SimdIsa::Mmx), mom_insts: total(SimdIsa::Mom) }
+    }
+
+    /// The ratio `I_MMX / I_MOM` (≈ 1429/1087 ≈ 1.31 in the paper).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.mmx_insts as f64 / self.mom_insts.max(1) as f64
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The ISA the run used.
+    pub isa: SimdIsa,
+    /// Thread count.
+    pub threads: usize,
+    /// Hierarchy organization.
+    pub hierarchy: HierarchyKind,
+    /// Cycles to complete the §5.1 workload.
+    pub cycles: u64,
+    /// Raw instructions committed.
+    pub committed: u64,
+    /// Equivalent instructions committed.
+    pub committed_equiv: u64,
+    /// Programs completed across all contexts.
+    pub programs_completed: u64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// Instruction-cache hit rate (Table 4 row 1).
+    pub icache_hit_rate: f64,
+    /// L1 data hit rate (Table 4 row 2).
+    pub l1_hit_rate: f64,
+    /// Average L1 data latency in cycles (Table 4 row 3).
+    pub l1_avg_latency: f64,
+    /// L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// Cycles in which only vector instructions issued (§5.3).
+    pub vector_only_cycles: u64,
+    /// Memory-system stall events observed at issue.
+    pub mem_stalls: u64,
+}
+
+impl RunResult {
+    /// Collect metrics from a finished simulation.
+    #[must_use]
+    pub fn collect(config: &SimConfig, cpu: &Cpu) -> Self {
+        let stats = cpu.stats();
+        let mem = cpu.mem();
+        RunResult {
+            isa: config.isa,
+            threads: config.threads,
+            hierarchy: config.hierarchy,
+            cycles: stats.cycles,
+            committed: stats.committed(),
+            committed_equiv: stats.committed_equiv(),
+            programs_completed: stats.threads.iter().map(|t| t.programs_completed).sum(),
+            mispredict_rate: stats.mispredict_rate(),
+            icache_hit_rate: mem.l1i_stats().hit_rate(),
+            l1_hit_rate: mem.l1d_stats().hit_rate(),
+            l1_avg_latency: mem.stats().avg_l1_latency(),
+            l2_hit_rate: mem.l2_stats().hit_rate(),
+            vector_only_cycles: stats.vector_only_cycles,
+            mem_stalls: stats.mem_stalls,
+        }
+    }
+
+    /// Raw instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.committed as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Equivalent instructions per cycle.
+    #[must_use]
+    pub fn equiv_ipc(&self) -> f64 {
+        self.committed_equiv as f64 / self.cycles.max(1) as f64
+    }
+
+    /// The figure-of-merit the paper plots: IPC for MMX runs, EIPC for
+    /// MOM runs (needs the workload's instruction-count factor).
+    #[must_use]
+    pub fn figure_of_merit(&self, factor: &EipcFactor) -> f64 {
+        match self.isa {
+            SimdIsa::Mmx => self.equiv_ipc(),
+            SimdIsa::Mom => factor.ratio() * self.equiv_ipc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eipc_factor_is_above_one() {
+        // MOM fuses instructions: the suite needs fewer of them, so the
+        // MMX/MOM ratio exceeds 1 (paper: ≈1.31).
+        let spec = WorkloadSpec { scale: 2e-5, seed: 7 };
+        let f = EipcFactor::compute(&spec);
+        assert!(f.mmx_insts > f.mom_insts, "{} vs {}", f.mmx_insts, f.mom_insts);
+        let r = f.ratio();
+        assert!(r > 1.05 && r < 2.0, "ratio {r}");
+    }
+
+    #[test]
+    fn figure_of_merit_scales_mom_by_the_factor() {
+        let f = EipcFactor { mmx_insts: 1429, mom_insts: 1087 };
+        let mk = |isa: SimdIsa| RunResult {
+            isa,
+            threads: 1,
+            hierarchy: HierarchyKind::Ideal,
+            cycles: 100,
+            committed: 200,
+            committed_equiv: 300,
+            programs_completed: 8,
+            mispredict_rate: 0.0,
+            icache_hit_rate: 1.0,
+            l1_hit_rate: 1.0,
+            l1_avg_latency: 1.0,
+            l2_hit_rate: 1.0,
+            vector_only_cycles: 0,
+            mem_stalls: 0,
+        };
+        let mmx = mk(SimdIsa::Mmx);
+        assert!((mmx.figure_of_merit(&f) - 3.0).abs() < 1e-12, "MMX: plain equivalent IPC");
+        let mom = mk(SimdIsa::Mom);
+        let expect = 1429.0 / 1087.0 * 3.0;
+        assert!((mom.figure_of_merit(&f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_guards_against_zero_cycles() {
+        let r = RunResult {
+            isa: SimdIsa::Mmx,
+            threads: 1,
+            hierarchy: HierarchyKind::Ideal,
+            cycles: 0,
+            committed: 0,
+            committed_equiv: 0,
+            programs_completed: 0,
+            mispredict_rate: 0.0,
+            icache_hit_rate: 1.0,
+            l1_hit_rate: 1.0,
+            l1_avg_latency: 0.0,
+            l2_hit_rate: 1.0,
+            vector_only_cycles: 0,
+            mem_stalls: 0,
+        };
+        assert_eq!(r.ipc(), 0.0);
+    }
+}

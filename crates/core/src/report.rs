@@ -1,0 +1,186 @@
+//! Plain-text rendering of experiment results in the paper's shapes.
+
+use crate::experiments::{Curve, Headline, Table3Row, Table4Row, THREAD_COUNTS};
+use crate::metrics::EipcFactor;
+use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::Benchmark;
+use std::fmt::Write as _;
+
+/// Render a set of performance curves as a table with one column per
+/// thread count (the shape of figures 4, 5, 6, 8, 9).
+#[must_use]
+pub fn format_curves(title: &str, curves: &[Curve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<28}", "configuration");
+    for t in THREAD_COUNTS {
+        let _ = write!(out, "{t:>9} thr");
+    }
+    let _ = writeln!(out);
+    for c in curves {
+        let label = format!("{}+{} {} [{}]", "SMT", c.isa, c.hierarchy, c.policy);
+        let _ = write!(out, "{label:<28}");
+        for t in THREAD_COUNTS {
+            match c.at(t) {
+                Some(v) => {
+                    let _ = write!(out, "{v:>12.2}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render Table 2 (the workload description).
+#[must_use]
+pub fn format_table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 2: multiprogrammed workload ==");
+    let _ = writeln!(out, "{:<10} {:<55} {:<42} {}", "program", "description", "data set", "characteristics");
+    for b in Benchmark::ALL {
+        let instances = Benchmark::PAPER_ORDER.iter().filter(|&&x| x == b).count();
+        let name = format!("{} x{}", b.name(), instances);
+        let _ = writeln!(out, "{:<10} {:<55} {:<42} {}", name, b.description(), b.data_set(), b.characteristics());
+    }
+    out
+}
+
+/// Render Table 3 (instruction breakdown) with paper values alongside.
+#[must_use]
+pub fn format_table3(rows: &[Table3Row], suite_mmx: u64, suite_mom: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 3: instruction breakdown (%) and counts ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4}  {:>6} {:>6} {:>6} {:>6}  {:>12}  {:>10}",
+        "program", "isa", "INT%", "FP%", "SIMD%", "MEM%", "#ins (model)", "paper (M)"
+    );
+    for r in rows {
+        let b = r.breakdown;
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4}  {:>6.1} {:>6.1} {:>6.1} {:>6.1}  {:>12}  {:>10.1}",
+            r.benchmark.name(),
+            r.isa.label(),
+            b.integer_pct,
+            b.fp_pct,
+            b.simd_pct,
+            b.memory_pct,
+            b.total_insts,
+            r.benchmark.paper_minsts(r.isa),
+        );
+    }
+    let _ = writeln!(out, "suite totals: MMX {suite_mmx} / MOM {suite_mom} (paper: 1429M / 1087M, ratio 1.31)");
+    let _ = writeln!(out, "model ratio: {:.2}", suite_mmx as f64 / suite_mom.max(1) as f64);
+    out
+}
+
+/// Render Table 4 (cache behaviour vs thread count).
+#[must_use]
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 4: cache behaviour under the real memory system ==");
+    let _ = write!(out, "{:<24}", "metric / ISA");
+    for t in THREAD_COUNTS {
+        let _ = write!(out, "{t:>9} thr");
+    }
+    let _ = writeln!(out);
+    for (metric, get) in [
+        ("I-cache hit rate", 0usize),
+        ("L1 hit rate", 1),
+        ("L1 latency (cycles)", 2),
+    ] {
+        for isa in SimdIsa::ALL {
+            let label = format!("{metric} {}", isa.label());
+            let _ = write!(out, "{label:<24}");
+            for t in THREAD_COUNTS {
+                if let Some(r) = rows.iter().find(|r| r.isa == isa && r.threads == t) {
+                    let v = match get {
+                        0 => r.icache_hit_rate * 100.0,
+                        1 => r.l1_hit_rate * 100.0,
+                        _ => r.l1_avg_latency,
+                    };
+                    if get == 2 {
+                        let _ = write!(out, "{v:>12.2}");
+                    } else {
+                        let _ = write!(out, "{v:>11.1}%");
+                    }
+                } else {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Render the headline summary (abstract numbers).
+#[must_use]
+pub fn format_headline(h: &Headline, factor: &EipcFactor) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Headline (paper: MMX 2.1x, MOM 3.3x; degradation 30% / 15%) ==");
+    let _ = writeln!(out, "baseline 1-thread MMX IPC          : {:.2}", h.baseline_ipc);
+    let _ = writeln!(out, "SMT+MMX 8-thread speedup           : {:.2}x", h.mmx_speedup);
+    let _ = writeln!(out, "SMT+MOM 8-thread EIPC speedup      : {:.2}x", h.mom_speedup);
+    let _ = writeln!(out, "MMX degradation vs ideal memory    : {:.0}%", h.mmx_degradation * 100.0);
+    let _ = writeln!(out, "MOM degradation vs ideal memory    : {:.0}%", h.mom_degradation * 100.0);
+    let _ = writeln!(out, "workload instruction ratio I_MMX/I_MOM: {:.2} (paper 1.31)", factor.ratio());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_cpu::FetchPolicy;
+    use medsim_mem::HierarchyKind;
+
+    fn fake_curve(isa: SimdIsa) -> Curve {
+        Curve {
+            isa,
+            hierarchy: HierarchyKind::Ideal,
+            policy: FetchPolicy::RoundRobin,
+            points: THREAD_COUNTS.iter().map(|&t| (t, t as f64)).collect(),
+            runs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn curves_table_contains_all_columns() {
+        let s = format_curves("Figure 4", &[fake_curve(SimdIsa::Mmx), fake_curve(SimdIsa::Mom)]);
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains("MMX"));
+        assert!(s.contains("MOM"));
+        assert!(s.contains("8 thr"));
+        assert_eq!(s.lines().count(), 4, "title + header + 2 curves");
+    }
+
+    #[test]
+    fn table2_lists_all_programs() {
+        let s = format_table2();
+        for b in Benchmark::ALL {
+            assert!(s.contains(b.name()), "{}", b.name());
+        }
+        assert!(s.contains("mpeg2dec x2"), "MPEG-2 decode appears twice in the list");
+    }
+
+    #[test]
+    fn headline_mentions_paper_targets() {
+        let h = Headline {
+            baseline_ipc: 2.4,
+            mmx_speedup: 2.1,
+            mom_speedup: 3.3,
+            mmx_degradation: 0.3,
+            mom_degradation: 0.15,
+        };
+        let f = EipcFactor { mmx_insts: 1429, mom_insts: 1087 };
+        let s = format_headline(&h, &f);
+        assert!(s.contains("2.10x"));
+        assert!(s.contains("3.30x"));
+        assert!(s.contains("1.31"));
+    }
+}

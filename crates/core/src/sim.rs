@@ -1,0 +1,225 @@
+//! One simulation run with the paper's §5.1 methodology.
+//!
+//! *"We selected a random order of the 8 programs… Simulation starts
+//! with as many programs concurrently as the number of contexts allowed
+//! by the machine. When a program completes, the next program from the
+//! list is initiated. In case that no further programs are available, we
+//! initiate again selecting programs from the same list from the
+//! beginning. This process is repeated until the end of the 8th context.
+//! This avoids having fractions of time with less threads than those
+//! allowed by the machine."*
+
+use crate::metrics::RunResult;
+use medsim_cpu::{Cpu, CpuConfig, FetchPolicy};
+use medsim_mem::{HierarchyKind, MemConfig, MemSystem};
+use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::{Workload, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// μ-SIMD extension under evaluation.
+    pub isa: SimdIsa,
+    /// Hardware thread contexts (1, 2, 4 or 8).
+    pub threads: usize,
+    /// Cache-hierarchy organization.
+    pub hierarchy: HierarchyKind,
+    /// SMT fetch policy.
+    pub fetch_policy: FetchPolicy,
+    /// Workload scaling/seeding.
+    pub spec: WorkloadSpec,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+    /// Full memory-system override (ablation studies); when set, its
+    /// `hierarchy` field wins over [`SimConfig::hierarchy`].
+    pub mem_override: Option<MemConfig>,
+    /// Cap on MOM stream lengths (ablation): stream instructions longer
+    /// than this are split. `16` (the architectural maximum) disables it.
+    pub max_stream_len: u8,
+}
+
+impl SimConfig {
+    /// Paper defaults: conventional hierarchy, round-robin fetch,
+    /// default workload scale.
+    #[must_use]
+    pub fn new(isa: SimdIsa, threads: usize) -> Self {
+        SimConfig {
+            isa,
+            threads,
+            hierarchy: HierarchyKind::Conventional,
+            fetch_policy: FetchPolicy::RoundRobin,
+            spec: WorkloadSpec::default(),
+            max_cycles: 2_000_000_000,
+            mem_override: None,
+            max_stream_len: medsim_isa::MAX_STREAM_LEN,
+        }
+    }
+
+    /// Builder: override the full memory configuration (ablations).
+    #[must_use]
+    pub fn with_mem(mut self, mem: MemConfig) -> Self {
+        self.hierarchy = mem.hierarchy;
+        self.mem_override = Some(mem);
+        self
+    }
+
+    /// Builder: cap MOM stream lengths (ablations).
+    #[must_use]
+    pub fn with_max_stream_len(mut self, cap: u8) -> Self {
+        self.max_stream_len = cap;
+        self
+    }
+
+    /// Builder: set the hierarchy.
+    #[must_use]
+    pub fn with_hierarchy(mut self, h: HierarchyKind) -> Self {
+        self.hierarchy = h;
+        self
+    }
+
+    /// Builder: set the fetch policy.
+    #[must_use]
+    pub fn with_policy(mut self, p: FetchPolicy) -> Self {
+        self.fetch_policy = p;
+        self
+    }
+
+    /// Builder: set the workload spec.
+    #[must_use]
+    pub fn with_spec(mut self, spec: WorkloadSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+}
+
+/// Namespace for running simulations.
+#[derive(Debug)]
+pub struct Simulation;
+
+/// Number of list entries that must complete before the run ends.
+const PROGRAMS_TO_COMPLETE: usize = 8;
+
+impl Simulation {
+    /// Execute one run and collect its metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `config.max_cycles` (indicates a
+    /// deadlocked model — should never happen).
+    #[must_use]
+    pub fn run(config: &SimConfig) -> RunResult {
+        let mem_config = config
+            .mem_override
+            .clone()
+            .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
+        let mem = MemSystem::new(mem_config);
+        let cpu_config =
+            CpuConfig::paper(config.threads, config.isa).with_policy(config.fetch_policy);
+        let mut cpu = Cpu::new(cpu_config, mem);
+        let workload = Workload::new(config.spec);
+
+        let stream_for = |slot: usize| -> Box<dyn medsim_workloads::trace::InstStream> {
+            let s = workload.stream_for_slot(slot, config.isa);
+            if config.max_stream_len < medsim_isa::MAX_STREAM_LEN {
+                Box::new(medsim_workloads::trace::ClampStream::new(s, config.max_stream_len))
+            } else {
+                s
+            }
+        };
+
+        let n = config.threads;
+        let mut ctx_slot: Vec<usize> = (0..n).collect();
+        let mut next_slot = n;
+        let mut completed = [false; PROGRAMS_TO_COMPLETE];
+        for tid in 0..n {
+            cpu.attach_thread(tid, stream_for(tid));
+        }
+
+        let all_done = |c: &[bool; PROGRAMS_TO_COMPLETE]| c.iter().all(|&x| x);
+        loop {
+            cpu.cycle();
+            // Refill drained contexts with the next program in the list.
+            for tid in 0..n {
+                if !cpu.thread_idle(tid) {
+                    continue;
+                }
+                let slot = ctx_slot[tid];
+                if slot < PROGRAMS_TO_COMPLETE {
+                    completed[slot] = true;
+                }
+                cpu.note_program_completed(tid);
+                if all_done(&completed) {
+                    continue;
+                }
+                cpu.attach_thread(tid, stream_for(next_slot));
+                ctx_slot[tid] = next_slot;
+                next_slot += 1;
+            }
+            if all_done(&completed) {
+                break;
+            }
+            assert!(
+                cpu.now() < config.max_cycles,
+                "simulation exceeded {} cycles — model deadlock?",
+                config.max_cycles
+            );
+        }
+
+        RunResult::collect(config, &cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec { scale: 2e-5, seed: 42 }
+    }
+
+    #[test]
+    fn single_thread_run_completes_all_eight_programs() {
+        let cfg = SimConfig::new(SimdIsa::Mmx, 1).with_spec(tiny_spec());
+        let r = Simulation::run(&cfg);
+        assert!(r.cycles > 0);
+        assert!(r.programs_completed >= 8, "all list entries ran: {}", r.programs_completed);
+        assert!(r.ipc() > 0.5, "IPC {}", r.ipc());
+    }
+
+    #[test]
+    fn more_threads_do_not_lose_throughput_under_ideal_memory() {
+        let base = SimConfig::new(SimdIsa::Mmx, 1)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(tiny_spec());
+        let smt = SimConfig::new(SimdIsa::Mmx, 4)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(tiny_spec());
+        let r1 = Simulation::run(&base);
+        let r4 = Simulation::run(&smt);
+        assert!(
+            r4.equiv_ipc() > r1.equiv_ipc() * 1.15,
+            "4 threads {} vs 1 thread {}",
+            r4.equiv_ipc(),
+            r1.equiv_ipc()
+        );
+    }
+
+    #[test]
+    fn mom_run_reports_equivalent_work() {
+        let cfg = SimConfig::new(SimdIsa::Mom, 2)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(tiny_spec());
+        let r = Simulation::run(&cfg);
+        assert!(r.committed_equiv > r.committed, "MOM streams expand");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = SimConfig::new(SimdIsa::Mmx, 2).with_spec(tiny_spec());
+        let a = Simulation::run(&cfg);
+        let b = Simulation::run(&cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+    }
+}

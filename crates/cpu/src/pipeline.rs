@@ -1,0 +1,871 @@
+//! The assembled SMT out-of-order pipeline.
+//!
+//! Cycle phases, in order: **complete** (finished executions wake their
+//! dependents and resolve branches), **commit** (per-thread in-order
+//! graduation), **issue** (oldest-first from the four queues, within
+//! per-queue widths and functional-unit occupancy), **dispatch**
+//! (rename + queue insertion, up to the decode width), **fetch** (up to
+//! two thread groups of four, chosen by the fetch policy, through the
+//! I-cache).
+//!
+//! MOM stream instructions occupy the single media unit for
+//! `⌈stream_length / lanes⌉` cycles (two parallel vector pipes); stream
+//! memory instructions issue their element-group accesses over multiple
+//! cycles through the memory ports — the latency-tolerance mechanism the
+//! paper's §5.4 exploits with the decoupled cache hierarchy.
+
+use crate::config::CpuConfig;
+use crate::fetch::{select_threads, ThreadFetchInfo};
+use crate::predictor::Predictor;
+use crate::rename::{PhysReg, RenameFile};
+use crate::stats::CpuStats;
+use crate::Cycle;
+use medsim_isa::{Inst, MomOp, Op, QueueKind};
+use medsim_mem::{AccessKind, MemRequest, MemSystem, Stall};
+use medsim_workloads::trace::{InstStream, SimdIsa};
+use std::collections::{BinaryHeap, VecDeque};
+
+const DECODE_BUF_CAP: usize = 16;
+const ICACHE_LINE: u64 = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstState {
+    InQueue,
+    Executing,
+    Done,
+}
+
+#[derive(Debug)]
+struct DynInst {
+    inst: Inst,
+    tid: usize,
+    dst: Option<PhysReg>,
+    prev_dst: Option<PhysReg>,
+    srcs: [Option<PhysReg>; 4],
+    state: InstState,
+    mem_elems_issued: u8,
+    mem_done: Cycle,
+    mispredicted: bool,
+}
+
+struct ThreadCtx {
+    stream: Option<Box<dyn InstStream>>,
+    lookahead: Option<Inst>,
+    decode_buf: VecDeque<Inst>,
+    fetch_blocked_until: Cycle,
+    blocked_on_branch: Option<u32>,
+    last_fetch_line: u64,
+    exhausted: bool,
+    in_flight: usize,
+    icount: usize,
+    ocount: u64,
+    fetched_vector_last: bool,
+}
+
+impl ThreadCtx {
+    fn empty() -> Self {
+        ThreadCtx {
+            stream: None,
+            lookahead: None,
+            decode_buf: VecDeque::new(),
+            fetch_blocked_until: 0,
+            blocked_on_branch: None,
+            last_fetch_line: u64::MAX,
+            exhausted: true,
+            in_flight: 0,
+            icount: 0,
+            ocount: 0,
+            fetched_vector_last: false,
+        }
+    }
+}
+
+/// The SMT processor.
+pub struct Cpu {
+    config: CpuConfig,
+    now: Cycle,
+    mem: MemSystem,
+    rename: RenameFile,
+    slab: Vec<Option<DynInst>>,
+    free_slots: Vec<u32>,
+    queues: [Vec<u32>; 4],
+    robs: Vec<VecDeque<u32>>,
+    threads: Vec<ThreadCtx>,
+    predictors: Vec<Predictor>,
+    completions: BinaryHeap<(std::cmp::Reverse<Cycle>, u32)>,
+    stats: CpuStats,
+    rr_cursor: usize,
+    media_unit_free: Cycle,
+    int_div_free: Cycle,
+    fp_div_free: Cycle,
+}
+
+impl Cpu {
+    /// Build a processor over a memory system.
+    #[must_use]
+    pub fn new(config: CpuConfig, mem: MemSystem) -> Self {
+        let threads = config.threads;
+        let rename = RenameFile::new(threads, &config.sizing);
+        Cpu {
+            stats: CpuStats::new(threads),
+            rename,
+            mem,
+            now: 0,
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            queues: Default::default(),
+            robs: (0..threads).map(|_| VecDeque::new()).collect(),
+            threads: (0..threads).map(|_| ThreadCtx::empty()).collect(),
+            predictors: (0..threads).map(|_| Predictor::new(12)).collect(),
+            completions: BinaryHeap::new(),
+            rr_cursor: 0,
+            media_unit_free: 0,
+            int_div_free: 0,
+            fp_div_free: 0,
+            config,
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The memory system (for its statistics).
+    #[must_use]
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Attach an instruction stream to hardware context `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context still has instructions in flight.
+    pub fn attach_thread(&mut self, tid: usize, stream: Box<dyn InstStream>) {
+        assert!(self.thread_idle(tid), "context {tid} still busy");
+        let t = &mut self.threads[tid];
+        t.stream = Some(stream);
+        t.exhausted = false;
+        t.lookahead = None;
+        t.last_fetch_line = u64::MAX;
+        t.fetch_blocked_until = self.now;
+        t.blocked_on_branch = None;
+    }
+
+    /// Whether context `tid` has fully drained (stream ended, no
+    /// buffered or in-flight instructions).
+    #[must_use]
+    pub fn thread_idle(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        t.exhausted && t.lookahead.is_none() && t.decode_buf.is_empty() && t.in_flight == 0
+    }
+
+    /// Whether every context is idle.
+    #[must_use]
+    pub fn all_idle(&self) -> bool {
+        (0..self.threads.len()).all(|t| self.thread_idle(t))
+    }
+
+    /// Record that the program in context `tid` completed (§5.1
+    /// program-list scheduling bookkeeping).
+    pub fn note_program_completed(&mut self, tid: usize) {
+        self.stats.threads[tid].programs_completed += 1;
+    }
+
+    /// Advance one cycle.
+    pub fn cycle(&mut self) {
+        self.complete();
+        self.commit();
+        let issued = self.issue();
+        self.dispatch();
+        self.fetch();
+        // §5.3 diagnostic: cycles where only the vector pipe issued.
+        let (int_i, mem_i, fp_i, simd_i) = issued;
+        if simd_i > 0 && int_i == 0 && fp_i == 0 && mem_i == 0 {
+            self.stats.vector_only_cycles += 1;
+        }
+        if simd_i + int_i + fp_i + mem_i == 0 {
+            self.stats.idle_cycles += 1;
+        }
+        self.now += 1;
+        self.stats.cycles = self.now;
+    }
+
+    /// Run until all attached threads drain or `max_cycles` elapse.
+    /// Returns `true` if everything drained.
+    pub fn run_to_idle(&mut self, max_cycles: u64) -> bool {
+        let limit = self.now + max_cycles;
+        while !self.all_idle() {
+            if self.now >= limit {
+                return false;
+            }
+            self.cycle();
+        }
+        true
+    }
+
+    // ---- pipeline phases -------------------------------------------------
+
+    fn complete(&mut self) {
+        while let Some(&(std::cmp::Reverse(when), id)) = self.completions.peek() {
+            if when > self.now {
+                break;
+            }
+            self.completions.pop();
+            let d = self.slab[id as usize].as_mut().expect("completing instruction exists");
+            debug_assert_eq!(d.state, InstState::Executing);
+            d.state = InstState::Done;
+            let tid = d.tid;
+            let dst = d.dst;
+            let mispredicted = d.mispredicted;
+            if let Some(p) = dst {
+                self.rename.mark_ready(p);
+            }
+            // Branch resolution unblocks fetch (plus redirect penalty).
+            if mispredicted && self.threads[tid].blocked_on_branch == Some(id) {
+                self.threads[tid].blocked_on_branch = None;
+                self.threads[tid].fetch_blocked_until =
+                    self.now + self.config.mispredict_penalty;
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.config.commit_width;
+        // Rotate the starting thread for fairness.
+        for off in 0..n {
+            let tid = (self.rr_cursor + off) % n;
+            while budget > 0 {
+                let Some(&head) = self.robs[tid].front() else { break };
+                let done = matches!(
+                    self.slab[head as usize].as_ref().expect("rob entry exists").state,
+                    InstState::Done
+                );
+                if !done {
+                    break;
+                }
+                self.robs[tid].pop_front();
+                let d = self.slab[head as usize].take().expect("rob entry exists");
+                self.free_slots.push(head);
+                if let Some(prev) = d.prev_dst {
+                    self.rename.release(prev);
+                }
+                let t = &mut self.threads[tid];
+                t.in_flight -= 1;
+                let equiv = d.inst.equivalent_count();
+                self.stats.threads[tid].committed += 1;
+                self.stats.threads[tid].committed_equiv += equiv;
+                self.stats.record_commit_kind(d.inst.kind(), equiv);
+                if d.inst.branch.is_some() {
+                    self.stats.threads[tid].branches += 1;
+                    if d.mispredicted {
+                        self.stats.threads[tid].mispredicts += 1;
+                    }
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    fn sources_ready(&self, d: &DynInst) -> bool {
+        d.srcs.iter().flatten().all(|&p| self.rename.is_ready(p))
+    }
+
+    fn issue(&mut self) -> (usize, usize, usize, usize) {
+        let int_issued = self.issue_queue(QueueKind::Int, self.config.int_issue);
+        let fp_issued = self.issue_queue(QueueKind::Fp, self.config.fp_issue);
+        let simd_issued = self.issue_queue(QueueKind::Simd, self.config.simd_issue);
+        let mem_issued = self.issue_mem();
+        self.stats.issued[0] += int_issued as u64;
+        self.stats.issued[1] += mem_issued as u64;
+        self.stats.issued[2] += fp_issued as u64;
+        self.stats.issued[3] += simd_issued as u64;
+        (int_issued, mem_issued, fp_issued, simd_issued)
+    }
+
+    fn queue_idx(q: QueueKind) -> usize {
+        match q {
+            QueueKind::Int => 0,
+            QueueKind::Mem => 1,
+            QueueKind::Fp => 2,
+            QueueKind::Simd => 3,
+        }
+    }
+
+    /// Execution latency of a non-memory instruction, plus any
+    /// unpipelined-unit occupancy bookkeeping.
+    fn exec_latency(&mut self, inst: &Inst) -> Cycle {
+        use medsim_isa::{FpOp, IntOp};
+        match inst.op {
+            Op::Int(o) => match o {
+                IntOp::Mul | IntOp::Mulh => self.config.lat_int_mul,
+                IntOp::Div | IntOp::Rem => {
+                    let start = self.int_div_free.max(self.now);
+                    self.int_div_free = start + self.config.lat_int_div;
+                    (start - self.now) + self.config.lat_int_div
+                }
+                _ => 1,
+            },
+            Op::Ctl(_) => 1,
+            Op::Fp(o) => match o {
+                FpOp::FDiv | FpOp::FSqrt => {
+                    let start = self.fp_div_free.max(self.now);
+                    self.fp_div_free = start + self.config.lat_fp_div;
+                    (start - self.now) + self.config.lat_fp_div
+                }
+                FpOp::FMul | FpOp::FMadd => self.config.lat_fp_mul,
+                _ => self.config.lat_fp_add,
+            },
+            Op::Mmx(o) => {
+                if o.is_mul() {
+                    self.config.lat_simd_mul
+                } else {
+                    1
+                }
+            }
+            Op::Mom(o) => {
+                let base = if o.is_mul() { self.config.lat_simd_mul } else { 1 };
+                let occupancy =
+                    Cycle::from(inst.slen).div_ceil(self.config.vector_lanes as u64).max(1);
+                occupancy + base - 1
+            }
+            Op::Mem(_) => unreachable!("memory ops issue via issue_mem"),
+        }
+    }
+
+    fn issue_queue(&mut self, q: QueueKind, width: usize) -> usize {
+        let qi = Self::queue_idx(q);
+        let mut issued = Vec::new();
+        let mom_isa = self.config.isa == SimdIsa::Mom;
+        for pos in 0..self.queues[qi].len() {
+            if issued.len() >= width {
+                break;
+            }
+            let id = self.queues[qi][pos];
+            let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
+            if d.state != InstState::InQueue || !self.sources_ready(d) {
+                continue;
+            }
+            // The MOM media unit is a single occupied resource.
+            let is_stream = matches!(d.inst.op, Op::Mom(_));
+            if q == QueueKind::Simd && mom_isa && is_stream && self.media_unit_free > self.now {
+                continue;
+            }
+            let inst = d.inst;
+            let tid = d.tid;
+            let lat = self.exec_latency(&inst);
+            if q == QueueKind::Simd && mom_isa && is_stream {
+                let occupancy = Cycle::from(inst.slen)
+                    .div_ceil(self.config.vector_lanes as u64)
+                    .max(1);
+                self.media_unit_free = self.now + occupancy;
+            }
+            let d = self.slab[id as usize].as_mut().expect("queued instruction exists");
+            d.state = InstState::Executing;
+            self.completions.push((std::cmp::Reverse(self.now + lat), id));
+            self.threads[tid].icount -= 1;
+            self.threads[tid].ocount -= inst.equivalent_count();
+            issued.push(id);
+        }
+        let qrefs = &mut self.queues[qi];
+        qrefs.retain(|id| !issued.contains(id));
+        issued.len()
+    }
+
+    fn issue_mem(&mut self) -> usize {
+        let qi = Self::queue_idx(QueueKind::Mem);
+        let mut slots = self.config.mem_issue;
+        let mut fully_issued = Vec::new();
+        let mut issued_count = 0;
+        for pos in 0..self.queues[qi].len() {
+            if slots == 0 {
+                break;
+            }
+            let id = self.queues[qi][pos];
+            let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
+            if d.state != InstState::InQueue || !self.sources_ready(d) {
+                continue;
+            }
+            let Some(mem) = d.inst.mem else {
+                // Memory-queue instruction without an access (should not
+                // happen); complete it next cycle.
+                let d = self.slab[id as usize].as_mut().expect("exists");
+                d.state = InstState::Executing;
+                self.completions.push((std::cmp::Reverse(self.now + 1), id));
+                continue;
+            };
+            let tid = d.tid;
+            let kind = access_kind(&d.inst);
+            let elems_before = d.mem_elems_issued;
+            let mut elems = elems_before;
+            let mut mem_done = d.mem_done;
+            let mut stalled = false;
+            while elems < mem.count && slots > 0 {
+                let req = MemRequest {
+                    tid: tid as u8,
+                    addr: mem.elem_addr(elems),
+                    size: mem.size,
+                    kind,
+                };
+                match self.mem.request(self.now, req) {
+                    Ok(reply) => {
+                        elems += 1;
+                        slots -= 1;
+                        mem_done = mem_done.max(reply.done_at);
+                    }
+                    Err(Stall::PortBusy) => {
+                        stalled = true;
+                        self.stats.mem_stalls += 1;
+                        slots = 0; // ports exhausted this cycle
+                        break;
+                    }
+                    Err(_) => {
+                        stalled = true;
+                        self.stats.mem_stalls += 1;
+                        break;
+                    }
+                }
+            }
+            let d = self.slab[id as usize].as_mut().expect("exists");
+            d.mem_elems_issued = elems;
+            d.mem_done = mem_done;
+            if elems > elems_before {
+                issued_count += 1;
+            }
+            if elems == mem.count {
+                d.state = InstState::Executing;
+                self.completions.push((std::cmp::Reverse(mem_done.max(self.now + 1)), id));
+                self.threads[tid].icount -= 1;
+                self.threads[tid].ocount -= d.inst.equivalent_count();
+                fully_issued.push(id);
+            }
+            if stalled {
+                continue;
+            }
+        }
+        self.queues[qi].retain(|id| !fully_issued.contains(id));
+        issued_count
+    }
+
+    fn dispatch(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.config.decode_width;
+        for off in 0..n {
+            let tid = (self.rr_cursor + off) % n;
+            while budget > 0 {
+                let Some(&inst) = self.threads[tid].decode_buf.front() else { break };
+                if self.robs[tid].len() >= self.config.sizing.rob_per_thread {
+                    self.stats.dispatch_rob_stalls += 1;
+                    break;
+                }
+                let qi = Self::queue_idx(inst.queue());
+                if self.queues[qi].len() >= self.config.sizing.queue_entries {
+                    self.stats.dispatch_queue_stalls += 1;
+                    break;
+                }
+                // Rename sources first (they must see the old mappings),
+                // then the destination.
+                let mut srcs: [Option<PhysReg>; 4] = [None; 4];
+                for (i, s) in inst.sources().enumerate() {
+                    if !s.is_zero() {
+                        srcs[i] = Some(self.rename.lookup(tid, s));
+                    }
+                }
+                // MOM instructions implicitly read the stream-length
+                // register (integer r31, renamed through the int pool).
+                if let Op::Mom(o) = inst.op {
+                    if o != MomOp::SetVl {
+                        srcs[3] = Some(
+                            self.rename
+                                .lookup(tid, medsim_isa::regs::int(medsim_isa::regs::STREAM_LEN_REG)),
+                        );
+                    }
+                }
+                let (dst, prev_dst) = match inst.dst {
+                    Some(dreg) if !dreg.is_zero() => match self.rename.allocate(tid, dreg) {
+                        Some((new, prev)) => (Some(new), Some(prev)),
+                        None => {
+                            self.stats.dispatch_reg_stalls += 1;
+                            break;
+                        }
+                    },
+                    _ => (None, None),
+                };
+                self.threads[tid].decode_buf.pop_front();
+
+                // Branch prediction at decode: a wrong prediction blocks
+                // this thread's fetch until the branch resolves.
+                let mut mispredicted = false;
+                if let (Op::Ctl(c), Some(b)) = (inst.op, inst.branch) {
+                    if c.is_conditional() {
+                        mispredicted = !self.predictors[tid].predict_conditional(inst.pc, b.taken);
+                    } else if c.is_indirect() {
+                        mispredicted = !self.predictors[tid].predict_indirect(inst.pc, b.target);
+                    }
+                }
+
+                let d = DynInst {
+                    inst,
+                    tid,
+                    dst,
+                    prev_dst,
+                    srcs,
+                    state: InstState::InQueue,
+                    mem_elems_issued: 0,
+                    mem_done: 0,
+                    mispredicted,
+                };
+                let id = match self.free_slots.pop() {
+                    Some(slot) => {
+                        self.slab[slot as usize] = Some(d);
+                        slot
+                    }
+                    None => {
+                        self.slab.push(Some(d));
+                        (self.slab.len() - 1) as u32
+                    }
+                };
+                self.queues[qi].push(id);
+                self.robs[tid].push_back(id);
+                self.threads[tid].in_flight += 1;
+                if mispredicted {
+                    self.threads[tid].blocked_on_branch = Some(id);
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    fn fetch(&mut self) {
+        let infos: Vec<ThreadFetchInfo> = self
+            .threads
+            .iter()
+            .map(|t| ThreadFetchInfo {
+                runnable: !t.exhausted
+                    && t.blocked_on_branch.is_none()
+                    && t.fetch_blocked_until <= self.now
+                    && t.decode_buf.len() + self.config.fetch_width <= DECODE_BUF_CAP,
+                icount: t.icount,
+                ocount: t.ocount,
+                fetched_vector_last: t.fetched_vector_last,
+            })
+            .collect();
+        // Account stall reasons for non-runnable threads.
+        for t in &self.threads {
+            if t.exhausted {
+                continue;
+            }
+            if t.blocked_on_branch.is_some() {
+                self.stats.fetch_branch_stalls += 1;
+            } else if t.fetch_blocked_until > self.now {
+                self.stats.fetch_icache_stalls += 1;
+            }
+        }
+        let vector_pipe_empty = self.queues[Self::queue_idx(QueueKind::Simd)].is_empty();
+        let chosen = select_threads(
+            self.config.fetch_policy,
+            &infos,
+            self.rr_cursor,
+            self.config.fetch_threads,
+            vector_pipe_empty,
+        );
+        for tid in chosen {
+            let mut any_vector = false;
+            for _ in 0..self.config.fetch_width {
+                // Peek the next instruction.
+                let next = match self.threads[tid].lookahead.take() {
+                    Some(i) => Some(i),
+                    None => {
+                        let t = &mut self.threads[tid];
+                        match t.stream.as_mut().and_then(|s| s.next_inst()) {
+                            Some(i) => Some(i),
+                            None => {
+                                t.exhausted = true;
+                                t.stream = None;
+                                None
+                            }
+                        }
+                    }
+                };
+                let Some(inst) = next else { break };
+                // I-cache: a new line must be fetched before its
+                // instructions can be consumed.
+                let line = inst.pc & !(ICACHE_LINE - 1);
+                if line != self.threads[tid].last_fetch_line {
+                    let ready = self.mem.ifetch(self.now, tid as u8, line);
+                    self.threads[tid].last_fetch_line = line;
+                    if ready > self.now + 1 {
+                        self.threads[tid].fetch_blocked_until = ready;
+                        self.threads[tid].lookahead = Some(inst);
+                        break;
+                    }
+                }
+                any_vector |= inst.op.is_simd();
+                let t = &mut self.threads[tid];
+                t.decode_buf.push_back(inst);
+                t.icount += 1;
+                t.ocount += inst.equivalent_count();
+                self.stats.fetched += 1;
+                // Fetch stops at a taken control transfer.
+                if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                    break;
+                }
+            }
+            self.threads[tid].fetched_vector_last = any_vector;
+        }
+        self.rr_cursor = (self.rr_cursor + 1) % self.threads.len();
+    }
+}
+
+fn access_kind(inst: &Inst) -> AccessKind {
+    let is_store = inst.op.is_store();
+    match inst.op {
+        Op::Mem(m) if matches!(m, medsim_isa::MemOp::Prefetch) => AccessKind::Prefetch,
+        Op::Mom(MomOp::Vprefetch) => AccessKind::Prefetch,
+        Op::Mem(_) => {
+            if is_store {
+                AccessKind::ScalarStore
+            } else {
+                AccessKind::ScalarLoad
+            }
+        }
+        _ => {
+            // MMX and MOM packed/stream accesses use the vector path.
+            if is_store {
+                AccessKind::VectorStore
+            } else {
+                AccessKind::VectorLoad
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::prelude::*;
+    use medsim_mem::MemConfig;
+    use medsim_workloads::trace::VecStream;
+
+    fn cpu(threads: usize, isa: SimdIsa) -> Cpu {
+        Cpu::new(CpuConfig::paper(threads, isa), MemSystem::new(MemConfig::ideal()))
+    }
+
+    fn independent_ints(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| {
+                Inst::int_rrr(IntOp::Add, int(1 + (i % 8) as u8), int(10), int(11)).at(0x1000 + 4 * i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_a_simple_program_to_completion() {
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(100))));
+        assert!(c.run_to_idle(10_000));
+        assert_eq!(c.stats().committed(), 100);
+        assert!(c.stats().cycles < 200, "100 independent adds shouldn't take {} cycles", c.stats().cycles);
+    }
+
+    #[test]
+    fn ipc_bounded_by_int_issue_width() {
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(4000))));
+        assert!(c.run_to_idle(100_000));
+        let ipc = c.stats().ipc();
+        assert!(ipc <= 4.05, "int issue width is 4: {ipc}");
+        assert!(ipc > 2.0, "independent adds should flow: {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_executes_serially() {
+        // r1 = r1 + r1, repeated: one per cycle at best.
+        let insts: Vec<Inst> = (0..500)
+            .map(|i| Inst::int_rrr(IntOp::Add, int(1), int(1), int(1)).at(0x1000 + 4 * i as u64))
+            .collect();
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(100_000));
+        assert!(c.stats().cycles >= 500, "dependent chain is serial: {}", c.stats().cycles);
+    }
+
+    #[test]
+    fn per_thread_retirement_is_in_order() {
+        // A long-latency divide followed by a cheap add: the add must not
+        // commit before the divide (same thread, program order).
+        let insts = vec![
+            Inst::int_rrr(IntOp::Div, int(1), int(2), int(3)).at(0x1000),
+            Inst::int_rrr(IntOp::Add, int(4), int(5), int(6)).at(0x1004),
+        ];
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        // Run a few cycles: the add finishes fast but cannot commit alone.
+        for _ in 0..6 {
+            c.cycle();
+        }
+        assert_eq!(c.stats().committed(), 0, "nothing commits before the divide resolves");
+        assert!(c.run_to_idle(1000));
+        assert_eq!(c.stats().committed(), 2);
+    }
+
+    #[test]
+    fn two_threads_beat_one_on_throughput() {
+        let run = |threads: usize| {
+            let mut c = cpu(threads, SimdIsa::Mmx);
+            for t in 0..threads {
+                // Dependent chains: single-thread IPC ≈ 1, leaving room.
+                let insts: Vec<Inst> = (0..2000)
+                    .map(|i| Inst::int_rrr(IntOp::Add, int(1), int(1), int(2)).at(0x1000 + 4 * (i % 64) as u64))
+                    .collect();
+                c.attach_thread(t, Box::new(VecStream::new(insts)));
+            }
+            assert!(c.run_to_idle(1_000_000));
+            c.stats().ipc()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two > one * 1.6, "SMT hides dependency stalls: {one} vs {two}");
+    }
+
+    #[test]
+    fn mom_stream_occupies_media_unit() {
+        // Two independent full streams: ⌈16/2⌉ = 8 cycles each, serialized
+        // on the single media unit.
+        let insts = vec![
+            Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 16).at(0x1000),
+            Inst::mom(MomOp::VaddW, stream(3), stream(4), stream(5), 16).at(0x1004),
+        ];
+        let mut c = cpu(1, SimdIsa::Mom);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(1000));
+        assert!(c.stats().cycles >= 16, "two 8-cycle streams serialize: {}", c.stats().cycles);
+        assert_eq!(c.stats().committed_equiv(), 32, "16 + 16 equivalent ops");
+    }
+
+    #[test]
+    fn mmx_pair_issues_in_parallel() {
+        let insts: Vec<Inst> = (0..512)
+            .map(|i| Inst::mmx(MmxOp::PaddW, simd((i % 12) as u8), simd(20), simd(21)).at(0x1000 + 4 * (i % 32) as u64))
+            .collect();
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(100_000));
+        // 512 ops at 2/cycle ≥ 256 cycles, but well under serial 512.
+        assert!(c.stats().cycles < 450, "MMX dual issue: {}", c.stats().cycles);
+    }
+
+    #[test]
+    fn branch_mispredictions_are_counted_and_resolved() {
+        // Alternating taken/not-taken pattern on one PC is hard for the
+        // first iterations; the pipeline must keep making progress.
+        let mut insts = Vec::new();
+        for i in 0..200 {
+            insts.push(Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)).at(0x1000 + (i % 4) * 16));
+            insts.push(Inst::branch(CtlOp::Bne, int(1), i % 3 == 0, 0x1000).at(0x1004 + (i % 4) * 16));
+        }
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(1_000_000));
+        assert_eq!(c.stats().committed(), 400);
+        assert!(c.stats().threads[0].branches == 200);
+        assert!(c.stats().threads[0].mispredicts > 0, "pattern must cost something");
+        assert!(c.stats().mispredict_rate() < 0.9);
+    }
+
+    #[test]
+    fn memory_loads_flow_through_the_cache() {
+        let insts: Vec<Inst> = (0..256)
+            .map(|i| Inst::load(MemOp::LoadW, int(1 + (i % 8) as u8), int(10), 0x10_0000 + (i as u64) * 4).at(0x1000 + 4 * (i % 16) as u64))
+            .collect();
+        let mut c = Cpu::new(
+            CpuConfig::paper(1, SimdIsa::Mmx),
+            MemSystem::new(MemConfig::paper()),
+        );
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(1_000_000));
+        assert_eq!(c.stats().committed(), 256);
+        assert!(c.mem().l1d_stats().accesses() >= 256);
+    }
+
+    #[test]
+    fn mom_stream_load_issues_elements_over_cycles() {
+        let insts = vec![Inst::mom_load(stream(0), int(1), 0x10_0000, 8, 16).at(0x1000)];
+        let mut c = Cpu::new(
+            CpuConfig::paper(1, SimdIsa::Mom),
+            MemSystem::new(MemConfig::paper()),
+        );
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(100_000));
+        assert_eq!(c.stats().committed(), 1);
+        assert_eq!(c.stats().committed_equiv(), 16);
+        // 16 element accesses through at most 4 ports/cycle ⇒ ≥ 4 cycles.
+        assert!(c.stats().cycles >= 4);
+    }
+
+    #[test]
+    fn attach_after_drain_reuses_context() {
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(10))));
+        assert!(c.run_to_idle(10_000));
+        assert!(c.thread_idle(0));
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(10))));
+        assert!(!c.all_idle());
+        assert!(c.run_to_idle(10_000));
+        assert_eq!(c.stats().committed(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "still busy")]
+    fn attach_to_busy_context_panics() {
+        let mut c = cpu(1, SimdIsa::Mmx);
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(100))));
+        c.cycle();
+        c.cycle();
+        c.attach_thread(0, Box::new(VecStream::new(independent_ints(1))));
+    }
+
+    #[test]
+    fn setvl_serializes_following_stream_ops() {
+        // SetVl writes r31; the stream op implicitly reads it.
+        let insts = vec![
+            Inst::new(Op::Mom(MomOp::SetVl)).with_dst(int(31)).with_imm(8).at(0x1000),
+            Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 8).at(0x1004),
+        ];
+        let mut c = cpu(1, SimdIsa::Mom);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(1000));
+        assert_eq!(c.stats().committed(), 2);
+    }
+
+    #[test]
+    fn equivalent_counting_matches_kind_buckets() {
+        let insts = vec![
+            Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)).at(0x1000),
+            Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 10).at(0x1004),
+            Inst::mom_load(stream(3), int(1), 0x20_0000, 8, 12).at(0x1008),
+        ];
+        let mut c = cpu(1, SimdIsa::Mom);
+        c.attach_thread(0, Box::new(VecStream::new(insts)));
+        assert!(c.run_to_idle(10_000));
+        assert_eq!(c.stats().committed_by_kind[0], 1);
+        assert_eq!(c.stats().committed_by_kind[2], 10);
+        assert_eq!(c.stats().committed_by_kind[3], 12);
+        assert_eq!(c.stats().committed_equiv(), 23);
+    }
+}

@@ -1,0 +1,216 @@
+//! Register renaming: per-thread map tables over shared physical pools.
+//!
+//! As in the paper (§3): *"all threads share a common register pool. The
+//! decode engine is able to rename instructions from different threads
+//! using a per-thread renaming table and a shared common free register
+//! pool."* Renaming removes false dependences between threads for free;
+//! running out of physical registers stalls dispatch — which is exactly
+//! what the Table-1 sizing sweep provisions against.
+
+use crate::config::SizingParams;
+use medsim_isa::{LogicalReg, RegClass};
+
+/// A physical register: class + index into that class's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysReg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class pool.
+    pub index: u16,
+}
+
+fn class_idx(c: RegClass) -> usize {
+    match c {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+        RegClass::Simd => 2,
+        RegClass::Stream => 3,
+        RegClass::Acc => 4,
+    }
+}
+
+/// Rename state: per-thread tables + shared free lists + ready bits.
+#[derive(Debug)]
+pub struct RenameFile {
+    /// `tables[tid][class][logical] = physical index`.
+    tables: Vec<[Vec<u16>; 5]>,
+    free: [Vec<u16>; 5],
+    ready: [Vec<bool>; 5],
+}
+
+impl RenameFile {
+    /// Build rename state for `threads` contexts under `sizing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools cannot hold every thread's architectural
+    /// state.
+    #[must_use]
+    pub fn new(threads: usize, sizing: &SizingParams) -> Self {
+        let pool_sizes = [
+            sizing.int_regs,
+            sizing.fp_regs,
+            sizing.simd_regs,
+            sizing.stream_regs,
+            sizing.acc_regs,
+        ];
+        let arch_counts = [32usize, 32, 32, 16, 2];
+        for (c, (&pool, &arch)) in pool_sizes.iter().zip(arch_counts.iter()).enumerate() {
+            assert!(
+                pool > arch * threads,
+                "physical pool {c} too small: {pool} for {threads} threads × {arch} architectural"
+            );
+        }
+        let mut free: [Vec<u16>; 5] = Default::default();
+        let mut ready: [Vec<bool>; 5] = Default::default();
+        for c in 0..5 {
+            free[c] = (0..pool_sizes[c] as u16).rev().collect();
+            ready[c] = vec![false; pool_sizes[c]];
+        }
+        let mut tables = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let mut t: [Vec<u16>; 5] = Default::default();
+            for c in 0..5 {
+                t[c] = (0..arch_counts[c])
+                    .map(|_| {
+                        let p = free[c].pop().expect("pool sized above");
+                        ready[c][p as usize] = true;
+                        p
+                    })
+                    .collect();
+            }
+            tables.push(t);
+        }
+        RenameFile { tables, free, ready }
+    }
+
+    /// Current physical mapping of `reg` for thread `tid`.
+    #[must_use]
+    pub fn lookup(&self, tid: usize, reg: LogicalReg) -> PhysReg {
+        let c = class_idx(reg.class);
+        PhysReg { class: reg.class, index: self.tables[tid][c][reg.index as usize] }
+    }
+
+    /// Free physical registers remaining in `class`'s pool.
+    #[must_use]
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.free[class_idx(class)].len()
+    }
+
+    /// Rename a destination: allocate a fresh physical register (not
+    /// ready), returning `(new, previous)` — the previous mapping is
+    /// freed when the instruction commits. Returns `None` when the pool
+    /// is empty (dispatch must stall).
+    pub fn allocate(&mut self, tid: usize, reg: LogicalReg) -> Option<(PhysReg, PhysReg)> {
+        let c = class_idx(reg.class);
+        let new = self.free[c].pop()?;
+        self.ready[c][new as usize] = false;
+        let prev = self.tables[tid][c][reg.index as usize];
+        self.tables[tid][c][reg.index as usize] = new;
+        Some((PhysReg { class: reg.class, index: new }, PhysReg { class: reg.class, index: prev }))
+    }
+
+    /// Mark a physical register's value available.
+    pub fn mark_ready(&mut self, p: PhysReg) {
+        self.ready[class_idx(p.class)][p.index as usize] = true;
+    }
+
+    /// Whether a physical register's value is available.
+    #[must_use]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[class_idx(p.class)][p.index as usize]
+    }
+
+    /// Return a physical register to the free pool (at commit, the
+    /// previous mapping of the committing instruction's destination).
+    pub fn release(&mut self, p: PhysReg) {
+        let c = class_idx(p.class);
+        debug_assert!(
+            !self.free[c].contains(&p.index),
+            "double free of {:?}{}",
+            p.class,
+            p.index
+        );
+        self.free[c].push(p.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::regs::{acc, int, simd, stream};
+
+    fn file(threads: usize) -> RenameFile {
+        RenameFile::new(threads, &SizingParams::for_threads(threads))
+    }
+
+    #[test]
+    fn architectural_state_is_mapped_and_ready() {
+        let f = file(2);
+        for tid in 0..2 {
+            for i in 0..32 {
+                let p = f.lookup(tid, int(i));
+                assert!(f.is_ready(p), "t{tid} r{i}");
+            }
+            let p = f.lookup(tid, stream(15));
+            assert!(f.is_ready(p));
+        }
+    }
+
+    #[test]
+    fn threads_have_disjoint_mappings() {
+        let f = file(4);
+        let a = f.lookup(0, simd(5));
+        let b = f.lookup(1, simd(5));
+        assert_ne!(a, b, "same logical register, different threads");
+    }
+
+    #[test]
+    fn allocate_makes_not_ready_then_ready() {
+        let mut f = file(1);
+        let (new, prev) = f.allocate(0, int(3)).unwrap();
+        assert!(!f.is_ready(new));
+        assert!(f.is_ready(prev), "old value still readable");
+        assert_eq!(f.lookup(0, int(3)), new);
+        f.mark_ready(new);
+        assert!(f.is_ready(new));
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut f = file(1);
+        let spare = f.free_count(RegClass::Acc);
+        for _ in 0..spare {
+            assert!(f.allocate(0, acc(0)).is_some());
+        }
+        assert!(f.allocate(0, acc(0)).is_none(), "accumulator pool exhausted");
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut f = file(1);
+        let n0 = f.free_count(RegClass::Int);
+        let (_, prev) = f.allocate(0, int(1)).unwrap();
+        assert_eq!(f.free_count(RegClass::Int), n0 - 1);
+        f.release(prev);
+        assert_eq!(f.free_count(RegClass::Int), n0);
+    }
+
+    #[test]
+    fn rename_chain_preserves_dataflow_order() {
+        let mut f = file(1);
+        let (p1, _) = f.allocate(0, int(7)).unwrap();
+        let (p2, prev2) = f.allocate(0, int(7)).unwrap();
+        assert_ne!(p1, p2);
+        assert_eq!(prev2, p1, "second writer's previous is the first writer");
+        assert_eq!(f.lookup(0, int(7)), p2, "readers see the newest mapping");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_pool_rejected() {
+        let mut s = SizingParams::for_threads(8);
+        s.stream_regs = 100; // < 16 × 8
+        let _ = RenameFile::new(8, &s);
+    }
+}

@@ -1,0 +1,157 @@
+//! Pipeline statistics.
+
+use medsim_isa::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Counters kept per hardware thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Instructions committed (raw — what the pipeline processed).
+    pub committed: u64,
+    /// Equivalent instructions committed (MOM × stream length).
+    pub committed_equiv: u64,
+    /// Conditional/indirect branches committed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Programs completed in this hardware context (§5.1 scheduling).
+    pub programs_completed: u64,
+}
+
+/// Aggregate pipeline statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Per-thread counters.
+    pub threads: Vec<ThreadStats>,
+    /// Committed equivalent instructions by reporting class.
+    pub committed_by_kind: [u64; 4],
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Fetch-cycle slots lost to I-cache misses.
+    pub fetch_icache_stalls: u64,
+    /// Fetch-cycle slots lost waiting on unresolved mispredictions.
+    pub fetch_branch_stalls: u64,
+    /// Dispatch stalls: no free physical register.
+    pub dispatch_reg_stalls: u64,
+    /// Dispatch stalls: target instruction queue full.
+    pub dispatch_queue_stalls: u64,
+    /// Dispatch stalls: graduation window (ROB) full.
+    pub dispatch_rob_stalls: u64,
+    /// Issue slots actually used, by queue (int, mem, fp, simd).
+    pub issued: [u64; 4],
+    /// Memory issue attempts rejected by the memory system.
+    pub mem_stalls: u64,
+    /// Cycles in which *only* vector (SIMD-queue) instructions issued —
+    /// the §5.3 scalar/vector mixing diagnostic.
+    pub vector_only_cycles: u64,
+    /// Cycles in which nothing issued at all.
+    pub idle_cycles: u64,
+}
+
+impl CpuStats {
+    /// Initialize for `threads` contexts.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        CpuStats { threads: vec![ThreadStats::default(); threads], ..Default::default() }
+    }
+
+    /// Total raw committed instructions.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Total equivalent committed instructions (the paper's comparison
+    /// currency).
+    #[must_use]
+    pub fn committed_equiv(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed_equiv).sum()
+    }
+
+    /// Raw instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Equivalent instructions per cycle (the basis of the EIPC metric).
+    #[must_use]
+    pub fn equiv_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_equiv() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over committed branches.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        let b: u64 = self.threads.iter().map(|t| t.branches).sum();
+        let m: u64 = self.threads.iter().map(|t| t.mispredicts).sum();
+        if b == 0 {
+            0.0
+        } else {
+            m as f64 / b as f64
+        }
+    }
+
+    /// Record a committed instruction's class contribution.
+    pub fn record_commit_kind(&mut self, kind: OpKind, equiv: u64) {
+        let idx = match kind {
+            OpKind::Integer => 0,
+            OpKind::Fp => 1,
+            OpKind::SimdArith => 2,
+            OpKind::Memory => 3,
+        };
+        self.committed_by_kind[idx] += equiv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_edges() {
+        let s = CpuStats::new(2);
+        assert_eq!(s.ipc(), 0.0);
+        let mut s = CpuStats::new(2);
+        s.cycles = 100;
+        s.threads[0].committed = 150;
+        s.threads[1].committed = 250;
+        assert_eq!(s.ipc(), 4.0);
+    }
+
+    #[test]
+    fn equiv_ipc_differs_for_mom() {
+        let mut s = CpuStats::new(1);
+        s.cycles = 10;
+        s.threads[0].committed = 10;
+        s.threads[0].committed_equiv = 80;
+        assert_eq!(s.ipc(), 1.0);
+        assert_eq!(s.equiv_ipc(), 8.0);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let mut s = CpuStats::new(1);
+        s.threads[0].branches = 200;
+        s.threads[0].mispredicts = 10;
+        assert!((s.mispredict_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_kind_buckets() {
+        let mut s = CpuStats::new(1);
+        s.record_commit_kind(OpKind::Integer, 1);
+        s.record_commit_kind(OpKind::SimdArith, 16);
+        assert_eq!(s.committed_by_kind, [1, 0, 16, 0]);
+    }
+}

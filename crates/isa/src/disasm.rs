@@ -1,0 +1,113 @@
+//! Textual disassembly of instructions.
+//!
+//! Produces a one-line assembly-like rendering including the dynamic
+//! trace annotations (effective address, branch outcome, stream length),
+//! which makes simulator debug logs and failing-test output readable.
+
+use crate::inst::Inst;
+use crate::op::Op;
+
+/// Render `inst` as a one-line string.
+///
+/// Format: `mnemonic dst, src1, src2, src3 [#imm] [vl=N] [@addr(+strideXcount)] [taken->target]`.
+#[must_use]
+pub fn disasm(inst: &Inst) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::with_capacity(48);
+    out.push_str(inst.op.mnemonic());
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        out.push_str(if *first { " " } else { ", " });
+        *first = false;
+    };
+    if let Some(d) = inst.dst {
+        sep(&mut out, &mut first);
+        let _ = write!(out, "{d}");
+    }
+    for s in inst.sources() {
+        sep(&mut out, &mut first);
+        let _ = write!(out, "{s}");
+    }
+    if inst.imm != 0 {
+        let _ = write!(out, " #{}", inst.imm);
+    }
+    if matches!(inst.op, Op::Mom(_)) {
+        let _ = write!(out, " vl={}", inst.slen);
+    }
+    if let Some(m) = inst.mem {
+        if m.count > 1 {
+            let _ = write!(out, " @{:#x}(+{}x{})", m.addr, m.stride, m.count);
+        } else {
+            let _ = write!(out, " @{:#x}", m.addr);
+        }
+    }
+    if let Some(b) = inst.branch {
+        if b.taken {
+            let _ = write!(out, " taken->{:#x}", b.target);
+        } else {
+            let _ = write!(out, " not-taken");
+        }
+    }
+    out
+}
+
+impl core::fmt::Display for Inst {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&disasm(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmx::MmxOp;
+    use crate::mom::MomOp;
+    use crate::regs::{int, simd, stream};
+    use crate::scalar::{CtlOp, IntOp, MemOp};
+
+    #[test]
+    fn scalar_forms() {
+        let i = Inst::int_rrr(IntOp::Add, int(1), int(2), int(3));
+        assert_eq!(disasm(&i), "add r1, r2, r3");
+        let i = Inst::int_rri(IntOp::Addi, int(1), int(2), 16);
+        assert_eq!(disasm(&i), "addi r1, r2 #16");
+    }
+
+    #[test]
+    fn memory_forms() {
+        let i = Inst::load(MemOp::LoadW, int(4), int(5), 0x1000);
+        assert_eq!(disasm(&i), "ldw r4, r5 @0x1000");
+        let i = Inst::mom_load(stream(2), int(1), 0x2000, 768, 8);
+        assert_eq!(disasm(&i), "vlds.q v2, r1 vl=8 @0x2000(+768x8)");
+    }
+
+    #[test]
+    fn branch_forms() {
+        let b = Inst::branch(CtlOp::Bne, int(9), true, 0x40);
+        assert_eq!(disasm(&b), "bne r9 taken->0x40");
+        let b = Inst::branch(CtlOp::Beq, int(9), false, 0x40);
+        assert_eq!(disasm(&b), "beq r9 not-taken");
+    }
+
+    #[test]
+    fn simd_forms() {
+        let m = Inst::mmx(MmxOp::PaddsW, simd(0), simd(1), simd(2));
+        assert_eq!(disasm(&m), "padds.w m0, m1, m2");
+        let v = Inst::mom(MomOp::VmaddWd, stream(0), stream(1), stream(2), 16);
+        assert_eq!(disasm(&v), "vmadd.wd v0, v1, v2 vl=16");
+    }
+
+    #[test]
+    fn display_impl_matches_disasm() {
+        let i = Inst::int_rrr(IntOp::Xor, int(7), int(7), int(7));
+        assert_eq!(format!("{i}"), disasm(&i));
+    }
+
+    #[test]
+    fn every_opcode_disassembles_nonempty() {
+        for op in Op::all() {
+            let i = Inst::new(op);
+            assert!(!disasm(&i).is_empty(), "{op:?}");
+        }
+    }
+}

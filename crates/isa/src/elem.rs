@@ -1,0 +1,153 @@
+//! Packed sub-word element types.
+//!
+//! Media data is dominated by small fixed-point samples (8-bit pixels,
+//! 16-bit intermediate products). A 64-bit μ-SIMD register holds eight
+//! bytes, four half-words or two words; the element type of an operation
+//! determines lane count, signedness and saturation bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a packed operation's lanes within a 64-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemType {
+    /// Unsigned 8-bit lanes (8 per register).
+    U8,
+    /// Signed 8-bit lanes (8 per register).
+    I8,
+    /// Unsigned 16-bit lanes (4 per register).
+    U16,
+    /// Signed 16-bit lanes (4 per register).
+    I16,
+    /// Unsigned 32-bit lanes (2 per register).
+    U32,
+    /// Signed 32-bit lanes (2 per register).
+    I32,
+    /// The whole 64-bit register as a single lane.
+    Q64,
+}
+
+impl ElemType {
+    /// Lane width in bits.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        match self {
+            ElemType::U8 | ElemType::I8 => 8,
+            ElemType::U16 | ElemType::I16 => 16,
+            ElemType::U32 | ElemType::I32 => 32,
+            ElemType::Q64 => 64,
+        }
+    }
+
+    /// Number of lanes in a 64-bit register.
+    #[must_use]
+    pub const fn lanes(self) -> usize {
+        (64 / self.bits()) as usize
+    }
+
+    /// Whether lanes are interpreted as signed two's-complement values.
+    #[must_use]
+    pub const fn is_signed(self) -> bool {
+        matches!(self, ElemType::I8 | ElemType::I16 | ElemType::I32)
+    }
+
+    /// Smallest representable lane value.
+    #[must_use]
+    pub const fn min_value(self) -> i64 {
+        match self {
+            ElemType::U8 | ElemType::U16 | ElemType::U32 => 0,
+            ElemType::I8 => i8::MIN as i64,
+            ElemType::I16 => i16::MIN as i64,
+            ElemType::I32 => i32::MIN as i64,
+            ElemType::Q64 => i64::MIN,
+        }
+    }
+
+    /// Largest representable lane value.
+    #[must_use]
+    pub const fn max_value(self) -> i64 {
+        match self {
+            ElemType::U8 => u8::MAX as i64,
+            ElemType::I8 => i8::MAX as i64,
+            ElemType::U16 => u16::MAX as i64,
+            ElemType::I16 => i16::MAX as i64,
+            ElemType::U32 => u32::MAX as i64,
+            ElemType::I32 => i32::MAX as i64,
+            ElemType::Q64 => i64::MAX,
+        }
+    }
+
+    /// Clamp `v` into the representable range of this element type
+    /// (saturating arithmetic).
+    #[must_use]
+    pub fn saturate(self, v: i64) -> i64 {
+        v.clamp(self.min_value(), self.max_value())
+    }
+
+    /// The signed counterpart of this element type (identity for signed
+    /// and [`ElemType::Q64`]).
+    #[must_use]
+    pub const fn as_signed(self) -> ElemType {
+        match self {
+            ElemType::U8 => ElemType::I8,
+            ElemType::U16 => ElemType::I16,
+            ElemType::U32 => ElemType::I32,
+            other => other,
+        }
+    }
+}
+
+impl core::fmt::Display for ElemType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ElemType::U8 => "u8",
+            ElemType::I8 => "i8",
+            ElemType::U16 => "u16",
+            ElemType::I16 => "i16",
+            ElemType::U32 => "u32",
+            ElemType::I32 => "i32",
+            ElemType::Q64 => "q64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_geometry() {
+        assert_eq!(ElemType::U8.lanes(), 8);
+        assert_eq!(ElemType::I16.lanes(), 4);
+        assert_eq!(ElemType::U32.lanes(), 2);
+        assert_eq!(ElemType::Q64.lanes(), 1);
+        for t in [
+            ElemType::U8,
+            ElemType::I8,
+            ElemType::U16,
+            ElemType::I16,
+            ElemType::U32,
+            ElemType::I32,
+            ElemType::Q64,
+        ] {
+            assert_eq!(t.bits() as usize * t.lanes(), 64);
+        }
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        assert_eq!(ElemType::U8.saturate(300), 255);
+        assert_eq!(ElemType::U8.saturate(-3), 0);
+        assert_eq!(ElemType::I16.saturate(40000), 32767);
+        assert_eq!(ElemType::I16.saturate(-40000), -32768);
+        assert_eq!(ElemType::I8.saturate(5), 5);
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(ElemType::I8.is_signed());
+        assert!(!ElemType::U16.is_signed());
+        assert_eq!(ElemType::U16.as_signed(), ElemType::I16);
+        assert_eq!(ElemType::I32.as_signed(), ElemType::I32);
+    }
+}

@@ -1,0 +1,297 @@
+//! Fixed-width 64-bit binary encoding of the architectural fields.
+//!
+//! The timing simulator is trace-driven, so instruction *words* are not
+//! strictly needed for simulation — but a real ISA has an encoding, and
+//! round-tripping through it is a strong consistency check on the
+//! instruction model. The encoding captures every architectural field of
+//! an [`Inst`] (opcode, registers, immediate, stream length). Dynamic
+//! trace data (PC, effective addresses, branch outcomes) is carried
+//! alongside the word, exactly as a trace file stores it.
+//!
+//! Layout (bit 0 = LSB):
+//!
+//! ```text
+//! [ 0..10)  opcode       global opcode number (Op::code)
+//! [10..11)  dst present
+//! [11..19)  dst          class:3 | index:5
+//! [19..20)  src1 present
+//! [20..28)  src1
+//! [28..29)  src2 present
+//! [29..37)  src2
+//! [37..38)  src3 present
+//! [38..46)  src3
+//! [46..50)  slen − 1
+//! [50..64)  imm          14-bit two's complement
+//! ```
+
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::regs::{LogicalReg, RegClass};
+
+/// Errors produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeInstError {
+    /// Immediate outside the 14-bit signed range.
+    ImmOutOfRange(i32),
+}
+
+impl core::fmt::Display for EncodeInstError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EncodeInstError::ImmOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit in 14 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeInstError {}
+
+/// Errors produced when a word cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeInstError {
+    /// The opcode number is not assigned.
+    BadOpcode(u16),
+    /// A register field holds an invalid class or out-of-range index.
+    BadRegister(u8),
+    /// Stream length field invalid for the opcode.
+    BadStreamLen(u8),
+}
+
+impl core::fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeInstError::BadOpcode(c) => write!(f, "unassigned opcode number {c:#x}"),
+            DecodeInstError::BadRegister(r) => write!(f, "invalid register encoding {r:#x}"),
+            DecodeInstError::BadStreamLen(l) => write!(f, "invalid stream length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeInstError {}
+
+const IMM_MAX: i32 = (1 << 13) - 1;
+const IMM_MIN: i32 = -(1 << 13);
+
+fn encode_reg(r: LogicalReg) -> u64 {
+    let class = match r.class {
+        RegClass::Int => 0u64,
+        RegClass::Fp => 1,
+        RegClass::Simd => 2,
+        RegClass::Stream => 3,
+        RegClass::Acc => 4,
+    };
+    (class << 5) | u64::from(r.index)
+}
+
+fn decode_reg(v: u8) -> Result<LogicalReg, DecodeInstError> {
+    let class = match v >> 5 {
+        0 => RegClass::Int,
+        1 => RegClass::Fp,
+        2 => RegClass::Simd,
+        3 => RegClass::Stream,
+        4 => RegClass::Acc,
+        _ => return Err(DecodeInstError::BadRegister(v)),
+    };
+    let index = v & 0x1f;
+    if index >= class.logical_count() {
+        return Err(DecodeInstError::BadRegister(v));
+    }
+    Ok(LogicalReg { class, index })
+}
+
+/// Encode the architectural fields of `inst` into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeInstError::ImmOutOfRange`] if the immediate does not
+/// fit in the 14-bit field.
+pub fn encode(inst: &Inst) -> Result<u64, EncodeInstError> {
+    if inst.imm > IMM_MAX || inst.imm < IMM_MIN {
+        return Err(EncodeInstError::ImmOutOfRange(inst.imm));
+    }
+    let mut w = u64::from(inst.op.code());
+    let put_reg = |w: &mut u64, reg: Option<LogicalReg>, present_bit: u32, field: u32| {
+        if let Some(r) = reg {
+            *w |= 1u64 << present_bit;
+            *w |= encode_reg(r) << field;
+        }
+    };
+    put_reg(&mut w, inst.dst, 10, 11);
+    put_reg(&mut w, inst.src1, 19, 20);
+    put_reg(&mut w, inst.src2, 28, 29);
+    put_reg(&mut w, inst.src3, 37, 38);
+    w |= u64::from(inst.slen - 1) << 46;
+    w |= (u64::from(inst.imm as u32) & 0x3fff) << 50;
+    Ok(w)
+}
+
+/// Decode a 64-bit word into an [`Inst`] with zeroed dynamic fields
+/// (PC 0, no memory access, no branch outcome).
+///
+/// # Errors
+///
+/// Returns a [`DecodeInstError`] if the opcode number is unassigned or a
+/// register field is malformed.
+pub fn decode(word: u64) -> Result<Inst, DecodeInstError> {
+    let code = (word & 0x3ff) as u16;
+    let op = Op::from_code(code).ok_or(DecodeInstError::BadOpcode(code))?;
+    let get_reg = |present_bit: u32, field: u32| -> Result<Option<LogicalReg>, DecodeInstError> {
+        if word & (1u64 << present_bit) != 0 {
+            Ok(Some(decode_reg(((word >> field) & 0xff) as u8)?))
+        } else {
+            Ok(None)
+        }
+    };
+    let slen = ((word >> 46) & 0xf) as u8 + 1;
+    let raw_imm = ((word >> 50) & 0x3fff) as u32;
+    // sign-extend 14-bit
+    let imm = if raw_imm & 0x2000 != 0 {
+        (raw_imm | !0x3fffu32) as i32
+    } else {
+        raw_imm as i32
+    };
+    let mut inst = Inst::new(op).with_imm(imm).with_slen(slen);
+    inst.dst = get_reg(10, 11)?;
+    inst.src1 = get_reg(19, 20)?;
+    inst.src2 = get_reg(28, 29)?;
+    inst.src3 = get_reg(37, 38)?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmx::MmxOp;
+    use crate::mom::MomOp;
+    use crate::regs::{acc, fp, int, simd, stream};
+    use crate::scalar::IntOp;
+
+    fn arch_eq(a: &Inst, b: &Inst) -> bool {
+        a.op == b.op
+            && a.dst == b.dst
+            && a.src1 == b.src1
+            && a.src2 == b.src2
+            && a.src3 == b.src3
+            && a.imm == b.imm
+            && a.slen == b.slen
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let i = Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)).with_imm(-5);
+        let w = encode(&i).unwrap();
+        let d = decode(w).unwrap();
+        assert!(arch_eq(&i, &d));
+    }
+
+    #[test]
+    fn round_trip_every_opcode() {
+        for op in Op::all() {
+            let i = Inst::new(op);
+            let w = encode(&i).unwrap();
+            let d = decode(w).unwrap();
+            assert!(arch_eq(&i, &d), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_register_classes() {
+        let i = Inst::new(Op::Mom(MomOp::AccMacW))
+            .with_dst(acc(1))
+            .with_srcs(&[stream(15), stream(3), simd(31)])
+            .with_slen(16);
+        let w = encode(&i).unwrap();
+        let d = decode(w).unwrap();
+        assert!(arch_eq(&i, &d));
+        let i = Inst::new(Op::Mmx(MmxOp::MovdToMmx)).with_dst(simd(0)).with_srcs(&[int(31)]);
+        let d = decode(encode(&i).unwrap()).unwrap();
+        assert!(arch_eq(&i, &d));
+        let i = Inst::fp_rrr(crate::scalar::FpOp::FMadd, fp(31), fp(0), fp(15));
+        let d = decode(encode(&i).unwrap()).unwrap();
+        assert!(arch_eq(&i, &d));
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        let ok = Inst::new(Op::Int(IntOp::Addi)).with_imm(8191);
+        assert!(encode(&ok).is_ok());
+        let ok = Inst::new(Op::Int(IntOp::Addi)).with_imm(-8192);
+        assert!(encode(&ok).is_ok());
+        let bad = Inst::new(Op::Int(IntOp::Addi)).with_imm(8192);
+        assert_eq!(encode(&bad), Err(EncodeInstError::ImmOutOfRange(8192)));
+    }
+
+    #[test]
+    fn bad_words_rejected() {
+        // opcode 0x3ff is unassigned
+        assert!(matches!(decode(0x3ff), Err(DecodeInstError::BadOpcode(_))));
+        // dst present with class 7
+        let w = u64::from(Op::Int(IntOp::Add).code()) | (1 << 10) | (0b111_00000u64 << 11);
+        assert!(matches!(decode(w), Err(DecodeInstError::BadRegister(_))));
+        // stream register index 20 (>15) under class 3
+        let w = u64::from(Op::Mom(MomOp::VaddB).code()) | (1 << 10) | ((0b011_10100u64) << 11);
+        assert!(matches!(decode(w), Err(DecodeInstError::BadRegister(_))));
+    }
+
+    #[test]
+    fn slen_encodes_1_to_16() {
+        for slen in 1..=16u8 {
+            let i = Inst::new(Op::Mom(MomOp::VaddW)).with_slen(slen);
+            let d = decode(encode(&i).unwrap()).unwrap();
+            assert_eq!(d.slen, slen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::regs::RegClass;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        let n = Op::all().count();
+        (0..n).prop_map(|i| Op::all().nth(i).expect("index in range"))
+    }
+
+    fn arb_reg() -> impl Strategy<Value = LogicalReg> {
+        (0..5u8, 0..32u8).prop_map(|(c, i)| {
+            let class = RegClass::ALL[c as usize];
+            LogicalReg { class, index: i % class.logical_count() }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(
+            op in arb_op(),
+            dst in proptest::option::of(arb_reg()),
+            src1 in proptest::option::of(arb_reg()),
+            src2 in proptest::option::of(arb_reg()),
+            src3 in proptest::option::of(arb_reg()),
+            imm in -8192i32..8192,
+            slen in 1u8..=16,
+        ) {
+            let mut inst = Inst::new(op).with_imm(imm).with_slen(slen);
+            inst.dst = dst;
+            inst.src1 = src1;
+            inst.src2 = src2;
+            inst.src3 = src3;
+            let word = encode(&inst).unwrap();
+            let back = decode(word).unwrap();
+            prop_assert_eq!(back.op, inst.op);
+            prop_assert_eq!(back.dst, inst.dst);
+            prop_assert_eq!(back.src1, inst.src1);
+            prop_assert_eq!(back.src2, inst.src2);
+            prop_assert_eq!(back.src3, inst.src3);
+            prop_assert_eq!(back.imm, inst.imm);
+            prop_assert_eq!(back.slen, inst.slen);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u64>()) {
+            let _ = decode(word);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The decoded-instruction record.
+//!
+//! [`Inst`] is the unit that workload generators emit and the pipeline
+//! model consumes. It carries the architectural fields (opcode, register
+//! operands, immediate) plus the *dynamic* trace information a
+//! trace-driven timing simulator needs: the effective memory address(es)
+//! and the branch outcome.
+
+use crate::mmx::MmxOp;
+use crate::mom::MomOp;
+use crate::op::{Op, OpKind, QueueKind};
+use crate::regs::LogicalReg;
+use crate::scalar::{CtlOp, FpOp, IntOp, MemOp};
+use serde::{Deserialize, Serialize};
+
+/// Dynamic memory access descriptor attached to memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Effective (virtual) address of the first element access.
+    pub addr: u64,
+    /// Size of each element access in bytes.
+    pub size: u8,
+    /// Distance in bytes between consecutive element accesses
+    /// (stream instructions; `0` for scalar/MMX single accesses).
+    pub stride: i64,
+    /// Number of element accesses (MOM stream length; `1` otherwise).
+    pub count: u8,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+}
+
+impl MemRef {
+    /// A single scalar access.
+    #[must_use]
+    pub fn scalar(addr: u64, size: u8, is_store: bool) -> Self {
+        MemRef { addr, size, stride: 0, count: 1, is_store }
+    }
+
+    /// A stream of `count` accesses of `size` bytes separated by `stride`.
+    #[must_use]
+    pub fn stream(addr: u64, size: u8, stride: i64, count: u8, is_store: bool) -> Self {
+        MemRef { addr, size, stride, count, is_store }
+    }
+
+    /// Address of the `i`-th element access.
+    #[must_use]
+    pub fn elem_addr(&self, i: u8) -> u64 {
+        debug_assert!(i < self.count);
+        (self.addr as i64 + self.stride * i64::from(i)) as u64
+    }
+
+    /// Iterate over all element addresses of this access.
+    pub fn elem_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(|i| self.elem_addr(i))
+    }
+
+    /// Total bytes touched.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.size) * u64::from(self.count)
+    }
+}
+
+/// Dynamic branch outcome attached to control-transfer instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch was taken in the trace.
+    pub taken: bool,
+    /// Target address when taken.
+    pub target: u64,
+}
+
+/// A decoded instruction with its dynamic trace information.
+///
+/// `Inst` is plain data (`Copy`); the pipeline wraps it in its own
+/// bookkeeping structures rather than mutating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// The operation.
+    pub op: Op,
+    /// Destination register, if any.
+    pub dst: Option<LogicalReg>,
+    /// First source register.
+    pub src1: Option<LogicalReg>,
+    /// Second source register.
+    pub src2: Option<LogicalReg>,
+    /// Third source register (paper's multi-source MMX additions, store
+    /// data registers, select masks).
+    pub src3: Option<LogicalReg>,
+    /// Immediate operand (shift counts, offsets, shuffle controls).
+    pub imm: i32,
+    /// Memory access descriptor for memory operations.
+    pub mem: Option<MemRef>,
+    /// Branch outcome for control transfers.
+    pub branch: Option<BranchInfo>,
+    /// Stream length for MOM operations (`1` for everything else).
+    /// Matches the dynamic value of the stream-length register.
+    pub slen: u8,
+}
+
+impl Inst {
+    /// Base constructor: a register-to-register operation.
+    #[must_use]
+    pub fn new(op: Op) -> Self {
+        Inst {
+            pc: 0,
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            src3: None,
+            imm: 0,
+            mem: None,
+            branch: None,
+            slen: 1,
+        }
+    }
+
+    /// Builder: set the program counter.
+    #[must_use]
+    pub fn at(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+
+    /// Builder: set destination register.
+    #[must_use]
+    pub fn with_dst(mut self, dst: LogicalReg) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Builder: set source registers (up to three).
+    #[must_use]
+    pub fn with_srcs(mut self, srcs: &[LogicalReg]) -> Self {
+        assert!(srcs.len() <= 3, "at most three source registers");
+        self.src1 = srcs.first().copied();
+        self.src2 = srcs.get(1).copied();
+        self.src3 = srcs.get(2).copied();
+        self
+    }
+
+    /// Builder: set the immediate.
+    #[must_use]
+    pub fn with_imm(mut self, imm: i32) -> Self {
+        self.imm = imm;
+        self
+    }
+
+    /// Builder: attach a memory access.
+    #[must_use]
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Builder: attach a branch outcome.
+    #[must_use]
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Builder: set the stream length (MOM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slen` is zero or exceeds [`crate::MAX_STREAM_LEN`].
+    #[must_use]
+    pub fn with_slen(mut self, slen: u8) -> Self {
+        assert!(slen >= 1 && slen <= crate::MAX_STREAM_LEN, "stream length {slen} out of range");
+        self.slen = slen;
+        self
+    }
+
+    // ---- convenience constructors used pervasively by the generators ----
+
+    /// Integer three-register operation.
+    #[must_use]
+    pub fn int_rrr(op: IntOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg) -> Self {
+        Inst::new(Op::Int(op)).with_dst(dst).with_srcs(&[a, b])
+    }
+
+    /// Integer register-immediate operation.
+    #[must_use]
+    pub fn int_rri(op: IntOp, dst: LogicalReg, a: LogicalReg, imm: i32) -> Self {
+        Inst::new(Op::Int(op)).with_dst(dst).with_srcs(&[a]).with_imm(imm)
+    }
+
+    /// Floating-point three-register operation.
+    #[must_use]
+    pub fn fp_rrr(op: FpOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg) -> Self {
+        Inst::new(Op::Fp(op)).with_dst(dst).with_srcs(&[a, b])
+    }
+
+    /// Scalar load: `dst = [base + imm]`.
+    #[must_use]
+    pub fn load(op: MemOp, dst: LogicalReg, base: LogicalReg, addr: u64) -> Self {
+        debug_assert!(op.is_load());
+        Inst::new(Op::Mem(op))
+            .with_dst(dst)
+            .with_srcs(&[base])
+            .with_mem(MemRef::scalar(addr, op.size(), false))
+    }
+
+    /// Scalar store: `[base + imm] = data`.
+    #[must_use]
+    pub fn store(op: MemOp, data: LogicalReg, base: LogicalReg, addr: u64) -> Self {
+        debug_assert!(op.is_store());
+        Inst::new(Op::Mem(op))
+            .with_srcs(&[base, data])
+            .with_mem(MemRef::scalar(addr, op.size(), true))
+    }
+
+    /// Conditional branch with its outcome.
+    #[must_use]
+    pub fn branch(op: CtlOp, cond: LogicalReg, taken: bool, target: u64) -> Self {
+        debug_assert!(op.is_conditional());
+        Inst::new(Op::Ctl(op))
+            .with_srcs(&[cond])
+            .with_branch(BranchInfo { taken, target })
+    }
+
+    /// Unconditional jump.
+    #[must_use]
+    pub fn jump(target: u64) -> Self {
+        Inst::new(Op::Ctl(CtlOp::Jump)).with_branch(BranchInfo { taken: true, target })
+    }
+
+    /// MMX register-register-register operation.
+    #[must_use]
+    pub fn mmx(op: MmxOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg) -> Self {
+        debug_assert!(!op.is_mem());
+        Inst::new(Op::Mmx(op)).with_dst(dst).with_srcs(&[a, b])
+    }
+
+    /// MMX packed load.
+    #[must_use]
+    pub fn mmx_load(dst: LogicalReg, base: LogicalReg, addr: u64) -> Self {
+        Inst::new(Op::Mmx(MmxOp::LoadQ))
+            .with_dst(dst)
+            .with_srcs(&[base])
+            .with_mem(MemRef::scalar(addr, 8, false))
+    }
+
+    /// MMX packed store.
+    #[must_use]
+    pub fn mmx_store(data: LogicalReg, base: LogicalReg, addr: u64) -> Self {
+        Inst::new(Op::Mmx(MmxOp::StoreQ))
+            .with_srcs(&[base, data])
+            .with_mem(MemRef::scalar(addr, 8, true))
+    }
+
+    /// MOM stream register-register operation of length `slen`.
+    #[must_use]
+    pub fn mom(op: MomOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg, slen: u8) -> Self {
+        debug_assert!(!op.is_mem());
+        Inst::new(Op::Mom(op)).with_dst(dst).with_srcs(&[a, b]).with_slen(slen)
+    }
+
+    /// MOM stream load of `slen` 64-bit groups separated by `stride` bytes.
+    #[must_use]
+    pub fn mom_load(dst: LogicalReg, base: LogicalReg, addr: u64, stride: i64, slen: u8) -> Self {
+        let op = if stride == 8 { MomOp::VloadQ } else { MomOp::VloadStride };
+        Inst::new(Op::Mom(op))
+            .with_dst(dst)
+            .with_srcs(&[base])
+            .with_slen(slen)
+            .with_mem(MemRef::stream(addr, 8, stride, slen, false))
+    }
+
+    /// MOM stream store.
+    #[must_use]
+    pub fn mom_store(data: LogicalReg, base: LogicalReg, addr: u64, stride: i64, slen: u8) -> Self {
+        let op = if stride == 8 { MomOp::VstoreQ } else { MomOp::VstoreStride };
+        Inst::new(Op::Mom(op))
+            .with_srcs(&[base, data])
+            .with_slen(slen)
+            .with_mem(MemRef::stream(addr, 8, stride, slen, true))
+    }
+
+    // ---- classification helpers -----------------------------------------
+
+    /// Reporting class (Table 3 bucket).
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        self.op.kind()
+    }
+
+    /// Dispatch queue.
+    #[must_use]
+    pub fn queue(&self) -> QueueKind {
+        self.op.queue()
+    }
+
+    /// Equivalent instruction count for cross-ISA comparisons.
+    ///
+    /// Per §4.2 of the paper: "a MOM μ-SIMD instruction that operates
+    /// with, say, a stream length of 11, counts as eleven instructions".
+    #[must_use]
+    pub fn equivalent_count(&self) -> u64 {
+        match self.op {
+            Op::Mom(_) => u64::from(self.slen),
+            _ => 1,
+        }
+    }
+
+    /// Whether this instruction is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.op, Op::Ctl(c) if c.is_conditional())
+    }
+
+    /// All source registers, in order.
+    pub fn sources(&self) -> impl Iterator<Item = LogicalReg> + '_ {
+        [self.src1, self.src2, self.src3].into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{fp, int, simd, stream};
+
+    #[test]
+    fn memref_elem_addresses() {
+        let m = MemRef::stream(0x1000, 8, 64, 4, false);
+        let addrs: Vec<u64> = m.elem_addrs().collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0]);
+        assert_eq!(m.total_bytes(), 32);
+    }
+
+    #[test]
+    fn memref_negative_stride() {
+        let m = MemRef::stream(0x1000, 8, -8, 3, false);
+        let addrs: Vec<u64> = m.elem_addrs().collect();
+        assert_eq!(addrs, vec![0x1000, 0xff8, 0xff0]);
+    }
+
+    #[test]
+    fn scalar_load_store_shape() {
+        let ld = Inst::load(MemOp::LoadW, int(3), int(4), 0x2000);
+        assert_eq!(ld.kind(), OpKind::Memory);
+        assert_eq!(ld.queue(), QueueKind::Mem);
+        assert_eq!(ld.mem.unwrap().size, 4);
+        assert!(!ld.mem.unwrap().is_store);
+        assert_eq!(ld.dst, Some(int(3)));
+
+        let st = Inst::store(MemOp::StoreD, int(5), int(6), 0x3000);
+        assert!(st.mem.unwrap().is_store);
+        assert_eq!(st.dst, None);
+        assert_eq!(st.sources().count(), 2);
+    }
+
+    #[test]
+    fn branch_shape() {
+        let b = Inst::branch(CtlOp::Bne, int(2), true, 0x400);
+        assert!(b.is_cond_branch());
+        assert_eq!(b.branch.unwrap().target, 0x400);
+        assert!(b.branch.unwrap().taken);
+        let j = Inst::jump(0x800);
+        assert!(!j.is_cond_branch());
+        assert!(j.op.is_control());
+    }
+
+    #[test]
+    fn mom_equivalent_count_follows_stream_length() {
+        let v = Inst::mom(MomOp::VaddW, stream(1), stream(2), stream(3), 11);
+        assert_eq!(v.equivalent_count(), 11);
+        let m = Inst::mmx(MmxOp::PaddW, simd(1), simd(2), simd(3));
+        assert_eq!(m.equivalent_count(), 1);
+        let s = Inst::int_rrr(IntOp::Add, int(1), int(2), int(3));
+        assert_eq!(s.equivalent_count(), 1);
+    }
+
+    #[test]
+    fn mom_load_picks_strided_opcode() {
+        let unit = Inst::mom_load(stream(0), int(1), 0x1000, 8, 16);
+        assert_eq!(unit.op, Op::Mom(MomOp::VloadQ));
+        let strided = Inst::mom_load(stream(0), int(1), 0x1000, 768, 8);
+        assert_eq!(strided.op, Op::Mom(MomOp::VloadStride));
+        assert_eq!(strided.mem.unwrap().elem_addr(1), 0x1000 + 768);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream length")]
+    fn zero_stream_length_rejected() {
+        let _ = Inst::new(Op::Mom(MomOp::VaddB)).with_slen(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream length")]
+    fn oversize_stream_length_rejected() {
+        let _ = Inst::new(Op::Mom(MomOp::VaddB)).with_slen(17);
+    }
+
+    #[test]
+    fn fp_op_shape() {
+        let f = Inst::fp_rrr(FpOp::FMadd, fp(0), fp(1), fp(2));
+        assert_eq!(f.kind(), OpKind::Fp);
+        assert_eq!(f.queue(), QueueKind::Fp);
+    }
+}

@@ -1,0 +1,86 @@
+//! # medsim-isa — instruction-set model for the DLP+TLP media simulator
+//!
+//! This crate defines the three instruction sets evaluated by
+//! *"DLP + TLP Processors for the Next Generation of Media Workloads"*
+//! (Corbal, Espasa, Valero — HPCA 2001):
+//!
+//! * a **scalar RISC ISA** (stand-in for the paper's Alpha base ISA):
+//!   integer ALU, floating point, memory and control-flow operations;
+//! * an **MMX-like packed μ-SIMD extension** modeled on the integer subset
+//!   of Intel SSE with the paper's additions (reductions, extra logical
+//!   registers) — exactly [`mmx::MmxOp::COUNT`] = 67 opcodes over 32
+//!   logical 64-bit registers;
+//! * the **MOM streaming μ-SIMD extension** — exactly
+//!   [`mom::MomOp::COUNT`] = 121 opcodes over 16 logical *stream*
+//!   registers (each 16 × 64-bit element groups), two 192-bit packed
+//!   accumulators and a stream-length register renamed through the
+//!   integer pool, with strided stream memory accesses.
+//!
+//! Besides the opcode enumerations the crate provides:
+//!
+//! * [`inst::Inst`] — the decoded-instruction record that traces carry and
+//!   the pipeline model consumes;
+//! * [`semantics`] — executable functional semantics for the packed and
+//!   streaming operations (used by the workload kernels and heavily
+//!   unit/property tested);
+//! * [`encode`] — a fixed-width 64-bit binary encoding with lossless
+//!   round-tripping of all architectural fields;
+//! * [`disasm`] — a textual disassembler.
+//!
+//! ## Example
+//!
+//! ```
+//! use medsim_isa::prelude::*;
+//!
+//! // A packed saturating add of two MMX registers.
+//! let inst = Inst::mmx(MmxOp::PaddsW, simd(0), simd(1), simd(2));
+//! assert_eq!(inst.queue(), QueueKind::Simd);
+//!
+//! // Its functional semantics: 0x7fff + 1 saturates.
+//! let r = medsim_isa::semantics::exec_mmx_rr(MmxOp::PaddsW, 0x7fff, 0x0001);
+//! assert_eq!(r & 0xffff, 0x7fff);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disasm;
+pub mod elem;
+pub mod encode;
+pub mod inst;
+pub mod mmx;
+pub mod mom;
+pub mod op;
+pub mod regs;
+pub mod scalar;
+pub mod semantics;
+
+pub use elem::ElemType;
+pub use inst::{BranchInfo, Inst, MemRef};
+pub use mmx::MmxOp;
+pub use mom::MomOp;
+pub use op::{Op, OpKind, QueueKind};
+pub use regs::{LogicalReg, RegClass};
+pub use scalar::{CtlOp, FpOp, IntOp, MemOp};
+
+/// Maximum stream length of a MOM instruction (number of MMX-like
+/// 64-bit element groups a single stream instruction covers).
+pub const MAX_STREAM_LEN: u8 = 16;
+
+/// Number of 64-bit element groups in a MOM stream register.
+pub const STREAM_REG_GROUPS: usize = 16;
+
+/// Width of a packed accumulator in bits (MDMX-style).
+pub const ACC_BITS: u32 = 192;
+
+/// Convenience re-exports for downstream crates and doctests.
+pub mod prelude {
+    pub use crate::elem::ElemType;
+    pub use crate::inst::{BranchInfo, Inst, MemRef};
+    pub use crate::mmx::MmxOp;
+    pub use crate::mom::MomOp;
+    pub use crate::op::{Op, OpKind, QueueKind};
+    pub use crate::regs::{acc, fp, int, simd, stream, LogicalReg, RegClass};
+    pub use crate::scalar::{CtlOp, FpOp, IntOp, MemOp};
+    pub use crate::{ACC_BITS, MAX_STREAM_LEN, STREAM_REG_GROUPS};
+}

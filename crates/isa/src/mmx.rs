@@ -1,0 +1,397 @@
+//! MMX-like packed μ-SIMD extension.
+//!
+//! The paper models "an approximation of SSE integer opcodes with **67
+//! instructions** and **32 logical registers** (as opposed to 8)", plus
+//! "some extra features, such as new reduction operations and multiple
+//! source registers, not present in the original SSE" (§3).
+//!
+//! This module enumerates exactly those 67 opcodes. The set covers the
+//! SSE/MMX integer families (packed add/sub with wrap and signed/unsigned
+//! saturation, multiplies, compares, logicals, shifts, pack/unpack, the
+//! SSE additions avg/min/max/sad/shuffle) plus the paper's reduction
+//! extras (`pred*`).
+
+use crate::elem::ElemType;
+use serde::{Deserialize, Serialize};
+
+/// An MMX-like packed μ-SIMD opcode operating on 64-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MmxOp {
+    // -- packed add/sub, wrapping (6) --------------------------------
+    PaddB,
+    PaddW,
+    PaddD,
+    PsubB,
+    PsubW,
+    PsubD,
+    // -- packed add/sub, saturating (8) ------------------------------
+    PaddsB,
+    PaddsW,
+    PaddusB,
+    PaddusW,
+    PsubsB,
+    PsubsW,
+    PsubusB,
+    PsubusW,
+    // -- multiplies (4) ----------------------------------------------
+    /// Packed multiply, low 16 bits of the 16×16 product.
+    PmullW,
+    /// Packed multiply, high 16 bits of the signed product.
+    PmulhW,
+    /// Packed multiply, high 16 bits of the unsigned product (SSE).
+    PmulhuW,
+    /// Packed multiply-add: 16×16 products summed pairwise into 32-bit lanes.
+    PmaddWd,
+    // -- compares (6) -------------------------------------------------
+    PcmpeqB,
+    PcmpeqW,
+    PcmpeqD,
+    PcmpgtB,
+    PcmpgtW,
+    PcmpgtD,
+    // -- logicals (4) --------------------------------------------------
+    Pand,
+    Pandn,
+    Por,
+    Pxor,
+    // -- shifts (8) -----------------------------------------------------
+    PsllW,
+    PsllD,
+    PsllQ,
+    PsrlW,
+    PsrlD,
+    PsrlQ,
+    PsraW,
+    PsraD,
+    // -- pack / unpack (9) ----------------------------------------------
+    /// Pack signed words to signed-saturated bytes.
+    PackssWb,
+    /// Pack signed dwords to signed-saturated words.
+    PackssDw,
+    /// Pack signed words to unsigned-saturated bytes.
+    PackusWb,
+    PunpcklBw,
+    PunpcklWd,
+    PunpcklDq,
+    PunpckhBw,
+    PunpckhWd,
+    PunpckhDq,
+    // -- SSE integer additions (11) --------------------------------------
+    /// Packed rounded average of unsigned bytes.
+    PavgB,
+    /// Packed rounded average of unsigned words.
+    PavgW,
+    PmaxUb,
+    PmaxSw,
+    PminUb,
+    PminSw,
+    /// Sum of absolute byte differences into a single 16-bit result.
+    PsadBw,
+    /// Extract the byte sign mask into an integer register.
+    PmovmskB,
+    /// Shuffle words by an immediate control.
+    PshufW,
+    /// Insert a word from an integer register.
+    PinsrW,
+    /// Extract a word to an integer register.
+    PextrW,
+    // -- data movement (3) ------------------------------------------------
+    /// Register-to-register 64-bit move.
+    MovQ,
+    /// Move a 32-bit value from an integer register into an MMX register.
+    MovdToMmx,
+    /// Move the low 32 bits of an MMX register to an integer register.
+    MovdFromMmx,
+    // -- memory (4) --------------------------------------------------------
+    /// 64-bit packed load.
+    LoadQ,
+    /// 64-bit packed store.
+    StoreQ,
+    /// 32-bit packed load (zero-extended into the register).
+    LoadMovD,
+    /// 32-bit packed store (low half).
+    StoreMovD,
+    // -- paper's reduction additions (4) ------------------------------------
+    /// Horizontal add of the four words into a scalar (paper extra).
+    PredaddW,
+    /// Horizontal add of the two dwords into a scalar (paper extra).
+    PredaddD,
+    /// Horizontal maximum of the four words (paper extra).
+    PredmaxW,
+    /// Horizontal minimum of the four words (paper extra).
+    PredminW,
+}
+
+impl MmxOp {
+    /// All 67 MMX opcodes in a stable order.
+    pub const ALL: [MmxOp; 67] = [
+        MmxOp::PaddB,
+        MmxOp::PaddW,
+        MmxOp::PaddD,
+        MmxOp::PsubB,
+        MmxOp::PsubW,
+        MmxOp::PsubD,
+        MmxOp::PaddsB,
+        MmxOp::PaddsW,
+        MmxOp::PaddusB,
+        MmxOp::PaddusW,
+        MmxOp::PsubsB,
+        MmxOp::PsubsW,
+        MmxOp::PsubusB,
+        MmxOp::PsubusW,
+        MmxOp::PmullW,
+        MmxOp::PmulhW,
+        MmxOp::PmulhuW,
+        MmxOp::PmaddWd,
+        MmxOp::PcmpeqB,
+        MmxOp::PcmpeqW,
+        MmxOp::PcmpeqD,
+        MmxOp::PcmpgtB,
+        MmxOp::PcmpgtW,
+        MmxOp::PcmpgtD,
+        MmxOp::Pand,
+        MmxOp::Pandn,
+        MmxOp::Por,
+        MmxOp::Pxor,
+        MmxOp::PsllW,
+        MmxOp::PsllD,
+        MmxOp::PsllQ,
+        MmxOp::PsrlW,
+        MmxOp::PsrlD,
+        MmxOp::PsrlQ,
+        MmxOp::PsraW,
+        MmxOp::PsraD,
+        MmxOp::PackssWb,
+        MmxOp::PackssDw,
+        MmxOp::PackusWb,
+        MmxOp::PunpcklBw,
+        MmxOp::PunpcklWd,
+        MmxOp::PunpcklDq,
+        MmxOp::PunpckhBw,
+        MmxOp::PunpckhWd,
+        MmxOp::PunpckhDq,
+        MmxOp::PavgB,
+        MmxOp::PavgW,
+        MmxOp::PmaxUb,
+        MmxOp::PmaxSw,
+        MmxOp::PminUb,
+        MmxOp::PminSw,
+        MmxOp::PsadBw,
+        MmxOp::PmovmskB,
+        MmxOp::PshufW,
+        MmxOp::PinsrW,
+        MmxOp::PextrW,
+        MmxOp::MovQ,
+        MmxOp::MovdToMmx,
+        MmxOp::MovdFromMmx,
+        MmxOp::LoadQ,
+        MmxOp::StoreQ,
+        MmxOp::LoadMovD,
+        MmxOp::StoreMovD,
+        MmxOp::PredaddW,
+        MmxOp::PredaddD,
+        MmxOp::PredmaxW,
+        MmxOp::PredminW,
+    ];
+
+    /// Number of MMX opcodes (67 exactly, per §3 of the paper).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this opcode accesses memory.
+    #[must_use]
+    pub const fn is_mem(self) -> bool {
+        matches!(
+            self,
+            MmxOp::LoadQ | MmxOp::StoreQ | MmxOp::LoadMovD | MmxOp::StoreMovD
+        )
+    }
+
+    /// Whether this opcode writes memory.
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(self, MmxOp::StoreQ | MmxOp::StoreMovD)
+    }
+
+    /// Whether this opcode uses the packed-multiply pipe (longer latency).
+    #[must_use]
+    pub const fn is_mul(self) -> bool {
+        matches!(
+            self,
+            MmxOp::PmullW | MmxOp::PmulhW | MmxOp::PmulhuW | MmxOp::PmaddWd | MmxOp::PsadBw
+        )
+    }
+
+    /// Whether this opcode performs a horizontal reduction (the paper's
+    /// extra reduction operations).
+    #[must_use]
+    pub const fn is_reduction(self) -> bool {
+        matches!(
+            self,
+            MmxOp::PredaddW | MmxOp::PredaddD | MmxOp::PredmaxW | MmxOp::PredminW | MmxOp::PsadBw
+        )
+    }
+
+    /// The element type the operation's lanes are interpreted as.
+    #[must_use]
+    pub const fn elem_type(self) -> ElemType {
+        match self {
+            MmxOp::PaddB | MmxOp::PsubB | MmxOp::PcmpeqB | MmxOp::PcmpgtB | MmxOp::PunpcklBw
+            | MmxOp::PunpckhBw | MmxOp::PmovmskB => ElemType::I8,
+            MmxOp::PaddusB | MmxOp::PsubusB | MmxOp::PavgB | MmxOp::PmaxUb | MmxOp::PminUb
+            | MmxOp::PsadBw => ElemType::U8,
+            MmxOp::PaddsB | MmxOp::PsubsB | MmxOp::PackssWb | MmxOp::PackusWb => ElemType::I8,
+            MmxOp::PaddW | MmxOp::PsubW | MmxOp::PaddsW | MmxOp::PsubsW | MmxOp::PmullW
+            | MmxOp::PmulhW | MmxOp::PmaddWd | MmxOp::PcmpeqW | MmxOp::PcmpgtW | MmxOp::PsllW
+            | MmxOp::PsrlW | MmxOp::PsraW | MmxOp::PackssDw | MmxOp::PunpcklWd | MmxOp::PunpckhWd
+            | MmxOp::PmaxSw | MmxOp::PminSw | MmxOp::PshufW | MmxOp::PinsrW | MmxOp::PextrW
+            | MmxOp::PredaddW | MmxOp::PredmaxW | MmxOp::PredminW => ElemType::I16,
+            MmxOp::PaddusW | MmxOp::PsubusW | MmxOp::PavgW | MmxOp::PmulhuW => ElemType::U16,
+            MmxOp::PaddD | MmxOp::PsubD | MmxOp::PcmpeqD | MmxOp::PcmpgtD | MmxOp::PsllD
+            | MmxOp::PsrlD | MmxOp::PsraD | MmxOp::PunpcklDq | MmxOp::PunpckhDq
+            | MmxOp::PredaddD => ElemType::I32,
+            MmxOp::PsllQ | MmxOp::PsrlQ | MmxOp::Pand | MmxOp::Pandn | MmxOp::Por | MmxOp::Pxor
+            | MmxOp::MovQ | MmxOp::MovdToMmx | MmxOp::MovdFromMmx | MmxOp::LoadQ | MmxOp::StoreQ
+            | MmxOp::LoadMovD | MmxOp::StoreMovD => ElemType::Q64,
+        }
+    }
+
+    /// Access size in bytes for memory opcodes (0 for non-memory ops).
+    #[must_use]
+    pub const fn mem_size(self) -> u8 {
+        match self {
+            MmxOp::LoadQ | MmxOp::StoreQ => 8,
+            MmxOp::LoadMovD | MmxOp::StoreMovD => 4,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            MmxOp::PaddB => "padd.b",
+            MmxOp::PaddW => "padd.w",
+            MmxOp::PaddD => "padd.d",
+            MmxOp::PsubB => "psub.b",
+            MmxOp::PsubW => "psub.w",
+            MmxOp::PsubD => "psub.d",
+            MmxOp::PaddsB => "padds.b",
+            MmxOp::PaddsW => "padds.w",
+            MmxOp::PaddusB => "paddus.b",
+            MmxOp::PaddusW => "paddus.w",
+            MmxOp::PsubsB => "psubs.b",
+            MmxOp::PsubsW => "psubs.w",
+            MmxOp::PsubusB => "psubus.b",
+            MmxOp::PsubusW => "psubus.w",
+            MmxOp::PmullW => "pmull.w",
+            MmxOp::PmulhW => "pmulh.w",
+            MmxOp::PmulhuW => "pmulhu.w",
+            MmxOp::PmaddWd => "pmadd.wd",
+            MmxOp::PcmpeqB => "pcmpeq.b",
+            MmxOp::PcmpeqW => "pcmpeq.w",
+            MmxOp::PcmpeqD => "pcmpeq.d",
+            MmxOp::PcmpgtB => "pcmpgt.b",
+            MmxOp::PcmpgtW => "pcmpgt.w",
+            MmxOp::PcmpgtD => "pcmpgt.d",
+            MmxOp::Pand => "pand",
+            MmxOp::Pandn => "pandn",
+            MmxOp::Por => "por",
+            MmxOp::Pxor => "pxor",
+            MmxOp::PsllW => "psll.w",
+            MmxOp::PsllD => "psll.d",
+            MmxOp::PsllQ => "psll.q",
+            MmxOp::PsrlW => "psrl.w",
+            MmxOp::PsrlD => "psrl.d",
+            MmxOp::PsrlQ => "psrl.q",
+            MmxOp::PsraW => "psra.w",
+            MmxOp::PsraD => "psra.d",
+            MmxOp::PackssWb => "packss.wb",
+            MmxOp::PackssDw => "packss.dw",
+            MmxOp::PackusWb => "packus.wb",
+            MmxOp::PunpcklBw => "punpckl.bw",
+            MmxOp::PunpcklWd => "punpckl.wd",
+            MmxOp::PunpcklDq => "punpckl.dq",
+            MmxOp::PunpckhBw => "punpckh.bw",
+            MmxOp::PunpckhWd => "punpckh.wd",
+            MmxOp::PunpckhDq => "punpckh.dq",
+            MmxOp::PavgB => "pavg.b",
+            MmxOp::PavgW => "pavg.w",
+            MmxOp::PmaxUb => "pmax.ub",
+            MmxOp::PmaxSw => "pmax.sw",
+            MmxOp::PminUb => "pmin.ub",
+            MmxOp::PminSw => "pmin.sw",
+            MmxOp::PsadBw => "psad.bw",
+            MmxOp::PmovmskB => "pmovmsk.b",
+            MmxOp::PshufW => "pshuf.w",
+            MmxOp::PinsrW => "pinsr.w",
+            MmxOp::PextrW => "pextr.w",
+            MmxOp::MovQ => "movq",
+            MmxOp::MovdToMmx => "movd.to",
+            MmxOp::MovdFromMmx => "movd.from",
+            MmxOp::LoadQ => "ldq.m",
+            MmxOp::StoreQ => "stq.m",
+            MmxOp::LoadMovD => "ldd.m",
+            MmxOp::StoreMovD => "std.m",
+            MmxOp::PredaddW => "predadd.w",
+            MmxOp::PredaddD => "predadd.d",
+            MmxOp::PredmaxW => "predmax.w",
+            MmxOp::PredminW => "predmin.w",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_67_opcodes_per_paper() {
+        assert_eq!(MmxOp::COUNT, 67);
+        let set: HashSet<_> = MmxOp::ALL.iter().collect();
+        assert_eq!(set.len(), 67, "duplicate opcode in ALL");
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let set: HashSet<_> = MmxOp::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), 67);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(MmxOp::LoadQ.is_mem());
+        assert!(MmxOp::StoreQ.is_mem());
+        assert!(MmxOp::StoreQ.is_store());
+        assert!(!MmxOp::LoadQ.is_store());
+        assert!(!MmxOp::PaddB.is_mem());
+        assert_eq!(MmxOp::LoadQ.mem_size(), 8);
+        assert_eq!(MmxOp::LoadMovD.mem_size(), 4);
+        assert_eq!(MmxOp::Pxor.mem_size(), 0);
+    }
+
+    #[test]
+    fn multiply_pipe_classification() {
+        assert!(MmxOp::PmaddWd.is_mul());
+        assert!(MmxOp::PsadBw.is_mul());
+        assert!(!MmxOp::PaddB.is_mul());
+    }
+
+    #[test]
+    fn reduction_classification() {
+        assert!(MmxOp::PredaddW.is_reduction());
+        assert!(MmxOp::PsadBw.is_reduction());
+        assert!(!MmxOp::PaddW.is_reduction());
+    }
+
+    #[test]
+    fn elem_types_are_sensible() {
+        assert_eq!(MmxOp::PaddB.elem_type().lanes(), 8);
+        assert_eq!(MmxOp::PaddW.elem_type().lanes(), 4);
+        assert_eq!(MmxOp::PaddD.elem_type().lanes(), 2);
+        assert_eq!(MmxOp::Pand.elem_type(), ElemType::Q64);
+        assert!(MmxOp::PaddusB.elem_type() == ElemType::U8);
+        assert!(MmxOp::PaddsW.elem_type().is_signed());
+    }
+}

@@ -1,0 +1,763 @@
+//! MOM — the streaming vector μ-SIMD extension.
+//!
+//! MOM ("Exploiting a new level of DLP in multimedia applications",
+//! Corbal/Espasa/Valero, MICRO-32 1999) combines packed μ-SIMD with a
+//! conventional vector ISA: one MOM instruction applies an MMX-like
+//! operation over a *stream* of up to 16 consecutive 64-bit element
+//! groups held in a stream register. The HPCA 2001 paper models MOM with
+//! **121 opcodes**, **16 logical stream registers** (16 × 64-bit each),
+//! **2 packed accumulators of 192 bits**, and a **stream-length register**
+//! renamed through the integer pool. Stream memory instructions add a
+//! **stride** between consecutive element groups, which "allows to work
+//! over small sparse matrices of data" (image/video rows).
+//!
+//! Opcode families:
+//!
+//! * `V*` vector-vector forms mirroring the MMX families;
+//! * `*Vs` vector-scalar forms (second operand is an MMX register
+//!   broadcast across the stream, MDMX-style);
+//! * `Acc*` / `RdAcc*` packed-accumulator reduction ops;
+//! * `Vload*` / `Vstore*` stream memory with unit or arbitrary stride;
+//! * movement/misc (broadcast, insert/extract, select, clip, transpose).
+
+use crate::elem::ElemType;
+use crate::mmx::MmxOp;
+use serde::{Deserialize, Serialize};
+
+/// A MOM streaming μ-SIMD opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MomOp {
+    // -- stream packed add/sub, wrapping (6) ---------------------------
+    VaddB,
+    VaddW,
+    VaddD,
+    VsubB,
+    VsubW,
+    VsubD,
+    // -- stream packed add/sub, saturating (8) --------------------------
+    VaddsB,
+    VaddsW,
+    VaddusB,
+    VaddusW,
+    VsubsB,
+    VsubsW,
+    VsubusB,
+    VsubusW,
+    // -- stream multiplies (4) ------------------------------------------
+    VmullW,
+    VmulhW,
+    VmulhuW,
+    VmaddWd,
+    // -- stream compares (6) ----------------------------------------------
+    VcmpeqB,
+    VcmpeqW,
+    VcmpeqD,
+    VcmpgtB,
+    VcmpgtW,
+    VcmpgtD,
+    // -- stream logicals (4) -----------------------------------------------
+    Vand,
+    Vandn,
+    Vor,
+    Vxor,
+    // -- stream shifts (8) ---------------------------------------------------
+    VsllW,
+    VsllD,
+    VsllQ,
+    VsrlW,
+    VsrlD,
+    VsrlQ,
+    VsraW,
+    VsraD,
+    // -- stream pack/unpack (9) -----------------------------------------------
+    VpackssWb,
+    VpackssDw,
+    VpackusWb,
+    VpunpcklBw,
+    VpunpcklWd,
+    VpunpcklDq,
+    VpunpckhBw,
+    VpunpckhWd,
+    VpunpckhDq,
+    // -- stream avg/min/max/sad (7) ---------------------------------------------
+    VavgB,
+    VavgW,
+    VmaxUb,
+    VmaxSw,
+    VminUb,
+    VminSw,
+    VsadBw,
+    // -- vector-scalar forms (16): MMX register broadcast as 2nd operand ----------
+    VaddBVs,
+    VaddWVs,
+    VaddDVs,
+    VsubBVs,
+    VsubWVs,
+    VsubDVs,
+    VmullWVs,
+    VmulhWVs,
+    VmaddWdVs,
+    VmaxSwVs,
+    VminSwVs,
+    VmaxUbVs,
+    VminUbVs,
+    VandVs,
+    VorVs,
+    VxorVs,
+    // -- packed accumulator ops (17) ------------------------------------------------
+    /// Accumulate byte lanes of a whole stream into the 192-bit accumulator.
+    AccAddB,
+    /// Accumulate word lanes of a whole stream.
+    AccAddW,
+    AccSubB,
+    AccSubW,
+    /// Signed 16-bit multiply-accumulate across the stream.
+    AccMacW,
+    /// Unsigned 16-bit multiply-accumulate across the stream.
+    AccMacuW,
+    /// Pairwise 16×16→32 multiply-add accumulate (dot product step).
+    AccMaddWd,
+    /// Sum-of-absolute-differences accumulate (motion estimation).
+    AccSadB,
+    /// Read accumulator back to an MMX register with signed saturation (bytes).
+    RdAccSatB,
+    /// Read accumulator back with signed saturation (words).
+    RdAccSatW,
+    /// Read accumulator back with rounding shift (bytes).
+    RdAccRndB,
+    /// Read accumulator back with rounding shift (words).
+    RdAccRndW,
+    /// Horizontal sum of accumulator lanes into an integer register.
+    AccRedAddW,
+    /// Horizontal sum of dword accumulator lanes.
+    AccRedAddD,
+    /// Horizontal max of accumulator lanes.
+    AccRedMaxW,
+    /// Horizontal min of accumulator lanes.
+    AccRedMinW,
+    /// Clear the accumulator.
+    AccClear,
+    // -- stream memory (6) -------------------------------------------------------------
+    /// Unit-stride stream load of 64-bit groups.
+    VloadQ,
+    /// Unit-stride stream store of 64-bit groups.
+    VstoreQ,
+    /// Strided stream load (stride in bytes between 64-bit groups).
+    VloadStride,
+    /// Strided stream store.
+    VstoreStride,
+    /// Unit-stride stream load of 32-bit groups (zero-extended).
+    VloadD,
+    /// Unit-stride stream store of 32-bit groups.
+    VstoreD,
+    // -- movement & control (8) -----------------------------------------------------------
+    /// Stream register move.
+    Vmov,
+    /// Insert an MMX register into a stream element group.
+    VinsQ,
+    /// Extract a stream element group into an MMX register.
+    VextQ,
+    /// Broadcast an integer byte value across a whole stream.
+    VbcastB,
+    /// Broadcast a 16-bit value across a whole stream.
+    VbcastW,
+    /// Broadcast a 32-bit value across a whole stream.
+    VbcastD,
+    /// Set the stream-length register (renamed through the integer pool).
+    SetVl,
+    /// Zero a stream register.
+    Vzero,
+    // -- shuffle/select/misc (22) ------------------------------------------------------------
+    VshufW,
+    /// Lane select under mask (bytes).
+    VselB,
+    VselW,
+    VselD,
+    /// Absolute difference (bytes).
+    VabsdB,
+    VabsdW,
+    /// Logical shift right with rounding.
+    VsrlRndW,
+    VsrlRndD,
+    /// Arithmetic shift right with rounding.
+    VsraRndW,
+    VsraRndD,
+    /// Clip signed words to a range.
+    VclipSw,
+    /// Clip to unsigned byte range.
+    VclipUb,
+    /// Count leading zeros per word lane.
+    VclzW,
+    /// Population count per byte lane.
+    VpcntB,
+    VmaxUw,
+    VmaxSb,
+    VminUw,
+    VminSb,
+    /// Fixed-point multiply-and-shift (scale) on words.
+    VscaleW,
+    /// Fixed-point multiply-and-shift on dwords.
+    VscaleD,
+    /// Stream prefetch hint.
+    Vprefetch,
+    /// Matrix transpose helper across element groups.
+    Vtrans,
+}
+
+impl MomOp {
+    /// All 121 MOM opcodes in a stable order.
+    pub const ALL: [MomOp; 121] = [
+        MomOp::VaddB,
+        MomOp::VaddW,
+        MomOp::VaddD,
+        MomOp::VsubB,
+        MomOp::VsubW,
+        MomOp::VsubD,
+        MomOp::VaddsB,
+        MomOp::VaddsW,
+        MomOp::VaddusB,
+        MomOp::VaddusW,
+        MomOp::VsubsB,
+        MomOp::VsubsW,
+        MomOp::VsubusB,
+        MomOp::VsubusW,
+        MomOp::VmullW,
+        MomOp::VmulhW,
+        MomOp::VmulhuW,
+        MomOp::VmaddWd,
+        MomOp::VcmpeqB,
+        MomOp::VcmpeqW,
+        MomOp::VcmpeqD,
+        MomOp::VcmpgtB,
+        MomOp::VcmpgtW,
+        MomOp::VcmpgtD,
+        MomOp::Vand,
+        MomOp::Vandn,
+        MomOp::Vor,
+        MomOp::Vxor,
+        MomOp::VsllW,
+        MomOp::VsllD,
+        MomOp::VsllQ,
+        MomOp::VsrlW,
+        MomOp::VsrlD,
+        MomOp::VsrlQ,
+        MomOp::VsraW,
+        MomOp::VsraD,
+        MomOp::VpackssWb,
+        MomOp::VpackssDw,
+        MomOp::VpackusWb,
+        MomOp::VpunpcklBw,
+        MomOp::VpunpcklWd,
+        MomOp::VpunpcklDq,
+        MomOp::VpunpckhBw,
+        MomOp::VpunpckhWd,
+        MomOp::VpunpckhDq,
+        MomOp::VavgB,
+        MomOp::VavgW,
+        MomOp::VmaxUb,
+        MomOp::VmaxSw,
+        MomOp::VminUb,
+        MomOp::VminSw,
+        MomOp::VsadBw,
+        MomOp::VaddBVs,
+        MomOp::VaddWVs,
+        MomOp::VaddDVs,
+        MomOp::VsubBVs,
+        MomOp::VsubWVs,
+        MomOp::VsubDVs,
+        MomOp::VmullWVs,
+        MomOp::VmulhWVs,
+        MomOp::VmaddWdVs,
+        MomOp::VmaxSwVs,
+        MomOp::VminSwVs,
+        MomOp::VmaxUbVs,
+        MomOp::VminUbVs,
+        MomOp::VandVs,
+        MomOp::VorVs,
+        MomOp::VxorVs,
+        MomOp::AccAddB,
+        MomOp::AccAddW,
+        MomOp::AccSubB,
+        MomOp::AccSubW,
+        MomOp::AccMacW,
+        MomOp::AccMacuW,
+        MomOp::AccMaddWd,
+        MomOp::AccSadB,
+        MomOp::RdAccSatB,
+        MomOp::RdAccSatW,
+        MomOp::RdAccRndB,
+        MomOp::RdAccRndW,
+        MomOp::AccRedAddW,
+        MomOp::AccRedAddD,
+        MomOp::AccRedMaxW,
+        MomOp::AccRedMinW,
+        MomOp::AccClear,
+        MomOp::VloadQ,
+        MomOp::VstoreQ,
+        MomOp::VloadStride,
+        MomOp::VstoreStride,
+        MomOp::VloadD,
+        MomOp::VstoreD,
+        MomOp::Vmov,
+        MomOp::VinsQ,
+        MomOp::VextQ,
+        MomOp::VbcastB,
+        MomOp::VbcastW,
+        MomOp::VbcastD,
+        MomOp::SetVl,
+        MomOp::Vzero,
+        MomOp::VshufW,
+        MomOp::VselB,
+        MomOp::VselW,
+        MomOp::VselD,
+        MomOp::VabsdB,
+        MomOp::VabsdW,
+        MomOp::VsrlRndW,
+        MomOp::VsrlRndD,
+        MomOp::VsraRndW,
+        MomOp::VsraRndD,
+        MomOp::VclipSw,
+        MomOp::VclipUb,
+        MomOp::VclzW,
+        MomOp::VpcntB,
+        MomOp::VmaxUw,
+        MomOp::VmaxSb,
+        MomOp::VminUw,
+        MomOp::VminSb,
+        MomOp::VscaleW,
+        MomOp::VscaleD,
+        MomOp::Vprefetch,
+        MomOp::Vtrans,
+    ];
+
+    /// Number of MOM opcodes (121 exactly, per §3 of the paper).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this opcode accesses memory.
+    #[must_use]
+    pub const fn is_mem(self) -> bool {
+        matches!(
+            self,
+            MomOp::VloadQ
+                | MomOp::VstoreQ
+                | MomOp::VloadStride
+                | MomOp::VstoreStride
+                | MomOp::VloadD
+                | MomOp::VstoreD
+                | MomOp::Vprefetch
+        )
+    }
+
+    /// Whether this opcode writes memory.
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(self, MomOp::VstoreQ | MomOp::VstoreStride | MomOp::VstoreD)
+    }
+
+    /// Whether the opcode uses a non-unit stride operand.
+    #[must_use]
+    pub const fn is_strided(self) -> bool {
+        matches!(self, MomOp::VloadStride | MomOp::VstoreStride)
+    }
+
+    /// Whether this opcode uses the packed-multiply pipe.
+    #[must_use]
+    pub const fn is_mul(self) -> bool {
+        matches!(
+            self,
+            MomOp::VmullW
+                | MomOp::VmulhW
+                | MomOp::VmulhuW
+                | MomOp::VmaddWd
+                | MomOp::VmullWVs
+                | MomOp::VmulhWVs
+                | MomOp::VmaddWdVs
+                | MomOp::AccMacW
+                | MomOp::AccMacuW
+                | MomOp::AccMaddWd
+                | MomOp::AccSadB
+                | MomOp::VsadBw
+                | MomOp::VscaleW
+                | MomOp::VscaleD
+        )
+    }
+
+    /// Whether the opcode reads or writes a packed accumulator.
+    #[must_use]
+    pub const fn uses_acc(self) -> bool {
+        self.writes_acc() || self.reads_acc()
+    }
+
+    /// Whether the opcode writes (accumulates into or clears) an accumulator.
+    #[must_use]
+    pub const fn writes_acc(self) -> bool {
+        matches!(
+            self,
+            MomOp::AccAddB
+                | MomOp::AccAddW
+                | MomOp::AccSubB
+                | MomOp::AccSubW
+                | MomOp::AccMacW
+                | MomOp::AccMacuW
+                | MomOp::AccMaddWd
+                | MomOp::AccSadB
+                | MomOp::AccClear
+        )
+    }
+
+    /// Whether the opcode reads an accumulator (read-back and reductions).
+    #[must_use]
+    pub const fn reads_acc(self) -> bool {
+        matches!(
+            self,
+            MomOp::RdAccSatB
+                | MomOp::RdAccSatW
+                | MomOp::RdAccRndB
+                | MomOp::RdAccRndW
+                | MomOp::AccRedAddW
+                | MomOp::AccRedAddD
+                | MomOp::AccRedMaxW
+                | MomOp::AccRedMinW
+        )
+    }
+
+    /// Whether this opcode's second source is a broadcast MMX scalar
+    /// (vector-scalar form).
+    #[must_use]
+    pub const fn is_vector_scalar(self) -> bool {
+        matches!(
+            self,
+            MomOp::VaddBVs
+                | MomOp::VaddWVs
+                | MomOp::VaddDVs
+                | MomOp::VsubBVs
+                | MomOp::VsubWVs
+                | MomOp::VsubDVs
+                | MomOp::VmullWVs
+                | MomOp::VmulhWVs
+                | MomOp::VmaddWdVs
+                | MomOp::VmaxSwVs
+                | MomOp::VminSwVs
+                | MomOp::VmaxUbVs
+                | MomOp::VminUbVs
+                | MomOp::VandVs
+                | MomOp::VorVs
+                | MomOp::VxorVs
+        )
+    }
+
+    /// The MMX opcode this stream opcode applies per element group, when
+    /// there is a direct correspondence. Stream control, accumulator and
+    /// memory ops return `None`.
+    #[must_use]
+    pub const fn mmx_equiv(self) -> Option<MmxOp> {
+        Some(match self {
+            MomOp::VaddB | MomOp::VaddBVs => MmxOp::PaddB,
+            MomOp::VaddW | MomOp::VaddWVs => MmxOp::PaddW,
+            MomOp::VaddD | MomOp::VaddDVs => MmxOp::PaddD,
+            MomOp::VsubB | MomOp::VsubBVs => MmxOp::PsubB,
+            MomOp::VsubW | MomOp::VsubWVs => MmxOp::PsubW,
+            MomOp::VsubD | MomOp::VsubDVs => MmxOp::PsubD,
+            MomOp::VaddsB => MmxOp::PaddsB,
+            MomOp::VaddsW => MmxOp::PaddsW,
+            MomOp::VaddusB => MmxOp::PaddusB,
+            MomOp::VaddusW => MmxOp::PaddusW,
+            MomOp::VsubsB => MmxOp::PsubsB,
+            MomOp::VsubsW => MmxOp::PsubsW,
+            MomOp::VsubusB => MmxOp::PsubusB,
+            MomOp::VsubusW => MmxOp::PsubusW,
+            MomOp::VmullW | MomOp::VmullWVs => MmxOp::PmullW,
+            MomOp::VmulhW | MomOp::VmulhWVs => MmxOp::PmulhW,
+            MomOp::VmulhuW => MmxOp::PmulhuW,
+            MomOp::VmaddWd | MomOp::VmaddWdVs => MmxOp::PmaddWd,
+            MomOp::VcmpeqB => MmxOp::PcmpeqB,
+            MomOp::VcmpeqW => MmxOp::PcmpeqW,
+            MomOp::VcmpeqD => MmxOp::PcmpeqD,
+            MomOp::VcmpgtB => MmxOp::PcmpgtB,
+            MomOp::VcmpgtW => MmxOp::PcmpgtW,
+            MomOp::VcmpgtD => MmxOp::PcmpgtD,
+            MomOp::Vand | MomOp::VandVs => MmxOp::Pand,
+            MomOp::Vandn => MmxOp::Pandn,
+            MomOp::Vor | MomOp::VorVs => MmxOp::Por,
+            MomOp::Vxor | MomOp::VxorVs => MmxOp::Pxor,
+            MomOp::VsllW => MmxOp::PsllW,
+            MomOp::VsllD => MmxOp::PsllD,
+            MomOp::VsllQ => MmxOp::PsllQ,
+            MomOp::VsrlW => MmxOp::PsrlW,
+            MomOp::VsrlD => MmxOp::PsrlD,
+            MomOp::VsrlQ => MmxOp::PsrlQ,
+            MomOp::VsraW => MmxOp::PsraW,
+            MomOp::VsraD => MmxOp::PsraD,
+            MomOp::VpackssWb => MmxOp::PackssWb,
+            MomOp::VpackssDw => MmxOp::PackssDw,
+            MomOp::VpackusWb => MmxOp::PackusWb,
+            MomOp::VpunpcklBw => MmxOp::PunpcklBw,
+            MomOp::VpunpcklWd => MmxOp::PunpcklWd,
+            MomOp::VpunpcklDq => MmxOp::PunpcklDq,
+            MomOp::VpunpckhBw => MmxOp::PunpckhBw,
+            MomOp::VpunpckhWd => MmxOp::PunpckhWd,
+            MomOp::VpunpckhDq => MmxOp::PunpckhDq,
+            MomOp::VavgB => MmxOp::PavgB,
+            MomOp::VavgW => MmxOp::PavgW,
+            MomOp::VmaxUb | MomOp::VmaxUbVs => MmxOp::PmaxUb,
+            MomOp::VmaxSw | MomOp::VmaxSwVs => MmxOp::PmaxSw,
+            MomOp::VminUb | MomOp::VminUbVs => MmxOp::PminUb,
+            MomOp::VminSw | MomOp::VminSwVs => MmxOp::PminSw,
+            MomOp::VsadBw => MmxOp::PsadBw,
+            MomOp::VshufW => MmxOp::PshufW,
+            _ => return None,
+        })
+    }
+
+    /// The element type the operation's lanes are interpreted as.
+    #[must_use]
+    pub fn elem_type(self) -> ElemType {
+        if let Some(m) = self.mmx_equiv() {
+            return m.elem_type();
+        }
+        match self {
+            MomOp::AccAddB | MomOp::AccSubB | MomOp::AccSadB | MomOp::RdAccSatB
+            | MomOp::RdAccRndB | MomOp::VbcastB | MomOp::VselB | MomOp::VabsdB
+            | MomOp::VpcntB | MomOp::VclipUb | MomOp::VmaxSb | MomOp::VminSb => ElemType::I8,
+            MomOp::AccAddW | MomOp::AccSubW | MomOp::AccMacW | MomOp::AccMacuW
+            | MomOp::RdAccSatW | MomOp::RdAccRndW | MomOp::AccRedAddW | MomOp::AccRedMaxW
+            | MomOp::AccRedMinW | MomOp::VbcastW | MomOp::VselW | MomOp::VabsdW
+            | MomOp::VsrlRndW | MomOp::VsraRndW | MomOp::VclipSw | MomOp::VclzW
+            | MomOp::VmaxUw | MomOp::VminUw | MomOp::VscaleW => ElemType::I16,
+            MomOp::AccMaddWd | MomOp::AccRedAddD | MomOp::VbcastD | MomOp::VselD
+            | MomOp::VsrlRndD | MomOp::VsraRndD | MomOp::VscaleD => ElemType::I32,
+            _ => ElemType::Q64,
+        }
+    }
+
+    /// Per-element-group access size in bytes for memory opcodes (0
+    /// otherwise).
+    #[must_use]
+    pub const fn mem_size(self) -> u8 {
+        match self {
+            MomOp::VloadQ | MomOp::VstoreQ | MomOp::VloadStride | MomOp::VstoreStride => 8,
+            MomOp::VloadD | MomOp::VstoreD => 4,
+            MomOp::Vprefetch => 32,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MomOp::VaddB => "vadd.b",
+            MomOp::VaddW => "vadd.w",
+            MomOp::VaddD => "vadd.d",
+            MomOp::VsubB => "vsub.b",
+            MomOp::VsubW => "vsub.w",
+            MomOp::VsubD => "vsub.d",
+            MomOp::VaddsB => "vadds.b",
+            MomOp::VaddsW => "vadds.w",
+            MomOp::VaddusB => "vaddus.b",
+            MomOp::VaddusW => "vaddus.w",
+            MomOp::VsubsB => "vsubs.b",
+            MomOp::VsubsW => "vsubs.w",
+            MomOp::VsubusB => "vsubus.b",
+            MomOp::VsubusW => "vsubus.w",
+            MomOp::VmullW => "vmull.w",
+            MomOp::VmulhW => "vmulh.w",
+            MomOp::VmulhuW => "vmulhu.w",
+            MomOp::VmaddWd => "vmadd.wd",
+            MomOp::VcmpeqB => "vcmpeq.b",
+            MomOp::VcmpeqW => "vcmpeq.w",
+            MomOp::VcmpeqD => "vcmpeq.d",
+            MomOp::VcmpgtB => "vcmpgt.b",
+            MomOp::VcmpgtW => "vcmpgt.w",
+            MomOp::VcmpgtD => "vcmpgt.d",
+            MomOp::Vand => "vand",
+            MomOp::Vandn => "vandn",
+            MomOp::Vor => "vor",
+            MomOp::Vxor => "vxor",
+            MomOp::VsllW => "vsll.w",
+            MomOp::VsllD => "vsll.d",
+            MomOp::VsllQ => "vsll.q",
+            MomOp::VsrlW => "vsrl.w",
+            MomOp::VsrlD => "vsrl.d",
+            MomOp::VsrlQ => "vsrl.q",
+            MomOp::VsraW => "vsra.w",
+            MomOp::VsraD => "vsra.d",
+            MomOp::VpackssWb => "vpackss.wb",
+            MomOp::VpackssDw => "vpackss.dw",
+            MomOp::VpackusWb => "vpackus.wb",
+            MomOp::VpunpcklBw => "vpunpckl.bw",
+            MomOp::VpunpcklWd => "vpunpckl.wd",
+            MomOp::VpunpcklDq => "vpunpckl.dq",
+            MomOp::VpunpckhBw => "vpunpckh.bw",
+            MomOp::VpunpckhWd => "vpunpckh.wd",
+            MomOp::VpunpckhDq => "vpunpckh.dq",
+            MomOp::VavgB => "vavg.b",
+            MomOp::VavgW => "vavg.w",
+            MomOp::VmaxUb => "vmax.ub",
+            MomOp::VmaxSw => "vmax.sw",
+            MomOp::VminUb => "vmin.ub",
+            MomOp::VminSw => "vmin.sw",
+            MomOp::VsadBw => "vsad.bw",
+            MomOp::VaddBVs => "vadd.b.vs",
+            MomOp::VaddWVs => "vadd.w.vs",
+            MomOp::VaddDVs => "vadd.d.vs",
+            MomOp::VsubBVs => "vsub.b.vs",
+            MomOp::VsubWVs => "vsub.w.vs",
+            MomOp::VsubDVs => "vsub.d.vs",
+            MomOp::VmullWVs => "vmull.w.vs",
+            MomOp::VmulhWVs => "vmulh.w.vs",
+            MomOp::VmaddWdVs => "vmadd.wd.vs",
+            MomOp::VmaxSwVs => "vmax.sw.vs",
+            MomOp::VminSwVs => "vmin.sw.vs",
+            MomOp::VmaxUbVs => "vmax.ub.vs",
+            MomOp::VminUbVs => "vmin.ub.vs",
+            MomOp::VandVs => "vand.vs",
+            MomOp::VorVs => "vor.vs",
+            MomOp::VxorVs => "vxor.vs",
+            MomOp::AccAddB => "acc.add.b",
+            MomOp::AccAddW => "acc.add.w",
+            MomOp::AccSubB => "acc.sub.b",
+            MomOp::AccSubW => "acc.sub.w",
+            MomOp::AccMacW => "acc.mac.w",
+            MomOp::AccMacuW => "acc.macu.w",
+            MomOp::AccMaddWd => "acc.madd.wd",
+            MomOp::AccSadB => "acc.sad.b",
+            MomOp::RdAccSatB => "rdacc.sat.b",
+            MomOp::RdAccSatW => "rdacc.sat.w",
+            MomOp::RdAccRndB => "rdacc.rnd.b",
+            MomOp::RdAccRndW => "rdacc.rnd.w",
+            MomOp::AccRedAddW => "acc.redadd.w",
+            MomOp::AccRedAddD => "acc.redadd.d",
+            MomOp::AccRedMaxW => "acc.redmax.w",
+            MomOp::AccRedMinW => "acc.redmin.w",
+            MomOp::AccClear => "acc.clear",
+            MomOp::VloadQ => "vld.q",
+            MomOp::VstoreQ => "vst.q",
+            MomOp::VloadStride => "vlds.q",
+            MomOp::VstoreStride => "vsts.q",
+            MomOp::VloadD => "vld.d",
+            MomOp::VstoreD => "vst.d",
+            MomOp::Vmov => "vmov",
+            MomOp::VinsQ => "vins.q",
+            MomOp::VextQ => "vext.q",
+            MomOp::VbcastB => "vbcast.b",
+            MomOp::VbcastW => "vbcast.w",
+            MomOp::VbcastD => "vbcast.d",
+            MomOp::SetVl => "setvl",
+            MomOp::Vzero => "vzero",
+            MomOp::VshufW => "vshuf.w",
+            MomOp::VselB => "vsel.b",
+            MomOp::VselW => "vsel.w",
+            MomOp::VselD => "vsel.d",
+            MomOp::VabsdB => "vabsd.b",
+            MomOp::VabsdW => "vabsd.w",
+            MomOp::VsrlRndW => "vsrlrnd.w",
+            MomOp::VsrlRndD => "vsrlrnd.d",
+            MomOp::VsraRndW => "vsrarnd.w",
+            MomOp::VsraRndD => "vsrarnd.d",
+            MomOp::VclipSw => "vclip.sw",
+            MomOp::VclipUb => "vclip.ub",
+            MomOp::VclzW => "vclz.w",
+            MomOp::VpcntB => "vpcnt.b",
+            MomOp::VmaxUw => "vmax.uw",
+            MomOp::VmaxSb => "vmax.sb",
+            MomOp::VminUw => "vmin.uw",
+            MomOp::VminSb => "vmin.sb",
+            MomOp::VscaleW => "vscale.w",
+            MomOp::VscaleD => "vscale.d",
+            MomOp::Vprefetch => "vpref",
+            MomOp::Vtrans => "vtrans",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_121_opcodes_per_paper() {
+        assert_eq!(MomOp::COUNT, 121);
+        let set: HashSet<_> = MomOp::ALL.iter().collect();
+        assert_eq!(set.len(), 121, "duplicate opcode in ALL");
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let set: HashSet<_> = MomOp::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), 121);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(MomOp::VloadQ.is_mem());
+        assert!(MomOp::VstoreStride.is_mem());
+        assert!(MomOp::VstoreStride.is_store());
+        assert!(MomOp::VstoreStride.is_strided());
+        assert!(!MomOp::VloadQ.is_strided());
+        assert!(!MomOp::VaddB.is_mem());
+        assert_eq!(MomOp::VloadQ.mem_size(), 8);
+        assert_eq!(MomOp::VloadD.mem_size(), 4);
+    }
+
+    #[test]
+    fn accumulator_classification() {
+        assert!(MomOp::AccMacW.writes_acc());
+        assert!(MomOp::AccMacW.uses_acc());
+        assert!(!MomOp::AccMacW.reads_acc());
+        assert!(MomOp::RdAccSatW.reads_acc());
+        assert!(MomOp::AccRedAddW.reads_acc());
+        assert!(MomOp::AccClear.writes_acc());
+        assert!(!MomOp::VaddB.uses_acc());
+        let acc_ops = MomOp::ALL.iter().filter(|o| o.uses_acc()).count();
+        assert_eq!(acc_ops, 17);
+    }
+
+    #[test]
+    fn vector_scalar_forms() {
+        let vs = MomOp::ALL.iter().filter(|o| o.is_vector_scalar()).count();
+        assert_eq!(vs, 16);
+        assert!(MomOp::VmaddWdVs.is_vector_scalar());
+        assert!(!MomOp::VmaddWd.is_vector_scalar());
+    }
+
+    #[test]
+    fn mmx_equivalences_cover_the_mirrored_families() {
+        // All the vector-vector arithmetic family must map to an MMX op.
+        for op in [
+            MomOp::VaddB,
+            MomOp::VsubusW,
+            MomOp::VmaddWd,
+            MomOp::VcmpgtD,
+            MomOp::Vxor,
+            MomOp::VsraW,
+            MomOp::VpackssWb,
+            MomOp::VavgB,
+            MomOp::VsadBw,
+        ] {
+            assert!(op.mmx_equiv().is_some(), "{op:?} should have an MMX equivalent");
+        }
+        // Control/memory/accumulator ops must not.
+        for op in [MomOp::VloadQ, MomOp::AccMacW, MomOp::SetVl, MomOp::Vtrans] {
+            assert!(op.mmx_equiv().is_none(), "{op:?} should have no MMX equivalent");
+        }
+    }
+
+    #[test]
+    fn elem_type_consistency_with_mmx_equiv() {
+        for op in MomOp::ALL {
+            if let Some(m) = op.mmx_equiv() {
+                assert_eq!(op.elem_type(), m.elem_type(), "{op:?} vs {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_classification() {
+        assert!(MomOp::AccMaddWd.is_mul());
+        assert!(MomOp::VscaleW.is_mul());
+        assert!(!MomOp::VaddB.is_mul());
+    }
+}

@@ -1,0 +1,235 @@
+//! Logical register model.
+//!
+//! The paper's machine has five architectural register spaces:
+//!
+//! | class | logical count | width | notes |
+//! |-------|---------------|-------|-------|
+//! | integer | 32 | 64 b | `r0` hardwired to zero, `r31` is the MOM stream-length register (renamed through the integer pool, §3) |
+//! | floating point | 32 | 64 b | |
+//! | MMX (packed μ-SIMD) | 32 | 64 b | the paper widens SSE's 8 logical registers to 32 |
+//! | MOM stream | 16 | 16 × 64 b | each stream register is 16 MMX-like registers |
+//! | packed accumulator | 2 | 192 b | MDMX-style reduction accumulators |
+
+use serde::{Deserialize, Serialize};
+
+/// Number of logical integer registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of logical floating-point registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Number of logical MMX (64-bit packed) registers.
+pub const NUM_SIMD_REGS: u8 = 32;
+/// Number of logical MOM stream registers.
+pub const NUM_STREAM_REGS: u8 = 16;
+/// Number of logical packed accumulators.
+pub const NUM_ACC_REGS: u8 = 2;
+
+/// Integer register hardwired to zero.
+pub const ZERO_REG: u8 = 0;
+/// Integer register index used as the MOM stream-length register.
+///
+/// The paper renames the stream-length register through the integer
+/// register pool; modeling it as integer register 31 gives exactly that
+/// behaviour in the rename stage.
+pub const STREAM_LEN_REG: u8 = 31;
+
+/// Architectural register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 64-bit scalar integer registers.
+    Int,
+    /// 64-bit scalar floating-point registers.
+    Fp,
+    /// 64-bit packed μ-SIMD (MMX-like) registers.
+    Simd,
+    /// MOM stream registers (16 × 64-bit element groups each).
+    Stream,
+    /// 192-bit packed accumulators.
+    Acc,
+}
+
+impl RegClass {
+    /// All register classes, in a stable order.
+    pub const ALL: [RegClass; 5] = [
+        RegClass::Int,
+        RegClass::Fp,
+        RegClass::Simd,
+        RegClass::Stream,
+        RegClass::Acc,
+    ];
+
+    /// Number of logical registers in this class.
+    #[must_use]
+    pub const fn logical_count(self) -> u8 {
+        match self {
+            RegClass::Int => NUM_INT_REGS,
+            RegClass::Fp => NUM_FP_REGS,
+            RegClass::Simd => NUM_SIMD_REGS,
+            RegClass::Stream => NUM_STREAM_REGS,
+            RegClass::Acc => NUM_ACC_REGS,
+        }
+    }
+
+    /// Short lowercase prefix used in disassembly (`r`, `f`, `m`, `v`, `a`).
+    #[must_use]
+    pub const fn prefix(self) -> &'static str {
+        match self {
+            RegClass::Int => "r",
+            RegClass::Fp => "f",
+            RegClass::Simd => "m",
+            RegClass::Stream => "v",
+            RegClass::Acc => "a",
+        }
+    }
+}
+
+impl core::fmt::Display for RegClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            RegClass::Int => "int",
+            RegClass::Fp => "fp",
+            RegClass::Simd => "simd",
+            RegClass::Stream => "stream",
+            RegClass::Acc => "acc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A logical (architectural) register: class plus index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LogicalReg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class (`0 .. class.logical_count()`).
+    pub index: u8,
+}
+
+impl LogicalReg {
+    /// Create a logical register, validating the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `class`.
+    #[must_use]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        assert!(
+            index < class.logical_count(),
+            "register index {index} out of range for class {class}",
+        );
+        LogicalReg { class, index }
+    }
+
+    /// Whether this is the hardwired integer zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.class == RegClass::Int && self.index == ZERO_REG
+    }
+
+    /// Whether this is the MOM stream-length register (integer `r31`).
+    #[must_use]
+    pub fn is_stream_len(self) -> bool {
+        self.class == RegClass::Int && self.index == STREAM_LEN_REG
+    }
+}
+
+impl core::fmt::Display for LogicalReg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.index)
+    }
+}
+
+/// Shorthand constructor for an integer register.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+#[must_use]
+pub fn int(i: u8) -> LogicalReg {
+    LogicalReg::new(RegClass::Int, i)
+}
+
+/// Shorthand constructor for a floating-point register.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+#[must_use]
+pub fn fp(i: u8) -> LogicalReg {
+    LogicalReg::new(RegClass::Fp, i)
+}
+
+/// Shorthand constructor for an MMX register.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+#[must_use]
+pub fn simd(i: u8) -> LogicalReg {
+    LogicalReg::new(RegClass::Simd, i)
+}
+
+/// Shorthand constructor for a MOM stream register.
+///
+/// # Panics
+///
+/// Panics if `i >= 16`.
+#[must_use]
+pub fn stream(i: u8) -> LogicalReg {
+    LogicalReg::new(RegClass::Stream, i)
+}
+
+/// Shorthand constructor for a packed accumulator.
+///
+/// # Panics
+///
+/// Panics if `i >= 2`.
+#[must_use]
+pub fn acc(i: u8) -> LogicalReg {
+    LogicalReg::new(RegClass::Acc, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(RegClass::Int.logical_count(), 32);
+        assert_eq!(RegClass::Fp.logical_count(), 32);
+        // "67 instructions and 32 logical registers (as opposed to 8)"
+        assert_eq!(RegClass::Simd.logical_count(), 32);
+        // "16 logical stream μ-SIMD registers"
+        assert_eq!(RegClass::Stream.logical_count(), 16);
+        // "2 logical packed accumulators of 192 bits"
+        assert_eq!(RegClass::Acc.logical_count(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(int(5).to_string(), "r5");
+        assert_eq!(fp(1).to_string(), "f1");
+        assert_eq!(simd(31).to_string(), "m31");
+        assert_eq!(stream(15).to_string(), "v15");
+        assert_eq!(acc(1).to_string(), "a1");
+    }
+
+    #[test]
+    fn special_registers() {
+        assert!(int(0).is_zero());
+        assert!(!int(1).is_zero());
+        assert!(int(31).is_stream_len());
+        assert!(!simd(31).is_stream_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = stream(16);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        assert!(int(0) < int(1));
+        assert!(int(31) < fp(0));
+    }
+}

@@ -1,0 +1,432 @@
+//! Scalar (base) instruction set: integer, floating-point, memory and
+//! control-flow operations.
+//!
+//! The paper's base ISA is Alpha; for trace-driven timing simulation only
+//! the operation *classes*, latencies, and register/memory operands
+//! matter, so this module defines a compact generic RISC vocabulary with
+//! the same class granularity the paper reports in its instruction
+//! breakdown (integer / floating point / memory).
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum IntOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Sll,
+    Srl,
+    Sra,
+    /// Set-if-less-than (signed compare producing 0/1).
+    Slt,
+    /// Set-if-less-than unsigned.
+    Sltu,
+    /// Compare-equal producing 0/1.
+    Seq,
+    /// Load upper immediate / immediate materialization.
+    Lui,
+    /// Add immediate (also used for address arithmetic).
+    Addi,
+    /// Integer multiply (longer latency pipe).
+    Mul,
+    /// Integer multiply-high.
+    Mulh,
+    /// Integer divide (unpipelined, long latency).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Count leading zeros.
+    Clz,
+    /// Byte/halfword extract-and-extend (Alpha-style byte manipulation).
+    Ext,
+    /// Byte/halfword insert.
+    Ins,
+    /// Conditional move.
+    Cmov,
+}
+
+impl IntOp {
+    /// All integer opcodes in a stable order.
+    pub const ALL: [IntOp; 22] = [
+        IntOp::Add,
+        IntOp::Sub,
+        IntOp::And,
+        IntOp::Or,
+        IntOp::Xor,
+        IntOp::Nor,
+        IntOp::Sll,
+        IntOp::Srl,
+        IntOp::Sra,
+        IntOp::Slt,
+        IntOp::Sltu,
+        IntOp::Seq,
+        IntOp::Lui,
+        IntOp::Addi,
+        IntOp::Mul,
+        IntOp::Mulh,
+        IntOp::Div,
+        IntOp::Rem,
+        IntOp::Clz,
+        IntOp::Ext,
+        IntOp::Ins,
+        IntOp::Cmov,
+    ];
+
+    /// Number of integer opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this op uses the (longer-latency) multiply/divide pipe.
+    #[must_use]
+    pub const fn is_long_latency(self) -> bool {
+        matches!(self, IntOp::Mul | IntOp::Mulh | IntOp::Div | IntOp::Rem)
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            IntOp::Add => "add",
+            IntOp::Sub => "sub",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Nor => "nor",
+            IntOp::Sll => "sll",
+            IntOp::Srl => "srl",
+            IntOp::Sra => "sra",
+            IntOp::Slt => "slt",
+            IntOp::Sltu => "sltu",
+            IntOp::Seq => "seq",
+            IntOp::Lui => "lui",
+            IntOp::Addi => "addi",
+            IntOp::Mul => "mul",
+            IntOp::Mulh => "mulh",
+            IntOp::Div => "div",
+            IntOp::Rem => "rem",
+            IntOp::Clz => "clz",
+            IntOp::Ext => "ext",
+            IntOp::Ins => "ins",
+            IntOp::Cmov => "cmov",
+        }
+    }
+}
+
+/// Scalar floating-point operations (mesa's 3D pipeline is the main FP
+/// consumer in the workload; the paper's emulation libraries had no FP
+/// μ-SIMD, so FP stays scalar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum FpOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    /// Fused multiply-add.
+    FMadd,
+    FCmp,
+    /// Int ↔ float conversions.
+    FCvt,
+    FAbs,
+    FNeg,
+    FMin,
+    FMax,
+}
+
+impl FpOp {
+    /// All floating-point opcodes in a stable order.
+    pub const ALL: [FpOp; 12] = [
+        FpOp::FAdd,
+        FpOp::FSub,
+        FpOp::FMul,
+        FpOp::FDiv,
+        FpOp::FSqrt,
+        FpOp::FMadd,
+        FpOp::FCmp,
+        FpOp::FCvt,
+        FpOp::FAbs,
+        FpOp::FNeg,
+        FpOp::FMin,
+        FpOp::FMax,
+    ];
+
+    /// Number of floating-point opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this op is unpipelined / long latency (divide, sqrt).
+    #[must_use]
+    pub const fn is_long_latency(self) -> bool {
+        matches!(self, FpOp::FDiv | FpOp::FSqrt)
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::FAdd => "fadd",
+            FpOp::FSub => "fsub",
+            FpOp::FMul => "fmul",
+            FpOp::FDiv => "fdiv",
+            FpOp::FSqrt => "fsqrt",
+            FpOp::FMadd => "fmadd",
+            FpOp::FCmp => "fcmp",
+            FpOp::FCvt => "fcvt",
+            FpOp::FAbs => "fabs",
+            FpOp::FNeg => "fneg",
+            FpOp::FMin => "fmin",
+            FpOp::FMax => "fmax",
+        }
+    }
+}
+
+/// Scalar memory operations (integer and FP loads/stores of 1–8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MemOp {
+    LoadB,
+    LoadBu,
+    LoadH,
+    LoadHu,
+    LoadW,
+    LoadWu,
+    LoadD,
+    StoreB,
+    StoreH,
+    StoreW,
+    StoreD,
+    /// FP 32-bit load.
+    LoadF,
+    /// FP 64-bit load.
+    LoadG,
+    /// FP 32-bit store.
+    StoreF,
+    /// FP 64-bit store.
+    StoreG,
+    /// Software prefetch hint (paper §2: stream prefetching instructions).
+    Prefetch,
+}
+
+impl MemOp {
+    /// All scalar memory opcodes in a stable order.
+    pub const ALL: [MemOp; 16] = [
+        MemOp::LoadB,
+        MemOp::LoadBu,
+        MemOp::LoadH,
+        MemOp::LoadHu,
+        MemOp::LoadW,
+        MemOp::LoadWu,
+        MemOp::LoadD,
+        MemOp::StoreB,
+        MemOp::StoreH,
+        MemOp::StoreW,
+        MemOp::StoreD,
+        MemOp::LoadF,
+        MemOp::LoadG,
+        MemOp::StoreF,
+        MemOp::StoreG,
+        MemOp::Prefetch,
+    ];
+
+    /// Number of scalar memory opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether the operation writes memory.
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(
+            self,
+            MemOp::StoreB | MemOp::StoreH | MemOp::StoreW | MemOp::StoreD | MemOp::StoreF | MemOp::StoreG
+        )
+    }
+
+    /// Whether the operation reads memory into a register (prefetches
+    /// access memory but produce no register value).
+    #[must_use]
+    pub const fn is_load(self) -> bool {
+        !self.is_store() && !matches!(self, MemOp::Prefetch)
+    }
+
+    /// Whether the destination/source register is floating point.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        matches!(self, MemOp::LoadF | MemOp::LoadG | MemOp::StoreF | MemOp::StoreG)
+    }
+
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn size(self) -> u8 {
+        match self {
+            MemOp::LoadB | MemOp::LoadBu | MemOp::StoreB => 1,
+            MemOp::LoadH | MemOp::LoadHu | MemOp::StoreH => 2,
+            MemOp::LoadW | MemOp::LoadWu | MemOp::StoreW | MemOp::LoadF | MemOp::StoreF => 4,
+            MemOp::LoadD | MemOp::StoreD | MemOp::LoadG | MemOp::StoreG => 8,
+            MemOp::Prefetch => 32,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            MemOp::LoadB => "ldb",
+            MemOp::LoadBu => "ldbu",
+            MemOp::LoadH => "ldh",
+            MemOp::LoadHu => "ldhu",
+            MemOp::LoadW => "ldw",
+            MemOp::LoadWu => "ldwu",
+            MemOp::LoadD => "ldd",
+            MemOp::StoreB => "stb",
+            MemOp::StoreH => "sth",
+            MemOp::StoreW => "stw",
+            MemOp::StoreD => "std",
+            MemOp::LoadF => "ldf",
+            MemOp::LoadG => "ldg",
+            MemOp::StoreF => "stf",
+            MemOp::StoreG => "stg",
+            MemOp::Prefetch => "pref",
+        }
+    }
+}
+
+/// Control-flow operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CtlOp {
+    /// Conditional branch, equal to zero.
+    Beq,
+    /// Conditional branch, not equal to zero.
+    Bne,
+    /// Conditional branch, less than zero.
+    Blt,
+    /// Conditional branch, greater or equal to zero.
+    Bge,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes return address).
+    Call,
+    /// Indirect return.
+    Ret,
+    /// Indirect jump through register (switch tables).
+    JumpR,
+    /// No-op (used for alignment padding).
+    Nop,
+}
+
+impl CtlOp {
+    /// All control opcodes in a stable order.
+    pub const ALL: [CtlOp; 9] = [
+        CtlOp::Beq,
+        CtlOp::Bne,
+        CtlOp::Blt,
+        CtlOp::Bge,
+        CtlOp::Jump,
+        CtlOp::Call,
+        CtlOp::Ret,
+        CtlOp::JumpR,
+        CtlOp::Nop,
+    ];
+
+    /// Number of control opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether the op is a conditional branch (predicted direction).
+    #[must_use]
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, CtlOp::Beq | CtlOp::Bne | CtlOp::Blt | CtlOp::Bge)
+    }
+
+    /// Whether the target is only known at execute time (indirect).
+    #[must_use]
+    pub const fn is_indirect(self) -> bool {
+        matches!(self, CtlOp::Ret | CtlOp::JumpR)
+    }
+
+    /// Whether this op transfers control at all.
+    #[must_use]
+    pub const fn is_transfer(self) -> bool {
+        !matches!(self, CtlOp::Nop)
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            CtlOp::Beq => "beq",
+            CtlOp::Bne => "bne",
+            CtlOp::Blt => "blt",
+            CtlOp::Bge => "bge",
+            CtlOp::Jump => "j",
+            CtlOp::Call => "call",
+            CtlOp::Ret => "ret",
+            CtlOp::JumpR => "jr",
+            CtlOp::Nop => "nop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_arrays_are_duplicate_free() {
+        let ints: HashSet<_> = IntOp::ALL.iter().collect();
+        assert_eq!(ints.len(), IntOp::COUNT);
+        let fps: HashSet<_> = FpOp::ALL.iter().collect();
+        assert_eq!(fps.len(), FpOp::COUNT);
+        let mems: HashSet<_> = MemOp::ALL.iter().collect();
+        assert_eq!(mems.len(), MemOp::COUNT);
+        let ctls: HashSet<_> = CtlOp::ALL.iter().collect();
+        assert_eq!(ctls.len(), CtlOp::COUNT);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(MemOp::StoreW.is_store());
+        assert!(!MemOp::StoreW.is_load());
+        assert!(MemOp::LoadBu.is_load());
+        assert!(!MemOp::Prefetch.is_load());
+        assert!(!MemOp::Prefetch.is_store());
+        assert!(MemOp::LoadG.is_fp());
+        assert!(!MemOp::LoadD.is_fp());
+    }
+
+    #[test]
+    fn memory_sizes() {
+        assert_eq!(MemOp::LoadB.size(), 1);
+        assert_eq!(MemOp::LoadH.size(), 2);
+        assert_eq!(MemOp::LoadF.size(), 4);
+        assert_eq!(MemOp::StoreG.size(), 8);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(CtlOp::Beq.is_conditional());
+        assert!(!CtlOp::Jump.is_conditional());
+        assert!(CtlOp::Ret.is_indirect());
+        assert!(!CtlOp::Call.is_indirect());
+        assert!(!CtlOp::Nop.is_transfer());
+    }
+
+    #[test]
+    fn long_latency_classification() {
+        assert!(IntOp::Div.is_long_latency());
+        assert!(!IntOp::Add.is_long_latency());
+        assert!(FpOp::FSqrt.is_long_latency());
+        assert!(!FpOp::FMadd.is_long_latency());
+    }
+
+    #[test]
+    fn mnemonics_are_unique_per_class() {
+        let m: HashSet<_> = IntOp::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(m.len(), IntOp::COUNT);
+        let m: HashSet<_> = MemOp::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(m.len(), MemOp::COUNT);
+    }
+}

@@ -1,0 +1,133 @@
+//! Lane-level helpers for 64-bit packed values.
+//!
+//! All packed operations are expressed as maps over lanes. A lane value
+//! travels as `i64` (sign- or zero-extended according to the element
+//! type); writeback truncates to the lane width, so wrapping arithmetic
+//! falls out naturally and saturating arithmetic clamps explicitly.
+
+use crate::elem::ElemType;
+
+/// Extract lane `i` of `v` as an `i64` according to `et`'s width and
+/// signedness.
+///
+/// # Panics
+///
+/// Panics (debug) if `i >= et.lanes()`.
+#[must_use]
+pub fn get_lane(et: ElemType, v: u64, i: usize) -> i64 {
+    debug_assert!(i < et.lanes());
+    let bits = et.bits();
+    let shift = (i as u32) * bits;
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let raw = (v >> shift) & mask;
+    if et.is_signed() || et == ElemType::Q64 {
+        // sign extend
+        let sbit = 1u64 << (bits - 1);
+        if raw & sbit != 0 {
+            (raw | !mask) as i64
+        } else {
+            raw as i64
+        }
+    } else {
+        raw as i64
+    }
+}
+
+/// Insert `val` (truncated to the lane width) as lane `i` of `v`.
+#[must_use]
+pub fn set_lane(et: ElemType, v: u64, i: usize, val: i64) -> u64 {
+    debug_assert!(i < et.lanes());
+    let bits = et.bits();
+    let shift = (i as u32) * bits;
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    (v & !(mask << shift)) | (((val as u64) & mask) << shift)
+}
+
+/// Apply `f` to every lane of `a`.
+#[must_use]
+pub fn map1(et: ElemType, a: u64, mut f: impl FnMut(i64) -> i64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..et.lanes() {
+        out = set_lane(et, out, i, f(get_lane(et, a, i)));
+    }
+    out
+}
+
+/// Apply `f` lane-wise to `a` and `b`.
+#[must_use]
+pub fn map2(et: ElemType, a: u64, b: u64, mut f: impl FnMut(i64, i64) -> i64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..et.lanes() {
+        out = set_lane(et, out, i, f(get_lane(et, a, i), get_lane(et, b, i)));
+    }
+    out
+}
+
+/// Horizontal fold over the lanes of `a`.
+#[must_use]
+pub fn fold(et: ElemType, a: u64, init: i64, mut f: impl FnMut(i64, i64) -> i64) -> i64 {
+    let mut accum = init;
+    for i in 0..et.lanes() {
+        accum = f(accum, get_lane(et, a, i));
+    }
+    accum
+}
+
+/// Broadcast a scalar into every lane.
+#[must_use]
+pub fn splat(et: ElemType, val: i64) -> u64 {
+    map1(et, 0, |_| val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let v = 0x8899_aabb_ccdd_eeffu64;
+        for et in [ElemType::U8, ElemType::I8, ElemType::U16, ElemType::I16, ElemType::U32, ElemType::I32] {
+            let mut rebuilt = 0u64;
+            for i in 0..et.lanes() {
+                rebuilt = set_lane(et, rebuilt, i, get_lane(et, v, i));
+            }
+            assert_eq!(rebuilt, v, "{et}");
+        }
+    }
+
+    #[test]
+    fn signed_extraction() {
+        // 0xFF as i8 lane = -1; as u8 lane = 255.
+        assert_eq!(get_lane(ElemType::I8, 0xff, 0), -1);
+        assert_eq!(get_lane(ElemType::U8, 0xff, 0), 255);
+        assert_eq!(get_lane(ElemType::I16, 0x8000, 0), -32768);
+        assert_eq!(get_lane(ElemType::U16, 0x8000, 0), 0x8000);
+        assert_eq!(get_lane(ElemType::I32, 0xffff_ffff, 0), -1);
+    }
+
+    #[test]
+    fn q64_lane() {
+        assert_eq!(get_lane(ElemType::Q64, u64::MAX, 0), -1);
+        assert_eq!(set_lane(ElemType::Q64, 0, 0, -2), u64::MAX - 1);
+    }
+
+    #[test]
+    fn map2_wrapping_add_bytes() {
+        let a = splat(ElemType::U8, 200);
+        let b = splat(ElemType::U8, 100);
+        let r = map2(ElemType::U8, a, b, |x, y| x + y); // 300 truncates to 44
+        assert_eq!(r, splat(ElemType::U8, 44));
+    }
+
+    #[test]
+    fn fold_sums_lanes() {
+        let v = 0x0004_0003_0002_0001u64; // words 1,2,3,4
+        assert_eq!(fold(ElemType::I16, v, 0, |a, b| a + b), 10);
+    }
+
+    #[test]
+    fn splat_patterns() {
+        assert_eq!(splat(ElemType::U8, 0xab), 0xabab_abab_abab_abab);
+        assert_eq!(splat(ElemType::U16, 0x1234), 0x1234_1234_1234_1234);
+    }
+}

@@ -1,0 +1,352 @@
+//! Functional execution of MMX opcodes on 64-bit packed values.
+
+use super::lanes::{fold, get_lane, map2, set_lane};
+use crate::elem::ElemType;
+use crate::mmx::MmxOp;
+
+/// Execute a non-memory MMX operation.
+///
+/// * `a` — first source register value;
+/// * `b` — second source value (register, or the integer-register value
+///   for insert/move-from-int forms);
+/// * `imm` — immediate operand: shift counts, shuffle controls, lane
+///   indices for insert/extract.
+///
+/// Returns the 64-bit result. For ops whose architectural result is a
+/// scalar (reductions, `pmovmskb`, `pextrw`) the scalar is returned in
+/// the low bits with the rest zeroed.
+///
+/// # Panics
+///
+/// Panics if called with a memory opcode (loads/stores have no ALU
+/// semantics; the memory system provides their data).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn exec_mmx(op: MmxOp, a: u64, b: u64, imm: u8) -> u64 {
+    assert!(!op.is_mem(), "memory opcode {op:?} has no ALU semantics");
+    use ElemType as E;
+    match op {
+        // wrapping add/sub
+        MmxOp::PaddB => map2(E::U8, a, b, |x, y| x + y),
+        MmxOp::PaddW => map2(E::U16, a, b, |x, y| x + y),
+        MmxOp::PaddD => map2(E::U32, a, b, |x, y| x + y),
+        MmxOp::PsubB => map2(E::U8, a, b, |x, y| x - y),
+        MmxOp::PsubW => map2(E::U16, a, b, |x, y| x - y),
+        MmxOp::PsubD => map2(E::U32, a, b, |x, y| x - y),
+        // saturating add/sub
+        MmxOp::PaddsB => map2(E::I8, a, b, |x, y| E::I8.saturate(x + y)),
+        MmxOp::PaddsW => map2(E::I16, a, b, |x, y| E::I16.saturate(x + y)),
+        MmxOp::PaddusB => map2(E::U8, a, b, |x, y| E::U8.saturate(x + y)),
+        MmxOp::PaddusW => map2(E::U16, a, b, |x, y| E::U16.saturate(x + y)),
+        MmxOp::PsubsB => map2(E::I8, a, b, |x, y| E::I8.saturate(x - y)),
+        MmxOp::PsubsW => map2(E::I16, a, b, |x, y| E::I16.saturate(x - y)),
+        MmxOp::PsubusB => map2(E::U8, a, b, |x, y| E::U8.saturate(x - y)),
+        MmxOp::PsubusW => map2(E::U16, a, b, |x, y| E::U16.saturate(x - y)),
+        // multiplies
+        MmxOp::PmullW => map2(E::I16, a, b, |x, y| x * y),
+        MmxOp::PmulhW => map2(E::I16, a, b, |x, y| (x * y) >> 16),
+        MmxOp::PmulhuW => map2(E::U16, a, b, |x, y| (x * y) >> 16),
+        MmxOp::PmaddWd => {
+            let mut out = 0u64;
+            for d in 0..2 {
+                let p0 = get_lane(E::I16, a, 2 * d) * get_lane(E::I16, b, 2 * d);
+                let p1 = get_lane(E::I16, a, 2 * d + 1) * get_lane(E::I16, b, 2 * d + 1);
+                out = set_lane(E::I32, out, d, p0 + p1);
+            }
+            out
+        }
+        // compares (all-ones on true)
+        MmxOp::PcmpeqB => map2(E::U8, a, b, |x, y| if x == y { -1 } else { 0 }),
+        MmxOp::PcmpeqW => map2(E::U16, a, b, |x, y| if x == y { -1 } else { 0 }),
+        MmxOp::PcmpeqD => map2(E::U32, a, b, |x, y| if x == y { -1 } else { 0 }),
+        MmxOp::PcmpgtB => map2(E::I8, a, b, |x, y| if x > y { -1 } else { 0 }),
+        MmxOp::PcmpgtW => map2(E::I16, a, b, |x, y| if x > y { -1 } else { 0 }),
+        MmxOp::PcmpgtD => map2(E::I32, a, b, |x, y| if x > y { -1 } else { 0 }),
+        // logicals
+        MmxOp::Pand => a & b,
+        MmxOp::Pandn => !a & b,
+        MmxOp::Por => a | b,
+        MmxOp::Pxor => a ^ b,
+        // shifts by immediate count
+        MmxOp::PsllW => shift(E::U16, a, imm, |x, s| x << s),
+        MmxOp::PsllD => shift(E::U32, a, imm, |x, s| x << s),
+        MmxOp::PsllQ => {
+            if imm >= 64 {
+                0
+            } else {
+                a << imm
+            }
+        }
+        MmxOp::PsrlW => shift(E::U16, a, imm, |x, s| ((x as u64) >> s) as i64),
+        MmxOp::PsrlD => shift(E::U32, a, imm, |x, s| ((x as u64) >> s) as i64),
+        MmxOp::PsrlQ => {
+            if imm >= 64 {
+                0
+            } else {
+                a >> imm
+            }
+        }
+        MmxOp::PsraW => shift(E::I16, a, imm, |x, s| x >> s),
+        MmxOp::PsraD => shift(E::I32, a, imm, |x, s| x >> s),
+        // pack: a's lanes in the low half of the result, b's in the high half
+        MmxOp::PackssWb => pack(E::I16, E::I8, a, b, |v| E::I8.saturate(v)),
+        MmxOp::PackssDw => pack(E::I32, E::I16, a, b, |v| E::I16.saturate(v)),
+        MmxOp::PackusWb => pack(E::I16, E::U8, a, b, |v| E::U8.saturate(v)),
+        // unpack/interleave
+        MmxOp::PunpcklBw => unpack(E::U8, a, b, false),
+        MmxOp::PunpcklWd => unpack(E::U16, a, b, false),
+        MmxOp::PunpcklDq => unpack(E::U32, a, b, false),
+        MmxOp::PunpckhBw => unpack(E::U8, a, b, true),
+        MmxOp::PunpckhWd => unpack(E::U16, a, b, true),
+        MmxOp::PunpckhDq => unpack(E::U32, a, b, true),
+        // SSE additions
+        MmxOp::PavgB => map2(E::U8, a, b, |x, y| (x + y + 1) >> 1),
+        MmxOp::PavgW => map2(E::U16, a, b, |x, y| (x + y + 1) >> 1),
+        MmxOp::PmaxUb => map2(E::U8, a, b, i64::max),
+        MmxOp::PmaxSw => map2(E::I16, a, b, i64::max),
+        MmxOp::PminUb => map2(E::U8, a, b, i64::min),
+        MmxOp::PminSw => map2(E::I16, a, b, i64::min),
+        MmxOp::PsadBw => {
+            let sad = (0..8).map(|i| (get_lane(E::U8, a, i) - get_lane(E::U8, b, i)).abs()).sum::<i64>();
+            sad as u64 & 0xffff
+        }
+        MmxOp::PmovmskB => {
+            let mut mask = 0u64;
+            for i in 0..8 {
+                if get_lane(E::I8, a, i) < 0 {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        }
+        MmxOp::PshufW => {
+            let mut out = 0u64;
+            for i in 0..4 {
+                let sel = ((imm >> (2 * i)) & 0x3) as usize;
+                out = set_lane(E::U16, out, i, get_lane(E::U16, a, sel));
+            }
+            out
+        }
+        MmxOp::PinsrW => set_lane(E::U16, a, (imm & 0x3) as usize, (b & 0xffff) as i64),
+        MmxOp::PextrW => get_lane(E::U16, a, (imm & 0x3) as usize) as u64,
+        // data movement
+        MmxOp::MovQ => a,
+        MmxOp::MovdToMmx => b & 0xffff_ffff,
+        MmxOp::MovdFromMmx => a & 0xffff_ffff,
+        // paper's reduction additions
+        MmxOp::PredaddW => (fold(E::I16, a, 0, |s, x| s + x) as u64) & 0xffff_ffff,
+        MmxOp::PredaddD => (fold(E::I32, a, 0, |s, x| s + x) as u64) & 0xffff_ffff_ffff_ffff,
+        MmxOp::PredmaxW => (fold(E::I16, a, i64::MIN, i64::max) as u64) & 0xffff,
+        MmxOp::PredminW => (fold(E::I16, a, i64::MAX, i64::min) as u64) & 0xffff,
+        // memory opcodes are rejected by the assert above
+        MmxOp::LoadQ | MmxOp::StoreQ | MmxOp::LoadMovD | MmxOp::StoreMovD => unreachable!(),
+    }
+}
+
+/// Execute a register-register MMX operation with no immediate.
+#[must_use]
+pub fn exec_mmx_rr(op: MmxOp, a: u64, b: u64) -> u64 {
+    exec_mmx(op, a, b, 0)
+}
+
+fn shift(et: ElemType, a: u64, count: u8, f: impl Fn(i64, u32) -> i64) -> u64 {
+    let bits = et.bits();
+    if u32::from(count) >= bits {
+        // Shifting a lane by its full width: logical shifts produce zero,
+        // arithmetic shifts produce the sign fill. Clamp to bits-1 for sra.
+        if et.is_signed() {
+            return super::lanes::map1(et, a, |x| f(x, bits - 1));
+        }
+        return 0;
+    }
+    super::lanes::map1(et, a, |x| f(x, u32::from(count)))
+}
+
+fn pack(src: ElemType, dst: ElemType, a: u64, b: u64, sat: impl Fn(i64) -> i64) -> u64 {
+    let n = src.lanes();
+    let mut out = 0u64;
+    for i in 0..n {
+        out = set_lane(dst, out, i, sat(get_lane(src, a, i)));
+    }
+    for i in 0..n {
+        out = set_lane(dst, out, n + i, sat(get_lane(src, b, i)));
+    }
+    out
+}
+
+fn unpack(et: ElemType, a: u64, b: u64, high: bool) -> u64 {
+    let n = et.lanes();
+    let base = if high { n / 2 } else { 0 };
+    let mut out = 0u64;
+    for i in 0..n / 2 {
+        out = set_lane(et, out, 2 * i, get_lane(et, a, base + i));
+        out = set_lane(et, out, 2 * i + 1, get_lane(et, b, base + i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::lanes::splat;
+    use ElemType as E;
+
+    #[test]
+    fn wrapping_vs_saturating_add() {
+        let a = splat(E::U8, 250);
+        let b = splat(E::U8, 10);
+        assert_eq!(exec_mmx_rr(MmxOp::PaddB, a, b), splat(E::U8, 4)); // wraps
+        assert_eq!(exec_mmx_rr(MmxOp::PaddusB, a, b), splat(E::U8, 255)); // saturates
+    }
+
+    #[test]
+    fn signed_saturation() {
+        let a = splat(E::I16, 0x7000);
+        let b = splat(E::I16, 0x2000);
+        assert_eq!(exec_mmx_rr(MmxOp::PaddsW, a, b), splat(E::I16, 0x7fff));
+        let a = splat(E::I16, -0x7000);
+        assert_eq!(exec_mmx_rr(MmxOp::PsubsW, a, b), splat(E::I16, -0x8000));
+    }
+
+    #[test]
+    fn multiply_high_low() {
+        let a = splat(E::I16, 300);
+        let b = splat(E::I16, 400);
+        // 300*400 = 120000 = 0x1D4C0: low 16 = 0xD4C0, high 16 = 0x1.
+        assert_eq!(exec_mmx_rr(MmxOp::PmullW, a, b) & 0xffff, 0xd4c0);
+        assert_eq!(exec_mmx_rr(MmxOp::PmulhW, a, b) & 0xffff, 0x1);
+    }
+
+    #[test]
+    fn pmulhu_differs_from_pmulh_for_negative() {
+        let a = splat(E::I16, -1); // 0xFFFF unsigned = 65535
+        let b = splat(E::I16, 2);
+        // signed: -1*2 = -2 >> 16 = -1 → 0xffff lane
+        assert_eq!(exec_mmx_rr(MmxOp::PmulhW, a, b) & 0xffff, 0xffff);
+        // unsigned: 65535*2 = 131070 >> 16 = 1
+        assert_eq!(exec_mmx_rr(MmxOp::PmulhuW, a, b) & 0xffff, 0x1);
+    }
+
+    #[test]
+    fn pmadd_pairs() {
+        // words a = [1,2,3,4], b = [10,20,30,40]
+        let a = 0x0004_0003_0002_0001u64;
+        let b = 0x0028_001e_0014_000au64;
+        // dword0 = 1*10+2*20 = 50; dword1 = 3*30+4*40 = 250
+        let r = exec_mmx_rr(MmxOp::PmaddWd, a, b);
+        assert_eq!(r & 0xffff_ffff, 50);
+        assert_eq!(r >> 32, 250);
+    }
+
+    #[test]
+    fn compares_produce_masks() {
+        let a = splat(E::U8, 5);
+        let b = splat(E::U8, 5);
+        assert_eq!(exec_mmx_rr(MmxOp::PcmpeqB, a, b), u64::MAX);
+        let c = splat(E::I16, 3);
+        let d = splat(E::I16, -7);
+        assert_eq!(exec_mmx_rr(MmxOp::PcmpgtW, c, d), u64::MAX);
+        assert_eq!(exec_mmx_rr(MmxOp::PcmpgtW, d, c), 0);
+    }
+
+    #[test]
+    fn logicals() {
+        assert_eq!(exec_mmx_rr(MmxOp::Pand, 0xff00, 0x0ff0), 0x0f00);
+        assert_eq!(exec_mmx_rr(MmxOp::Pandn, 0xff00, 0x0ff0), 0x00f0);
+        assert_eq!(exec_mmx_rr(MmxOp::Por, 0xff00, 0x0ff0), 0xfff0);
+        assert_eq!(exec_mmx_rr(MmxOp::Pxor, 0xff00, 0x0ff0), 0xf0f0);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = splat(E::U16, 0x0f0f);
+        assert_eq!(exec_mmx(MmxOp::PsllW, a, 0, 4), splat(E::U16, 0xf0f0));
+        assert_eq!(exec_mmx(MmxOp::PsrlW, a, 0, 4), splat(E::U16, 0x00f0));
+        let n = splat(E::I16, -16);
+        assert_eq!(exec_mmx(MmxOp::PsraW, n, 0, 2), splat(E::I16, -4));
+        // full-width shifts
+        assert_eq!(exec_mmx(MmxOp::PsllW, a, 0, 16), 0);
+        assert_eq!(exec_mmx(MmxOp::PsraW, n, 0, 16), splat(E::I16, -1));
+        assert_eq!(exec_mmx(MmxOp::PsllQ, 1, 0, 63), 1u64 << 63);
+        assert_eq!(exec_mmx(MmxOp::PsllQ, 1, 0, 64), 0);
+    }
+
+    #[test]
+    fn pack_saturates() {
+        // words 300, -300 must clamp to 255/0 for unsigned pack, 127/-128 signed
+        let a = 0x0000_012c_0000_012cu64; // words [300, 0, 300, 0]... lanes: l0=0x012c,l1=0,l2=0x012c,l3=0
+        let us = exec_mmx_rr(MmxOp::PackusWb, a, 0);
+        assert_eq!(us & 0xff, 255);
+        let ss = exec_mmx_rr(MmxOp::PackssWb, a, 0);
+        assert_eq!(ss & 0xff, 127);
+    }
+
+    #[test]
+    fn unpack_interleaves() {
+        let a = 0x0807_0605_0403_0201u64; // bytes 1..8
+        let b = 0x1817_1615_1413_1211u64; // bytes 0x11..0x18
+        let lo = exec_mmx_rr(MmxOp::PunpcklBw, a, b);
+        assert_eq!(lo, 0x1404_1303_1202_1101);
+        let hi = exec_mmx_rr(MmxOp::PunpckhBw, a, b);
+        assert_eq!(hi, 0x1808_1707_1606_1505);
+    }
+
+    #[test]
+    fn average_rounds_up() {
+        let a = splat(E::U8, 1);
+        let b = splat(E::U8, 2);
+        assert_eq!(exec_mmx_rr(MmxOp::PavgB, a, b), splat(E::U8, 2)); // (1+2+1)>>1
+    }
+
+    #[test]
+    fn min_max() {
+        let a = splat(E::U8, 200);
+        let b = splat(E::U8, 100);
+        assert_eq!(exec_mmx_rr(MmxOp::PmaxUb, a, b), a);
+        assert_eq!(exec_mmx_rr(MmxOp::PminUb, a, b), b);
+        let c = splat(E::I16, -5);
+        let d = splat(E::I16, 3);
+        assert_eq!(exec_mmx_rr(MmxOp::PmaxSw, c, d), d);
+        assert_eq!(exec_mmx_rr(MmxOp::PminSw, c, d), c);
+    }
+
+    #[test]
+    fn sad() {
+        let a = splat(E::U8, 10);
+        let b = splat(E::U8, 7);
+        assert_eq!(exec_mmx_rr(MmxOp::PsadBw, a, b), 24); // 8 lanes × |10-7|
+    }
+
+    #[test]
+    fn movmsk_collects_sign_bits() {
+        let v = 0x80_00_80_00_80_00_80_00u64; // sign bits on odd byte lanes... bytes: 0,0x80 alternating
+        assert_eq!(exec_mmx_rr(MmxOp::PmovmskB, v, 0), 0b1010_1010);
+    }
+
+    #[test]
+    fn shuffle_insert_extract() {
+        let a = 0x0004_0003_0002_0001u64;
+        // reverse: control 0b00_01_10_11
+        let r = exec_mmx(MmxOp::PshufW, a, 0, 0b0001_1011);
+        assert_eq!(r, 0x0001_0002_0003_0004);
+        let ins = exec_mmx(MmxOp::PinsrW, a, 0xbeef, 2);
+        assert_eq!((ins >> 32) & 0xffff, 0xbeef);
+        assert_eq!(exec_mmx(MmxOp::PextrW, a, 0, 3), 4);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = 0x0004_0003_0002_0001u64;
+        assert_eq!(exec_mmx_rr(MmxOp::PredaddW, a, 0), 10);
+        assert_eq!(exec_mmx_rr(MmxOp::PredmaxW, a, 0), 4);
+        assert_eq!(exec_mmx_rr(MmxOp::PredminW, a, 0), 1);
+        let d = 0x0000_0005_0000_0007u64;
+        assert_eq!(exec_mmx_rr(MmxOp::PredaddD, d, 0), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ALU semantics")]
+    fn memory_ops_rejected() {
+        let _ = exec_mmx_rr(MmxOp::LoadQ, 0, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Executable functional semantics for the packed and streaming ISAs.
+//!
+//! The workload models in `medsim-workloads` run the *real* media
+//! kernels (DCT, SAD motion search, color conversion, …) through these
+//! semantics, so the instruction streams fed to the timing model carry
+//! genuine data-dependent behaviour, and the semantics themselves are
+//! testable against scalar reference implementations.
+//!
+//! Three layers:
+//!
+//! * [`lanes`] — lane extraction/insertion helpers over 64-bit packed
+//!   registers;
+//! * [`exec_mmx`] / [`exec_mmx_rr`] — one MMX operation on 64-bit values;
+//! * [`StreamValue`] + [`exec_mom_vv`]/[`exec_mom_vs`] and
+//!   [`Accumulator`] — MOM stream operations defined (where possible) as
+//!   the per-group application of their MMX equivalent.
+
+pub mod acc;
+pub mod lanes;
+mod mmx_exec;
+mod mom_exec;
+
+pub use acc::Accumulator;
+pub use mmx_exec::{exec_mmx, exec_mmx_rr};
+pub use mom_exec::{exec_acc_stream, exec_mom_vs, exec_mom_vv, StreamValue};

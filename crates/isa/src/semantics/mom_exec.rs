@@ -1,0 +1,366 @@
+//! Functional execution of MOM stream opcodes.
+//!
+//! A stream operation applies an MMX-like operation over up to 16
+//! consecutive 64-bit element groups. Where a MOM opcode has a direct
+//! MMX equivalent (see [`MomOp::mmx_equiv`]) the stream semantics are the
+//! per-group application of that equivalent — which is also exactly how
+//! the paper counts "equivalent instructions" for the EIPC metric.
+
+use super::acc::Accumulator;
+use super::lanes::{get_lane, map1, map2, set_lane, splat};
+use super::mmx_exec::exec_mmx;
+use crate::elem::ElemType;
+use crate::mom::MomOp;
+use crate::STREAM_REG_GROUPS;
+use serde::{Deserialize, Serialize};
+
+/// The value of a MOM stream register: 16 MMX-like 64-bit element groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamValue {
+    groups: [u64; STREAM_REG_GROUPS],
+}
+
+impl Default for StreamValue {
+    fn default() -> Self {
+        StreamValue { groups: [0; STREAM_REG_GROUPS] }
+    }
+}
+
+impl StreamValue {
+    /// All-zero stream value.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Build from a function over group indices.
+    #[must_use]
+    pub fn from_fn(f: impl FnMut(usize) -> u64) -> Self {
+        let mut f = f;
+        let mut groups = [0u64; STREAM_REG_GROUPS];
+        for (i, g) in groups.iter_mut().enumerate() {
+            *g = f(i);
+        }
+        StreamValue { groups }
+    }
+
+    /// Build from a slice of at most 16 groups (rest zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() > 16`.
+    #[must_use]
+    pub fn from_slice(s: &[u64]) -> Self {
+        assert!(s.len() <= STREAM_REG_GROUPS, "stream value larger than a register");
+        let mut groups = [0u64; STREAM_REG_GROUPS];
+        groups[..s.len()].copy_from_slice(s);
+        StreamValue { groups }
+    }
+
+    /// Value of element group `i`.
+    #[must_use]
+    pub fn group(&self, i: usize) -> u64 {
+        self.groups[i]
+    }
+
+    /// Set element group `i`.
+    pub fn set_group(&mut self, i: usize, v: u64) {
+        self.groups[i] = v;
+    }
+
+    /// View of all 16 groups.
+    #[must_use]
+    pub fn groups(&self) -> &[u64; STREAM_REG_GROUPS] {
+        &self.groups
+    }
+}
+
+/// Execute a vector-vector (or vector-vector-vector, for selects) MOM
+/// operation over the first `slen` groups; remaining groups of the
+/// result are zero.
+///
+/// `c` supplies the mask for the `Vsel*` family and is ignored
+/// elsewhere. `imm` carries shift counts / shuffle controls / clip
+/// ranges, as for MMX.
+///
+/// # Panics
+///
+/// Panics for memory opcodes, accumulator opcodes (use
+/// [`exec_acc_stream`]) and `SetVl` (a scalar-side-effect instruction),
+/// or if `slen` is out of range.
+#[must_use]
+pub fn exec_mom_vvv(op: MomOp, a: &StreamValue, b: &StreamValue, c: &StreamValue, slen: u8, imm: u8) -> StreamValue {
+    assert!(slen >= 1 && slen <= STREAM_REG_GROUPS as u8, "stream length out of range");
+    assert!(!op.is_mem(), "memory opcode {op:?} has no ALU semantics");
+    assert!(!op.uses_acc(), "accumulator opcode {op:?}: use exec_acc_stream");
+    assert!(op != MomOp::SetVl, "setvl has scalar semantics only");
+
+    let n = slen as usize;
+    if let Some(m) = op.mmx_equiv() {
+        return StreamValue::from_fn(|i| if i < n { exec_mmx(m, a.group(i), b.group(i), imm) } else { 0 });
+    }
+
+    use ElemType as E;
+    let per_group = |i: usize| -> u64 {
+        let (ga, gb, gc) = (a.group(i), b.group(i), c.group(i));
+        match op {
+            MomOp::Vmov => ga,
+            MomOp::Vzero => 0,
+            MomOp::VselB => sel(E::I8, ga, gb, gc),
+            MomOp::VselW => sel(E::I16, ga, gb, gc),
+            MomOp::VselD => sel(E::I32, ga, gb, gc),
+            MomOp::VabsdB => map2(E::U8, ga, gb, |x, y| (x - y).abs()),
+            MomOp::VabsdW => map2(E::I16, ga, gb, |x, y| (x - y).abs()),
+            MomOp::VsrlRndW => map1(E::U16, ga, |x| round_shift(x, imm)),
+            MomOp::VsrlRndD => map1(E::U32, ga, |x| round_shift(x, imm)),
+            MomOp::VsraRndW => map1(E::I16, ga, |x| round_shift(x, imm)),
+            MomOp::VsraRndD => map1(E::I32, ga, |x| round_shift(x, imm)),
+            MomOp::VclipSw => {
+                let bound = (1i64 << imm.min(14)) - 1;
+                map1(E::I16, ga, |x| x.clamp(-bound - 1, bound))
+            }
+            MomOp::VclipUb => map1(E::I16, ga, |x| x.clamp(0, 255)),
+            MomOp::VclzW => map1(E::U16, ga, |x| i64::from((x as u16).leading_zeros())),
+            MomOp::VpcntB => map1(E::U8, ga, |x| i64::from((x as u8).count_ones())),
+            MomOp::VmaxUw => map2(E::U16, ga, gb, i64::max),
+            MomOp::VmaxSb => map2(E::I8, ga, gb, i64::max),
+            MomOp::VminUw => map2(E::U16, ga, gb, i64::min),
+            MomOp::VminSb => map2(E::I8, ga, gb, i64::min),
+            MomOp::VscaleW => map2(E::I16, ga, gb, |x, y| E::I16.saturate((x * y) >> imm)),
+            MomOp::VscaleD => map2(E::I32, ga, gb, |x, y| E::I32.saturate((x * y) >> imm)),
+            // VinsQ/VextQ/broadcast/transpose handled outside the per-group map
+            _ => 0,
+        }
+    };
+
+    match op {
+        MomOp::VinsQ => {
+            let mut out = *a;
+            out.set_group((imm as usize) % STREAM_REG_GROUPS, b.group(0));
+            out
+        }
+        MomOp::VextQ => {
+            let mut out = StreamValue::zero();
+            out.set_group(0, a.group((imm as usize) % STREAM_REG_GROUPS));
+            out
+        }
+        MomOp::VbcastB => StreamValue::from_fn(|i| if i < n { splat(E::U8, get_lane(E::U8, b.group(0), 0)) } else { 0 }),
+        MomOp::VbcastW => StreamValue::from_fn(|i| if i < n { splat(E::U16, get_lane(E::U16, b.group(0), 0)) } else { 0 }),
+        MomOp::VbcastD => StreamValue::from_fn(|i| if i < n { splat(E::U32, get_lane(E::U32, b.group(0), 0)) } else { 0 }),
+        MomOp::Vtrans => transpose(a, n),
+        _ => StreamValue::from_fn(|i| if i < n { per_group(i) } else { 0 }),
+    }
+}
+
+/// Execute a two-source MOM operation (mask source zero).
+#[must_use]
+pub fn exec_mom_vv(op: MomOp, a: &StreamValue, b: &StreamValue, slen: u8, imm: u8) -> StreamValue {
+    exec_mom_vvv(op, a, b, &StreamValue::zero(), slen, imm)
+}
+
+/// Execute a vector-scalar MOM operation: the 64-bit `scalar` (an MMX
+/// register value) is used as the second operand of every group.
+#[must_use]
+pub fn exec_mom_vs(op: MomOp, a: &StreamValue, scalar: u64, slen: u8, imm: u8) -> StreamValue {
+    let b = StreamValue::from_fn(|_| scalar);
+    exec_mom_vvv(op, a, &b, &StreamValue::zero(), slen, imm)
+}
+
+/// Execute an accumulator MOM operation over the first `slen` groups of
+/// the sources.
+///
+/// # Panics
+///
+/// Panics if `op` is not an accumulator opcode.
+pub fn exec_acc_stream(op: MomOp, acc: &mut Accumulator, a: &StreamValue, b: &StreamValue, slen: u8) {
+    assert!(op.writes_acc(), "{op:?} does not accumulate");
+    let n = slen as usize;
+    match op {
+        MomOp::AccClear => acc.clear(),
+        MomOp::AccAddB => (0..n).for_each(|i| acc.add_bytes(a.group(i))),
+        MomOp::AccAddW => (0..n).for_each(|i| acc.add_words(a.group(i))),
+        MomOp::AccSubB => (0..n).for_each(|i| acc.sub_bytes(a.group(i))),
+        MomOp::AccSubW => (0..n).for_each(|i| acc.sub_words(a.group(i))),
+        MomOp::AccMacW => (0..n).for_each(|i| acc.mac_words(a.group(i), b.group(i))),
+        MomOp::AccMacuW => (0..n).for_each(|i| acc.macu_words(a.group(i), b.group(i))),
+        MomOp::AccMaddWd => (0..n).for_each(|i| acc.madd_wd(a.group(i), b.group(i))),
+        MomOp::AccSadB => (0..n).for_each(|i| acc.sad_bytes(a.group(i), b.group(i))),
+        _ => unreachable!("writes_acc() covered all cases"),
+    }
+}
+
+fn sel(et: ElemType, a: u64, b: u64, mask: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..et.lanes() {
+        let pick_a = get_lane(et.as_signed(), mask, i) < 0;
+        let v = if pick_a { get_lane(et, a, i) } else { get_lane(et, b, i) };
+        out = set_lane(et, out, i, v);
+    }
+    out
+}
+
+fn round_shift(v: i64, shift: u8) -> i64 {
+    if shift == 0 {
+        v
+    } else {
+        (v + (1 << (shift - 1))) >> shift
+    }
+}
+
+/// Transpose 4×4 word tiles: within each block of four groups, word lane
+/// `l` of group `g` moves to word lane `g` of group `l`.
+fn transpose(a: &StreamValue, n: usize) -> StreamValue {
+    let mut out = StreamValue::zero();
+    let blocks = n / 4;
+    for blk in 0..blocks {
+        for g in 0..4 {
+            for l in 0..4 {
+                let v = get_lane(ElemType::U16, a.group(blk * 4 + g), l);
+                let cur = out.group(blk * 4 + l);
+                out.set_group(blk * 4 + l, set_lane(ElemType::U16, cur, g, v));
+            }
+        }
+    }
+    // Groups beyond the last full block pass through untouched.
+    for g in blocks * 4..n {
+        out.set_group(g, a.group(g));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmx::MmxOp;
+    use crate::semantics::exec_mmx_rr;
+
+    #[test]
+    fn vv_matches_per_group_mmx() {
+        let a = StreamValue::from_fn(|i| (i as u64) * 0x0101_0101_0101_0101);
+        let b = StreamValue::from_fn(|_| 0x0202_0202_0202_0202);
+        let r = exec_mom_vv(MomOp::VaddusB, &a, &b, 16, 0);
+        for i in 0..16 {
+            assert_eq!(r.group(i), exec_mmx_rr(MmxOp::PaddusB, a.group(i), b.group(i)), "group {i}");
+        }
+    }
+
+    #[test]
+    fn groups_beyond_slen_are_zero() {
+        let a = StreamValue::from_fn(|_| 0x1111_1111_1111_1111);
+        let r = exec_mom_vv(MomOp::VaddB, &a, &a, 5, 0);
+        for i in 0..5 {
+            assert_ne!(r.group(i), 0);
+        }
+        for i in 5..16 {
+            assert_eq!(r.group(i), 0, "group {i} must be zero past slen");
+        }
+    }
+
+    #[test]
+    fn vector_scalar_broadcasts() {
+        let a = StreamValue::from_fn(|_| splat(ElemType::I16, 10));
+        let r = exec_mom_vs(MomOp::VmullWVs, &a, splat(ElemType::I16, 3), 4, 0);
+        assert_eq!(r.group(0), splat(ElemType::I16, 30));
+        assert_eq!(r.group(3), splat(ElemType::I16, 30));
+    }
+
+    #[test]
+    fn select_picks_by_mask_sign() {
+        let a = StreamValue::from_fn(|_| splat(ElemType::U8, 1));
+        let b = StreamValue::from_fn(|_| splat(ElemType::U8, 2));
+        let mask = StreamValue::from_fn(|_| 0x0000_0000_ffff_ffff); // low 4 bytes negative
+        let r = exec_mom_vvv(MomOp::VselB, &a, &b, &mask, 1, 0);
+        assert_eq!(r.group(0) & 0xff, 1);
+        assert_eq!((r.group(0) >> 56) & 0xff, 2);
+    }
+
+    #[test]
+    fn accumulate_sad_over_stream() {
+        let mut acc = Accumulator::new();
+        let a = StreamValue::from_fn(|_| splat(ElemType::U8, 10));
+        let b = StreamValue::from_fn(|_| splat(ElemType::U8, 7));
+        exec_acc_stream(MomOp::AccSadB, &mut acc, &a, &b, 16);
+        // 16 groups × 8 lanes × |10−7|
+        assert_eq!(acc.lanes()[0], 16 * 8 * 3);
+    }
+
+    #[test]
+    fn acc_mac_dot_product() {
+        let mut acc = Accumulator::new();
+        let a = StreamValue::from_fn(|_| splat(ElemType::I16, 2));
+        let b = StreamValue::from_fn(|_| splat(ElemType::I16, 3));
+        exec_acc_stream(MomOp::AccMacW, &mut acc, &a, &b, 8);
+        // per lane: 8 groups × 2×3 = 48; 4 lanes → 192
+        assert_eq!(acc.red_add_w(), 192);
+    }
+
+    #[test]
+    fn insert_extract_round_trip() {
+        let a = StreamValue::from_fn(|i| i as u64);
+        let scalar = StreamValue::from_slice(&[0xdead_beef]);
+        let ins = exec_mom_vvv(MomOp::VinsQ, &a, &scalar, &StreamValue::zero(), 16, 7);
+        assert_eq!(ins.group(7), 0xdead_beef);
+        assert_eq!(ins.group(6), 6);
+        let ext = exec_mom_vvv(MomOp::VextQ, &ins, &StreamValue::zero(), &StreamValue::zero(), 16, 7);
+        assert_eq!(ext.group(0), 0xdead_beef);
+    }
+
+    #[test]
+    fn broadcast_splats_scalar() {
+        let b = StreamValue::from_slice(&[0xab]);
+        let r = exec_mom_vvv(MomOp::VbcastB, &StreamValue::zero(), &b, &StreamValue::zero(), 3, 0);
+        assert_eq!(r.group(0), 0xabab_abab_abab_abab);
+        assert_eq!(r.group(2), 0xabab_abab_abab_abab);
+        assert_eq!(r.group(3), 0);
+    }
+
+    #[test]
+    fn transpose_4x4_words() {
+        // group g has words [4g, 4g+1, 4g+2, 4g+3]
+        let a = StreamValue::from_fn(|g| {
+            let mut v = 0u64;
+            for l in 0..4 {
+                v = set_lane(ElemType::U16, v, l, (4 * g + l) as i64);
+            }
+            v
+        });
+        let t = exec_mom_vv(MomOp::Vtrans, &a, &StreamValue::zero(), 4, 0);
+        // transposed: group l word g = original group g word l = 4g + l
+        for l in 0..4 {
+            for g in 0..4 {
+                assert_eq!(get_lane(ElemType::U16, t.group(l), g), (4 * g + l) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_shift_behaviour() {
+        let a = StreamValue::from_slice(&[splat(ElemType::I16, 5)]);
+        let r = exec_mom_vv(MomOp::VsraRndW, &a, &StreamValue::zero(), 1, 1);
+        assert_eq!(r.group(0), splat(ElemType::I16, 3)); // (5+1)>>1
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let a = StreamValue::from_slice(&[splat(ElemType::I16, 300)]);
+        let r = exec_mom_vv(MomOp::VclipUb, &a, &StreamValue::zero(), 1, 0);
+        assert_eq!(r.group(0), splat(ElemType::I16, 255));
+        let n = StreamValue::from_slice(&[splat(ElemType::I16, -300)]);
+        let r = exec_mom_vv(MomOp::VclipUb, &n, &StreamValue::zero(), 1, 0);
+        assert_eq!(r.group(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use exec_acc_stream")]
+    fn acc_ops_rejected_in_vv() {
+        let z = StreamValue::zero();
+        let _ = exec_mom_vv(MomOp::AccMacW, &z, &z, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ALU semantics")]
+    fn mem_ops_rejected_in_vv() {
+        let z = StreamValue::zero();
+        let _ = exec_mom_vv(MomOp::VloadQ, &z, &z, 4, 0);
+    }
+}

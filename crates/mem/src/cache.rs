@@ -1,0 +1,435 @@
+//! Set-associative cache with banking, LRU replacement and in-flight
+//! (pending-fill) line tracking.
+//!
+//! Used for all three caches of the hierarchy (direct-mapped L1D is the
+//! 1-way special case). The cache tracks *tags only* — data values live
+//! with the functional workload model; a timing simulator needs presence,
+//! dirtiness and fill times, not contents.
+//!
+//! A line allocated by a miss carries a **fill time**; accesses that
+//! arrive while the fill is still in flight are *delayed hits* — they
+//! coalesce onto the fill (no new next-level request) but are accounted
+//! as misses, matching how MSHR "half misses" are normally counted.
+
+use crate::stats::CacheStats;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and policy of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Number of banks the cache is interleaved across (power of two).
+    pub banks: usize,
+    /// Write-back (`true`) or write-through (`false`).
+    pub write_back: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `ways × line_bytes` or not a power of two).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
+        assert!(sets > 0 && sets.is_power_of_two(), "inconsistent cache geometry");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Cycle at which the line's data arrives (allocation sets it to the
+    /// allocation cycle; `set_fill_time` moves it out for real misses).
+    fill_at: Cycle,
+    /// LRU timestamp (larger = more recent).
+    last_use: Cycle,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Tag matched and the data is ready: a true hit.
+    pub hit: bool,
+    /// Tag matched but the fill is still in flight: data ready at the
+    /// given cycle (delayed hit — coalesces onto the outstanding fill).
+    pub pending: Option<Cycle>,
+    /// On a miss that evicted a dirty victim, the victim's address.
+    pub writeback: Option<u64>,
+}
+
+/// A banked set-associative cache (tags only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    use_counter: Cycle,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![Line::default(); (sets as usize) * config.ways],
+            stats: CacheStats::default(),
+            use_counter: 0,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Line-aligned address of `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes - 1)
+    }
+
+    /// Bank index serving `addr` (line-interleaved).
+    #[must_use]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.config.line_bytes) % self.config.banks as u64) as usize
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / self.config.line_bytes) % self.sets
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes / self.sets
+    }
+
+    fn set_slice_mut(&mut self, set: u64) -> &mut [Line] {
+        let w = self.config.ways;
+        let base = set as usize * w;
+        &mut self.lines[base..base + w]
+    }
+
+    /// Pure presence probe (tag match, ready or in flight) — no
+    /// statistics, no LRU update.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set as usize * self.config.ways;
+        self.lines[base..base + self.config.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Access the cache at cycle `now`: updates LRU and statistics; on a
+    /// miss, allocates the line (evicting the LRU way) and reports any
+    /// dirty victim. The caller should follow a real miss with
+    /// [`Cache::set_fill_time`] once the next-level completion is known.
+    ///
+    /// `is_store` marks the line dirty in a write-back cache. In a
+    /// write-through cache store misses do **not** allocate
+    /// (write-around), matching the L1's no-allocate-on-write-miss policy.
+    pub fn access(&mut self, now: Cycle, addr: u64, is_store: bool) -> Access {
+        self.use_counter += 1;
+        let lru_now = self.use_counter;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let write_back = self.config.write_back;
+        let line_bytes = self.config.line_bytes;
+        let sets = self.sets;
+
+        // Hit / delayed-hit path.
+        let tag_match = {
+            let lines = self.set_slice_mut(set);
+            lines.iter_mut().find(|l| l.valid && l.tag == tag).map(|line| {
+                line.last_use = lru_now;
+                if is_store && write_back {
+                    line.dirty = true;
+                }
+                line.fill_at
+            })
+        };
+        if let Some(fill_at) = tag_match {
+            if fill_at <= now {
+                self.stats.record(is_store, true);
+                return Access { hit: true, pending: None, writeback: None };
+            }
+            // Delayed hit: the tag matches but the fill is still in
+            // flight. Counted as a hit (the reference did not cause a new
+            // miss); its extra latency shows up in the latency statistics.
+            self.stats.record(is_store, true);
+            return Access { hit: false, pending: Some(fill_at), writeback: None };
+        }
+
+        self.stats.record(is_store, false);
+
+        // Write-allocate under both policies: media staging patterns
+        // (write a block, read it right back) need the line installed or
+        // every reload pays an L2 round trip. The write itself still
+        // drains through the write buffer in a write-through cache.
+        // Allocate: choose the LRU way among the set.
+        let writeback = {
+            let lines = self.set_slice_mut(set);
+            let victim = lines
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+                .expect("ways >= 1");
+            let wb = if victim.valid && victim.dirty {
+                Some((victim.tag * sets + set) * line_bytes)
+            } else {
+                None
+            };
+            *victim =
+                Line { valid: true, dirty: is_store && write_back, tag, fill_at: now, last_use: lru_now };
+            wb
+        };
+        if writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        Access { hit: false, pending: None, writeback }
+    }
+
+    /// Record when the fill for the line holding `addr` completes.
+    pub fn set_fill_time(&mut self, addr: u64, fill_at: Cycle) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice_mut(set) {
+            if line.valid && line.tag == tag {
+                line.fill_at = fill_at;
+            }
+        }
+    }
+
+    /// Invalidate the line containing `addr` if present (exclusive-bit
+    /// coherence probe from the decoupled hierarchy). Returns whether a
+    /// line was invalidated.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice_mut(set) {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mark the line containing `addr` clean (after a write-back drains).
+    pub fn clean(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice_mut(set) {
+            if line.valid && line.tag == tag {
+                line.dirty = false;
+            }
+        }
+    }
+
+    /// Number of valid lines (testing / occupancy inspection).
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 32B = 256 B
+        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32, banks: 2, write_back: true })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().sets(), 4);
+        assert_eq!(c.line_addr(0x47), 0x40);
+        assert_eq!(c.bank_of(0x00), 0);
+        assert_eq!(c.bank_of(0x20), 1);
+        assert_eq!(c.bank_of(0x40), 0);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0, 0x100, false).hit);
+        assert!(c.access(1, 0x100, false).hit);
+        assert!(c.access(2, 0x11f, false).hit, "same line");
+        assert!(!c.access(3, 0x120, false).hit, "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn delayed_hit_while_fill_in_flight() {
+        let mut c = small();
+        let m = c.access(0, 0x100, false);
+        assert!(!m.hit);
+        c.set_fill_time(0x100, 90);
+        // Access at cycle 5: tag matches, data not ready until 90.
+        let d = c.access(5, 0x100, false);
+        assert!(!d.hit);
+        assert_eq!(d.pending, Some(90));
+        // Access at cycle 90: true hit.
+        let h = c.access(90, 0x100, false);
+        assert!(h.hit);
+        assert_eq!(c.stats().misses, 1, "only the original miss counts");
+        assert_eq!(c.stats().hits, 2, "the delayed hit counts as a hit");
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 lines × 32B = 128B).
+        let a = 0x000;
+        let b = 0x080;
+        let d = 0x100;
+        c.access(0, a, false);
+        c.access(1, b, false);
+        c.access(2, a, false); // a is MRU
+        c.access(3, d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn writeback_of_dirty_victim() {
+        let mut c = small();
+        c.access(0, 0x000, true); // dirty
+        c.access(1, 0x080, false);
+        let r = c.access(2, 0x100, false); // evicts 0x000 (LRU, dirty)
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_prevents_writeback() {
+        let mut c = small();
+        c.access(0, 0x000, true);
+        c.clean(0x000);
+        c.access(1, 0x080, false);
+        let r = c.access(2, 0x100, false);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn write_through_store_miss_allocates_for_later_loads() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 1,
+            line_bytes: 32,
+            banks: 1,
+            write_back: false,
+        });
+        let r = c.access(0, 0x40, true);
+        assert!(!r.hit);
+        assert!(c.probe(0x40), "write-allocate installs the line");
+        // The staging pattern: store then load hits.
+        assert!(c.access(1, 0x40, false).hit);
+        // Store accounting stays out of the read hit rate.
+        assert_eq!(c.stats().stores, 1);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 0, "store misses are not read misses");
+    }
+
+    #[test]
+    fn write_through_lines_never_dirty() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 1,
+            line_bytes: 32,
+            banks: 1,
+            write_back: false,
+        });
+        c.access(0, 0x40, false);
+        c.access(1, 0x40, true);
+        // Evict 0x40's line: direct-mapped, 8 sets; same-set stride = 256.
+        let r = c.access(2, 0x40 + 256, false);
+        assert_eq!(r.writeback, None, "write-through cache never writes back");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(0, 0x200, false);
+        assert!(c.probe(0x200));
+        assert!(c.invalidate(0x200));
+        assert!(!c.probe(0x200));
+        assert!(!c.invalidate(0x200), "second invalidate finds nothing");
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru_or_stats() {
+        let mut c = small();
+        c.access(0, 0x000, false);
+        let hits_before = c.stats().hits;
+        for _ in 0..10 {
+            let _ = c.probe(0x000);
+        }
+        assert_eq!(c.stats().hits, hits_before);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 1,
+            line_bytes: 32,
+            banks: 1,
+            write_back: false,
+        });
+        // 4 sets; addresses 0x00 and 0x80 collide in set 0.
+        c.access(0, 0x00, false);
+        c.access(1, 0x80, false);
+        assert!(!c.probe(0x00));
+        assert!(c.probe(0x80));
+    }
+
+    #[test]
+    fn valid_line_count() {
+        let mut c = small();
+        assert_eq!(c.valid_lines(), 0);
+        c.access(0, 0x000, false);
+        c.access(1, 0x080, false);
+        assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    fn store_to_pending_writeback_line_marks_dirty() {
+        let mut c = small();
+        c.access(0, 0x300, false); // allocate (set 0)
+        c.set_fill_time(0x300, 50);
+        let s = c.access(10, 0x300, true);
+        assert_eq!(s.pending, Some(50), "store while fill in flight is delayed");
+        // Fill lands; the merged store left the line dirty, so filling the
+        // set (same-set stride 128: 0x380, 0x400) must write 0x300 back.
+        c.access(60, 0x380, false);
+        let r = c.access(61, 0x400, false);
+        assert_eq!(r.writeback, Some(0x300));
+    }
+}

@@ -1,0 +1,152 @@
+//! Miss Status Holding Registers with same-line coalescing.
+//!
+//! The paper gives both cache levels "8 MSHRs". An MSHR tracks one
+//! outstanding miss line; further misses to the same line coalesce onto
+//! the existing entry (sharing its fill time) instead of issuing another
+//! next-level request. When all entries are busy, new misses must stall —
+//! this is the mechanism that throttles memory-level parallelism and
+//! makes latency grow under many threads (§5.3).
+
+use crate::Cycle;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line_addr: u64,
+    fill_at: Cycle,
+}
+
+/// A file of MSHRs for one cache.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+/// Outcome of trying to register a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the next-level
+    /// request.
+    Allocated,
+    /// The line is already outstanding; the miss coalesces and completes
+    /// at the returned fill time.
+    Coalesced(Cycle),
+    /// All entries busy: the request must stall and retry.
+    Full,
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MshrFile { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of entries currently outstanding at `now`.
+    #[must_use]
+    pub fn outstanding(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    /// Drop entries whose fill time has passed.
+    fn retire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.fill_at > now);
+    }
+
+    /// Register a miss on `line_addr` observed at `now`.
+    ///
+    /// If a new entry is allocated the caller computes the fill time and
+    /// must confirm it with [`MshrFile::set_fill_time`].
+    pub fn register(&mut self, now: Cycle, line_addr: u64) -> MshrOutcome {
+        self.retire(now);
+        if let Some(e) = self.entries.iter().find(|e| e.line_addr == line_addr) {
+            return MshrOutcome::Coalesced(e.fill_at);
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        // Reserve with a provisional infinite fill time; set_fill_time fixes it.
+        self.entries.push(Entry { line_addr, fill_at: Cycle::MAX });
+        MshrOutcome::Allocated
+    }
+
+    /// Fix the fill time of the entry allocated for `line_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry exists for `line_addr` (protocol violation).
+    pub fn set_fill_time(&mut self, line_addr: u64, fill_at: Cycle) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line_addr == line_addr)
+            .expect("set_fill_time without register");
+        e.fill_at = fill_at;
+    }
+
+    /// Capacity of the file.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_coalesce() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
+        m.set_fill_time(0x100, 50);
+        assert_eq!(m.register(3, 0x100), MshrOutcome::Coalesced(50));
+        assert_eq!(m.outstanding(10), 1);
+    }
+
+    #[test]
+    fn fills_free_entries() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
+        m.set_fill_time(0x100, 20);
+        assert_eq!(m.register(5, 0x200), MshrOutcome::Full);
+        // After the fill time passes, the entry is free again.
+        assert_eq!(m.register(21, 0x200), MshrOutcome::Allocated);
+        m.set_fill_time(0x200, 80);
+        assert_eq!(m.outstanding(21), 1);
+    }
+
+    #[test]
+    fn full_when_capacity_reached() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(0, 0x0), MshrOutcome::Allocated);
+        m.set_fill_time(0x0, 100);
+        assert_eq!(m.register(0, 0x40), MshrOutcome::Allocated);
+        m.set_fill_time(0x40, 100);
+        assert_eq!(m.register(1, 0x80), MshrOutcome::Full);
+        // Coalescing still works while full.
+        assert_eq!(m.register(1, 0x40), MshrOutcome::Coalesced(100));
+    }
+
+    #[test]
+    fn distinct_lines_use_distinct_entries() {
+        let mut m = MshrFile::new(8);
+        for i in 0..8u64 {
+            assert_eq!(m.register(0, i * 0x40), MshrOutcome::Allocated);
+            m.set_fill_time(i * 0x40, 100 + i);
+        }
+        assert_eq!(m.outstanding(0), 8);
+        assert_eq!(m.register(0, 0x1000), MshrOutcome::Full);
+        // Entries retire one by one as fill times pass.
+        assert_eq!(m.outstanding(100), 7);
+        assert_eq!(m.outstanding(107), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_fill_time without register")]
+    fn set_fill_time_requires_register() {
+        let mut m = MshrFile::new(1);
+        m.set_fill_time(0xdead, 10);
+    }
+}

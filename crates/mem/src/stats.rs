@@ -1,0 +1,127 @@
+//! Statistics collected by the memory system.
+//!
+//! These feed Table 4 of the paper directly (instruction-cache hit rate,
+//! L1 hit rate, average L1 latency per thread count) and the cache
+//! sections of EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cache hit/miss counters.
+///
+/// Hit/miss counters track **read accesses** (loads and fetches) — the
+/// latency-critical traffic the paper's Table 4 reports. Stores are
+/// counted separately: a write-through cache absorbs them through the
+/// write buffer regardless of presence, so counting them as misses
+/// would misstate locality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub hits: u64,
+    /// Read accesses that missed (including delayed hits on in-flight
+    /// lines).
+    pub misses: u64,
+    /// Store accesses (counted separately from hits/misses).
+    pub stores: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record(&mut self, is_store: bool, hit: bool) {
+        if is_store {
+            self.stores += 1;
+            return;
+        }
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses (reads + stores).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses + self.stores
+    }
+
+    /// Read accesses only.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Read hit rate in [0, 1]; 1.0 when there were no reads.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.reads() as f64
+        }
+    }
+}
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Data accesses that consulted the L1 (scalar always; vector in the
+    /// conventional organization).
+    pub l1_accesses: u64,
+    /// Sum of data-access latencies through L1, in cycles (for the
+    /// average-latency row of Table 4).
+    pub l1_latency_sum: u64,
+    /// Accesses delayed by a busy bank.
+    pub bank_conflicts: u64,
+    /// Requests rejected because every MSHR was busy.
+    pub mshr_full_stalls: u64,
+    /// Stores rejected because the write buffer was full.
+    pub write_buffer_full_stalls: u64,
+    /// Stores coalesced into an existing write-buffer entry.
+    pub write_coalesced: u64,
+    /// Loads that had to selectively flush a matching buffered write.
+    pub selective_flushes: u64,
+    /// Vector accesses that bypassed L1 (decoupled organization).
+    pub vector_bypasses: u64,
+    /// Exclusive-bit coherence probes that invalidated an L1 line.
+    pub coherence_invalidation: u64,
+    /// L2 misses that went to DRAM.
+    pub dram_reads: u64,
+    /// Write-backs that reached DRAM.
+    pub dram_writes: u64,
+}
+
+impl MemStats {
+    /// Average L1 data latency in cycles (Table 4's "L1 latency" row);
+    /// zero when no accesses were made.
+    #[must_use]
+    pub fn avg_l1_latency(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_latency_sum as f64 / self.l1_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_edges() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn avg_latency_edges() {
+        let s = MemStats::default();
+        assert_eq!(s.avg_l1_latency(), 0.0);
+        let s = MemStats { l1_accesses: 4, l1_latency_sum: 10, ..Default::default() };
+        assert_eq!(s.avg_l1_latency(), 2.5);
+    }
+}

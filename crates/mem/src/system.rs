@@ -1,0 +1,711 @@
+//! The assembled memory system: ports, banks, caches, MSHRs, write
+//! buffers and DRAM behind one request interface.
+//!
+//! The CPU model calls [`MemSystem::request`] at issue time with the
+//! current cycle; the reply carries the completion cycle, computed
+//! through every contention point on the path. A request can instead be
+//! rejected with a [`Stall`] (no free port, MSHRs exhausted, write buffer
+//! full) in which case the CPU retries on a later cycle — exactly the
+//! back-pressure the paper's §5.3 attributes the 8-thread slowdown to.
+//!
+//! Calls must be made with non-decreasing `now` values (the resource
+//! reservation counters advance monotonically).
+
+use crate::cache::Cache;
+use crate::config::{HierarchyKind, MemConfig};
+use crate::dram::Dram;
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::stats::MemStats;
+use crate::wbuf::{WriteBuffer, WriteOutcome};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a data access, determining its path through the
+/// hierarchy (scalar ports vs vector ports in the decoupled organization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Scalar integer/FP load.
+    ScalarLoad,
+    /// Scalar integer/FP store.
+    ScalarStore,
+    /// Packed/stream load (MMX `ldq.m`, MOM `vld*`).
+    VectorLoad,
+    /// Packed/stream store.
+    VectorStore,
+    /// Software prefetch (no consumer waits on it).
+    Prefetch,
+}
+
+impl AccessKind {
+    /// Whether this access writes memory.
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::ScalarStore | AccessKind::VectorStore)
+    }
+
+    /// Whether this access uses the vector path in the decoupled
+    /// organization.
+    #[must_use]
+    pub const fn is_vector(self) -> bool {
+        matches!(self, AccessKind::VectorLoad | AccessKind::VectorStore)
+    }
+}
+
+/// One data access request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Requesting hardware thread (statistics only).
+    pub tid: u8,
+    /// Effective virtual address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Access classification.
+    pub kind: AccessKind,
+}
+
+/// A successfully issued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReply {
+    /// Cycle at which the value is available (loads) or the store is
+    /// globally performed enough to retire.
+    pub done_at: Cycle,
+    /// Whether the access hit in the first cache it consulted.
+    pub l1_hit: bool,
+}
+
+/// Reasons a request could not be accepted this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stall {
+    /// Every suitable memory port is busy this cycle.
+    PortBusy,
+    /// All MSHRs are in flight; the miss cannot be tracked.
+    MshrFull,
+    /// The coalescing write buffer is full.
+    WriteBufferFull,
+}
+
+impl core::fmt::Display for Stall {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Stall::PortBusy => "all memory ports busy",
+            Stall::MshrFull => "MSHRs exhausted",
+            Stall::WriteBufferFull => "write buffer full",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Stall {}
+
+/// The full memory hierarchy.
+#[derive(Debug)]
+pub struct MemSystem {
+    config: MemConfig,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    d_mshrs: MshrFile,
+    v_mshrs: MshrFile,
+    i_mshrs: MshrFile,
+    l2_mshrs: MshrFile,
+    wbuf: WriteBuffer,
+    dram: Dram,
+    general_ports: Vec<Cycle>,
+    scalar_ports: Vec<Cycle>,
+    vector_ports: Vec<Cycle>,
+    l1d_banks: Vec<Cycle>,
+    l1i_banks: Vec<Cycle>,
+    l2_banks: Vec<Cycle>,
+    stats: MemStats,
+}
+
+impl MemSystem {
+    /// Build the memory system from a configuration.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        MemSystem {
+            l1d: Cache::new(config.l1d),
+            l1i: Cache::new(config.l1i),
+            l2: Cache::new(config.l2),
+            d_mshrs: MshrFile::new(config.mshrs),
+            v_mshrs: MshrFile::new(config.mshrs),
+            i_mshrs: MshrFile::new(config.mshrs),
+            l2_mshrs: MshrFile::new(config.mshrs),
+            // The write buffer drains one entry per L2-bank occupancy
+            // slot (2 cycles), not a full L2 access — stores are fire
+            // and forget once buffered.
+            wbuf: WriteBuffer::new(config.write_buffer_depth, 2),
+            dram: Dram::new(config.dram),
+            general_ports: vec![0; config.general_ports],
+            scalar_ports: vec![0; config.scalar_ports],
+            vector_ports: vec![0; config.vector_ports],
+            l1d_banks: vec![0; config.l1d.banks],
+            l1i_banks: vec![0; config.l1i.banks],
+            l2_banks: vec![0; config.l2.banks],
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// L1 data-cache statistics (Table 4's "L1 hit rate" row).
+    #[must_use]
+    pub fn l1d_stats(&self) -> &crate::stats::CacheStats {
+        self.l1d.stats()
+    }
+
+    /// Instruction-cache statistics (Table 4's "I hit rate" row).
+    #[must_use]
+    pub fn l1i_stats(&self) -> &crate::stats::CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> &crate::stats::CacheStats {
+        self.l2.stats()
+    }
+
+    /// DRAM statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> &crate::dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Instruction fetch of one cache line for thread `tid`. Returns the
+    /// cycle the line is available. The fetch engine has a dedicated path
+    /// into the banked I-cache, so fetches never compete for data ports.
+    pub fn ifetch(&mut self, now: Cycle, _tid: u8, addr: u64) -> Cycle {
+        if self.config.hierarchy == HierarchyKind::Ideal {
+            return now + 1;
+        }
+        let bank = self.l1i.bank_of(addr);
+        let start = self.l1i_banks[bank].max(now);
+        self.l1i_banks[bank] = start + 1;
+        let line = self.l1i.line_addr(addr);
+        let acc = self.l1i.access(start, addr, false);
+        if acc.hit {
+            return start + self.config.l1_latency;
+        }
+        if let Some(ready) = acc.pending {
+            return ready.max(start + self.config.l1_latency);
+        }
+        match self.i_mshrs.register(start, line) {
+            MshrOutcome::Coalesced(t) => t,
+            MshrOutcome::Full => {
+                // The fetch engine simply retries; model as waiting out a
+                // full L2 round-trip.
+                self.stats.mshr_full_stalls += 1;
+                start + self.config.l2_latency + self.config.l1_latency
+            }
+            MshrOutcome::Allocated => {
+                let fill = self.access_l2(start + self.config.l1_latency, line, false);
+                self.i_mshrs.set_fill_time(line, fill);
+                self.l1i.set_fill_time(line, fill);
+                fill
+            }
+        }
+    }
+
+    /// Issue a data access. `now` is the issue cycle; calls must use
+    /// non-decreasing `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stall`] when no port is free, the MSHRs are exhausted
+    /// (load miss) or the write buffer is full (store).
+    pub fn request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
+        if self.config.hierarchy == HierarchyKind::Ideal {
+            self.stats.l1_accesses += 1;
+            self.stats.l1_latency_sum += 1;
+            return Ok(MemReply { done_at: now + 1, l1_hit: true });
+        }
+        let use_vector_path =
+            self.config.hierarchy == HierarchyKind::Decoupled && req.kind.is_vector();
+        if use_vector_path {
+            self.vector_request(now, req)
+        } else {
+            self.l1_request(now, req)
+        }
+    }
+
+    /// Whether a port of the right kind is free at `now` (lets the CPU
+    /// check before committing issue slots).
+    #[must_use]
+    pub fn port_available(&self, now: Cycle, kind: AccessKind) -> bool {
+        let ports = self.ports_for(kind);
+        ports.iter().any(|&p| p <= now)
+    }
+
+    fn ports_for(&self, kind: AccessKind) -> &[Cycle] {
+        match self.config.hierarchy {
+            HierarchyKind::Ideal => &self.general_ports,
+            HierarchyKind::Conventional => &self.general_ports,
+            HierarchyKind::Decoupled => {
+                if kind.is_vector() {
+                    &self.vector_ports
+                } else {
+                    &self.scalar_ports
+                }
+            }
+        }
+    }
+
+    fn claim_port(&mut self, now: Cycle, kind: AccessKind) -> Result<(), Stall> {
+        let ports: &mut Vec<Cycle> = match self.config.hierarchy {
+            HierarchyKind::Ideal | HierarchyKind::Conventional => &mut self.general_ports,
+            HierarchyKind::Decoupled => {
+                if kind.is_vector() {
+                    &mut self.vector_ports
+                } else {
+                    &mut self.scalar_ports
+                }
+            }
+        };
+        match ports.iter_mut().find(|p| **p <= now) {
+            Some(p) => {
+                *p = now + 1;
+                Ok(())
+            }
+            None => Err(Stall::PortBusy),
+        }
+    }
+
+    /// The normal (through-L1) data path.
+    fn l1_request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
+        let line = self.l1d.line_addr(req.addr);
+        let is_store = req.kind.is_store();
+
+        // Admission checks before any state is mutated.
+        if is_store {
+            if !self.wbuf_would_accept(now, line) {
+                self.stats.write_buffer_full_stalls += 1;
+                return Err(Stall::WriteBufferFull);
+            }
+        } else if !self.l1d.probe(req.addr) && self.mshr_would_reject(now, line, req.kind.is_vector()) {
+            self.stats.mshr_full_stalls += 1;
+            return Err(Stall::MshrFull);
+        }
+        self.claim_port(now, req.kind)?;
+
+        // Bank arbitration.
+        let bank = self.l1d.bank_of(req.addr);
+        let mut start = self.l1d_banks[bank].max(now);
+        if start > now {
+            self.stats.bank_conflicts += 1;
+        }
+        self.l1d_banks[bank] = start + 1;
+
+        if is_store {
+            match self.wbuf.push(start, line) {
+                WriteOutcome::Full => unreachable!("admission checked"),
+                WriteOutcome::Coalesced => self.stats.write_coalesced += 1,
+                WriteOutcome::Accepted => {
+                    // Write-through traffic drains into the L2: each
+                    // buffered line consumes an L2 bank slot, contending
+                    // with read misses. This is the bandwidth wall the
+                    // decoupled hierarchy's port split alleviates (§5.4).
+                    let bank = self.l2.bank_of(line);
+                    let slot = self.l2_banks[bank].max(start);
+                    self.l2_banks[bank] = slot + 2;
+                }
+            }
+            // Write-through: update L1 if present (no allocate on miss).
+            let _ = self.l1d.access(start, req.addr, true);
+            let done = start + self.config.l1_latency;
+            return Ok(MemReply { done_at: done, l1_hit: true });
+        }
+
+        // Loads must see buffered stores to the same line: selective flush.
+        if let Some(ready) = self.wbuf.selective_flush(start, line) {
+            self.stats.selective_flushes += 1;
+            start = start.max(ready);
+        }
+
+        let lookup = self.l1d.access(start, req.addr, false);
+        let done = if lookup.hit {
+            start + self.config.l1_latency
+        } else if let Some(ready) = lookup.pending {
+            ready.max(start + self.config.l1_latency)
+        } else {
+            // Vector fills run through their own MSHRs (the stream
+            // engine's fill path), so a long stream of misses cannot
+            // starve scalar miss handling.
+            let mshrs =
+                if req.kind.is_vector() { &mut self.v_mshrs } else { &mut self.d_mshrs };
+            match mshrs.register(start, line) {
+                MshrOutcome::Coalesced(t) => t.max(start + self.config.l1_latency),
+                MshrOutcome::Full => unreachable!("admission checked"),
+                MshrOutcome::Allocated => {
+                    let fill = self.access_l2(start + self.config.l1_latency, line, false);
+                    let mshrs =
+                        if req.kind.is_vector() { &mut self.v_mshrs } else { &mut self.d_mshrs };
+                    mshrs.set_fill_time(line, fill);
+                    self.l1d.set_fill_time(line, fill);
+                    fill
+                }
+            }
+        };
+        if req.kind != AccessKind::Prefetch {
+            self.stats.l1_accesses += 1;
+            self.stats.l1_latency_sum += done - now;
+        }
+        Ok(MemReply { done_at: done, l1_hit: lookup.hit })
+    }
+
+    /// The decoupled vector path: bypass L1, access L2 directly through
+    /// the vector ports and crossbar, keeping coherence with the
+    /// exclusive-bit policy.
+    fn vector_request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
+        self.claim_port(now, req.kind)?;
+        self.stats.vector_bypasses += 1;
+        let line = self.l1d.line_addr(req.addr);
+        let mut start = now;
+
+        // Exclusive-bit coherence: if L1 may hold the line, probe and
+        // invalidate it (write-through L1 ⇒ L2/write-buffer has the data).
+        if self.l1d.probe(req.addr) {
+            self.l1d.invalidate(req.addr);
+            self.stats.coherence_invalidation += 1;
+            start += self.config.coherence_probe_penalty;
+        }
+        // Buffered scalar stores to the line must drain first.
+        if let Some(ready) = self.wbuf.selective_flush(start, line) {
+            self.stats.selective_flushes += 1;
+            start = start.max(ready);
+        }
+
+        let done = self.access_l2_sized(start, req.addr, req.kind.is_store(), u64::from(req.size));
+        let hit_l2 = done <= start + self.config.l2_latency + 2;
+        Ok(MemReply { done_at: done, l1_hit: hit_l2 })
+    }
+
+    fn wbuf_would_accept(&mut self, now: Cycle, line: u64) -> bool {
+        // Coalescing writes are always accepted; otherwise a slot is needed.
+        self.wbuf.occupancy(now) < self.wbuf.capacity() || {
+            // occupancy() already retired entries; re-push probing is not
+            // available, so test coalescing via a selective peek: pushing
+            // is safe because a Coalesced outcome does not take a slot.
+            matches!(self.wbuf.push(now, line), WriteOutcome::Coalesced)
+        }
+    }
+
+    fn mshr_would_reject(&mut self, now: Cycle, line: u64, vector: bool) -> bool {
+        let mshrs = if vector { &mut self.v_mshrs } else { &mut self.d_mshrs };
+        if mshrs.outstanding(now) < mshrs.capacity() {
+            return false;
+        }
+        // Full, but a coalescing miss is still acceptable.
+        !matches!(mshrs.register(now, line), MshrOutcome::Coalesced(_))
+    }
+
+    /// Access the L2 for a full line fill (L1 misses, I-misses).
+    fn access_l2(&mut self, at: Cycle, addr: u64, is_store: bool) -> Cycle {
+        self.access_l2_sized(at, addr, is_store, self.config.l1d.line_bytes)
+    }
+
+    /// Access the L2, going to DRAM on a miss. Returns the completion
+    /// cycle (data at the requester). Bank occupancy scales with the
+    /// transfer size: a 32-byte line fill holds a bank four cycles, a
+    /// direct 8-byte vector element access only one — the effective
+    /// bandwidth the decoupled organization exploits.
+    fn access_l2_sized(&mut self, at: Cycle, addr: u64, is_store: bool, bytes: u64) -> Cycle {
+        let bank = self.l2.bank_of(addr);
+        let start = self.l2_banks[bank].max(at);
+        if start > at {
+            self.stats.bank_conflicts += 1;
+        }
+        let occupancy = bytes.div_ceil(8).clamp(1, 4);
+        self.l2_banks[bank] = start + occupancy;
+        let line = self.l2.line_addr(addr);
+        let lookup = self.l2.access(start, addr, is_store);
+        if let Some(victim) = lookup.writeback {
+            let _ = self.dram.access(start + self.config.l2_latency, victim, self.config.l2.line_bytes);
+            self.stats.dram_writes += 1;
+        }
+        if lookup.hit {
+            return start + self.config.l2_latency;
+        }
+        if let Some(ready) = lookup.pending {
+            return ready.max(start + self.config.l2_latency);
+        }
+        match self.l2_mshrs.register(start, line) {
+            MshrOutcome::Coalesced(t) => t.max(start + self.config.l2_latency),
+            MshrOutcome::Full => {
+                self.stats.mshr_full_stalls += 1;
+                // Wait out a DRAM round trip before the retry succeeds.
+                let fill = self.dram.access(start + self.config.l2_latency, line, self.config.l2.line_bytes);
+                self.stats.dram_reads += 1;
+                fill + self.config.l2_latency
+            }
+            MshrOutcome::Allocated => {
+                let fill = self.dram.access(start + self.config.l2_latency, line, self.config.l2.line_bytes);
+                self.stats.dram_reads += 1;
+                self.l2_mshrs.set_fill_time(line, fill);
+                self.l2.set_fill_time(line, fill);
+                fill
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(h: HierarchyKind) -> MemSystem {
+        MemSystem::new(MemConfig::paper_with(h))
+    }
+
+    fn load(addr: u64) -> MemRequest {
+        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::ScalarLoad }
+    }
+
+    fn store(addr: u64) -> MemRequest {
+        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::ScalarStore }
+    }
+
+    fn vload(addr: u64) -> MemRequest {
+        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::VectorLoad }
+    }
+
+    #[test]
+    fn ideal_memory_single_cycle() {
+        let mut m = sys(HierarchyKind::Ideal);
+        for i in 0..100 {
+            let r = m.request(i, load(i * 4096)).unwrap();
+            assert_eq!(r.done_at, i + 1);
+            assert!(r.l1_hit);
+        }
+        assert_eq!(m.stats().avg_l1_latency(), 1.0);
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let miss = m.request(0, load(0x10000)).unwrap();
+        assert!(!miss.l1_hit);
+        assert!(miss.done_at > 50, "cold miss goes to DRAM: {}", miss.done_at);
+        let hit = m.request(miss.done_at, load(0x10000)).unwrap();
+        assert!(hit.l1_hit);
+        assert_eq!(hit.done_at, miss.done_at + 1);
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_dram() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let a = m.request(0, load(0x20000)).unwrap(); // DRAM
+        // A different L1 set mapping to the same L2 line: 0x20000 + 32
+        // shares the L2 128B line but is a different L1 32B line.
+        let b = m.request(a.done_at, load(0x20020)).unwrap();
+        assert!(!b.l1_hit);
+        assert!(b.done_at - a.done_at < a.done_at, "L2 hit: {} vs {}", b.done_at - a.done_at, a.done_at);
+    }
+
+    #[test]
+    fn port_limit_enforced() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let n_ports = m.config().general_ports;
+        let mut issued = 0;
+        for i in 0..8 {
+            if m.request(0, load(0x1000 + i * 32)).is_ok() {
+                issued += 1;
+            }
+        }
+        assert_eq!(issued, n_ports, "only {n_ports} requests per cycle");
+        // Next cycle the ports are free again.
+        assert!(m.request(1, load(0x9000)).is_ok());
+    }
+
+    #[test]
+    fn bank_conflicts_detected() {
+        let mut m = sys(HierarchyKind::Conventional);
+        // Same L1 bank: same line twice in one cycle (second waits).
+        let a = m.request(0, load(0x4000)).unwrap();
+        let _ = a;
+        let before = m.stats().bank_conflicts;
+        let _ = m.request(0, load(0x4000 + 256)).unwrap(); // 8 banks × 32B = 256 stride → same bank
+        assert!(m.stats().bank_conflicts > before);
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let mshrs = m.config().mshrs;
+        let mut stalled = false;
+        // Issue misses to distinct lines over several cycles so ports are
+        // not the limit; lines are distinct so no coalescing.
+        let mut cycle = 0;
+        let mut issued = 0;
+        for i in 0..(mshrs + 4) {
+            let addr = 0x100_0000 + (i as u64) * 4096;
+            match m.request(cycle, load(addr)) {
+                Ok(_) => issued += 1,
+                Err(Stall::MshrFull) => {
+                    stalled = true;
+                    break;
+                }
+                Err(_) => {}
+            }
+            cycle += 1;
+        }
+        assert!(stalled, "issued {issued} misses without MSHR back-pressure");
+        assert!(m.stats().mshr_full_stalls > 0);
+    }
+
+    #[test]
+    fn same_line_misses_coalesce_without_new_mshr() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let a = m.request(0, load(0x50000)).unwrap();
+        let b = m.request(1, load(0x50008)).unwrap(); // same 32B line
+        assert!(!b.l1_hit);
+        assert!(b.done_at <= a.done_at, "coalesced fill: {} vs {}", b.done_at, a.done_at);
+        assert_eq!(m.stats().dram_reads, 1, "one line fetch serves both");
+    }
+
+    #[test]
+    fn write_buffer_fills_under_store_burst() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let mut full_seen = false;
+        let mut cycle = 0;
+        for i in 0..64u64 {
+            match m.request(cycle, store(0x8000 + i * 64)) {
+                Ok(_) => {}
+                Err(Stall::WriteBufferFull) => {
+                    full_seen = true;
+                    break;
+                }
+                Err(Stall::PortBusy) => cycle += 1,
+                Err(e) => panic!("unexpected stall {e:?}"),
+            }
+            // two stores per cycle keeps ports available but outruns drain
+            if i % 2 == 1 {
+                cycle += 1;
+            }
+        }
+        assert!(full_seen, "write buffer should fill under a store burst");
+    }
+
+    #[test]
+    fn stores_to_same_line_coalesce() {
+        let mut m = sys(HierarchyKind::Conventional);
+        m.request(0, store(0x6000)).unwrap();
+        m.request(1, store(0x6008)).unwrap();
+        assert_eq!(m.stats().write_coalesced, 1);
+    }
+
+    #[test]
+    fn load_after_store_selectively_flushes() {
+        let mut m = sys(HierarchyKind::Conventional);
+        m.request(0, store(0x7000)).unwrap();
+        let r = m.request(1, load(0x7000)).unwrap();
+        assert_eq!(m.stats().selective_flushes, 1);
+        assert!(r.done_at > 2, "the load waits for the flushed write");
+    }
+
+    #[test]
+    fn decoupled_vector_bypasses_l1() {
+        let mut m = sys(HierarchyKind::Decoupled);
+        let r = m.request(0, vload(0x9000)).unwrap();
+        assert!(m.stats().vector_bypasses == 1);
+        assert!(r.done_at > 12, "vector access pays at least L2 latency");
+        // L1 never saw the access.
+        assert_eq!(m.l1d_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn decoupled_coherence_invalidates_l1_copy() {
+        let mut m = sys(HierarchyKind::Decoupled);
+        // Scalar load brings the line into L1.
+        let a = m.request(0, load(0xa000)).unwrap();
+        // Vector access to the same line must invalidate it.
+        let _ = m.request(a.done_at, vload(0xa000)).unwrap();
+        assert_eq!(m.stats().coherence_invalidation, 1);
+        // Scalar load again: L1 miss (line was invalidated) but L2 hit.
+        let c = m.request(a.done_at + 100, load(0xa000)).unwrap();
+        assert!(!c.l1_hit);
+    }
+
+    #[test]
+    fn decoupled_separates_port_pools() {
+        let mut m = sys(HierarchyKind::Decoupled);
+        // 2 scalar ports: the 3rd scalar access in one cycle stalls...
+        assert!(m.request(0, load(0x100)).is_ok());
+        assert!(m.request(0, load(0x200)).is_ok());
+        assert_eq!(m.request(0, load(0x300)), Err(Stall::PortBusy));
+        // ...but vector ports are still free that same cycle.
+        assert!(m.request(0, vload(0x400)).is_ok());
+        assert!(m.request(0, vload(0x500)).is_ok());
+        assert_eq!(m.request(0, vload(0x600)), Err(Stall::PortBusy));
+    }
+
+    #[test]
+    fn conventional_vector_accesses_share_l1_ports() {
+        let mut m = sys(HierarchyKind::Conventional);
+        for i in 0..4u64 {
+            assert!(m.request(0, vload(0x1000 + 32 * i)).is_ok());
+        }
+        assert_eq!(m.request(0, load(0x2000)), Err(Stall::PortBusy));
+        assert_eq!(m.stats().vector_bypasses, 0);
+    }
+
+    #[test]
+    fn ifetch_hits_after_fill() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let t1 = m.ifetch(0, 0, 0x400000);
+        assert!(t1 > 1, "cold I-miss");
+        let t2 = m.ifetch(t1, 0, 0x400000);
+        assert_eq!(t2, t1 + 1);
+        assert_eq!(m.l1i_stats().misses, 1);
+        assert_eq!(m.l1i_stats().hits, 1);
+    }
+
+    #[test]
+    fn dirty_l2_victim_writes_back_to_dram() {
+        let mut m = sys(HierarchyKind::Decoupled);
+        // Vector stores dirty L2 lines; walk enough distinct lines to
+        // force evictions from the 1MB 2-way L2 (8192 sets → same set
+        // stride = 8192 × 128B = 1 MiB / 2... walk 3 lines in one set).
+        let set_stride = (1024 * 1024 / 2) as u64; // sets × line
+        let mut now = 0;
+        for i in 0..3u64 {
+            let r = m
+                .request(now, MemRequest { tid: 0, addr: i * set_stride, size: 8, kind: AccessKind::VectorStore })
+                .unwrap();
+            now = r.done_at + 1;
+        }
+        assert!(m.stats().dram_writes >= 1, "a dirty victim must reach DRAM");
+    }
+
+    #[test]
+    fn latency_statistics_accumulate() {
+        let mut m = sys(HierarchyKind::Conventional);
+        let a = m.request(0, load(0x123400)).unwrap();
+        let _ = m.request(a.done_at, load(0x123400)).unwrap();
+        assert_eq!(m.stats().l1_accesses, 2);
+        assert!(m.stats().avg_l1_latency() > 1.0);
+    }
+
+    #[test]
+    fn port_available_matches_claim() {
+        let mut m = sys(HierarchyKind::Conventional);
+        assert!(m.port_available(0, AccessKind::ScalarLoad));
+        for i in 0..4u64 {
+            m.request(0, load(0x100 + i * 32)).unwrap();
+        }
+        assert!(!m.port_available(0, AccessKind::ScalarLoad));
+        assert!(m.port_available(1, AccessKind::ScalarLoad));
+    }
+}

@@ -1,0 +1,208 @@
+//! Color-space conversion and chroma subsampling (JPEG-style).
+//!
+//! RGB ↔ YCbCr with ITU-R BT.601 fixed-point coefficients, and 4:2:0
+//! chroma subsampling/upsampling. `jpegenc` converts and subsamples on
+//! the way in; `jpegdec` upsamples and converts back on the way out.
+//! Both directions are classic packed-arithmetic kernels (`pmaddwd` rows
+//! of coefficients, or MOM vector-scalar multiplies).
+
+/// Fixed-point shift of the conversion coefficients.
+const SHIFT: i32 = 16;
+const HALF: i32 = 1 << (SHIFT - 1);
+
+fn fix(x: f64) -> i32 {
+    (x * f64::from(1 << SHIFT) + 0.5) as i32
+}
+
+/// Convert one RGB pixel to YCbCr (BT.601, full range).
+#[must_use]
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (i32::from(r), i32::from(g), i32::from(b));
+    let y = (fix(0.299) * r + fix(0.587) * g + fix(0.114) * b + HALF) >> SHIFT;
+    let cb = ((fix(-0.168_735_9) * r - fix(0.331_264_1) * g + fix(0.5) * b + HALF) >> SHIFT) + 128;
+    let cr = ((fix(0.5) * r - fix(0.418_687_6) * g - fix(0.081_312_4) * b + HALF) >> SHIFT) + 128;
+    (y.clamp(0, 255) as u8, cb.clamp(0, 255) as u8, cr.clamp(0, 255) as u8)
+}
+
+/// Convert one YCbCr pixel back to RGB.
+#[must_use]
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = i32::from(y);
+    let cb = i32::from(cb) - 128;
+    let cr = i32::from(cr) - 128;
+    let r = ((y << SHIFT) + fix(1.402) * cr + HALF) >> SHIFT;
+    let g = ((y << SHIFT) - fix(0.344_136_3) * cb - fix(0.714_136_3) * cr + HALF) >> SHIFT;
+    let b = ((y << SHIFT) + fix(1.772) * cb + HALF) >> SHIFT;
+    (r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8)
+}
+
+/// An interleaved RGB image.
+#[derive(Debug, Clone)]
+pub struct RgbImage {
+    /// `width × height × 3` bytes, row-major, RGB order.
+    pub data: Vec<u8>,
+    /// Width in pixels (must be even for 4:2:0).
+    pub width: usize,
+    /// Height in pixels (must be even for 4:2:0).
+    pub height: usize,
+}
+
+/// Planar YCbCr 4:2:0 image.
+#[derive(Debug, Clone)]
+pub struct Ycbcr420 {
+    /// Full-resolution luma plane.
+    pub y: Vec<u8>,
+    /// Quarter-resolution blue-difference plane.
+    pub cb: Vec<u8>,
+    /// Quarter-resolution red-difference plane.
+    pub cr: Vec<u8>,
+    /// Luma width.
+    pub width: usize,
+    /// Luma height.
+    pub height: usize,
+}
+
+/// Convert an RGB image to planar YCbCr 4:2:0 (chroma averaged over each
+/// 2×2 quad).
+///
+/// # Panics
+///
+/// Panics if the dimensions are not even.
+#[must_use]
+pub fn convert_420(img: &RgbImage) -> Ycbcr420 {
+    assert!(img.width % 2 == 0 && img.height % 2 == 0, "4:2:0 needs even dimensions");
+    let (w, h) = (img.width, img.height);
+    let mut y = vec![0u8; w * h];
+    let mut full_cb = vec![0u8; w * h];
+    let mut full_cr = vec![0u8; w * h];
+    for py in 0..h {
+        for px in 0..w {
+            let o = (py * w + px) * 3;
+            let (yy, cb, cr) = rgb_to_ycbcr(img.data[o], img.data[o + 1], img.data[o + 2]);
+            y[py * w + px] = yy;
+            full_cb[py * w + px] = cb;
+            full_cr[py * w + px] = cr;
+        }
+    }
+    let (cw, ch) = (w / 2, h / 2);
+    let mut cb = vec![0u8; cw * ch];
+    let mut cr = vec![0u8; cw * ch];
+    for cy in 0..ch {
+        for cx in 0..cw {
+            let avg = |p: &[u8]| -> u8 {
+                let s = u32::from(p[(2 * cy) * w + 2 * cx])
+                    + u32::from(p[(2 * cy) * w + 2 * cx + 1])
+                    + u32::from(p[(2 * cy + 1) * w + 2 * cx])
+                    + u32::from(p[(2 * cy + 1) * w + 2 * cx + 1]);
+                ((s + 2) / 4) as u8
+            };
+            cb[cy * cw + cx] = avg(&full_cb);
+            cr[cy * cw + cx] = avg(&full_cr);
+        }
+    }
+    Ycbcr420 { y, cb, cr, width: w, height: h }
+}
+
+/// Convert planar YCbCr 4:2:0 back to interleaved RGB (nearest-neighbor
+/// chroma upsampling).
+#[must_use]
+pub fn convert_rgb(img: &Ycbcr420) -> RgbImage {
+    let (w, h) = (img.width, img.height);
+    let cw = w / 2;
+    let mut data = vec![0u8; w * h * 3];
+    for py in 0..h {
+        for px in 0..w {
+            let c = (py / 2) * cw + px / 2;
+            let (r, g, b) = ycbcr_to_rgb(img.y[py * w + px], img.cb[c], img.cr[c]);
+            let o = (py * w + px) * 3;
+            data[o] = r;
+            data[o + 1] = g;
+            data[o + 2] = b;
+        }
+    }
+    RgbImage { data, width: w, height: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_expected_luma() {
+        let (y, _, _) = rgb_to_ycbcr(255, 255, 255);
+        assert_eq!(y, 255);
+        let (y, cb, cr) = rgb_to_ycbcr(0, 0, 0);
+        assert_eq!((y, cb, cr), (0, 128, 128));
+        let (y, _, cr) = rgb_to_ycbcr(255, 0, 0);
+        assert!((i32::from(y) - 76).abs() <= 1, "red luma {y}");
+        assert!(cr > 200, "red has high Cr: {cr}");
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        for g in [0u8, 64, 128, 200, 255] {
+            let (y, cb, cr) = rgb_to_ycbcr(g, g, g);
+            assert_eq!(y, g);
+            assert!((i32::from(cb) - 128).abs() <= 1);
+            assert!((i32::from(cr) - 128).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn pixel_round_trip_error_small() {
+        for r in (0..=255u16).step_by(37) {
+            for g in (0..=255u16).step_by(41) {
+                for b in (0..=255u16).step_by(43) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!(i32::from(r2).abs_diff(i32::from(r)) <= 2, "r {r}->{r2}");
+                    assert!(i32::from(g2).abs_diff(i32::from(g)) <= 2, "g {g}->{g2}");
+                    assert!(i32::from(b2).abs_diff(i32::from(b)) <= 2, "b {b}->{b2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planar_geometry_420() {
+        let img = RgbImage { data: vec![100; 16 * 8 * 3], width: 16, height: 8 };
+        let out = convert_420(&img);
+        assert_eq!(out.y.len(), 16 * 8);
+        assert_eq!(out.cb.len(), 8 * 4);
+        assert_eq!(out.cr.len(), 8 * 4);
+    }
+
+    #[test]
+    fn image_round_trip_on_gradient() {
+        let (w, h) = (16, 16);
+        let mut data = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let o = (y * w + x) * 3;
+                data[o] = (x * 16) as u8;
+                data[o + 1] = (y * 16) as u8;
+                data[o + 2] = 128;
+            }
+        }
+        let img = RgbImage { data, width: w, height: h };
+        let back = convert_rgb(&convert_420(&img));
+        // Chroma subsampling loses detail; luma should survive well.
+        let mut max_y_err = 0i32;
+        for y in 0..h {
+            for x in 0..w {
+                let o = (y * w + x) * 3;
+                let (ya, _, _) = rgb_to_ycbcr(img.data[o], img.data[o + 1], img.data[o + 2]);
+                let (yb, _, _) = rgb_to_ycbcr(back.data[o], back.data[o + 1], back.data[o + 2]);
+                max_y_err = max_y_err.max((i32::from(ya) - i32::from(yb)).abs());
+            }
+        }
+        assert!(max_y_err <= 4, "luma error {max_y_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_dimensions_rejected() {
+        let img = RgbImage { data: vec![0; 15 * 8 * 3], width: 15, height: 8 };
+        let _ = convert_420(&img);
+    }
+}

@@ -1,0 +1,217 @@
+//! 8×8 integer discrete cosine transform (forward and inverse).
+//!
+//! Fixed-point separable implementation in the style of the reference
+//! MPEG-2/JPEG codecs: a 1-D 8-point DCT applied to rows then columns,
+//! with 13-bit cosine constants. Used by `mpeg2enc`/`jpegenc` (forward)
+//! and `mpeg2dec`/`jpegdec` (inverse).
+
+/// Scale shift of the fixed-point cosine table.
+const FIX_SHIFT: i32 = 13;
+
+/// round(cos(k·π/16) · 2^13) for k = 0..8 (C\[8\] = cos(π/2) = 0).
+const C: [i64; 9] = [8192, 8035, 7568, 6811, 5793, 4551, 3135, 1598, 0];
+
+fn dct1d(s: &[i64; 8]) -> [i64; 8] {
+    let mut out = [0i64; 8];
+    // Direct matrix formulation: X[k] = c(k)/2 · Σ x[n]·cos((2n+1)kπ/16),
+    // with the cosines folded into the fixed-point table by symmetry.
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (n, &x) in s.iter().enumerate() {
+            // cos((2n+1)kπ/16) expressed through the table with index
+            // folding: angle index m = (2n+1)k mod 32 maps to ±C[..].
+            let m = ((2 * n + 1) * k) % 32;
+            let (idx, sign) = fold_angle(m);
+            acc += sign * x * C[idx];
+        }
+        // c(0) = 1/√2 ≈ C[4]/2^13
+        let scaled = if k == 0 { acc * C[4] >> FIX_SHIFT } else { acc };
+        *o = scaled >> (FIX_SHIFT - 1); // ×1/2 overall normalization... see below
+    }
+    // Normalization: forward 1-D DCT here is ×2 the orthonormal one; the
+    // 2-D pair keeps total gain 2·2/8 handled in `forward`.
+    out
+}
+
+/// Map an angle index `m` (multiples of π/16, mod 32) to a cosine-table
+/// index and sign: cos(mπ/16) = sign · C\[idx\]/2^13.
+fn fold_angle(m: usize) -> (usize, i64) {
+    let m = m % 32;
+    match m {
+        0..=8 => (m, 1),
+        9..=16 => (16 - m, -1),
+        17..=24 => (m - 16, -1),
+        _ => (32 - m, 1),
+    }
+}
+
+/// Forward 8×8 DCT of spatial samples (typically pixel residuals in
+/// −255..=255). Output coefficients are in DCT domain, orthonormal-ish
+/// scaling (DC = 8×mean).
+#[must_use]
+pub fn forward(block: &[i16; 64]) -> [i16; 64] {
+    let mut tmp = [[0i64; 8]; 8];
+    // Rows.
+    for r in 0..8 {
+        let mut row = [0i64; 8];
+        for c in 0..8 {
+            row[c] = i64::from(block[r * 8 + c]);
+        }
+        tmp[r] = dct1d(&row);
+    }
+    // Columns.
+    let mut out = [0i16; 64];
+    for c in 0..8 {
+        let mut col = [0i64; 8];
+        for r in 0..8 {
+            col[r] = tmp[r][c];
+        }
+        let t = dct1d(&col);
+        for r in 0..8 {
+            // Overall 2-D gain of this formulation is 16; divide by 16 to
+            // get the conventional scaling (DC = 8 × mean).
+            out[r * 8 + c] = (t[r] >> 4).clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+fn idct1d(s: &[i64; 8]) -> [i64; 8] {
+    let mut out = [0i64; 8];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (k, &x) in s.iter().enumerate() {
+            let m = ((2 * n + 1) * k) % 32;
+            let (idx, sign) = fold_angle(m);
+            let ck = if k == 0 { (C[4] * C[idx]) >> FIX_SHIFT } else { C[idx] };
+            acc += sign * x * ck;
+        }
+        *o = acc >> (FIX_SHIFT - 1);
+    }
+    out
+}
+
+/// Inverse 8×8 DCT; `forward` then `inverse` reconstructs the input to
+/// within a small rounding error.
+#[must_use]
+pub fn inverse(coef: &[i16; 64]) -> [i16; 64] {
+    let mut tmp = [[0i64; 8]; 8];
+    for r in 0..8 {
+        let mut row = [0i64; 8];
+        for c in 0..8 {
+            row[c] = i64::from(coef[r * 8 + c]);
+        }
+        tmp[r] = idct1d(&row);
+    }
+    let mut out = [0i16; 64];
+    for c in 0..8 {
+        let mut col = [0i64; 8];
+        for r in 0..8 {
+            col[r] = tmp[r][c];
+        }
+        let t = idct1d(&col);
+        for r in 0..8 {
+            out[r * 8 + c] = (t[r] >> 4).clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+/// Count of nonzero coefficients (drives entropy-coding trip counts).
+#[must_use]
+pub fn nonzero_count(coef: &[i16; 64]) -> usize {
+    coef.iter().filter(|&&c| c != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_block() -> [i16; 64] {
+        let mut b = [0i16; 64];
+        for r in 0..8 {
+            for c in 0..8 {
+                b[r * 8 + c] = (r as i16) * 8 + c as i16 - 28;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let block = [100i16; 64];
+        let coef = forward(&block);
+        // Conventional scaling: DC = 8 × mean = 800 (allow small error).
+        assert!((i32::from(coef[0]) - 800).abs() <= 8, "DC = {}", coef[0]);
+        // All AC coefficients ~0.
+        for (i, &c) in coef.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 2, "AC[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let block = gradient_block();
+        let coef = forward(&block);
+        let back = inverse(&coef);
+        for i in 0..64 {
+            let err = (i32::from(back[i]) - i32::from(block[i])).abs();
+            assert!(err <= 2, "sample {i}: {} vs {} (err {err})", back[i], block[i]);
+        }
+    }
+
+    #[test]
+    fn round_trip_extreme_values() {
+        let mut block = [0i16; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = if i % 2 == 0 { 255 } else { -255 };
+        }
+        let back = inverse(&forward(&block));
+        for i in 0..64 {
+            let err = (i32::from(back[i]) - i32::from(block[i])).abs();
+            assert!(err <= 4, "sample {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a = gradient_block();
+        let mut a2 = [0i16; 64];
+        for i in 0..64 {
+            a2[i] = a[i] * 2;
+        }
+        let ca = forward(&a);
+        let ca2 = forward(&a2);
+        for i in 0..64 {
+            let err = (i32::from(ca2[i]) - 2 * i32::from(ca[i])).abs();
+            assert!(err <= 4, "coef {i}: {} vs 2×{}", ca2[i], ca[i]);
+        }
+    }
+
+    #[test]
+    fn energy_compaction_on_smooth_data() {
+        // A smooth gradient concentrates energy in low frequencies.
+        let coef = forward(&gradient_block());
+        let low: i64 = coef[..16].iter().map(|&c| i64::from(c) * i64::from(c)).sum();
+        let high: i64 = coef[48..].iter().map(|&c| i64::from(c) * i64::from(c)).sum();
+        assert!(low > 10 * high.max(1), "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn nonzero_count_counts() {
+        let mut c = [0i16; 64];
+        assert_eq!(nonzero_count(&c), 0);
+        c[0] = 5;
+        c[63] = -1;
+        assert_eq!(nonzero_count(&c), 2);
+    }
+
+    #[test]
+    fn fold_angle_symmetries() {
+        // cos(0)=1, cos(8π/16)=cos(π/2)=0ish→C[8] small? C[8]=1598? no...
+        assert_eq!(fold_angle(0), (0, 1));
+        assert_eq!(fold_angle(16), (0, -1)); // cos(π) = −1
+        assert_eq!(fold_angle(32 - 1), (1, 1)); // cos(−π/16)
+        assert_eq!(fold_angle(17), (1, -1)); // cos(17π/16) = −cos(π/16)
+    }
+}

@@ -1,0 +1,211 @@
+//! Huffman-style entropy coding: bit writer/reader and a canonical code
+//! over (run, level) events.
+//!
+//! This is the scalar, table-lookup, branch-heavy phase of the image and
+//! video codecs — the part that stays on the integer pipeline and, per
+//! the paper's thesis, dominates full-program behaviour.
+
+use crate::kernels::zigzag::RunLevel;
+
+/// A most-significant-bit-first bit writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bitpos: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (MSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn put(&mut self, value: u32, n: u8) {
+        assert!(n <= 32, "at most 32 bits at a time");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            if self.bitpos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.bitpos);
+            self.bitpos = (self.bitpos + 1) % 8;
+        }
+    }
+
+    /// Total bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        if self.bitpos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bitpos as usize
+        }
+    }
+
+    /// Finish and return the byte buffer (zero-padded to a byte).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read one bit; `None` at end of input.
+    pub fn bit(&mut self) -> Option<u32> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(u32::from(bit))
+    }
+
+    /// Read `n` bits MSB-first; `None` if input exhausts.
+    pub fn take(&mut self, n: u8) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Code length (bits) for a (run, level) event under our canonical
+/// MPEG-2-flavoured table: short codes for short runs and small levels.
+#[must_use]
+pub fn code_len(e: RunLevel) -> u8 {
+    let level_mag = e.level.unsigned_abs().min(40) as u32;
+    let base = match (e.run, level_mag) {
+        (0, 1) => 2,
+        (0, 2) => 4,
+        (0, 3) => 5,
+        (1, 1) => 3,
+        (1, 2) => 6,
+        (2, 1) => 5,
+        (3, 1) => 6,
+        (4..=6, 1) => 7,
+        _ => 0,
+    };
+    if base > 0 {
+        return base + 1; // +1 sign bit
+    }
+    // Escape: 6-bit escape prefix + 6-bit run + 12-bit level.
+    24
+}
+
+/// Encode events of one block, terminated by a 2-bit end-of-block code.
+pub fn encode_block(w: &mut BitWriter, events: &[RunLevel]) {
+    for &e in events {
+        let len = code_len(e);
+        if len < 24 {
+            // Canonical short code: emit (len-1) bits of pattern then sign.
+            let pattern = (u32::from(e.run) << 2 | (e.level.unsigned_abs() as u32 & 0x3)) & ((1 << (len - 1)) - 1);
+            w.put(pattern, len - 1);
+            w.put(u32::from(e.level < 0), 1);
+        } else {
+            w.put(0b111_111, 6);
+            w.put(u32::from(e.run), 6);
+            w.put((e.level as i32 & 0xfff) as u32, 12);
+        }
+    }
+    w.put(0b10, 2); // end of block
+}
+
+/// Total bits block encoding takes (without writing).
+#[must_use]
+pub fn block_bits(events: &[RunLevel]) -> usize {
+    events.iter().map(|&e| usize::from(code_len(e))).sum::<usize>() + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_writer_packs_msb_first() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b01, 2);
+        assert_eq!(w.bit_len(), 5);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1010_1000]);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [(0b1101u32, 4u8), (0x5a, 8), (1, 1), (0x123, 12)];
+        for &(v, n) in &values {
+            w.put(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.take(n), Some(v));
+        }
+    }
+
+    #[test]
+    fn reader_exhausts_cleanly() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.take(8), Some(0xff));
+        assert_eq!(r.bit(), None);
+        assert_eq!(r.take(4), None);
+    }
+
+    #[test]
+    fn common_events_have_short_codes() {
+        assert!(code_len(RunLevel { run: 0, level: 1 }) <= 3);
+        assert!(code_len(RunLevel { run: 1, level: 1 }) <= 4);
+        // Rare events escape to 24 bits.
+        assert_eq!(code_len(RunLevel { run: 20, level: 300 }), 24);
+        assert_eq!(code_len(RunLevel { run: 0, level: -1 }), code_len(RunLevel { run: 0, level: 1 }));
+    }
+
+    #[test]
+    fn encode_block_writes_expected_bits() {
+        let events = vec![RunLevel { run: 0, level: 1 }, RunLevel { run: 2, level: -1 }];
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &events);
+        assert_eq!(w.bit_len(), block_bits(&events));
+    }
+
+    #[test]
+    fn empty_block_is_just_eob() {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &[]);
+        assert_eq!(w.bit_len(), 2);
+    }
+
+    #[test]
+    fn denser_blocks_take_more_bits() {
+        let sparse = vec![RunLevel { run: 5, level: 1 }];
+        let dense: Vec<RunLevel> = (0..20).map(|i| RunLevel { run: 0, level: i - 10 }).collect();
+        assert!(block_bits(&dense) > block_bits(&sparse));
+    }
+}

@@ -1,0 +1,291 @@
+//! A miniature 3D rendering pipeline (the `mesa` benchmark stand-in).
+//!
+//! Mediabench's `mesa` runs OpenGL software rendering. The hot phases
+//! are: vertex transform (4×4 matrix × vec4), lighting (normal·light dot
+//! products), and triangle rasterization with a depth buffer. All of it
+//! is floating-point and scalar-integer work — the paper notes `mesa`
+//! was *not* vectorized because the emulation libraries lack FP μ-SIMD,
+//! which is why it anchors the scalar end of the workload.
+
+/// A 4-component vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec4 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+    /// w component.
+    pub w: f32,
+}
+
+impl Vec4 {
+    /// Build a vector.
+    #[must_use]
+    pub fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Vec4 { x, y, z, w }
+    }
+
+    /// Dot product of the xyz parts.
+    #[must_use]
+    pub fn dot3(self, o: Vec4) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean norm of the xyz part.
+    #[must_use]
+    pub fn norm3(self) -> f32 {
+        self.dot3(self).sqrt()
+    }
+}
+
+/// A row-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4(pub [f32; 16]);
+
+impl Mat4 {
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity() -> Self {
+        let mut m = [0.0; 16];
+        m[0] = 1.0;
+        m[5] = 1.0;
+        m[10] = 1.0;
+        m[15] = 1.0;
+        Mat4(m)
+    }
+
+    /// Translation matrix.
+    #[must_use]
+    pub fn translate(tx: f32, ty: f32, tz: f32) -> Self {
+        let mut m = Mat4::identity();
+        m.0[3] = tx;
+        m.0[7] = ty;
+        m.0[11] = tz;
+        m
+    }
+
+    /// Uniform scale matrix.
+    #[must_use]
+    pub fn scale(s: f32) -> Self {
+        let mut m = Mat4::identity();
+        m.0[0] = s;
+        m.0[5] = s;
+        m.0[10] = s;
+        m
+    }
+
+    /// Rotation about Z by `theta` radians.
+    #[must_use]
+    pub fn rotate_z(theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        let mut m = Mat4::identity();
+        m.0[0] = c;
+        m.0[1] = -s;
+        m.0[4] = s;
+        m.0[5] = c;
+        m
+    }
+
+    /// Matrix × matrix.
+    #[must_use]
+    pub fn mul(self, o: Mat4) -> Mat4 {
+        let mut r = [0.0f32; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.0[i * 4 + k] * o.0[k * 4 + j];
+                }
+                r[i * 4 + j] = acc;
+            }
+        }
+        Mat4(r)
+    }
+
+    /// Matrix × vector (the per-vertex transform: 16 multiplies, 12 adds).
+    #[must_use]
+    pub fn transform(self, v: Vec4) -> Vec4 {
+        let m = &self.0;
+        Vec4 {
+            x: m[0] * v.x + m[1] * v.y + m[2] * v.z + m[3] * v.w,
+            y: m[4] * v.x + m[5] * v.y + m[6] * v.z + m[7] * v.w,
+            z: m[8] * v.x + m[9] * v.y + m[10] * v.z + m[11] * v.w,
+            w: m[12] * v.x + m[13] * v.y + m[14] * v.z + m[15] * v.w,
+        }
+    }
+}
+
+/// Diffuse lighting: clamped Lambert term against a unit light vector.
+#[must_use]
+pub fn diffuse(normal: Vec4, light: Vec4) -> f32 {
+    let n = normal.norm3();
+    if n == 0.0 {
+        return 0.0;
+    }
+    (normal.dot3(light) / n).max(0.0)
+}
+
+/// A framebuffer with a depth buffer.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    /// Packed 8-bit intensity per pixel.
+    pub color: Vec<u8>,
+    /// Depth per pixel (larger = farther; initialized to `f32::MAX`).
+    pub depth: Vec<f32>,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Framebuffer {
+    /// A cleared framebuffer.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        Framebuffer { color: vec![0; width * height], depth: vec![f32::MAX; width * height], width, height }
+    }
+
+    /// Count of pixels written (depth < MAX).
+    #[must_use]
+    pub fn covered_pixels(&self) -> usize {
+        self.depth.iter().filter(|&&d| d < f32::MAX).count()
+    }
+}
+
+/// A screen-space triangle vertex: position + intensity.
+#[derive(Debug, Clone, Copy)]
+pub struct ScreenVertex {
+    /// Screen x.
+    pub x: f32,
+    /// Screen y.
+    pub y: f32,
+    /// Depth.
+    pub z: f32,
+    /// Shaded intensity 0..=1.
+    pub intensity: f32,
+}
+
+fn edge(a: &ScreenVertex, b: &ScreenVertex, px: f32, py: f32) -> f32 {
+    (px - a.x) * (b.y - a.y) - (py - a.y) * (b.x - a.x)
+}
+
+/// Rasterize a triangle with barycentric interpolation and depth test.
+/// Returns the number of pixels that passed the depth test.
+pub fn rasterize(fb: &mut Framebuffer, v0: ScreenVertex, v1: ScreenVertex, v2: ScreenVertex) -> usize {
+    let min_x = v0.x.min(v1.x).min(v2.x).floor().max(0.0) as usize;
+    let max_x = (v0.x.max(v1.x).max(v2.x).ceil() as usize).min(fb.width.saturating_sub(1));
+    let min_y = v0.y.min(v1.y).min(v2.y).floor().max(0.0) as usize;
+    let max_y = (v0.y.max(v1.y).max(v2.y).ceil() as usize).min(fb.height.saturating_sub(1));
+    let area = edge(&v0, &v1, v2.x, v2.y);
+    if area.abs() < 1e-6 {
+        return 0;
+    }
+    let mut written = 0;
+    for py in min_y..=max_y {
+        for px in min_x..=max_x {
+            let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+            let w0 = edge(&v1, &v2, fx, fy) / area;
+            let w1 = edge(&v2, &v0, fx, fy) / area;
+            let w2 = 1.0 - w0 - w1;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            let z = w0 * v0.z + w1 * v1.z + w2 * v2.z;
+            let idx = py * fb.width + px;
+            if z < fb.depth[idx] {
+                fb.depth[idx] = z;
+                let i = w0 * v0.intensity + w1 * v1.intensity + w2 * v2.intensity;
+                fb.color[idx] = (i.clamp(0.0, 1.0) * 255.0) as u8;
+                written += 1;
+            }
+        }
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transform_preserves() {
+        let v = Vec4::new(1.0, 2.0, 3.0, 1.0);
+        let t = Mat4::identity().transform(v);
+        assert_eq!(t, v);
+    }
+
+    #[test]
+    fn translate_moves_points() {
+        let v = Vec4::new(1.0, 1.0, 1.0, 1.0);
+        let t = Mat4::translate(2.0, -1.0, 0.5).transform(v);
+        assert_eq!((t.x, t.y, t.z), (3.0, 0.0, 1.5));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec4::new(3.0, 4.0, 0.0, 1.0);
+        let r = Mat4::rotate_z(1.1).transform(v);
+        assert!((r.norm3() - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matrix_multiply_composes() {
+        let a = Mat4::translate(1.0, 0.0, 0.0);
+        let b = Mat4::scale(2.0);
+        let v = Vec4::new(1.0, 1.0, 1.0, 1.0);
+        // (a·b) v = a(b(v))
+        let lhs = a.mul(b).transform(v);
+        let rhs = a.transform(b.transform(v));
+        assert!((lhs.x - rhs.x).abs() < 1e-5);
+        assert!((lhs.y - rhs.y).abs() < 1e-5);
+        assert!((lhs.z - rhs.z).abs() < 1e-5);
+    }
+
+    #[test]
+    fn diffuse_lighting_geometry() {
+        let light = Vec4::new(0.0, 0.0, 1.0, 0.0);
+        assert!((diffuse(Vec4::new(0.0, 0.0, 1.0, 0.0), light) - 1.0).abs() < 1e-6);
+        assert_eq!(diffuse(Vec4::new(0.0, 0.0, -1.0, 0.0), light), 0.0);
+        let grazing = diffuse(Vec4::new(1.0, 0.0, 1.0, 0.0), light);
+        assert!((grazing - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rasterize_covers_expected_area() {
+        let mut fb = Framebuffer::new(64, 64);
+        // Right triangle covering ~half of a 40×40 box.
+        let v0 = ScreenVertex { x: 10.0, y: 10.0, z: 0.5, intensity: 1.0 };
+        let v1 = ScreenVertex { x: 50.0, y: 10.0, z: 0.5, intensity: 1.0 };
+        let v2 = ScreenVertex { x: 10.0, y: 50.0, z: 0.5, intensity: 1.0 };
+        let w = rasterize(&mut fb, v0, v1, v2);
+        assert!(w > 600 && w < 1000, "~800 pixels expected, got {w}");
+        assert_eq!(fb.covered_pixels(), w);
+    }
+
+    #[test]
+    fn depth_test_rejects_farther_triangle() {
+        let mut fb = Framebuffer::new(32, 32);
+        let tri = |z: f32, i: f32| {
+            (
+                ScreenVertex { x: 2.0, y: 2.0, z, intensity: i },
+                ScreenVertex { x: 30.0, y: 2.0, z, intensity: i },
+                ScreenVertex { x: 2.0, y: 30.0, z, intensity: i },
+            )
+        };
+        let (a0, a1, a2) = tri(0.3, 1.0);
+        let near = rasterize(&mut fb, a0, a1, a2);
+        assert!(near > 0);
+        let (b0, b1, b2) = tri(0.9, 0.5);
+        let far = rasterize(&mut fb, b0, b1, b2);
+        assert_eq!(far, 0, "farther triangle fully occluded");
+    }
+
+    #[test]
+    fn degenerate_triangle_rasterizes_nothing() {
+        let mut fb = Framebuffer::new(16, 16);
+        let v = ScreenVertex { x: 5.0, y: 5.0, z: 0.1, intensity: 1.0 };
+        assert_eq!(rasterize(&mut fb, v, v, v), 0);
+    }
+}

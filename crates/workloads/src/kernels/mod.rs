@@ -1,0 +1,19 @@
+//! Functional reference implementations of the media kernels.
+//!
+//! These are *real* algorithm implementations — the same transforms the
+//! Mediabench programs spend their kernel time in. The trace generators
+//! in [`crate::trace`] walk these algorithms' loop structures to emit
+//! instruction streams, and run them functionally to obtain the
+//! data-dependent values (quantized coefficient counts, motion vectors,
+//! Huffman code lengths) that drive branch outcomes and trip counts. The
+//! example binaries also use them end-to-end (encode a synthetic frame
+//! and report PSNR).
+
+pub mod color;
+pub mod dct;
+pub mod gsm;
+pub mod huffman;
+pub mod mesa3d;
+pub mod motion;
+pub mod quant;
+pub mod zigzag;

@@ -1,0 +1,207 @@
+//! Block motion estimation and compensation.
+//!
+//! The `mpeg2enc` hot loop: find, for each 16×16 macroblock of the
+//! current frame, the best-matching block in a search window of the
+//! reference frame (minimum sum of absolute differences), then form the
+//! residual against that prediction. SAD over rows of 8/16 pixels is the
+//! signature μ-SIMD kernel (`psadbw` / MOM `acc.sad.b`).
+
+/// A luma plane with its geometry.
+#[derive(Debug, Clone)]
+pub struct Plane {
+    /// Samples, row-major.
+    pub data: Vec<u8>,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Plane {
+    /// Create a plane filled with `fill`.
+    #[must_use]
+    pub fn new(width: usize, height: usize, fill: u8) -> Self {
+        Plane { data: vec![fill; width * height], width, height }
+    }
+
+    /// Sample at (x, y) with edge clamping.
+    #[must_use]
+    pub fn at(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+}
+
+/// Sum of absolute differences between a `bw`×`bh` block of `cur` at
+/// (cx, cy) and of `reference` at (rx, ry).
+#[must_use]
+pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: isize, bw: usize, bh: usize) -> u32 {
+    let mut total = 0u32;
+    for dy in 0..bh {
+        for dx in 0..bw {
+            let a = i32::from(cur.at((cx + dx) as isize, (cy + dy) as isize));
+            let b = i32::from(reference.at(rx + dx as isize, ry + dy as isize));
+            total += a.abs_diff(b);
+        }
+    }
+    total
+}
+
+/// Result of a motion search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionVector {
+    /// Horizontal displacement (pixels).
+    pub dx: i8,
+    /// Vertical displacement (pixels).
+    pub dy: i8,
+    /// SAD at the chosen displacement.
+    pub sad: u32,
+}
+
+/// Full-search motion estimation of the 16×16 macroblock at (mx, my)
+/// within ±`range` pixels. Returns the best vector (ties favor the
+/// smaller displacement, searched in raster order).
+#[must_use]
+pub fn full_search(cur: &Plane, reference: &Plane, mx: usize, my: usize, range: i8) -> MotionVector {
+    let mut best = MotionVector { dx: 0, dy: 0, sad: u32::MAX };
+    for dy in -range..=range {
+        for dx in -range..=range {
+            let s = sad(
+                cur,
+                mx,
+                my,
+                reference,
+                mx as isize + dx as isize,
+                my as isize + dy as isize,
+                16,
+                16,
+            );
+            if s < best.sad {
+                best = MotionVector { dx, dy, sad: s };
+            }
+        }
+    }
+    best
+}
+
+/// Number of candidate positions a full search of ±`range` evaluates.
+#[must_use]
+pub fn candidates(range: i8) -> usize {
+    let n = 2 * range as usize + 1;
+    n * n
+}
+
+/// Form the 16×16 residual of the macroblock at (mx, my) against the
+/// motion-compensated prediction.
+#[must_use]
+pub fn residual(cur: &Plane, reference: &Plane, mx: usize, my: usize, mv: MotionVector) -> [i16; 256] {
+    let mut out = [0i16; 256];
+    for dy in 0..16 {
+        for dx in 0..16 {
+            let a = i16::from(cur.at((mx + dx) as isize, (my + dy) as isize));
+            let b = i16::from(reference.at(
+                mx as isize + i16::from(mv.dx) as isize + dx as isize,
+                my as isize + i16::from(mv.dy) as isize + dy as isize,
+            ));
+            out[dy * 16 + dx] = a - b;
+        }
+    }
+    out
+}
+
+/// Motion-compensated reconstruction: prediction + residual, clamped to
+/// pixel range (the decoder-side kernel).
+pub fn reconstruct(dst: &mut Plane, reference: &Plane, mx: usize, my: usize, mv: MotionVector, residual: &[i16; 256]) {
+    for dy in 0..16 {
+        for dx in 0..16 {
+            let p = i16::from(reference.at(
+                mx as isize + i16::from(mv.dx) as isize + dx as isize,
+                my as isize + i16::from(mv.dy) as isize + dy as isize,
+            ));
+            let v = (p + residual[dy * 16 + dx]).clamp(0, 255) as u8;
+            let x = (mx + dx).min(dst.width - 1);
+            let y = (my + dy).min(dst.height - 1);
+            dst.data[y * dst.width + x] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(width: usize, height: usize, phase: usize) -> Plane {
+        let mut p = Plane::new(width, height, 0);
+        for y in 0..height {
+            for x in 0..width {
+                p.data[y * width + x] = (((x + phase) * 7 + y * 13) % 251) as u8;
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let p = textured(64, 64, 0);
+        assert_eq!(sad(&p, 16, 16, &p, 16, 16, 16, 16), 0);
+    }
+
+    #[test]
+    fn sad_grows_with_mismatch() {
+        let a = textured(64, 64, 0);
+        let b = textured(64, 64, 3);
+        // b(x) samples the texture at x+3, so b at x=13 equals a at x=16.
+        let near = sad(&a, 16, 16, &b, 16 - 3, 16, 16, 16);
+        let far = sad(&a, 16, 16, &b, 16, 16, 16, 16);
+        assert_eq!(near, 0, "phase-3 texture matches at dx=-3");
+        assert!(far > 0);
+    }
+
+    #[test]
+    fn full_search_finds_known_shift() {
+        let cur = textured(96, 96, 5);
+        let reference = textured(96, 96, 0);
+        // cur(x) = ref(x+5): block at mx matches reference at mx+5.
+        let mv = full_search(&cur, &reference, 32, 32, 7);
+        assert_eq!((mv.dx, mv.dy), (5, 0));
+        assert_eq!(mv.sad, 0);
+    }
+
+    #[test]
+    fn candidate_count() {
+        assert_eq!(candidates(7), 225);
+        assert_eq!(candidates(1), 9);
+        assert_eq!(candidates(0), 1);
+    }
+
+    #[test]
+    fn residual_plus_prediction_reconstructs() {
+        let cur = textured(64, 64, 2);
+        let reference = textured(64, 64, 0);
+        let mv = full_search(&cur, &reference, 16, 16, 4);
+        let res = residual(&cur, &reference, 16, 16, mv);
+        let mut rec = Plane::new(64, 64, 0);
+        reconstruct(&mut rec, &reference, 16, 16, mv, &res);
+        for dy in 0..16 {
+            for dx in 0..16 {
+                assert_eq!(rec.at((16 + dx) as isize, (16 + dy) as isize), cur.at((16 + dx) as isize, (16 + dy) as isize));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_clamping_in_at() {
+        let p = textured(8, 8, 0);
+        assert_eq!(p.at(-5, -5), p.at(0, 0));
+        assert_eq!(p.at(100, 3), p.at(7, 3));
+    }
+
+    #[test]
+    fn zero_range_search_returns_zero_vector() {
+        let a = textured(64, 64, 0);
+        let b = textured(64, 64, 1);
+        let mv = full_search(&a, &b, 16, 16, 0);
+        assert_eq!((mv.dx, mv.dy), (0, 0));
+    }
+}

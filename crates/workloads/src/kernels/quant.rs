@@ -1,0 +1,113 @@
+//! Coefficient quantization and dequantization.
+//!
+//! MPEG-2/JPEG style: a per-position quantization matrix scaled by a
+//! quality factor. Quantization is where most coefficients become zero,
+//! which in turn determines the entropy-coding work — the main
+//! data-dependent scalar phase of the video codecs.
+
+/// The default intra quantization matrix (MPEG-2 Table 7-2 shape).
+pub const INTRA_MATRIX: [u16; 64] = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// A flat matrix for inter (non-intra) blocks.
+pub const INTER_MATRIX: [u16; 64] = [16; 64];
+
+/// Quantize a DCT coefficient block with the given matrix and scale
+/// (`qscale` ∈ 1..=31 as in MPEG-2). Returns the quantized levels.
+#[must_use]
+pub fn quantize(coef: &[i16; 64], matrix: &[u16; 64], qscale: u16) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let q = i32::from(matrix[i]) * i32::from(qscale);
+        let c = i32::from(coef[i]) * 16;
+        // Symmetric rounding toward zero with a dead zone (MPEG-2 style).
+        let level = if c >= 0 { (c + q / 2) / q } else { -((-c + q / 2) / q) };
+        out[i] = level.clamp(-2047, 2047) as i16;
+    }
+    out
+}
+
+/// Dequantize levels back to coefficient magnitudes.
+#[must_use]
+pub fn dequantize(level: &[i16; 64], matrix: &[u16; 64], qscale: u16) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let q = i32::from(matrix[i]) * i32::from(qscale);
+        let v = (i32::from(level[i]) * q) / 16;
+        out[i] = v.clamp(-32768, 32767) as i16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stays_zero() {
+        let z = [0i16; 64];
+        assert_eq!(quantize(&z, &INTRA_MATRIX, 8), [0i16; 64]);
+        assert_eq!(dequantize(&z, &INTRA_MATRIX, 8), [0i16; 64]);
+    }
+
+    #[test]
+    fn small_coefficients_die_at_high_qscale() {
+        let mut c = [0i16; 64];
+        c[50] = 9; // high-frequency, small
+        let q = quantize(&c, &INTRA_MATRIX, 16);
+        assert_eq!(q[50], 0, "small high-frequency coefficient quantizes to zero");
+        let q = quantize(&c, &INTRA_MATRIX, 1);
+        assert_ne!(q[50], 0, "fine quantization keeps it");
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_step() {
+        let mut c = [0i16; 64];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = (i as i16 - 32) * 13;
+        }
+        let q = quantize(&c, &INTRA_MATRIX, 4);
+        let d = dequantize(&q, &INTRA_MATRIX, 4);
+        for i in 0..64 {
+            let step = i32::from(INTRA_MATRIX[i]) * 4 / 16;
+            let err = (i32::from(d[i]) - i32::from(c[i])).abs();
+            assert!(err <= step, "pos {i}: err {err} > step {step}");
+        }
+    }
+
+    #[test]
+    fn quantization_is_odd_symmetric() {
+        let mut c = [0i16; 64];
+        c[3] = 100;
+        let mut n = [0i16; 64];
+        n[3] = -100;
+        let qp = quantize(&c, &INTRA_MATRIX, 8);
+        let qn = quantize(&n, &INTRA_MATRIX, 8);
+        assert_eq!(qp[3], -qn[3]);
+    }
+
+    #[test]
+    fn coarser_scale_means_fewer_nonzeros() {
+        let mut c = [0i16; 64];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = 200 - 3 * i as i16;
+        }
+        let fine = quantize(&c, &INTRA_MATRIX, 2);
+        let coarse = quantize(&c, &INTRA_MATRIX, 31);
+        let nz = |b: &[i16; 64]| b.iter().filter(|&&x| x != 0).count();
+        assert!(nz(&coarse) < nz(&fine));
+    }
+
+    #[test]
+    fn inter_matrix_is_flat() {
+        assert!(INTER_MATRIX.iter().all(|&q| q == 16));
+    }
+}

@@ -1,0 +1,114 @@
+//! Zigzag scan and run-length encoding of quantized coefficient blocks.
+//!
+//! The (run, level) pairs produced here are what the VLC entropy coder
+//! consumes; the number of pairs is the trip count of the codecs' most
+//! branch-heavy scalar loop.
+
+/// The standard 8×8 zigzag scan order.
+pub const ZIGZAG: [u8; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// One run-length event: `run` zeros followed by `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLevel {
+    /// Number of zero coefficients preceding this one in scan order.
+    pub run: u8,
+    /// The nonzero coefficient value.
+    pub level: i16,
+}
+
+/// Scan `block` in zigzag order and produce its (run, level) events.
+#[must_use]
+pub fn run_length_encode(block: &[i16; 64]) -> Vec<RunLevel> {
+    let mut events = Vec::new();
+    let mut run = 0u8;
+    for &pos in &ZIGZAG {
+        let v = block[pos as usize];
+        if v == 0 {
+            run += 1;
+        } else {
+            events.push(RunLevel { run, level: v });
+            run = 0;
+        }
+    }
+    events
+}
+
+/// Rebuild a coefficient block from (run, level) events.
+#[must_use]
+pub fn run_length_decode(events: &[RunLevel]) -> [i16; 64] {
+    let mut block = [0i16; 64];
+    let mut scan = 0usize;
+    for e in events {
+        scan += e.run as usize;
+        if scan >= 64 {
+            break;
+        }
+        block[ZIGZAG[scan] as usize] = e.level;
+        scan += 1;
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z as usize], "duplicate {z}");
+            seen[z as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_starts_dc_then_low_frequencies() {
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1);
+        assert_eq!(ZIGZAG[2], 8);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut block = [0i16; 64];
+        block[0] = 50;
+        block[8] = -3;
+        block[35] = 7;
+        block[63] = -1;
+        let events = run_length_encode(&block);
+        assert_eq!(run_length_decode(&events), block);
+    }
+
+    #[test]
+    fn empty_block_has_no_events() {
+        assert!(run_length_encode(&[0i16; 64]).is_empty());
+    }
+
+    #[test]
+    fn dense_block_has_64_events() {
+        let block = [1i16; 64];
+        let events = run_length_encode(&block);
+        assert_eq!(events.len(), 64);
+        assert!(events.iter().all(|e| e.run == 0));
+    }
+
+    #[test]
+    fn runs_count_zeros() {
+        let mut block = [0i16; 64];
+        block[ZIGZAG[5] as usize] = 9;
+        let events = run_length_encode(&block);
+        assert_eq!(events, vec![RunLevel { run: 5, level: 9 }]);
+    }
+}

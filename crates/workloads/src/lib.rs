@@ -1,0 +1,39 @@
+//! # medsim-workloads — media workload models
+//!
+//! The HPCA 2001 paper evaluates a multiprogrammed workload approximating
+//! an MPEG-4 application: the four MPEG-4 profiles represented by
+//! Mediabench programs (§4.1, Table 2):
+//!
+//! | profile | programs |
+//! |---------|----------|
+//! | MPEG-4 video | `mpeg2enc`, `mpeg2dec` |
+//! | MPEG-4 still image (2D/3D) | `jpegenc`, `jpegdec`, `mesa` |
+//! | MPEG-4 audio/speech | `gsmenc`, `gsmdec` |
+//!
+//! The original study ran Alpha binaries, hand-vectorized with emulation
+//! libraries. This crate rebuilds each program as a **program skeleton**:
+//! the real kernel algorithms (8×8 DCT, full-search motion estimation,
+//! color conversion, GSM LPC/LTP, Huffman coding, a small 3D pipeline)
+//! implemented functionally in [`kernels`], and per-benchmark
+//! **instruction-trace generators** in [`trace`] that walk the same loop
+//! nests over modeled buffers, emitting the genuine address streams and
+//! data-dependent branch outcomes, vectorized two ways — MMX-style and
+//! MOM-style ([`SimdIsa`]).
+//!
+//! [`suite`] assembles the paper's 8-program multiprogrammed workload and
+//! [`mix`] computes the Table-3 instruction breakdown with the paper's
+//! counting rule (a MOM instruction of stream length `L` counts as `L`
+//! equivalent instructions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod layout;
+pub mod mix;
+pub mod suite;
+pub mod trace;
+
+pub use mix::{InstMix, MixBreakdown};
+pub use suite::{Benchmark, Workload, WorkloadSpec};
+pub use trace::{ChunkedStream, ClampStream, InstStream, SimdIsa};

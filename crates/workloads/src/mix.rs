@@ -1,0 +1,158 @@
+//! Instruction-mix accounting (Table 3 of the paper).
+//!
+//! The paper's counting rule (§4.2): *"to allow for a meaningful
+//! comparison, a MOM μ-SIMD instruction that operates with, say, a
+//! stream length of 11, counts as eleven instructions"*. [`InstMix`]
+//! therefore accumulates **equivalent instructions**: scalar and MMX
+//! instructions count 1, MOM instructions count their stream length.
+
+use medsim_isa::{Inst, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Equivalent-instruction counts by Table-3 bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstMix {
+    /// Integer arithmetic + control (the paper's "integer" bucket).
+    pub integer: u64,
+    /// Scalar floating point.
+    pub fp: u64,
+    /// SIMD arithmetic (MMX or MOM non-memory).
+    pub simd: u64,
+    /// Memory (scalar and vector loads/stores).
+    pub memory: u64,
+    /// Raw (non-equivalent) instruction count — what the fetch/decode
+    /// pipeline actually sees.
+    pub raw: u64,
+}
+
+impl InstMix {
+    /// Record one instruction.
+    pub fn record(&mut self, inst: &Inst) {
+        let eq = inst.equivalent_count();
+        self.raw += 1;
+        match inst.kind() {
+            OpKind::Integer => self.integer += eq,
+            OpKind::Fp => self.fp += eq,
+            OpKind::SimdArith => self.simd += eq,
+            OpKind::Memory => self.memory += eq,
+        }
+    }
+
+    /// Total equivalent instructions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.integer + self.fp + self.simd + self.memory
+    }
+
+    /// Accumulate another mix into this one.
+    pub fn merge(&mut self, other: &InstMix) {
+        self.integer += other.integer;
+        self.fp += other.fp;
+        self.simd += other.simd;
+        self.memory += other.memory;
+        self.raw += other.raw;
+    }
+
+    /// The percentage breakdown (Table-3 row values).
+    #[must_use]
+    pub fn breakdown(&self) -> MixBreakdown {
+        let t = self.total().max(1) as f64;
+        MixBreakdown {
+            integer_pct: 100.0 * self.integer as f64 / t,
+            fp_pct: 100.0 * self.fp as f64 / t,
+            simd_pct: 100.0 * self.simd as f64 / t,
+            memory_pct: 100.0 * self.memory as f64 / t,
+            total_insts: self.total(),
+        }
+    }
+}
+
+/// Percentage view of an [`InstMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixBreakdown {
+    /// Integer share (%), Table 3 row 1.
+    pub integer_pct: f64,
+    /// FP share (%).
+    pub fp_pct: f64,
+    /// SIMD-arithmetic share (%).
+    pub simd_pct: f64,
+    /// Memory share (%).
+    pub memory_pct: f64,
+    /// Total equivalent instructions (Table 3's `#ins` row).
+    pub total_insts: u64,
+}
+
+impl core::fmt::Display for MixBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "INT {:5.1}%  FP {:4.1}%  SIMD {:5.1}%  MEM {:5.1}%  (#ins {})",
+            self.integer_pct, self.fp_pct, self.simd_pct, self.memory_pct, self.total_insts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::prelude::*;
+
+    #[test]
+    fn buckets_follow_table3() {
+        let mut mix = InstMix::default();
+        mix.record(&Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)));
+        mix.record(&Inst::branch(CtlOp::Bne, int(1), true, 0));
+        mix.record(&Inst::fp_rrr(FpOp::FMul, fp(0), fp(1), fp(2)));
+        mix.record(&Inst::mmx(MmxOp::PaddW, simd(0), simd(1), simd(2)));
+        mix.record(&Inst::load(MemOp::LoadW, int(4), int(5), 0x100));
+        mix.record(&Inst::mmx_load(simd(3), int(5), 0x200));
+        assert_eq!(mix.integer, 2, "branches count as integer");
+        assert_eq!(mix.fp, 1);
+        assert_eq!(mix.simd, 1);
+        assert_eq!(mix.memory, 2, "MMX loads are memory");
+        assert_eq!(mix.raw, 6);
+    }
+
+    #[test]
+    fn mom_counts_equivalent_instructions() {
+        let mut mix = InstMix::default();
+        mix.record(&Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 11));
+        mix.record(&Inst::mom_load(stream(3), int(1), 0x1000, 8, 16));
+        assert_eq!(mix.simd, 11, "the paper's stream-length-11 example");
+        assert_eq!(mix.memory, 16);
+        assert_eq!(mix.raw, 2, "the pipeline only fetched two instructions");
+        assert_eq!(mix.total(), 27);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let mut mix = InstMix::default();
+        for _ in 0..62 {
+            mix.record(&Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)));
+        }
+        for _ in 0..16 {
+            mix.record(&Inst::mmx(MmxOp::PaddW, simd(0), simd(1), simd(2)));
+        }
+        for _ in 0..20 {
+            mix.record(&Inst::load(MemOp::LoadW, int(4), int(5), 0));
+        }
+        for _ in 0..2 {
+            mix.record(&Inst::fp_rrr(FpOp::FAdd, fp(0), fp(1), fp(2)));
+        }
+        let b = mix.breakdown();
+        assert!((b.integer_pct + b.fp_pct + b.simd_pct + b.memory_pct - 100.0).abs() < 1e-9);
+        assert!((b.integer_pct - 62.0).abs() < 1e-9);
+        assert!((b.simd_pct - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = InstMix { integer: 10, fp: 1, simd: 2, memory: 3, raw: 16 };
+        let b = InstMix { integer: 5, fp: 0, simd: 8, memory: 2, raw: 10 };
+        a.merge(&b);
+        assert_eq!(a.integer, 15);
+        assert_eq!(a.simd, 10);
+        assert_eq!(a.raw, 26);
+        assert_eq!(a.total(), 31, "total counts the four buckets, not raw");
+    }
+}

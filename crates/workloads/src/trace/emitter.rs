@@ -1,0 +1,449 @@
+//! The instruction emitter: stable program counters, loop and call
+//! structure, and register-rotation helpers.
+//!
+//! Traces must be *I-cache realistic*: every iteration of a loop and
+//! every call of a kernel function reuses the same PCs, so the modeled
+//! I-cache behaves like it would on real code. The emitter therefore
+//! assigns each named function a fixed code address on first use and
+//! rewinds the PC to the loop head on every iteration.
+
+use crate::layout::Layout;
+use medsim_isa::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Bytes of code space reserved per named function. Hot media functions
+/// are a few hundred instructions; packing them at 4 KiB keeps the
+/// modeled I-footprint of one program at compiled-code densities.
+const FUNC_SLOT: u64 = 4 * 1024;
+
+/// Cycling register allocator over a contiguous index range of one class.
+#[derive(Debug, Clone)]
+pub struct RegRing {
+    class: RegClass,
+    lo: u8,
+    hi: u8,
+    next: u8,
+}
+
+impl RegRing {
+    /// Ring over `class` registers `lo..=hi`.
+    #[must_use]
+    pub fn new(class: RegClass, lo: u8, hi: u8) -> Self {
+        assert!(lo <= hi && hi < class.logical_count());
+        RegRing { class, lo, hi, next: lo }
+    }
+
+    /// Next register in rotation.
+    pub fn next(&mut self) -> LogicalReg {
+        let r = LogicalReg::new(self.class, self.next);
+        self.next = if self.next == self.hi { self.lo } else { self.next + 1 };
+        r
+    }
+}
+
+/// The trace emitter for one program instance.
+pub struct Emitter {
+    out: Vec<Inst>,
+    pc: u64,
+    code_next: u64,
+    funcs: HashMap<&'static str, u64>,
+    layout: Layout,
+    rng: SmallRng,
+    /// Scalar temporaries r1..=r9.
+    pub t: RegRing,
+    /// Address registers r10..=r20.
+    pub a: RegRing,
+    /// MMX registers m0..=m23 (m24..=m31 reserved for constants).
+    pub m: RegRing,
+    /// MOM stream registers v0..=v13 (v14, v15 reserved).
+    pub v: RegRing,
+}
+
+impl Emitter {
+    /// Create an emitter for a program instance with the given layout.
+    #[must_use]
+    pub fn new(layout: Layout, seed: u64) -> Self {
+        Emitter {
+            out: Vec::with_capacity(4096),
+            pc: layout.code(0),
+            code_next: layout.code(0) + FUNC_SLOT, // slot 0 = top-level code
+            funcs: HashMap::new(),
+            layout,
+            rng: SmallRng::seed_from_u64(seed),
+            t: RegRing::new(RegClass::Int, 1, 9),
+            a: RegRing::new(RegClass::Int, 10, 20),
+            m: RegRing::new(RegClass::Simd, 0, 23),
+            v: RegRing::new(RegClass::Stream, 0, 13),
+        }
+    }
+
+    /// The program's address-space layout.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Seeded random source for data-dependent decisions.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Take the instructions emitted so far.
+    pub fn take(&mut self) -> Vec<Inst> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Move the emitted instructions into `out`.
+    pub fn drain_into(&mut self, out: &mut Vec<Inst>) {
+        out.append(&mut self.out);
+    }
+
+    /// Number of instructions currently buffered.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Emit one instruction at the current PC.
+    pub fn emit(&mut self, inst: Inst) {
+        self.out.push(inst.at(self.pc));
+        self.pc += 4;
+    }
+
+    // ---- scalar helpers ---------------------------------------------------
+
+    /// `dst = a <op> b`.
+    pub fn alu(&mut self, op: IntOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg) {
+        self.emit(Inst::int_rrr(op, dst, a, b));
+    }
+
+    /// `dst = a <op> imm`.
+    pub fn alui(&mut self, op: IntOp, dst: LogicalReg, a: LogicalReg, imm: i32) {
+        self.emit(Inst::int_rri(op, dst, a, imm));
+    }
+
+    /// A short dependent chain of `n` integer ALU instructions (address
+    /// arithmetic, flag twiddling, table-index computation).
+    pub fn int_work(&mut self, n: usize) {
+        let mut prev = self.t.next();
+        for i in 0..n {
+            let dst = self.t.next();
+            let op = match i % 4 {
+                0 => IntOp::Add,
+                1 => IntOp::Sll,
+                2 => IntOp::And,
+                _ => IntOp::Addi,
+            };
+            if op == IntOp::Addi {
+                self.alui(op, dst, prev, 3);
+            } else {
+                let b = self.t.next();
+                self.alu(op, dst, prev, b);
+            }
+            prev = dst;
+        }
+    }
+
+    /// Scalar load of `size` bytes at `addr` into a fresh temporary.
+    pub fn load(&mut self, size: u8, addr: u64) -> LogicalReg {
+        let op = match size {
+            1 => MemOp::LoadBu,
+            2 => MemOp::LoadHu,
+            4 => MemOp::LoadW,
+            _ => MemOp::LoadD,
+        };
+        let dst = self.t.next();
+        let base = self.a.next();
+        self.emit(Inst::load(op, dst, base, addr));
+        dst
+    }
+
+    /// Scalar store of `size` bytes at `addr`.
+    pub fn store(&mut self, size: u8, addr: u64) {
+        let op = match size {
+            1 => MemOp::StoreB,
+            2 => MemOp::StoreH,
+            4 => MemOp::StoreW,
+            _ => MemOp::StoreD,
+        };
+        let data = self.t.next();
+        let base = self.a.next();
+        self.emit(Inst::store(op, data, base, addr));
+    }
+
+    /// Scalar FP op chain of length `n` (mesa's transform/lighting math;
+    /// codecs' rate control).
+    pub fn fp_work(&mut self, n: usize) {
+        let mut prev = fp(1);
+        for i in 0..n {
+            let dst = fp(2 + (i % 20) as u8);
+            let op = match i % 3 {
+                0 => FpOp::FMul,
+                1 => FpOp::FAdd,
+                _ => FpOp::FMadd,
+            };
+            self.emit(Inst::fp_rrr(op, dst, prev, fp(22 + (i % 8) as u8)));
+            prev = dst;
+        }
+    }
+
+    // ---- control structure -------------------------------------------------
+
+    /// Emit a counted loop: `body(e, i)` runs `n` times at stable PCs,
+    /// followed by the index update and backward branch (the loop
+    /// overhead MOM's stream semantics eliminate).
+    ///
+    /// The body should emit the same instruction *shape* each iteration
+    /// (dynamic fields may differ); minor length variation is tolerated
+    /// (PCs restart from the loop head every iteration).
+    pub fn loop_n(&mut self, n: u32, mut body: impl FnMut(&mut Emitter, u32)) {
+        if n == 0 {
+            return;
+        }
+        let head = self.pc;
+        let idx = int(21); // dedicated loop counter register
+        for i in 0..n {
+            self.pc = head;
+            body(self, i);
+            self.alui(IntOp::Addi, idx, idx, 1);
+            let taken = i + 1 < n;
+            self.emit(Inst::branch(CtlOp::Bne, idx, taken, head));
+        }
+    }
+
+    /// Emit a call to the named function: the body runs at the function's
+    /// stable code address; control returns to the call site.
+    pub fn call(&mut self, name: &'static str, body: impl FnOnce(&mut Emitter)) {
+        let base = match self.funcs.get(name) {
+            Some(&b) => b,
+            None => {
+                let b = self.code_next;
+                self.code_next += FUNC_SLOT;
+                self.funcs.insert(name, b);
+                b
+            }
+        };
+        self.emit(Inst::new(Op::Ctl(CtlOp::Call)).with_branch(BranchInfo { taken: true, target: base }));
+        let ret_to = self.pc;
+        self.pc = base;
+        body(self);
+        self.emit(Inst::new(Op::Ctl(CtlOp::Ret)).with_branch(BranchInfo { taken: true, target: ret_to }));
+        self.pc = ret_to;
+    }
+
+    /// Emit a data-dependent conditional forward branch. When `taken`,
+    /// the PC skips ahead by `skip` instruction slots (the skipped
+    /// instructions do not appear in the trace — they were not executed).
+    pub fn cond_skip(&mut self, taken: bool, skip: u32) {
+        let target = self.pc + 4 + u64::from(skip) * 4;
+        let cond = self.t.next();
+        self.emit(Inst::branch(CtlOp::Beq, cond, taken, target));
+        if taken {
+            self.pc = target;
+        }
+    }
+
+    /// Random boolean with probability `p` (for data-dependent branches
+    /// whose real data source is not modeled).
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    // ---- SIMD helpers --------------------------------------------------------
+
+    /// MMX packed load into a fresh register.
+    pub fn mmx_load(&mut self, addr: u64) -> LogicalReg {
+        let dst = self.m.next();
+        let base = self.a.next();
+        self.emit(Inst::mmx_load(dst, base, addr));
+        dst
+    }
+
+    /// MMX packed store.
+    pub fn mmx_store(&mut self, addr: u64) {
+        let data = self.m.next();
+        let base = self.a.next();
+        self.emit(Inst::mmx_store(data, base, addr));
+    }
+
+    /// MMX register-register op on fresh registers (dependency-light).
+    pub fn mmx_op(&mut self, op: MmxOp) -> LogicalReg {
+        let dst = self.m.next();
+        let a = self.m.next();
+        let b = self.m.next();
+        self.emit(Inst::mmx(op, dst, a, b));
+        dst
+    }
+
+    /// MMX op writing `dst` from `a`, `b` (explicit dependencies).
+    pub fn mmx_op_into(&mut self, op: MmxOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg) {
+        self.emit(Inst::mmx(op, dst, a, b));
+    }
+
+    /// MOM stream load (stride in bytes, `slen` element groups).
+    pub fn mom_load(&mut self, addr: u64, stride: i64, slen: u8) -> LogicalReg {
+        let dst = self.v.next();
+        let base = self.a.next();
+        self.emit(Inst::mom_load(dst, base, addr, stride, slen));
+        dst
+    }
+
+    /// MOM stream store.
+    pub fn mom_store(&mut self, addr: u64, stride: i64, slen: u8) {
+        let data = self.v.next();
+        let base = self.a.next();
+        self.emit(Inst::mom_store(data, base, addr, stride, slen));
+    }
+
+    /// MOM stream register-register op on fresh registers.
+    pub fn mom_op(&mut self, op: MomOp, slen: u8) -> LogicalReg {
+        let dst = self.v.next();
+        let a = self.v.next();
+        let b = self.v.next();
+        self.emit(Inst::mom(op, dst, a, b, slen));
+        dst
+    }
+
+    /// Set the stream-length register (renamed through the integer pool).
+    pub fn set_vl(&mut self, slen: u8) {
+        self.emit(
+            Inst::new(Op::Mom(MomOp::SetVl))
+                .with_dst(int(medsim_isa::regs::STREAM_LEN_REG))
+                .with_imm(i32::from(slen)),
+        );
+    }
+
+    /// MOM accumulator op over streams `a`, `b`.
+    pub fn mom_acc(&mut self, op: MomOp, acc_reg: LogicalReg, a: LogicalReg, b: LogicalReg, slen: u8) {
+        debug_assert!(op.writes_acc());
+        self.emit(Inst::new(Op::Mom(op)).with_dst(acc_reg).with_srcs(&[a, b, acc_reg]).with_slen(slen));
+    }
+
+    /// MOM accumulator read-back into an MMX register.
+    pub fn mom_acc_read(&mut self, op: MomOp, acc_reg: LogicalReg) -> LogicalReg {
+        debug_assert!(op.reads_acc());
+        let dst = self.m.next();
+        self.emit(Inst::new(Op::Mom(op)).with_dst(dst).with_srcs(&[acc_reg]));
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn emitter() -> Emitter {
+        Emitter::new(Layout::for_instance(0), 42)
+    }
+
+    #[test]
+    fn pcs_advance_by_four() {
+        let mut e = emitter();
+        e.int_work(3);
+        let insts = e.take();
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[1].pc, insts[0].pc + 4);
+        assert_eq!(insts[2].pc, insts[1].pc + 4);
+    }
+
+    #[test]
+    fn loop_reuses_pcs_across_iterations() {
+        let mut e = emitter();
+        e.loop_n(3, |e, _| {
+            e.int_work(2);
+        });
+        let insts = e.take();
+        // 3 iterations × (2 body + addi + branch) = 12
+        assert_eq!(insts.len(), 12);
+        assert_eq!(insts[0].pc, insts[4].pc, "iteration bodies share PCs");
+        assert_eq!(insts[0].pc, insts[8].pc);
+        // Branches: first two taken (backward), last not taken.
+        let branches: Vec<_> = insts.iter().filter(|i| i.is_cond_branch()).collect();
+        assert_eq!(branches.len(), 3);
+        assert!(branches[0].branch.unwrap().taken);
+        assert!(branches[1].branch.unwrap().taken);
+        assert!(!branches[2].branch.unwrap().taken);
+        assert_eq!(branches[0].branch.unwrap().target, insts[0].pc, "backward to loop head");
+    }
+
+    #[test]
+    fn calls_reuse_function_addresses() {
+        let mut e = emitter();
+        e.call("dct", |e| e.int_work(4));
+        let first = e.take();
+        e.call("dct", |e| e.int_work(4));
+        let second = e.take();
+        // Call instruction targets and body PCs identical across calls.
+        assert_eq!(first[0].branch.unwrap().target, second[0].branch.unwrap().target);
+        assert_eq!(first[1].pc, second[1].pc, "function body at stable PCs");
+        // Return targets differ (different call sites).
+        let ret1 = first.last().unwrap();
+        let ret2 = second.last().unwrap();
+        assert_ne!(ret1.branch.unwrap().target, ret2.branch.unwrap().target);
+    }
+
+    #[test]
+    fn different_functions_get_different_slots() {
+        let mut e = emitter();
+        e.call("f", |e| e.int_work(1));
+        e.call("g", |e| e.int_work(1));
+        let insts = e.take();
+        let t1 = insts[0].branch.unwrap().target;
+        let t2 = insts[3].branch.unwrap().target;
+        assert_ne!(t1, t2);
+        assert_eq!(t2 - t1, FUNC_SLOT);
+    }
+
+    #[test]
+    fn cond_skip_taken_skips_pc_range() {
+        let mut e = emitter();
+        e.cond_skip(true, 5);
+        e.int_work(1);
+        let insts = e.take();
+        assert_eq!(insts[1].pc, insts[0].pc + 4 + 5 * 4);
+    }
+
+    #[test]
+    fn cond_skip_not_taken_continues() {
+        let mut e = emitter();
+        e.cond_skip(false, 5);
+        e.int_work(1);
+        let insts = e.take();
+        assert_eq!(insts[1].pc, insts[0].pc + 4);
+    }
+
+    #[test]
+    fn reg_ring_cycles() {
+        let mut r = RegRing::new(RegClass::Simd, 0, 2);
+        let seq: Vec<u8> = (0..7).map(|_| r.next().index).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn mom_helpers_carry_stream_length() {
+        let mut e = emitter();
+        e.set_vl(12);
+        let a = e.mom_load(0x50_0000, 8, 12);
+        let b = e.mom_load(0x51_0000, 768, 12);
+        e.mom_acc(MomOp::AccSadB, acc(0), a, b, 12);
+        let _ = e.mom_acc_read(MomOp::AccRedAddW, acc(0));
+        let insts = e.take();
+        assert_eq!(insts.len(), 5);
+        assert_eq!(insts[1].slen, 12);
+        assert_eq!(insts[2].mem.unwrap().stride, 768);
+        assert!(matches!(insts[3].op, Op::Mom(MomOp::AccSadB)));
+        assert_eq!(insts[3].slen, 12);
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = Emitter::new(Layout::for_instance(0), 7);
+        let mut b = Emitter::new(Layout::for_instance(0), 7);
+        let fa: Vec<bool> = (0..32).map(|_| a.flip(0.5)).collect();
+        let fb: Vec<bool> = (0..32).map(|_| b.flip(0.5)).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,331 @@
+//! GSM 06.10 encoder and decoder trace generators (the MPEG-4 speech
+//! profile).
+//!
+//! One work unit = one 20 ms speech frame (160 samples). Following the
+//! paper's emulation-library coverage, only the LPC **autocorrelation**
+//! is vectorized in the encoder (the LTP search's data-dependent maximum
+//! tracking keeps it scalar), giving GSM the modest MOM benefit Table 3
+//! shows (177.9 → 161.3); the decoder's recursive synthesis filter is
+//! fundamentally scalar, so `gsmdec` is identical under both ISAs
+//! (105.2 ≈ 105.0).
+
+use super::emitter::Emitter;
+use super::scalar_phases as scalar;
+use super::simd_kernels as simd;
+use super::{ChunkGen, SimdIsa};
+use crate::kernels::gsm;
+use crate::layout::Layout;
+use medsim_isa::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SAMPLES_OFF: u64 = 0;
+const HISTORY_OFF: u64 = 0x1000;
+const COEF_OFF: u64 = 0x2000;
+
+/// Synthesize one voiced-ish speech frame.
+fn synth_speech(seed: u64, frame: usize) -> Vec<i16> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (frame as u64).wrapping_mul(0x5851_f42d));
+    let period = 40 + (frame % 5) * 10;
+    (0..gsm::FRAME_SAMPLES)
+        .map(|i| {
+            let phase = (i % period) as f64 / period as f64;
+            let tone = (4000.0 * (2.0 * std::f64::consts::PI * phase).sin()) as i16;
+            tone.saturating_add(rng.gen_range(-500..500))
+        })
+        .collect()
+}
+
+/// Scalar saturating-arithmetic filter pass over `n` samples with
+/// `taps` taps: the `gsm_mult`/`gsm_add` helper-call pattern that
+/// dominates the reference coder.
+fn scalar_filter(e: &mut Emitter, base: u64, n: usize, taps: usize) {
+    e.loop_n(n as u32, |e, i| {
+        let _x = e.load(2, base + u64::from(i) * 2);
+        for _ in 0..taps {
+            e.int_work(3); // mult + saturation check + add
+        }
+        e.store(2, base + 0x800 + u64::from(i) * 2);
+    });
+}
+
+/// GSM encoder generator.
+pub struct GsmEncGen {
+    e: Emitter,
+    isa: SimdIsa,
+    units_left: u64,
+    frame: usize,
+    seed: u64,
+}
+
+impl GsmEncGen {
+    /// Build a generator for `instance`, encoding `units` frames.
+    #[must_use]
+    pub fn new(instance: usize, isa: SimdIsa, units: u64, seed: u64) -> Self {
+        GsmEncGen {
+            e: Emitter::new(Layout::for_instance(instance), seed ^ 0x65e0),
+            isa,
+            units_left: units,
+            frame: 0,
+            seed,
+        }
+    }
+}
+
+impl ChunkGen for GsmEncGen {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        if self.units_left == 0 {
+            return false;
+        }
+        self.units_left -= 1;
+        let isa = self.isa;
+        let layout = self.e.layout();
+        let samples = synth_speech(self.seed, self.frame);
+        let samp_addr = layout.heap(SAMPLES_OFF);
+        let hist_addr = layout.heap(HISTORY_OFF);
+
+        // --- preprocessing: offset compensation + preemphasis (scalar) --
+        self.e.call("preprocess", |e| {
+            scalar_filter(e, samp_addr, gsm::FRAME_SAMPLES, 2);
+        });
+
+        // --- LPC autocorrelation (the vectorized kernel) ------------------
+        self.e.call("autocorr", |e| {
+            scalar::call_overhead(e, 4);
+            for lag in 0..=gsm::LPC_ORDER as u64 {
+                simd::mac_reduce(e, isa, samp_addr, samp_addr + lag * 2, gsm::FRAME_SAMPLES as u32);
+                e.int_work(2);
+            }
+        });
+
+        // --- Schur recursion (scalar, division-heavy) ----------------------
+        let acf = gsm::autocorrelation(&samples, gsm::LPC_ORDER);
+        // The functional coefficients keep the model honest (bounded,
+        // deterministic) even though the trace only needs their count.
+        let refl = gsm::reflection_coefficients(&acf);
+        debug_assert_eq!(refl.len(), gsm::LPC_ORDER);
+        self.e.call("schur", |e| {
+            for _ in 0..gsm::LPC_ORDER {
+                e.alu(IntOp::Div, int(5), int(6), int(7));
+                e.int_work(8);
+            }
+            for i in 0..gsm::LPC_ORDER as u64 {
+                e.store(2, layout.heap(COEF_OFF) + i * 2);
+            }
+        });
+
+        // --- short-term analysis filtering (scalar lattice) ----------------
+        self.e.call("st_analysis", |e| {
+            scalar_filter(e, samp_addr, gsm::FRAME_SAMPLES, gsm::LPC_ORDER / 2);
+        });
+
+        // --- per subframe: LTP search (scalar: data-dependent max) + RPE ---
+        for sub in 0..4usize {
+            let sub_off = samp_addr + (sub * gsm::SUBFRAME_SAMPLES * 2) as u64;
+            let sub_samples = &samples[sub * gsm::SUBFRAME_SAMPLES..(sub + 1) * gsm::SUBFRAME_SAMPLES];
+            let (lag, _corr) = gsm::ltp_search(sub_samples, &samples, 80);
+            self.e.call("ltp_search", |e| {
+                // Reduced lag grid (step 5) with scalar correlation + max
+                // tracking — the reference coder's data-dependent loop.
+                e.loop_n(9, |e, li| {
+                    let lag_addr = hist_addr + u64::from(li) * 5 * 2;
+                    e.loop_n(10, |e, k| {
+                        let _a = e.load(2, sub_off + u64::from(k) * 8);
+                        let _b = e.load(2, lag_addr + u64::from(k) * 8);
+                        e.int_work(3);
+                    });
+                    // max update
+                    e.int_work(2);
+                    let better = e.flip(0.3);
+                    e.cond_skip(!better, 2);
+                    if better {
+                        e.int_work(2);
+                    }
+                });
+            });
+            let _ = lag;
+            // RPE grid selection + quantization (scalar).
+            let residual: Vec<i16> = sub_samples.to_vec();
+            let (_grid, levels) = gsm::rpe_encode(&residual);
+            self.e.call("rpe", |e| {
+                e.loop_n(4, |e, g| {
+                    let g_addr = sub_off + u64::from(g) * 2;
+                    e.loop_n(13, |e, k| {
+                        let _s = e.load(2, g_addr + u64::from(k) * 6);
+                        e.int_work(2);
+                    });
+                });
+                for _ in 0..levels.len() {
+                    e.int_work(3);
+                }
+            });
+        }
+
+        // --- bit packing --------------------------------------------------
+        scalar::bit_unpack(&mut self.e, 76); // 76 coded parameters per frame
+
+        self.frame += 1;
+        self.e.drain_into(out);
+        true
+    }
+}
+
+/// GSM decoder generator.
+pub struct GsmDecGen {
+    e: Emitter,
+    isa: SimdIsa,
+    units_left: u64,
+    frame: usize,
+    seed: u64,
+}
+
+impl GsmDecGen {
+    /// Build a generator for `instance`, decoding `units` frames.
+    #[must_use]
+    pub fn new(instance: usize, isa: SimdIsa, units: u64, seed: u64) -> Self {
+        GsmDecGen {
+            e: Emitter::new(Layout::for_instance(instance), seed ^ 0xdecd),
+            isa,
+            units_left: units,
+            frame: 0,
+            seed,
+        }
+    }
+}
+
+impl ChunkGen for GsmDecGen {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        if self.units_left == 0 {
+            return false;
+        }
+        self.units_left -= 1;
+        let layout = self.e.layout();
+        let out_addr = layout.heap(SAMPLES_OFF);
+        // The decoder is scalar end to end: the synthesis filter's
+        // recurrence defeats vectorization (isa makes no difference).
+        let _ = self.isa;
+
+        // --- unpack the 76 coded parameters -------------------------------
+        scalar::bit_unpack(&mut self.e, 76);
+
+        // --- per subframe: RPE decode + LTP reconstruction ------------------
+        for sub in 0..4usize {
+            let sub_addr = out_addr + (sub * gsm::SUBFRAME_SAMPLES * 2) as u64;
+            self.e.call("rpe_decode", |e| {
+                e.loop_n(13, |e, k| {
+                    let _l = e.load(1, layout.heap(0x3000) + u64::from(k));
+                    e.int_work(3);
+                    e.store(2, sub_addr + u64::from(k) * 6);
+                });
+            });
+            self.e.call("ltp_synth", |e| {
+                e.loop_n(gsm::SUBFRAME_SAMPLES as u32, |e, k| {
+                    let _h = e.load(2, layout.heap(HISTORY_OFF) + u64::from(k) * 2);
+                    e.int_work(3);
+                    e.store(2, sub_addr + u64::from(k) * 2);
+                });
+            });
+        }
+
+        // --- short-term synthesis filter: recursive lattice (scalar) -------
+        // Functional run keeps the filter honest (stability, clipping).
+        let excitation = synth_speech(self.seed, self.frame);
+        let refl = vec![6000i16; gsm::LPC_ORDER];
+        let synth = gsm::synthesis_filter(&excitation, &refl);
+        let clipped = synth.iter().filter(|&&s| s == i16::MAX || s == i16::MIN).count();
+        self.e.call("st_synthesis", |e| {
+            e.loop_n(gsm::FRAME_SAMPLES as u32, |e, k| {
+                let _x = e.load(2, out_addr + u64::from(k) * 2);
+                // 8 lattice stages × (mult, sat, add, state update)
+                for _ in 0..gsm::LPC_ORDER {
+                    e.int_work(2);
+                }
+                e.store(2, out_addr + 0x800 + u64::from(k) * 2);
+            });
+            // rare clipping fixups, driven by the real filter output
+            for _ in 0..clipped {
+                e.int_work(2);
+            }
+        });
+
+        // --- postprocessing: deemphasis + output ---------------------------
+        self.e.call("postprocess", |e| {
+            scalar_filter(e, out_addr + 0x800, gsm::FRAME_SAMPLES, 1);
+        });
+
+        self.frame += 1;
+        self.e.drain_into(out);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::InstMix;
+
+    fn mix_of(mut g: impl ChunkGen, units: usize) -> InstMix {
+        let mut mix = InstMix::default();
+        let mut buf = Vec::new();
+        for _ in 0..units {
+            buf.clear();
+            if !g.next_chunk(&mut buf) {
+                break;
+            }
+            for i in &buf {
+                mix.record(i);
+            }
+        }
+        mix
+    }
+
+    #[test]
+    fn encoder_mom_benefit_is_modest() {
+        // Table 3: 177.9 → 161.3 (ratio ≈ 0.91).
+        let mmx = mix_of(GsmEncGen::new(0, SimdIsa::Mmx, 4, 5), 4);
+        let mom = mix_of(GsmEncGen::new(0, SimdIsa::Mom, 4, 5), 4);
+        let ratio = mom.total() as f64 / mmx.total() as f64;
+        assert!(ratio > 0.75 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn decoder_identical_across_isas() {
+        // Table 3: 105.2 ≈ 105.0 — no vectorized kernels at all.
+        let mmx = mix_of(GsmDecGen::new(0, SimdIsa::Mmx, 3, 5), 3);
+        let mom = mix_of(GsmDecGen::new(0, SimdIsa::Mom, 3, 5), 3);
+        assert_eq!(mmx.total(), mom.total());
+        assert_eq!(mmx.simd, 0);
+        assert_eq!(mom.simd, 0);
+    }
+
+    #[test]
+    fn decoder_is_integer_dominated() {
+        let m = mix_of(GsmDecGen::new(0, SimdIsa::Mmx, 3, 5), 3);
+        let b = m.breakdown();
+        assert!(b.integer_pct > 55.0, "{b}");
+        assert_eq!(b.fp_pct, 0.0);
+    }
+
+    #[test]
+    fn encoder_has_vector_work_under_both_isas() {
+        let m = mix_of(GsmEncGen::new(0, SimdIsa::Mmx, 2, 5), 2);
+        assert!(m.simd > 0);
+        let v = mix_of(GsmEncGen::new(0, SimdIsa::Mom, 2, 5), 2);
+        assert!(v.simd > 0);
+    }
+
+    #[test]
+    fn terminates_after_units() {
+        let mut g = GsmDecGen::new(0, SimdIsa::Mmx, 1, 5);
+        let mut buf = Vec::new();
+        assert!(g.next_chunk(&mut buf));
+        assert!(!g.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mix_of(GsmEncGen::new(0, SimdIsa::Mmx, 2, 9), 2);
+        let b = mix_of(GsmEncGen::new(0, SimdIsa::Mmx, 2, 9), 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,340 @@
+//! JPEG encoder and decoder trace generators (the MPEG-4 2D still-image
+//! profile).
+//!
+//! One work unit = one 16×16 MCU (4 luma + 2 chroma blocks in 4:2:0).
+//! The encoder color-converts, subsamples, transforms and entropy-codes
+//! real synthetic image content; the decoder inverts the path. JPEG's
+//! Huffman coding is the benchmark's dominant scalar phase — real
+//! `cjpeg`/`djpeg` spend most of their non-kernel time there.
+
+use super::emitter::Emitter;
+use super::scalar_phases as scalar;
+use super::simd_kernels as simd;
+use super::{ChunkGen, SimdIsa};
+use crate::kernels::color::{self, RgbImage};
+use crate::kernels::dct;
+use crate::kernels::quant;
+use crate::kernels::zigzag;
+use crate::layout::Layout;
+use medsim_isa::Inst;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Image width (pixels).
+pub const IMG_W: usize = 256;
+/// Image height.
+pub const IMG_H: usize = 192;
+/// MCUs per row.
+pub const MCU_W: usize = IMG_W / 16;
+/// MCU rows.
+pub const MCU_H: usize = IMG_H / 16;
+
+// Staggered off 32 KiB multiples (see mpeg2_gen.rs).
+const RGB_OFF: u64 = 0;
+const Y_OFF: u64 = 0x4_0820;
+const C_OFF: u64 = 0x5_1040;
+const COEF_OFF: u64 = 0x6_1860;
+
+fn synth_image(seed: u64) -> RgbImage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = vec![0u8; IMG_W * IMG_H * 3];
+    for y in 0..IMG_H {
+        for x in 0..IMG_W {
+            let o = (y * IMG_W + x) * 3;
+            data[o] = (((x * 5 + y) % 256) as u8).wrapping_add(rng.gen_range(0..16));
+            data[o + 1] = (((x + y * 3) % 256) as u8).wrapping_add(rng.gen_range(0..16));
+            data[o + 2] = ((x * y / 64 % 256) as u8).wrapping_add(rng.gen_range(0..16));
+        }
+    }
+    RgbImage { data, width: IMG_W, height: IMG_H }
+}
+
+/// Pull the 8×8 luma block at (bx, by) out of the converted image.
+fn luma_block(y_plane: &[u8], bx: usize, by: usize) -> [i16; 64] {
+    let mut b = [0i16; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            let (px, py) = ((bx * 8 + c).min(IMG_W - 1), (by * 8 + r).min(IMG_H - 1));
+            b[r * 8 + c] = i16::from(y_plane[py * IMG_W + px]) - 128;
+        }
+    }
+    b
+}
+
+/// Shared per-MCU functional analysis: the six quantized blocks.
+fn mcu_blocks(ycc: &color::Ycbcr420, mcu_x: usize, mcu_y: usize) -> Vec<[i16; 64]> {
+    let mut blocks = Vec::with_capacity(6);
+    for blk in 0..4 {
+        let bx = mcu_x * 2 + blk % 2;
+        let by = mcu_y * 2 + blk / 2;
+        blocks.push(luma_block(&ycc.y, bx, by));
+    }
+    // Chroma blocks: 8×8 at half resolution.
+    for plane in [&ycc.cb, &ycc.cr] {
+        let mut b = [0i16; 64];
+        let cw = IMG_W / 2;
+        for r in 0..8 {
+            for c in 0..8 {
+                let (px, py) = ((mcu_x * 8 + c).min(cw - 1), (mcu_y * 8 + r).min(IMG_H / 2 - 1));
+                b[r * 8 + c] = i16::from(plane[py * cw + px]) - 128;
+            }
+        }
+        blocks.push(b);
+    }
+    blocks
+}
+
+/// JPEG encoder generator.
+pub struct JpegEncGen {
+    e: Emitter,
+    isa: SimdIsa,
+    units_left: u64,
+    ycc: color::Ycbcr420,
+    mcu_x: usize,
+    mcu_y: usize,
+    visit: usize,
+}
+
+impl JpegEncGen {
+    /// Build a generator for `instance`, encoding `units` MCUs.
+    #[must_use]
+    pub fn new(instance: usize, isa: SimdIsa, units: u64, seed: u64) -> Self {
+        let img = synth_image(seed);
+        JpegEncGen {
+            e: Emitter::new(Layout::for_instance(instance), seed ^ 0x1be6),
+            isa,
+            units_left: units,
+            ycc: color::convert_420(&img),
+            mcu_x: 0,
+            mcu_y: 0,
+            visit: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        // Strided image coverage keeps the working set scale-stable
+        // (see mpeg2_gen::Mpeg2EncGen::advance_mb).
+        self.visit += 1;
+        let n = MCU_W * MCU_H;
+        let lin = (self.visit * 29) % n;
+        self.mcu_x = lin % MCU_W;
+        self.mcu_y = lin / MCU_W;
+    }
+}
+
+impl ChunkGen for JpegEncGen {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        if self.units_left == 0 {
+            return false;
+        }
+        self.units_left -= 1;
+        let isa = self.isa;
+        let layout = self.e.layout();
+        let rgb = layout.heap(RGB_OFF) + ((self.mcu_y * 16 * IMG_W + self.mcu_x * 16) * 3) as u64;
+        let yb = layout.heap(Y_OFF) + (self.mcu_y * 16 * IMG_W + self.mcu_x * 16) as u64;
+        let cb = layout.heap(C_OFF) + (self.mcu_y * 8 * IMG_W / 2 + self.mcu_x * 8) as u64;
+
+        // --- color conversion + subsampling (vectorized) ----------------
+        self.e.call("color_convert", |e| {
+            scalar::call_overhead(e, 3);
+            // Three coefficient passes (Y, Cb, Cr) over the 256-pixel MCU.
+            simd::color_convert(e, isa, rgb, rgb + 0x100, yb, 256);
+            simd::color_convert(e, isa, rgb, rgb + 0x200, cb, 128);
+            simd::color_convert(e, isa, rgb + 0x100, rgb + 0x200, cb + 0x40, 128);
+            // Subsampling averaging is folded into the chroma passes;
+            // the row bookkeeping is scalar.
+            e.int_work(8);
+        });
+
+        // --- per-block transform + entropy coding ------------------------
+        let blocks = mcu_blocks(&self.ycc, self.mcu_x, self.mcu_y);
+        let coef_addr = layout.heap(COEF_OFF);
+        for (blk, block) in blocks.iter().enumerate() {
+            let coef = dct::forward(block);
+            let q = quant::quantize(&coef, &quant::INTRA_MATRIX, 4);
+            let events = zigzag::run_length_encode(&q);
+            let bits = crate::kernels::huffman::block_bits(&events);
+
+            let blk_addr = coef_addr + (blk as u64) * 128;
+            self.e.call("fdct", |e| {
+                scalar::call_overhead(e, 3);
+                simd::dct_8x8(e, isa, blk_addr, blk_addr, 16);
+            });
+            // libjpeg quantizes scalar coefficient-by-coefficient (the
+            // emulation libraries never vectorized it).
+            self.e.call("quantize", |e| {
+                scalar::scalar_quant_block(e, blk_addr, blk_addr + 0x80);
+            });
+            // Huffman coding dominates cjpeg: per-event table work, the
+            // bit-serial sink driven by the real code lengths, DC
+            // prediction and category coding.
+            self.e.call("huffman", |e| {
+                scalar::vlc_encode_block(e, &events);
+                scalar::bit_emit(e, bits * 2);
+                scalar::table_walk(e, events.len() + 2);
+                scalar::bit_unpack(e, events.len() / 2 + 2);
+                e.int_work(12); // DC prediction + category/magnitude coding
+            });
+        }
+        // Marker/buffer management + destination-manager bookkeeping.
+        scalar::header_work(&mut self.e, 5);
+        scalar::table_walk(&mut self.e, 6);
+        scalar::bit_unpack(&mut self.e, 10);
+
+        self.advance();
+        self.e.drain_into(out);
+        true
+    }
+}
+
+/// JPEG decoder generator.
+pub struct JpegDecGen {
+    e: Emitter,
+    isa: SimdIsa,
+    units_left: u64,
+    ycc: color::Ycbcr420,
+    mcu_x: usize,
+    mcu_y: usize,
+    visit: usize,
+}
+
+impl JpegDecGen {
+    /// Build a generator for `instance`, decoding `units` MCUs.
+    #[must_use]
+    pub fn new(instance: usize, isa: SimdIsa, units: u64, seed: u64) -> Self {
+        let img = synth_image(seed);
+        JpegDecGen {
+            e: Emitter::new(Layout::for_instance(instance), seed ^ 0xdec1),
+            isa,
+            units_left: units,
+            ycc: color::convert_420(&img),
+            mcu_x: 0,
+            mcu_y: 0,
+            visit: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        // Strided image coverage keeps the working set scale-stable
+        // (see mpeg2_gen::Mpeg2EncGen::advance_mb).
+        self.visit += 1;
+        let n = MCU_W * MCU_H;
+        let lin = (self.visit * 29) % n;
+        self.mcu_x = lin % MCU_W;
+        self.mcu_y = lin / MCU_W;
+    }
+}
+
+impl ChunkGen for JpegDecGen {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        if self.units_left == 0 {
+            return false;
+        }
+        self.units_left -= 1;
+        let isa = self.isa;
+        let layout = self.e.layout();
+        let rgb = layout.heap(RGB_OFF) + ((self.mcu_y * 16 * IMG_W + self.mcu_x * 16) * 3) as u64;
+        let yb = layout.heap(Y_OFF) + (self.mcu_y * 16 * IMG_W + self.mcu_x * 16) as u64;
+        let coef_addr = layout.heap(COEF_OFF);
+
+        let blocks = mcu_blocks(&self.ycc, self.mcu_x, self.mcu_y);
+        for (blk, block) in blocks.iter().enumerate() {
+            let coef = dct::forward(block);
+            let q = quant::quantize(&coef, &quant::INTRA_MATRIX, 4);
+            let nnz = dct::nonzero_count(&q);
+            let bits = crate::kernels::huffman::block_bits(&zigzag::run_length_encode(&q));
+
+            let blk_addr = coef_addr + (blk as u64) * 128;
+            self.e.call("huffman_decode", |e| {
+                scalar::vlc_decode_block(e, nnz.max(1));
+                scalar::bit_consume(e, bits * 2);
+                scalar::table_walk(e, nnz / 2 + 1);
+                e.int_work(10); // DC prediction + inverse zigzag
+            });
+            self.e.call("dequant", |e| {
+                scalar::scalar_quant_block(e, blk_addr, blk_addr + 0x80);
+            });
+            self.e.call("idct", |e| {
+                scalar::call_overhead(e, 3);
+                simd::dct_8x8(e, isa, blk_addr, blk_addr, 16);
+            });
+        }
+
+        // Upsample + color conversion back to RGB.
+        self.e.call("color_out", |e| {
+            simd::color_convert(e, isa, yb, yb + 0x80, rgb, 256);
+            simd::color_convert(e, isa, yb, yb + 0x100, rgb + 0x100, 128);
+            e.int_work(8);
+        });
+        scalar::header_work(&mut self.e, 3);
+
+        self.advance();
+        self.e.drain_into(out);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::InstMix;
+
+    fn mix_of(mut g: impl ChunkGen, units: usize) -> InstMix {
+        let mut mix = InstMix::default();
+        let mut buf = Vec::new();
+        for _ in 0..units {
+            buf.clear();
+            if !g.next_chunk(&mut buf) {
+                break;
+            }
+            for i in &buf {
+                mix.record(i);
+            }
+        }
+        mix
+    }
+
+    #[test]
+    fn encoder_and_decoder_terminate() {
+        let mut g = JpegEncGen::new(0, SimdIsa::Mmx, 2, 3);
+        let mut buf = Vec::new();
+        assert!(g.next_chunk(&mut buf));
+        assert!(g.next_chunk(&mut buf));
+        assert!(!g.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn encoder_mix_is_plausible() {
+        let m = mix_of(JpegEncGen::new(0, SimdIsa::Mmx, 4, 3), 4);
+        let b = m.breakdown();
+        assert!(b.simd_pct > 8.0, "{b}");
+        assert!(b.integer_pct > 30.0, "{b}");
+        assert!(b.memory_pct > 10.0, "{b}");
+    }
+
+    #[test]
+    fn mom_reduction_moderate_for_jpeg() {
+        // Table 3: 160.3 → 135.8 (≈0.85): elementwise kernels shrink less
+        // than reduction kernels.
+        let mmx = mix_of(JpegEncGen::new(0, SimdIsa::Mmx, 6, 3), 6);
+        let mom = mix_of(JpegEncGen::new(0, SimdIsa::Mom, 6, 3), 6);
+        let ratio = mom.total() as f64 / mmx.total() as f64;
+        assert!(ratio > 0.6 && ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn decoder_is_scalar_heavier_than_encoder() {
+        let enc = mix_of(JpegEncGen::new(0, SimdIsa::Mmx, 4, 3), 4);
+        let dec = mix_of(JpegDecGen::new(0, SimdIsa::Mmx, 4, 3), 4);
+        let enc_b = enc.breakdown();
+        let dec_b = dec.breakdown();
+        assert!(dec_b.total_insts < enc_b.total_insts);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mix_of(JpegDecGen::new(0, SimdIsa::Mom, 3, 11), 3);
+        let b = mix_of(JpegDecGen::new(0, SimdIsa::Mom, 3, 11), 3);
+        assert_eq!(a, b);
+    }
+}

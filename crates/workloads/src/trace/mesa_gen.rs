@@ -1,0 +1,211 @@
+//! `mesa` (OpenGL software rendering) trace generator — the MPEG-4 3D
+//! still-image profile.
+//!
+//! One work unit = one batch of 16 vertices / 8 triangles through the
+//! software pipeline: vertex transform (4×4 FP matrix), lighting
+//! (dot-product shading), then span rasterization with depth test. Not
+//! vectorized under either ISA (the paper's emulation libraries have no
+//! FP μ-SIMD), so `mesa` anchors the scalar/FP end of the workload —
+//! its MMX and MOM traces are identical (Table 3: 93.8 = 93.8).
+
+use super::emitter::Emitter;
+use super::scalar_phases as scalar;
+use super::{ChunkGen, SimdIsa};
+use crate::kernels::mesa3d::{diffuse, rasterize, Framebuffer, Mat4, ScreenVertex, Vec4};
+use crate::layout::Layout;
+use medsim_isa::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const VERTS_PER_BATCH: usize = 16;
+const TRIS_PER_BATCH: usize = 8;
+const FB_W: usize = 256;
+const FB_H: usize = 256;
+
+// Staggered off 32 KiB multiples (see mpeg2_gen.rs).
+const VERTEX_OFF: u64 = 0;
+const FB_OFF: u64 = 0x1_0820;
+const DEPTH_OFF: u64 = 0x2_1040;
+
+/// mesa generator.
+pub struct MesaGen {
+    e: Emitter,
+    units_left: u64,
+    fb: Framebuffer,
+    rng: SmallRng,
+    angle: f32,
+}
+
+impl MesaGen {
+    /// Build a generator for `instance`, rendering `units` batches.
+    /// The `isa` parameter is accepted for interface symmetry; mesa is
+    /// not vectorized.
+    #[must_use]
+    pub fn new(instance: usize, _isa: SimdIsa, units: u64, seed: u64) -> Self {
+        MesaGen {
+            e: Emitter::new(Layout::for_instance(instance), seed ^ 0x3e5a),
+            units_left: units,
+            fb: Framebuffer::new(FB_W, FB_H),
+            rng: SmallRng::seed_from_u64(seed),
+            angle: 0.0,
+        }
+    }
+}
+
+impl ChunkGen for MesaGen {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        if self.units_left == 0 {
+            return false;
+        }
+        self.units_left -= 1;
+        let layout = self.e.layout();
+        let vx_addr = layout.heap(VERTEX_OFF);
+        let fb_addr = layout.heap(FB_OFF);
+        let z_addr = layout.heap(DEPTH_OFF);
+
+        // --- functional: transform + light + rasterize a real batch ------
+        self.angle += 0.1;
+        let model = Mat4::rotate_z(self.angle).mul(Mat4::scale(30.0)).mul(Mat4::translate(0.0, 0.0, 2.0));
+        let light = Vec4::new(0.3, 0.5, 0.8, 0.0);
+        let mut screen = Vec::with_capacity(VERTS_PER_BATCH);
+        for _ in 0..VERTS_PER_BATCH {
+            let v = Vec4::new(
+                self.rng.gen_range(-1.0..1.0),
+                self.rng.gen_range(-1.0..1.0),
+                self.rng.gen_range(-1.0..1.0),
+                1.0,
+            );
+            let t = model.transform(v);
+            let n = Vec4::new(v.x, v.y, v.z, 0.0);
+            let i = diffuse(n, light);
+            screen.push(ScreenVertex {
+                x: (t.x + 40.0).clamp(0.0, (FB_W - 1) as f32),
+                y: (t.y + 40.0).clamp(0.0, (FB_H - 1) as f32),
+                z: t.z,
+                intensity: i,
+            });
+        }
+        let mut pixel_counts = Vec::with_capacity(TRIS_PER_BATCH);
+        for t in 0..TRIS_PER_BATCH {
+            let a = screen[(t * 2) % VERTS_PER_BATCH];
+            let b = screen[(t * 2 + 1) % VERTS_PER_BATCH];
+            let c = screen[(t * 2 + 5) % VERTS_PER_BATCH];
+            pixel_counts.push(rasterize(&mut self.fb, a, b, c));
+        }
+        // Reset the framebuffer occasionally ("frame swap") so it does
+        // not saturate and stop producing pixels.
+        if self.fb.covered_pixels() > FB_W * FB_H / 2 {
+            self.fb = Framebuffer::new(FB_W, FB_H);
+        }
+
+        // --- emit: vertex transform + lighting (FP-heavy) -----------------
+        self.e.call("transform", |e| {
+            e.loop_n(VERTS_PER_BATCH as u32, |e, i| {
+                let voff = vx_addr + u64::from(i) * 32;
+                for k in 0..4u64 {
+                    let _c = e.load(8, voff + k * 8);
+                }
+                // 4×4 matrix × vec4: 16 mul + 12 add, plus the projection
+                // divide and viewport mapping.
+                e.fp_work(32);
+                // lighting: normalize + dot + clamp
+                e.fp_work(14);
+                e.int_work(3);
+                for k in 0..4u64 {
+                    e.store(8, voff + 0x400 + k * 8);
+                }
+            });
+        });
+
+        // --- emit: triangle setup + span rasterization ----------------------
+        for &pixels in &pixel_counts {
+            self.e.call("raster", |e| {
+                // setup: edge functions, bounding box
+                e.fp_work(12);
+                e.int_work(10);
+                // span walk: per pixel depth test + interpolate + store,
+                // trip count from the real rasterizer
+                let rows = (pixels / 8).clamp(1, 32) as u32;
+                e.loop_n(rows, |e, r| {
+                    let row_addr = fb_addr + u64::from(r) * FB_W as u64;
+                    let zrow_addr = z_addr + u64::from(r) * (FB_W as u64) * 4;
+                    // per-span parameter stepping (plane equations)
+                    e.fp_work(4);
+                    e.loop_n(8, |e, p| {
+                        let _z = e.load(4, zrow_addr + u64::from(p) * 4);
+                        e.int_work(2);
+                        let pass = e.flip(0.7);
+                        e.cond_skip(!pass, 4);
+                        if pass {
+                            e.int_work(2);
+                            e.store(4, zrow_addr + u64::from(p) * 4);
+                            e.store(1, row_addr + u64::from(p));
+                        }
+                    });
+                });
+            });
+        }
+
+        // --- state/driver overhead -----------------------------------------
+        scalar::header_work(&mut self.e, 6);
+        scalar::table_walk(&mut self.e, 4);
+
+        self.e.drain_into(out);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::InstMix;
+
+    fn mix_of(mut g: impl ChunkGen, units: usize) -> InstMix {
+        let mut mix = InstMix::default();
+        let mut buf = Vec::new();
+        for _ in 0..units {
+            buf.clear();
+            if !g.next_chunk(&mut buf) {
+                break;
+            }
+            for i in &buf {
+                mix.record(i);
+            }
+        }
+        mix
+    }
+
+    #[test]
+    fn mesa_has_no_simd_under_either_isa() {
+        let mmx = mix_of(MesaGen::new(0, SimdIsa::Mmx, 3, 5), 3);
+        let mom = mix_of(MesaGen::new(0, SimdIsa::Mom, 3, 5), 3);
+        assert_eq!(mmx.simd, 0);
+        assert_eq!(mom.simd, 0);
+        // Table 3: identical instruction counts.
+        assert_eq!(mmx.total(), mom.total());
+    }
+
+    #[test]
+    fn mesa_is_the_fp_benchmark() {
+        let m = mix_of(MesaGen::new(0, SimdIsa::Mmx, 3, 5), 3);
+        let b = m.breakdown();
+        assert!(b.fp_pct > 8.0, "mesa carries the workload's FP: {b}");
+        assert!(b.integer_pct > 30.0, "{b}");
+    }
+
+    #[test]
+    fn terminates() {
+        let mut g = MesaGen::new(0, SimdIsa::Mmx, 2, 5);
+        let mut buf = Vec::new();
+        assert!(g.next_chunk(&mut buf));
+        assert!(g.next_chunk(&mut buf));
+        assert!(!g.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mix_of(MesaGen::new(0, SimdIsa::Mmx, 2, 9), 2);
+        let b = mix_of(MesaGen::new(0, SimdIsa::Mmx, 2, 9), 2);
+        assert_eq!(a, b);
+    }
+}

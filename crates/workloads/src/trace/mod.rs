@@ -1,0 +1,294 @@
+//! Instruction-trace generation.
+//!
+//! Each benchmark is a [`ChunkGen`]: a generator that emits the
+//! instruction stream of one *work unit* at a time (a macroblock row, a
+//! speech frame, a group of triangles), walking the real kernel loop
+//! nests over the modeled address space. [`ChunkedStream`] adapts a
+//! generator to the [`InstStream`] interface the CPU model consumes,
+//! keeping memory bounded regardless of trace length.
+//!
+//! Every generator comes in two vectorizations selected by [`SimdIsa`]:
+//! MMX-style (packed ops with explicit unpack/pack and reduction trees,
+//! plus the loop control to step through kernels 8 bytes at a time) and
+//! MOM-style (stream instructions covering up to 16 element groups, with
+//! packed-accumulator reductions and strided stream memory accesses).
+
+pub mod emitter;
+pub mod gsm_gen;
+pub mod jpeg_gen;
+pub mod mesa_gen;
+pub mod mpeg2_gen;
+pub mod scalar_phases;
+pub mod simd_kernels;
+
+use medsim_isa::Inst;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which μ-SIMD extension a trace is vectorized with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimdIsa {
+    /// MMX-like packed μ-SIMD (67 opcodes, 32 registers).
+    Mmx,
+    /// MOM streaming μ-SIMD (121 opcodes, 16 stream registers).
+    Mom,
+}
+
+impl SimdIsa {
+    /// Both ISAs in the paper's presentation order.
+    pub const ALL: [SimdIsa; 2] = [SimdIsa::Mmx, SimdIsa::Mom];
+
+    /// Label used in experiment output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SimdIsa::Mmx => "MMX",
+            SimdIsa::Mom => "MOM",
+        }
+    }
+}
+
+impl core::fmt::Display for SimdIsa {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source of decoded instructions (one software thread's trace).
+pub trait InstStream {
+    /// Produce the next instruction, or `None` when the program ends.
+    fn next_inst(&mut self) -> Option<Inst>;
+}
+
+/// A generator that emits instructions one work unit at a time.
+pub trait ChunkGen {
+    /// Emit the next work unit into `out`. Returns `false` when the
+    /// program is finished (nothing was appended).
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool;
+}
+
+/// Adapts a [`ChunkGen`] into an [`InstStream`] with bounded buffering.
+pub struct ChunkedStream<G> {
+    generator: G,
+    buf: VecDeque<Inst>,
+    scratch: Vec<Inst>,
+    finished: bool,
+}
+
+impl<G: ChunkGen> ChunkedStream<G> {
+    /// Wrap a generator.
+    pub fn new(generator: G) -> Self {
+        ChunkedStream { generator, buf: VecDeque::new(), scratch: Vec::new(), finished: false }
+    }
+}
+
+impl<G: ChunkGen> InstStream for ChunkedStream<G> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        while self.buf.is_empty() && !self.finished {
+            self.scratch.clear();
+            if self.generator.next_chunk(&mut self.scratch) {
+                self.buf.extend(self.scratch.drain(..));
+            } else {
+                self.finished = true;
+            }
+        }
+        self.buf.pop_front()
+    }
+}
+
+impl<S: InstStream + ?Sized> InstStream for Box<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
+/// An [`InstStream`] adapter that caps MOM stream lengths at `max_vl`,
+/// strip-mining longer stream instructions into several shorter ones
+/// plus the loop overhead a compiler would emit (ablation studies on
+/// the benefit of long streams).
+pub struct ClampStream<S> {
+    inner: S,
+    max_vl: u8,
+    pending: VecDeque<Inst>,
+}
+
+impl<S: InstStream> ClampStream<S> {
+    /// Wrap `inner`, capping stream lengths at `max_vl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_vl` is zero.
+    pub fn new(inner: S, max_vl: u8) -> Self {
+        assert!(max_vl >= 1, "stream length cap must be at least 1");
+        ClampStream { inner, max_vl, pending: VecDeque::new() }
+    }
+}
+
+impl<S: InstStream> InstStream for ClampStream<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        use medsim_isa::prelude::*;
+        if let Some(i) = self.pending.pop_front() {
+            return Some(i);
+        }
+        let inst = self.inner.next_inst()?;
+        if !inst.op.is_stream() || inst.slen <= self.max_vl {
+            return Some(inst);
+        }
+        // Strip-mine: chunks of max_vl element groups, with index-update
+        // and loop-branch overhead between chunks.
+        let mut remaining = inst.slen;
+        let mut chunk_idx = 0u8;
+        while remaining > 0 {
+            let take = remaining.min(self.max_vl);
+            let mut piece = inst.with_slen(take);
+            if let Some(m) = inst.mem {
+                let skip = u64::from(chunk_idx) * u64::from(self.max_vl);
+                piece.mem = Some(medsim_isa::MemRef::stream(
+                    (m.addr as i64 + m.stride * skip as i64) as u64,
+                    m.size,
+                    m.stride,
+                    take,
+                    m.is_store,
+                ));
+            }
+            self.pending.push_back(piece);
+            remaining -= take;
+            chunk_idx += 1;
+            if remaining > 0 {
+                // Strip-mine loop overhead.
+                self.pending.push_back(Inst::int_rri(IntOp::Addi, int(21), int(21), 1).at(inst.pc + 4));
+                self.pending
+                    .push_back(Inst::branch(CtlOp::Bne, int(21), true, inst.pc).at(inst.pc + 8));
+            }
+        }
+        self.pending.pop_front()
+    }
+}
+
+/// An [`InstStream`] over a fixed instruction vector (tests, synthetic
+/// microbenchmarks).
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    insts: std::vec::IntoIter<Inst>,
+}
+
+impl VecStream {
+    /// Stream over `insts`.
+    #[must_use]
+    pub fn new(insts: Vec<Inst>) -> Self {
+        VecStream { insts: insts.into_iter() }
+    }
+}
+
+impl InstStream for VecStream {
+    fn next_inst(&mut self) -> Option<Inst> {
+        self.insts.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::prelude::*;
+
+    struct CountGen {
+        chunks_left: usize,
+        per_chunk: usize,
+    }
+
+    impl ChunkGen for CountGen {
+        fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+            if self.chunks_left == 0 {
+                return false;
+            }
+            self.chunks_left -= 1;
+            for _ in 0..self.per_chunk {
+                out.push(Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)));
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn chunked_stream_delivers_all_instructions() {
+        let mut s = ChunkedStream::new(CountGen { chunks_left: 5, per_chunk: 7 });
+        let mut n = 0;
+        while s.next_inst().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 35);
+        assert!(s.next_inst().is_none(), "stream stays finished");
+    }
+
+    #[test]
+    fn empty_generator_yields_nothing() {
+        let mut s = ChunkedStream::new(CountGen { chunks_left: 0, per_chunk: 9 });
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn vec_stream_round_trip() {
+        let insts = vec![
+            Inst::int_rri(IntOp::Addi, int(1), int(0), 4),
+            Inst::jump(0x40),
+        ];
+        let mut s = VecStream::new(insts.clone());
+        assert_eq!(s.next_inst(), Some(insts[0]));
+        assert_eq!(s.next_inst(), Some(insts[1]));
+        assert_eq!(s.next_inst(), None);
+    }
+
+    #[test]
+    fn isa_labels() {
+        assert_eq!(SimdIsa::Mmx.to_string(), "MMX");
+        assert_eq!(SimdIsa::Mom.to_string(), "MOM");
+    }
+
+    #[test]
+    fn clamp_stream_passes_short_instructions_through() {
+        let insts = vec![
+            Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)),
+            Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 4),
+        ];
+        let mut s = ClampStream::new(VecStream::new(insts.clone()), 8);
+        assert_eq!(s.next_inst(), Some(insts[0]));
+        assert_eq!(s.next_inst(), Some(insts[1]));
+        assert_eq!(s.next_inst(), None);
+    }
+
+    #[test]
+    fn clamp_stream_strip_mines_long_streams() {
+        let inst = Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 16).at(0x100);
+        let mut s = ClampStream::new(VecStream::new(vec![inst]), 4);
+        let mut pieces = Vec::new();
+        while let Some(i) = s.next_inst() {
+            pieces.push(i);
+        }
+        // 4 chunks of 4 + 3 × (addi + branch) overhead = 10 instructions.
+        assert_eq!(pieces.len(), 10);
+        let total_vl: u64 = pieces
+            .iter()
+            .filter(|i| i.op.is_stream())
+            .map(|i| u64::from(i.slen))
+            .sum();
+        assert_eq!(total_vl, 16, "work is preserved");
+        assert!(pieces.iter().filter(|i| i.is_cond_branch()).count() == 3);
+    }
+
+    #[test]
+    fn clamp_stream_splits_memory_addresses() {
+        let inst = Inst::mom_load(stream(0), int(1), 0x1000, 64, 8).at(0x200);
+        let mut s = ClampStream::new(VecStream::new(vec![inst]), 4);
+        let mut loads = Vec::new();
+        while let Some(i) = s.next_inst() {
+            if let Some(m) = i.mem {
+                loads.push(m);
+            }
+        }
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].addr, 0x1000);
+        assert_eq!(loads[0].count, 4);
+        assert_eq!(loads[1].addr, 0x1000 + 4 * 64, "second chunk starts after the first");
+        assert_eq!(loads[1].count, 4);
+    }
+}

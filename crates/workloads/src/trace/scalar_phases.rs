@@ -1,0 +1,278 @@
+//! Scalar "protocol overhead" phase emitters.
+//!
+//! The paper's central observation is that full media programs are
+//! dominated by exactly this code: table lookups, header processing,
+//! entropy coding, rate control — "very similar to what we can find in a
+//! typical SPECint benchmark" (§2). These emitters produce those phases:
+//! integer-heavy, branchy, with high-locality table accesses; driven by
+//! the *real* data (run/level events) the functional kernels computed.
+
+use super::emitter::Emitter;
+use crate::kernels::huffman::code_len;
+use crate::kernels::zigzag::RunLevel;
+use rand::Rng;
+
+/// Variable-length-code **encode** of one block's (run, level) events.
+/// Table lookups and bit-buffer updates per event; escape codes branch
+/// to a longer path.
+pub fn vlc_encode_block(e: &mut Emitter, events: &[RunLevel]) {
+    let table = e.layout().global(0x1000);
+    let bitbuf = e.layout().stack(0x100);
+    for (n, &ev) in events.iter().enumerate() {
+        // Index computation + two-table lookup (code, length).
+        e.int_work(2);
+        let idx = u64::from(ev.run) * 64 + u64::from(ev.level.unsigned_abs() & 0x3f);
+        let _code = e.load(4, table + idx * 8);
+        let _len = e.load(4, table + idx * 8 + 4);
+        let escape = code_len(ev) >= 24;
+        // Escape path: recompute a long code arithmetically.
+        e.cond_skip(!escape, 5);
+        if escape {
+            e.int_work(5);
+        }
+        // Shift/or into the bit buffer.
+        e.int_work(3);
+        // Flush a word roughly every 4 events.
+        if n % 4 == 3 {
+            e.store(4, bitbuf + (n as u64 / 4 % 16) * 4);
+        }
+    }
+    // End-of-block code.
+    e.int_work(2);
+    e.store(4, bitbuf);
+}
+
+/// Variable-length-code **decode** producing `n_events` events; per
+/// event: bit-buffer reads, a first-level table probe, and a
+/// data-dependent second probe for long codes.
+pub fn vlc_decode_block(e: &mut Emitter, n_events: usize) {
+    let table = e.layout().global(0x3000);
+    let bitbuf = e.layout().heap(0x2_0360);
+    for n in 0..n_events {
+        // Peek bits from the buffer (high locality).
+        let _bits = e.load(4, bitbuf + (n as u64 / 8 % 64) * 4);
+        e.int_work(2);
+        // First-level probe.
+        let long = e.flip(0.25);
+        let idx = e.rng().gen_range(0..256u64);
+        let _entry = e.load(4, table + idx * 4);
+        e.cond_skip(!long, 3);
+        if long {
+            // Second-level probe for long codes.
+            let idx2 = e.rng().gen_range(0..512u64);
+            let _entry2 = e.load(4, table + 0x400 + idx2 * 4);
+            e.int_work(1);
+        }
+        // Sign/level reconstruction and zigzag position update.
+        e.int_work(4);
+    }
+    e.int_work(2);
+}
+
+/// Header / syntax processing: `fields` bit-field extractions with
+/// occasional branch on syntax element values.
+pub fn header_work(e: &mut Emitter, fields: usize) {
+    let hdr = e.layout().heap(0x2_4360);
+    for n in 0..fields {
+        let _w = e.load(4, hdr + (n as u64 % 32) * 4);
+        e.int_work(3);
+        let rare = e.flip(0.1);
+        e.cond_skip(!rare, 4);
+        if rare {
+            e.int_work(4);
+        }
+    }
+}
+
+/// Bit-exact unpacking of `fields` packed fields (GSM decoder input,
+/// MPEG system layer): load + shift/mask chains.
+pub fn bit_unpack(e: &mut Emitter, fields: usize) {
+    let src = e.layout().heap(0x2_8360);
+    for n in 0..fields {
+        if n % 2 == 0 {
+            let _w = e.load(4, src + (n as u64 / 2 % 128) * 4);
+        }
+        e.int_work(3);
+        if n % 8 == 7 {
+            e.store(2, e.layout().stack(0x200) + (n as u64 % 64) * 2);
+        }
+    }
+}
+
+/// Rate control / quality adaptation: a small floating-point update of
+/// the quantizer scale (the codecs' only scalar FP besides mesa).
+pub fn rate_control(e: &mut Emitter) {
+    let state = e.layout().global(0x5000);
+    let _ = e.load(8, state);
+    let _ = e.load(8, state + 8);
+    e.fp_work(6);
+    e.int_work(3);
+    e.store(8, state);
+}
+
+/// A dependent table-walk: `steps` loads where each address depends on
+/// the previous value (entropy-coder state machines, tree descents).
+pub fn table_walk(e: &mut Emitter, steps: usize) {
+    let table = e.layout().global(0x6000);
+    for _ in 0..steps {
+        let idx = e.rng().gen_range(0..512u64);
+        let _v = e.load(4, table + idx * 4);
+        e.int_work(2);
+    }
+}
+
+/// Bit-serial emission into an output bitstream: `bits` bits, processed
+/// in byte-ish chunks of shift/or/carry logic with an occasional store
+/// (libjpeg's `emit_bits` / MPEG's putbits — the deep scalar tail of
+/// every encoder).
+pub fn bit_emit(e: &mut Emitter, bits: usize) {
+    let buf = e.layout().stack(0x300);
+    let chunks = bits.div_ceil(8);
+    for n in 0..chunks {
+        // shift in, test for byte boundary, handle stuffing
+        e.int_work(4);
+        let stuff = e.flip(0.06); // 0xFF byte stuffing is rare
+        e.cond_skip(!stuff, 3);
+        if stuff {
+            e.int_work(3);
+        }
+        if n % 4 == 3 {
+            e.store(4, buf + (n as u64 / 4 % 32) * 4);
+        }
+    }
+}
+
+/// Bit-serial consumption from an input bitstream: `bits` bits of
+/// shift/mask/refill logic with a load every couple of chunks (the
+/// decoder-side mirror of [`bit_emit`]).
+pub fn bit_consume(e: &mut Emitter, bits: usize) {
+    let buf = e.layout().heap(0x2_c360);
+    let chunks = bits.div_ceil(8);
+    for n in 0..chunks {
+        if n % 2 == 0 {
+            let _w = e.load(4, buf + (n as u64 / 2 % 64) * 4);
+        }
+        e.int_work(4);
+        let marker = e.flip(0.04);
+        e.cond_skip(!marker, 2);
+        if marker {
+            e.int_work(2);
+        }
+    }
+}
+
+/// Scalar coefficient quantization of one 64-coefficient block (libjpeg
+/// style: per-coefficient divide with rounding — never vectorized in
+/// the 1999-era emulation libraries).
+pub fn scalar_quant_block(e: &mut Emitter, src: u64, dst: u64) {
+    e.loop_n(64, |e, i| {
+        let off = u64::from(i) * 2;
+        let _c = e.load(2, src + off);
+        e.int_work(4); // divide-by-reciprocal multiply + rounding + clamp
+        e.store(2, dst + off);
+    });
+}
+
+/// Encoder mode decision: score `options` candidate coding modes and
+/// pick the cheapest (branchy compare-and-select integer logic).
+pub fn mode_decision(e: &mut Emitter, options: usize) {
+    for _ in 0..options {
+        e.int_work(5);
+        let better = e.flip(0.4);
+        e.cond_skip(!better, 2);
+        if better {
+            e.int_work(2);
+        }
+    }
+    e.int_work(4);
+}
+
+/// Function-call and bookkeeping overhead around a kernel invocation:
+/// stack spills/restores and argument setup.
+pub fn call_overhead(e: &mut Emitter, spills: usize) {
+    let sp = e.layout().stack(0x1000);
+    for i in 0..spills {
+        e.store(8, sp + (i as u64) * 8);
+    }
+    e.int_work(spills.max(2));
+    for i in 0..spills {
+        let _ = e.load(8, sp + (i as u64) * 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::mix::InstMix;
+    use medsim_isa::OpKind;
+
+    fn mix_of(f: impl FnOnce(&mut Emitter)) -> InstMix {
+        let mut e = Emitter::new(Layout::for_instance(0), 3);
+        f(&mut e);
+        let mut mix = InstMix::default();
+        for i in e.take() {
+            mix.record(&i);
+        }
+        mix
+    }
+
+    #[test]
+    fn vlc_encode_is_integer_dominated() {
+        let events: Vec<RunLevel> = (0..16).map(|i| RunLevel { run: i % 4, level: 1 + (i as i16 % 5) }).collect();
+        let m = mix_of(|e| vlc_encode_block(e, &events));
+        assert!(m.simd == 0);
+        assert!(m.integer > m.memory, "int {} vs mem {}", m.integer, m.memory);
+        assert!(m.fp == 0);
+    }
+
+    #[test]
+    fn vlc_encode_cost_scales_with_events() {
+        let few: Vec<RunLevel> = (0..4).map(|_| RunLevel { run: 0, level: 1 }).collect();
+        let many: Vec<RunLevel> = (0..32).map(|_| RunLevel { run: 0, level: 1 }).collect();
+        let mf = mix_of(|e| vlc_encode_block(e, &few));
+        let mm = mix_of(|e| vlc_encode_block(e, &many));
+        assert!(mm.total() > mf.total() * 4);
+    }
+
+    #[test]
+    fn escape_events_cost_more() {
+        let cheap = vec![RunLevel { run: 0, level: 1 }; 8];
+        let escapes = vec![RunLevel { run: 30, level: 900 }; 8];
+        let mc = mix_of(|e| vlc_encode_block(e, &cheap));
+        let me = mix_of(|e| vlc_encode_block(e, &escapes));
+        assert!(me.integer > mc.integer);
+    }
+
+    #[test]
+    fn vlc_decode_emits_loads_and_branches() {
+        let m = mix_of(|e| vlc_decode_block(e, 20));
+        assert!(m.memory >= 20, "at least one load per event");
+        assert!(m.integer > 2 * m.memory);
+    }
+
+    #[test]
+    fn rate_control_has_fp() {
+        let m = mix_of(rate_control);
+        assert!(m.fp > 0);
+    }
+
+    #[test]
+    fn phases_are_deterministic_per_seed() {
+        let a = mix_of(|e| vlc_decode_block(e, 40));
+        let b = mix_of(|e| vlc_decode_block(e, 40));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_simd_anywhere_in_scalar_phases() {
+        let m = mix_of(|e| {
+            header_work(e, 10);
+            bit_unpack(e, 20);
+            table_walk(e, 8);
+            call_overhead(e, 4);
+        });
+        let _ = OpKind::SimdArith;
+        assert_eq!(m.simd, 0);
+    }
+}

@@ -1,0 +1,476 @@
+//! μ-SIMD kernel emitters, in both vectorizations.
+//!
+//! Each function emits the instruction sequence a hand-vectorized kernel
+//! executes — the MMX flavor with its per-8-bytes loop control, explicit
+//! unpack/pack and log-tree reductions; the MOM flavor as stream
+//! instructions with packed-accumulator reductions and strided stream
+//! memory accesses. Address streams follow the real data layout passed
+//! by the caller.
+
+use super::emitter::Emitter;
+use super::SimdIsa;
+use medsim_isa::prelude::*;
+
+/// Split `groups` 64-bit element groups into stream lengths of at most 16.
+pub fn stream_spans(groups: u32) -> impl Iterator<Item = u8> {
+    let full = groups / 16;
+    let rest = (groups % 16) as u8;
+    (0..full).map(|_| 16u8).chain((rest > 0).then_some(rest))
+}
+
+/// 16×16 SAD between a current macroblock and a reference candidate.
+/// `stride` is the frame row pitch in bytes.
+pub fn sad_16x16(e: &mut Emitter, isa: SimdIsa, cur: u64, refp: u64, stride: i64) {
+    match isa {
+        SimdIsa::Mmx => {
+            let acc0 = simd(24);
+            let acc1 = simd(25);
+            e.mmx_op_into(MmxOp::Pxor, acc0, acc0, acc0);
+            e.mmx_op_into(MmxOp::Pxor, acc1, acc1, acc1);
+            e.loop_n(16, |e, row| {
+                let roff = stride * i64::from(row);
+                let c0 = e.mmx_load((cur as i64 + roff) as u64);
+                let c1 = e.mmx_load((cur as i64 + roff + 8) as u64);
+                let r0 = e.mmx_load((refp as i64 + roff) as u64);
+                let r1 = e.mmx_load((refp as i64 + roff + 8) as u64);
+                let s0 = e.m.next();
+                let s1 = e.m.next();
+                e.mmx_op_into(MmxOp::PsadBw, s0, c0, r0);
+                e.mmx_op_into(MmxOp::PsadBw, s1, c1, r1);
+                e.mmx_op_into(MmxOp::PaddW, acc0, acc0, s0);
+                e.mmx_op_into(MmxOp::PaddW, acc1, acc1, s1);
+                // address updates for the two row pointers
+                e.alui(IntOp::Addi, int(22), int(22), stride as i32);
+                e.alui(IntOp::Addi, int(23), int(23), stride as i32);
+                // early-exit check against the best SAD so far (the
+                // reference encoder's `dist1` bailout — scalar work the
+                // stream version fundamentally cannot do)
+                e.int_work(2);
+                e.cond_skip(false, 2);
+            });
+            // Final reduction to a scalar.
+            e.mmx_op_into(MmxOp::PaddW, acc0, acc0, acc1);
+            let red = e.m.next();
+            e.mmx_op_into(MmxOp::PredaddW, red, acc0, acc0);
+            let dst = e.t.next();
+            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+        }
+        SimdIsa::Mom => {
+            // Two 16-group streams (the two 8-byte column halves of the
+            // macroblock), accumulated with acc.sad.b.
+            e.set_vl(16);
+            let a0 = e.mom_load(cur, stride, 16);
+            let b0 = e.mom_load(refp, stride, 16);
+            e.mom_acc(MomOp::AccSadB, acc(0), a0, b0, 16);
+            let a1 = e.mom_load(cur + 8, stride, 16);
+            let b1 = e.mom_load(refp + 8, stride, 16);
+            e.mom_acc(MomOp::AccSadB, acc(0), a1, b1, 16);
+            let red = e.mom_acc_read(MomOp::AccRedAddW, acc(0));
+            let dst = e.t.next();
+            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+        }
+    }
+}
+
+/// 8×8 forward or inverse DCT on 16-bit samples. `src`/`dst` are 128-byte
+/// blocks; `stride` the row pitch in bytes (16 for packed blocks).
+pub fn dct_8x8(e: &mut Emitter, isa: SimdIsa, src: u64, dst: u64, stride: i64) {
+    match isa {
+        SimdIsa::Mmx => {
+            let stage = e.layout().stack(0x800);
+            // Row pass then column pass; the column pass works on the
+            // transposed staging buffer (transpose folded into the passes
+            // with unpack/shuffle ops, as real MMX DCTs do).
+            for (from, to) in [(src, stage), (stage, dst)] {
+                e.loop_n(8, |e, row| {
+                    let roff = stride * i64::from(row);
+                    let lo = e.mmx_load((from as i64 + roff) as u64);
+                    let hi = e.mmx_load((from as i64 + roff + 8) as u64);
+                    // Butterfly/multiply network on 4-wide words.
+                    let t0 = e.m.next();
+                    let t1 = e.m.next();
+                    e.mmx_op_into(MmxOp::PaddsW, t0, lo, hi);
+                    e.mmx_op_into(MmxOp::PsubsW, t1, lo, hi);
+                    let m0 = e.m.next();
+                    let m1 = e.m.next();
+                    e.mmx_op_into(MmxOp::PmulhW, m0, t0, simd(26));
+                    e.mmx_op_into(MmxOp::PmulhW, m1, t1, simd(27));
+                    let u0 = e.m.next();
+                    e.mmx_op_into(MmxOp::PmaddWd, u0, t0, simd(28));
+                    let u1 = e.m.next();
+                    e.mmx_op_into(MmxOp::PmaddWd, u1, t1, simd(28));
+                    let s0 = e.m.next();
+                    let s1 = e.m.next();
+                    e.mmx_op_into(MmxOp::PaddsW, s0, m0, m1);
+                    e.mmx_op_into(MmxOp::PsraW, s1, s0, s0);
+                    let s2 = e.m.next();
+                    e.mmx_op_into(MmxOp::PackssDw, s2, u0, u1);
+                    // Transpose contribution: unpack/shuffle network (the
+                    // part MOM's vtrans subsumes).
+                    let x0 = e.m.next();
+                    let x1 = e.m.next();
+                    let x2 = e.m.next();
+                    let x3 = e.m.next();
+                    e.mmx_op_into(MmxOp::PunpcklWd, x0, s1, m0);
+                    e.mmx_op_into(MmxOp::PunpckhWd, x1, s1, m1);
+                    e.mmx_op_into(MmxOp::PunpcklDq, x2, x0, x1);
+                    e.mmx_op_into(MmxOp::PunpckhDq, x3, x0, x1);
+                    let p = e.m.next();
+                    e.mmx_op_into(MmxOp::PshufW, p, x2, x3);
+                    e.mmx_store((to as i64 + roff) as u64);
+                    e.mmx_store((to as i64 + roff + 8) as u64);
+                    e.alui(IntOp::Addi, int(22), int(22), stride as i32);
+                });
+            }
+        }
+        SimdIsa::Mom => {
+            // The whole 8×8 block of words is 16 element groups: one
+            // stream per pass, transposed between passes with vtrans;
+            // vector-scalar multiplies fold the coefficient broadcasts.
+            e.set_vl(16);
+            let rows = e.mom_load(src, stride / 2, 16);
+            let c0 = e.mom_op(MomOp::VaddsW, 16);
+            let m0 = e.mom_op(MomOp::VmaddWdVs, 16);
+            let t = e.v.next();
+            e.emit(Inst::mom(MomOp::Vtrans, t, rows, c0, 16));
+            let d0 = e.mom_op(MomOp::VmulhWVs, 16);
+            let s1 = e.mom_op(MomOp::VsraRndW, 16);
+            let _ = (m0, d0, s1);
+            e.mom_store(dst, stride / 2, 16);
+        }
+    }
+}
+
+/// Quantize (or dequantize) a 64-coefficient block against a matrix.
+pub fn quant_block(e: &mut Emitter, isa: SimdIsa, src: u64, dst: u64, matrix: u64) {
+    match isa {
+        SimdIsa::Mmx => {
+            e.loop_n(16, |e, i| {
+                let off = i64::from(i) * 8;
+                let c = e.mmx_load((src as i64 + off) as u64);
+                let m = e.mmx_load((matrix as i64 + off) as u64);
+                // Sign handling: |c|, multiply, shift, clamp, re-sign —
+                // the scalar-free rounding dance of MPEG quantizers.
+                let sgn = e.m.next();
+                e.mmx_op_into(MmxOp::PcmpgtW, sgn, c, simd(31));
+                let mag = e.m.next();
+                e.mmx_op_into(MmxOp::Pxor, mag, c, sgn);
+                let p = e.m.next();
+                e.mmx_op_into(MmxOp::PmulhW, p, mag, m);
+                let r = e.m.next();
+                e.mmx_op_into(MmxOp::PsraW, r, p, p);
+                let s = e.m.next();
+                e.mmx_op_into(MmxOp::PmaxSw, s, r, simd(29));
+                let fin = e.m.next();
+                e.mmx_op_into(MmxOp::Pxor, fin, s, sgn);
+                e.mmx_store((dst as i64 + off) as u64);
+                e.alui(IntOp::Addi, int(22), int(22), 8);
+            });
+        }
+        SimdIsa::Mom => {
+            e.set_vl(16);
+            let c = e.mom_load(src, 8, 16);
+            let m = e.mom_load(matrix, 8, 16);
+            let p = e.v.next();
+            e.emit(Inst::mom(MomOp::VmulhW, p, c, m, 16));
+            let r = e.mom_op(MomOp::VsraRndW, 16);
+            let _ = r;
+            e.mom_store(dst, 8, 16);
+        }
+    }
+}
+
+/// Motion-compensation average (or plain copy when `avg` is false) of a
+/// 16×16 block.
+pub fn mc_block(e: &mut Emitter, isa: SimdIsa, src: u64, dst: u64, stride: i64, avg: bool) {
+    match isa {
+        SimdIsa::Mmx => {
+            e.loop_n(16, |e, row| {
+                let roff = stride * i64::from(row);
+                let s0 = e.mmx_load((src as i64 + roff) as u64);
+                let s1 = e.mmx_load((src as i64 + roff + 8) as u64);
+                if avg {
+                    let d0 = e.mmx_load((dst as i64 + roff) as u64);
+                    let d1 = e.mmx_load((dst as i64 + roff + 8) as u64);
+                    let a0 = e.m.next();
+                    let a1 = e.m.next();
+                    e.mmx_op_into(MmxOp::PavgB, a0, s0, d0);
+                    e.mmx_op_into(MmxOp::PavgB, a1, s1, d1);
+                }
+                e.mmx_store((dst as i64 + roff) as u64);
+                e.mmx_store((dst as i64 + roff + 8) as u64);
+                e.alui(IntOp::Addi, int(22), int(22), stride as i32);
+            });
+        }
+        SimdIsa::Mom => {
+            e.set_vl(16);
+            for half in [0i64, 8] {
+                let s = e.mom_load((src as i64 + half) as u64, stride, 16);
+                if avg {
+                    let d = e.mom_load((dst as i64 + half) as u64, stride, 16);
+                    let a = e.v.next();
+                    e.emit(Inst::mom(MomOp::VavgB, a, s, d, 16));
+                }
+                e.mom_store((dst as i64 + half) as u64, stride, 16);
+            }
+        }
+    }
+}
+
+/// Add a residual block to a prediction with saturation (decoder
+/// reconstruction): 16 rows of 16 pixels; residuals are 16-bit.
+pub fn add_residual_16x16(e: &mut Emitter, isa: SimdIsa, pred: u64, resid: u64, dst: u64, stride: i64) {
+    match isa {
+        SimdIsa::Mmx => {
+            e.loop_n(16, |e, row| {
+                let roff = stride * i64::from(row);
+                let p0 = e.mmx_load((pred as i64 + roff) as u64);
+                let p1 = e.mmx_load((pred as i64 + roff + 8) as u64);
+                // Unpack pixels to words, add residual, pack back: the
+                // classic MMX byte-precision dance.
+                let z = simd(31);
+                let w0 = e.m.next();
+                let w1 = e.m.next();
+                let w2 = e.m.next();
+                let w3 = e.m.next();
+                e.mmx_op_into(MmxOp::PunpcklBw, w0, p0, z);
+                e.mmx_op_into(MmxOp::PunpckhBw, w1, p0, z);
+                e.mmx_op_into(MmxOp::PunpcklBw, w2, p1, z);
+                e.mmx_op_into(MmxOp::PunpckhBw, w3, p1, z);
+                let r0 = e.mmx_load((resid as i64 + 2 * roff) as u64);
+                let r1 = e.mmx_load((resid as i64 + 2 * roff + 8) as u64);
+                let r2 = e.mmx_load((resid as i64 + 2 * roff + 16) as u64);
+                let r3 = e.mmx_load((resid as i64 + 2 * roff + 24) as u64);
+                e.mmx_op_into(MmxOp::PaddsW, w0, w0, r0);
+                e.mmx_op_into(MmxOp::PaddsW, w1, w1, r1);
+                e.mmx_op_into(MmxOp::PaddsW, w2, w2, r2);
+                e.mmx_op_into(MmxOp::PaddsW, w3, w3, r3);
+                let o0 = e.m.next();
+                let o1 = e.m.next();
+                e.mmx_op_into(MmxOp::PackusWb, o0, w0, w1);
+                e.mmx_op_into(MmxOp::PackusWb, o1, w2, w3);
+                e.mmx_store((dst as i64 + roff) as u64);
+                e.mmx_store((dst as i64 + roff + 8) as u64);
+                e.alui(IntOp::Addi, int(22), int(22), stride as i32);
+            });
+        }
+        SimdIsa::Mom => {
+            // Residuals as word streams (32 groups = 2 streams), added and
+            // clipped to bytes without explicit unpacking thanks to the
+            // clip/select stream ops.
+            for (i, span) in stream_spans(32).enumerate() {
+                e.set_vl(span);
+                let off = (i as i64) * 16 * 16; // 16 groups × 16-byte rows of residual
+                let p = e.mom_load((pred as i64 + off / 2) as u64, stride, span);
+                let r = e.mom_load((resid as i64 + off) as u64, stride * 2, span);
+                let s = e.v.next();
+                e.emit(Inst::mom(MomOp::VaddsW, s, p, r, span));
+                let c = e.mom_op(MomOp::VclipUb, span);
+                let _ = c;
+                e.mom_store((dst as i64 + off / 2) as u64, stride, span);
+            }
+        }
+    }
+}
+
+/// Planar color conversion of `pixels` samples (one coefficient pass:
+/// out = clip((a·c1 + b·c2) >> s)). Emitted per plane-pair.
+pub fn color_convert(e: &mut Emitter, isa: SimdIsa, src_a: u64, src_b: u64, dst: u64, pixels: u32) {
+    match isa {
+        SimdIsa::Mmx => {
+            let chunks = pixels / 8;
+            e.loop_n(chunks, |e, i| {
+                let off = i64::from(i) * 8;
+                let pa = e.mmx_load((src_a as i64 + off) as u64);
+                let pb = e.mmx_load((src_b as i64 + off) as u64);
+                let z = simd(31);
+                let la = e.m.next();
+                let ha = e.m.next();
+                let lb = e.m.next();
+                let hb = e.m.next();
+                e.mmx_op_into(MmxOp::PunpcklBw, la, pa, z);
+                e.mmx_op_into(MmxOp::PunpckhBw, ha, pa, z);
+                e.mmx_op_into(MmxOp::PunpcklBw, lb, pb, z);
+                e.mmx_op_into(MmxOp::PunpckhBw, hb, pb, z);
+                e.mmx_op_into(MmxOp::PmullW, la, la, simd(26));
+                e.mmx_op_into(MmxOp::PmullW, ha, ha, simd(26));
+                e.mmx_op_into(MmxOp::PmullW, lb, lb, simd(27));
+                e.mmx_op_into(MmxOp::PmullW, hb, hb, simd(27));
+                e.mmx_op_into(MmxOp::PaddsW, la, la, lb);
+                e.mmx_op_into(MmxOp::PaddsW, ha, ha, hb);
+                e.mmx_op_into(MmxOp::PsraW, la, la, la);
+                e.mmx_op_into(MmxOp::PsraW, ha, ha, ha);
+                let o = e.m.next();
+                e.mmx_op_into(MmxOp::PackusWb, o, la, ha);
+                e.mmx_store((dst as i64 + off) as u64);
+                e.alui(IntOp::Addi, int(22), int(22), 8);
+            });
+        }
+        SimdIsa::Mom => {
+            let groups = pixels / 8;
+            for (i, span) in stream_spans(groups).enumerate() {
+                e.set_vl(span);
+                let off = (i as i64) * 16 * 8;
+                let a = e.mom_load((src_a as i64 + off) as u64, 8, span);
+                let b = e.mom_load((src_b as i64 + off) as u64, 8, span);
+                let sa = e.v.next();
+                e.emit(Inst::mom(MomOp::VscaleW, sa, a, b, span));
+                let sum = e.mom_op(MomOp::VaddsW, span);
+                let clip = e.mom_op(MomOp::VclipUb, span);
+                let _ = (sum, clip);
+                e.mom_store((dst as i64 + off) as u64, 8, span);
+            }
+        }
+    }
+}
+
+/// Multiply-accumulate dot product of `len` 16-bit samples at `a` and
+/// `b` (autocorrelation lag, LTP cross-correlation). Result reduced to a
+/// scalar.
+pub fn mac_reduce(e: &mut Emitter, isa: SimdIsa, a: u64, b: u64, len: u32) {
+    let groups = len.div_ceil(4); // 4 words per 64-bit group
+    match isa {
+        SimdIsa::Mmx => {
+            let accr = simd(24);
+            e.mmx_op_into(MmxOp::Pxor, accr, accr, accr);
+            e.loop_n(groups, |e, i| {
+                let off = i64::from(i) * 8;
+                let xa = e.mmx_load((a as i64 + off) as u64);
+                let xb = e.mmx_load((b as i64 + off) as u64);
+                let p = e.m.next();
+                e.mmx_op_into(MmxOp::PmaddWd, p, xa, xb);
+                e.mmx_op_into(MmxOp::PaddD, accr, accr, p);
+                e.alui(IntOp::Addi, int(22), int(22), 8);
+            });
+            let red = e.m.next();
+            e.mmx_op_into(MmxOp::PredaddD, red, accr, accr);
+            let dst = e.t.next();
+            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+        }
+        SimdIsa::Mom => {
+            for (i, span) in stream_spans(groups).enumerate() {
+                e.set_vl(span);
+                let off = (i as i64) * 16 * 8;
+                let xa = e.mom_load((a as i64 + off) as u64, 8, span);
+                let xb = e.mom_load((b as i64 + off) as u64, 8, span);
+                e.mom_acc(MomOp::AccMaddWd, acc(0), xa, xb, span);
+            }
+            let red = e.mom_acc_read(MomOp::AccRedAddD, acc(0));
+            let dst = e.t.next();
+            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::mix::InstMix;
+
+    fn run(_isa: SimdIsa, f: impl FnOnce(&mut Emitter)) -> InstMix {
+        let mut e = Emitter::new(Layout::for_instance(0), 1);
+        f(&mut e);
+        let mut mix = InstMix::default();
+        for i in e.take() {
+            mix.record(&i);
+        }
+        mix
+    }
+
+    #[test]
+    fn stream_spans_partition() {
+        let spans: Vec<u8> = stream_spans(40).collect();
+        assert_eq!(spans, vec![16, 16, 8]);
+        assert_eq!(stream_spans(16).collect::<Vec<_>>(), vec![16]);
+        assert_eq!(stream_spans(0).count(), 0);
+        assert_eq!(stream_spans(3).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn sad_mom_uses_far_fewer_raw_instructions() {
+        let mmx = run(SimdIsa::Mmx, |e| sad_16x16(e, SimdIsa::Mmx, 0x40_0000, 0x44_0000, 176));
+        let mom = run(SimdIsa::Mom, |e| sad_16x16(e, SimdIsa::Mom, 0x40_0000, 0x44_0000, 176));
+        assert!(mom.raw * 10 < mmx.raw, "MOM {} vs MMX {} raw", mom.raw, mmx.raw);
+        // Equivalent memory: MMX does 64 loads; MOM 64 element accesses.
+        assert_eq!(mmx.memory, 64);
+        assert_eq!(mom.memory, 64);
+        // SIMD-arithmetic equivalent shrinks via the accumulator.
+        assert!(mom.simd < mmx.simd / 2 + 4, "MOM simd {} vs MMX {}", mom.simd, mmx.simd);
+        // Loop overhead disappears.
+        assert!(mom.integer < mmx.integer / 8);
+    }
+
+    #[test]
+    fn sad_addresses_follow_rows() {
+        let mut e = Emitter::new(Layout::for_instance(0), 1);
+        sad_16x16(&mut e, SimdIsa::Mmx, 0x40_0000, 0x44_0000, 176);
+        let insts = e.take();
+        let loads: Vec<u64> = insts.iter().filter_map(|i| i.mem.map(|m| m.addr)).collect();
+        assert_eq!(loads[0], 0x40_0000);
+        assert_eq!(loads[1], 0x40_0008);
+        assert_eq!(loads[2], 0x44_0000);
+        // next row
+        assert_eq!(loads[4], 0x40_0000 + 176);
+    }
+
+    #[test]
+    fn mom_sad_strides_are_frame_pitch() {
+        let mut e = Emitter::new(Layout::for_instance(0), 1);
+        sad_16x16(&mut e, SimdIsa::Mom, 0x40_0000, 0x44_0000, 176);
+        let insts = e.take();
+        let streams: Vec<_> = insts.iter().filter_map(|i| i.mem).collect();
+        assert_eq!(streams.len(), 4);
+        assert!(streams.iter().all(|m| m.stride == 176 && m.count == 16));
+    }
+
+    #[test]
+    fn dct_block_shapes() {
+        let mmx = run(SimdIsa::Mmx, |e| dct_8x8(e, SimdIsa::Mmx, 0x40_0000, 0x41_0000, 16));
+        let mom = run(SimdIsa::Mom, |e| dct_8x8(e, SimdIsa::Mom, 0x40_0000, 0x41_0000, 16));
+        assert_eq!(mmx.memory, 64, "2 passes × 8 rows × (2 ld + 2 st)");
+        assert_eq!(mom.memory, 32, "one stream load + one store of 16 groups");
+        assert!(mom.raw < mmx.raw / 10);
+    }
+
+    #[test]
+    fn quant_block_shapes() {
+        let mmx = run(SimdIsa::Mmx, |e| quant_block(e, SimdIsa::Mmx, 0x0, 0x100, 0x200));
+        let mom = run(SimdIsa::Mom, |e| quant_block(e, SimdIsa::Mom, 0x0, 0x100, 0x200));
+        assert_eq!(mmx.memory, 48);
+        assert_eq!(mom.memory, 48);
+        assert!(mom.integer < mmx.integer / 4, "loop overhead gone");
+    }
+
+    #[test]
+    fn mac_reduce_handles_non_multiple_lengths() {
+        // 160 samples = 40 groups = spans 16,16,8
+        let mom = run(SimdIsa::Mom, |e| mac_reduce(e, SimdIsa::Mom, 0x0, 0x1000, 160));
+        assert_eq!(mom.memory, 80, "two streams of 40 groups");
+        let mmx = run(SimdIsa::Mmx, |e| mac_reduce(e, SimdIsa::Mmx, 0x0, 0x1000, 160));
+        assert_eq!(mmx.memory, 80);
+    }
+
+    #[test]
+    fn mc_copy_vs_avg() {
+        let copy = run(SimdIsa::Mmx, |e| mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, false));
+        let avg = run(SimdIsa::Mmx, |e| mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, true));
+        assert!(avg.memory > copy.memory, "averaging reads the destination too");
+        assert!(avg.simd > copy.simd);
+    }
+
+    #[test]
+    fn add_residual_mmx_has_unpack_pack_overhead() {
+        let mmx = run(SimdIsa::Mmx, |e| add_residual_16x16(e, SimdIsa::Mmx, 0x0, 0x4000, 0x8000, 176));
+        let mom = run(SimdIsa::Mom, |e| add_residual_16x16(e, SimdIsa::Mom, 0x0, 0x4000, 0x8000, 176));
+        // The MMX unpack/pack dance costs ~10 SIMD ops per row.
+        assert!(mmx.simd > mom.simd, "MMX {} vs MOM {}", mmx.simd, mom.simd);
+    }
+
+    #[test]
+    fn color_convert_scales_with_pixels() {
+        let small = run(SimdIsa::Mmx, |e| color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 64));
+        let large = run(SimdIsa::Mmx, |e| color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 128));
+        assert!(large.total() > small.total() * 3 / 2);
+    }
+}

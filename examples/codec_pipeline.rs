@@ -1,0 +1,93 @@
+//! Run the functional media kernels end-to-end — no timing simulation,
+//! just the real data transforms the workload models are built from:
+//! encode a synthetic frame through motion estimation → DCT →
+//! quantization → entropy coding, decode it back, and report PSNR and
+//! bitrate.
+//!
+//! ```sh
+//! cargo run --release --example codec_pipeline
+//! ```
+
+use medsim::workloads::kernels::huffman::BitWriter;
+use medsim::workloads::kernels::motion::{self, Plane};
+use medsim::workloads::kernels::zigzag;
+use medsim::workloads::kernels::{dct, huffman, quant};
+
+const W: usize = 352;
+const H: usize = 240;
+
+fn textured(phase: usize) -> Plane {
+    let mut p = Plane::new(W, H, 0);
+    for y in 0..H {
+        for x in 0..W {
+            p.data[y * W + x] = (((x + phase) * 7 + y * 13) % 200 + 20) as u8;
+        }
+    }
+    p
+}
+
+fn main() {
+    let reference = textured(0);
+    let current = textured(3); // camera pan of 3 pixels
+
+    let mut reconstructed = Plane::new(W, H, 0);
+    let mut writer = BitWriter::new();
+    let mut total_events = 0usize;
+
+    for mb_y in 0..H / 16 {
+        for mb_x in 0..W / 16 {
+            let (mx, my) = (mb_x * 16, mb_y * 16);
+            let mv = motion::full_search(&current, &reference, mx, my, 4);
+            let resid = motion::residual(&current, &reference, mx, my, mv);
+
+            // Transform + quantize the four 8x8 blocks, entropy-code them,
+            // then reconstruct exactly as a decoder would.
+            let mut decoded = [0i16; 256];
+            for blk in 0..4 {
+                let (bx, by) = (blk % 2, blk / 2);
+                let mut block = [0i16; 64];
+                for r in 0..8 {
+                    for c in 0..8 {
+                        block[r * 8 + c] = resid[(by * 8 + r) * 16 + bx * 8 + c];
+                    }
+                }
+                let coef = dct::forward(&block);
+                let q = quant::quantize(&coef, &quant::INTRA_MATRIX, 6);
+                let events = zigzag::run_length_encode(&q);
+                total_events += events.len();
+                huffman::encode_block(&mut writer, &events);
+
+                let deq = quant::dequantize(&q, &quant::INTRA_MATRIX, 6);
+                let rec = dct::inverse(&deq);
+                for r in 0..8 {
+                    for c in 0..8 {
+                        decoded[(by * 8 + r) * 16 + bx * 8 + c] = rec[r * 8 + c];
+                    }
+                }
+            }
+            motion::reconstruct(&mut reconstructed, &reference, mx, my, mv, &decoded);
+        }
+    }
+
+    // Quality: PSNR of the reconstruction against the original.
+    let mse: f64 = current
+        .data
+        .iter()
+        .zip(reconstructed.data.iter())
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / (W * H) as f64;
+    let psnr = 10.0 * (255.0f64 * 255.0 / mse.max(1e-9)).log10();
+    let bits = writer.bit_len();
+
+    println!("encoded one {W}x{H} frame:");
+    println!("  run/level events   {total_events}");
+    println!("  bitstream          {} bits ({:.2} bits/pixel)", bits, bits as f64 / (W * H) as f64);
+    println!("  luma PSNR          {psnr:.1} dB");
+    assert!(psnr > 30.0, "reconstruction quality should exceed 30 dB");
+    println!("\n(these are the same kernels the trace generators walk — the");
+    println!(" simulator's address streams and trip counts come from real data)");
+}

@@ -1,0 +1,44 @@
+//! Demonstrate the decoupled cache hierarchy (§5.4): vector accesses
+//! bypass L1 into a 2-banked L2 through dedicated ports, with
+//! exclusive-bit coherence — and show what it buys an 8-thread SMT+MOM
+//! machine.
+//!
+//! ```sh
+//! cargo run --release --example decoupled_cache
+//! ```
+
+use medsim::core::metrics::EipcFactor;
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::cpu::FetchPolicy;
+use medsim::mem::HierarchyKind;
+use medsim::workloads::{trace::SimdIsa, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(5e-4);
+    let factor = EipcFactor::compute(&spec);
+
+    println!("8-thread SMT+MOM (OCOUNT fetch) across hierarchies:\n");
+    let mut results = Vec::new();
+    for h in HierarchyKind::ALL {
+        let cfg = SimConfig::new(SimdIsa::Mom, 8)
+            .with_hierarchy(h)
+            .with_policy(FetchPolicy::OCount)
+            .with_spec(spec);
+        let r = Simulation::run(&cfg);
+        println!("{h:>13}: EIPC {:>6.2}", r.figure_of_merit(&factor));
+        println!(
+            "{:>13}  L1 hit {:>5.1}%  avg L1 latency {:>5.2}  memory stalls {}",
+            "",
+            r.l1_hit_rate * 100.0,
+            r.l1_avg_latency,
+            r.mem_stalls
+        );
+        results.push((h, r));
+    }
+    let ideal = results[0].1.figure_of_merit(&factor);
+    let conv = results[1].1.figure_of_merit(&factor);
+    let dec = results[2].1.figure_of_merit(&factor);
+    println!();
+    println!("degradation vs ideal: conventional {:.0}%, decoupled {:.0}%", (1.0 - conv / ideal) * 100.0, (1.0 - dec / ideal) * 100.0);
+    println!("(paper: the decoupled organization cuts SMT+MOM's degradation to ~15%)");
+}

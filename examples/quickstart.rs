@@ -1,0 +1,40 @@
+//! Quickstart: run the paper's workload on one configuration and print
+//! the key metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use medsim::core::metrics::EipcFactor;
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::mem::HierarchyKind;
+use medsim::workloads::{trace::SimdIsa, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(5e-4);
+
+    println!("medsim quickstart: 4-thread SMT, conventional memory hierarchy\n");
+    let factor = EipcFactor::compute(&spec);
+    println!(
+        "workload: {} MMX-equivalent instructions, {} MOM ({}x fusion)\n",
+        factor.mmx_insts,
+        factor.mom_insts,
+        format_args!("{:.2}", factor.ratio()),
+    );
+
+    for isa in SimdIsa::ALL {
+        let cfg = SimConfig::new(isa, 4)
+            .with_hierarchy(HierarchyKind::Conventional)
+            .with_spec(spec);
+        let r = Simulation::run(&cfg);
+        println!("SMT+{isa} (4 threads):");
+        println!("  cycles               {:>12}", r.cycles);
+        println!("  raw IPC              {:>12.2}", r.ipc());
+        println!("  equivalent IPC       {:>12.2}", r.equiv_ipc());
+        println!("  figure of merit      {:>12.2}  (IPC for MMX, EIPC for MOM)", r.figure_of_merit(&factor));
+        println!("  L1 hit rate          {:>11.1}%", r.l1_hit_rate * 100.0);
+        println!("  avg L1 latency       {:>12.2} cycles", r.l1_avg_latency);
+        println!("  branch mispredicts   {:>11.1}%", r.mispredict_rate * 100.0);
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! # medsim — a DLP+TLP media-processor simulator
+//!
+//! A full reproduction of *"DLP + TLP Processors for the Next Generation
+//! of Media Workloads"* (Corbal, Espasa, Valero — HPCA 2001): a
+//! cycle-level SMT out-of-order processor with two μ-SIMD extensions
+//! (MMX-like packed and MOM streaming-vector), a banked two-level cache
+//! hierarchy with a Direct Rambus memory system, the paper's
+//! eight-program MPEG-4-style multiprogrammed workload, and drivers that
+//! regenerate every table and figure of the evaluation.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`isa`] (`medsim-isa`) — instruction sets and functional semantics;
+//! * [`workloads`] (`medsim-workloads`) — media kernels and trace
+//!   generators;
+//! * [`mem`] (`medsim-mem`) — the memory hierarchy;
+//! * [`cpu`] (`medsim-cpu`) — the SMT pipeline;
+//! * [`core`] (`medsim-core`) — simulation facade, metrics, experiments.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use medsim::core::sim::{SimConfig, Simulation};
+//! use medsim::workloads::{trace::SimdIsa, WorkloadSpec};
+//!
+//! // An 8-thread SMT+MOM processor on the paper's workload.
+//! let cfg = SimConfig::new(SimdIsa::Mom, 8).with_spec(WorkloadSpec::new(0.001));
+//! let result = Simulation::run(&cfg);
+//! println!("equivalent IPC: {:.2}", result.equiv_ipc());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/benches/`
+//! for the per-table/figure reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use medsim_core as core;
+pub use medsim_cpu as cpu;
+pub use medsim_isa as isa;
+pub use medsim_mem as mem;
+pub use medsim_workloads as workloads;

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: conservation laws and qualitative
+//! paper phenomena on small-scale full simulations.
+
+use medsim::core::metrics::EipcFactor;
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::cpu::FetchPolicy;
+use medsim::mem::HierarchyKind;
+use medsim::workloads::trace::{InstStream, SimdIsa};
+use medsim::workloads::{Benchmark, InstMix, WorkloadSpec};
+
+fn tiny() -> WorkloadSpec {
+    WorkloadSpec { scale: 2e-5, seed: 77 }
+}
+
+/// Total raw/equivalent instructions of the first eight workload slots.
+fn suite_counts(spec: &WorkloadSpec, isa: SimdIsa) -> (u64, u64) {
+    let mut raw = 0;
+    let mut equiv = 0;
+    for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+        let mut mix = InstMix::default();
+        let mut s = b.stream(slot, isa, spec);
+        while let Some(i) = s.next_inst() {
+            mix.record(&i);
+        }
+        raw += mix.raw;
+        equiv += mix.total();
+    }
+    (raw, equiv)
+}
+
+#[test]
+fn committed_instructions_conserve_trace_length_single_thread() {
+    // With one context the §5.1 schedule runs exactly the eight list
+    // entries back to back: everything fetched must retire, nothing more.
+    let spec = tiny();
+    for isa in SimdIsa::ALL {
+        let (raw, equiv) = suite_counts(&spec, isa);
+        let cfg = SimConfig::new(isa, 1).with_spec(spec);
+        let r = Simulation::run(&cfg);
+        assert_eq!(r.committed, raw, "{isa}: raw committed == trace length");
+        assert_eq!(r.committed_equiv, equiv, "{isa}: equivalent committed");
+    }
+}
+
+#[test]
+fn mom_commits_fewer_raw_but_comparable_work() {
+    let spec = tiny();
+    let mmx = Simulation::run(&SimConfig::new(SimdIsa::Mmx, 1).with_spec(spec));
+    let mom = Simulation::run(&SimConfig::new(SimdIsa::Mom, 1).with_spec(spec));
+    assert!(mom.committed < mmx.committed, "MOM fuses instructions");
+    assert!(mom.committed_equiv < mmx.committed_equiv, "Table 3: MOM needs fewer equivalents too");
+    assert!(
+        mom.committed_equiv * 2 > mmx.committed_equiv,
+        "but the same order of magnitude of work"
+    );
+}
+
+#[test]
+fn smt_scales_under_ideal_memory() {
+    let spec = tiny();
+    let mut prev = 0.0;
+    for threads in [1usize, 2, 4] {
+        let cfg = SimConfig::new(SimdIsa::Mmx, threads)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec);
+        let ipc = Simulation::run(&cfg).equiv_ipc();
+        assert!(ipc > prev, "{threads} threads: {ipc} vs {prev}");
+        prev = ipc;
+    }
+}
+
+#[test]
+fn mom_beats_mmx_in_eipc_at_one_thread() {
+    // The paper's figure 4: MOM's EIPC exceeds MMX's IPC at 1 thread.
+    let spec = tiny();
+    let factor = EipcFactor::compute(&spec);
+    let mmx = Simulation::run(
+        &SimConfig::new(SimdIsa::Mmx, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+    );
+    let mom = Simulation::run(
+        &SimConfig::new(SimdIsa::Mom, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+    );
+    assert!(
+        mom.figure_of_merit(&factor) > mmx.figure_of_merit(&factor),
+        "MOM EIPC {} vs MMX IPC {}",
+        mom.figure_of_merit(&factor),
+        mmx.figure_of_merit(&factor)
+    );
+}
+
+#[test]
+fn real_memory_costs_performance() {
+    let spec = tiny();
+    let ideal = Simulation::run(
+        &SimConfig::new(SimdIsa::Mmx, 2).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+    );
+    let real = Simulation::run(
+        &SimConfig::new(SimdIsa::Mmx, 2).with_hierarchy(HierarchyKind::Conventional).with_spec(spec),
+    );
+    assert!(real.equiv_ipc() < ideal.equiv_ipc());
+    assert!(real.l1_hit_rate < 1.0);
+    assert!(real.l1_avg_latency > 1.0);
+}
+
+#[test]
+fn hit_rates_degrade_with_thread_count() {
+    // Table 4's central phenomenon: inter-thread cache interference.
+    let spec = tiny();
+    let one = Simulation::run(&SimConfig::new(SimdIsa::Mmx, 1).with_spec(spec));
+    let eight = Simulation::run(&SimConfig::new(SimdIsa::Mmx, 8).with_spec(spec));
+    assert!(
+        eight.l1_hit_rate < one.l1_hit_rate,
+        "8-thread hit rate {} vs 1-thread {}",
+        eight.l1_hit_rate,
+        one.l1_hit_rate
+    );
+    assert!(eight.l1_avg_latency > one.l1_avg_latency);
+}
+
+#[test]
+fn fetch_policies_all_run_and_complete_the_workload() {
+    let spec = tiny();
+    let mut merits = Vec::new();
+    for policy in FetchPolicy::ALL {
+        let cfg = SimConfig::new(SimdIsa::Mom, 4).with_policy(policy).with_spec(spec);
+        let r = Simulation::run(&cfg);
+        assert!(r.programs_completed >= 8, "{policy}: all programs ran");
+        merits.push(r.equiv_ipc());
+    }
+    // Policies shuffle fetch order; throughput stays in a sane band.
+    let max = merits.iter().cloned().fold(0.0, f64::max);
+    let min = merits.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 1.5, "policy spread {merits:?}");
+}
+
+#[test]
+fn decoupled_hierarchy_preserves_correctness_and_bypasses_l1() {
+    let spec = tiny();
+    let (raw, _) = suite_counts(&spec, SimdIsa::Mom);
+    let cfg = SimConfig::new(SimdIsa::Mom, 1)
+        .with_hierarchy(HierarchyKind::Decoupled)
+        .with_spec(spec);
+    let r = Simulation::run(&cfg);
+    assert_eq!(r.committed, raw, "decoupled path retires the same trace");
+}
+
+#[test]
+fn stream_length_clamp_preserves_work() {
+    // Ablation plumbing: strip-mined streams commit the same equivalent
+    // vector work plus the extra loop overhead.
+    let spec = tiny();
+    let full = Simulation::run(
+        &SimConfig::new(SimdIsa::Mom, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+    );
+    let clamped = Simulation::run(
+        &SimConfig::new(SimdIsa::Mom, 1)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec)
+            .with_max_stream_len(4),
+    );
+    assert!(clamped.committed > full.committed, "strip-mining adds instructions");
+    assert!(clamped.committed_equiv >= full.committed_equiv);
+    assert!(
+        clamped.equiv_ipc() <= full.equiv_ipc() * 1.02,
+        "shorter streams cannot beat full-length streams: {} vs {}",
+        clamped.equiv_ipc(),
+        full.equiv_ipc()
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let spec = tiny();
+    let cfg = SimConfig::new(SimdIsa::Mom, 4).with_spec(spec);
+    let a = Simulation::run(&cfg);
+    let b = Simulation::run(&cfg);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,132 @@
+//! Property-based integration tests over the full stack: random
+//! programs through the pipeline, random workload specs through the
+//! suite, and cross-ISA semantic equivalences.
+
+use medsim::isa::prelude::*;
+use medsim::isa::semantics::{exec_mmx_rr, exec_mom_vv, StreamValue};
+use medsim::workloads::trace::VecStream;
+use medsim::{cpu::Cpu, cpu::CpuConfig, mem::MemConfig, mem::MemSystem};
+use proptest::prelude::*;
+
+/// Build a random but well-formed straight-line program.
+fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<Inst>> {
+    let inst = (0u8..5, 1u8..9, 1u8..9, 1u8..9, 0u64..4096).prop_map(
+        |(kind, d, a, b, addr)| match kind {
+            0 => Inst::int_rrr(IntOp::Add, int(d), int(a), int(b)),
+            1 => Inst::fp_rrr(FpOp::FMul, fp(d), fp(a), fp(b)),
+            2 => Inst::mmx(MmxOp::PaddsW, simd(d), simd(a), simd(b)),
+            3 => Inst::load(MemOp::LoadW, int(d), int(a), 0x10_0000 + addr * 4),
+            _ => Inst::store(MemOp::StoreW, int(a), int(b), 0x20_0000 + addr * 4),
+        },
+    );
+    proptest::collection::vec(inst, 1..max_len).prop_map(|mut v| {
+        for (i, inst) in v.iter_mut().enumerate() {
+            *inst = inst.at(0x1000 + 4 * i as u64);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Everything fetched retires, in every random program, under both
+    /// real and ideal memory.
+    #[test]
+    fn pipeline_conserves_instructions(prog in arb_program(300), ideal in any::<bool>()) {
+        let n = prog.len() as u64;
+        let mem = if ideal { MemConfig::ideal() } else { MemConfig::paper() };
+        let mut cpu = Cpu::new(
+            CpuConfig::paper(1, medsim::workloads::trace::SimdIsa::Mmx),
+            MemSystem::new(mem),
+        );
+        cpu.attach_thread(0, Box::new(VecStream::new(prog)));
+        prop_assert!(cpu.run_to_idle(10_000_000), "must drain");
+        prop_assert_eq!(cpu.stats().committed(), n);
+    }
+
+    /// Two threads running random programs retire exactly the sum, and
+    /// never take longer than running them back to back.
+    #[test]
+    fn smt_is_never_slower_than_serial(a in arb_program(200), b in arb_program(200)) {
+        let serial = {
+            let mut cpu = Cpu::new(
+                CpuConfig::paper(1, medsim::workloads::trace::SimdIsa::Mmx),
+                MemSystem::new(MemConfig::ideal()),
+            );
+            cpu.attach_thread(0, Box::new(VecStream::new(a.clone())));
+            prop_assert!(cpu.run_to_idle(10_000_000));
+            cpu.attach_thread(0, Box::new(VecStream::new(b.clone())));
+            prop_assert!(cpu.run_to_idle(10_000_000));
+            cpu.stats().cycles
+        };
+        let smt = {
+            let mut cpu = Cpu::new(
+                CpuConfig::paper(2, medsim::workloads::trace::SimdIsa::Mmx),
+                MemSystem::new(MemConfig::ideal()),
+            );
+            cpu.attach_thread(0, Box::new(VecStream::new(a)));
+            cpu.attach_thread(1, Box::new(VecStream::new(b)));
+            prop_assert!(cpu.run_to_idle(10_000_000));
+            cpu.stats().cycles
+        };
+        // Allow a small constant slack for drain effects on tiny programs.
+        prop_assert!(smt <= serial + 16, "SMT {smt} vs serial {serial}");
+    }
+
+    /// MOM stream semantics agree with per-group MMX semantics for every
+    /// mirrored opcode, on random register values and stream lengths.
+    #[test]
+    fn mom_equals_mmx_per_group(
+        groups in proptest::collection::vec(any::<u64>(), 16),
+        bgroups in proptest::collection::vec(any::<u64>(), 16),
+        slen in 1u8..=16,
+        op_idx in 0usize..medsim::isa::MomOp::ALL.len(),
+    ) {
+        let op = medsim::isa::MomOp::ALL[op_idx];
+        prop_assume!(op.mmx_equiv().is_some());
+        // Shift-type equivalents read an immediate; use 0 for both sides.
+        let a = StreamValue::from_slice(&groups);
+        let b = StreamValue::from_slice(&bgroups);
+        let out = exec_mom_vv(op, &a, &b, slen, 0);
+        let m = op.mmx_equiv().unwrap();
+        for g in 0..usize::from(slen) {
+            prop_assert_eq!(out.group(g), exec_mmx_rr(m, a.group(g), b.group(g)), "group {}", g);
+        }
+        for g in usize::from(slen)..16 {
+            prop_assert_eq!(out.group(g), 0, "tail group {}", g);
+        }
+    }
+
+    /// The workload suite always terminates and produces nonzero work
+    /// for any tiny scale and seed.
+    #[test]
+    fn workload_generators_terminate(seed in any::<u64>(), slot in 0usize..8) {
+        use medsim::workloads::trace::InstStream as _;
+        let spec = medsim::workloads::WorkloadSpec { scale: 1e-6, seed };
+        let b = medsim::workloads::Workload::slot_benchmark(slot);
+        let mut s = b.stream(slot, medsim::workloads::trace::SimdIsa::Mom, &spec);
+        let mut n = 0u64;
+        while s.next_inst().is_some() {
+            n += 1;
+            prop_assert!(n < 5_000_000, "unbounded generator");
+        }
+        prop_assert!(n > 0);
+    }
+
+    /// Stream lengths in generated traces never exceed the architectural
+    /// maximum, and memory descriptors agree with them.
+    #[test]
+    fn generated_stream_lengths_are_architectural(seed in any::<u64>()) {
+        use medsim::workloads::trace::InstStream as _;
+        let spec = medsim::workloads::WorkloadSpec { scale: 1e-6, seed };
+        let mut s = medsim::workloads::Benchmark::Mpeg2Enc
+            .stream(0, medsim::workloads::trace::SimdIsa::Mom, &spec);
+        while let Some(i) = s.next_inst() {
+            prop_assert!(i.slen >= 1 && i.slen <= medsim::isa::MAX_STREAM_LEN);
+            if let (Op::Mom(_), Some(m)) = (i.op, i.mem) {
+                prop_assert_eq!(u64::from(m.count), u64::from(i.slen));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests of the workload models against the paper's
+//! Table 2/3 characterization (shape-level assertions with tolerance
+//! bands; the exact measured values live in EXPERIMENTS.md).
+
+use medsim::workloads::trace::{InstStream, SimdIsa};
+use medsim::workloads::{Benchmark, InstMix, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { scale: 5e-4, seed: 3 }
+}
+
+fn mix_of(b: Benchmark, isa: SimdIsa) -> InstMix {
+    let mut mix = InstMix::default();
+    let mut s = b.stream(0, isa, &spec());
+    while let Some(i) = s.next_inst() {
+        mix.record(&i);
+    }
+    mix
+}
+
+fn suite_mix(isa: SimdIsa) -> InstMix {
+    let mut total = InstMix::default();
+    for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+        let mut s = b.stream(slot, isa, &spec());
+        let mut mix = InstMix::default();
+        while let Some(i) = s.next_inst() {
+            mix.record(&i);
+        }
+        let _ = slot;
+        total.merge(&mix);
+    }
+    total
+}
+
+#[test]
+fn suite_is_integer_dominated_under_mmx() {
+    // §4.2: "our multimedia workload is dominated by the integer
+    // pipeline (62% on average)"; SIMD is a minority (16%).
+    let b = suite_mix(SimdIsa::Mmx).breakdown();
+    assert!(b.integer_pct > 45.0, "integer-dominated: {b}");
+    assert!(b.simd_pct < 30.0, "SIMD is the minority: {b}");
+    assert!(b.integer_pct > b.simd_pct + 15.0, "{b}");
+}
+
+#[test]
+fn mom_raises_integer_share_while_cutting_counts() {
+    // §4.2: MOM cuts absolute counts but the integer *percentage* rises.
+    let mmx = suite_mix(SimdIsa::Mmx);
+    let mom = suite_mix(SimdIsa::Mom);
+    assert!(mom.total() < mmx.total());
+    assert!(mom.breakdown().integer_pct > mmx.breakdown().integer_pct - 1.0);
+}
+
+#[test]
+fn mom_reductions_match_section_4_2_bands() {
+    let mmx = suite_mix(SimdIsa::Mmx);
+    let mom = suite_mix(SimdIsa::Mom);
+    let red = |a: u64, b: u64| 1.0 - b as f64 / a.max(1) as f64;
+    let int_red = red(mmx.integer, mom.integer);
+    let mem_red = red(mmx.memory, mom.memory);
+    let simd_red = red(mmx.simd, mom.simd);
+    // Paper: ~20% integer, ~7% memory, ~62% vector.
+    assert!(int_red > 0.10 && int_red < 0.35, "integer reduction {int_red}");
+    assert!(mem_red > 0.02 && mem_red < 0.20, "memory reduction {mem_red}");
+    assert!(simd_red > 0.45 && simd_red < 0.75, "vector reduction {simd_red}");
+    // And the ordering the paper stresses: vector >> integer > memory.
+    assert!(simd_red > int_red && int_red > mem_red);
+}
+
+#[test]
+fn instruction_ratio_near_table3() {
+    // Table 3 totals: 1429 / 1087 ≈ 1.31.
+    let mmx = suite_mix(SimdIsa::Mmx).total() as f64;
+    let mom = suite_mix(SimdIsa::Mom).total() as f64;
+    let ratio = mmx / mom;
+    assert!(ratio > 1.2 && ratio < 1.6, "I_MMX/I_MOM = {ratio}");
+}
+
+#[test]
+fn per_benchmark_count_ratios_follow_table3_ordering() {
+    // mpeg2enc shrinks the most under MOM; gsmdec and mesa not at all.
+    let ratio = |b: Benchmark| {
+        let m = mix_of(b, SimdIsa::Mmx).total() as f64;
+        let o = mix_of(b, SimdIsa::Mom).total() as f64;
+        o / m
+    };
+    let enc = ratio(Benchmark::Mpeg2Enc);
+    let gsm = ratio(Benchmark::GsmDec);
+    let mesa = ratio(Benchmark::Mesa);
+    assert!(enc < 0.75, "mpeg2enc MOM/MMX {enc} (paper 0.57)");
+    assert!((gsm - 1.0).abs() < 1e-9, "gsmdec unvectorized: {gsm}");
+    assert!((mesa - 1.0).abs() < 1e-9, "mesa unvectorized: {mesa}");
+    assert!(enc < ratio(Benchmark::JpegEnc), "encoder shrinks more than jpeg");
+}
+
+#[test]
+fn unvectorized_benchmarks_emit_no_simd() {
+    for b in [Benchmark::GsmDec, Benchmark::Mesa] {
+        for isa in SimdIsa::ALL {
+            let m = mix_of(b, isa);
+            assert_eq!(m.simd, 0, "{b}/{isa}");
+        }
+    }
+}
+
+#[test]
+fn mesa_carries_the_fp_share() {
+    let mesa = mix_of(Benchmark::Mesa, SimdIsa::Mmx).breakdown();
+    assert!(mesa.fp_pct > 8.0, "{mesa}");
+    let gsm = mix_of(Benchmark::GsmDec, SimdIsa::Mmx).breakdown();
+    assert!(gsm.fp_pct < 1.0, "{gsm}");
+}
+
+#[test]
+fn full_scale_counts_track_paper_millions() {
+    // units_full calibration: at a fixed scale the generated MMX counts
+    // should be proportional to Table 3's #ins row within ±25%.
+    let per_m: Vec<f64> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let m = mix_of(b, SimdIsa::Mmx).total() as f64;
+            m / b.paper_minsts(SimdIsa::Mmx)
+        })
+        .collect();
+    let mean = per_m.iter().sum::<f64>() / per_m.len() as f64;
+    for (b, v) in Benchmark::ALL.iter().zip(&per_m) {
+        assert!(
+            (v / mean - 1.0).abs() < 0.25,
+            "{b}: {v:.0} insts per paper-M vs mean {mean:.0}"
+        );
+    }
+}
+
+#[test]
+fn traces_are_reproducible_across_instances_with_same_seed() {
+    let spec = spec();
+    let count = |instance: usize| {
+        let mut s = Benchmark::JpegEnc.stream(instance, SimdIsa::Mmx, &spec);
+        let mut n = 0u64;
+        while s.next_inst().is_some() {
+            n += 1;
+        }
+        n
+    };
+    // Different instances relocate addresses but execute the same work.
+    assert_eq!(count(0), count(0));
+    let a = count(0) as f64;
+    let b = count(3) as f64;
+    assert!((a / b - 1.0).abs() < 0.05, "instances do equivalent work: {a} vs {b}");
+}
