@@ -1,0 +1,134 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! calibrate-then-sample wall-clock measurement. Reported numbers are
+//! median ns/iter over several samples; set `CRITERION_SAMPLE_MS` to
+//! change the per-sample budget (default 100 ms, floor 1 iteration).
+//!
+//! When `CRITERION_JSON_PATH` is set, results are also appended to that
+//! file as JSON lines (`{"name": ..., "ns_per_iter": ...}`), which the
+//! CI smoke-bench job folds into `BENCH_runs.json`.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    sample_budget: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate an iteration count to the sample budget,
+    /// then take five samples and keep the median ns/iter.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibration: grow the per-sample iteration count until one
+        // sample fills the budget.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            let growth = (self.sample_budget.as_secs_f64()
+                / elapsed.as_secs_f64().max(1e-9))
+            .clamp(2.0, 100.0);
+            iters = (iters as f64 * growth).ceil() as u64;
+        };
+        let _ = per_iter;
+        let mut samples = [0f64; 5];
+        for s in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = start.elapsed().as_secs_f64() / iters as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[2] * 1e9;
+    }
+}
+
+/// Top-level benchmark registry and reporter.
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(100);
+        Criterion { sample_budget: Duration::from_millis(ms.max(1)) }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and report its median ns/iter.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { sample_budget: self.sample_budget, ns_per_iter: f64::NAN };
+        f(&mut b);
+        println!("{name:<40} {:>14.1} ns/iter", b.ns_per_iter);
+        if let Ok(path) = std::env::var("CRITERION_JSON_PATH") {
+            if let Ok(mut file) =
+                std::fs::OpenOptions::new().create(true).append(true).open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}",
+                    name.replace('"', "'"),
+                    b.ns_per_iter
+                );
+            }
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::remove_var("CRITERION_JSON_PATH");
+        let mut c = Criterion { sample_budget: Duration::from_millis(2) };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

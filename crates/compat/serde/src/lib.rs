@@ -1,0 +1,22 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Provides the two marker traits and re-exports the no-op derive
+//! macros so `#[derive(Serialize, Deserialize)]` and `use
+//! serde::{Serialize, Deserialize}` compile unchanged. Nothing in this
+//! workspace serializes *through* serde (JSON is hand-emitted by
+//! `medsim-bench`), so blanket implementations are sufficient and keep
+//! the derives trivially correct for any type shape.
+
+#![forbid(unsafe_code)]
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The simulator derives `Serialize`/`Deserialize` on its config and
+//! result types but never routes them through a serde serializer (JSON
+//! output is hand-emitted), so the derives only need to exist, accept
+//! `#[serde(...)]` attributes, and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde::Serialize` marker trait has a
+/// blanket implementation, so deriving is purely declarative.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

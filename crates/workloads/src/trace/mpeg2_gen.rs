@@ -41,7 +41,7 @@ fn synth_frame(seed: u64, phase: usize) -> Plane {
     for y in 0..FRAME_H {
         for x in 0..FRAME_W {
             let base = ((x + phase * 2) * 7 + y * 13) % 200;
-            let noise = rng.gen_range(0..24);
+            let noise: usize = rng.gen_range(0..24);
             p.data[y * FRAME_W + x] = (base + noise) as u8;
         }
     }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-36fff3b742afa493.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-36fff3b742afa493: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsim-317257063d074f45.d: src/lib.rs
+
+/root/repo/target/debug/deps/medsim-317257063d074f45: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsim-9db503cae121ea58.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim-9db503cae121ea58.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim-9db503cae121ea58.rmeta: src/lib.rs
+
+src/lib.rs:

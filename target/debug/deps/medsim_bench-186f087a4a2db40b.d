@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsim_bench-186f087a4a2db40b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/medsim_bench-186f087a4a2db40b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsim_bench-2618a4069215ed83.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim_bench-2618a4069215ed83.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim_bench-2618a4069215ed83.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

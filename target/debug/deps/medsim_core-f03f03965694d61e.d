@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsim_core-f03f03965694d61e.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/medsim_core-f03f03965694d61e: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsim_cpu-785f38c9c78ed023.d: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/medsim_cpu-785f38c9c78ed023: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fetch.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/predictor.rs:
+crates/cpu/src/rename.rs:
+crates/cpu/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medsim_mem-92c4ee2e3a18df34.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/medsim_mem-92c4ee2e3a18df34: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:
+crates/mem/src/wbuf.rs:

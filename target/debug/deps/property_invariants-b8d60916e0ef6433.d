@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-b8d60916e0ef6433.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-b8d60916e0ef6433: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-243da55b27234ca7.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-243da55b27234ca7: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

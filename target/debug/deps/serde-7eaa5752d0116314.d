@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-7eaa5752d0116314.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-7eaa5752d0116314.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-7eaa5752d0116314.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

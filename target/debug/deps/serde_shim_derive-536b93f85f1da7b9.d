@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_shim_derive-536b93f85f1da7b9.d: crates/compat/serde_shim_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_shim_derive-536b93f85f1da7b9: crates/compat/serde_shim_derive/src/lib.rs
+
+crates/compat/serde_shim_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_shim_derive-71b674c7da1f8fd3.d: crates/compat/serde_shim_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_shim_derive-71b674c7da1f8fd3.so: crates/compat/serde_shim_derive/src/lib.rs
+
+crates/compat/serde_shim_derive/src/lib.rs:

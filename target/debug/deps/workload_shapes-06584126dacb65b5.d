@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_shapes-06584126dacb65b5.d: tests/workload_shapes.rs
+
+/root/repo/target/debug/deps/workload_shapes-06584126dacb65b5: tests/workload_shapes.rs
+
+tests/workload_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codec_pipeline-80514f9230462cea.d: examples/codec_pipeline.rs
+
+/root/repo/target/debug/examples/codec_pipeline-80514f9230462cea: examples/codec_pipeline.rs
+
+examples/codec_pipeline.rs:

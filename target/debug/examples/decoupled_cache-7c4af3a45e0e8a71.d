@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/decoupled_cache-7c4af3a45e0e8a71.d: examples/decoupled_cache.rs
+
+/root/repo/target/debug/examples/decoupled_cache-7c4af3a45e0e8a71: examples/decoupled_cache.rs
+
+examples/decoupled_cache.rs:

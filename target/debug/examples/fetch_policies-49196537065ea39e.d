@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fetch_policies-49196537065ea39e.d: examples/fetch_policies.rs
+
+/root/repo/target/debug/examples/fetch_policies-49196537065ea39e: examples/fetch_policies.rs
+
+examples/fetch_policies.rs:

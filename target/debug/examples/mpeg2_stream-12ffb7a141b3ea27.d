@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpeg2_stream-12ffb7a141b3ea27.d: examples/mpeg2_stream.rs
+
+/root/repo/target/debug/examples/mpeg2_stream-12ffb7a141b3ea27: examples/mpeg2_stream.rs
+
+examples/mpeg2_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7c475268dd85f56.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7c475268dd85f56: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-ae33084f1cb4f553.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-ae33084f1cb4f553: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-058e7af84cf7953f.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-058e7af84cf7953f: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

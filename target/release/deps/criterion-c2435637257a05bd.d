@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c2435637257a05bd.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c2435637257a05bd.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c2435637257a05bd.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

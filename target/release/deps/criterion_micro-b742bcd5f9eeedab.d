@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion_micro-b742bcd5f9eeedab.d: crates/bench/benches/criterion_micro.rs
+
+/root/repo/target/release/deps/criterion_micro-b742bcd5f9eeedab: crates/bench/benches/criterion_micro.rs
+
+crates/bench/benches/criterion_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_ideal-9f33cbd81eb89e48.d: crates/bench/benches/fig4_ideal.rs
+
+/root/repo/target/release/deps/fig4_ideal-9f33cbd81eb89e48: crates/bench/benches/fig4_ideal.rs
+
+crates/bench/benches/fig4_ideal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_real-feb89abfea26d884.d: crates/bench/benches/fig5_real.rs
+
+/root/repo/target/release/deps/fig5_real-feb89abfea26d884: crates/bench/benches/fig5_real.rs
+
+crates/bench/benches/fig5_real.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_fetch-74d23eb3758fcd40.d: crates/bench/benches/fig6_fetch.rs
+
+/root/repo/target/release/deps/fig6_fetch-74d23eb3758fcd40: crates/bench/benches/fig6_fetch.rs
+
+crates/bench/benches/fig6_fetch.rs:

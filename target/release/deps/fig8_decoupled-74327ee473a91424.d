@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_decoupled-74327ee473a91424.d: crates/bench/benches/fig8_decoupled.rs
+
+/root/repo/target/release/deps/fig8_decoupled-74327ee473a91424: crates/bench/benches/fig8_decoupled.rs
+
+crates/bench/benches/fig8_decoupled.rs:

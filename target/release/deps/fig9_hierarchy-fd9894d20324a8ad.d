@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_hierarchy-fd9894d20324a8ad.d: crates/bench/benches/fig9_hierarchy.rs
+
+/root/repo/target/release/deps/fig9_hierarchy-fd9894d20324a8ad: crates/bench/benches/fig9_hierarchy.rs
+
+crates/bench/benches/fig9_hierarchy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medsim-686cf049c75ed4ac.d: src/lib.rs
+
+/root/repo/target/release/deps/libmedsim-686cf049c75ed4ac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmedsim-686cf049c75ed4ac.rmeta: src/lib.rs
+
+src/lib.rs:

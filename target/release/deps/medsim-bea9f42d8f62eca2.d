@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsim-bea9f42d8f62eca2.d: src/lib.rs
+
+/root/repo/target/release/deps/medsim-bea9f42d8f62eca2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsim_bench-4dcebc76e9f30572.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/medsim_bench-4dcebc76e9f30572: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medsim_bench-57c8655f14f44a0a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmedsim_bench-57c8655f14f44a0a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmedsim_bench-57c8655f14f44a0a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

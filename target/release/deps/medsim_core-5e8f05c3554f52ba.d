@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medsim_core-5e8f05c3554f52ba.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libmedsim_core-5e8f05c3554f52ba.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libmedsim_core-5e8f05c3554f52ba.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medsim_core-a65c6315be782137.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/medsim_core-a65c6315be782137: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:

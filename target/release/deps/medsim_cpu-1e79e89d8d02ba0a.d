@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medsim_cpu-1e79e89d8d02ba0a.d: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/release/deps/libmedsim_cpu-1e79e89d8d02ba0a.rlib: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/release/deps/libmedsim_cpu-1e79e89d8d02ba0a.rmeta: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fetch.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/predictor.rs:
+crates/cpu/src/rename.rs:
+crates/cpu/src/stats.rs:

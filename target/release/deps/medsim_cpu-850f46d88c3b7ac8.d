@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medsim_cpu-850f46d88c3b7ac8.d: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/release/deps/medsim_cpu-850f46d88c3b7ac8: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fetch.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/predictor.rs:
+crates/cpu/src/rename.rs:
+crates/cpu/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medsim_mem-3a9baedca5f082b6.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/release/deps/medsim_mem-3a9baedca5f082b6: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:
+crates/mem/src/wbuf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medsim_mem-79b0da4de160ab55.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/release/deps/libmedsim_mem-79b0da4de160ab55.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/release/deps/libmedsim_mem-79b0da4de160ab55.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:
+crates/mem/src/wbuf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-37a8b6ec04ac4e94.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-37a8b6ec04ac4e94: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

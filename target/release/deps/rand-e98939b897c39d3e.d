@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e98939b897c39d3e.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e98939b897c39d3e.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e98939b897c39d3e.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

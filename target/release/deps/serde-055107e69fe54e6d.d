@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-055107e69fe54e6d.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-055107e69fe54e6d.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-055107e69fe54e6d.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-5fc612897f75ee3e.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-5fc612897f75ee3e: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_shim_derive-43422e2a84581d12.d: crates/compat/serde_shim_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_shim_derive-43422e2a84581d12: crates/compat/serde_shim_derive/src/lib.rs
+
+crates/compat/serde_shim_derive/src/lib.rs:

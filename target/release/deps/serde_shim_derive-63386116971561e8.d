@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_shim_derive-63386116971561e8.d: crates/compat/serde_shim_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_shim_derive-63386116971561e8.so: crates/compat/serde_shim_derive/src/lib.rs
+
+crates/compat/serde_shim_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_params-6a1eeb31c1a033c2.d: crates/bench/benches/table1_params.rs
+
+/root/repo/target/release/deps/table1_params-6a1eeb31c1a033c2: crates/bench/benches/table1_params.rs
+
+crates/bench/benches/table1_params.rs:

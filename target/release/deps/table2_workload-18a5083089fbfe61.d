@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_workload-18a5083089fbfe61.d: crates/bench/benches/table2_workload.rs
+
+/root/repo/target/release/deps/table2_workload-18a5083089fbfe61: crates/bench/benches/table2_workload.rs
+
+crates/bench/benches/table2_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_breakdown-411d70f3e11794cb.d: crates/bench/benches/table3_breakdown.rs
+
+/root/repo/target/release/deps/table3_breakdown-411d70f3e11794cb: crates/bench/benches/table3_breakdown.rs
+
+crates/bench/benches/table3_breakdown.rs:

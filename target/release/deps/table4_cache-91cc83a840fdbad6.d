@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_cache-91cc83a840fdbad6.d: crates/bench/benches/table4_cache.rs
+
+/root/repo/target/release/deps/table4_cache-91cc83a840fdbad6: crates/bench/benches/table4_cache.rs
+
+crates/bench/benches/table4_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codec_pipeline-0ddcc927cd35efaf.d: examples/codec_pipeline.rs
+
+/root/repo/target/release/examples/codec_pipeline-0ddcc927cd35efaf: examples/codec_pipeline.rs
+
+examples/codec_pipeline.rs:

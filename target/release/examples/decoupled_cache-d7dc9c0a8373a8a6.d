@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/decoupled_cache-d7dc9c0a8373a8a6.d: examples/decoupled_cache.rs
+
+/root/repo/target/release/examples/decoupled_cache-d7dc9c0a8373a8a6: examples/decoupled_cache.rs
+
+examples/decoupled_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fetch_policies-713d77a042e0c8a3.d: examples/fetch_policies.rs
+
+/root/repo/target/release/examples/fetch_policies-713d77a042e0c8a3: examples/fetch_policies.rs
+
+examples/fetch_policies.rs:

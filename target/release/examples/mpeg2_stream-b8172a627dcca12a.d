@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mpeg2_stream-b8172a627dcca12a.d: examples/mpeg2_stream.rs
+
+/root/repo/target/release/examples/mpeg2_stream-b8172a627dcca12a: examples/mpeg2_stream.rs
+
+examples/mpeg2_stream.rs:

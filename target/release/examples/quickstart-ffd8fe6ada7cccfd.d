@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ffd8fe6ada7cccfd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ffd8fe6ada7cccfd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,39 +1,51 @@
-//! Property-based integration tests over the full stack: random
+//! Property-style integration tests over the full stack: random
 //! programs through the pipeline, random workload specs through the
 //! suite, and cross-ISA semantic equivalences.
+//!
+//! The build environment has no registry access, so instead of
+//! `proptest` these run a fixed number of seeded random cases through
+//! the `rand` shim — deterministic, reproducible, and shrink-free (the
+//! failing seed is printed in the assertion message).
 
 use medsim::isa::prelude::*;
 use medsim::isa::semantics::{exec_mmx_rr, exec_mom_vv, StreamValue};
 use medsim::workloads::trace::VecStream;
 use medsim::{cpu::Cpu, cpu::CpuConfig, mem::MemConfig, mem::MemSystem};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
 
 /// Build a random but well-formed straight-line program.
-fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<Inst>> {
-    let inst = (0u8..5, 1u8..9, 1u8..9, 1u8..9, 0u64..4096).prop_map(
-        |(kind, d, a, b, addr)| match kind {
-            0 => Inst::int_rrr(IntOp::Add, int(d), int(a), int(b)),
-            1 => Inst::fp_rrr(FpOp::FMul, fp(d), fp(a), fp(b)),
-            2 => Inst::mmx(MmxOp::PaddsW, simd(d), simd(a), simd(b)),
-            3 => Inst::load(MemOp::LoadW, int(d), int(a), 0x10_0000 + addr * 4),
-            _ => Inst::store(MemOp::StoreW, int(a), int(b), 0x20_0000 + addr * 4),
-        },
-    );
-    proptest::collection::vec(inst, 1..max_len).prop_map(|mut v| {
-        for (i, inst) in v.iter_mut().enumerate() {
-            *inst = inst.at(0x1000 + 4 * i as u64);
-        }
-        v
-    })
+fn arb_program(rng: &mut SmallRng, max_len: usize) -> Vec<Inst> {
+    let len = rng.gen_range(1..max_len.max(2));
+    (0..len)
+        .map(|i| {
+            let kind: u8 = rng.gen_range(0..5);
+            let d: u8 = rng.gen_range(1..9);
+            let a: u8 = rng.gen_range(1..9);
+            let b: u8 = rng.gen_range(1..9);
+            let addr: u64 = rng.gen_range(0..4096u64);
+            let inst = match kind {
+                0 => Inst::int_rrr(IntOp::Add, int(d), int(a), int(b)),
+                1 => Inst::fp_rrr(FpOp::FMul, fp(d), fp(a), fp(b)),
+                2 => Inst::mmx(MmxOp::PaddsW, simd(d), simd(a), simd(b)),
+                3 => Inst::load(MemOp::LoadW, int(d), int(a), 0x10_0000 + addr * 4),
+                _ => Inst::store(MemOp::StoreW, int(a), int(b), 0x20_0000 + addr * 4),
+            };
+            inst.at(0x1000 + 4 * i as u64)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Everything fetched retires, in every random program, under both
-    /// real and ideal memory.
-    #[test]
-    fn pipeline_conserves_instructions(prog in arb_program(300), ideal in any::<bool>()) {
+/// Everything fetched retires, in every random program, under both
+/// real and ideal memory.
+#[test]
+fn pipeline_conserves_instructions() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA11C_E5 ^ case);
+        let prog = arb_program(&mut rng, 300);
+        let ideal = rng.gen_bool(0.5);
         let n = prog.len() as u64;
         let mem = if ideal { MemConfig::ideal() } else { MemConfig::paper() };
         let mut cpu = Cpu::new(
@@ -41,23 +53,28 @@ proptest! {
             MemSystem::new(mem),
         );
         cpu.attach_thread(0, Box::new(VecStream::new(prog)));
-        prop_assert!(cpu.run_to_idle(10_000_000), "must drain");
-        prop_assert_eq!(cpu.stats().committed(), n);
+        assert!(cpu.run_to_idle(10_000_000), "case {case}: must drain");
+        assert_eq!(cpu.stats().committed(), n, "case {case} (ideal={ideal})");
     }
+}
 
-    /// Two threads running random programs retire exactly the sum, and
-    /// never take longer than running them back to back.
-    #[test]
-    fn smt_is_never_slower_than_serial(a in arb_program(200), b in arb_program(200)) {
+/// Two threads running random programs retire exactly the sum, and
+/// never take longer than running them back to back.
+#[test]
+fn smt_is_never_slower_than_serial() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5E71A1 ^ case);
+        let a = arb_program(&mut rng, 200);
+        let b = arb_program(&mut rng, 200);
         let serial = {
             let mut cpu = Cpu::new(
                 CpuConfig::paper(1, medsim::workloads::trace::SimdIsa::Mmx),
                 MemSystem::new(MemConfig::ideal()),
             );
             cpu.attach_thread(0, Box::new(VecStream::new(a.clone())));
-            prop_assert!(cpu.run_to_idle(10_000_000));
+            assert!(cpu.run_to_idle(10_000_000), "case {case}");
             cpu.attach_thread(0, Box::new(VecStream::new(b.clone())));
-            prop_assert!(cpu.run_to_idle(10_000_000));
+            assert!(cpu.run_to_idle(10_000_000), "case {case}");
             cpu.stats().cycles
         };
         let smt = {
@@ -67,65 +84,87 @@ proptest! {
             );
             cpu.attach_thread(0, Box::new(VecStream::new(a)));
             cpu.attach_thread(1, Box::new(VecStream::new(b)));
-            prop_assert!(cpu.run_to_idle(10_000_000));
+            assert!(cpu.run_to_idle(10_000_000), "case {case}");
             cpu.stats().cycles
         };
         // Allow a small constant slack for drain effects on tiny programs.
-        prop_assert!(smt <= serial + 16, "SMT {smt} vs serial {serial}");
+        assert!(smt <= serial + 16, "case {case}: SMT {smt} vs serial {serial}");
     }
+}
 
-    /// MOM stream semantics agree with per-group MMX semantics for every
-    /// mirrored opcode, on random register values and stream lengths.
-    #[test]
-    fn mom_equals_mmx_per_group(
-        groups in proptest::collection::vec(any::<u64>(), 16),
-        bgroups in proptest::collection::vec(any::<u64>(), 16),
-        slen in 1u8..=16,
-        op_idx in 0usize..medsim::isa::MomOp::ALL.len(),
-    ) {
-        let op = medsim::isa::MomOp::ALL[op_idx];
-        prop_assume!(op.mmx_equiv().is_some());
-        // Shift-type equivalents read an immediate; use 0 for both sides.
-        let a = StreamValue::from_slice(&groups);
-        let b = StreamValue::from_slice(&bgroups);
-        let out = exec_mom_vv(op, &a, &b, slen, 0);
-        let m = op.mmx_equiv().unwrap();
-        for g in 0..usize::from(slen) {
-            prop_assert_eq!(out.group(g), exec_mmx_rr(m, a.group(g), b.group(g)), "group {}", g);
-        }
-        for g in usize::from(slen)..16 {
-            prop_assert_eq!(out.group(g), 0, "tail group {}", g);
+/// MOM stream semantics agree with per-group MMX semantics for every
+/// mirrored opcode, on random register values and stream lengths.
+#[test]
+fn mom_equals_mmx_per_group() {
+    let mut rng = SmallRng::seed_from_u64(0x9009);
+    // Cover every opcode several times rather than sampling 24 cases.
+    for op in medsim::isa::MomOp::ALL {
+        let Some(m) = op.mmx_equiv() else { continue };
+        for _ in 0..6 {
+            let groups: Vec<u64> = (0..16).map(|_| rng.gen_range(0..u64::MAX)).collect();
+            let bgroups: Vec<u64> = (0..16).map(|_| rng.gen_range(0..u64::MAX)).collect();
+            let slen: u8 = rng.gen_range(1..17);
+            // Shift-type equivalents read an immediate; use 0 for both sides.
+            let a = StreamValue::from_slice(&groups);
+            let b = StreamValue::from_slice(&bgroups);
+            let out = exec_mom_vv(op, &a, &b, slen, 0);
+            for g in 0..usize::from(slen) {
+                assert_eq!(
+                    out.group(g),
+                    exec_mmx_rr(m, a.group(g), b.group(g)),
+                    "{op:?} group {g} slen {slen}"
+                );
+            }
+            for g in usize::from(slen)..16 {
+                assert_eq!(out.group(g), 0, "{op:?} tail group {g}");
+            }
         }
     }
+}
 
-    /// The workload suite always terminates and produces nonzero work
-    /// for any tiny scale and seed.
-    #[test]
-    fn workload_generators_terminate(seed in any::<u64>(), slot in 0usize..8) {
-        use medsim::workloads::trace::InstStream as _;
+/// The workload suite always terminates and produces nonzero work
+/// for any tiny scale and seed.
+#[test]
+fn workload_generators_terminate() {
+    use medsim::workloads::trace::InstStream as _;
+    let mut rng = SmallRng::seed_from_u64(0x7E57);
+    for case in 0..CASES {
+        let seed: u64 = rng.gen_range(0..u64::MAX);
+        let slot = rng.gen_range(0..8usize);
         let spec = medsim::workloads::WorkloadSpec { scale: 1e-6, seed };
         let b = medsim::workloads::Workload::slot_benchmark(slot);
         let mut s = b.stream(slot, medsim::workloads::trace::SimdIsa::Mom, &spec);
         let mut n = 0u64;
         while s.next_inst().is_some() {
             n += 1;
-            prop_assert!(n < 5_000_000, "unbounded generator");
+            assert!(n < 5_000_000, "case {case} seed {seed}: unbounded generator");
         }
-        prop_assert!(n > 0);
+        assert!(n > 0, "case {case} seed {seed}");
     }
+}
 
-    /// Stream lengths in generated traces never exceed the architectural
-    /// maximum, and memory descriptors agree with them.
-    #[test]
-    fn generated_stream_lengths_are_architectural(seed in any::<u64>()) {
-        use medsim::workloads::trace::InstStream as _;
+/// Stream lengths in generated traces never exceed the architectural
+/// maximum, and memory descriptors agree with them.
+#[test]
+fn generated_stream_lengths_are_architectural() {
+    use medsim::workloads::trace::InstStream as _;
+    let mut rng = SmallRng::seed_from_u64(0x51E9);
+    for case in 0..CASES {
+        let seed: u64 = rng.gen_range(0..u64::MAX);
         let spec = medsim::workloads::WorkloadSpec { scale: 1e-6, seed };
-        let mut s = medsim::workloads::Benchmark::Mpeg2Enc
-            .stream(0, medsim::workloads::trace::SimdIsa::Mom, &spec);
+        let mut s = medsim::workloads::Benchmark::Mpeg2Enc.stream(
+            0,
+            medsim::workloads::trace::SimdIsa::Mom,
+            &spec,
+        );
         while let Some(i) = s.next_inst() {
-            prop_assert!(i.slen >= 1 && i.slen <= medsim::isa::MAX_STREAM_LEN);
+            assert!(
+                i.slen >= 1 && i.slen <= medsim::isa::MAX_STREAM_LEN,
+                "case {case} seed {seed}: slen {}",
+                i.slen
+            );
             if let (Op::Mom(_), Some(m)) = (i.op, i.mem) {
-                prop_assert_eq!(u64::from(m.count), u64::from(i.slen));
+                assert_eq!(u64::from(m.count), u64::from(i.slen), "case {case} seed {seed}");
             }
         }
     }
