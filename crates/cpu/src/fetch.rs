@@ -35,15 +35,32 @@ pub fn select_threads(
     n_select: usize,
     vector_pipe_empty: bool,
 ) -> Vec<usize> {
+    let mut picked = Vec::new();
+    select_threads_into(policy, infos, rr_cursor, n_select, vector_pipe_empty, &mut picked);
+    picked
+}
+
+/// [`select_threads`] writing into a caller-provided buffer, so the
+/// per-cycle fetch stage allocates nothing in steady state.
+pub fn select_threads_into(
+    policy: FetchPolicy,
+    infos: &[ThreadFetchInfo],
+    rr_cursor: usize,
+    n_select: usize,
+    vector_pipe_empty: bool,
+    picked: &mut Vec<usize>,
+) {
     let n = infos.len();
     // Runnable threads in round-robin order starting at the cursor.
-    let rr_order: Vec<usize> =
-        (0..n).map(|i| (rr_cursor + i) % n).filter(|&t| infos[t].runnable).collect();
-    let mut picked = rr_order;
+    picked.clear();
+    picked.extend((0..n).map(|i| (rr_cursor + i) % n).filter(|&t| infos[t].runnable));
     match policy {
         FetchPolicy::RoundRobin => {}
         FetchPolicy::ICount => {
-            // Stable sort keeps round-robin order among ties.
+            // Stable sort keeps round-robin order among ties. Thread
+            // counts are ≤ 8, so sorting is allocation-free in practice
+            // (the stdlib stable sort only heap-allocates above a
+            // small-run threshold).
             picked.sort_by_key(|&t| infos[t].icount);
         }
         FetchPolicy::OCount => {
@@ -60,7 +77,6 @@ pub fn select_threads(
         }
     }
     picked.truncate(n_select);
-    picked
 }
 
 #[cfg(test)]

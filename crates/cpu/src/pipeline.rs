@@ -15,7 +15,7 @@
 //! paper's §5.4 exploits with the decoupled cache hierarchy.
 
 use crate::config::CpuConfig;
-use crate::fetch::{select_threads, ThreadFetchInfo};
+use crate::fetch::{select_threads_into, ThreadFetchInfo};
 use crate::predictor::Predictor;
 use crate::rename::{PhysReg, RenameFile};
 use crate::stats::CpuStats;
@@ -98,6 +98,23 @@ pub struct Cpu {
     media_unit_free: Cycle,
     int_div_free: Cycle,
     fp_div_free: Cycle,
+    /// Per-queue ready cursor: entries before it are known to be
+    /// waiting on source registers, so the issue scan resumes here.
+    /// Valid until any register becomes ready (then reset to 0).
+    scan_from: [usize; 4],
+    /// A register was marked ready since the last issue scan.
+    ready_event: bool,
+    /// Issue saw an entry with ready sources that still could not
+    /// (fully) issue this cycle — port or media-unit pressure, so the
+    /// idle fast-forward must not skip ahead.
+    issue_blocked_ready: bool,
+    /// Event-driven idle skip enabled (identical results either way;
+    /// see [`Cpu::set_fast_forward`]).
+    fast_forward: bool,
+    /// Scratch for fetch-policy inputs (reused every cycle).
+    fetch_infos: Vec<ThreadFetchInfo>,
+    /// Scratch for the fetch thread selection (reused every cycle).
+    fetch_sel: Vec<usize>,
 }
 
 impl Cpu {
@@ -122,8 +139,25 @@ impl Cpu {
             media_unit_free: 0,
             int_div_free: 0,
             fp_div_free: 0,
+            scan_from: [0; 4],
+            ready_event: false,
+            issue_blocked_ready: false,
+            fast_forward: true,
+            fetch_infos: Vec::with_capacity(threads),
+            fetch_sel: Vec::with_capacity(threads),
             config,
         }
+    }
+
+    /// Enable or disable the event-driven idle fast-forward (on by
+    /// default). When every fetch unit is stalled and no instruction
+    /// can issue, the model jumps straight to the next completion or
+    /// I-fetch wakeup instead of ticking empty cycles. Results are
+    /// cycle-for-cycle identical either way (enforced by the
+    /// `fast_forward_is_invisible` test); the switch exists for that
+    /// test and for profiling.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Current cycle.
@@ -186,13 +220,14 @@ impl Cpu {
         self.stats.threads[tid].programs_completed += 1;
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle (plus any provably idle cycles after it —
+    /// see [`Cpu::set_fast_forward`]).
     pub fn cycle(&mut self) {
-        self.complete();
-        self.commit();
+        let completed = self.complete();
+        let committed = self.commit();
         let issued = self.issue();
-        self.dispatch();
-        self.fetch();
+        let dispatched = self.dispatch();
+        let fetch_active = self.fetch();
         // §5.3 diagnostic: cycles where only the vector pipe issued.
         let (int_i, mem_i, fp_i, simd_i) = issued;
         if simd_i > 0 && int_i == 0 && fp_i == 0 && mem_i == 0 {
@@ -203,6 +238,79 @@ impl Cpu {
         }
         self.now += 1;
         self.stats.cycles = self.now;
+        // Nothing moved anywhere in the machine and nothing can move
+        // until a completion or an I-fetch wakeup: skip straight there.
+        let any_activity = completed + committed + dispatched != 0
+            || int_i + mem_i + fp_i + simd_i != 0
+            || fetch_active
+            || self.issue_blocked_ready;
+        if self.fast_forward && !any_activity {
+            self.fast_forward_idle();
+        }
+    }
+
+    /// Jump from the current (already advanced) cycle to the next cycle
+    /// at which the machine state can change: the earliest pending
+    /// completion or the earliest I-fetch unblock. Replicates exactly
+    /// the per-cycle statistics the skipped idle cycles would have
+    /// accumulated, so results are identical to ticking through them.
+    fn fast_forward_idle(&mut self) {
+        let mut wake: Option<Cycle> = self.completions.peek().map(|&(std::cmp::Reverse(t), _)| t);
+        let mut branch_blocked = 0u64;
+        let mut time_blocked = 0u64;
+        let prev = self.now - 1; // the idle cycle just simulated
+        for t in &self.threads {
+            if t.exhausted {
+                continue;
+            }
+            if t.blocked_on_branch.is_some() {
+                branch_blocked += 1;
+            } else if t.fetch_blocked_until > prev {
+                time_blocked += 1;
+                wake = Some(wake.map_or(t.fetch_blocked_until, |w| w.min(t.fetch_blocked_until)));
+            }
+        }
+        let Some(wake) = wake else { return };
+        let Some(skipped) = wake.checked_sub(self.now) else { return };
+        if skipped == 0 {
+            return;
+        }
+        // Stall accounting the skipped fetch stages would have done.
+        self.stats.fetch_branch_stalls += skipped * branch_blocked;
+        self.stats.fetch_icache_stalls += skipped * time_blocked;
+        // Dispatch would have re-hit the same head-of-buffer stall.
+        let (rob, queue, reg) = self.dispatch_stall_profile();
+        self.stats.dispatch_rob_stalls += skipped * rob;
+        self.stats.dispatch_queue_stalls += skipped * queue;
+        self.stats.dispatch_reg_stalls += skipped * reg;
+        self.stats.idle_cycles += skipped;
+        self.rr_cursor = (self.rr_cursor + skipped as usize) % self.threads.len();
+        self.now = wake;
+        self.stats.cycles = self.now;
+    }
+
+    /// The per-cycle dispatch stall counters an idle cycle produces:
+    /// one per thread whose decode buffer head cannot enter the window,
+    /// by stall reason. Read-only twin of the bookkeeping in
+    /// [`Cpu::dispatch`] for the fast-forward path.
+    fn dispatch_stall_profile(&self) -> (u64, u64, u64) {
+        let (mut rob, mut queue, mut reg) = (0u64, 0u64, 0u64);
+        for (tid, t) in self.threads.iter().enumerate() {
+            let Some(inst) = t.decode_buf.front() else { continue };
+            if self.robs[tid].len() >= self.config.sizing.rob_per_thread {
+                rob += 1;
+            } else if self.queues[Self::queue_idx(inst.queue())].len()
+                >= self.config.sizing.queue_entries
+            {
+                queue += 1;
+            } else {
+                // The head must be blocked on a free physical register:
+                // were it dispatchable, the cycle would have dispatched
+                // it and fast-forward would not have been entered.
+                reg += 1;
+            }
+        }
+        (rob, queue, reg)
     }
 
     /// Run until all attached threads drain or `max_cycles` elapse.
@@ -220,12 +328,14 @@ impl Cpu {
 
     // ---- pipeline phases -------------------------------------------------
 
-    fn complete(&mut self) {
+    fn complete(&mut self) -> usize {
+        let mut processed = 0;
         while let Some(&(std::cmp::Reverse(when), id)) = self.completions.peek() {
             if when > self.now {
                 break;
             }
             self.completions.pop();
+            processed += 1;
             let d = self.slab[id as usize].as_mut().expect("completing instruction exists");
             debug_assert_eq!(d.state, InstState::Executing);
             d.state = InstState::Done;
@@ -234,6 +344,9 @@ impl Cpu {
             let mispredicted = d.mispredicted;
             if let Some(p) = dst {
                 self.rename.mark_ready(p);
+                // Waiters anywhere in the queues may now be issuable:
+                // invalidate the ready cursors.
+                self.ready_event = true;
             }
             // Branch resolution unblocks fetch (plus redirect penalty).
             if mispredicted && self.threads[tid].blocked_on_branch == Some(id) {
@@ -242,10 +355,12 @@ impl Cpu {
                     self.now + self.config.mispredict_penalty;
             }
         }
+        processed
     }
 
-    fn commit(&mut self) {
+    fn commit(&mut self) -> usize {
         let n = self.threads.len();
+        let mut committed = 0;
         let mut budget = self.config.commit_width;
         // Rotate the starting thread for fairness.
         for off in 0..n {
@@ -277,9 +392,11 @@ impl Cpu {
                         self.stats.threads[tid].mispredicts += 1;
                     }
                 }
+                committed += 1;
                 budget -= 1;
             }
         }
+        committed
     }
 
     fn sources_ready(&self, d: &DynInst) -> bool {
@@ -287,6 +404,13 @@ impl Cpu {
     }
 
     fn issue(&mut self) -> (usize, usize, usize, usize) {
+        // A completion marked registers ready: every queue prefix that
+        // was known-blocked must be rescanned.
+        if self.ready_event {
+            self.scan_from = [0; 4];
+            self.ready_event = false;
+        }
+        self.issue_blocked_ready = false;
         let int_issued = self.issue_queue(QueueKind::Int, self.config.int_issue);
         let fp_issued = self.issue_queue(QueueKind::Fp, self.config.fp_issue);
         let simd_issued = self.issue_queue(QueueKind::Simd, self.config.simd_issue);
@@ -348,22 +472,47 @@ impl Cpu {
         }
     }
 
+    /// Issue from one of the non-memory queues, oldest first.
+    ///
+    /// Steady-state allocation-free: issued entries are compacted out
+    /// of the queue in place (no scratch `Vec`, no O(n²) `retain`), and
+    /// the scan resumes at [`Cpu::scan_from`] — the prefix before it is
+    /// known to be waiting on source registers, which can only change
+    /// through a completion (tracked by `ready_event`).
     fn issue_queue(&mut self, q: QueueKind, width: usize) -> usize {
         let qi = Self::queue_idx(q);
-        let mut issued = Vec::new();
+        let len = self.queues[qi].len();
+        let start = self.scan_from[qi].min(len);
+        if start >= len || width == 0 {
+            return 0;
+        }
         let mom_isa = self.config.isa == SimdIsa::Mom;
-        for pos in 0..self.queues[qi].len() {
-            if issued.len() >= width {
+        let mut issued = 0usize;
+        let mut write = start;
+        let mut pos = start;
+        // First kept entry that is ready but resource-blocked (the scan
+        // must come back to it even without a new ready event).
+        let mut cursor_stop: Option<usize> = None;
+        while pos < len {
+            if issued >= width {
                 break;
             }
             let id = self.queues[qi][pos];
             let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
             if d.state != InstState::InQueue || !self.sources_ready(d) {
+                self.queues[qi][write] = id;
+                write += 1;
+                pos += 1;
                 continue;
             }
             // The MOM media unit is a single occupied resource.
             let is_stream = matches!(d.inst.op, Op::Mom(_));
             if q == QueueKind::Simd && mom_isa && is_stream && self.media_unit_free > self.now {
+                cursor_stop.get_or_insert(write);
+                self.issue_blocked_ready = true;
+                self.queues[qi][write] = id;
+                write += 1;
+                pos += 1;
                 continue;
             }
             let inst = d.inst;
@@ -380,41 +529,63 @@ impl Cpu {
             self.completions.push((std::cmp::Reverse(self.now + lat), id));
             self.threads[tid].icount -= 1;
             self.threads[tid].ocount -= inst.equivalent_count();
-            issued.push(id);
+            issued += 1;
+            pos += 1; // issued: hole closed by the compaction below
         }
-        let qrefs = &mut self.queues[qi];
-        qrefs.retain(|id| !issued.contains(id));
-        issued.len()
+        // Resume point: the first ready-but-blocked survivor, else the
+        // first unexamined entry (which lands at `write` after the tail
+        // is compacted down).
+        let resume = cursor_stop.unwrap_or(write);
+        while pos < len {
+            self.queues[qi][write] = self.queues[qi][pos];
+            write += 1;
+            pos += 1;
+        }
+        self.queues[qi].truncate(write);
+        self.scan_from[qi] = resume;
+        issued
     }
 
+    /// Issue element-group accesses from the memory queue. Same
+    /// in-place compaction and ready-cursor scheme as
+    /// [`Cpu::issue_queue`]; partially issued stream accesses stay at
+    /// the front and pin the cursor (ports free up over time, not
+    /// through ready events).
     fn issue_mem(&mut self) -> usize {
         let qi = Self::queue_idx(QueueKind::Mem);
+        let len = self.queues[qi].len();
+        let start = self.scan_from[qi].min(len);
+        if start >= len {
+            return 0;
+        }
         let mut slots = self.config.mem_issue;
-        let mut fully_issued = Vec::new();
         let mut issued_count = 0;
-        for pos in 0..self.queues[qi].len() {
+        let mut write = start;
+        let mut pos = start;
+        let mut cursor_stop: Option<usize> = None;
+        while pos < len {
             if slots == 0 {
                 break;
             }
             let id = self.queues[qi][pos];
             let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
             if d.state != InstState::InQueue || !self.sources_ready(d) {
+                self.queues[qi][write] = id;
+                write += 1;
+                pos += 1;
                 continue;
             }
             let Some(mem) = d.inst.mem else {
-                // Memory-queue instruction without an access (should not
-                // happen); complete it next cycle.
-                let d = self.slab[id as usize].as_mut().expect("exists");
-                d.state = InstState::Executing;
-                self.completions.push((std::cmp::Reverse(self.now + 1), id));
-                continue;
+                // Dispatch routes an instruction to the memory queue
+                // only for memory opcodes, and every constructor of
+                // those carries a MemRef.
+                unreachable!("memory-queue instruction without an access: {:?}", d.inst)
             };
             let tid = d.tid;
             let kind = access_kind(&d.inst);
             let elems_before = d.mem_elems_issued;
             let mut elems = elems_before;
             let mut mem_done = d.mem_done;
-            let mut stalled = false;
             while elems < mem.count && slots > 0 {
                 let req = MemRequest {
                     tid: tid as u8,
@@ -429,13 +600,11 @@ impl Cpu {
                         mem_done = mem_done.max(reply.done_at);
                     }
                     Err(Stall::PortBusy) => {
-                        stalled = true;
                         self.stats.mem_stalls += 1;
                         slots = 0; // ports exhausted this cycle
                         break;
                     }
                     Err(_) => {
-                        stalled = true;
                         self.stats.mem_stalls += 1;
                         break;
                     }
@@ -452,18 +621,31 @@ impl Cpu {
                 self.completions.push((std::cmp::Reverse(mem_done.max(self.now + 1)), id));
                 self.threads[tid].icount -= 1;
                 self.threads[tid].ocount -= d.inst.equivalent_count();
-                fully_issued.push(id);
+                // Fully issued: drop from the queue (hole compacted).
+            } else {
+                // Ready but port/MSHR/write-buffer limited: keep, and
+                // make sure the next scan starts at or before it.
+                cursor_stop.get_or_insert(write);
+                self.issue_blocked_ready = true;
+                self.queues[qi][write] = id;
+                write += 1;
             }
-            if stalled {
-                continue;
-            }
+            pos += 1;
         }
-        self.queues[qi].retain(|id| !fully_issued.contains(id));
+        let resume = cursor_stop.unwrap_or(write);
+        while pos < len {
+            self.queues[qi][write] = self.queues[qi][pos];
+            write += 1;
+            pos += 1;
+        }
+        self.queues[qi].truncate(write);
+        self.scan_from[qi] = resume;
         issued_count
     }
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self) -> usize {
         let n = self.threads.len();
+        let mut dispatched = 0;
         let mut budget = self.config.decode_width;
         for off in 0..n {
             let tid = (self.rr_cursor + off) % n;
@@ -546,25 +728,29 @@ impl Cpu {
                 if mispredicted {
                     self.threads[tid].blocked_on_branch = Some(id);
                 }
+                dispatched += 1;
                 budget -= 1;
             }
         }
+        dispatched
     }
 
-    fn fetch(&mut self) {
-        let infos: Vec<ThreadFetchInfo> = self
-            .threads
-            .iter()
-            .map(|t| ThreadFetchInfo {
-                runnable: !t.exhausted
-                    && t.blocked_on_branch.is_none()
-                    && t.fetch_blocked_until <= self.now
-                    && t.decode_buf.len() + self.config.fetch_width <= DECODE_BUF_CAP,
-                icount: t.icount,
-                ocount: t.ocount,
-                fetched_vector_last: t.fetched_vector_last,
-            })
-            .collect();
+    /// Fetch into the decode buffers. Returns whether anything moved:
+    /// a thread was selected (even a fruitless selection touches the
+    /// I-cache or exhausts a stream) — when `false`, fetch is fully
+    /// stalled and contributes nothing until a wakeup time.
+    fn fetch(&mut self) -> bool {
+        let mut infos = std::mem::take(&mut self.fetch_infos);
+        infos.clear();
+        infos.extend(self.threads.iter().map(|t| ThreadFetchInfo {
+            runnable: !t.exhausted
+                && t.blocked_on_branch.is_none()
+                && t.fetch_blocked_until <= self.now
+                && t.decode_buf.len() + self.config.fetch_width <= DECODE_BUF_CAP,
+            icount: t.icount,
+            ocount: t.ocount,
+            fetched_vector_last: t.fetched_vector_last,
+        }));
         // Account stall reasons for non-runnable threads.
         for t in &self.threads {
             if t.exhausted {
@@ -577,14 +763,18 @@ impl Cpu {
             }
         }
         let vector_pipe_empty = self.queues[Self::queue_idx(QueueKind::Simd)].is_empty();
-        let chosen = select_threads(
+        let mut chosen = std::mem::take(&mut self.fetch_sel);
+        select_threads_into(
             self.config.fetch_policy,
             &infos,
             self.rr_cursor,
             self.config.fetch_threads,
             vector_pipe_empty,
+            &mut chosen,
         );
-        for tid in chosen {
+        self.fetch_infos = infos;
+        let any_chosen = !chosen.is_empty();
+        for &tid in &chosen {
             let mut any_vector = false;
             for _ in 0..self.config.fetch_width {
                 // Peek the next instruction.
@@ -628,7 +818,9 @@ impl Cpu {
             }
             self.threads[tid].fetched_vector_last = any_vector;
         }
+        self.fetch_sel = chosen;
         self.rr_cursor = (self.rr_cursor + 1) % self.threads.len();
+        any_chosen
     }
 }
 
@@ -714,6 +906,9 @@ mod tests {
             Inst::int_rrr(IntOp::Add, int(4), int(5), int(6)).at(0x1004),
         ];
         let mut c = cpu(1, SimdIsa::Mmx);
+        // Step true single cycles: the idle fast-forward would jump
+        // straight over the divide's latency.
+        c.set_fast_forward(false);
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         // Run a few cycles: the add finishes fast but cannot commit alone.
         for _ in 0..6 {
@@ -851,6 +1046,43 @@ mod tests {
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         assert!(c.run_to_idle(1000));
         assert_eq!(c.stats().committed(), 2);
+    }
+
+    #[test]
+    fn fast_forward_is_invisible() {
+        // A latency-heavy mix under the real memory system (long DRAM
+        // gaps ⇒ plenty of idle cycles to skip): every statistic must
+        // be identical with the fast-forward on and off.
+        let program = || -> Vec<Inst> {
+            let mut insts = Vec::new();
+            for i in 0..120u64 {
+                insts.push(
+                    Inst::load(MemOp::LoadW, int(1 + (i % 6) as u8), int(10), 0x30_0000 + i * 512)
+                        .at(0x1000 + 4 * (i % 32)),
+                );
+                insts.push(Inst::int_rrr(IntOp::Div, int(7), int(1), int(2)).at(0x1100));
+                insts.push(Inst::int_rrr(IntOp::Add, int(8), int(7), int(7)).at(0x1104));
+                insts.push(Inst::branch(CtlOp::Bne, int(8), i % 3 == 0, 0x1000).at(0x1108));
+            }
+            insts
+        };
+        let run = |fast_forward: bool| {
+            let mut c = Cpu::new(
+                CpuConfig::paper(2, SimdIsa::Mmx),
+                MemSystem::new(MemConfig::paper()),
+            );
+            c.set_fast_forward(fast_forward);
+            c.attach_thread(0, Box::new(VecStream::new(program())));
+            c.attach_thread(1, Box::new(VecStream::new(program())));
+            assert!(c.run_to_idle(1_000_000));
+            (c.stats().clone(), c.mem().l1d_stats().accesses(), c.mem().stats().l1_latency_sum)
+        };
+        let (slow, slow_l1, slow_lat) = run(false);
+        let (fast, fast_l1, fast_lat) = run(true);
+        assert!(slow.idle_cycles > 0, "the mix must actually have idle cycles");
+        assert_eq!(slow, fast, "fast-forward must not change any statistic");
+        assert_eq!(slow_l1, fast_l1);
+        assert_eq!(slow_lat, fast_lat);
     }
 
     #[test]

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsim-92a70b0cfe6530da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim-92a70b0cfe6530da.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim-92a70b0cfe6530da.rmeta: src/lib.rs
+
+src/lib.rs:

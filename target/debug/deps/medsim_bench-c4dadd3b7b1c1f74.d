@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsim_bench-c4dadd3b7b1c1f74.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim_bench-c4dadd3b7b1c1f74.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsim_bench-c4dadd3b7b1c1f74.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsim_core-ae32038dbc9bc891.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libmedsim_core-ae32038dbc9bc891.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libmedsim_core-ae32038dbc9bc891.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:

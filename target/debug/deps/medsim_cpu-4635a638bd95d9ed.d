@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsim_cpu-4635a638bd95d9ed.d: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libmedsim_cpu-4635a638bd95d9ed.rlib: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libmedsim_cpu-4635a638bd95d9ed.rmeta: crates/cpu/src/lib.rs crates/cpu/src/config.rs crates/cpu/src/fetch.rs crates/cpu/src/pipeline.rs crates/cpu/src/predictor.rs crates/cpu/src/rename.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fetch.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/predictor.rs:
+crates/cpu/src/rename.rs:
+crates/cpu/src/stats.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/medsim_isa-21ce923a2d119595.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/elem.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/mmx.rs crates/isa/src/mom.rs crates/isa/src/op.rs crates/isa/src/regs.rs crates/isa/src/scalar.rs crates/isa/src/semantics/mod.rs crates/isa/src/semantics/acc.rs crates/isa/src/semantics/lanes.rs crates/isa/src/semantics/mmx_exec.rs crates/isa/src/semantics/mom_exec.rs
+
+/root/repo/target/debug/deps/libmedsim_isa-21ce923a2d119595.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/elem.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/mmx.rs crates/isa/src/mom.rs crates/isa/src/op.rs crates/isa/src/regs.rs crates/isa/src/scalar.rs crates/isa/src/semantics/mod.rs crates/isa/src/semantics/acc.rs crates/isa/src/semantics/lanes.rs crates/isa/src/semantics/mmx_exec.rs crates/isa/src/semantics/mom_exec.rs
+
+/root/repo/target/debug/deps/libmedsim_isa-21ce923a2d119595.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/elem.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/mmx.rs crates/isa/src/mom.rs crates/isa/src/op.rs crates/isa/src/regs.rs crates/isa/src/scalar.rs crates/isa/src/semantics/mod.rs crates/isa/src/semantics/acc.rs crates/isa/src/semantics/lanes.rs crates/isa/src/semantics/mmx_exec.rs crates/isa/src/semantics/mom_exec.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/elem.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mmx.rs:
+crates/isa/src/mom.rs:
+crates/isa/src/op.rs:
+crates/isa/src/regs.rs:
+crates/isa/src/scalar.rs:
+crates/isa/src/semantics/mod.rs:
+crates/isa/src/semantics/acc.rs:
+crates/isa/src/semantics/lanes.rs:
+crates/isa/src/semantics/mmx_exec.rs:
+crates/isa/src/semantics/mom_exec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medsim_mem-d88b99e3223476bc.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/libmedsim_mem-d88b99e3223476bc.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/libmedsim_mem-d88b99e3223476bc.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/stats.rs crates/mem/src/system.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:
+crates/mem/src/wbuf.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/medsim_workloads-7063993c3db045fa.d: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/color.rs crates/workloads/src/kernels/dct.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/huffman.rs crates/workloads/src/kernels/mesa3d.rs crates/workloads/src/kernels/motion.rs crates/workloads/src/kernels/quant.rs crates/workloads/src/kernels/zigzag.rs crates/workloads/src/layout.rs crates/workloads/src/mix.rs crates/workloads/src/suite.rs crates/workloads/src/trace/mod.rs crates/workloads/src/trace/emitter.rs crates/workloads/src/trace/gsm_gen.rs crates/workloads/src/trace/jpeg_gen.rs crates/workloads/src/trace/mesa_gen.rs crates/workloads/src/trace/mpeg2_gen.rs crates/workloads/src/trace/scalar_phases.rs crates/workloads/src/trace/simd_kernels.rs
+
+/root/repo/target/debug/deps/libmedsim_workloads-7063993c3db045fa.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/color.rs crates/workloads/src/kernels/dct.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/huffman.rs crates/workloads/src/kernels/mesa3d.rs crates/workloads/src/kernels/motion.rs crates/workloads/src/kernels/quant.rs crates/workloads/src/kernels/zigzag.rs crates/workloads/src/layout.rs crates/workloads/src/mix.rs crates/workloads/src/suite.rs crates/workloads/src/trace/mod.rs crates/workloads/src/trace/emitter.rs crates/workloads/src/trace/gsm_gen.rs crates/workloads/src/trace/jpeg_gen.rs crates/workloads/src/trace/mesa_gen.rs crates/workloads/src/trace/mpeg2_gen.rs crates/workloads/src/trace/scalar_phases.rs crates/workloads/src/trace/simd_kernels.rs
+
+/root/repo/target/debug/deps/libmedsim_workloads-7063993c3db045fa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/color.rs crates/workloads/src/kernels/dct.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/huffman.rs crates/workloads/src/kernels/mesa3d.rs crates/workloads/src/kernels/motion.rs crates/workloads/src/kernels/quant.rs crates/workloads/src/kernels/zigzag.rs crates/workloads/src/layout.rs crates/workloads/src/mix.rs crates/workloads/src/suite.rs crates/workloads/src/trace/mod.rs crates/workloads/src/trace/emitter.rs crates/workloads/src/trace/gsm_gen.rs crates/workloads/src/trace/jpeg_gen.rs crates/workloads/src/trace/mesa_gen.rs crates/workloads/src/trace/mpeg2_gen.rs crates/workloads/src/trace/scalar_phases.rs crates/workloads/src/trace/simd_kernels.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/color.rs:
+crates/workloads/src/kernels/dct.rs:
+crates/workloads/src/kernels/gsm.rs:
+crates/workloads/src/kernels/huffman.rs:
+crates/workloads/src/kernels/mesa3d.rs:
+crates/workloads/src/kernels/motion.rs:
+crates/workloads/src/kernels/quant.rs:
+crates/workloads/src/kernels/zigzag.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/trace/mod.rs:
+crates/workloads/src/trace/emitter.rs:
+crates/workloads/src/trace/gsm_gen.rs:
+crates/workloads/src/trace/jpeg_gen.rs:
+crates/workloads/src/trace/mesa_gen.rs:
+crates/workloads/src/trace/mpeg2_gen.rs:
+crates/workloads/src/trace/scalar_phases.rs:
+crates/workloads/src/trace/simd_kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c6477105c396f3d4.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c6477105c396f3d4.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c6477105c396f3d4.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

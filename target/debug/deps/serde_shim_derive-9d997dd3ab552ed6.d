@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_shim_derive-9d997dd3ab552ed6.d: crates/compat/serde_shim_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_shim_derive-9d997dd3ab552ed6.so: crates/compat/serde_shim_derive/src/lib.rs
+
+crates/compat/serde_shim_derive/src/lib.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde_shim_derive.so: /root/repo/crates/compat/serde_shim_derive/src/lib.rs
