@@ -1,0 +1,96 @@
+//! Simulator-performance tracking: times the headline drivers and
+//! emits `BENCH_runs.json` (see [`medsim_bench::BenchRecorder`]).
+//!
+//! Measured rows:
+//!
+//! * `fig5_real` — the full figure-5 grid through the parallel engine
+//!   at the `MEDSIM_SCALE` workload scale (the PR-over-PR wall-clock
+//!   target);
+//! * `grid_parallel` vs `grid_serial` — the same 8-run grid through
+//!   [`medsim_core::runner::run_grid`] and through serial
+//!   [`Simulation::run`] calls, printing the observed speedup;
+//! * `pipeline_1thread` — a single small run, whose
+//!   `sim_cycles_per_sec` is the raw hot-path throughput metric.
+//!
+//! `MEDSIM_JOBS` caps the worker threads; the grid comparison uses a
+//! reduced scale (one quarter of `MEDSIM_SCALE`) to keep smoke runs
+//! fast.
+
+use medsim_bench::{spec_from_env, timed_secs, BenchRecorder};
+use medsim_core::experiments::fig5_real;
+use medsim_core::runner::{effective_jobs, run_grid};
+use medsim_core::sim::{SimConfig, Simulation};
+use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::WorkloadSpec;
+
+fn main() {
+    let spec = spec_from_env();
+    let mut recorder = BenchRecorder::new();
+
+    let fig5 = recorder.measure(
+        "fig5_real",
+        || fig5_real(&spec),
+        |fig| {
+            fig.ideal
+                .iter()
+                .chain(fig.real.iter())
+                .flat_map(|c| c.runs.iter().map(|r| r.cycles))
+                .sum()
+        },
+    );
+    println!(
+        "fig5_real: {} runs, {:.2}s wall",
+        fig5.ideal.len() * 4 + fig5.real.len() * 4,
+        recorder.entries()[0].wall_s
+    );
+
+    // Grid vs serial on an 8-run sweep (both ISAs × thread counts).
+    let grid_spec = WorkloadSpec {
+        scale: (spec.scale / 4.0).max(1e-6),
+        ..spec
+    };
+    let configs: Vec<SimConfig> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| {
+            [1usize, 2, 4, 8]
+                .iter()
+                .map(move |&t| SimConfig::new(isa, t).with_spec(grid_spec))
+        })
+        .collect();
+    let (parallel, par_s) = timed_secs(|| run_grid(&configs));
+    recorder.record(
+        "grid_parallel",
+        par_s,
+        parallel.iter().map(|r| r.cycles).sum(),
+    );
+    let (serial, ser_s) = timed_secs(|| configs.iter().map(Simulation::run).collect::<Vec<_>>());
+    recorder.record("grid_serial", ser_s, serial.iter().map(|r| r.cycles).sum());
+    assert_eq!(
+        parallel, serial,
+        "run_grid must be bit-identical to the serial path"
+    );
+    println!(
+        "grid of {}: parallel {par_s:.2}s vs serial {ser_s:.2}s ({:.2}x, {} jobs)",
+        configs.len(),
+        ser_s / par_s.max(1e-9),
+        effective_jobs(configs.len()),
+    );
+
+    // Raw pipeline throughput.
+    let tiny = SimConfig::new(SimdIsa::Mmx, 1).with_spec(WorkloadSpec {
+        scale: 5e-6,
+        seed: 3,
+    });
+    let (run, wall_s) = timed_secs(|| Simulation::run(&tiny));
+    recorder.record("pipeline_1thread", wall_s, run.cycles);
+    println!(
+        "pipeline_1thread: {:.0} simulated cycles/sec",
+        recorder
+            .entries()
+            .last()
+            .expect("just recorded")
+            .sim_cycles_per_sec()
+    );
+
+    recorder.write_default().expect("write BENCH_runs.json");
+}

@@ -30,7 +30,10 @@ fn bench_kernels(c: &mut Criterion) {
 fn bench_trace_generation(c: &mut Criterion) {
     c.bench_function("trace_mpeg2enc_mmx_1mb", |b| {
         b.iter(|| {
-            let spec = WorkloadSpec { scale: 1e-5, seed: 1 };
+            let spec = WorkloadSpec {
+                scale: 1e-5,
+                seed: 1,
+            };
             let mut s = Benchmark::Mpeg2Enc.stream(0, SimdIsa::Mmx, &spec);
             let mut n = 0u64;
             while s.next_inst().is_some() {
@@ -66,12 +69,55 @@ fn bench_memory(c: &mut Criterion) {
 fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("simulate_1thread_tiny", |b| {
         b.iter(|| {
-            let cfg = SimConfig::new(SimdIsa::Mmx, 1)
-                .with_spec(WorkloadSpec { scale: 5e-6, seed: 3 });
+            let cfg = SimConfig::new(SimdIsa::Mmx, 1).with_spec(WorkloadSpec {
+                scale: 5e-6,
+                seed: 3,
+            });
             black_box(Simulation::run(&cfg).cycles)
+        });
+    });
+    // The same run expressed as raw hot-path throughput: simulated
+    // cycles per wall-clock second (the metric BENCH_runs.json tracks).
+    let cfg = SimConfig::new(SimdIsa::Mmx, 1).with_spec(WorkloadSpec {
+        scale: 5e-6,
+        seed: 3,
+    });
+    let start = std::time::Instant::now();
+    let cycles = Simulation::run(&cfg).cycles;
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{:<40} {:>14.0} sim cycles/sec",
+        "simulate_1thread_tiny (throughput)",
+        cycles as f64 / secs.max(1e-9)
+    );
+}
+
+fn bench_grid(c: &mut Criterion) {
+    c.bench_function("run_grid_2isa_x_2threads_tiny", |b| {
+        b.iter(|| {
+            let spec = WorkloadSpec {
+                scale: 5e-6,
+                seed: 3,
+            };
+            let configs: Vec<SimConfig> = SimdIsa::ALL
+                .iter()
+                .flat_map(|&isa| {
+                    [1usize, 2]
+                        .iter()
+                        .map(move |&t| SimConfig::new(isa, t).with_spec(spec))
+                })
+                .collect();
+            black_box(medsim_core::runner::run_grid(&configs).len())
         });
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_trace_generation, bench_memory, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_trace_generation,
+    bench_memory,
+    bench_pipeline,
+    bench_grid
+);
 criterion_main!(benches);

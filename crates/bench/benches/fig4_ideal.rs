@@ -11,7 +11,10 @@ use medsim_core::report::format_curves;
 fn main() {
     let spec = spec_from_env();
     let curves = timed("fig4", || fig4_ideal(&spec));
-    println!("{}", format_curves("Figure 4: ideal memory (MMX = IPC, MOM = EIPC)", &curves));
+    println!(
+        "{}",
+        format_curves("Figure 4: ideal memory (MMX = IPC, MOM = EIPC)", &curves)
+    );
     let mmx = &curves[0];
     let mom = &curves[1];
     println!(

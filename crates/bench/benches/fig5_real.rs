@@ -11,8 +11,14 @@ use medsim_core::report::format_curves;
 fn main() {
     let spec = spec_from_env();
     let fig = timed("fig5", || fig5_real(&spec));
-    println!("{}", format_curves("Figure 5a: ideal memory (reference)", &fig.ideal));
-    println!("{}", format_curves("Figure 5b: real (conventional) memory", &fig.real));
+    println!(
+        "{}",
+        format_curves("Figure 5a: ideal memory (reference)", &fig.ideal)
+    );
+    println!(
+        "{}",
+        format_curves("Figure 5b: real (conventional) memory", &fig.real)
+    );
     for (ideal, real) in fig.ideal.iter().zip(fig.real.iter()) {
         let label = ideal.isa.label();
         let mut degr_sum = 0.0;
@@ -28,7 +34,11 @@ fn main() {
         let v8 = real.at(8).unwrap();
         println!(
             "{label}: 4-thread {v4:.2} vs 8-thread {v8:.2} -> {}",
-            if v4 >= v8 { "diminishing returns (paper: yes)" } else { "still scaling" }
+            if v4 >= v8 {
+                "diminishing returns (paper: yes)"
+            } else {
+                "still scaling"
+            }
         );
     }
 }

@@ -12,8 +12,13 @@ use medsim_workloads::trace::SimdIsa;
 
 fn main() {
     let spec = spec_from_env();
-    let curves = timed("fig6", || fig_fetch_policies(&spec, HierarchyKind::Conventional));
-    println!("{}", format_curves("Figure 6: fetch policies, conventional hierarchy", &curves));
+    let curves = timed("fig6", || {
+        fig_fetch_policies(&spec, HierarchyKind::Conventional)
+    });
+    println!(
+        "{}",
+        format_curves("Figure 6: fetch policies, conventional hierarchy", &curves)
+    );
     for isa in SimdIsa::ALL {
         let rr = curves
             .iter()

@@ -27,8 +27,13 @@ fn main() {
     );
     println!();
 
-    let curves = timed("fig8", || fig_fetch_policies(&spec, HierarchyKind::Decoupled));
-    println!("{}", format_curves("Figure 8: fetch policies, decoupled hierarchy", &curves));
+    let curves = timed("fig8", || {
+        fig_fetch_policies(&spec, HierarchyKind::Decoupled)
+    });
+    println!(
+        "{}",
+        format_curves("Figure 8: fetch policies, decoupled hierarchy", &curves)
+    );
     for isa in SimdIsa::ALL {
         let rr = curves
             .iter()
@@ -41,7 +46,11 @@ fn main() {
             isa.label(),
             v8,
             v4,
-            if v8 > v4 { "8 > 4 restored (paper: yes)" } else { "still capped" }
+            if v8 > v4 {
+                "8 > 4 restored (paper: yes)"
+            } else {
+                "still capped"
+            }
         );
         let best = curves
             .iter()

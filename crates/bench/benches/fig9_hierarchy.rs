@@ -14,7 +14,10 @@ use medsim_core::report::{format_curves, format_headline};
 fn main() {
     let spec = spec_from_env();
     let curves = timed("fig9", || fig9_hierarchy(&spec));
-    println!("{}", format_curves("Figure 9: hierarchies (MMX: ICOUNT, MOM: OCOUNT)", &curves));
+    println!(
+        "{}",
+        format_curves("Figure 9: hierarchies (MMX: ICOUNT, MOM: OCOUNT)", &curves)
+    );
     let h = headline(&curves);
     let factor = EipcFactor::compute(&spec);
     println!("{}", format_headline(&h, &factor));

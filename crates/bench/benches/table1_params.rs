@@ -15,13 +15,27 @@ fn main() {
     println!("== Table 1: architectural parameters by thread count ==");
     println!(
         "{:<8} {:>8} {:>8} {:>9} {:>11} {:>8} {:>12} {:>10}",
-        "threads", "int-regs", "fp-regs", "mmx-regs", "stream-regs", "accums", "queue-entries", "rob/thread"
+        "threads",
+        "int-regs",
+        "fp-regs",
+        "mmx-regs",
+        "stream-regs",
+        "accums",
+        "queue-entries",
+        "rob/thread"
     );
     for t in [1usize, 2, 4, 8] {
         let s = SizingParams::for_threads(t);
         println!(
             "{:<8} {:>8} {:>8} {:>9} {:>11} {:>8} {:>12} {:>10}",
-            t, s.int_regs, s.fp_regs, s.simd_regs, s.stream_regs, s.acc_regs, s.queue_entries, s.rob_per_thread
+            t,
+            s.int_regs,
+            s.fp_regs,
+            s.simd_regs,
+            s.stream_regs,
+            s.acc_regs,
+            s.queue_entries,
+            s.rob_per_thread
         );
     }
     println!();

@@ -8,7 +8,10 @@ use medsim_workloads::Benchmark;
 fn main() {
     println!("{}", format_table2());
     let spec = spec_from_env();
-    println!("== §5.1 run order and scaled work units (scale {:.4}) ==", spec.scale);
+    println!(
+        "== §5.1 run order and scaled work units (scale {:.4}) ==",
+        spec.scale
+    );
     for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
         println!(
             "slot {slot}: {:<10} {:>8} work units ({:>7} at full scale; paper {:.1}M MMX instructions)",

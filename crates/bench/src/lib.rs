@@ -11,6 +11,7 @@
 //! `MEDSIM_SCALE=0.01 cargo bench -p medsim-bench --bench fig5_real`.
 
 use medsim_workloads::WorkloadSpec;
+use std::io::Write as _;
 use std::time::Instant;
 
 /// Default workload scale for bench runs: large enough for stable
@@ -27,7 +28,10 @@ pub fn spec_from_env() -> WorkloadSpec {
         .filter(|&s| s > 0.0)
         .unwrap_or(DEFAULT_SCALE);
     let mut spec = WorkloadSpec::new(scale);
-    if let Some(seed) = std::env::var("MEDSIM_SEED").ok().and_then(|s| s.parse::<u64>().ok()) {
+    if let Some(seed) = std::env::var("MEDSIM_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
         spec.seed = seed;
     }
     spec
@@ -38,6 +42,132 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let out = f();
     eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+/// Run `f`, returning its result and wall-clock seconds.
+pub fn timed_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// One measured entry of a bench-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark / driver name.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Total simulated cycles covered by the measurement (0 when not
+    /// applicable, e.g. pure trace generation).
+    pub sim_cycles: u64,
+}
+
+impl BenchEntry {
+    /// Simulated cycles per wall-clock second — the simulator's
+    /// headline throughput metric.
+    #[must_use]
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.wall_s
+        }
+    }
+}
+
+/// Collects [`BenchEntry`] rows and emits `BENCH_runs.json` so the
+/// perf trajectory of the simulator itself is tracked PR over PR (the
+/// CI smoke-bench job uploads the file as an artifact).
+#[derive(Debug, Default)]
+pub struct BenchRecorder {
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchRecorder {
+    /// Empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        BenchRecorder::default()
+    }
+
+    /// Record one measurement.
+    pub fn record(&mut self, name: &str, wall_s: f64, sim_cycles: u64) {
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            wall_s,
+            sim_cycles,
+        });
+    }
+
+    /// Time `f`, record it under `name` with the simulated-cycle count
+    /// its result reports via `cycles_of`, and pass the result through.
+    pub fn measure<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce() -> T,
+        cycles_of: impl FnOnce(&T) -> u64,
+    ) -> T {
+        let (out, wall_s) = timed_secs(f);
+        self.record(name, wall_s, cycles_of(&out));
+        out
+    }
+
+    /// The rows recorded so far.
+    #[must_use]
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Render the report as a JSON document (hand-emitted: the
+    /// environment's serde is a no-op shim).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"medsim-bench-runs/v1\",\n  \"runs\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.1}}}{comma}\n",
+                escape_json(&e.name),
+                e.wall_s,
+                e.sim_cycles,
+                e.sim_cycles_per_sec(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the report to `MEDSIM_BENCH_JSON` (default
+    /// `BENCH_runs.json` in the working directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_default(&self) -> std::io::Result<()> {
+        let path = std::env::var("MEDSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_runs.json".into());
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        eprintln!("[bench report -> {path}]");
+        Ok(())
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -54,5 +184,38 @@ mod tests {
     #[test]
     fn timed_passes_value_through() {
         assert_eq!(timed("test", || 42), 42);
+    }
+
+    #[test]
+    fn recorder_emits_valid_json_shape() {
+        let mut r = BenchRecorder::new();
+        r.record("alpha", 2.0, 1_000_000);
+        let x = r.measure("beta", || 7u64, |&v| v);
+        assert_eq!(x, 7);
+        assert_eq!(r.entries().len(), 2);
+        assert_eq!(r.entries()[0].sim_cycles_per_sec(), 500_000.0);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"sim_cycles_per_sec\": 500000.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = BenchRecorder::new();
+        r.record("quote\" back\\ tab\tnl\n", 1.0, 1);
+        let json = r.to_json();
+        assert!(json.contains(r#"quote\" back\\ tab\tnl\n"#), "{json}");
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let e = BenchEntry {
+            name: "x".into(),
+            wall_s: 0.0,
+            sim_cycles: 5,
+        };
+        assert_eq!(e.sim_cycles_per_sec(), 0.0);
     }
 }

@@ -39,9 +39,8 @@ impl Bencher {
             if elapsed >= self.sample_budget || iters >= 1 << 30 {
                 break elapsed.as_secs_f64() / iters as f64;
             }
-            let growth = (self.sample_budget.as_secs_f64()
-                / elapsed.as_secs_f64().max(1e-9))
-            .clamp(2.0, 100.0);
+            let growth = (self.sample_budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .clamp(2.0, 100.0);
             iters = (iters as f64 * growth).ceil() as u64;
         };
         let _ = per_iter;
@@ -69,19 +68,26 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(100);
-        Criterion { sample_budget: Duration::from_millis(ms.max(1)) }
+        Criterion {
+            sample_budget: Duration::from_millis(ms.max(1)),
+        }
     }
 }
 
 impl Criterion {
     /// Run one named benchmark and report its median ns/iter.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut b = Bencher { sample_budget: self.sample_budget, ns_per_iter: f64::NAN };
+        let mut b = Bencher {
+            sample_budget: self.sample_budget,
+            ns_per_iter: f64::NAN,
+        };
         f(&mut b);
         println!("{name:<40} {:>14.1} ns/iter", b.ns_per_iter);
         if let Ok(path) = std::env::var("CRITERION_JSON_PATH") {
-            if let Ok(mut file) =
-                std::fs::OpenOptions::new().create(true).append(true).open(path)
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
             {
                 let _ = writeln!(
                     file,
@@ -123,7 +129,9 @@ mod tests {
     #[test]
     fn bencher_measures_something() {
         std::env::remove_var("CRITERION_JSON_PATH");
-        let mut c = Criterion { sample_budget: Duration::from_millis(2) };
+        let mut c = Criterion {
+            sample_budget: Duration::from_millis(2),
+        };
         let mut ran = false;
         c.bench_function("noop", |b| {
             b.iter(|| black_box(1 + 1));

@@ -44,7 +44,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
         unit_f64(self.next_u64()) < p
     }
 }
@@ -121,7 +124,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            SmallRng { s: [next(), next(), next(), next()] }
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 

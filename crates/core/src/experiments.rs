@@ -5,7 +5,8 @@
 //! `medsim-bench` are thin wrappers around these drivers.
 
 use crate::metrics::{EipcFactor, RunResult};
-use crate::sim::{SimConfig, Simulation};
+use crate::runner::{effective_jobs, run_grid_with, TraceCache};
+use crate::sim::SimConfig;
 use medsim_cpu::FetchPolicy;
 use medsim_mem::HierarchyKind;
 use medsim_workloads::trace::{InstStream, SimdIsa};
@@ -34,40 +35,67 @@ impl Curve {
     /// Figure of merit at a thread count, if present.
     #[must_use]
     pub fn at(&self, threads: usize) -> Option<f64> {
-        self.points.iter().find(|(t, _)| *t == threads).map(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, v)| *v)
     }
 }
 
-fn run_curve(
+/// One curve to produce: every `(isa, hierarchy, policy)` combination
+/// expands to the four thread-count runs of [`THREAD_COUNTS`].
+type CurveCombo = (SimdIsa, HierarchyKind, FetchPolicy);
+
+/// Run a batch of curves as **one grid**: all `combos × THREAD_COUNTS`
+/// configurations fan out through [`run_grid_with`] over a shared
+/// trace cache, and the flat results are folded back into [`Curve`]s in
+/// combo order.
+fn run_curves(
     spec: &WorkloadSpec,
-    isa: SimdIsa,
-    hierarchy: HierarchyKind,
-    policy: FetchPolicy,
+    combos: &[CurveCombo],
     factor: &EipcFactor,
-) -> Curve {
-    let mut points = Vec::new();
-    let mut runs = Vec::new();
-    for &threads in &THREAD_COUNTS {
-        let cfg = SimConfig::new(isa, threads)
-            .with_hierarchy(hierarchy)
-            .with_policy(policy)
-            .with_spec(*spec);
-        let r = Simulation::run(&cfg);
-        points.push((threads, r.figure_of_merit(factor)));
-        runs.push(r);
-    }
-    Curve { isa, hierarchy, policy, points, runs }
+    cache: &TraceCache,
+) -> Vec<Curve> {
+    let configs: Vec<SimConfig> = combos
+        .iter()
+        .flat_map(|&(isa, hierarchy, policy)| {
+            THREAD_COUNTS.iter().map(move |&threads| {
+                SimConfig::new(isa, threads)
+                    .with_hierarchy(hierarchy)
+                    .with_policy(policy)
+                    .with_spec(*spec)
+            })
+        })
+        .collect();
+    let results = run_grid_with(&configs, effective_jobs(configs.len()), cache);
+    combos
+        .iter()
+        .zip(results.chunks_exact(THREAD_COUNTS.len()))
+        .map(|(&(isa, hierarchy, policy), runs)| Curve {
+            isa,
+            hierarchy,
+            policy,
+            points: THREAD_COUNTS
+                .iter()
+                .zip(runs)
+                .map(|(&t, r)| (t, r.figure_of_merit(factor)))
+                .collect(),
+            runs: runs.to_vec(),
+        })
+        .collect()
 }
 
 /// Figure 4: performance with perfect cache — SMT+MMX IPC and SMT+MOM
 /// EIPC over 1/2/4/8 threads under the ideal memory system.
 #[must_use]
 pub fn fig4_ideal(spec: &WorkloadSpec) -> Vec<Curve> {
-    let factor = EipcFactor::compute(spec);
-    SimdIsa::ALL
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<CurveCombo> = SimdIsa::ALL
         .iter()
-        .map(|&isa| run_curve(spec, isa, HierarchyKind::Ideal, FetchPolicy::RoundRobin, &factor))
-        .collect()
+        .map(|&isa| (isa, HierarchyKind::Ideal, FetchPolicy::RoundRobin))
+        .collect();
+    run_curves(spec, &combos, &factor, &cache)
 }
 
 /// Figure 5: the same curves under the real (conventional) memory
@@ -81,21 +109,25 @@ pub struct Fig5 {
 }
 
 /// Run figure 5 (includes a figure-4 pass for the dashed reference
-/// curves).
+/// curves). The ideal and real sweeps form a single 16-run grid.
 #[must_use]
 pub fn fig5_real(spec: &WorkloadSpec) -> Fig5 {
-    let factor = EipcFactor::compute(spec);
-    let ideal = SimdIsa::ALL
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<CurveCombo> = [HierarchyKind::Ideal, HierarchyKind::Conventional]
         .iter()
-        .map(|&isa| run_curve(spec, isa, HierarchyKind::Ideal, FetchPolicy::RoundRobin, &factor))
-        .collect();
-    let real = SimdIsa::ALL
-        .iter()
-        .map(|&isa| {
-            run_curve(spec, isa, HierarchyKind::Conventional, FetchPolicy::RoundRobin, &factor)
+        .flat_map(|&h| {
+            SimdIsa::ALL
+                .iter()
+                .map(move |&isa| (isa, h, FetchPolicy::RoundRobin))
         })
         .collect();
-    Fig5 { ideal, real }
+    let mut curves = run_curves(spec, &combos, &factor, &cache);
+    let real = curves.split_off(SimdIsa::ALL.len());
+    Fig5 {
+        ideal: curves,
+        real,
+    }
 }
 
 /// One row of Table 4: cache behaviour vs thread count.
@@ -117,21 +149,24 @@ pub struct Table4Row {
 /// memory system with round-robin fetch.
 #[must_use]
 pub fn table4_cache(spec: &WorkloadSpec) -> Vec<Table4Row> {
-    let factor = EipcFactor::compute(spec);
-    let mut rows = Vec::new();
-    for &isa in &SimdIsa::ALL {
-        let curve = run_curve(spec, isa, HierarchyKind::Conventional, FetchPolicy::RoundRobin, &factor);
-        for r in &curve.runs {
-            rows.push(Table4Row {
-                isa,
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<CurveCombo> = SimdIsa::ALL
+        .iter()
+        .map(|&isa| (isa, HierarchyKind::Conventional, FetchPolicy::RoundRobin))
+        .collect();
+    run_curves(spec, &combos, &factor, &cache)
+        .iter()
+        .flat_map(|curve| {
+            curve.runs.iter().map(|r| Table4Row {
+                isa: curve.isa,
                 threads: r.threads,
                 icache_hit_rate: r.icache_hit_rate,
                 l1_hit_rate: r.l1_hit_rate,
                 l1_avg_latency: r.l1_avg_latency,
-            });
-        }
-    }
-    rows
+            })
+        })
+        .collect()
 }
 
 /// The policy set the paper plots per ISA (figure 6/8): OCOUNT only
@@ -139,7 +174,11 @@ pub fn table4_cache(spec: &WorkloadSpec) -> Vec<Table4Row> {
 #[must_use]
 pub fn policies_for(isa: SimdIsa) -> Vec<FetchPolicy> {
     match isa {
-        SimdIsa::Mmx => vec![FetchPolicy::RoundRobin, FetchPolicy::ICount, FetchPolicy::Balance],
+        SimdIsa::Mmx => vec![
+            FetchPolicy::RoundRobin,
+            FetchPolicy::ICount,
+            FetchPolicy::Balance,
+        ],
         SimdIsa::Mom => FetchPolicy::ALL.to_vec(),
     }
 }
@@ -148,32 +187,36 @@ pub fn policies_for(isa: SimdIsa) -> Vec<FetchPolicy> {
 /// (figure 6 = conventional, figure 8 = decoupled).
 #[must_use]
 pub fn fig_fetch_policies(spec: &WorkloadSpec, hierarchy: HierarchyKind) -> Vec<Curve> {
-    let factor = EipcFactor::compute(spec);
-    let mut curves = Vec::new();
-    for &isa in &SimdIsa::ALL {
-        for policy in policies_for(isa) {
-            curves.push(run_curve(spec, isa, hierarchy, policy, &factor));
-        }
-    }
-    curves
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<CurveCombo> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| {
+            policies_for(isa)
+                .into_iter()
+                .map(move |p| (isa, hierarchy, p))
+        })
+        .collect();
+    run_curves(spec, &combos, &factor, &cache)
 }
 
 /// Figure 9: ideal vs conventional vs decoupled hierarchies, with the
 /// best policy per ISA (ICOUNT for MMX, OCOUNT for MOM, per §5.4).
 #[must_use]
 pub fn fig9_hierarchy(spec: &WorkloadSpec) -> Vec<Curve> {
-    let factor = EipcFactor::compute(spec);
-    let mut curves = Vec::new();
-    for &isa in &SimdIsa::ALL {
-        let policy = match isa {
-            SimdIsa::Mmx => FetchPolicy::ICount,
-            SimdIsa::Mom => FetchPolicy::OCount,
-        };
-        for &h in &HierarchyKind::ALL {
-            curves.push(run_curve(spec, isa, h, policy, &factor));
-        }
-    }
-    curves
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<CurveCombo> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| {
+            let policy = match isa {
+                SimdIsa::Mmx => FetchPolicy::ICount,
+                SimdIsa::Mom => FetchPolicy::OCount,
+            };
+            HierarchyKind::ALL.iter().map(move |&h| (isa, h, policy))
+        })
+        .collect();
+    run_curves(spec, &combos, &factor, &cache)
 }
 
 /// The headline numbers of the abstract: SMT speedups at 8 threads over
@@ -238,15 +281,20 @@ pub struct Table3Row {
 /// generated by walking the traces (no timing simulation needed).
 #[must_use]
 pub fn table3_breakdown(spec: &WorkloadSpec) -> Vec<Table3Row> {
+    let cache = TraceCache::from_env();
     let mut rows = Vec::new();
     for (slot, &b) in Benchmark::PAPER_ORDER.iter().enumerate().take(7) {
         for &isa in &SimdIsa::ALL {
             let mut mix = InstMix::default();
-            let mut s = b.stream(slot, isa, spec);
+            let mut s = cache.stream_for(spec, slot, isa);
             while let Some(i) = s.next_inst() {
                 mix.record(&i);
             }
-            rows.push(Table3Row { benchmark: b, isa, breakdown: mix.breakdown() });
+            rows.push(Table3Row {
+                benchmark: b,
+                isa,
+                breakdown: mix.breakdown(),
+            });
         }
     }
     rows
@@ -256,9 +304,10 @@ pub fn table3_breakdown(spec: &WorkloadSpec) -> Vec<Table3Row> {
 /// the §4.2 reduction claims).
 #[must_use]
 pub fn table3_suite_mix(spec: &WorkloadSpec, isa: SimdIsa) -> InstMix {
+    let cache = TraceCache::from_env();
     let mut total = InstMix::default();
-    for (slot, &b) in Benchmark::PAPER_ORDER.iter().enumerate() {
-        let mut s = b.stream(slot, isa, spec);
+    for slot in 0..Benchmark::PAPER_ORDER.len() {
+        let mut s = cache.stream_for(spec, slot, isa);
         while let Some(i) = s.next_inst() {
             total.record(&i);
         }
@@ -271,7 +320,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> WorkloadSpec {
-        WorkloadSpec { scale: 1.5e-5, seed: 11 }
+        WorkloadSpec {
+            scale: 1.5e-5,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -281,7 +333,11 @@ mod tests {
         for c in &curves {
             assert_eq!(c.points.len(), 4);
             assert!(c.at(1).unwrap() > 0.0);
-            assert!(c.at(8).unwrap() > c.at(1).unwrap(), "SMT scales under ideal memory ({:?})", c.isa);
+            assert!(
+                c.at(8).unwrap() > c.at(1).unwrap(),
+                "SMT scales under ideal memory ({:?})",
+                c.isa
+            );
         }
     }
 
@@ -319,6 +375,9 @@ mod tests {
         let h = headline(&curves);
         assert!(h.baseline_ipc > 0.0);
         assert!(h.mmx_speedup > 1.0, "8 threads beat 1: {}", h.mmx_speedup);
-        assert!(h.mom_speedup > h.mmx_speedup * 0.8, "MOM in the same league");
+        assert!(
+            h.mom_speedup > h.mmx_speedup * 0.8,
+            "MOM in the same league"
+        );
     }
 }

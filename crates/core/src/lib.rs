@@ -9,8 +9,12 @@
 //!   processor and memory hierarchy;
 //! * [`metrics`] — IPC, the **EIPC** metric for cross-ISA comparison
 //!   (`EIPC = (I_MMX / I_MOM) × IPC_MOM`, §5.1), and speedups;
+//! * [`runner`] — the parallel experiment engine: [`runner::run_grid`]
+//!   fans a grid of configurations out across OS threads over a shared
+//!   memoized trace cache, bit-identical to serial execution;
 //! * [`experiments`] — one driver per table/figure of the paper's
-//!   evaluation (Tables 1–4, Figures 4–6, 8, 9);
+//!   evaluation (Tables 1–4, Figures 4–6, 8, 9), all routed through the
+//!   grid runner;
 //! * [`report`] — plain-text rendering of the experiment results in the
 //!   paper's table shapes.
 //!
@@ -31,7 +35,9 @@
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod runner;
 pub mod sim;
 
 pub use metrics::{EipcFactor, RunResult};
+pub use runner::{run_grid, TraceCache};
 pub use sim::{SimConfig, Simulation};

@@ -38,11 +38,19 @@ impl EipcFactor {
     /// per ISA; cache the result across experiments.
     #[must_use]
     pub fn compute(spec: &WorkloadSpec) -> Self {
+        EipcFactor::compute_cached(spec, &crate::runner::TraceCache::disabled())
+    }
+
+    /// [`EipcFactor::compute`] drawing traces through `cache`, so a
+    /// grid driver pays for trace generation once across the factor
+    /// computation and all of its runs.
+    #[must_use]
+    pub fn compute_cached(spec: &WorkloadSpec, cache: &crate::runner::TraceCache) -> Self {
         let total = |isa: SimdIsa| -> u64 {
             let mut sum = 0u64;
-            for (slot, b) in Benchmark::PAPER_ORDER.iter().enumerate() {
+            for slot in 0..Benchmark::PAPER_ORDER.len() {
                 let mut mix = InstMix::default();
-                let mut s = b.stream(slot, isa, spec);
+                let mut s = cache.stream_for(spec, slot, isa);
                 while let Some(i) = s.next_inst() {
                     mix.record(&i);
                 }
@@ -50,7 +58,10 @@ impl EipcFactor {
             }
             sum
         };
-        EipcFactor { mmx_insts: total(SimdIsa::Mmx), mom_insts: total(SimdIsa::Mom) }
+        EipcFactor {
+            mmx_insts: total(SimdIsa::Mmx),
+            mom_insts: total(SimdIsa::Mom),
+        }
     }
 
     /// The ratio `I_MMX / I_MOM` (≈ 1429/1087 ≈ 1.31 in the paper).
@@ -148,16 +159,27 @@ mod tests {
     fn eipc_factor_is_above_one() {
         // MOM fuses instructions: the suite needs fewer of them, so the
         // MMX/MOM ratio exceeds 1 (paper: ≈1.31).
-        let spec = WorkloadSpec { scale: 2e-5, seed: 7 };
+        let spec = WorkloadSpec {
+            scale: 2e-5,
+            seed: 7,
+        };
         let f = EipcFactor::compute(&spec);
-        assert!(f.mmx_insts > f.mom_insts, "{} vs {}", f.mmx_insts, f.mom_insts);
+        assert!(
+            f.mmx_insts > f.mom_insts,
+            "{} vs {}",
+            f.mmx_insts,
+            f.mom_insts
+        );
         let r = f.ratio();
         assert!(r > 1.05 && r < 2.0, "ratio {r}");
     }
 
     #[test]
     fn figure_of_merit_scales_mom_by_the_factor() {
-        let f = EipcFactor { mmx_insts: 1429, mom_insts: 1087 };
+        let f = EipcFactor {
+            mmx_insts: 1429,
+            mom_insts: 1087,
+        };
         let mk = |isa: SimdIsa| RunResult {
             isa,
             threads: 1,
@@ -175,7 +197,10 @@ mod tests {
             mem_stalls: 0,
         };
         let mmx = mk(SimdIsa::Mmx);
-        assert!((mmx.figure_of_merit(&f) - 3.0).abs() < 1e-12, "MMX: plain equivalent IPC");
+        assert!(
+            (mmx.figure_of_merit(&f) - 3.0).abs() < 1e-12,
+            "MMX: plain equivalent IPC"
+        );
         let mom = mk(SimdIsa::Mom);
         let expect = 1429.0 / 1087.0 * 3.0;
         assert!((mom.figure_of_merit(&f) - expect).abs() < 1e-12);

@@ -40,11 +40,22 @@ pub fn format_curves(title: &str, curves: &[Curve]) -> String {
 pub fn format_table2() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Table 2: multiprogrammed workload ==");
-    let _ = writeln!(out, "{:<10} {:<55} {:<42} {}", "program", "description", "data set", "characteristics");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<55} {:<42} characteristics",
+        "program", "description", "data set"
+    );
     for b in Benchmark::ALL {
         let instances = Benchmark::PAPER_ORDER.iter().filter(|&&x| x == b).count();
         let name = format!("{} x{}", b.name(), instances);
-        let _ = writeln!(out, "{:<10} {:<55} {:<42} {}", name, b.description(), b.data_set(), b.characteristics());
+        let _ = writeln!(
+            out,
+            "{:<10} {:<55} {:<42} {}",
+            name,
+            b.description(),
+            b.data_set(),
+            b.characteristics()
+        );
     }
     out
 }
@@ -74,8 +85,15 @@ pub fn format_table3(rows: &[Table3Row], suite_mmx: u64, suite_mom: u64) -> Stri
             r.benchmark.paper_minsts(r.isa),
         );
     }
-    let _ = writeln!(out, "suite totals: MMX {suite_mmx} / MOM {suite_mom} (paper: 1429M / 1087M, ratio 1.31)");
-    let _ = writeln!(out, "model ratio: {:.2}", suite_mmx as f64 / suite_mom.max(1) as f64);
+    let _ = writeln!(
+        out,
+        "suite totals: MMX {suite_mmx} / MOM {suite_mom} (paper: 1429M / 1087M, ratio 1.31)"
+    );
+    let _ = writeln!(
+        out,
+        "model ratio: {:.2}",
+        suite_mmx as f64 / suite_mom.max(1) as f64
+    );
     out
 }
 
@@ -83,7 +101,10 @@ pub fn format_table3(rows: &[Table3Row], suite_mmx: u64, suite_mom: u64) -> Stri
 #[must_use]
 pub fn format_table4(rows: &[Table4Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 4: cache behaviour under the real memory system ==");
+    let _ = writeln!(
+        out,
+        "== Table 4: cache behaviour under the real memory system =="
+    );
     let _ = write!(out, "{:<24}", "metric / ISA");
     for t in THREAD_COUNTS {
         let _ = write!(out, "{t:>9} thr");
@@ -123,13 +144,40 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
 #[must_use]
 pub fn format_headline(h: &Headline, factor: &EipcFactor) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Headline (paper: MMX 2.1x, MOM 3.3x; degradation 30% / 15%) ==");
-    let _ = writeln!(out, "baseline 1-thread MMX IPC          : {:.2}", h.baseline_ipc);
-    let _ = writeln!(out, "SMT+MMX 8-thread speedup           : {:.2}x", h.mmx_speedup);
-    let _ = writeln!(out, "SMT+MOM 8-thread EIPC speedup      : {:.2}x", h.mom_speedup);
-    let _ = writeln!(out, "MMX degradation vs ideal memory    : {:.0}%", h.mmx_degradation * 100.0);
-    let _ = writeln!(out, "MOM degradation vs ideal memory    : {:.0}%", h.mom_degradation * 100.0);
-    let _ = writeln!(out, "workload instruction ratio I_MMX/I_MOM: {:.2} (paper 1.31)", factor.ratio());
+    let _ = writeln!(
+        out,
+        "== Headline (paper: MMX 2.1x, MOM 3.3x; degradation 30% / 15%) =="
+    );
+    let _ = writeln!(
+        out,
+        "baseline 1-thread MMX IPC          : {:.2}",
+        h.baseline_ipc
+    );
+    let _ = writeln!(
+        out,
+        "SMT+MMX 8-thread speedup           : {:.2}x",
+        h.mmx_speedup
+    );
+    let _ = writeln!(
+        out,
+        "SMT+MOM 8-thread EIPC speedup      : {:.2}x",
+        h.mom_speedup
+    );
+    let _ = writeln!(
+        out,
+        "MMX degradation vs ideal memory    : {:.0}%",
+        h.mmx_degradation * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "MOM degradation vs ideal memory    : {:.0}%",
+        h.mom_degradation * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "workload instruction ratio I_MMX/I_MOM: {:.2} (paper 1.31)",
+        factor.ratio()
+    );
     out
 }
 
@@ -151,7 +199,10 @@ mod tests {
 
     #[test]
     fn curves_table_contains_all_columns() {
-        let s = format_curves("Figure 4", &[fake_curve(SimdIsa::Mmx), fake_curve(SimdIsa::Mom)]);
+        let s = format_curves(
+            "Figure 4",
+            &[fake_curve(SimdIsa::Mmx), fake_curve(SimdIsa::Mom)],
+        );
         assert!(s.contains("Figure 4"));
         assert!(s.contains("MMX"));
         assert!(s.contains("MOM"));
@@ -165,7 +216,10 @@ mod tests {
         for b in Benchmark::ALL {
             assert!(s.contains(b.name()), "{}", b.name());
         }
-        assert!(s.contains("mpeg2dec x2"), "MPEG-2 decode appears twice in the list");
+        assert!(
+            s.contains("mpeg2dec x2"),
+            "MPEG-2 decode appears twice in the list"
+        );
     }
 
     #[test]
@@ -177,7 +231,10 @@ mod tests {
             mmx_degradation: 0.3,
             mom_degradation: 0.15,
         };
-        let f = EipcFactor { mmx_insts: 1429, mom_insts: 1087 };
+        let f = EipcFactor {
+            mmx_insts: 1429,
+            mom_insts: 1087,
+        };
         let s = format_headline(&h, &f);
         assert!(s.contains("2.10x"));
         assert!(s.contains("3.30x"));

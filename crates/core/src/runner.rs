@@ -1,0 +1,308 @@
+//! The parallel experiment engine.
+//!
+//! The paper's evaluation is a grid: every figure/table sweeps
+//! `(μ-SIMD ISA × {1,2,4,8} threads × hierarchy × fetch policy)`. Each
+//! grid point is an independent simulation, so [`run_grid`] fans the
+//! points out across OS threads with a work-stealing index and collects
+//! the results back **in input order** — bit-identical to running each
+//! config through [`Simulation::run`] serially (enforced by the
+//! `grid_equivalence` integration tests).
+//!
+//! The second lever is the [`TraceCache`]: all grid points over one
+//! [`WorkloadSpec`] consume the same eight program traces, and trace
+//! generation is a large fraction of small-scale runs. The cache
+//! memoizes each fully materialized trace behind an [`Arc`] keyed by
+//! `(slot, isa, spec)` so it is synthesized once per grid instead of
+//! once per run, and replayed by an allocation-free cursor stream.
+//!
+//! Environment knobs:
+//!
+//! * `MEDSIM_JOBS` — worker threads (default: available parallelism);
+//! * `MEDSIM_TRACE_CACHE` — set to `0` to disable trace memoization;
+//! * `MEDSIM_TRACE_CACHE_MAX_INSTS` — per-trace memoization ceiling in
+//!   instructions (default 4,000,000 ≈ a few hundred MB at full
+//!   workload scale); longer traces fall back to streamed generation.
+
+use crate::metrics::RunResult;
+use crate::sim::{SimConfig, Simulation};
+use medsim_isa::Inst;
+use medsim_workloads::trace::{InstStream, SimdIsa};
+use medsim_workloads::{Workload, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key of one memoized program trace. The workload scale enters via
+/// its exact bit pattern: a trace is only ever shared between runs
+/// whose specs are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TraceKey {
+    slot: usize,
+    isa: SimdIsa,
+    scale_bits: u64,
+    seed: u64,
+}
+
+impl TraceKey {
+    fn new(spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> Self {
+        TraceKey {
+            // Streams cycle through the eight-entry program list, so
+            // slot 8 replays slot 0's trace (§5.1).
+            slot: slot % 8,
+            isa,
+            scale_bits: spec.scale.to_bits(),
+            seed: spec.seed,
+        }
+    }
+}
+
+/// Replays a memoized trace: an index walking a shared `Arc<[Inst]>` —
+/// no per-instruction work beyond a bounds check.
+struct CachedStream {
+    trace: Arc<Vec<Inst>>,
+    pos: usize,
+}
+
+impl InstStream for CachedStream {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let inst = self.trace.get(self.pos).copied();
+        self.pos += inst.is_some() as usize;
+        inst
+    }
+}
+
+/// Memoizes fully materialized program traces per `(slot, isa, spec)`.
+///
+/// Shared across the workers of a grid (and usable across grids over
+/// the same spec). Thread-safe; concurrent misses on the same key may
+/// generate the trace twice, but the generators are deterministic so
+/// either result is identical and one wins the insert.
+#[derive(Debug)]
+pub struct TraceCache {
+    enabled: bool,
+    max_insts: u64,
+    map: Mutex<HashMap<TraceKey, Arc<Vec<Inst>>>>,
+}
+
+impl TraceCache {
+    /// A cache configured from the environment (see module docs).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("MEDSIM_TRACE_CACHE").map_or(true, |v| v != "0");
+        let max_insts = std::env::var("MEDSIM_TRACE_CACHE_MAX_INSTS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(4_000_000);
+        TraceCache {
+            enabled,
+            max_insts,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A cache that never memoizes (every stream is generated afresh).
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceCache {
+            enabled: false,
+            max_insts: 0,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the cache lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The instruction stream for program-list `slot` under `isa`,
+    /// memoized when enabled and the estimated trace length is within
+    /// the ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the cache lock.
+    #[must_use]
+    pub fn stream_for(
+        &self,
+        spec: &WorkloadSpec,
+        slot: usize,
+        isa: SimdIsa,
+    ) -> Box<dyn InstStream> {
+        let workload = Workload::new(*spec);
+        if !self.enabled || !self.should_memoize(spec, slot, isa) {
+            return workload.stream_for_slot(slot, isa);
+        }
+        let key = TraceKey::new(spec, slot, isa);
+        if let Some(trace) = self.map.lock().expect("trace cache poisoned").get(&key) {
+            return Box::new(CachedStream {
+                trace: Arc::clone(trace),
+                pos: 0,
+            });
+        }
+        // Materialize outside the lock: generation can take a while and
+        // other workers may need other traces meanwhile.
+        let mut source = workload.stream_for_slot(slot, isa);
+        let mut insts = Vec::new();
+        while let Some(i) = source.next_inst() {
+            insts.push(i);
+        }
+        let trace = Arc::new(insts);
+        let mut map = self.map.lock().expect("trace cache poisoned");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&trace));
+        Box::new(CachedStream {
+            trace: Arc::clone(entry),
+            pos: 0,
+        })
+    }
+
+    /// Memoize only traces whose estimated dynamic length (from the
+    /// paper's Table-3 instruction counts, scaled) fits the ceiling —
+    /// full-scale runs stream their multi-hundred-million instruction
+    /// traces instead of holding them resident.
+    fn should_memoize(&self, spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> bool {
+        let benchmark = Workload::slot_benchmark(slot);
+        let estimated = benchmark.paper_minsts(isa) * 1.0e6 * spec.scale;
+        estimated <= self.max_insts as f64
+    }
+}
+
+/// Worker-thread count for a grid of `n_configs` runs: `MEDSIM_JOBS`
+/// if set, else the machine's available parallelism, capped at the
+/// number of runs.
+#[must_use]
+pub fn effective_jobs(n_configs: usize) -> usize {
+    let jobs = std::env::var("MEDSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&j| j > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    jobs.min(n_configs).max(1)
+}
+
+/// Run every configuration and return the results in input order.
+///
+/// Fans out across OS threads (see [`effective_jobs`]) with a shared
+/// [`TraceCache`]. Results are bit-identical to mapping
+/// [`Simulation::run`] over the slice serially.
+#[must_use]
+pub fn run_grid(configs: &[SimConfig]) -> Vec<RunResult> {
+    let cache = TraceCache::from_env();
+    run_grid_with(configs, effective_jobs(configs.len()), &cache)
+}
+
+/// [`run_grid`] with explicit worker count and trace cache.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a panicking simulation run
+/// aborts the grid).
+#[must_use]
+pub fn run_grid_with(configs: &[SimConfig], jobs: usize, cache: &TraceCache) -> Vec<RunResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    if jobs <= 1 || configs.len() == 1 {
+        return configs
+            .iter()
+            .map(|c| Simulation::run_cached(c, cache))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(configs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(configs.len()) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(config) = configs.get(idx) else {
+                    break;
+                };
+                let result = Simulation::run_cached(config, cache);
+                done.lock()
+                    .expect("result sink poisoned")
+                    .push((idx, result));
+            });
+        }
+    });
+    let mut indexed = done.into_inner().expect("result sink poisoned");
+    indexed.sort_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(indexed.len(), configs.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_workloads::WorkloadSpec;
+
+    fn tiny() -> WorkloadSpec {
+        WorkloadSpec {
+            scale: 1.5e-5,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn cached_streams_replay_generated_streams() {
+        let spec = tiny();
+        let cache = TraceCache::from_env();
+        for isa in SimdIsa::ALL {
+            for slot in 0..8 {
+                let mut fresh = Workload::new(spec).stream_for_slot(slot, isa);
+                let mut cached = cache.stream_for(&spec, slot, isa);
+                let mut n = 0u64;
+                loop {
+                    let (a, b) = (fresh.next_inst(), cached.next_inst());
+                    assert_eq!(a, b, "{isa} slot {slot} inst {n}");
+                    if a.is_none() {
+                        break;
+                    }
+                    n += 1;
+                }
+                assert!(n > 0);
+            }
+        }
+        assert_eq!(cache.len(), 16, "2 ISAs x 8 slots memoized");
+    }
+
+    #[test]
+    fn cycling_slots_share_cache_entries() {
+        let spec = tiny();
+        let cache = TraceCache::from_env();
+        let _ = cache.stream_for(&spec, 0, SimdIsa::Mmx);
+        let _ = cache.stream_for(&spec, 8, SimdIsa::Mmx);
+        assert_eq!(cache.len(), 1, "slot 8 replays slot 0 (§5.1 cycling)");
+    }
+
+    #[test]
+    fn oversized_traces_are_not_memoized() {
+        let spec = WorkloadSpec {
+            scale: 1.0,
+            seed: 1,
+        };
+        let cache = TraceCache::from_env();
+        assert!(
+            !cache.should_memoize(&spec, 0, SimdIsa::Mmx),
+            "full-scale mpeg2enc (~640M insts) must stream"
+        );
+        assert!(cache.should_memoize(&tiny(), 0, SimdIsa::Mmx));
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_grid(&[]).is_empty());
+    }
+}

@@ -10,10 +10,11 @@
 //! allowed by the machine."*
 
 use crate::metrics::RunResult;
+use crate::runner::TraceCache;
 use medsim_cpu::{Cpu, CpuConfig, FetchPolicy};
 use medsim_mem::{HierarchyKind, MemConfig, MemSystem};
 use medsim_workloads::trace::SimdIsa;
-use medsim_workloads::{Workload, WorkloadSpec};
+use medsim_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulation run.
@@ -103,12 +104,28 @@ const PROGRAMS_TO_COMPLETE: usize = 8;
 impl Simulation {
     /// Execute one run and collect its metrics.
     ///
+    /// Equivalent to [`Simulation::run_cached`] with a run-local trace
+    /// cache: program slots that cycle back to the same list entry
+    /// replay the memoized trace instead of regenerating it.
+    ///
     /// # Panics
     ///
     /// Panics if the run exceeds `config.max_cycles` (indicates a
     /// deadlocked model — should never happen).
     #[must_use]
     pub fn run(config: &SimConfig) -> RunResult {
+        Simulation::run_cached(config, &TraceCache::from_env())
+    }
+
+    /// Execute one run, drawing program traces through `cache` (shared
+    /// by [`crate::runner::run_grid`] across a whole grid of runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `config.max_cycles` (indicates a
+    /// deadlocked model — should never happen).
+    #[must_use]
+    pub fn run_cached(config: &SimConfig, cache: &TraceCache) -> RunResult {
         let mem_config = config
             .mem_override
             .clone()
@@ -117,12 +134,14 @@ impl Simulation {
         let cpu_config =
             CpuConfig::paper(config.threads, config.isa).with_policy(config.fetch_policy);
         let mut cpu = Cpu::new(cpu_config, mem);
-        let workload = Workload::new(config.spec);
 
         let stream_for = |slot: usize| -> Box<dyn medsim_workloads::trace::InstStream> {
-            let s = workload.stream_for_slot(slot, config.isa);
+            let s = cache.stream_for(&config.spec, slot, config.isa);
             if config.max_stream_len < medsim_isa::MAX_STREAM_LEN {
-                Box::new(medsim_workloads::trace::ClampStream::new(s, config.max_stream_len))
+                Box::new(medsim_workloads::trace::ClampStream::new(
+                    s,
+                    config.max_stream_len,
+                ))
             } else {
                 s
             }
@@ -140,20 +159,19 @@ impl Simulation {
         loop {
             cpu.cycle();
             // Refill drained contexts with the next program in the list.
-            for tid in 0..n {
+            for (tid, slot) in ctx_slot.iter_mut().enumerate() {
                 if !cpu.thread_idle(tid) {
                     continue;
                 }
-                let slot = ctx_slot[tid];
-                if slot < PROGRAMS_TO_COMPLETE {
-                    completed[slot] = true;
+                if *slot < PROGRAMS_TO_COMPLETE {
+                    completed[*slot] = true;
                 }
                 cpu.note_program_completed(tid);
                 if all_done(&completed) {
                     continue;
                 }
                 cpu.attach_thread(tid, stream_for(next_slot));
-                ctx_slot[tid] = next_slot;
+                *slot = next_slot;
                 next_slot += 1;
             }
             if all_done(&completed) {
@@ -175,7 +193,10 @@ mod tests {
     use super::*;
 
     fn tiny_spec() -> WorkloadSpec {
-        WorkloadSpec { scale: 2e-5, seed: 42 }
+        WorkloadSpec {
+            scale: 2e-5,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -183,7 +204,11 @@ mod tests {
         let cfg = SimConfig::new(SimdIsa::Mmx, 1).with_spec(tiny_spec());
         let r = Simulation::run(&cfg);
         assert!(r.cycles > 0);
-        assert!(r.programs_completed >= 8, "all list entries ran: {}", r.programs_completed);
+        assert!(
+            r.programs_completed >= 8,
+            "all list entries ran: {}",
+            r.programs_completed
+        );
         assert!(r.ipc() > 0.5, "IPC {}", r.ipc());
     }
 

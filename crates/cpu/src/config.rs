@@ -23,8 +23,12 @@ pub enum FetchPolicy {
 
 impl FetchPolicy {
     /// All policies in figure-6 presentation order.
-    pub const ALL: [FetchPolicy; 4] =
-        [FetchPolicy::RoundRobin, FetchPolicy::ICount, FetchPolicy::OCount, FetchPolicy::Balance];
+    pub const ALL: [FetchPolicy; 4] = [
+        FetchPolicy::RoundRobin,
+        FetchPolicy::ICount,
+        FetchPolicy::OCount,
+        FetchPolicy::Balance,
+    ];
 
     /// Short label used in experiment output (paper's abbreviations).
     #[must_use]
@@ -222,7 +226,11 @@ mod tests {
     #[test]
     fn paper_widths_match_section3() {
         let mmx = CpuConfig::paper(8, SimdIsa::Mmx);
-        assert_eq!(mmx.fetch_threads * mmx.fetch_width, 8, "fetch up to 8 per cycle");
+        assert_eq!(
+            mmx.fetch_threads * mmx.fetch_width,
+            8,
+            "fetch up to 8 per cycle"
+        );
         assert_eq!(mmx.int_issue, 4);
         assert_eq!(mmx.mem_issue, 4);
         assert_eq!(mmx.fp_issue, 4);

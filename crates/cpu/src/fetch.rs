@@ -36,7 +36,14 @@ pub fn select_threads(
     vector_pipe_empty: bool,
 ) -> Vec<usize> {
     let mut picked = Vec::new();
-    select_threads_into(policy, infos, rr_cursor, n_select, vector_pipe_empty, &mut picked);
+    select_threads_into(
+        policy,
+        infos,
+        rr_cursor,
+        n_select,
+        vector_pipe_empty,
+        &mut picked,
+    );
     picked
 }
 
@@ -53,7 +60,11 @@ pub fn select_threads_into(
     let n = infos.len();
     // Runnable threads in round-robin order starting at the cursor.
     picked.clear();
-    picked.extend((0..n).map(|i| (rr_cursor + i) % n).filter(|&t| infos[t].runnable));
+    picked.extend(
+        (0..n)
+            .map(|i| (rr_cursor + i) % n)
+            .filter(|&t| infos[t].runnable),
+    );
     match policy {
         FetchPolicy::RoundRobin => {}
         FetchPolicy::ICount => {
@@ -84,25 +95,46 @@ mod tests {
     use super::*;
 
     fn runnable(n: usize) -> Vec<ThreadFetchInfo> {
-        vec![ThreadFetchInfo { runnable: true, ..Default::default() }; n]
+        vec![
+            ThreadFetchInfo {
+                runnable: true,
+                ..Default::default()
+            };
+            n
+        ]
     }
 
     #[test]
     fn round_robin_rotates() {
         let infos = runnable(4);
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false), vec![0, 1]);
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 2, 2, false), vec![2, 3]);
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 3, 2, false), vec![3, 0]);
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false),
+            vec![0, 1]
+        );
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 2, 2, false),
+            vec![2, 3]
+        );
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 3, 2, false),
+            vec![3, 0]
+        );
     }
 
     #[test]
     fn non_runnable_threads_skipped() {
         let mut infos = runnable(4);
         infos[1].runnable = false;
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false), vec![0, 2]);
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false),
+            vec![0, 2]
+        );
         infos[0].runnable = false;
         infos[2].runnable = false;
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false), vec![3]);
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false),
+            vec![3]
+        );
     }
 
     #[test]
@@ -113,9 +145,15 @@ mod tests {
         infos[2].icount = 12;
         infos[3].icount = 5;
         // ties (1 and 3) keep round-robin order from cursor 0
-        assert_eq!(select_threads(FetchPolicy::ICount, &infos, 0, 2, false), vec![1, 3]);
+        assert_eq!(
+            select_threads(FetchPolicy::ICount, &infos, 0, 2, false),
+            vec![1, 3]
+        );
         // from cursor 3, thread 3 precedes thread 1 among ties
-        assert_eq!(select_threads(FetchPolicy::ICount, &infos, 3, 2, false), vec![3, 1]);
+        assert_eq!(
+            select_threads(FetchPolicy::ICount, &infos, 3, 2, false),
+            vec![3, 1]
+        );
     }
 
     #[test]
@@ -125,8 +163,14 @@ mod tests {
         infos[0].ocount = 4;
         infos[1].icount = 2; // two full streams: ICOUNT would prefer this
         infos[1].ocount = 32;
-        assert_eq!(select_threads(FetchPolicy::ICount, &infos, 0, 1, false), vec![1]);
-        assert_eq!(select_threads(FetchPolicy::OCount, &infos, 0, 1, false), vec![0]);
+        assert_eq!(
+            select_threads(FetchPolicy::ICount, &infos, 0, 1, false),
+            vec![1]
+        );
+        assert_eq!(
+            select_threads(FetchPolicy::OCount, &infos, 0, 1, false),
+            vec![0]
+        );
     }
 
     #[test]
@@ -136,15 +180,27 @@ mod tests {
         infos[1].fetched_vector_last = false;
         infos[2].fetched_vector_last = true;
         // Vector pipe empty: vector-fetching threads first.
-        assert_eq!(select_threads(FetchPolicy::Balance, &infos, 0, 2, true), vec![0, 2]);
+        assert_eq!(
+            select_threads(FetchPolicy::Balance, &infos, 0, 2, true),
+            vec![0, 2]
+        );
         // Vector pipe busy: scalar threads first.
-        assert_eq!(select_threads(FetchPolicy::Balance, &infos, 0, 2, false)[0], 1);
+        assert_eq!(
+            select_threads(FetchPolicy::Balance, &infos, 0, 2, false)[0],
+            1
+        );
     }
 
     #[test]
     fn selection_bounded_by_n_select() {
         let infos = runnable(8);
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false).len(), 2);
-        assert_eq!(select_threads(FetchPolicy::RoundRobin, &infos, 0, 8, false).len(), 8);
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 0, 2, false).len(),
+            2
+        );
+        assert_eq!(
+            select_threads(FetchPolicy::RoundRobin, &infos, 0, 8, false).len(),
+            8
+        );
     }
 }

@@ -271,7 +271,9 @@ impl Cpu {
             }
         }
         let Some(wake) = wake else { return };
-        let Some(skipped) = wake.checked_sub(self.now) else { return };
+        let Some(skipped) = wake.checked_sub(self.now) else {
+            return;
+        };
         if skipped == 0 {
             return;
         }
@@ -296,7 +298,9 @@ impl Cpu {
     fn dispatch_stall_profile(&self) -> (u64, u64, u64) {
         let (mut rob, mut queue, mut reg) = (0u64, 0u64, 0u64);
         for (tid, t) in self.threads.iter().enumerate() {
-            let Some(inst) = t.decode_buf.front() else { continue };
+            let Some(inst) = t.decode_buf.front() else {
+                continue;
+            };
             if self.robs[tid].len() >= self.config.sizing.rob_per_thread {
                 rob += 1;
             } else if self.queues[Self::queue_idx(inst.queue())].len()
@@ -336,7 +340,9 @@ impl Cpu {
             }
             self.completions.pop();
             processed += 1;
-            let d = self.slab[id as usize].as_mut().expect("completing instruction exists");
+            let d = self.slab[id as usize]
+                .as_mut()
+                .expect("completing instruction exists");
             debug_assert_eq!(d.state, InstState::Executing);
             d.state = InstState::Done;
             let tid = d.tid;
@@ -351,8 +357,7 @@ impl Cpu {
             // Branch resolution unblocks fetch (plus redirect penalty).
             if mispredicted && self.threads[tid].blocked_on_branch == Some(id) {
                 self.threads[tid].blocked_on_branch = None;
-                self.threads[tid].fetch_blocked_until =
-                    self.now + self.config.mispredict_penalty;
+                self.threads[tid].fetch_blocked_until = self.now + self.config.mispredict_penalty;
             }
         }
         processed
@@ -366,9 +371,14 @@ impl Cpu {
         for off in 0..n {
             let tid = (self.rr_cursor + off) % n;
             while budget > 0 {
-                let Some(&head) = self.robs[tid].front() else { break };
+                let Some(&head) = self.robs[tid].front() else {
+                    break;
+                };
                 let done = matches!(
-                    self.slab[head as usize].as_ref().expect("rob entry exists").state,
+                    self.slab[head as usize]
+                        .as_ref()
+                        .expect("rob entry exists")
+                        .state,
                     InstState::Done
                 );
                 if !done {
@@ -463,9 +473,14 @@ impl Cpu {
                 }
             }
             Op::Mom(o) => {
-                let base = if o.is_mul() { self.config.lat_simd_mul } else { 1 };
-                let occupancy =
-                    Cycle::from(inst.slen).div_ceil(self.config.vector_lanes as u64).max(1);
+                let base = if o.is_mul() {
+                    self.config.lat_simd_mul
+                } else {
+                    1
+                };
+                let occupancy = Cycle::from(inst.slen)
+                    .div_ceil(self.config.vector_lanes as u64)
+                    .max(1);
                 occupancy + base - 1
             }
             Op::Mem(_) => unreachable!("memory ops issue via issue_mem"),
@@ -498,7 +513,9 @@ impl Cpu {
                 break;
             }
             let id = self.queues[qi][pos];
-            let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
+            let d = self.slab[id as usize]
+                .as_ref()
+                .expect("queued instruction exists");
             if d.state != InstState::InQueue || !self.sources_ready(d) {
                 self.queues[qi][write] = id;
                 write += 1;
@@ -524,9 +541,12 @@ impl Cpu {
                     .max(1);
                 self.media_unit_free = self.now + occupancy;
             }
-            let d = self.slab[id as usize].as_mut().expect("queued instruction exists");
+            let d = self.slab[id as usize]
+                .as_mut()
+                .expect("queued instruction exists");
             d.state = InstState::Executing;
-            self.completions.push((std::cmp::Reverse(self.now + lat), id));
+            self.completions
+                .push((std::cmp::Reverse(self.now + lat), id));
             self.threads[tid].icount -= 1;
             self.threads[tid].ocount -= inst.equivalent_count();
             issued += 1;
@@ -568,7 +588,9 @@ impl Cpu {
                 break;
             }
             let id = self.queues[qi][pos];
-            let d = self.slab[id as usize].as_ref().expect("queued instruction exists");
+            let d = self.slab[id as usize]
+                .as_ref()
+                .expect("queued instruction exists");
             if d.state != InstState::InQueue || !self.sources_ready(d) {
                 self.queues[qi][write] = id;
                 write += 1;
@@ -618,7 +640,8 @@ impl Cpu {
             }
             if elems == mem.count {
                 d.state = InstState::Executing;
-                self.completions.push((std::cmp::Reverse(mem_done.max(self.now + 1)), id));
+                self.completions
+                    .push((std::cmp::Reverse(mem_done.max(self.now + 1)), id));
                 self.threads[tid].icount -= 1;
                 self.threads[tid].ocount -= d.inst.equivalent_count();
                 // Fully issued: drop from the queue (hole compacted).
@@ -650,7 +673,9 @@ impl Cpu {
         for off in 0..n {
             let tid = (self.rr_cursor + off) % n;
             while budget > 0 {
-                let Some(&inst) = self.threads[tid].decode_buf.front() else { break };
+                let Some(&inst) = self.threads[tid].decode_buf.front() else {
+                    break;
+                };
                 if self.robs[tid].len() >= self.config.sizing.rob_per_thread {
                     self.stats.dispatch_rob_stalls += 1;
                     break;
@@ -672,10 +697,11 @@ impl Cpu {
                 // register (integer r31, renamed through the int pool).
                 if let Op::Mom(o) = inst.op {
                     if o != MomOp::SetVl {
-                        srcs[3] = Some(
-                            self.rename
-                                .lookup(tid, medsim_isa::regs::int(medsim_isa::regs::STREAM_LEN_REG)),
-                        );
+                        srcs[3] =
+                            Some(self.rename.lookup(
+                                tid,
+                                medsim_isa::regs::int(medsim_isa::regs::STREAM_LEN_REG),
+                            ));
                     }
                 }
                 let (dst, prev_dst) = match inst.dst {
@@ -827,7 +853,7 @@ impl Cpu {
 fn access_kind(inst: &Inst) -> AccessKind {
     let is_store = inst.op.is_store();
     match inst.op {
-        Op::Mem(m) if matches!(m, medsim_isa::MemOp::Prefetch) => AccessKind::Prefetch,
+        Op::Mem(medsim_isa::MemOp::Prefetch) => AccessKind::Prefetch,
         Op::Mom(MomOp::Vprefetch) => AccessKind::Prefetch,
         Op::Mem(_) => {
             if is_store {
@@ -855,13 +881,17 @@ mod tests {
     use medsim_workloads::trace::VecStream;
 
     fn cpu(threads: usize, isa: SimdIsa) -> Cpu {
-        Cpu::new(CpuConfig::paper(threads, isa), MemSystem::new(MemConfig::ideal()))
+        Cpu::new(
+            CpuConfig::paper(threads, isa),
+            MemSystem::new(MemConfig::ideal()),
+        )
     }
 
     fn independent_ints(n: usize) -> Vec<Inst> {
         (0..n)
             .map(|i| {
-                Inst::int_rrr(IntOp::Add, int(1 + (i % 8) as u8), int(10), int(11)).at(0x1000 + 4 * i as u64)
+                Inst::int_rrr(IntOp::Add, int(1 + (i % 8) as u8), int(10), int(11))
+                    .at(0x1000 + 4 * i as u64)
             })
             .collect()
     }
@@ -872,7 +902,11 @@ mod tests {
         c.attach_thread(0, Box::new(VecStream::new(independent_ints(100))));
         assert!(c.run_to_idle(10_000));
         assert_eq!(c.stats().committed(), 100);
-        assert!(c.stats().cycles < 200, "100 independent adds shouldn't take {} cycles", c.stats().cycles);
+        assert!(
+            c.stats().cycles < 200,
+            "100 independent adds shouldn't take {} cycles",
+            c.stats().cycles
+        );
     }
 
     #[test]
@@ -894,7 +928,11 @@ mod tests {
         let mut c = cpu(1, SimdIsa::Mmx);
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         assert!(c.run_to_idle(100_000));
-        assert!(c.stats().cycles >= 500, "dependent chain is serial: {}", c.stats().cycles);
+        assert!(
+            c.stats().cycles >= 500,
+            "dependent chain is serial: {}",
+            c.stats().cycles
+        );
     }
 
     #[test]
@@ -914,7 +952,11 @@ mod tests {
         for _ in 0..6 {
             c.cycle();
         }
-        assert_eq!(c.stats().committed(), 0, "nothing commits before the divide resolves");
+        assert_eq!(
+            c.stats().committed(),
+            0,
+            "nothing commits before the divide resolves"
+        );
         assert!(c.run_to_idle(1000));
         assert_eq!(c.stats().committed(), 2);
     }
@@ -926,7 +968,10 @@ mod tests {
             for t in 0..threads {
                 // Dependent chains: single-thread IPC ≈ 1, leaving room.
                 let insts: Vec<Inst> = (0..2000)
-                    .map(|i| Inst::int_rrr(IntOp::Add, int(1), int(1), int(2)).at(0x1000 + 4 * (i % 64) as u64))
+                    .map(|i| {
+                        Inst::int_rrr(IntOp::Add, int(1), int(1), int(2))
+                            .at(0x1000 + 4 * (i % 64) as u64)
+                    })
                     .collect();
                 c.attach_thread(t, Box::new(VecStream::new(insts)));
             }
@@ -935,7 +980,10 @@ mod tests {
         };
         let one = run(1);
         let two = run(2);
-        assert!(two > one * 1.6, "SMT hides dependency stalls: {one} vs {two}");
+        assert!(
+            two > one * 1.6,
+            "SMT hides dependency stalls: {one} vs {two}"
+        );
     }
 
     #[test]
@@ -949,20 +997,31 @@ mod tests {
         let mut c = cpu(1, SimdIsa::Mom);
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         assert!(c.run_to_idle(1000));
-        assert!(c.stats().cycles >= 16, "two 8-cycle streams serialize: {}", c.stats().cycles);
+        assert!(
+            c.stats().cycles >= 16,
+            "two 8-cycle streams serialize: {}",
+            c.stats().cycles
+        );
         assert_eq!(c.stats().committed_equiv(), 32, "16 + 16 equivalent ops");
     }
 
     #[test]
     fn mmx_pair_issues_in_parallel() {
         let insts: Vec<Inst> = (0..512)
-            .map(|i| Inst::mmx(MmxOp::PaddW, simd((i % 12) as u8), simd(20), simd(21)).at(0x1000 + 4 * (i % 32) as u64))
+            .map(|i| {
+                Inst::mmx(MmxOp::PaddW, simd((i % 12) as u8), simd(20), simd(21))
+                    .at(0x1000 + 4 * (i % 32) as u64)
+            })
             .collect();
         let mut c = cpu(1, SimdIsa::Mmx);
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         assert!(c.run_to_idle(100_000));
         // 512 ops at 2/cycle ≥ 256 cycles, but well under serial 512.
-        assert!(c.stats().cycles < 450, "MMX dual issue: {}", c.stats().cycles);
+        assert!(
+            c.stats().cycles < 450,
+            "MMX dual issue: {}",
+            c.stats().cycles
+        );
     }
 
     #[test]
@@ -972,21 +1031,34 @@ mod tests {
         let mut insts = Vec::new();
         for i in 0..200 {
             insts.push(Inst::int_rrr(IntOp::Add, int(1), int(2), int(3)).at(0x1000 + (i % 4) * 16));
-            insts.push(Inst::branch(CtlOp::Bne, int(1), i % 3 == 0, 0x1000).at(0x1004 + (i % 4) * 16));
+            insts.push(
+                Inst::branch(CtlOp::Bne, int(1), i % 3 == 0, 0x1000).at(0x1004 + (i % 4) * 16),
+            );
         }
         let mut c = cpu(1, SimdIsa::Mmx);
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         assert!(c.run_to_idle(1_000_000));
         assert_eq!(c.stats().committed(), 400);
         assert!(c.stats().threads[0].branches == 200);
-        assert!(c.stats().threads[0].mispredicts > 0, "pattern must cost something");
+        assert!(
+            c.stats().threads[0].mispredicts > 0,
+            "pattern must cost something"
+        );
         assert!(c.stats().mispredict_rate() < 0.9);
     }
 
     #[test]
     fn memory_loads_flow_through_the_cache() {
         let insts: Vec<Inst> = (0..256)
-            .map(|i| Inst::load(MemOp::LoadW, int(1 + (i % 8) as u8), int(10), 0x10_0000 + (i as u64) * 4).at(0x1000 + 4 * (i % 16) as u64))
+            .map(|i| {
+                Inst::load(
+                    MemOp::LoadW,
+                    int(1 + (i % 8) as u8),
+                    int(10),
+                    0x10_0000 + (i as u64) * 4,
+                )
+                .at(0x1000 + 4 * (i % 16) as u64)
+            })
             .collect();
         let mut c = Cpu::new(
             CpuConfig::paper(1, SimdIsa::Mmx),
@@ -1039,7 +1111,10 @@ mod tests {
     fn setvl_serializes_following_stream_ops() {
         // SetVl writes r31; the stream op implicitly reads it.
         let insts = vec![
-            Inst::new(Op::Mom(MomOp::SetVl)).with_dst(int(31)).with_imm(8).at(0x1000),
+            Inst::new(Op::Mom(MomOp::SetVl))
+                .with_dst(int(31))
+                .with_imm(8)
+                .at(0x1000),
             Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 8).at(0x1004),
         ];
         let mut c = cpu(1, SimdIsa::Mom);
@@ -1057,8 +1132,13 @@ mod tests {
             let mut insts = Vec::new();
             for i in 0..120u64 {
                 insts.push(
-                    Inst::load(MemOp::LoadW, int(1 + (i % 6) as u8), int(10), 0x30_0000 + i * 512)
-                        .at(0x1000 + 4 * (i % 32)),
+                    Inst::load(
+                        MemOp::LoadW,
+                        int(1 + (i % 6) as u8),
+                        int(10),
+                        0x30_0000 + i * 512,
+                    )
+                    .at(0x1000 + 4 * (i % 32)),
                 );
                 insts.push(Inst::int_rrr(IntOp::Div, int(7), int(1), int(2)).at(0x1100));
                 insts.push(Inst::int_rrr(IntOp::Add, int(8), int(7), int(7)).at(0x1104));
@@ -1075,11 +1155,18 @@ mod tests {
             c.attach_thread(0, Box::new(VecStream::new(program())));
             c.attach_thread(1, Box::new(VecStream::new(program())));
             assert!(c.run_to_idle(1_000_000));
-            (c.stats().clone(), c.mem().l1d_stats().accesses(), c.mem().stats().l1_latency_sum)
+            (
+                c.stats().clone(),
+                c.mem().l1d_stats().accesses(),
+                c.mem().stats().l1_latency_sum,
+            )
         };
         let (slow, slow_l1, slow_lat) = run(false);
         let (fast, fast_l1, fast_lat) = run(true);
-        assert!(slow.idle_cycles > 0, "the mix must actually have idle cycles");
+        assert!(
+            slow.idle_cycles > 0,
+            "the mix must actually have idle cycles"
+        );
         assert_eq!(slow, fast, "fast-forward must not change any statistic");
         assert_eq!(slow_l1, fast_l1);
         assert_eq!(slow_lat, fast_lat);

@@ -22,7 +22,12 @@ impl Predictor {
     #[must_use]
     pub fn new(history_bits: u32) -> Self {
         let n = 1usize << history_bits;
-        Predictor { history: 0, counters: vec![2; n], btb: vec![(0, 0); n], history_bits }
+        Predictor {
+            history: 0,
+            counters: vec![2; n],
+            btb: vec![(0, 0); n],
+            history_bits,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

@@ -81,14 +81,21 @@ impl RenameFile {
             }
             tables.push(t);
         }
-        RenameFile { tables, free, ready }
+        RenameFile {
+            tables,
+            free,
+            ready,
+        }
     }
 
     /// Current physical mapping of `reg` for thread `tid`.
     #[must_use]
     pub fn lookup(&self, tid: usize, reg: LogicalReg) -> PhysReg {
         let c = class_idx(reg.class);
-        PhysReg { class: reg.class, index: self.tables[tid][c][reg.index as usize] }
+        PhysReg {
+            class: reg.class,
+            index: self.tables[tid][c][reg.index as usize],
+        }
     }
 
     /// Free physical registers remaining in `class`'s pool.
@@ -107,7 +114,16 @@ impl RenameFile {
         self.ready[c][new as usize] = false;
         let prev = self.tables[tid][c][reg.index as usize];
         self.tables[tid][c][reg.index as usize] = new;
-        Some((PhysReg { class: reg.class, index: new }, PhysReg { class: reg.class, index: prev }))
+        Some((
+            PhysReg {
+                class: reg.class,
+                index: new,
+            },
+            PhysReg {
+                class: reg.class,
+                index: prev,
+            },
+        ))
     }
 
     /// Mark a physical register's value available.
@@ -183,7 +199,10 @@ mod tests {
         for _ in 0..spare {
             assert!(f.allocate(0, acc(0)).is_some());
         }
-        assert!(f.allocate(0, acc(0)).is_none(), "accumulator pool exhausted");
+        assert!(
+            f.allocate(0, acc(0)).is_none(),
+            "accumulator pool exhausted"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl CpuStats {
     /// Initialize for `threads` contexts.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        CpuStats { threads: vec![ThreadStats::default(); threads], ..Default::default() }
+        CpuStats {
+            threads: vec![ThreadStats::default(); threads],
+            ..Default::default()
+        }
     }
 
     /// Total raw committed instructions.

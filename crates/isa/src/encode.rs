@@ -204,7 +204,9 @@ mod tests {
         let w = encode(&i).unwrap();
         let d = decode(w).unwrap();
         assert!(arch_eq(&i, &d));
-        let i = Inst::new(Op::Mmx(MmxOp::MovdToMmx)).with_dst(simd(0)).with_srcs(&[int(31)]);
+        let i = Inst::new(Op::Mmx(MmxOp::MovdToMmx))
+            .with_dst(simd(0))
+            .with_srcs(&[int(31)]);
         let d = decode(encode(&i).unwrap()).unwrap();
         assert!(arch_eq(&i, &d));
         let i = Inst::fp_rrr(crate::scalar::FpOp::FMadd, fp(31), fp(0), fp(15));
@@ -257,7 +259,10 @@ mod proptests {
         }
         let class = RegClass::ALL[rng.gen_range(0..5usize)];
         let index: u8 = rng.gen_range(0..32);
-        Some(LogicalReg { class, index: index % class.logical_count() })
+        Some(LogicalReg {
+            class,
+            index: index % class.logical_count(),
+        })
     }
 
     /// Exhaustive over opcodes, randomized over operands: every opcode

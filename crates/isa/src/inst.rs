@@ -33,13 +33,25 @@ impl MemRef {
     /// A single scalar access.
     #[must_use]
     pub fn scalar(addr: u64, size: u8, is_store: bool) -> Self {
-        MemRef { addr, size, stride: 0, count: 1, is_store }
+        MemRef {
+            addr,
+            size,
+            stride: 0,
+            count: 1,
+            is_store,
+        }
     }
 
     /// A stream of `count` accesses of `size` bytes separated by `stride`.
     #[must_use]
     pub fn stream(addr: u64, size: u8, stride: i64, count: u8, is_store: bool) -> Self {
-        MemRef { addr, size, stride, count, is_store }
+        MemRef {
+            addr,
+            size,
+            stride,
+            count,
+            is_store,
+        }
     }
 
     /// Address of the `i`-th element access.
@@ -170,7 +182,10 @@ impl Inst {
     /// Panics if `slen` is zero or exceeds [`crate::MAX_STREAM_LEN`].
     #[must_use]
     pub fn with_slen(mut self, slen: u8) -> Self {
-        assert!(slen >= 1 && slen <= crate::MAX_STREAM_LEN, "stream length {slen} out of range");
+        assert!(
+            (1..=crate::MAX_STREAM_LEN).contains(&slen),
+            "stream length {slen} out of range"
+        );
         self.slen = slen;
         self
     }
@@ -186,7 +201,10 @@ impl Inst {
     /// Integer register-immediate operation.
     #[must_use]
     pub fn int_rri(op: IntOp, dst: LogicalReg, a: LogicalReg, imm: i32) -> Self {
-        Inst::new(Op::Int(op)).with_dst(dst).with_srcs(&[a]).with_imm(imm)
+        Inst::new(Op::Int(op))
+            .with_dst(dst)
+            .with_srcs(&[a])
+            .with_imm(imm)
     }
 
     /// Floating-point three-register operation.
@@ -226,7 +244,10 @@ impl Inst {
     /// Unconditional jump.
     #[must_use]
     pub fn jump(target: u64) -> Self {
-        Inst::new(Op::Ctl(CtlOp::Jump)).with_branch(BranchInfo { taken: true, target })
+        Inst::new(Op::Ctl(CtlOp::Jump)).with_branch(BranchInfo {
+            taken: true,
+            target,
+        })
     }
 
     /// MMX register-register-register operation.
@@ -257,13 +278,20 @@ impl Inst {
     #[must_use]
     pub fn mom(op: MomOp, dst: LogicalReg, a: LogicalReg, b: LogicalReg, slen: u8) -> Self {
         debug_assert!(!op.is_mem());
-        Inst::new(Op::Mom(op)).with_dst(dst).with_srcs(&[a, b]).with_slen(slen)
+        Inst::new(Op::Mom(op))
+            .with_dst(dst)
+            .with_srcs(&[a, b])
+            .with_slen(slen)
     }
 
     /// MOM stream load of `slen` 64-bit groups separated by `stride` bytes.
     #[must_use]
     pub fn mom_load(dst: LogicalReg, base: LogicalReg, addr: u64, stride: i64, slen: u8) -> Self {
-        let op = if stride == 8 { MomOp::VloadQ } else { MomOp::VloadStride };
+        let op = if stride == 8 {
+            MomOp::VloadQ
+        } else {
+            MomOp::VloadStride
+        };
         Inst::new(Op::Mom(op))
             .with_dst(dst)
             .with_srcs(&[base])
@@ -274,7 +302,11 @@ impl Inst {
     /// MOM stream store.
     #[must_use]
     pub fn mom_store(data: LogicalReg, base: LogicalReg, addr: u64, stride: i64, slen: u8) -> Self {
-        let op = if stride == 8 { MomOp::VstoreQ } else { MomOp::VstoreStride };
+        let op = if stride == 8 {
+            MomOp::VstoreQ
+        } else {
+            MomOp::VstoreStride
+        };
         Inst::new(Op::Mom(op))
             .with_srcs(&[base, data])
             .with_slen(slen)

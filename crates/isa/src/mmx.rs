@@ -236,23 +236,67 @@ impl MmxOp {
     #[must_use]
     pub const fn elem_type(self) -> ElemType {
         match self {
-            MmxOp::PaddB | MmxOp::PsubB | MmxOp::PcmpeqB | MmxOp::PcmpgtB | MmxOp::PunpcklBw
-            | MmxOp::PunpckhBw | MmxOp::PmovmskB => ElemType::I8,
-            MmxOp::PaddusB | MmxOp::PsubusB | MmxOp::PavgB | MmxOp::PmaxUb | MmxOp::PminUb
+            MmxOp::PaddB
+            | MmxOp::PsubB
+            | MmxOp::PcmpeqB
+            | MmxOp::PcmpgtB
+            | MmxOp::PunpcklBw
+            | MmxOp::PunpckhBw
+            | MmxOp::PmovmskB => ElemType::I8,
+            MmxOp::PaddusB
+            | MmxOp::PsubusB
+            | MmxOp::PavgB
+            | MmxOp::PmaxUb
+            | MmxOp::PminUb
             | MmxOp::PsadBw => ElemType::U8,
             MmxOp::PaddsB | MmxOp::PsubsB | MmxOp::PackssWb | MmxOp::PackusWb => ElemType::I8,
-            MmxOp::PaddW | MmxOp::PsubW | MmxOp::PaddsW | MmxOp::PsubsW | MmxOp::PmullW
-            | MmxOp::PmulhW | MmxOp::PmaddWd | MmxOp::PcmpeqW | MmxOp::PcmpgtW | MmxOp::PsllW
-            | MmxOp::PsrlW | MmxOp::PsraW | MmxOp::PackssDw | MmxOp::PunpcklWd | MmxOp::PunpckhWd
-            | MmxOp::PmaxSw | MmxOp::PminSw | MmxOp::PshufW | MmxOp::PinsrW | MmxOp::PextrW
-            | MmxOp::PredaddW | MmxOp::PredmaxW | MmxOp::PredminW => ElemType::I16,
+            MmxOp::PaddW
+            | MmxOp::PsubW
+            | MmxOp::PaddsW
+            | MmxOp::PsubsW
+            | MmxOp::PmullW
+            | MmxOp::PmulhW
+            | MmxOp::PmaddWd
+            | MmxOp::PcmpeqW
+            | MmxOp::PcmpgtW
+            | MmxOp::PsllW
+            | MmxOp::PsrlW
+            | MmxOp::PsraW
+            | MmxOp::PackssDw
+            | MmxOp::PunpcklWd
+            | MmxOp::PunpckhWd
+            | MmxOp::PmaxSw
+            | MmxOp::PminSw
+            | MmxOp::PshufW
+            | MmxOp::PinsrW
+            | MmxOp::PextrW
+            | MmxOp::PredaddW
+            | MmxOp::PredmaxW
+            | MmxOp::PredminW => ElemType::I16,
             MmxOp::PaddusW | MmxOp::PsubusW | MmxOp::PavgW | MmxOp::PmulhuW => ElemType::U16,
-            MmxOp::PaddD | MmxOp::PsubD | MmxOp::PcmpeqD | MmxOp::PcmpgtD | MmxOp::PsllD
-            | MmxOp::PsrlD | MmxOp::PsraD | MmxOp::PunpcklDq | MmxOp::PunpckhDq
+            MmxOp::PaddD
+            | MmxOp::PsubD
+            | MmxOp::PcmpeqD
+            | MmxOp::PcmpgtD
+            | MmxOp::PsllD
+            | MmxOp::PsrlD
+            | MmxOp::PsraD
+            | MmxOp::PunpcklDq
+            | MmxOp::PunpckhDq
             | MmxOp::PredaddD => ElemType::I32,
-            MmxOp::PsllQ | MmxOp::PsrlQ | MmxOp::Pand | MmxOp::Pandn | MmxOp::Por | MmxOp::Pxor
-            | MmxOp::MovQ | MmxOp::MovdToMmx | MmxOp::MovdFromMmx | MmxOp::LoadQ | MmxOp::StoreQ
-            | MmxOp::LoadMovD | MmxOp::StoreMovD => ElemType::Q64,
+            MmxOp::PsllQ
+            | MmxOp::PsrlQ
+            | MmxOp::Pand
+            | MmxOp::Pandn
+            | MmxOp::Por
+            | MmxOp::Pxor
+            | MmxOp::MovQ
+            | MmxOp::MovdToMmx
+            | MmxOp::MovdFromMmx
+            | MmxOp::LoadQ
+            | MmxOp::StoreQ
+            | MmxOp::LoadMovD
+            | MmxOp::StoreMovD => ElemType::Q64,
         }
     }
 

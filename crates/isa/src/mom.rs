@@ -517,16 +517,44 @@ impl MomOp {
             return m.elem_type();
         }
         match self {
-            MomOp::AccAddB | MomOp::AccSubB | MomOp::AccSadB | MomOp::RdAccSatB
-            | MomOp::RdAccRndB | MomOp::VbcastB | MomOp::VselB | MomOp::VabsdB
-            | MomOp::VpcntB | MomOp::VclipUb | MomOp::VmaxSb | MomOp::VminSb => ElemType::I8,
-            MomOp::AccAddW | MomOp::AccSubW | MomOp::AccMacW | MomOp::AccMacuW
-            | MomOp::RdAccSatW | MomOp::RdAccRndW | MomOp::AccRedAddW | MomOp::AccRedMaxW
-            | MomOp::AccRedMinW | MomOp::VbcastW | MomOp::VselW | MomOp::VabsdW
-            | MomOp::VsrlRndW | MomOp::VsraRndW | MomOp::VclipSw | MomOp::VclzW
-            | MomOp::VmaxUw | MomOp::VminUw | MomOp::VscaleW => ElemType::I16,
-            MomOp::AccMaddWd | MomOp::AccRedAddD | MomOp::VbcastD | MomOp::VselD
-            | MomOp::VsrlRndD | MomOp::VsraRndD | MomOp::VscaleD => ElemType::I32,
+            MomOp::AccAddB
+            | MomOp::AccSubB
+            | MomOp::AccSadB
+            | MomOp::RdAccSatB
+            | MomOp::RdAccRndB
+            | MomOp::VbcastB
+            | MomOp::VselB
+            | MomOp::VabsdB
+            | MomOp::VpcntB
+            | MomOp::VclipUb
+            | MomOp::VmaxSb
+            | MomOp::VminSb => ElemType::I8,
+            MomOp::AccAddW
+            | MomOp::AccSubW
+            | MomOp::AccMacW
+            | MomOp::AccMacuW
+            | MomOp::RdAccSatW
+            | MomOp::RdAccRndW
+            | MomOp::AccRedAddW
+            | MomOp::AccRedMaxW
+            | MomOp::AccRedMinW
+            | MomOp::VbcastW
+            | MomOp::VselW
+            | MomOp::VabsdW
+            | MomOp::VsrlRndW
+            | MomOp::VsraRndW
+            | MomOp::VclipSw
+            | MomOp::VclzW
+            | MomOp::VmaxUw
+            | MomOp::VminUw
+            | MomOp::VscaleW => ElemType::I16,
+            MomOp::AccMaddWd
+            | MomOp::AccRedAddD
+            | MomOp::VbcastD
+            | MomOp::VselD
+            | MomOp::VsrlRndD
+            | MomOp::VsraRndD
+            | MomOp::VscaleD => ElemType::I32,
             _ => ElemType::Q64,
         }
     }
@@ -737,11 +765,17 @@ mod tests {
             MomOp::VavgB,
             MomOp::VsadBw,
         ] {
-            assert!(op.mmx_equiv().is_some(), "{op:?} should have an MMX equivalent");
+            assert!(
+                op.mmx_equiv().is_some(),
+                "{op:?} should have an MMX equivalent"
+            );
         }
         // Control/memory/accumulator ops must not.
         for op in [MomOp::VloadQ, MomOp::AccMacW, MomOp::SetVl, MomOp::Vtrans] {
-            assert!(op.mmx_equiv().is_none(), "{op:?} should have no MMX equivalent");
+            assert!(
+                op.mmx_equiv().is_none(),
+                "{op:?} should have no MMX equivalent"
+            );
         }
     }
 

@@ -49,7 +49,12 @@ pub enum OpKind {
 
 impl OpKind {
     /// All kinds, in Table 3's row order.
-    pub const ALL: [OpKind; 4] = [OpKind::Integer, OpKind::Fp, OpKind::SimdArith, OpKind::Memory];
+    pub const ALL: [OpKind; 4] = [
+        OpKind::Integer,
+        OpKind::Fp,
+        OpKind::SimdArith,
+        OpKind::Memory,
+    ];
 
     /// Row label used when printing Table 3.
     #[must_use]
@@ -86,7 +91,12 @@ pub enum QueueKind {
 
 impl QueueKind {
     /// All queues in a stable order.
-    pub const ALL: [QueueKind; 4] = [QueueKind::Int, QueueKind::Mem, QueueKind::Fp, QueueKind::Simd];
+    pub const ALL: [QueueKind; 4] = [
+        QueueKind::Int,
+        QueueKind::Mem,
+        QueueKind::Fp,
+        QueueKind::Simd,
+    ];
 }
 
 impl core::fmt::Display for QueueKind {

@@ -240,7 +240,12 @@ impl MemOp {
     pub const fn is_store(self) -> bool {
         matches!(
             self,
-            MemOp::StoreB | MemOp::StoreH | MemOp::StoreW | MemOp::StoreD | MemOp::StoreF | MemOp::StoreG
+            MemOp::StoreB
+                | MemOp::StoreH
+                | MemOp::StoreW
+                | MemOp::StoreD
+                | MemOp::StoreF
+                | MemOp::StoreG
         )
     }
 
@@ -254,7 +259,10 @@ impl MemOp {
     /// Whether the destination/source register is floating point.
     #[must_use]
     pub const fn is_fp(self) -> bool {
-        matches!(self, MemOp::LoadF | MemOp::LoadG | MemOp::StoreF | MemOp::StoreG)
+        matches!(
+            self,
+            MemOp::LoadF | MemOp::LoadG | MemOp::StoreF | MemOp::StoreG
+        )
     }
 
     /// Access size in bytes.

@@ -18,7 +18,11 @@ pub fn get_lane(et: ElemType, v: u64, i: usize) -> i64 {
     debug_assert!(i < et.lanes());
     let bits = et.bits();
     let shift = (i as u32) * bits;
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let raw = (v >> shift) & mask;
     if et.is_signed() || et == ElemType::Q64 {
         // sign extend
@@ -39,7 +43,11 @@ pub fn set_lane(et: ElemType, v: u64, i: usize, val: i64) -> u64 {
     debug_assert!(i < et.lanes());
     let bits = et.bits();
     let shift = (i as u32) * bits;
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     (v & !(mask << shift)) | (((val as u64) & mask) << shift)
 }
 
@@ -86,7 +94,14 @@ mod tests {
     #[test]
     fn get_set_round_trip() {
         let v = 0x8899_aabb_ccdd_eeffu64;
-        for et in [ElemType::U8, ElemType::I8, ElemType::U16, ElemType::I16, ElemType::U32, ElemType::I32] {
+        for et in [
+            ElemType::U8,
+            ElemType::I8,
+            ElemType::U16,
+            ElemType::I16,
+            ElemType::U32,
+            ElemType::I32,
+        ] {
             let mut rebuilt = 0u64;
             for i in 0..et.lanes() {
                 rebuilt = set_lane(et, rebuilt, i, get_lane(et, v, i));

@@ -107,7 +107,9 @@ pub fn exec_mmx(op: MmxOp, a: u64, b: u64, imm: u8) -> u64 {
         MmxOp::PminUb => map2(E::U8, a, b, i64::min),
         MmxOp::PminSw => map2(E::I16, a, b, i64::min),
         MmxOp::PsadBw => {
-            let sad = (0..8).map(|i| (get_lane(E::U8, a, i) - get_lane(E::U8, b, i)).abs()).sum::<i64>();
+            let sad = (0..8)
+                .map(|i| (get_lane(E::U8, a, i) - get_lane(E::U8, b, i)).abs())
+                .sum::<i64>();
             sad as u64 & 0xffff
         }
         MmxOp::PmovmskB => {
@@ -135,7 +137,7 @@ pub fn exec_mmx(op: MmxOp, a: u64, b: u64, imm: u8) -> u64 {
         MmxOp::MovdFromMmx => a & 0xffff_ffff,
         // paper's reduction additions
         MmxOp::PredaddW => (fold(E::I16, a, 0, |s, x| s + x) as u64) & 0xffff_ffff,
-        MmxOp::PredaddD => (fold(E::I32, a, 0, |s, x| s + x) as u64) & 0xffff_ffff_ffff_ffff,
+        MmxOp::PredaddD => fold(E::I32, a, 0, |s, x| s + x) as u64,
         MmxOp::PredmaxW => (fold(E::I16, a, i64::MIN, i64::max) as u64) & 0xffff,
         MmxOp::PredminW => (fold(E::I16, a, i64::MAX, i64::min) as u64) & 0xffff,
         // memory opcodes are rejected by the assert above

@@ -22,7 +22,9 @@ pub struct StreamValue {
 
 impl Default for StreamValue {
     fn default() -> Self {
-        StreamValue { groups: [0; STREAM_REG_GROUPS] }
+        StreamValue {
+            groups: [0; STREAM_REG_GROUPS],
+        }
     }
 }
 
@@ -51,7 +53,10 @@ impl StreamValue {
     /// Panics if `s.len() > 16`.
     #[must_use]
     pub fn from_slice(s: &[u64]) -> Self {
-        assert!(s.len() <= STREAM_REG_GROUPS, "stream value larger than a register");
+        assert!(
+            s.len() <= STREAM_REG_GROUPS,
+            "stream value larger than a register"
+        );
         let mut groups = [0u64; STREAM_REG_GROUPS];
         groups[..s.len()].copy_from_slice(s);
         StreamValue { groups }
@@ -89,15 +94,34 @@ impl StreamValue {
 /// [`exec_acc_stream`]) and `SetVl` (a scalar-side-effect instruction),
 /// or if `slen` is out of range.
 #[must_use]
-pub fn exec_mom_vvv(op: MomOp, a: &StreamValue, b: &StreamValue, c: &StreamValue, slen: u8, imm: u8) -> StreamValue {
-    assert!(slen >= 1 && slen <= STREAM_REG_GROUPS as u8, "stream length out of range");
+pub fn exec_mom_vvv(
+    op: MomOp,
+    a: &StreamValue,
+    b: &StreamValue,
+    c: &StreamValue,
+    slen: u8,
+    imm: u8,
+) -> StreamValue {
+    assert!(
+        slen >= 1 && slen <= STREAM_REG_GROUPS as u8,
+        "stream length out of range"
+    );
     assert!(!op.is_mem(), "memory opcode {op:?} has no ALU semantics");
-    assert!(!op.uses_acc(), "accumulator opcode {op:?}: use exec_acc_stream");
+    assert!(
+        !op.uses_acc(),
+        "accumulator opcode {op:?}: use exec_acc_stream"
+    );
     assert!(op != MomOp::SetVl, "setvl has scalar semantics only");
 
     let n = slen as usize;
     if let Some(m) = op.mmx_equiv() {
-        return StreamValue::from_fn(|i| if i < n { exec_mmx(m, a.group(i), b.group(i), imm) } else { 0 });
+        return StreamValue::from_fn(|i| {
+            if i < n {
+                exec_mmx(m, a.group(i), b.group(i), imm)
+            } else {
+                0
+            }
+        });
     }
 
     use ElemType as E;
@@ -144,9 +168,27 @@ pub fn exec_mom_vvv(op: MomOp, a: &StreamValue, b: &StreamValue, c: &StreamValue
             out.set_group(0, a.group((imm as usize) % STREAM_REG_GROUPS));
             out
         }
-        MomOp::VbcastB => StreamValue::from_fn(|i| if i < n { splat(E::U8, get_lane(E::U8, b.group(0), 0)) } else { 0 }),
-        MomOp::VbcastW => StreamValue::from_fn(|i| if i < n { splat(E::U16, get_lane(E::U16, b.group(0), 0)) } else { 0 }),
-        MomOp::VbcastD => StreamValue::from_fn(|i| if i < n { splat(E::U32, get_lane(E::U32, b.group(0), 0)) } else { 0 }),
+        MomOp::VbcastB => StreamValue::from_fn(|i| {
+            if i < n {
+                splat(E::U8, get_lane(E::U8, b.group(0), 0))
+            } else {
+                0
+            }
+        }),
+        MomOp::VbcastW => StreamValue::from_fn(|i| {
+            if i < n {
+                splat(E::U16, get_lane(E::U16, b.group(0), 0))
+            } else {
+                0
+            }
+        }),
+        MomOp::VbcastD => StreamValue::from_fn(|i| {
+            if i < n {
+                splat(E::U32, get_lane(E::U32, b.group(0), 0))
+            } else {
+                0
+            }
+        }),
         MomOp::Vtrans => transpose(a, n),
         _ => StreamValue::from_fn(|i| if i < n { per_group(i) } else { 0 }),
     }
@@ -172,7 +214,13 @@ pub fn exec_mom_vs(op: MomOp, a: &StreamValue, scalar: u64, slen: u8, imm: u8) -
 /// # Panics
 ///
 /// Panics if `op` is not an accumulator opcode.
-pub fn exec_acc_stream(op: MomOp, acc: &mut Accumulator, a: &StreamValue, b: &StreamValue, slen: u8) {
+pub fn exec_acc_stream(
+    op: MomOp,
+    acc: &mut Accumulator,
+    a: &StreamValue,
+    b: &StreamValue,
+    slen: u8,
+) {
     assert!(op.writes_acc(), "{op:?} does not accumulate");
     let n = slen as usize;
     match op {
@@ -193,7 +241,11 @@ fn sel(et: ElemType, a: u64, b: u64, mask: u64) -> u64 {
     let mut out = 0u64;
     for i in 0..et.lanes() {
         let pick_a = get_lane(et.as_signed(), mask, i) < 0;
-        let v = if pick_a { get_lane(et, a, i) } else { get_lane(et, b, i) };
+        let v = if pick_a {
+            get_lane(et, a, i)
+        } else {
+            get_lane(et, b, i)
+        };
         out = set_lane(et, out, i, v);
     }
     out
@@ -240,7 +292,11 @@ mod tests {
         let b = StreamValue::from_fn(|_| 0x0202_0202_0202_0202);
         let r = exec_mom_vv(MomOp::VaddusB, &a, &b, 16, 0);
         for i in 0..16 {
-            assert_eq!(r.group(i), exec_mmx_rr(MmxOp::PaddusB, a.group(i), b.group(i)), "group {i}");
+            assert_eq!(
+                r.group(i),
+                exec_mmx_rr(MmxOp::PaddusB, a.group(i), b.group(i)),
+                "group {i}"
+            );
         }
     }
 
@@ -301,14 +357,28 @@ mod tests {
         let ins = exec_mom_vvv(MomOp::VinsQ, &a, &scalar, &StreamValue::zero(), 16, 7);
         assert_eq!(ins.group(7), 0xdead_beef);
         assert_eq!(ins.group(6), 6);
-        let ext = exec_mom_vvv(MomOp::VextQ, &ins, &StreamValue::zero(), &StreamValue::zero(), 16, 7);
+        let ext = exec_mom_vvv(
+            MomOp::VextQ,
+            &ins,
+            &StreamValue::zero(),
+            &StreamValue::zero(),
+            16,
+            7,
+        );
         assert_eq!(ext.group(0), 0xdead_beef);
     }
 
     #[test]
     fn broadcast_splats_scalar() {
         let b = StreamValue::from_slice(&[0xab]);
-        let r = exec_mom_vvv(MomOp::VbcastB, &StreamValue::zero(), &b, &StreamValue::zero(), 3, 0);
+        let r = exec_mom_vvv(
+            MomOp::VbcastB,
+            &StreamValue::zero(),
+            &b,
+            &StreamValue::zero(),
+            3,
+            0,
+        );
         assert_eq!(r.group(0), 0xabab_abab_abab_abab);
         assert_eq!(r.group(2), 0xabab_abab_abab_abab);
         assert_eq!(r.group(3), 0);

@@ -40,7 +40,10 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> u64 {
         let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
-        assert!(sets > 0 && sets.is_power_of_two(), "inconsistent cache geometry");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "inconsistent cache geometry"
+        );
         sets
     }
 }
@@ -138,7 +141,9 @@ impl Cache {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = set as usize * self.config.ways;
-        self.lines[base..base + self.config.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Access the cache at cycle `now`: updates LRU and statistics; on a
@@ -161,24 +166,35 @@ impl Cache {
         // Hit / delayed-hit path.
         let tag_match = {
             let lines = self.set_slice_mut(set);
-            lines.iter_mut().find(|l| l.valid && l.tag == tag).map(|line| {
-                line.last_use = lru_now;
-                if is_store && write_back {
-                    line.dirty = true;
-                }
-                line.fill_at
-            })
+            lines
+                .iter_mut()
+                .find(|l| l.valid && l.tag == tag)
+                .map(|line| {
+                    line.last_use = lru_now;
+                    if is_store && write_back {
+                        line.dirty = true;
+                    }
+                    line.fill_at
+                })
         };
         if let Some(fill_at) = tag_match {
             if fill_at <= now {
                 self.stats.record(is_store, true);
-                return Access { hit: true, pending: None, writeback: None };
+                return Access {
+                    hit: true,
+                    pending: None,
+                    writeback: None,
+                };
             }
             // Delayed hit: the tag matches but the fill is still in
             // flight. Counted as a hit (the reference did not cause a new
             // miss); its extra latency shows up in the latency statistics.
             self.stats.record(is_store, true);
-            return Access { hit: false, pending: Some(fill_at), writeback: None };
+            return Access {
+                hit: false,
+                pending: Some(fill_at),
+                writeback: None,
+            };
         }
 
         self.stats.record(is_store, false);
@@ -199,14 +215,23 @@ impl Cache {
             } else {
                 None
             };
-            *victim =
-                Line { valid: true, dirty: is_store && write_back, tag, fill_at: now, last_use: lru_now };
+            *victim = Line {
+                valid: true,
+                dirty: is_store && write_back,
+                tag,
+                fill_at: now,
+                last_use: lru_now,
+            };
             wb
         };
         if writeback.is_some() {
             self.stats.writebacks += 1;
         }
-        Access { hit: false, pending: None, writeback }
+        Access {
+            hit: false,
+            pending: None,
+            writeback,
+        }
     }
 
     /// Record when the fill for the line holding `addr` completes.
@@ -260,7 +285,13 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 32B = 256 B
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32, banks: 2, write_back: true })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+            banks: 2,
+            write_back: true,
+        })
     }
 
     #[test]

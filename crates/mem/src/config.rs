@@ -22,8 +22,11 @@ pub enum HierarchyKind {
 
 impl HierarchyKind {
     /// All hierarchy kinds, in figure-9 presentation order.
-    pub const ALL: [HierarchyKind; 3] =
-        [HierarchyKind::Ideal, HierarchyKind::Conventional, HierarchyKind::Decoupled];
+    pub const ALL: [HierarchyKind; 3] = [
+        HierarchyKind::Ideal,
+        HierarchyKind::Conventional,
+        HierarchyKind::Decoupled,
+    ];
 
     /// Label used in experiment output.
     #[must_use]
@@ -81,11 +84,29 @@ impl MemConfig {
         MemConfig {
             hierarchy: HierarchyKind::Conventional,
             // 32 KB, direct mapped, write-through, 32-byte lines, 8 banks
-            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 1, line_bytes: 32, banks: 8, write_back: false },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 1,
+                line_bytes: 32,
+                banks: 8,
+                write_back: false,
+            },
             // 64 KB, 2-way, 32-byte lines, 4 banks
-            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 32, banks: 4, write_back: false },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 32,
+                banks: 4,
+                write_back: false,
+            },
             // 1 MB, 2-way, write-back, 128-byte lines, 2 banks
-            l2: CacheConfig { size_bytes: 1024 * 1024, ways: 2, line_bytes: 128, banks: 2, write_back: true },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 2,
+                line_bytes: 128,
+                banks: 2,
+                write_back: true,
+            },
             l1_latency: 1,
             l2_latency: 12,
             mshrs: 8,
@@ -101,7 +122,10 @@ impl MemConfig {
     /// The paper's memory system with the given hierarchy organization.
     #[must_use]
     pub fn paper_with(hierarchy: HierarchyKind) -> Self {
-        MemConfig { hierarchy, ..MemConfig::paper() }
+        MemConfig {
+            hierarchy,
+            ..MemConfig::paper()
+        }
     }
 
     /// An ideal (perfect) memory system.

@@ -77,7 +77,12 @@ impl Dram {
     /// Build the DRAM model.
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
-        Dram { open_rows: vec![None; config.devices], channel_free: 0, config, stats: DramStats::default() }
+        Dram {
+            open_rows: vec![None; config.devices],
+            channel_free: 0,
+            config,
+            stats: DramStats::default(),
+        }
     }
 
     /// Accumulated statistics.
@@ -150,7 +155,10 @@ mod tests {
         let a = d.access(0, 0x0000, 128);
         // Different device, but the shared channel is busy for 32 cycles.
         let b = d.access(0, 2 * 1024, 128);
-        assert!(b > a - 48 + 48, "second transfer starts after the first's channel slot");
+        assert!(
+            b > a - 48 + 48,
+            "second transfer starts after the first's channel slot"
+        );
         assert_eq!(d.stats().channel_wait, 32);
     }
 
@@ -159,7 +167,7 @@ mod tests {
         let mut d = Dram::new(DramConfig::paper());
         d.access(0, 0, 16);
         d.access(100, 2 * 1024, 16); // device 1
-        // back to device 0, same row: hit
+                                     // back to device 0, same row: hit
         d.access(200, 64, 16);
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 2);

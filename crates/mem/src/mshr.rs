@@ -39,7 +39,10 @@ impl MshrFile {
     /// Create a file with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        MshrFile { capacity, entries: Vec::with_capacity(capacity) }
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of entries currently outstanding at `now`.
@@ -67,7 +70,10 @@ impl MshrFile {
             return MshrOutcome::Full;
         }
         // Reserve with a provisional infinite fill time; set_fill_time fixes it.
-        self.entries.push(Entry { line_addr, fill_at: Cycle::MAX });
+        self.entries.push(Entry {
+            line_addr,
+            fill_at: Cycle::MAX,
+        });
         MshrOutcome::Allocated
     }
 

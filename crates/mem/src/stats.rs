@@ -112,7 +112,11 @@ mod tests {
     fn hit_rate_edges() {
         let s = CacheStats::default();
         assert_eq!(s.hit_rate(), 1.0);
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.hit_rate(), 0.75);
         assert_eq!(s.accesses(), 4);
     }
@@ -121,7 +125,11 @@ mod tests {
     fn avg_latency_edges() {
         let s = MemStats::default();
         assert_eq!(s.avg_l1_latency(), 0.0);
-        let s = MemStats { l1_accesses: 4, l1_latency_sum: 10, ..Default::default() };
+        let s = MemStats {
+            l1_accesses: 4,
+            l1_latency_sum: 10,
+            ..Default::default()
+        };
         assert_eq!(s.avg_l1_latency(), 2.5);
     }
 }

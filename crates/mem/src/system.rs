@@ -230,7 +230,10 @@ impl MemSystem {
         if self.config.hierarchy == HierarchyKind::Ideal {
             self.stats.l1_accesses += 1;
             self.stats.l1_latency_sum += 1;
-            return Ok(MemReply { done_at: now + 1, l1_hit: true });
+            return Ok(MemReply {
+                done_at: now + 1,
+                l1_hit: true,
+            });
         }
         let use_vector_path =
             self.config.hierarchy == HierarchyKind::Decoupled && req.kind.is_vector();
@@ -294,7 +297,9 @@ impl MemSystem {
                 self.stats.write_buffer_full_stalls += 1;
                 return Err(Stall::WriteBufferFull);
             }
-        } else if !self.l1d.probe(req.addr) && self.mshr_would_reject(now, line, req.kind.is_vector()) {
+        } else if !self.l1d.probe(req.addr)
+            && self.mshr_would_reject(now, line, req.kind.is_vector())
+        {
             self.stats.mshr_full_stalls += 1;
             return Err(Stall::MshrFull);
         }
@@ -325,7 +330,10 @@ impl MemSystem {
             // Write-through: update L1 if present (no allocate on miss).
             let _ = self.l1d.access(start, req.addr, true);
             let done = start + self.config.l1_latency;
-            return Ok(MemReply { done_at: done, l1_hit: true });
+            return Ok(MemReply {
+                done_at: done,
+                l1_hit: true,
+            });
         }
 
         // Loads must see buffered stores to the same line: selective flush.
@@ -343,15 +351,21 @@ impl MemSystem {
             // Vector fills run through their own MSHRs (the stream
             // engine's fill path), so a long stream of misses cannot
             // starve scalar miss handling.
-            let mshrs =
-                if req.kind.is_vector() { &mut self.v_mshrs } else { &mut self.d_mshrs };
+            let mshrs = if req.kind.is_vector() {
+                &mut self.v_mshrs
+            } else {
+                &mut self.d_mshrs
+            };
             match mshrs.register(start, line) {
                 MshrOutcome::Coalesced(t) => t.max(start + self.config.l1_latency),
                 MshrOutcome::Full => unreachable!("admission checked"),
                 MshrOutcome::Allocated => {
                     let fill = self.access_l2(start + self.config.l1_latency, line, false);
-                    let mshrs =
-                        if req.kind.is_vector() { &mut self.v_mshrs } else { &mut self.d_mshrs };
+                    let mshrs = if req.kind.is_vector() {
+                        &mut self.v_mshrs
+                    } else {
+                        &mut self.d_mshrs
+                    };
                     mshrs.set_fill_time(line, fill);
                     self.l1d.set_fill_time(line, fill);
                     fill
@@ -362,7 +376,10 @@ impl MemSystem {
             self.stats.l1_accesses += 1;
             self.stats.l1_latency_sum += done - now;
         }
-        Ok(MemReply { done_at: done, l1_hit: lookup.hit })
+        Ok(MemReply {
+            done_at: done,
+            l1_hit: lookup.hit,
+        })
     }
 
     /// The decoupled vector path: bypass L1, access L2 directly through
@@ -389,7 +406,10 @@ impl MemSystem {
 
         let done = self.access_l2_sized(start, req.addr, req.kind.is_store(), u64::from(req.size));
         let hit_l2 = done <= start + self.config.l2_latency + 2;
-        Ok(MemReply { done_at: done, l1_hit: hit_l2 })
+        Ok(MemReply {
+            done_at: done,
+            l1_hit: hit_l2,
+        })
     }
 
     fn wbuf_would_accept(&mut self, now: Cycle, line: u64) -> bool {
@@ -403,7 +423,11 @@ impl MemSystem {
     }
 
     fn mshr_would_reject(&mut self, now: Cycle, line: u64, vector: bool) -> bool {
-        let mshrs = if vector { &mut self.v_mshrs } else { &mut self.d_mshrs };
+        let mshrs = if vector {
+            &mut self.v_mshrs
+        } else {
+            &mut self.d_mshrs
+        };
         if mshrs.outstanding(now) < mshrs.capacity() {
             return false;
         }
@@ -432,7 +456,11 @@ impl MemSystem {
         let line = self.l2.line_addr(addr);
         let lookup = self.l2.access(start, addr, is_store);
         if let Some(victim) = lookup.writeback {
-            let _ = self.dram.access(start + self.config.l2_latency, victim, self.config.l2.line_bytes);
+            let _ = self.dram.access(
+                start + self.config.l2_latency,
+                victim,
+                self.config.l2.line_bytes,
+            );
             self.stats.dram_writes += 1;
         }
         if lookup.hit {
@@ -446,12 +474,20 @@ impl MemSystem {
             MshrOutcome::Full => {
                 self.stats.mshr_full_stalls += 1;
                 // Wait out a DRAM round trip before the retry succeeds.
-                let fill = self.dram.access(start + self.config.l2_latency, line, self.config.l2.line_bytes);
+                let fill = self.dram.access(
+                    start + self.config.l2_latency,
+                    line,
+                    self.config.l2.line_bytes,
+                );
                 self.stats.dram_reads += 1;
                 fill + self.config.l2_latency
             }
             MshrOutcome::Allocated => {
-                let fill = self.dram.access(start + self.config.l2_latency, line, self.config.l2.line_bytes);
+                let fill = self.dram.access(
+                    start + self.config.l2_latency,
+                    line,
+                    self.config.l2.line_bytes,
+                );
                 self.stats.dram_reads += 1;
                 self.l2_mshrs.set_fill_time(line, fill);
                 self.l2.set_fill_time(line, fill);
@@ -470,15 +506,30 @@ mod tests {
     }
 
     fn load(addr: u64) -> MemRequest {
-        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::ScalarLoad }
+        MemRequest {
+            tid: 0,
+            addr,
+            size: 8,
+            kind: AccessKind::ScalarLoad,
+        }
     }
 
     fn store(addr: u64) -> MemRequest {
-        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::ScalarStore }
+        MemRequest {
+            tid: 0,
+            addr,
+            size: 8,
+            kind: AccessKind::ScalarStore,
+        }
     }
 
     fn vload(addr: u64) -> MemRequest {
-        MemRequest { tid: 0, addr, size: 8, kind: AccessKind::VectorLoad }
+        MemRequest {
+            tid: 0,
+            addr,
+            size: 8,
+            kind: AccessKind::VectorLoad,
+        }
     }
 
     #[test]
@@ -497,7 +548,11 @@ mod tests {
         let mut m = sys(HierarchyKind::Conventional);
         let miss = m.request(0, load(0x10000)).unwrap();
         assert!(!miss.l1_hit);
-        assert!(miss.done_at > 50, "cold miss goes to DRAM: {}", miss.done_at);
+        assert!(
+            miss.done_at > 50,
+            "cold miss goes to DRAM: {}",
+            miss.done_at
+        );
         let hit = m.request(miss.done_at, load(0x10000)).unwrap();
         assert!(hit.l1_hit);
         assert_eq!(hit.done_at, miss.done_at + 1);
@@ -507,11 +562,16 @@ mod tests {
     fn l2_hit_is_cheaper_than_dram() {
         let mut m = sys(HierarchyKind::Conventional);
         let a = m.request(0, load(0x20000)).unwrap(); // DRAM
-        // A different L1 set mapping to the same L2 line: 0x20000 + 32
-        // shares the L2 128B line but is a different L1 32B line.
+                                                      // A different L1 set mapping to the same L2 line: 0x20000 + 32
+                                                      // shares the L2 128B line but is a different L1 32B line.
         let b = m.request(a.done_at, load(0x20020)).unwrap();
         assert!(!b.l1_hit);
-        assert!(b.done_at - a.done_at < a.done_at, "L2 hit: {} vs {}", b.done_at - a.done_at, a.done_at);
+        assert!(
+            b.done_at - a.done_at < a.done_at,
+            "L2 hit: {} vs {}",
+            b.done_at - a.done_at,
+            a.done_at
+        );
     }
 
     #[test]
@@ -547,11 +607,10 @@ mod tests {
         let mut stalled = false;
         // Issue misses to distinct lines over several cycles so ports are
         // not the limit; lines are distinct so no coalescing.
-        let mut cycle = 0;
         let mut issued = 0;
         for i in 0..(mshrs + 4) {
             let addr = 0x100_0000 + (i as u64) * 4096;
-            match m.request(cycle, load(addr)) {
+            match m.request(i as u64, load(addr)) {
                 Ok(_) => issued += 1,
                 Err(Stall::MshrFull) => {
                     stalled = true;
@@ -559,7 +618,6 @@ mod tests {
                 }
                 Err(_) => {}
             }
-            cycle += 1;
         }
         assert!(stalled, "issued {issued} misses without MSHR back-pressure");
         assert!(m.stats().mshr_full_stalls > 0);
@@ -571,7 +629,12 @@ mod tests {
         let a = m.request(0, load(0x50000)).unwrap();
         let b = m.request(1, load(0x50008)).unwrap(); // same 32B line
         assert!(!b.l1_hit);
-        assert!(b.done_at <= a.done_at, "coalesced fill: {} vs {}", b.done_at, a.done_at);
+        assert!(
+            b.done_at <= a.done_at,
+            "coalesced fill: {} vs {}",
+            b.done_at,
+            a.done_at
+        );
         assert_eq!(m.stats().dram_reads, 1, "one line fetch serves both");
     }
 
@@ -682,7 +745,15 @@ mod tests {
         let mut now = 0;
         for i in 0..3u64 {
             let r = m
-                .request(now, MemRequest { tid: 0, addr: i * set_stride, size: 8, kind: AccessKind::VectorStore })
+                .request(
+                    now,
+                    MemRequest {
+                        tid: 0,
+                        addr: i * set_stride,
+                        size: 8,
+                        kind: AccessKind::VectorStore,
+                    },
+                )
                 .unwrap();
             now = r.done_at + 1;
         }

@@ -43,7 +43,12 @@ impl WriteBuffer {
     /// `drain_latency` cycles.
     #[must_use]
     pub fn new(capacity: usize, drain_latency: Cycle) -> Self {
-        WriteBuffer { capacity, entries: Vec::with_capacity(capacity), drain_latency, drain_port_free: 0 }
+        WriteBuffer {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            drain_latency,
+            drain_port_free: 0,
+        }
     }
 
     fn retire(&mut self, now: Cycle) {
@@ -70,7 +75,10 @@ impl WriteBuffer {
         let start = self.drain_port_free.max(now);
         let drains_at = start + self.drain_latency;
         self.drain_port_free = start + self.drain_latency;
-        self.entries.push(Entry { line_addr, drains_at });
+        self.entries.push(Entry {
+            line_addr,
+            drains_at,
+        });
         WriteOutcome::Accepted
     }
 
@@ -133,8 +141,15 @@ mod tests {
         wb.push(0, 0x200);
         wb.push(0, 0x240);
         let ready = wb.selective_flush(1, 0x240).expect("entry present");
-        assert!(ready <= 12, "flush completes within one drain latency: {ready}");
-        assert_eq!(wb.occupancy(1), 1, "only the matching entry left the buffer");
+        assert!(
+            ready <= 12,
+            "flush completes within one drain latency: {ready}"
+        );
+        assert_eq!(
+            wb.occupancy(1),
+            1,
+            "only the matching entry left the buffer"
+        );
         assert!(wb.selective_flush(1, 0x240).is_none(), "already flushed");
     }
 

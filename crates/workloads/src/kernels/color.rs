@@ -21,7 +21,11 @@ pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
     let y = (fix(0.299) * r + fix(0.587) * g + fix(0.114) * b + HALF) >> SHIFT;
     let cb = ((fix(-0.168_735_9) * r - fix(0.331_264_1) * g + fix(0.5) * b + HALF) >> SHIFT) + 128;
     let cr = ((fix(0.5) * r - fix(0.418_687_6) * g - fix(0.081_312_4) * b + HALF) >> SHIFT) + 128;
-    (y.clamp(0, 255) as u8, cb.clamp(0, 255) as u8, cr.clamp(0, 255) as u8)
+    (
+        y.clamp(0, 255) as u8,
+        cb.clamp(0, 255) as u8,
+        cr.clamp(0, 255) as u8,
+    )
 }
 
 /// Convert one YCbCr pixel back to RGB.
@@ -33,7 +37,11 @@ pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
     let r = ((y << SHIFT) + fix(1.402) * cr + HALF) >> SHIFT;
     let g = ((y << SHIFT) - fix(0.344_136_3) * cb - fix(0.714_136_3) * cr + HALF) >> SHIFT;
     let b = ((y << SHIFT) + fix(1.772) * cb + HALF) >> SHIFT;
-    (r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8)
+    (
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
+    )
 }
 
 /// An interleaved RGB image.
@@ -70,7 +78,10 @@ pub struct Ycbcr420 {
 /// Panics if the dimensions are not even.
 #[must_use]
 pub fn convert_420(img: &RgbImage) -> Ycbcr420 {
-    assert!(img.width % 2 == 0 && img.height % 2 == 0, "4:2:0 needs even dimensions");
+    assert!(
+        img.width.is_multiple_of(2) && img.height.is_multiple_of(2),
+        "4:2:0 needs even dimensions"
+    );
     let (w, h) = (img.width, img.height);
     let mut y = vec![0u8; w * h];
     let mut full_cb = vec![0u8; w * h];
@@ -100,7 +111,13 @@ pub fn convert_420(img: &RgbImage) -> Ycbcr420 {
             cr[cy * cw + cx] = avg(&full_cr);
         }
     }
-    Ycbcr420 { y, cb, cr, width: w, height: h }
+    Ycbcr420 {
+        y,
+        cb,
+        cr,
+        width: w,
+        height: h,
+    }
 }
 
 /// Convert planar YCbCr 4:2:0 back to interleaved RGB (nearest-neighbor
@@ -120,7 +137,11 @@ pub fn convert_rgb(img: &Ycbcr420) -> RgbImage {
             data[o + 2] = b;
         }
     }
-    RgbImage { data, width: w, height: h }
+    RgbImage {
+        data,
+        width: w,
+        height: h,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +186,11 @@ mod tests {
 
     #[test]
     fn planar_geometry_420() {
-        let img = RgbImage { data: vec![100; 16 * 8 * 3], width: 16, height: 8 };
+        let img = RgbImage {
+            data: vec![100; 16 * 8 * 3],
+            width: 16,
+            height: 8,
+        };
         let out = convert_420(&img);
         assert_eq!(out.y.len(), 16 * 8);
         assert_eq!(out.cb.len(), 8 * 4);
@@ -184,7 +209,11 @@ mod tests {
                 data[o + 2] = 128;
             }
         }
-        let img = RgbImage { data, width: w, height: h };
+        let img = RgbImage {
+            data,
+            width: w,
+            height: h,
+        };
         let back = convert_rgb(&convert_420(&img));
         // Chroma subsampling loses detail; luma should survive well.
         let mut max_y_err = 0i32;
@@ -202,7 +231,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "even dimensions")]
     fn odd_dimensions_rejected() {
-        let img = RgbImage { data: vec![0; 15 * 8 * 3], width: 15, height: 8 };
+        let img = RgbImage {
+            data: vec![0; 15 * 8 * 3],
+            width: 15,
+            height: 8,
+        };
         let _ = convert_420(&img);
     }
 }

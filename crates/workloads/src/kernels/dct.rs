@@ -25,7 +25,11 @@ fn dct1d(s: &[i64; 8]) -> [i64; 8] {
             acc += sign * x * C[idx];
         }
         // c(0) = 1/√2 ≈ C[4]/2^13
-        let scaled = if k == 0 { acc * C[4] >> FIX_SHIFT } else { acc };
+        let scaled = if k == 0 {
+            (acc * C[4]) >> FIX_SHIFT
+        } else {
+            acc
+        };
         *o = scaled >> (FIX_SHIFT - 1); // ×1/2 overall normalization... see below
     }
     // Normalization: forward 1-D DCT here is ×2 the orthonormal one; the
@@ -83,7 +87,11 @@ fn idct1d(s: &[i64; 8]) -> [i64; 8] {
         for (k, &x) in s.iter().enumerate() {
             let m = ((2 * n + 1) * k) % 32;
             let (idx, sign) = fold_angle(m);
-            let ck = if k == 0 { (C[4] * C[idx]) >> FIX_SHIFT } else { C[idx] };
+            let ck = if k == 0 {
+                (C[4] * C[idx]) >> FIX_SHIFT
+            } else {
+                C[idx]
+            };
             acc += sign * x * ck;
         }
         *o = acc >> (FIX_SHIFT - 1);
@@ -156,7 +164,12 @@ mod tests {
         let back = inverse(&coef);
         for i in 0..64 {
             let err = (i32::from(back[i]) - i32::from(block[i])).abs();
-            assert!(err <= 2, "sample {i}: {} vs {} (err {err})", back[i], block[i]);
+            assert!(
+                err <= 2,
+                "sample {i}: {} vs {} (err {err})",
+                back[i],
+                block[i]
+            );
         }
     }
 
@@ -192,8 +205,14 @@ mod tests {
     fn energy_compaction_on_smooth_data() {
         // A smooth gradient concentrates energy in low frequencies.
         let coef = forward(&gradient_block());
-        let low: i64 = coef[..16].iter().map(|&c| i64::from(c) * i64::from(c)).sum();
-        let high: i64 = coef[48..].iter().map(|&c| i64::from(c) * i64::from(c)).sum();
+        let low: i64 = coef[..16]
+            .iter()
+            .map(|&c| i64::from(c) * i64::from(c))
+            .sum();
+        let high: i64 = coef[48..]
+            .iter()
+            .map(|&c| i64::from(c) * i64::from(c))
+            .sum();
         assert!(low > 10 * high.max(1), "low {low} vs high {high}");
     }
 

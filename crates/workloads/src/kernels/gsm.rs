@@ -197,7 +197,12 @@ mod tests {
         let s = tone(FRAME_SAMPLES, 8, 1000);
         let acf = autocorrelation(&s, 8);
         // lag 8 = one full period: strong positive correlation, close to lag 0.
-        assert!(acf[8] > acf[0] * 8 / 10, "acf[8]={} acf[0]={}", acf[8], acf[0]);
+        assert!(
+            acf[8] > acf[0] * 8 / 10,
+            "acf[8]={} acf[0]={}",
+            acf[8],
+            acf[0]
+        );
         // lag 4 = half period: strong anticorrelation.
         assert!(acf[4] < 0);
     }
@@ -233,17 +238,29 @@ mod tests {
             })
             .collect();
         let (lag, corr) = ltp_search(&sub, &hist, LTP_MAX_LAG);
-        assert!(lag % period == 0 || (lag as i32 - period as i32).abs() <= 1, "lag {lag}");
+        assert!(
+            lag % period == 0 || (lag as i32 - period as i32).abs() <= 1,
+            "lag {lag}"
+        );
         assert!(corr > 0);
     }
 
     #[test]
     fn rpe_round_trip_preserves_grid_samples_roughly() {
-        let res: Vec<i16> = (0..SUBFRAME_SAMPLES as i16).map(|i| (i - 20) * 30).collect();
+        let res: Vec<i16> = (0..SUBFRAME_SAMPLES as i16)
+            .map(|i| (i - 20) * 30)
+            .collect();
         let (grid, q) = rpe_encode(&res);
         assert!(grid < 4);
         assert_eq!(q.len(), 13);
-        let max = res.iter().skip(grid).step_by(3).take(13).map(|&s| i32::from(s).abs()).max().unwrap() as i16;
+        let max = res
+            .iter()
+            .skip(grid)
+            .step_by(3)
+            .take(13)
+            .map(|&s| i32::from(s).abs())
+            .max()
+            .unwrap() as i16;
         let dec = rpe_decode(grid, &q, max);
         // Reconstructed grid samples correlate positively with originals.
         let dot: i64 = dec
@@ -267,6 +284,9 @@ mod tests {
         let refl = vec![8000i16; LPC_ORDER]; // |k| < 0.25 in Q15
         let y = synthesis_filter(&x, &refl);
         assert_eq!(y.len(), x.len());
-        assert!(y.iter().all(|&v| v > -32768 && v < 32767), "no clipping for mild filter");
+        assert!(
+            y.iter().all(|&v| v > -32768 && v < 32767),
+            "no clipping for mild filter"
+        );
     }
 }

@@ -123,7 +123,8 @@ pub fn encode_block(w: &mut BitWriter, events: &[RunLevel]) {
         let len = code_len(e);
         if len < 24 {
             // Canonical short code: emit (len-1) bits of pattern then sign.
-            let pattern = (u32::from(e.run) << 2 | (e.level.unsigned_abs() as u32 & 0x3)) & ((1 << (len - 1)) - 1);
+            let pattern = (u32::from(e.run) << 2 | (e.level.unsigned_abs() as u32 & 0x3))
+                & ((1 << (len - 1)) - 1);
             w.put(pattern, len - 1);
             w.put(u32::from(e.level < 0), 1);
         } else {
@@ -138,7 +139,11 @@ pub fn encode_block(w: &mut BitWriter, events: &[RunLevel]) {
 /// Total bits block encoding takes (without writing).
 #[must_use]
 pub fn block_bits(events: &[RunLevel]) -> usize {
-    events.iter().map(|&e| usize::from(code_len(e))).sum::<usize>() + 2
+    events
+        .iter()
+        .map(|&e| usize::from(code_len(e)))
+        .sum::<usize>()
+        + 2
 }
 
 #[cfg(test)]
@@ -183,13 +188,25 @@ mod tests {
         assert!(code_len(RunLevel { run: 0, level: 1 }) <= 3);
         assert!(code_len(RunLevel { run: 1, level: 1 }) <= 4);
         // Rare events escape to 24 bits.
-        assert_eq!(code_len(RunLevel { run: 20, level: 300 }), 24);
-        assert_eq!(code_len(RunLevel { run: 0, level: -1 }), code_len(RunLevel { run: 0, level: 1 }));
+        assert_eq!(
+            code_len(RunLevel {
+                run: 20,
+                level: 300
+            }),
+            24
+        );
+        assert_eq!(
+            code_len(RunLevel { run: 0, level: -1 }),
+            code_len(RunLevel { run: 0, level: 1 })
+        );
     }
 
     #[test]
     fn encode_block_writes_expected_bits() {
-        let events = vec![RunLevel { run: 0, level: 1 }, RunLevel { run: 2, level: -1 }];
+        let events = vec![
+            RunLevel { run: 0, level: 1 },
+            RunLevel { run: 2, level: -1 },
+        ];
         let mut w = BitWriter::new();
         encode_block(&mut w, &events);
         assert_eq!(w.bit_len(), block_bits(&events));
@@ -205,7 +222,12 @@ mod tests {
     #[test]
     fn denser_blocks_take_more_bits() {
         let sparse = vec![RunLevel { run: 5, level: 1 }];
-        let dense: Vec<RunLevel> = (0..20).map(|i| RunLevel { run: 0, level: i - 10 }).collect();
+        let dense: Vec<RunLevel> = (0..20)
+            .map(|i| RunLevel {
+                run: 0,
+                level: i - 10,
+            })
+            .collect();
         assert!(block_bits(&dense) > block_bits(&sparse));
     }
 }

@@ -90,6 +90,7 @@ impl Mat4 {
 
     /// Matrix × matrix.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // free function-style name, kept API-stable
     pub fn mul(self, o: Mat4) -> Mat4 {
         let mut r = [0.0f32; 16];
         for i in 0..4 {
@@ -144,7 +145,12 @@ impl Framebuffer {
     /// A cleared framebuffer.
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
-        Framebuffer { color: vec![0; width * height], depth: vec![f32::MAX; width * height], width, height }
+        Framebuffer {
+            color: vec![0; width * height],
+            depth: vec![f32::MAX; width * height],
+            width,
+            height,
+        }
     }
 
     /// Count of pixels written (depth < MAX).
@@ -173,7 +179,12 @@ fn edge(a: &ScreenVertex, b: &ScreenVertex, px: f32, py: f32) -> f32 {
 
 /// Rasterize a triangle with barycentric interpolation and depth test.
 /// Returns the number of pixels that passed the depth test.
-pub fn rasterize(fb: &mut Framebuffer, v0: ScreenVertex, v1: ScreenVertex, v2: ScreenVertex) -> usize {
+pub fn rasterize(
+    fb: &mut Framebuffer,
+    v0: ScreenVertex,
+    v1: ScreenVertex,
+    v2: ScreenVertex,
+) -> usize {
     let min_x = v0.x.min(v1.x).min(v2.x).floor().max(0.0) as usize;
     let max_x = (v0.x.max(v1.x).max(v2.x).ceil() as usize).min(fb.width.saturating_sub(1));
     let min_y = v0.y.min(v1.y).min(v2.y).floor().max(0.0) as usize;
@@ -256,9 +267,24 @@ mod tests {
     fn rasterize_covers_expected_area() {
         let mut fb = Framebuffer::new(64, 64);
         // Right triangle covering ~half of a 40×40 box.
-        let v0 = ScreenVertex { x: 10.0, y: 10.0, z: 0.5, intensity: 1.0 };
-        let v1 = ScreenVertex { x: 50.0, y: 10.0, z: 0.5, intensity: 1.0 };
-        let v2 = ScreenVertex { x: 10.0, y: 50.0, z: 0.5, intensity: 1.0 };
+        let v0 = ScreenVertex {
+            x: 10.0,
+            y: 10.0,
+            z: 0.5,
+            intensity: 1.0,
+        };
+        let v1 = ScreenVertex {
+            x: 50.0,
+            y: 10.0,
+            z: 0.5,
+            intensity: 1.0,
+        };
+        let v2 = ScreenVertex {
+            x: 10.0,
+            y: 50.0,
+            z: 0.5,
+            intensity: 1.0,
+        };
         let w = rasterize(&mut fb, v0, v1, v2);
         assert!(w > 600 && w < 1000, "~800 pixels expected, got {w}");
         assert_eq!(fb.covered_pixels(), w);
@@ -269,9 +295,24 @@ mod tests {
         let mut fb = Framebuffer::new(32, 32);
         let tri = |z: f32, i: f32| {
             (
-                ScreenVertex { x: 2.0, y: 2.0, z, intensity: i },
-                ScreenVertex { x: 30.0, y: 2.0, z, intensity: i },
-                ScreenVertex { x: 2.0, y: 30.0, z, intensity: i },
+                ScreenVertex {
+                    x: 2.0,
+                    y: 2.0,
+                    z,
+                    intensity: i,
+                },
+                ScreenVertex {
+                    x: 30.0,
+                    y: 2.0,
+                    z,
+                    intensity: i,
+                },
+                ScreenVertex {
+                    x: 2.0,
+                    y: 30.0,
+                    z,
+                    intensity: i,
+                },
             )
         };
         let (a0, a1, a2) = tri(0.3, 1.0);
@@ -285,7 +326,12 @@ mod tests {
     #[test]
     fn degenerate_triangle_rasterizes_nothing() {
         let mut fb = Framebuffer::new(16, 16);
-        let v = ScreenVertex { x: 5.0, y: 5.0, z: 0.1, intensity: 1.0 };
+        let v = ScreenVertex {
+            x: 5.0,
+            y: 5.0,
+            z: 0.1,
+            intensity: 1.0,
+        };
         assert_eq!(rasterize(&mut fb, v, v, v), 0);
     }
 }

@@ -21,7 +21,11 @@ impl Plane {
     /// Create a plane filled with `fill`.
     #[must_use]
     pub fn new(width: usize, height: usize, fill: u8) -> Self {
-        Plane { data: vec![fill; width * height], width, height }
+        Plane {
+            data: vec![fill; width * height],
+            width,
+            height,
+        }
     }
 
     /// Sample at (x, y) with edge clamping.
@@ -36,7 +40,17 @@ impl Plane {
 /// Sum of absolute differences between a `bw`×`bh` block of `cur` at
 /// (cx, cy) and of `reference` at (rx, ry).
 #[must_use]
-pub fn sad(cur: &Plane, cx: usize, cy: usize, reference: &Plane, rx: isize, ry: isize, bw: usize, bh: usize) -> u32 {
+#[allow(clippy::too_many_arguments)] // mirrors the C reference signature
+pub fn sad(
+    cur: &Plane,
+    cx: usize,
+    cy: usize,
+    reference: &Plane,
+    rx: isize,
+    ry: isize,
+    bw: usize,
+    bh: usize,
+) -> u32 {
     let mut total = 0u32;
     for dy in 0..bh {
         for dx in 0..bw {
@@ -63,8 +77,18 @@ pub struct MotionVector {
 /// within ±`range` pixels. Returns the best vector (ties favor the
 /// smaller displacement, searched in raster order).
 #[must_use]
-pub fn full_search(cur: &Plane, reference: &Plane, mx: usize, my: usize, range: i8) -> MotionVector {
-    let mut best = MotionVector { dx: 0, dy: 0, sad: u32::MAX };
+pub fn full_search(
+    cur: &Plane,
+    reference: &Plane,
+    mx: usize,
+    my: usize,
+    range: i8,
+) -> MotionVector {
+    let mut best = MotionVector {
+        dx: 0,
+        dy: 0,
+        sad: u32::MAX,
+    };
     for dy in -range..=range {
         for dx in -range..=range {
             let s = sad(
@@ -95,7 +119,13 @@ pub fn candidates(range: i8) -> usize {
 /// Form the 16×16 residual of the macroblock at (mx, my) against the
 /// motion-compensated prediction.
 #[must_use]
-pub fn residual(cur: &Plane, reference: &Plane, mx: usize, my: usize, mv: MotionVector) -> [i16; 256] {
+pub fn residual(
+    cur: &Plane,
+    reference: &Plane,
+    mx: usize,
+    my: usize,
+    mv: MotionVector,
+) -> [i16; 256] {
     let mut out = [0i16; 256];
     for dy in 0..16 {
         for dx in 0..16 {
@@ -112,7 +142,14 @@ pub fn residual(cur: &Plane, reference: &Plane, mx: usize, my: usize, mv: Motion
 
 /// Motion-compensated reconstruction: prediction + residual, clamped to
 /// pixel range (the decoder-side kernel).
-pub fn reconstruct(dst: &mut Plane, reference: &Plane, mx: usize, my: usize, mv: MotionVector, residual: &[i16; 256]) {
+pub fn reconstruct(
+    dst: &mut Plane,
+    reference: &Plane,
+    mx: usize,
+    my: usize,
+    mv: MotionVector,
+    residual: &[i16; 256],
+) {
     for dy in 0..16 {
         for dx in 0..16 {
             let p = i16::from(reference.at(
@@ -185,7 +222,10 @@ mod tests {
         reconstruct(&mut rec, &reference, 16, 16, mv, &res);
         for dy in 0..16 {
             for dx in 0..16 {
-                assert_eq!(rec.at((16 + dx) as isize, (16 + dy) as isize), cur.at((16 + dx) as isize, (16 + dy) as isize));
+                assert_eq!(
+                    rec.at((16 + dx) as isize, (16 + dy) as isize),
+                    cur.at((16 + dx) as isize, (16 + dy) as isize)
+                );
             }
         }
     }

@@ -29,7 +29,11 @@ pub fn quantize(coef: &[i16; 64], matrix: &[u16; 64], qscale: u16) -> [i16; 64] 
         let q = i32::from(matrix[i]) * i32::from(qscale);
         let c = i32::from(coef[i]) * 16;
         // Symmetric rounding toward zero with a dead zone (MPEG-2 style).
-        let level = if c >= 0 { (c + q / 2) / q } else { -((-c + q / 2) / q) };
+        let level = if c >= 0 {
+            (c + q / 2) / q
+        } else {
+            -((-c + q / 2) / q)
+        };
         out[i] = level.clamp(-2047, 2047) as i16;
     }
     out
@@ -63,7 +67,10 @@ mod tests {
         let mut c = [0i16; 64];
         c[50] = 9; // high-frequency, small
         let q = quantize(&c, &INTRA_MATRIX, 16);
-        assert_eq!(q[50], 0, "small high-frequency coefficient quantizes to zero");
+        assert_eq!(
+            q[50], 0,
+            "small high-frequency coefficient quantizes to zero"
+        );
         let q = quantize(&c, &INTRA_MATRIX, 1);
         assert_ne!(q[50], 0, "fine quantization keeps it");
     }

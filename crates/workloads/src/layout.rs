@@ -44,7 +44,9 @@ impl Layout {
     #[must_use]
     pub fn for_instance(instance: usize) -> Self {
         let stagger = instance as u64 * 0x8000;
-        Layout { base: (instance as u64 + 1) * REGION_BYTES + stagger }
+        Layout {
+            base: (instance as u64 + 1) * REGION_BYTES + stagger,
+        }
     }
 
     /// Base address of the region.

@@ -116,7 +116,13 @@ mod tests {
     #[test]
     fn mom_counts_equivalent_instructions() {
         let mut mix = InstMix::default();
-        mix.record(&Inst::mom(MomOp::VaddW, stream(0), stream(1), stream(2), 11));
+        mix.record(&Inst::mom(
+            MomOp::VaddW,
+            stream(0),
+            stream(1),
+            stream(2),
+            11,
+        ));
         mix.record(&Inst::mom_load(stream(3), int(1), 0x1000, 8, 16));
         assert_eq!(mix.simd, 11, "the paper's stream-length-11 example");
         assert_eq!(mix.memory, 16);
@@ -147,8 +153,20 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = InstMix { integer: 10, fp: 1, simd: 2, memory: 3, raw: 16 };
-        let b = InstMix { integer: 5, fp: 0, simd: 8, memory: 2, raw: 10 };
+        let mut a = InstMix {
+            integer: 10,
+            fp: 1,
+            simd: 2,
+            memory: 3,
+            raw: 16,
+        };
+        let b = InstMix {
+            integer: 5,
+            fp: 0,
+            simd: 8,
+            memory: 2,
+            raw: 10,
+        };
         a.merge(&b);
         assert_eq!(a.integer, 15);
         assert_eq!(a.simd, 10);

@@ -166,13 +166,27 @@ impl Benchmark {
         let units = self.units(spec.scale);
         let seed = spec.seed ^ ((instance as u64) << 8) ^ self as u64;
         match self {
-            Benchmark::Mpeg2Enc => Box::new(ChunkedStream::new(Mpeg2EncGen::new(instance, isa, units, seed))),
-            Benchmark::Mpeg2Dec => Box::new(ChunkedStream::new(Mpeg2DecGen::new(instance, isa, units, seed))),
-            Benchmark::JpegEnc => Box::new(ChunkedStream::new(JpegEncGen::new(instance, isa, units, seed))),
-            Benchmark::JpegDec => Box::new(ChunkedStream::new(JpegDecGen::new(instance, isa, units, seed))),
-            Benchmark::GsmEnc => Box::new(ChunkedStream::new(GsmEncGen::new(instance, isa, units, seed))),
-            Benchmark::GsmDec => Box::new(ChunkedStream::new(GsmDecGen::new(instance, isa, units, seed))),
-            Benchmark::Mesa => Box::new(ChunkedStream::new(MesaGen::new(instance, isa, units, seed))),
+            Benchmark::Mpeg2Enc => Box::new(ChunkedStream::new(Mpeg2EncGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::Mpeg2Dec => Box::new(ChunkedStream::new(Mpeg2DecGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::JpegEnc => Box::new(ChunkedStream::new(JpegEncGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::JpegDec => Box::new(ChunkedStream::new(JpegDecGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::GsmEnc => Box::new(ChunkedStream::new(GsmEncGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::GsmDec => Box::new(ChunkedStream::new(GsmDecGen::new(
+                instance, isa, units, seed,
+            ))),
+            Benchmark::Mesa => {
+                Box::new(ChunkedStream::new(MesaGen::new(instance, isa, units, seed)))
+            }
         }
     }
 }
@@ -198,7 +212,10 @@ impl WorkloadSpec {
     /// Spec with the given scale and the default seed.
     #[must_use]
     pub fn new(scale: f64) -> Self {
-        WorkloadSpec { scale, seed: 0x5eed_2001 }
+        WorkloadSpec {
+            scale,
+            seed: 0x5eed_2001,
+        }
     }
 }
 
@@ -258,20 +275,32 @@ mod tests {
 
     #[test]
     fn paper_instruction_totals_match_table3() {
-        let mmx: f64 = Benchmark::PAPER_ORDER.iter().map(|b| b.paper_minsts(SimdIsa::Mmx)).sum();
-        let mom: f64 = Benchmark::PAPER_ORDER.iter().map(|b| b.paper_minsts(SimdIsa::Mom)).sum();
+        let mmx: f64 = Benchmark::PAPER_ORDER
+            .iter()
+            .map(|b| b.paper_minsts(SimdIsa::Mmx))
+            .sum();
+        let mom: f64 = Benchmark::PAPER_ORDER
+            .iter()
+            .map(|b| b.paper_minsts(SimdIsa::Mom))
+            .sum();
         assert!((mmx - 1429.0).abs() < 1.0, "Table 3 total: {mmx}");
         assert!((mom - 1087.0).abs() < 1.5, "Table 3 total: {mom}");
     }
 
     #[test]
     fn unvectorized_programs_have_equal_counts() {
-        assert_eq!(Benchmark::Mesa.paper_minsts(SimdIsa::Mmx), Benchmark::Mesa.paper_minsts(SimdIsa::Mom));
+        assert_eq!(
+            Benchmark::Mesa.paper_minsts(SimdIsa::Mmx),
+            Benchmark::Mesa.paper_minsts(SimdIsa::Mom)
+        );
     }
 
     #[test]
     fn units_scale_and_floor_at_one() {
-        assert_eq!(Benchmark::Mpeg2Enc.units(1.0), Benchmark::Mpeg2Enc.units_full());
+        assert_eq!(
+            Benchmark::Mpeg2Enc.units(1.0),
+            Benchmark::Mpeg2Enc.units_full()
+        );
         assert!(Benchmark::GsmDec.units(1e-9) == 1);
         assert!(Benchmark::Mpeg2Enc.units(0.002) > 50);
     }
@@ -287,7 +316,10 @@ mod tests {
     #[test]
     fn streams_are_constructible_for_all_benchmarks() {
         use crate::trace::InstStream as _;
-        let spec = WorkloadSpec { scale: 1e-5, seed: 1 };
+        let spec = WorkloadSpec {
+            scale: 1e-5,
+            seed: 1,
+        };
         for b in Benchmark::ALL {
             for isa in SimdIsa::ALL {
                 let mut s = b.stream(0, isa, &spec);

@@ -32,13 +32,23 @@ impl RegRing {
     #[must_use]
     pub fn new(class: RegClass, lo: u8, hi: u8) -> Self {
         assert!(lo <= hi && hi < class.logical_count());
-        RegRing { class, lo, hi, next: lo }
+        RegRing {
+            class,
+            lo,
+            hi,
+            next: lo,
+        }
     }
 
     /// Next register in rotation.
+    #[allow(clippy::should_implement_trait)] // infinite ring, not an Iterator
     pub fn next(&mut self) -> LogicalReg {
         let r = LogicalReg::new(self.class, self.next);
-        self.next = if self.next == self.hi { self.lo } else { self.next + 1 };
+        self.next = if self.next == self.hi {
+            self.lo
+        } else {
+            self.next + 1
+        };
         r
     }
 }
@@ -225,11 +235,17 @@ impl Emitter {
                 b
             }
         };
-        self.emit(Inst::new(Op::Ctl(CtlOp::Call)).with_branch(BranchInfo { taken: true, target: base }));
+        self.emit(Inst::new(Op::Ctl(CtlOp::Call)).with_branch(BranchInfo {
+            taken: true,
+            target: base,
+        }));
         let ret_to = self.pc;
         self.pc = base;
         body(self);
-        self.emit(Inst::new(Op::Ctl(CtlOp::Ret)).with_branch(BranchInfo { taken: true, target: ret_to }));
+        self.emit(Inst::new(Op::Ctl(CtlOp::Ret)).with_branch(BranchInfo {
+            taken: true,
+            target: ret_to,
+        }));
         self.pc = ret_to;
     }
 
@@ -316,9 +332,21 @@ impl Emitter {
     }
 
     /// MOM accumulator op over streams `a`, `b`.
-    pub fn mom_acc(&mut self, op: MomOp, acc_reg: LogicalReg, a: LogicalReg, b: LogicalReg, slen: u8) {
+    pub fn mom_acc(
+        &mut self,
+        op: MomOp,
+        acc_reg: LogicalReg,
+        a: LogicalReg,
+        b: LogicalReg,
+        slen: u8,
+    ) {
         debug_assert!(op.writes_acc());
-        self.emit(Inst::new(Op::Mom(op)).with_dst(acc_reg).with_srcs(&[a, b, acc_reg]).with_slen(slen));
+        self.emit(
+            Inst::new(Op::Mom(op))
+                .with_dst(acc_reg)
+                .with_srcs(&[a, b, acc_reg])
+                .with_slen(slen),
+        );
     }
 
     /// MOM accumulator read-back into an MMX register.
@@ -366,7 +394,11 @@ mod tests {
         assert!(branches[0].branch.unwrap().taken);
         assert!(branches[1].branch.unwrap().taken);
         assert!(!branches[2].branch.unwrap().taken);
-        assert_eq!(branches[0].branch.unwrap().target, insts[0].pc, "backward to loop head");
+        assert_eq!(
+            branches[0].branch.unwrap().target,
+            insts[0].pc,
+            "backward to loop head"
+        );
     }
 
     #[test]
@@ -377,7 +409,10 @@ mod tests {
         e.call("dct", |e| e.int_work(4));
         let second = e.take();
         // Call instruction targets and body PCs identical across calls.
-        assert_eq!(first[0].branch.unwrap().target, second[0].branch.unwrap().target);
+        assert_eq!(
+            first[0].branch.unwrap().target,
+            second[0].branch.unwrap().target
+        );
         assert_eq!(first[1].pc, second[1].pc, "function body at stable PCs");
         // Return targets differ (different call sites).
         let ret1 = first.last().unwrap();

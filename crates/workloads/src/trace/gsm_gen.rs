@@ -93,7 +93,13 @@ impl ChunkGen for GsmEncGen {
         self.e.call("autocorr", |e| {
             scalar::call_overhead(e, 4);
             for lag in 0..=gsm::LPC_ORDER as u64 {
-                simd::mac_reduce(e, isa, samp_addr, samp_addr + lag * 2, gsm::FRAME_SAMPLES as u32);
+                simd::mac_reduce(
+                    e,
+                    isa,
+                    samp_addr,
+                    samp_addr + lag * 2,
+                    gsm::FRAME_SAMPLES as u32,
+                );
                 e.int_work(2);
             }
         });
@@ -122,7 +128,8 @@ impl ChunkGen for GsmEncGen {
         // --- per subframe: LTP search (scalar: data-dependent max) + RPE ---
         for sub in 0..4usize {
             let sub_off = samp_addr + (sub * gsm::SUBFRAME_SAMPLES * 2) as u64;
-            let sub_samples = &samples[sub * gsm::SUBFRAME_SAMPLES..(sub + 1) * gsm::SUBFRAME_SAMPLES];
+            let sub_samples =
+                &samples[sub * gsm::SUBFRAME_SAMPLES..(sub + 1) * gsm::SUBFRAME_SAMPLES];
             let (lag, _corr) = gsm::ltp_search(sub_samples, &samples, 80);
             self.e.call("ltp_search", |e| {
                 // Reduced lag grid (step 5) with scalar correlation + max
@@ -232,7 +239,10 @@ impl ChunkGen for GsmDecGen {
         let excitation = synth_speech(self.seed, self.frame);
         let refl = vec![6000i16; gsm::LPC_ORDER];
         let synth = gsm::synthesis_filter(&excitation, &refl);
-        let clipped = synth.iter().filter(|&&s| s == i16::MAX || s == i16::MIN).count();
+        let clipped = synth
+            .iter()
+            .filter(|&&s| s == i16::MAX || s == i16::MIN)
+            .count();
         self.e.call("st_synthesis", |e| {
             e.loop_n(gsm::FRAME_SAMPLES as u32, |e, k| {
                 let _x = e.load(2, out_addr + u64::from(k) * 2);

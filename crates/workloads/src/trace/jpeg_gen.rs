@@ -46,7 +46,11 @@ fn synth_image(seed: u64) -> RgbImage {
             data[o + 2] = ((x * y / 64 % 256) as u8).wrapping_add(rng.gen_range(0..16));
         }
     }
-    RgbImage { data, width: IMG_W, height: IMG_H }
+    RgbImage {
+        data,
+        width: IMG_W,
+        height: IMG_H,
+    }
 }
 
 /// Pull the 8×8 luma block at (bx, by) out of the converted image.
@@ -75,7 +79,10 @@ fn mcu_blocks(ycc: &color::Ycbcr420, mcu_x: usize, mcu_y: usize) -> Vec<[i16; 64
         let cw = IMG_W / 2;
         for r in 0..8 {
             for c in 0..8 {
-                let (px, py) = ((mcu_x * 8 + c).min(cw - 1), (mcu_y * 8 + r).min(IMG_H / 2 - 1));
+                let (px, py) = (
+                    (mcu_x * 8 + c).min(cw - 1),
+                    (mcu_y * 8 + r).min(IMG_H / 2 - 1),
+                );
                 b[r * 8 + c] = i16::from(plane[py * cw + px]) - 128;
             }
         }

@@ -65,7 +65,9 @@ impl ChunkGen for MesaGen {
 
         // --- functional: transform + light + rasterize a real batch ------
         self.angle += 0.1;
-        let model = Mat4::rotate_z(self.angle).mul(Mat4::scale(30.0)).mul(Mat4::translate(0.0, 0.0, 2.0));
+        let model = Mat4::rotate_z(self.angle)
+            .mul(Mat4::scale(30.0))
+            .mul(Mat4::translate(0.0, 0.0, 2.0));
         let light = Vec4::new(0.3, 0.5, 0.8, 0.0);
         let mut screen = Vec::with_capacity(VERTS_PER_BATCH);
         for _ in 0..VERTS_PER_BATCH {

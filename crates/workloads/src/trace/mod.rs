@@ -78,7 +78,12 @@ pub struct ChunkedStream<G> {
 impl<G: ChunkGen> ChunkedStream<G> {
     /// Wrap a generator.
     pub fn new(generator: G) -> Self {
-        ChunkedStream { generator, buf: VecDeque::new(), scratch: Vec::new(), finished: false }
+        ChunkedStream {
+            generator,
+            buf: VecDeque::new(),
+            scratch: Vec::new(),
+            finished: false,
+        }
     }
 }
 
@@ -120,7 +125,11 @@ impl<S: InstStream> ClampStream<S> {
     /// Panics if `max_vl` is zero.
     pub fn new(inner: S, max_vl: u8) -> Self {
         assert!(max_vl >= 1, "stream length cap must be at least 1");
-        ClampStream { inner, max_vl, pending: VecDeque::new() }
+        ClampStream {
+            inner,
+            max_vl,
+            pending: VecDeque::new(),
+        }
     }
 }
 
@@ -156,7 +165,8 @@ impl<S: InstStream> InstStream for ClampStream<S> {
             chunk_idx += 1;
             if remaining > 0 {
                 // Strip-mine loop overhead.
-                self.pending.push_back(Inst::int_rri(IntOp::Addi, int(21), int(21), 1).at(inst.pc + 4));
+                self.pending
+                    .push_back(Inst::int_rri(IntOp::Addi, int(21), int(21), 1).at(inst.pc + 4));
                 self.pending
                     .push_back(Inst::branch(CtlOp::Bne, int(21), true, inst.pc).at(inst.pc + 8));
             }
@@ -176,7 +186,9 @@ impl VecStream {
     /// Stream over `insts`.
     #[must_use]
     pub fn new(insts: Vec<Inst>) -> Self {
-        VecStream { insts: insts.into_iter() }
+        VecStream {
+            insts: insts.into_iter(),
+        }
     }
 }
 
@@ -211,7 +223,10 @@ mod tests {
 
     #[test]
     fn chunked_stream_delivers_all_instructions() {
-        let mut s = ChunkedStream::new(CountGen { chunks_left: 5, per_chunk: 7 });
+        let mut s = ChunkedStream::new(CountGen {
+            chunks_left: 5,
+            per_chunk: 7,
+        });
         let mut n = 0;
         while s.next_inst().is_some() {
             n += 1;
@@ -222,7 +237,10 @@ mod tests {
 
     #[test]
     fn empty_generator_yields_nothing() {
-        let mut s = ChunkedStream::new(CountGen { chunks_left: 0, per_chunk: 9 });
+        let mut s = ChunkedStream::new(CountGen {
+            chunks_left: 0,
+            per_chunk: 9,
+        });
         assert!(s.next_inst().is_none());
     }
 
@@ -288,7 +306,11 @@ mod tests {
         assert_eq!(loads.len(), 2);
         assert_eq!(loads[0].addr, 0x1000);
         assert_eq!(loads[0].count, 4);
-        assert_eq!(loads[1].addr, 0x1000 + 4 * 64, "second chunk starts after the first");
+        assert_eq!(
+            loads[1].addr,
+            0x1000 + 4 * 64,
+            "second chunk starts after the first"
+        );
         assert_eq!(loads[1].count, 4);
     }
 }

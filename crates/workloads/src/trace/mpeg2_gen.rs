@@ -98,7 +98,7 @@ impl Mpeg2EncGen {
         // full-length run would, keeping cache behaviour scale-stable.
         self.visit += 1;
         let n_mb = MB_W * MB_H;
-        if self.visit % n_mb == 0 {
+        if self.visit.is_multiple_of(n_mb) {
             self.frame += 1;
             std::mem::swap(&mut self.cur, &mut self.reference);
             self.cur = synth_frame(self.seed, self.frame);
@@ -218,7 +218,11 @@ impl ChunkGen for Mpeg2EncGen {
                     block[r * 8 + c] = resid[(by * 8 + r) * 16 + bx * 8 + c];
                 }
             }
-            let qscale = if blk < 4 { self.qscale } else { self.qscale * 2 };
+            let qscale = if blk < 4 {
+                self.qscale
+            } else {
+                self.qscale * 2
+            };
             let coef = dct::forward(&block);
             let q = quant::quantize(&coef, &quant::INTRA_MATRIX, qscale);
             let events = zigzag::run_length_encode(&q);
@@ -293,7 +297,7 @@ impl Mpeg2DecGen {
         // Strided frame coverage; see the encoder's advance_mb.
         self.visit += 1;
         let n_mb = MB_W * MB_H;
-        if self.visit % n_mb == 0 {
+        if self.visit.is_multiple_of(n_mb) {
             self.frame += 1;
             std::mem::swap(&mut self.cur, &mut self.reference);
             self.cur = synth_frame(self.seed, self.frame);
@@ -363,7 +367,7 @@ impl ChunkGen for Mpeg2DecGen {
         }
 
         // Motion compensation + reconstruction.
-        let avg = self.frame % 3 == 0; // B-frame-style interpolation sometimes
+        let avg = self.frame.is_multiple_of(3); // B-frame-style interpolation sometimes
         self.e.call("mc", |e| {
             simd::mc_block(e, isa, ref_addr, dst_addr, stride, avg);
         });
@@ -413,9 +417,19 @@ mod tests {
     fn encoder_mom_needs_fewer_raw_instructions() {
         let mmx = mix_of(Mpeg2EncGen::new(0, SimdIsa::Mmx, 5, 7), 5);
         let mom = mix_of(Mpeg2EncGen::new(0, SimdIsa::Mom, 5, 7), 5);
-        assert!(mom.raw < mmx.raw / 2, "MOM raw {} vs MMX raw {}", mom.raw, mmx.raw);
+        assert!(
+            mom.raw < mmx.raw / 2,
+            "MOM raw {} vs MMX raw {}",
+            mom.raw,
+            mmx.raw
+        );
         // Equivalent count also shrinks (Table 3: 642.7 → 364.9).
-        assert!(mom.total() < mmx.total(), "MOM {} vs MMX {}", mom.total(), mmx.total());
+        assert!(
+            mom.total() < mmx.total(),
+            "MOM {} vs MMX {}",
+            mom.total(),
+            mmx.total()
+        );
     }
 
     #[test]
@@ -433,7 +447,12 @@ mod tests {
         // ratios are set by the per-benchmark unit counts in suite.rs.
         let enc = mix_of(Mpeg2EncGen::new(0, SimdIsa::Mmx, 4, 4), 4);
         let dec = mix_of(Mpeg2DecGen::new(0, SimdIsa::Mmx, 4, 4), 4);
-        assert!(dec.total() < enc.total(), "dec {} vs enc {}", dec.total(), enc.total());
+        assert!(
+            dec.total() < enc.total(),
+            "dec {} vs enc {}",
+            dec.total(),
+            enc.total()
+        );
     }
 
     #[test]
@@ -464,7 +483,10 @@ mod tests {
         for i in &buf {
             if let Some(m) = i.mem {
                 for a in m.elem_addrs() {
-                    assert!(a >= lo && a < hi, "address {a:#x} outside [{lo:#x},{hi:#x})");
+                    assert!(
+                        a >= lo && a < hi,
+                        "address {a:#x} outside [{lo:#x},{hi:#x})"
+                    );
                 }
             }
         }

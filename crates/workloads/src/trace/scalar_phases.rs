@@ -219,10 +219,20 @@ mod tests {
 
     #[test]
     fn vlc_encode_is_integer_dominated() {
-        let events: Vec<RunLevel> = (0..16).map(|i| RunLevel { run: i % 4, level: 1 + (i as i16 % 5) }).collect();
+        let events: Vec<RunLevel> = (0..16)
+            .map(|i| RunLevel {
+                run: i % 4,
+                level: 1 + (i as i16 % 5),
+            })
+            .collect();
         let m = mix_of(|e| vlc_encode_block(e, &events));
         assert!(m.simd == 0);
-        assert!(m.integer > m.memory, "int {} vs mem {}", m.integer, m.memory);
+        assert!(
+            m.integer > m.memory,
+            "int {} vs mem {}",
+            m.integer,
+            m.memory
+        );
         assert!(m.fp == 0);
     }
 
@@ -238,7 +248,13 @@ mod tests {
     #[test]
     fn escape_events_cost_more() {
         let cheap = vec![RunLevel { run: 0, level: 1 }; 8];
-        let escapes = vec![RunLevel { run: 30, level: 900 }; 8];
+        let escapes = vec![
+            RunLevel {
+                run: 30,
+                level: 900
+            };
+            8
+        ];
         let mc = mix_of(|e| vlc_encode_block(e, &cheap));
         let me = mix_of(|e| vlc_encode_block(e, &escapes));
         assert!(me.integer > mc.integer);

@@ -53,7 +53,11 @@ pub fn sad_16x16(e: &mut Emitter, isa: SimdIsa, cur: u64, refp: u64, stride: i64
             let red = e.m.next();
             e.mmx_op_into(MmxOp::PredaddW, red, acc0, acc0);
             let dst = e.t.next();
-            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+            e.emit(
+                Inst::new(Op::Mmx(MmxOp::MovdFromMmx))
+                    .with_dst(dst)
+                    .with_srcs(&[red]),
+            );
         }
         SimdIsa::Mom => {
             // Two 16-group streams (the two 8-byte column halves of the
@@ -67,7 +71,11 @@ pub fn sad_16x16(e: &mut Emitter, isa: SimdIsa, cur: u64, refp: u64, stride: i64
             e.mom_acc(MomOp::AccSadB, acc(0), a1, b1, 16);
             let red = e.mom_acc_read(MomOp::AccRedAddW, acc(0));
             let dst = e.t.next();
-            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+            e.emit(
+                Inst::new(Op::Mmx(MmxOp::MovdFromMmx))
+                    .with_dst(dst)
+                    .with_srcs(&[red]),
+            );
         }
     }
 }
@@ -219,7 +227,14 @@ pub fn mc_block(e: &mut Emitter, isa: SimdIsa, src: u64, dst: u64, stride: i64, 
 
 /// Add a residual block to a prediction with saturation (decoder
 /// reconstruction): 16 rows of 16 pixels; residuals are 16-bit.
-pub fn add_residual_16x16(e: &mut Emitter, isa: SimdIsa, pred: u64, resid: u64, dst: u64, stride: i64) {
+pub fn add_residual_16x16(
+    e: &mut Emitter,
+    isa: SimdIsa,
+    pred: u64,
+    resid: u64,
+    dst: u64,
+    stride: i64,
+) {
     match isa {
         SimdIsa::Mmx => {
             e.loop_n(16, |e, row| {
@@ -345,7 +360,11 @@ pub fn mac_reduce(e: &mut Emitter, isa: SimdIsa, a: u64, b: u64, len: u32) {
             let red = e.m.next();
             e.mmx_op_into(MmxOp::PredaddD, red, accr, accr);
             let dst = e.t.next();
-            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+            e.emit(
+                Inst::new(Op::Mmx(MmxOp::MovdFromMmx))
+                    .with_dst(dst)
+                    .with_srcs(&[red]),
+            );
         }
         SimdIsa::Mom => {
             for (i, span) in stream_spans(groups).enumerate() {
@@ -357,7 +376,11 @@ pub fn mac_reduce(e: &mut Emitter, isa: SimdIsa, a: u64, b: u64, len: u32) {
             }
             let red = e.mom_acc_read(MomOp::AccRedAddD, acc(0));
             let dst = e.t.next();
-            e.emit(Inst::new(Op::Mmx(MmxOp::MovdFromMmx)).with_dst(dst).with_srcs(&[red]));
+            e.emit(
+                Inst::new(Op::Mmx(MmxOp::MovdFromMmx))
+                    .with_dst(dst)
+                    .with_srcs(&[red]),
+            );
         }
     }
 }
@@ -389,14 +412,28 @@ mod tests {
 
     #[test]
     fn sad_mom_uses_far_fewer_raw_instructions() {
-        let mmx = run(SimdIsa::Mmx, |e| sad_16x16(e, SimdIsa::Mmx, 0x40_0000, 0x44_0000, 176));
-        let mom = run(SimdIsa::Mom, |e| sad_16x16(e, SimdIsa::Mom, 0x40_0000, 0x44_0000, 176));
-        assert!(mom.raw * 10 < mmx.raw, "MOM {} vs MMX {} raw", mom.raw, mmx.raw);
+        let mmx = run(SimdIsa::Mmx, |e| {
+            sad_16x16(e, SimdIsa::Mmx, 0x40_0000, 0x44_0000, 176)
+        });
+        let mom = run(SimdIsa::Mom, |e| {
+            sad_16x16(e, SimdIsa::Mom, 0x40_0000, 0x44_0000, 176)
+        });
+        assert!(
+            mom.raw * 10 < mmx.raw,
+            "MOM {} vs MMX {} raw",
+            mom.raw,
+            mmx.raw
+        );
         // Equivalent memory: MMX does 64 loads; MOM 64 element accesses.
         assert_eq!(mmx.memory, 64);
         assert_eq!(mom.memory, 64);
         // SIMD-arithmetic equivalent shrinks via the accumulator.
-        assert!(mom.simd < mmx.simd / 2 + 4, "MOM simd {} vs MMX {}", mom.simd, mmx.simd);
+        assert!(
+            mom.simd < mmx.simd / 2 + 4,
+            "MOM simd {} vs MMX {}",
+            mom.simd,
+            mmx.simd
+        );
         // Loop overhead disappears.
         assert!(mom.integer < mmx.integer / 8);
     }
@@ -426,8 +463,12 @@ mod tests {
 
     #[test]
     fn dct_block_shapes() {
-        let mmx = run(SimdIsa::Mmx, |e| dct_8x8(e, SimdIsa::Mmx, 0x40_0000, 0x41_0000, 16));
-        let mom = run(SimdIsa::Mom, |e| dct_8x8(e, SimdIsa::Mom, 0x40_0000, 0x41_0000, 16));
+        let mmx = run(SimdIsa::Mmx, |e| {
+            dct_8x8(e, SimdIsa::Mmx, 0x40_0000, 0x41_0000, 16)
+        });
+        let mom = run(SimdIsa::Mom, |e| {
+            dct_8x8(e, SimdIsa::Mom, 0x40_0000, 0x41_0000, 16)
+        });
         assert_eq!(mmx.memory, 64, "2 passes × 8 rows × (2 ld + 2 st)");
         assert_eq!(mom.memory, 32, "one stream load + one store of 16 groups");
         assert!(mom.raw < mmx.raw / 10);
@@ -435,8 +476,12 @@ mod tests {
 
     #[test]
     fn quant_block_shapes() {
-        let mmx = run(SimdIsa::Mmx, |e| quant_block(e, SimdIsa::Mmx, 0x0, 0x100, 0x200));
-        let mom = run(SimdIsa::Mom, |e| quant_block(e, SimdIsa::Mom, 0x0, 0x100, 0x200));
+        let mmx = run(SimdIsa::Mmx, |e| {
+            quant_block(e, SimdIsa::Mmx, 0x0, 0x100, 0x200)
+        });
+        let mom = run(SimdIsa::Mom, |e| {
+            quant_block(e, SimdIsa::Mom, 0x0, 0x100, 0x200)
+        });
         assert_eq!(mmx.memory, 48);
         assert_eq!(mom.memory, 48);
         assert!(mom.integer < mmx.integer / 4, "loop overhead gone");
@@ -445,32 +490,51 @@ mod tests {
     #[test]
     fn mac_reduce_handles_non_multiple_lengths() {
         // 160 samples = 40 groups = spans 16,16,8
-        let mom = run(SimdIsa::Mom, |e| mac_reduce(e, SimdIsa::Mom, 0x0, 0x1000, 160));
+        let mom = run(SimdIsa::Mom, |e| {
+            mac_reduce(e, SimdIsa::Mom, 0x0, 0x1000, 160)
+        });
         assert_eq!(mom.memory, 80, "two streams of 40 groups");
-        let mmx = run(SimdIsa::Mmx, |e| mac_reduce(e, SimdIsa::Mmx, 0x0, 0x1000, 160));
+        let mmx = run(SimdIsa::Mmx, |e| {
+            mac_reduce(e, SimdIsa::Mmx, 0x0, 0x1000, 160)
+        });
         assert_eq!(mmx.memory, 80);
     }
 
     #[test]
     fn mc_copy_vs_avg() {
-        let copy = run(SimdIsa::Mmx, |e| mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, false));
-        let avg = run(SimdIsa::Mmx, |e| mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, true));
-        assert!(avg.memory > copy.memory, "averaging reads the destination too");
+        let copy = run(SimdIsa::Mmx, |e| {
+            mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, false)
+        });
+        let avg = run(SimdIsa::Mmx, |e| {
+            mc_block(e, SimdIsa::Mmx, 0x0, 0x4000, 176, true)
+        });
+        assert!(
+            avg.memory > copy.memory,
+            "averaging reads the destination too"
+        );
         assert!(avg.simd > copy.simd);
     }
 
     #[test]
     fn add_residual_mmx_has_unpack_pack_overhead() {
-        let mmx = run(SimdIsa::Mmx, |e| add_residual_16x16(e, SimdIsa::Mmx, 0x0, 0x4000, 0x8000, 176));
-        let mom = run(SimdIsa::Mom, |e| add_residual_16x16(e, SimdIsa::Mom, 0x0, 0x4000, 0x8000, 176));
+        let mmx = run(SimdIsa::Mmx, |e| {
+            add_residual_16x16(e, SimdIsa::Mmx, 0x0, 0x4000, 0x8000, 176)
+        });
+        let mom = run(SimdIsa::Mom, |e| {
+            add_residual_16x16(e, SimdIsa::Mom, 0x0, 0x4000, 0x8000, 176)
+        });
         // The MMX unpack/pack dance costs ~10 SIMD ops per row.
         assert!(mmx.simd > mom.simd, "MMX {} vs MOM {}", mmx.simd, mom.simd);
     }
 
     #[test]
     fn color_convert_scales_with_pixels() {
-        let small = run(SimdIsa::Mmx, |e| color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 64));
-        let large = run(SimdIsa::Mmx, |e| color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 128));
+        let small = run(SimdIsa::Mmx, |e| {
+            color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 64)
+        });
+        let large = run(SimdIsa::Mmx, |e| {
+            color_convert(e, SimdIsa::Mmx, 0x0, 0x1000, 0x2000, 128)
+        });
         assert!(large.total() > small.total() * 3 / 2);
     }
 }

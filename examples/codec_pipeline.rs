@@ -85,7 +85,11 @@ fn main() {
 
     println!("encoded one {W}x{H} frame:");
     println!("  run/level events   {total_events}");
-    println!("  bitstream          {} bits ({:.2} bits/pixel)", bits, bits as f64 / (W * H) as f64);
+    println!(
+        "  bitstream          {} bits ({:.2} bits/pixel)",
+        bits,
+        bits as f64 / (W * H) as f64
+    );
     println!("  luma PSNR          {psnr:.1} dB");
     assert!(psnr > 30.0, "reconstruction quality should exceed 30 dB");
     println!("\n(these are the same kernels the trace generators walk — the");

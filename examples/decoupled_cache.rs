@@ -39,6 +39,10 @@ fn main() {
     let conv = results[1].1.figure_of_merit(&factor);
     let dec = results[2].1.figure_of_merit(&factor);
     println!();
-    println!("degradation vs ideal: conventional {:.0}%, decoupled {:.0}%", (1.0 - conv / ideal) * 100.0, (1.0 - dec / ideal) * 100.0);
+    println!(
+        "degradation vs ideal: conventional {:.0}%, decoupled {:.0}%",
+        (1.0 - conv / ideal) * 100.0,
+        (1.0 - dec / ideal) * 100.0
+    );
     println!("(paper: the decoupled organization cuts SMT+MOM's degradation to ~15%)");
 }

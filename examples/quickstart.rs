@@ -31,10 +31,16 @@ fn main() {
         println!("  cycles               {:>12}", r.cycles);
         println!("  raw IPC              {:>12.2}", r.ipc());
         println!("  equivalent IPC       {:>12.2}", r.equiv_ipc());
-        println!("  figure of merit      {:>12.2}  (IPC for MMX, EIPC for MOM)", r.figure_of_merit(&factor));
+        println!(
+            "  figure of merit      {:>12.2}  (IPC for MMX, EIPC for MOM)",
+            r.figure_of_merit(&factor)
+        );
         println!("  L1 hit rate          {:>11.1}%", r.l1_hit_rate * 100.0);
         println!("  avg L1 latency       {:>12.2} cycles", r.l1_avg_latency);
-        println!("  branch mispredicts   {:>11.1}%", r.mispredict_rate * 100.0);
+        println!(
+            "  branch mispredicts   {:>11.1}%",
+            r.mispredict_rate * 100.0
+        );
         println!();
     }
 }

@@ -9,7 +9,10 @@ use medsim::workloads::trace::{InstStream, SimdIsa};
 use medsim::workloads::{Benchmark, InstMix, WorkloadSpec};
 
 fn tiny() -> WorkloadSpec {
-    WorkloadSpec { scale: 2e-5, seed: 77 }
+    WorkloadSpec {
+        scale: 2e-5,
+        seed: 77,
+    }
 }
 
 /// Total raw/equivalent instructions of the first eight workload slots.
@@ -48,7 +51,10 @@ fn mom_commits_fewer_raw_but_comparable_work() {
     let mmx = Simulation::run(&SimConfig::new(SimdIsa::Mmx, 1).with_spec(spec));
     let mom = Simulation::run(&SimConfig::new(SimdIsa::Mom, 1).with_spec(spec));
     assert!(mom.committed < mmx.committed, "MOM fuses instructions");
-    assert!(mom.committed_equiv < mmx.committed_equiv, "Table 3: MOM needs fewer equivalents too");
+    assert!(
+        mom.committed_equiv < mmx.committed_equiv,
+        "Table 3: MOM needs fewer equivalents too"
+    );
     assert!(
         mom.committed_equiv * 2 > mmx.committed_equiv,
         "but the same order of magnitude of work"
@@ -75,10 +81,14 @@ fn mom_beats_mmx_in_eipc_at_one_thread() {
     let spec = tiny();
     let factor = EipcFactor::compute(&spec);
     let mmx = Simulation::run(
-        &SimConfig::new(SimdIsa::Mmx, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+        &SimConfig::new(SimdIsa::Mmx, 1)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec),
     );
     let mom = Simulation::run(
-        &SimConfig::new(SimdIsa::Mom, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+        &SimConfig::new(SimdIsa::Mom, 1)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec),
     );
     assert!(
         mom.figure_of_merit(&factor) > mmx.figure_of_merit(&factor),
@@ -92,10 +102,14 @@ fn mom_beats_mmx_in_eipc_at_one_thread() {
 fn real_memory_costs_performance() {
     let spec = tiny();
     let ideal = Simulation::run(
-        &SimConfig::new(SimdIsa::Mmx, 2).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+        &SimConfig::new(SimdIsa::Mmx, 2)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec),
     );
     let real = Simulation::run(
-        &SimConfig::new(SimdIsa::Mmx, 2).with_hierarchy(HierarchyKind::Conventional).with_spec(spec),
+        &SimConfig::new(SimdIsa::Mmx, 2)
+            .with_hierarchy(HierarchyKind::Conventional)
+            .with_spec(spec),
     );
     assert!(real.equiv_ipc() < ideal.equiv_ipc());
     assert!(real.l1_hit_rate < 1.0);
@@ -122,7 +136,9 @@ fn fetch_policies_all_run_and_complete_the_workload() {
     let spec = tiny();
     let mut merits = Vec::new();
     for policy in FetchPolicy::ALL {
-        let cfg = SimConfig::new(SimdIsa::Mom, 4).with_policy(policy).with_spec(spec);
+        let cfg = SimConfig::new(SimdIsa::Mom, 4)
+            .with_policy(policy)
+            .with_spec(spec);
         let r = Simulation::run(&cfg);
         assert!(r.programs_completed >= 8, "{policy}: all programs ran");
         merits.push(r.equiv_ipc());
@@ -150,7 +166,9 @@ fn stream_length_clamp_preserves_work() {
     // vector work plus the extra loop overhead.
     let spec = tiny();
     let full = Simulation::run(
-        &SimConfig::new(SimdIsa::Mom, 1).with_hierarchy(HierarchyKind::Ideal).with_spec(spec),
+        &SimConfig::new(SimdIsa::Mom, 1)
+            .with_hierarchy(HierarchyKind::Ideal)
+            .with_spec(spec),
     );
     let clamped = Simulation::run(
         &SimConfig::new(SimdIsa::Mom, 1)
@@ -158,7 +176,10 @@ fn stream_length_clamp_preserves_work() {
             .with_spec(spec)
             .with_max_stream_len(4),
     );
-    assert!(clamped.committed > full.committed, "strip-mining adds instructions");
+    assert!(
+        clamped.committed > full.committed,
+        "strip-mining adds instructions"
+    );
     assert!(clamped.committed_equiv >= full.committed_equiv);
     assert!(
         clamped.equiv_ipc() <= full.equiv_ipc() * 1.02,

@@ -1,0 +1,99 @@
+//! The parallel experiment engine must be an *invisible* optimization:
+//! `run_grid` over any configuration set produces bit-identical
+//! [`RunResult`]s to mapping `Simulation::run` serially, independent of
+//! worker count, thread-pool scheduling, and trace memoization.
+
+use medsim::core::runner::{run_grid, run_grid_with, TraceCache};
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::core::RunResult;
+use medsim::mem::HierarchyKind;
+use medsim::workloads::trace::SimdIsa;
+use medsim::workloads::WorkloadSpec;
+
+fn tiny() -> WorkloadSpec {
+    WorkloadSpec {
+        scale: 1.5e-5,
+        seed: 21,
+    }
+}
+
+/// A small but diverse grid: both ISAs, several thread counts, all
+/// hierarchies.
+fn sample_grid() -> Vec<SimConfig> {
+    let spec = tiny();
+    let mut configs = Vec::new();
+    for &isa in &SimdIsa::ALL {
+        for &threads in &[1usize, 2, 4] {
+            for &h in &HierarchyKind::ALL {
+                configs.push(
+                    SimConfig::new(isa, threads)
+                        .with_hierarchy(h)
+                        .with_spec(spec),
+                );
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn grid_matches_serial_bit_for_bit() {
+    let configs = sample_grid();
+    // Serial reference: one run at a time, no trace memoization at all.
+    let reference: Vec<RunResult> = configs
+        .iter()
+        .map(|c| Simulation::run_cached(c, &TraceCache::disabled()))
+        .collect();
+    // Parallel: 4 workers over a shared memoizing cache.
+    let parallel = run_grid_with(&configs, 4, &TraceCache::from_env());
+    assert_eq!(
+        reference, parallel,
+        "run_grid must reproduce the serial path exactly"
+    );
+    // And the public entry point (env-configured jobs/cache).
+    let default_path = run_grid(&configs);
+    assert_eq!(reference, default_path);
+}
+
+#[test]
+fn grid_is_deterministic_across_invocations() {
+    let configs = sample_grid();
+    // Fresh caches and pools each time: scheduling may interleave
+    // differently, results must not.
+    let a = run_grid_with(&configs, 4, &TraceCache::from_env());
+    let b = run_grid_with(&configs, 4, &TraceCache::from_env());
+    assert_eq!(a, b, "two run_grid invocations must agree");
+    // Worker count must not matter either.
+    let c = run_grid_with(&configs, 2, &TraceCache::from_env());
+    assert_eq!(a, c, "worker count must not affect results");
+}
+
+#[test]
+fn trace_memoization_is_invisible_to_a_single_run() {
+    let spec = tiny();
+    for &isa in &SimdIsa::ALL {
+        let cfg = SimConfig::new(isa, 8).with_spec(spec);
+        let cached = Simulation::run_cached(&cfg, &TraceCache::from_env());
+        let uncached = Simulation::run_cached(&cfg, &TraceCache::disabled());
+        assert_eq!(
+            cached, uncached,
+            "{isa}: memoized traces must replay exactly"
+        );
+    }
+}
+
+#[test]
+fn grid_preserves_input_order() {
+    let spec = tiny();
+    let configs: Vec<SimConfig> = [8usize, 1, 4, 2]
+        .iter()
+        .map(|&t| SimConfig::new(SimdIsa::Mmx, t).with_spec(spec))
+        .collect();
+    let results = run_grid_with(&configs, 4, &TraceCache::from_env());
+    let threads: Vec<usize> = results.iter().map(|r| r.threads).collect();
+    assert_eq!(
+        threads,
+        vec![8, 1, 4, 2],
+        "results come back in input order"
+    );
+}

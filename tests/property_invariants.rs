@@ -43,11 +43,15 @@ fn arb_program(rng: &mut SmallRng, max_len: usize) -> Vec<Inst> {
 #[test]
 fn pipeline_conserves_instructions() {
     for case in 0..CASES {
-        let mut rng = SmallRng::seed_from_u64(0xA11C_E5 ^ case);
+        let mut rng = SmallRng::seed_from_u64(0x00A1_1CE5 ^ case);
         let prog = arb_program(&mut rng, 300);
         let ideal = rng.gen_bool(0.5);
         let n = prog.len() as u64;
-        let mem = if ideal { MemConfig::ideal() } else { MemConfig::paper() };
+        let mem = if ideal {
+            MemConfig::ideal()
+        } else {
+            MemConfig::paper()
+        };
         let mut cpu = Cpu::new(
             CpuConfig::paper(1, medsim::workloads::trace::SimdIsa::Mmx),
             MemSystem::new(mem),
@@ -88,7 +92,10 @@ fn smt_is_never_slower_than_serial() {
             cpu.stats().cycles
         };
         // Allow a small constant slack for drain effects on tiny programs.
-        assert!(smt <= serial + 16, "case {case}: SMT {smt} vs serial {serial}");
+        assert!(
+            smt <= serial + 16,
+            "case {case}: SMT {smt} vs serial {serial}"
+        );
     }
 }
 
@@ -137,7 +144,10 @@ fn workload_generators_terminate() {
         let mut n = 0u64;
         while s.next_inst().is_some() {
             n += 1;
-            assert!(n < 5_000_000, "case {case} seed {seed}: unbounded generator");
+            assert!(
+                n < 5_000_000,
+                "case {case} seed {seed}: unbounded generator"
+            );
         }
         assert!(n > 0, "case {case} seed {seed}");
     }
@@ -164,7 +174,11 @@ fn generated_stream_lengths_are_architectural() {
                 i.slen
             );
             if let (Op::Mom(_), Some(m)) = (i.op, i.mem) {
-                assert_eq!(u64::from(m.count), u64::from(i.slen), "case {case} seed {seed}");
+                assert_eq!(
+                    u64::from(m.count),
+                    u64::from(i.slen),
+                    "case {case} seed {seed}"
+                );
             }
         }
     }

@@ -6,7 +6,10 @@ use medsim::workloads::trace::{InstStream, SimdIsa};
 use medsim::workloads::{Benchmark, InstMix, WorkloadSpec};
 
 fn spec() -> WorkloadSpec {
-    WorkloadSpec { scale: 5e-4, seed: 3 }
+    WorkloadSpec {
+        scale: 5e-4,
+        seed: 3,
+    }
 }
 
 fn mix_of(b: Benchmark, isa: SimdIsa) -> InstMix {
@@ -60,9 +63,18 @@ fn mom_reductions_match_section_4_2_bands() {
     let mem_red = red(mmx.memory, mom.memory);
     let simd_red = red(mmx.simd, mom.simd);
     // Paper: ~20% integer, ~7% memory, ~62% vector.
-    assert!(int_red > 0.10 && int_red < 0.35, "integer reduction {int_red}");
-    assert!(mem_red > 0.02 && mem_red < 0.20, "memory reduction {mem_red}");
-    assert!(simd_red > 0.45 && simd_red < 0.75, "vector reduction {simd_red}");
+    assert!(
+        int_red > 0.10 && int_red < 0.35,
+        "integer reduction {int_red}"
+    );
+    assert!(
+        mem_red > 0.02 && mem_red < 0.20,
+        "memory reduction {mem_red}"
+    );
+    assert!(
+        simd_red > 0.45 && simd_red < 0.75,
+        "vector reduction {simd_red}"
+    );
     // And the ordering the paper stresses: vector >> integer > memory.
     assert!(simd_red > int_red && int_red > mem_red);
 }
@@ -90,7 +102,10 @@ fn per_benchmark_count_ratios_follow_table3_ordering() {
     assert!(enc < 0.75, "mpeg2enc MOM/MMX {enc} (paper 0.57)");
     assert!((gsm - 1.0).abs() < 1e-9, "gsmdec unvectorized: {gsm}");
     assert!((mesa - 1.0).abs() < 1e-9, "mesa unvectorized: {mesa}");
-    assert!(enc < ratio(Benchmark::JpegEnc), "encoder shrinks more than jpeg");
+    assert!(
+        enc < ratio(Benchmark::JpegEnc),
+        "encoder shrinks more than jpeg"
+    );
 }
 
 #[test]
@@ -146,5 +161,8 @@ fn traces_are_reproducible_across_instances_with_same_seed() {
     assert_eq!(count(0), count(0));
     let a = count(0) as f64;
     let b = count(3) as f64;
-    assert!((a / b - 1.0).abs() < 0.05, "instances do equivalent work: {a} vs {b}");
+    assert!(
+        (a / b - 1.0).abs() < 0.05,
+        "instances do equivalent work: {a} vs {b}"
+    );
 }
