@@ -10,7 +10,14 @@
 //!   [`medsim_core::runner::run_grid`] and through serial
 //!   [`Simulation::run`] calls, printing the observed speedup;
 //! * `pipeline_1thread` — a single small run, whose
-//!   `sim_cycles_per_sec` is the raw hot-path throughput metric.
+//!   `sim_cycles_per_sec` is the raw hot-path throughput metric;
+//! * `packed_decode` — full decode of one packed program trace; its
+//!   `sim_cycles` column holds *instructions decoded*, so
+//!   `sim_cycles_per_sec` reads as decode insts/sec;
+//! * `fig5_real_cold_store` / `fig5_real_warm_store` — the figure-5
+//!   grid with a persistent trace store (`MEDSIM_TRACE_DIR`), first
+//!   against an empty directory (synthesize + write-back), then against
+//!   the populated one (decode-only) — the PR's trace-store headline.
 //!
 //! `MEDSIM_JOBS` caps the worker threads; the grid comparison uses a
 //! reduced scale (one quarter of `MEDSIM_SCALE`) to keep smoke runs
@@ -20,24 +27,17 @@ use medsim_bench::{spec_from_env, timed_secs, BenchRecorder};
 use medsim_core::experiments::fig5_real;
 use medsim_core::runner::{effective_jobs, run_grid};
 use medsim_core::sim::{SimConfig, Simulation};
+use medsim_isa::Inst;
+use medsim_trace::{PackedStream, PackedTrace};
 use medsim_workloads::trace::SimdIsa;
-use medsim_workloads::WorkloadSpec;
+use medsim_workloads::{Benchmark, StreamIter, WorkloadSpec};
+use std::sync::Arc;
 
 fn main() {
     let spec = spec_from_env();
     let mut recorder = BenchRecorder::new();
 
-    let fig5 = recorder.measure(
-        "fig5_real",
-        || fig5_real(&spec),
-        |fig| {
-            fig.ideal
-                .iter()
-                .chain(fig.real.iter())
-                .flat_map(|c| c.runs.iter().map(|r| r.cycles))
-                .sum()
-        },
-    );
+    let fig5 = recorder.measure("fig5_real", || fig5_real(&spec), sum_fig5_cycles);
     println!(
         "fig5_real: {} runs, {:.2}s wall",
         fig5.ideal.len() * 4 + fig5.real.len() * 4,
@@ -92,5 +92,51 @@ fn main() {
             .sim_cycles_per_sec()
     );
 
+    // Packed-trace density and decode throughput.
+    let insts: Vec<Inst> = StreamIter(Benchmark::Mpeg2Enc.stream(0, SimdIsa::Mmx, &spec)).collect();
+    let packed = Arc::new(PackedTrace::pack(insts.iter().copied()));
+    let (decoded, dec_s) =
+        timed_secs(|| StreamIter(PackedStream::new(Arc::clone(&packed))).count() as u64);
+    recorder.record("packed_decode", dec_s, decoded);
+    println!(
+        "packed_decode: {:.2} B/inst ({}x vs Vec<Inst>), {:.0} insts/sec",
+        packed.bytes_per_inst(),
+        (std::mem::size_of::<Inst>() as f64 / packed.bytes_per_inst()).round(),
+        decoded as f64 / dec_s.max(1e-9),
+    );
+
+    // Cold vs warm persistent trace store around the fig5 grid. The
+    // cold row is only meaningful against an *empty* store, so a
+    // scratch directory is always used (a user-set MEDSIM_TRACE_DIR
+    // would already be populated by the measurements above) and the
+    // prior value is restored afterwards.
+    let preset_dir = std::env::var("MEDSIM_TRACE_DIR").ok();
+    let store_dir = std::env::temp_dir().join(format!("medsim-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::env::set_var("MEDSIM_TRACE_DIR", &store_dir);
+    let cold = recorder.measure("fig5_real_cold_store", || fig5_real(&spec), sum_fig5_cycles);
+    let warm = recorder.measure("fig5_real_warm_store", || fig5_real(&spec), sum_fig5_cycles);
+    assert_eq!(cold, warm, "store replay must be bit-identical");
+    let rows = recorder.entries();
+    let (cold_s, warm_s) = (rows[rows.len() - 2].wall_s, rows[rows.len() - 1].wall_s);
+    println!(
+        "trace store ({}): fig5_real cold {cold_s:.2}s vs warm {warm_s:.2}s ({:.2}x)",
+        store_dir.display(),
+        cold_s / warm_s.max(1e-9),
+    );
+    match preset_dir {
+        Some(d) => std::env::set_var("MEDSIM_TRACE_DIR", d),
+        None => std::env::remove_var("MEDSIM_TRACE_DIR"),
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+
     recorder.write_default().expect("write BENCH_runs.json");
+}
+
+fn sum_fig5_cycles(fig: &medsim_core::experiments::Fig5) -> u64 {
+    fig.ideal
+        .iter()
+        .chain(fig.real.iter())
+        .flat_map(|c| c.runs.iter().map(|r| r.cycles))
+        .sum()
 }

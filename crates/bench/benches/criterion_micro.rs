@@ -5,11 +5,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use medsim_core::sim::{SimConfig, Simulation};
+use medsim_isa::Inst;
 use medsim_mem::{AccessKind, MemConfig, MemRequest, MemSystem};
+use medsim_trace::{PackedStream, PackedTrace};
 use medsim_workloads::kernels::{dct, motion};
 use medsim_workloads::trace::SimdIsa;
-use medsim_workloads::{Benchmark, InstStream, WorkloadSpec};
+use medsim_workloads::{Benchmark, InstStream, StreamIter, WorkloadSpec};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut block = [0i16; 64];
@@ -42,6 +45,51 @@ fn bench_trace_generation(c: &mut Criterion) {
             black_box(n)
         });
     });
+}
+
+fn bench_packed_trace(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        scale: 1e-4,
+        seed: 1,
+    };
+    let insts: Vec<Inst> = StreamIter(Benchmark::Mpeg2Enc.stream(0, SimdIsa::Mmx, &spec)).collect();
+    let packed = Arc::new(PackedTrace::pack(insts.iter().copied()));
+    println!(
+        "{:<40} {:>10} insts, {:.2} B/inst packed vs {} B/inst Vec<Inst>",
+        "packed_trace (mpeg2enc @1e-4)",
+        packed.len(),
+        packed.bytes_per_inst(),
+        std::mem::size_of::<Inst>(),
+    );
+
+    c.bench_function("trace_pack_mpeg2enc", |b| {
+        b.iter(|| black_box(PackedTrace::pack(insts.iter().copied()).packed_bytes()));
+    });
+    c.bench_function("trace_decode_packed_mpeg2enc", |b| {
+        b.iter(|| black_box(StreamIter(PackedStream::new(Arc::clone(&packed))).count()));
+    });
+    // The Vec<Inst> replay baseline the packed decoder competes with.
+    c.bench_function("trace_replay_vec_mpeg2enc", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for i in &insts {
+                black_box(*i);
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+
+    // One-shot decode throughput in insts/sec, in the same spirit as
+    // the pipeline throughput line below.
+    let start = std::time::Instant::now();
+    let n = StreamIter(PackedStream::new(Arc::clone(&packed))).count();
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{:<40} {:>14.0} insts/sec decode",
+        "trace_decode_packed_mpeg2enc (throughput)",
+        n as f64 / secs.max(1e-9)
+    );
 }
 
 fn bench_memory(c: &mut Criterion) {
@@ -116,6 +164,7 @@ criterion_group!(
     benches,
     bench_kernels,
     bench_trace_generation,
+    bench_packed_trace,
     bench_memory,
     bench_pipeline,
     bench_grid

@@ -1,0 +1,79 @@
+//! Trend comparison of two `BENCH_runs.json` reports.
+//!
+//! ```text
+//! compare_bench <previous.json> <current.json> [threshold-percent]
+//! ```
+//!
+//! Prints a per-row table, and a GitHub Actions `::warning::` line for
+//! every benchmark whose wall clock regressed by more than the
+//! threshold (default 10%). Always exits 0 — the comparison warns, it
+//! does not gate: smoke-scale CI timings on shared runners are too
+//! noisy to fail a build on.
+
+use medsim_bench::{parse_runs, regressions};
+
+/// Rows faster than this in both reports are ignored (scheduler noise).
+const NOISE_FLOOR_S: f64 = 0.05;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: compare_bench <previous.json> <current.json> [threshold-percent]");
+        std::process::exit(2);
+    };
+    let threshold = args
+        .get(3)
+        .and_then(|v| v.parse::<f64>().ok())
+        .map_or(0.10, |pct| pct / 100.0);
+
+    let old = parse_runs(&read_or_exit(old_path));
+    let new = parse_runs(&read_or_exit(new_path));
+    if old.is_empty() || new.is_empty() {
+        println!(
+            "nothing to compare (old: {} rows, new: {} rows)",
+            old.len(),
+            new.len()
+        );
+        return;
+    }
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "benchmark", "prev s", "now s", "delta"
+    );
+    for n in &new {
+        match old.iter().find(|o| o.name == n.name) {
+            Some(o) if o.wall_s > 0.0 => {
+                let delta = (n.wall_s / o.wall_s - 1.0) * 100.0;
+                println!(
+                    "{:<28} {:>10.3} {:>10.3} {:>+7.1}%",
+                    n.name, o.wall_s, n.wall_s, delta
+                );
+            }
+            _ => println!("{:<28} {:>10} {:>10.3}     (new)", n.name, "-", n.wall_s),
+        }
+    }
+
+    let regs = regressions(&old, &new, threshold, NOISE_FLOOR_S);
+    for (name, old_s, new_s) in &regs {
+        println!(
+            "::warning title=bench regression::{name}: {old_s:.3}s -> {new_s:.3}s \
+             (+{:.0}%, threshold {:.0}%)",
+            (new_s / old_s - 1.0) * 100.0,
+            threshold * 100.0
+        );
+    }
+    if regs.is_empty() {
+        println!(
+            "no wall-clock regressions beyond {:.0}% (noise floor {NOISE_FLOOR_S}s)",
+            threshold * 100.0
+        );
+    }
+}
+
+fn read_or_exit(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}

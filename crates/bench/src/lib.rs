@@ -154,6 +154,88 @@ impl BenchRecorder {
     }
 }
 
+/// Parse a `BENCH_runs.json` document back into entries — the inverse
+/// of [`BenchRecorder::to_json`], hand-rolled for the same reason that
+/// emitter is (the workspace serde is a no-op shim). Tolerant of
+/// unknown fields; rows missing `name`/`wall_s`/`sim_cycles` are
+/// skipped.
+#[must_use]
+pub fn parse_runs(json: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for row in json.split('{').skip(1) {
+        let Some(name) = extract_string(row, "\"name\": \"") else {
+            continue;
+        };
+        let Some(wall_s) = extract_number(row, "\"wall_s\": ") else {
+            continue;
+        };
+        let Some(sim_cycles) = extract_number(row, "\"sim_cycles\": ") else {
+            continue;
+        };
+        out.push(BenchEntry {
+            name,
+            wall_s,
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            sim_cycles: sim_cycles as u64,
+        });
+    }
+    out
+}
+
+/// Compare two parsed reports; returns `(name, old_wall_s, new_wall_s)`
+/// for every entry whose wall clock regressed by more than
+/// `threshold` (fractional, e.g. `0.10`). Entries below `noise_floor_s`
+/// in both reports are ignored — sub-50 ms rows are scheduler noise on
+/// shared CI runners.
+#[must_use]
+pub fn regressions(
+    old: &[BenchEntry],
+    new: &[BenchEntry],
+    threshold: f64,
+    noise_floor_s: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for n in new {
+        let Some(o) = old.iter().find(|o| o.name == n.name) else {
+            continue;
+        };
+        if o.wall_s < noise_floor_s && n.wall_s < noise_floor_s {
+            continue;
+        }
+        if n.wall_s > o.wall_s * (1.0 + threshold) {
+            out.push((n.name.clone(), o.wall_s, n.wall_s));
+        }
+    }
+    out
+}
+
+fn extract_string(row: &str, key: &str) -> Option<String> {
+    let rest = &row[row.find(key)? + key.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_number(row: &str, key: &str) -> Option<f64> {
+    let rest = &row[row.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Escape a string for inclusion in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -207,6 +289,68 @@ mod tests {
         r.record("quote\" back\\ tab\tnl\n", 1.0, 1);
         let json = r.to_json();
         assert!(json.contains(r#"quote\" back\\ tab\tnl\n"#), "{json}");
+    }
+
+    #[test]
+    fn parse_runs_inverts_to_json() {
+        let mut r = BenchRecorder::new();
+        r.record("fig5_real", 5.25, 123_456_789);
+        r.record("name with \"quotes\"\t", 0.5, 42);
+        let parsed = parse_runs(&r.to_json());
+        assert_eq!(parsed, r.entries());
+    }
+
+    #[test]
+    fn parse_runs_tolerates_junk() {
+        assert!(parse_runs("").is_empty());
+        assert!(parse_runs("{\"schema\": \"x\", \"runs\": []}").is_empty());
+        assert!(parse_runs("not json at all").is_empty());
+    }
+
+    #[test]
+    fn regressions_flag_slowdowns_over_threshold() {
+        let old = vec![
+            BenchEntry {
+                name: "a".into(),
+                wall_s: 1.0,
+                sim_cycles: 1,
+            },
+            BenchEntry {
+                name: "b".into(),
+                wall_s: 1.0,
+                sim_cycles: 1,
+            },
+            BenchEntry {
+                name: "tiny".into(),
+                wall_s: 0.001,
+                sim_cycles: 1,
+            },
+        ];
+        let new = vec![
+            BenchEntry {
+                name: "a".into(),
+                wall_s: 1.05,
+                sim_cycles: 1,
+            },
+            BenchEntry {
+                name: "b".into(),
+                wall_s: 1.2,
+                sim_cycles: 1,
+            },
+            BenchEntry {
+                name: "tiny".into(),
+                wall_s: 0.04,
+                sim_cycles: 1,
+            },
+            BenchEntry {
+                name: "new_row".into(),
+                wall_s: 9.0,
+                sim_cycles: 1,
+            },
+        ];
+        let regs = regressions(&old, &new, 0.10, 0.05);
+        assert_eq!(regs.len(), 1, "only b regressed beyond 10%: {regs:?}");
+        assert_eq!(regs[0].0, "b");
     }
 
     #[test]

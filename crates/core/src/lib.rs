@@ -11,7 +11,9 @@
 //!   (`EIPC = (I_MMX / I_MOM) × IPC_MOM`, §5.1), and speedups;
 //! * [`runner`] — the parallel experiment engine: [`runner::run_grid`]
 //!   fans a grid of configurations out across OS threads over a shared
-//!   memoized trace cache, bit-identical to serial execution;
+//!   memoized trace cache (packed `medsim-trace` encoding, layered over
+//!   the persistent `MEDSIM_TRACE_DIR` store), bit-identical to serial
+//!   execution;
 //! * [`experiments`] — one driver per table/figure of the paper's
 //!   evaluation (Tables 1–4, Figures 4–6, 8, 9), all routed through the
 //!   grid runner;
@@ -39,5 +41,5 @@ pub mod runner;
 pub mod sim;
 
 pub use metrics::{EipcFactor, RunResult};
-pub use runner::{run_grid, TraceCache};
+pub use runner::{run_grid, CacheStats, TraceCache};
 pub use sim::{SimConfig, Simulation};

@@ -10,68 +10,82 @@
 //!
 //! The second lever is the [`TraceCache`]: all grid points over one
 //! [`WorkloadSpec`] consume the same eight program traces, and trace
-//! generation is a large fraction of small-scale runs. The cache
-//! memoizes each fully materialized trace behind an [`Arc`] keyed by
-//! `(slot, isa, spec)` so it is synthesized once per grid instead of
-//! once per run, and replayed by an allocation-free cursor stream.
+//! generation is a large fraction of small-scale runs. The cache holds
+//! each trace as an [`Arc`]`<`[`PackedTrace`]`>` — the compact
+//! `medsim-trace` encoding at roughly a quarter of the 64 B/inst cost of
+//! the former `Vec<Inst>`, which raises the cacheable scale ~4× under
+//! the same budget — keyed by `(slot, isa, spec)` and replayed through
+//! the chunked [`PackedStream`] decoder.
+//!
+//! The cache also layers over the **persistent on-disk trace store**
+//! ([`TraceStore`]): when `MEDSIM_TRACE_DIR` is set, misses read through
+//! the store before synthesizing, and synthesized traces are written
+//! back — so repeated figure/bench invocations across *processes* skip
+//! trace generation entirely. Corrupt or version-mismatched store files
+//! silently fall back to synthesis (counted in [`TraceCache::stats`]).
 //!
 //! Environment knobs:
 //!
 //! * `MEDSIM_JOBS` — worker threads (default: available parallelism);
 //! * `MEDSIM_TRACE_CACHE` — set to `0` to disable trace memoization;
-//! * `MEDSIM_TRACE_CACHE_MAX_INSTS` — per-trace memoization ceiling in
-//!   instructions (default 4,000,000 ≈ a few hundred MB at full
-//!   workload scale); longer traces fall back to streamed generation.
+//! * `MEDSIM_TRACE_CACHE_MAX_BYTES` — approximate in-memory budget for
+//!   packed traces (default 256 MiB). Traces whose estimated packed
+//!   size does not fit the remaining budget fall back to streamed
+//!   generation. (`MEDSIM_TRACE_CACHE_MAX_INSTS` is still honored as a
+//!   legacy alias, converted at the old 64 B/inst resident cost.)
+//! * `MEDSIM_TRACE_DIR` — directory of the persistent trace store
+//!   (unset: persistence disabled).
 
 use crate::metrics::RunResult;
 use crate::sim::{SimConfig, Simulation};
 use medsim_isa::Inst;
-use medsim_workloads::trace::{InstStream, SimdIsa};
+use medsim_trace::{PackedStream, PackedTrace, StoreStats, TraceKey, TraceStore};
+use medsim_workloads::trace::{InstStream, SimdIsa, StreamIter};
 use medsim_workloads::{Workload, WorkloadSpec};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Key of one memoized program trace. The workload scale enters via
-/// its exact bit pattern: a trace is only ever shared between runs
-/// whose specs are identical.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TraceKey {
-    slot: usize,
-    isa: SimdIsa,
-    scale_bits: u64,
-    seed: u64,
+/// Default in-memory budget for packed traces: 256 MiB. The former
+/// `Vec<Inst>` ceiling (4M insts × 64 B) allowed the same bytes, so the
+/// packed encoding admits roughly 4× the instructions by default.
+const DEFAULT_BYTE_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// Resident bytes per instruction of the old `Vec<Inst>` representation
+/// (legacy `MEDSIM_TRACE_CACHE_MAX_INSTS` conversion).
+const UNPACKED_BYTES_PER_INST: u64 = 64;
+
+/// Conservative packed-size estimate used for budget admission before a
+/// trace is synthesized (the real suite averages ~10–12 B/inst; the
+/// acceptance tests pin ≤ 16).
+const EST_PACKED_BYTES_PER_INST: f64 = 16.0;
+
+/// Counters describing the cache's behavior, including the on-disk
+/// store layer (zeros when no store is configured).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Traces synthesized from workload generators (in-memory and store
+    /// both missed, or the trace did not fit the budget).
+    pub synthesized: u64,
+    /// Approximate packed bytes resident in the in-memory cache.
+    pub bytes_used: u64,
+    /// On-disk store counters (all zero without `MEDSIM_TRACE_DIR`).
+    pub store: StoreStats,
 }
 
-impl TraceKey {
-    fn new(spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> Self {
-        TraceKey {
-            // Streams cycle through the eight-entry program list, so
-            // slot 8 replays slot 0's trace (§5.1).
-            slot: slot % 8,
-            isa,
-            scale_bits: spec.scale.to_bits(),
-            seed: spec.seed,
-        }
+fn cache_key(spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> TraceKey {
+    TraceKey {
+        // Streams cycle through the eight-entry program list, so slot 8
+        // replays slot 0's trace (§5.1).
+        slot: slot % 8,
+        isa,
+        scale_bits: spec.scale.to_bits(),
+        seed: spec.seed,
     }
 }
 
-/// Replays a memoized trace: an index walking a shared `Arc<[Inst]>` —
-/// no per-instruction work beyond a bounds check.
-struct CachedStream {
-    trace: Arc<Vec<Inst>>,
-    pos: usize,
-}
-
-impl InstStream for CachedStream {
-    fn next_inst(&mut self) -> Option<Inst> {
-        let inst = self.trace.get(self.pos).copied();
-        self.pos += inst.is_some() as usize;
-        inst
-    }
-}
-
-/// Memoizes fully materialized program traces per `(slot, isa, spec)`.
+/// Memoizes packed program traces per `(slot, isa, spec)`, layered over
+/// the optional persistent [`TraceStore`].
 ///
 /// Shared across the workers of a grid (and usable across grids over
 /// the same spec). Thread-safe; concurrent misses on the same key may
@@ -80,8 +94,11 @@ impl InstStream for CachedStream {
 #[derive(Debug)]
 pub struct TraceCache {
     enabled: bool,
-    max_insts: u64,
-    map: Mutex<HashMap<TraceKey, Arc<Vec<Inst>>>>,
+    byte_budget: u64,
+    bytes_used: AtomicU64,
+    synthesized: AtomicU64,
+    store: Option<TraceStore>,
+    map: Mutex<HashMap<TraceKey, Arc<PackedTrace>>>,
 }
 
 impl TraceCache {
@@ -89,13 +106,24 @@ impl TraceCache {
     #[must_use]
     pub fn from_env() -> Self {
         let enabled = std::env::var("MEDSIM_TRACE_CACHE").map_or(true, |v| v != "0");
-        let max_insts = std::env::var("MEDSIM_TRACE_CACHE_MAX_INSTS")
+        let byte_budget = std::env::var("MEDSIM_TRACE_CACHE_MAX_BYTES")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(4_000_000);
+            .or_else(|| {
+                // Legacy instruction-count ceiling, at the resident
+                // cost instructions had when the knob was introduced.
+                std::env::var("MEDSIM_TRACE_CACHE_MAX_INSTS")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|insts| insts.saturating_mul(UNPACKED_BYTES_PER_INST))
+            })
+            .unwrap_or(DEFAULT_BYTE_BUDGET);
         TraceCache {
             enabled,
-            max_insts,
+            byte_budget,
+            bytes_used: AtomicU64::new(0),
+            synthesized: AtomicU64::new(0),
+            store: TraceStore::from_env(),
             map: Mutex::new(HashMap::new()),
         }
     }
@@ -105,9 +133,20 @@ impl TraceCache {
     pub fn disabled() -> Self {
         TraceCache {
             enabled: false,
-            max_insts: 0,
+            byte_budget: 0,
+            bytes_used: AtomicU64::new(0),
+            synthesized: AtomicU64::new(0),
+            store: None,
             map: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Builder: attach an explicit persistent store (tests, tools) in
+    /// place of the `MEDSIM_TRACE_DIR` one.
+    #[must_use]
+    pub fn with_store(mut self, store: TraceStore) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Number of memoized traces.
@@ -126,9 +165,24 @@ impl TraceCache {
         self.len() == 0
     }
 
+    /// Snapshot of the cache and store counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            synthesized: self.synthesized.load(Ordering::Relaxed),
+            bytes_used: self.bytes_used.load(Ordering::Relaxed),
+            store: self
+                .store
+                .as_ref()
+                .map(TraceStore::stats)
+                .unwrap_or_default(),
+        }
+    }
+
     /// The instruction stream for program-list `slot` under `isa`,
-    /// memoized when enabled and the estimated trace length is within
-    /// the ceiling.
+    /// memoized when enabled and the estimated packed size fits the
+    /// byte budget; read through (and written back to) the persistent
+    /// store when one is configured.
     ///
     /// # Panics
     ///
@@ -141,40 +195,75 @@ impl TraceCache {
         isa: SimdIsa,
     ) -> Box<dyn InstStream> {
         let workload = Workload::new(*spec);
-        if !self.enabled || !self.should_memoize(spec, slot, isa) {
+        if !self.enabled {
             return workload.stream_for_slot(slot, isa);
         }
-        let key = TraceKey::new(spec, slot, isa);
+        // Map lookup first: a hit costs no new budget, so it must not
+        // be subject to admission (a near-full cache would otherwise
+        // re-synthesize traces it already holds).
+        let key = cache_key(spec, slot, isa);
         if let Some(trace) = self.map.lock().expect("trace cache poisoned").get(&key) {
-            return Box::new(CachedStream {
-                trace: Arc::clone(trace),
-                pos: 0,
-            });
+            return Box::new(PackedStream::new(Arc::clone(trace)));
         }
-        // Materialize outside the lock: generation can take a while and
-        // other workers may need other traces meanwhile.
-        let mut source = workload.stream_for_slot(slot, isa);
-        let mut insts = Vec::new();
-        while let Some(i) = source.next_inst() {
-            insts.push(i);
+        if !self.admits(spec, slot, isa) {
+            self.synthesized.fetch_add(1, Ordering::Relaxed);
+            return workload.stream_for_slot(slot, isa);
         }
-        let trace = Arc::new(insts);
+        // Resolve the miss outside the lock: store reads and synthesis
+        // can take a while and other workers may need other traces.
+        let (trace, materialized) = self.load_or_synthesize(&workload, &key, slot, isa);
         let mut map = self.map.lock().expect("trace cache poisoned");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&trace));
-        Box::new(CachedStream {
-            trace: Arc::clone(entry),
-            pos: 0,
-        })
+        let entry = map.entry(key).or_insert_with(|| {
+            self.bytes_used
+                .fetch_add(trace.packed_bytes() as u64, Ordering::Relaxed);
+            Arc::clone(&trace)
+        });
+        // On a synthesis miss the instructions were materialized to be
+        // packed; hand them to this first consumer directly instead of
+        // round-tripping through the decoder.
+        match materialized {
+            Some(insts) => Box::new(medsim_workloads::trace::VecStream::new(insts)),
+            None => Box::new(PackedStream::new(Arc::clone(entry))),
+        }
     }
 
-    /// Memoize only traces whose estimated dynamic length (from the
-    /// paper's Table-3 instruction counts, scaled) fits the ceiling —
-    /// full-scale runs stream their multi-hundred-million instruction
-    /// traces instead of holding them resident.
-    fn should_memoize(&self, spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> bool {
+    /// Store read-through, falling back to synthesis plus write-back.
+    /// Synthesis also returns the materialized instructions so the
+    /// caller can serve the first consumer without a decode pass.
+    fn load_or_synthesize(
+        &self,
+        workload: &Workload,
+        key: &TraceKey,
+        slot: usize,
+        isa: SimdIsa,
+    ) -> (Arc<PackedTrace>, Option<Vec<Inst>>) {
+        if let Some(store) = &self.store {
+            if let Some(trace) = store.load(key) {
+                return (Arc::new(trace), None);
+            }
+        }
+        self.synthesized.fetch_add(1, Ordering::Relaxed);
+        let insts: Vec<Inst> = StreamIter(workload.stream_for_slot(slot, isa)).collect();
+        let trace = Arc::new(PackedTrace::pack(insts.iter().copied()));
+        if let Some(store) = &self.store {
+            // Write-back failures are non-fatal: the store is a cache,
+            // and its `io_errors` counter records the event.
+            let _ = store.store(key, &trace);
+        }
+        (trace, Some(insts))
+    }
+
+    /// Budget admission: memoize only traces whose estimated packed
+    /// size (from the paper's Table-3 instruction counts, scaled) fits
+    /// the *remaining* byte budget — full-scale runs stream their
+    /// multi-hundred-million instruction traces instead of holding them
+    /// resident.
+    fn admits(&self, spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> bool {
         let benchmark = Workload::slot_benchmark(slot);
-        let estimated = benchmark.paper_minsts(isa) * 1.0e6 * spec.scale;
-        estimated <= self.max_insts as f64
+        let estimated_insts = benchmark.paper_minsts(isa) * 1.0e6 * spec.scale;
+        let estimated_bytes = estimated_insts * EST_PACKED_BYTES_PER_INST;
+        let used = self.bytes_used.load(Ordering::Relaxed);
+        estimated_bytes <= self.byte_budget.saturating_sub(used) as f64
     }
 }
 
@@ -255,6 +344,15 @@ mod tests {
         }
     }
 
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "medsim-runner-test-{tag}-{}-{n}",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn cached_streams_replay_generated_streams() {
         let spec = tiny();
@@ -276,6 +374,9 @@ mod tests {
             }
         }
         assert_eq!(cache.len(), 16, "2 ISAs x 8 slots memoized");
+        let stats = cache.stats();
+        assert_eq!(stats.synthesized, 16, "each trace synthesized once");
+        assert!(stats.bytes_used > 0, "byte accounting tracks inserts");
     }
 
     #[test]
@@ -285,6 +386,7 @@ mod tests {
         let _ = cache.stream_for(&spec, 0, SimdIsa::Mmx);
         let _ = cache.stream_for(&spec, 8, SimdIsa::Mmx);
         assert_eq!(cache.len(), 1, "slot 8 replays slot 0 (§5.1 cycling)");
+        assert_eq!(cache.stats().synthesized, 1);
     }
 
     #[test]
@@ -295,10 +397,132 @@ mod tests {
         };
         let cache = TraceCache::from_env();
         assert!(
-            !cache.should_memoize(&spec, 0, SimdIsa::Mmx),
-            "full-scale mpeg2enc (~640M insts) must stream"
+            !cache.admits(&spec, 0, SimdIsa::Mmx),
+            "full-scale mpeg2enc (~640M insts, ~10 GB packed) must stream"
         );
-        assert!(cache.should_memoize(&tiny(), 0, SimdIsa::Mmx));
+        assert!(cache.admits(&tiny(), 0, SimdIsa::Mmx));
+    }
+
+    #[test]
+    fn byte_budget_is_cumulative() {
+        // A budget that fits roughly one tiny trace: admission must
+        // tighten as bytes accumulate instead of counting entries.
+        let spec = tiny();
+        let probe = TraceCache::from_env();
+        let _ = probe.stream_for(&spec, 0, SimdIsa::Mmx);
+        let one_trace_bytes = probe.stats().bytes_used;
+        assert!(one_trace_bytes > 0);
+
+        // Admission uses the conservative 16 B/inst estimate, inserts
+        // account actual packed bytes; a budget of (estimate + half a
+        // trace) admits exactly one.
+        let estimate = (Workload::slot_benchmark(0).paper_minsts(SimdIsa::Mmx)
+            * 1.0e6
+            * spec.scale
+            * EST_PACKED_BYTES_PER_INST)
+            .ceil() as u64;
+        let mut small = TraceCache::from_env();
+        small.byte_budget = estimate + one_trace_bytes / 2;
+        assert!(small.admits(&spec, 0, SimdIsa::Mmx));
+        let _ = small.stream_for(&spec, 0, SimdIsa::Mmx);
+        // Same benchmark under a different seed: distinct key, same
+        // estimate — but the remaining budget no longer covers it.
+        let reseeded = WorkloadSpec {
+            seed: spec.seed + 1,
+            ..spec
+        };
+        assert!(
+            !small.admits(&reseeded, 0, SimdIsa::Mmx),
+            "remaining budget too small for a second trace"
+        );
+        let _ = small.stream_for(&reseeded, 0, SimdIsa::Mmx);
+        assert_eq!(small.len(), 1, "second trace streamed, not memoized");
+        assert_eq!(small.stats().synthesized, 2);
+        // A key already in the map must be served from the map even
+        // with the budget exhausted — hits cost no new bytes.
+        let _ = small.stream_for(&spec, 0, SimdIsa::Mmx);
+        assert_eq!(
+            small.stats().synthesized,
+            2,
+            "cached key served from memory despite full budget"
+        );
+    }
+
+    #[test]
+    fn store_read_through_and_write_back() {
+        let dir = unique_dir("readthrough");
+        let spec = tiny();
+
+        // First cache: cold store — synthesizes and writes back.
+        let cold = TraceCache::from_env().with_store(medsim_trace::TraceStore::at(&dir));
+        let mut a = Vec::new();
+        let mut s = cold.stream_for(&spec, 0, SimdIsa::Mom);
+        while let Some(i) = s.next_inst() {
+            a.push(i);
+        }
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.synthesized, 1);
+        assert_eq!(cold_stats.store.writes, 1);
+        assert_eq!(cold_stats.store.misses, 1);
+
+        // Second cache (fresh process, same dir): warm store — loads
+        // without synthesizing.
+        let warm = TraceCache::from_env().with_store(medsim_trace::TraceStore::at(&dir));
+        let mut b = Vec::new();
+        let mut s = warm.stream_for(&spec, 0, SimdIsa::Mom);
+        while let Some(i) = s.next_inst() {
+            b.push(i);
+        }
+        assert_eq!(a, b, "store round-trip is lossless");
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.synthesized, 0, "no synthesis on a warm store");
+        assert_eq!(warm_stats.store.hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_files_fall_back_to_synthesis() {
+        let dir = unique_dir("corrupt");
+        let spec = tiny();
+        let seed_cache = TraceCache::from_env().with_store(medsim_trace::TraceStore::at(&dir));
+        let mut want = Vec::new();
+        let mut s = seed_cache.stream_for(&spec, 2, SimdIsa::Mmx);
+        while let Some(i) = s.next_inst() {
+            want.push(i);
+        }
+
+        // Garble every stored file.
+        for entry in std::fs::read_dir(&dir).expect("store dir") {
+            let path = entry.expect("entry").path();
+            let mut bytes = std::fs::read(&path).expect("read");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, &bytes).expect("garble");
+        }
+
+        let cache = TraceCache::from_env().with_store(medsim_trace::TraceStore::at(&dir));
+        let mut got = Vec::new();
+        let mut s = cache.stream_for(&spec, 2, SimdIsa::Mmx);
+        while let Some(i) = s.next_inst() {
+            got.push(i);
+        }
+        assert_eq!(got, want, "fallback synthesis yields the same trace");
+        let stats = cache.stats();
+        assert_eq!(stats.store.corrupt, 1, "corruption detected and counted");
+        assert_eq!(stats.synthesized, 1, "trace re-synthesized");
+        assert_eq!(stats.store.writes, 1, "store self-heals on write-back");
+
+        // Third cache over the healed store: a clean hit again.
+        let healed = TraceCache::from_env().with_store(medsim_trace::TraceStore::at(&dir));
+        let mut s = healed.stream_for(&spec, 2, SimdIsa::Mmx);
+        let mut n = 0usize;
+        while s.next_inst().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, want.len());
+        assert_eq!(healed.stats().store.hits, 1);
+        assert_eq!(healed.stats().synthesized, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

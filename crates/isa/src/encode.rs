@@ -159,6 +159,35 @@ pub fn decode(word: u64) -> Result<Inst, DecodeInstError> {
     Ok(inst)
 }
 
+/// Decode a 64-bit word like [`decode`], placing the instruction at
+/// `pc`. Trace decoders use this to rebuild the dynamic PC alongside
+/// the architectural fields in one step.
+///
+/// # Errors
+///
+/// Returns a [`DecodeInstError`] if the opcode number is unassigned or a
+/// register field is malformed.
+pub fn decode_at(word: u64, pc: u64) -> Result<Inst, DecodeInstError> {
+    decode(word).map(|inst| inst.at(pc))
+}
+
+/// Encode the architectural fields of `inst`, substituting a zero
+/// immediate when the real one does not fit the 14-bit field. Returns
+/// the word and whether the immediate was dropped (the caller must then
+/// carry it out of band — the packed trace sidecar does exactly this).
+#[must_use]
+pub fn encode_lossy_imm(inst: &Inst) -> (u64, bool) {
+    match encode(inst) {
+        Ok(w) => (w, false),
+        Err(EncodeInstError::ImmOutOfRange(_)) => {
+            let mut stripped = *inst;
+            stripped.imm = 0;
+            let w = encode(&stripped).expect("zero immediate always encodes");
+            (w, true)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +263,27 @@ mod tests {
         // stream register index 20 (>15) under class 3
         let w = u64::from(Op::Mom(MomOp::VaddB).code()) | (1 << 10) | ((0b011_10100u64) << 11);
         assert!(matches!(decode(w), Err(DecodeInstError::BadRegister(_))));
+    }
+
+    #[test]
+    fn decode_at_sets_pc() {
+        let i = Inst::int_rrr(IntOp::Add, int(1), int(2), int(3));
+        let d = decode_at(encode(&i).unwrap(), 0x00be_ef00).unwrap();
+        assert_eq!(d.pc, 0x00be_ef00);
+        assert!(arch_eq(&i, &d.at(0)));
+    }
+
+    #[test]
+    fn encode_lossy_imm_flags_oversized_immediates() {
+        let ok = Inst::new(Op::Int(IntOp::Addi)).with_imm(-100);
+        let (w, dropped) = encode_lossy_imm(&ok);
+        assert!(!dropped);
+        assert_eq!(decode(w).unwrap().imm, -100);
+
+        let big = Inst::new(Op::Int(IntOp::Addi)).with_imm(1 << 20);
+        let (w, dropped) = encode_lossy_imm(&big);
+        assert!(dropped);
+        assert_eq!(decode(w).unwrap().imm, 0, "imm zeroed in the word");
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! The packed trace encoding.
+//!
+//! Each instruction is stored as two pieces:
+//!
+//! * its **64-bit architectural word** from [`medsim_isa::encode`]
+//!   (opcode, registers, 14-bit immediate, stream length) in a dense
+//!   `Vec<u64>`;
+//! * a variable-length **sidecar record** carrying the dynamic trace
+//!   fields a timing simulator needs: the PC (delta-encoded, free for
+//!   sequential code), the effective address (delta against a
+//!   stride-advanced predictor, so unit-stride streams cost one byte),
+//!   the branch outcome (one flag bit plus a target delta) and the
+//!   memory-access shape (size/stride/count, with the common cases
+//!   elided entirely).
+//!
+//! The flags byte that leads every sidecar record:
+//!
+//! ```text
+//! bit 0  HAS_MEM        a MemRef record follows
+//! bit 1  HAS_BRANCH     a BranchInfo record follows
+//! bit 2  BRANCH_TAKEN   dynamic outcome of the branch
+//! bit 3  MEM_IS_STORE   the access writes memory
+//! bit 4  RAW_IMM        immediate outside 14 bits; i32 follows
+//! bit 5  PC_SEQ         pc == prev_pc + 4 (no PC bytes)
+//! bit 6  MEM_SIZE8      mem.size == 8 (no size byte)
+//! bit 7  MEM_CNT_SLEN   mem.count == slen (no count byte)
+//! ```
+//!
+//! The encoding is **lossless**: `unpack(pack(t)) == t` for any `Inst`
+//! sequence, including immediates beyond the architectural field (they
+//! ride in the sidecar) — property-tested in this module and fuzzed in
+//! `tests/roundtrip.rs`.
+
+use medsim_isa::encode::{decode_at, encode_lossy_imm, DecodeInstError};
+use medsim_isa::{BranchInfo, Inst, MemRef};
+
+const HAS_MEM: u8 = 1 << 0;
+const HAS_BRANCH: u8 = 1 << 1;
+const BRANCH_TAKEN: u8 = 1 << 2;
+const MEM_IS_STORE: u8 = 1 << 3;
+const RAW_IMM: u8 = 1 << 4;
+const PC_SEQ: u8 = 1 << 5;
+const MEM_SIZE8: u8 = 1 << 6;
+const MEM_CNT_SLEN: u8 = 1 << 7;
+
+/// The decoder's initial PC predictor: chosen so an instruction at
+/// PC 0 still counts as sequential.
+const PC_INIT: u64 = 0u64.wrapping_sub(4);
+
+/// Errors surfaced when reconstructing a [`PackedTrace`] from raw parts
+/// (an on-disk payload) that do not describe a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// An architectural word failed to decode.
+    Word(DecodeInstError),
+    /// The sidecar ended before every instruction was decoded.
+    Truncated,
+    /// The sidecar holds bytes beyond the last instruction.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for PackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PackError::Word(e) => write!(f, "bad architectural word: {e}"),
+            PackError::Truncated => write!(f, "sidecar truncated"),
+            PackError::TrailingBytes => write!(f, "sidecar has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// A losslessly packed instruction trace (see the module docs for the
+/// wire layout). Cheap to clone behind an `Arc`; decoded by
+/// [`PackedTrace::iter`] or streamed by [`crate::PackedStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTrace {
+    words: Vec<u64>,
+    sidecar: Vec<u8>,
+}
+
+impl PackedTrace {
+    /// Pack an instruction sequence. Never fails: immediates that do
+    /// not fit the architectural field are carried in the sidecar.
+    pub fn pack(insts: impl IntoIterator<Item = Inst>) -> Self {
+        let mut words = Vec::new();
+        let mut sidecar = Vec::new();
+        let mut prev_pc = PC_INIT;
+        let mut prev_addr = 0u64;
+        for inst in insts {
+            let (word, raw_imm) = encode_lossy_imm(&inst);
+            words.push(word);
+
+            let mut flags = 0u8;
+            let pc_seq = inst.pc == prev_pc.wrapping_add(4);
+            if pc_seq {
+                flags |= PC_SEQ;
+            }
+            if raw_imm {
+                flags |= RAW_IMM;
+            }
+            if let Some(b) = inst.branch {
+                flags |= HAS_BRANCH;
+                if b.taken {
+                    flags |= BRANCH_TAKEN;
+                }
+            }
+            if let Some(m) = inst.mem {
+                flags |= HAS_MEM;
+                if m.is_store {
+                    flags |= MEM_IS_STORE;
+                }
+                if m.size == 8 {
+                    flags |= MEM_SIZE8;
+                }
+                if m.count == inst.slen {
+                    flags |= MEM_CNT_SLEN;
+                }
+            }
+            sidecar.push(flags);
+
+            if !pc_seq {
+                put_zigzag(
+                    &mut sidecar,
+                    inst.pc.wrapping_sub(prev_pc.wrapping_add(4)) as i64,
+                );
+            }
+            if raw_imm {
+                sidecar.extend_from_slice(&inst.imm.to_le_bytes());
+            }
+            if let Some(b) = inst.branch {
+                put_zigzag(&mut sidecar, b.target.wrapping_sub(inst.pc) as i64);
+            }
+            if let Some(m) = inst.mem {
+                put_zigzag(&mut sidecar, m.addr.wrapping_sub(prev_addr) as i64);
+                if m.size != 8 {
+                    sidecar.push(m.size);
+                }
+                put_zigzag(&mut sidecar, m.stride);
+                if m.count != inst.slen {
+                    sidecar.push(m.count);
+                }
+                prev_addr = predict_next(&m);
+            }
+            prev_pc = inst.pc;
+        }
+        PackedTrace { words, sidecar }
+    }
+
+    /// Reassemble a trace from its serialized parts, fully validating
+    /// that the payload decodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PackError`] if a word holds an unassigned opcode or a
+    /// malformed register, or if the sidecar length does not match.
+    pub fn from_parts(words: Vec<u64>, sidecar: Vec<u8>) -> Result<Self, PackError> {
+        let trace = PackedTrace::from_parts_trusted(words, sidecar);
+        let mut cursor = Cursor::new();
+        for _ in 0..trace.len() {
+            cursor.next(&trace)?.ok_or(PackError::Truncated)?;
+        }
+        if cursor.side != trace.sidecar.len() {
+            return Err(PackError::TrailingBytes);
+        }
+        Ok(trace)
+    }
+
+    /// Assemble parts **without** the validating decode pass — for
+    /// callers that have already integrity-checked the payload (the
+    /// store's header checksum). A structurally bad payload then
+    /// surfaces lazily as an early stream end rather than an error,
+    /// so this stays crate-internal.
+    pub(crate) fn from_parts_trusted(words: Vec<u64>, sidecar: Vec<u8>) -> Self {
+        PackedTrace { words, sidecar }
+    }
+
+    /// Number of instructions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the trace holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total packed payload size in bytes (words plus sidecar).
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8 + self.sidecar.len()
+    }
+
+    /// Amortized bytes per instruction (`0.0` for an empty trace).
+    #[must_use]
+    pub fn bytes_per_inst(&self) -> f64 {
+        if self.words.is_empty() {
+            0.0
+        } else {
+            self.packed_bytes() as f64 / self.words.len() as f64
+        }
+    }
+
+    /// The architectural-word plane (serialization).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The dynamic sidecar plane (serialization).
+    #[must_use]
+    pub fn sidecar(&self) -> &[u8] {
+        &self.sidecar
+    }
+
+    /// Borrowed decoding iterator over the instructions.
+    #[must_use]
+    pub fn iter(&self) -> PackedIter<'_> {
+        PackedIter {
+            trace: self,
+            cursor: Cursor::new(),
+        }
+    }
+
+    /// Fully materialize the trace (tests, small traces). Prefer
+    /// [`crate::PackedStream`] for simulation.
+    #[must_use]
+    pub fn unpack(&self) -> Vec<Inst> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTrace {
+    type Item = Inst;
+    type IntoIter = PackedIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Borrowed decoding iterator (see [`PackedTrace::iter`]).
+pub struct PackedIter<'a> {
+    trace: &'a PackedTrace,
+    cursor: Cursor,
+}
+
+impl Iterator for PackedIter<'_> {
+    type Item = Inst;
+    fn next(&mut self) -> Option<Inst> {
+        // Packs built by `pack` or validated by `from_parts` cannot
+        // fail to decode; treat failure as end (debug-asserted).
+        match self.cursor.next(self.trace) {
+            Ok(next) => next,
+            Err(e) => {
+                debug_assert!(false, "corrupt packed trace: {e}");
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.len() - self.cursor.idx;
+        (left, Some(left))
+    }
+}
+
+/// Decode state: the position in both planes plus the two predictors.
+/// Shared by the borrowed iterator and the owning [`crate::PackedStream`].
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor {
+    pub(crate) idx: usize,
+    side: usize,
+    prev_pc: u64,
+    prev_addr: u64,
+}
+
+impl Cursor {
+    pub(crate) fn new() -> Self {
+        Cursor {
+            idx: 0,
+            side: 0,
+            prev_pc: PC_INIT,
+            prev_addr: 0,
+        }
+    }
+
+    /// Decode the next instruction of `trace`, or `Ok(None)` at the end.
+    pub(crate) fn next(&mut self, trace: &PackedTrace) -> Result<Option<Inst>, PackError> {
+        let Some(&word) = trace.words.get(self.idx) else {
+            return Ok(None);
+        };
+        let side = &trace.sidecar;
+        let flags = *side.get(self.side).ok_or(PackError::Truncated)?;
+        self.side += 1;
+
+        let pc = if flags & PC_SEQ != 0 {
+            self.prev_pc.wrapping_add(4)
+        } else {
+            let delta = self.take_zigzag(side)?;
+            self.prev_pc.wrapping_add(4).wrapping_add(delta as u64)
+        };
+        let mut inst = decode_at(word, pc).map_err(PackError::Word)?;
+
+        if flags & RAW_IMM != 0 {
+            let end = self.side.checked_add(4).ok_or(PackError::Truncated)?;
+            let bytes = side.get(self.side..end).ok_or(PackError::Truncated)?;
+            inst.imm = i32::from_le_bytes(bytes.try_into().expect("4-byte slice"));
+            self.side = end;
+        }
+        if flags & HAS_BRANCH != 0 {
+            let delta = self.take_zigzag(side)?;
+            inst.branch = Some(BranchInfo {
+                taken: flags & BRANCH_TAKEN != 0,
+                target: pc.wrapping_add(delta as u64),
+            });
+        }
+        if flags & HAS_MEM != 0 {
+            let delta = self.take_zigzag(side)?;
+            let addr = self.prev_addr.wrapping_add(delta as u64);
+            let size = if flags & MEM_SIZE8 != 0 {
+                8
+            } else {
+                self.take_byte(side)?
+            };
+            let stride = self.take_zigzag(side)?;
+            let count = if flags & MEM_CNT_SLEN != 0 {
+                inst.slen
+            } else {
+                self.take_byte(side)?
+            };
+            let m = MemRef {
+                addr,
+                size,
+                stride,
+                count,
+                is_store: flags & MEM_IS_STORE != 0,
+            };
+            self.prev_addr = predict_next(&m);
+            inst.mem = Some(m);
+        }
+
+        self.prev_pc = pc;
+        self.idx += 1;
+        Ok(Some(inst))
+    }
+
+    fn take_byte(&mut self, side: &[u8]) -> Result<u8, PackError> {
+        let b = *side.get(self.side).ok_or(PackError::Truncated)?;
+        self.side += 1;
+        Ok(b)
+    }
+
+    fn take_zigzag(&mut self, side: &[u8]) -> Result<i64, PackError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.take_byte(side)?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(PackError::Truncated);
+            }
+        }
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+}
+
+/// The address predictor after an access: one stride past its last
+/// element, where back-to-back unit-stride streams land for free.
+fn predict_next(m: &MemRef) -> u64 {
+    (m.addr as i64).wrapping_add(m.stride.wrapping_mul(i64::from(m.count))) as u64
+}
+
+/// Append `v` to `out` as a zigzag LEB128 varint.
+fn put_zigzag(out: &mut Vec<u8>, v: i64) {
+    let mut z = ((v << 1) ^ (v >> 63)) as u64;
+    loop {
+        if z < 0x80 {
+            out.push(z as u8);
+            return;
+        }
+        out.push((z & 0x7f) as u8 | 0x80);
+        z >>= 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::prelude::*;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::int_rri(IntOp::Addi, int(1), int(0), 64).at(0x1000),
+            Inst::load(MemOp::LoadW, int(2), int(1), 0x8000).at(0x1004),
+            Inst::mmx_load(simd(0), int(1), 0x8040).at(0x1008),
+            Inst::mom_load(stream(0), int(1), 0x9000, 8, 16).at(0x100c),
+            Inst::mom(MomOp::VaddW, stream(1), stream(0), stream(0), 16).at(0x1010),
+            Inst::mom_store(stream(1), int(2), 0x9080, 8, 16).at(0x1014),
+            Inst::branch(CtlOp::Bne, int(1), true, 0x1000).at(0x1018),
+            Inst::store(MemOp::StoreB, int(2), int(3), 0xa001).at(0x101c),
+            Inst::jump(0x2000).at(0x1020),
+        ]
+    }
+
+    #[test]
+    fn round_trips_sample_trace() {
+        let insts = sample();
+        let packed = PackedTrace::pack(insts.iter().copied());
+        assert_eq!(packed.len(), insts.len());
+        assert_eq!(packed.unpack(), insts);
+    }
+
+    #[test]
+    fn sequential_stream_code_is_compact() {
+        // A unit-stride MOM loop body: the dominant pattern of the
+        // suite must stay far below the 16 B/inst budget.
+        let mut insts = Vec::new();
+        let mut pc = 0x4000u64;
+        let mut addr = 0x1_0000u64;
+        for _ in 0..1000 {
+            insts.push(Inst::mom_load(stream(0), int(1), addr, 8, 16).at(pc));
+            insts.push(Inst::mom(MomOp::VaddW, stream(1), stream(0), stream(0), 16).at(pc + 4));
+            insts.push(Inst::mom_store(stream(1), int(2), addr, 8, 16).at(pc + 8));
+            pc += 12;
+            addr += 128;
+        }
+        let packed = PackedTrace::pack(insts.iter().copied());
+        assert_eq!(packed.unpack(), insts);
+        assert!(
+            packed.bytes_per_inst() < 11.0,
+            "loop code at {:.2} B/inst",
+            packed.bytes_per_inst()
+        );
+    }
+
+    #[test]
+    fn oversized_immediates_survive() {
+        let insts = vec![
+            Inst::int_rri(IntOp::Addi, int(1), int(0), i32::MAX).at(0),
+            Inst::int_rri(IntOp::Addi, int(2), int(0), i32::MIN).at(4),
+            Inst::int_rri(IntOp::Addi, int(3), int(0), -8192).at(8),
+        ];
+        let packed = PackedTrace::pack(insts.iter().copied());
+        assert_eq!(packed.unpack(), insts);
+    }
+
+    #[test]
+    fn mem_count_distinct_from_slen_survives() {
+        // ClampStream-style splits can leave count != slen shapes.
+        let mut i = Inst::mom_load(stream(0), int(1), 0x100, 64, 9).at(0);
+        i.mem = Some(MemRef::stream(0x100, 4, 64, 3, false));
+        let packed = PackedTrace::pack([i]);
+        assert_eq!(packed.unpack(), vec![i]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let packed = PackedTrace::pack([]);
+        assert!(packed.is_empty());
+        assert_eq!(packed.bytes_per_inst(), 0.0);
+        assert_eq!(packed.unpack(), Vec::<Inst>::new());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let packed = PackedTrace::pack(sample());
+        let ok = PackedTrace::from_parts(packed.words().to_vec(), packed.sidecar().to_vec())
+            .expect("valid parts");
+        assert_eq!(ok, packed);
+
+        // Truncated sidecar.
+        let mut short = packed.sidecar().to_vec();
+        short.truncate(short.len() - 1);
+        assert!(matches!(
+            PackedTrace::from_parts(packed.words().to_vec(), short),
+            Err(PackError::Truncated)
+        ));
+
+        // Trailing garbage.
+        let mut long = packed.sidecar().to_vec();
+        long.push(0);
+        assert!(matches!(
+            PackedTrace::from_parts(packed.words().to_vec(), long),
+            Err(PackError::TrailingBytes)
+        ));
+
+        // Unassigned opcode in the word plane.
+        let mut words = packed.words().to_vec();
+        words[0] = 0x3ff;
+        assert!(matches!(
+            PackedTrace::from_parts(words, packed.sidecar().to_vec()),
+            Err(PackError::Word(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_varint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            0x3fff,
+            -0x4000,
+            i64::MAX,
+            i64::MIN,
+        ];
+        for &v in &values {
+            buf.clear();
+            put_zigzag(&mut buf, v);
+            let trace = PackedTrace {
+                words: vec![],
+                sidecar: buf.clone(),
+            };
+            let mut c = Cursor::new();
+            assert_eq!(c.take_zigzag(&trace.sidecar).unwrap(), v, "{v}");
+        }
+    }
+}

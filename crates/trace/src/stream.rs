@@ -1,0 +1,120 @@
+//! Streaming decoder: packed traces as [`InstStream`]s.
+//!
+//! [`PackedStream`] owns an `Arc<PackedTrace>` and decodes it in fixed
+//! chunks into a small ring buffer, so the CPU model replays a packed
+//! trace with no per-run materialization — the resident cost of a
+//! cached program is its packed bytes, not 64 B per instruction.
+
+use crate::packed::{Cursor, PackedTrace};
+use medsim_isa::Inst;
+use medsim_workloads::trace::InstStream;
+use std::sync::Arc;
+
+/// Instructions decoded per refill: large enough to amortize the
+/// decode-loop setup, small enough to live in L1.
+const CHUNK: usize = 256;
+
+/// An [`InstStream`] that decodes a shared [`PackedTrace`] chunk by
+/// chunk.
+pub struct PackedStream {
+    trace: Arc<PackedTrace>,
+    cursor: Cursor,
+    buf: Vec<Inst>,
+    /// Read position inside `buf`.
+    pos: usize,
+}
+
+impl PackedStream {
+    /// Stream over `trace` from the beginning.
+    #[must_use]
+    pub fn new(trace: Arc<PackedTrace>) -> Self {
+        PackedStream {
+            trace,
+            cursor: Cursor::new(),
+            buf: Vec::with_capacity(CHUNK),
+            pos: 0,
+        }
+    }
+
+    /// The shared trace this stream decodes.
+    #[must_use]
+    pub fn trace(&self) -> &Arc<PackedTrace> {
+        &self.trace
+    }
+
+    fn refill(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        for _ in 0..CHUNK {
+            // Packs are validated at construction; decode cannot fail.
+            match self.cursor.next(&self.trace) {
+                Ok(Some(inst)) => self.buf.push(inst),
+                Ok(None) => break,
+                Err(e) => {
+                    debug_assert!(false, "corrupt packed trace: {e}");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl InstStream for PackedStream {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.pos == self.buf.len() {
+            self.refill();
+        }
+        let inst = self.buf.get(self.pos).copied();
+        self.pos += inst.is_some() as usize;
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsim_isa::prelude::*;
+
+    fn trace_of(n: u64) -> (Vec<Inst>, Arc<PackedTrace>) {
+        let mut insts = Vec::new();
+        for i in 0..n {
+            insts.push(Inst::int_rri(IntOp::Addi, int(1), int(1), 1).at(i * 4));
+            if i % 7 == 0 {
+                insts.push(Inst::load(MemOp::LoadW, int(2), int(1), 0x1000 + i * 8).at(i * 4 + 4));
+            }
+        }
+        let packed = Arc::new(PackedTrace::pack(insts.iter().copied()));
+        (insts, packed)
+    }
+
+    #[test]
+    fn streams_the_whole_trace_in_order() {
+        // Lengths straddling the chunk size, including 0 and exact
+        // multiples.
+        for n in [0u64, 1, 100, 255, 256, 257, 1000] {
+            let (insts, packed) = trace_of(n);
+            let mut s = PackedStream::new(packed);
+            let mut got = Vec::new();
+            while let Some(i) = s.next_inst() {
+                got.push(i);
+            }
+            assert_eq!(got, insts, "n={n}");
+            assert!(s.next_inst().is_none(), "stream stays finished");
+        }
+    }
+
+    #[test]
+    fn many_streams_share_one_trace() {
+        let (insts, packed) = trace_of(300);
+        let mut a = PackedStream::new(Arc::clone(&packed));
+        let mut b = PackedStream::new(Arc::clone(&packed));
+        // Interleave two readers: independent cursors, shared bytes.
+        for inst in &insts {
+            assert_eq!(a.next_inst().as_ref(), Some(inst));
+        }
+        for inst in &insts {
+            assert_eq!(b.next_inst().as_ref(), Some(inst));
+        }
+        assert_eq!(Arc::strong_count(&packed), 3);
+    }
+}

@@ -36,4 +36,4 @@ pub mod trace;
 
 pub use mix::{InstMix, MixBreakdown};
 pub use suite::{Benchmark, Workload, WorkloadSpec};
-pub use trace::{ChunkedStream, ClampStream, InstStream, SimdIsa};
+pub use trace::{ChunkedStream, ClampStream, InstStream, SimdIsa, StreamIter};

@@ -107,6 +107,12 @@ impl<S: InstStream + ?Sized> InstStream for Box<S> {
     }
 }
 
+impl<S: InstStream + ?Sized> InstStream for &mut S {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
 /// An [`InstStream`] adapter that caps MOM stream lengths at `max_vl`,
 /// strip-mining longer stream instructions into several shorter ones
 /// plus the loop overhead a compiler would emit (ablation studies on
@@ -198,6 +204,19 @@ impl InstStream for VecStream {
     }
 }
 
+/// Adapts any [`InstStream`] into a standard [`Iterator`], so stream
+/// consumers (trace packers, mix counters) can use iterator combinators
+/// without materializing the trace. Works over owned streams, boxed
+/// trait objects and `&mut` borrows alike.
+pub struct StreamIter<S>(pub S);
+
+impl<S: InstStream> Iterator for StreamIter<S> {
+    type Item = Inst;
+    fn next(&mut self) -> Option<Inst> {
+        self.0.next_inst()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +273,23 @@ mod tests {
         assert_eq!(s.next_inst(), Some(insts[0]));
         assert_eq!(s.next_inst(), Some(insts[1]));
         assert_eq!(s.next_inst(), None);
+    }
+
+    #[test]
+    fn stream_iter_adapts_streams_to_iterators() {
+        let insts = vec![
+            Inst::int_rri(IntOp::Addi, int(1), int(0), 4),
+            Inst::int_rri(IntOp::Addi, int(2), int(1), 8),
+            Inst::jump(0x40),
+        ];
+        let collected: Vec<Inst> = StreamIter(VecStream::new(insts.clone())).collect();
+        assert_eq!(collected, insts);
+
+        // Borrowed and boxed forms drive the same adapter.
+        let mut s = VecStream::new(insts.clone());
+        assert_eq!(StreamIter(&mut s).count(), 3);
+        let boxed: Box<dyn InstStream> = Box::new(VecStream::new(insts));
+        assert_eq!(StreamIter(boxed).count(), 3);
     }
 
     #[test]

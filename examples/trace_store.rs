@@ -1,0 +1,80 @@
+//! The persistent trace store in action: pack the workload's traces,
+//! persist them, and show a warm store serving a grid with zero
+//! synthesis.
+//!
+//! ```sh
+//! cargo run --release --example trace_store
+//! # or against a persistent directory:
+//! MEDSIM_TRACE_DIR=/tmp/medsim-traces cargo run --release --example trace_store
+//! ```
+
+use medsim::core::runner::{run_grid_with, TraceCache};
+use medsim::core::sim::SimConfig;
+use medsim::trace::{PackedTrace, TraceStore};
+use medsim::workloads::{trace::SimdIsa, Benchmark, StreamIter, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let spec = WorkloadSpec::new(1e-4);
+
+    // 1. The packed encoding: density vs the in-memory representation.
+    println!("packed trace density (scale {:.0e}):", spec.scale);
+    for isa in SimdIsa::ALL {
+        for b in [Benchmark::Mpeg2Enc, Benchmark::GsmDec, Benchmark::Mesa] {
+            let insts: Vec<_> = StreamIter(b.stream(0, isa, &spec)).collect();
+            let packed = PackedTrace::pack(insts.iter().copied());
+            println!(
+                "  {isa:>3} {:<9} {:>7} insts  {:>5.2} B/inst packed  ({:>4.1}x vs {} B Inst)",
+                b.name(),
+                packed.len(),
+                packed.bytes_per_inst(),
+                std::mem::size_of::<medsim::isa::Inst>() as f64 / packed.bytes_per_inst(),
+                std::mem::size_of::<medsim::isa::Inst>(),
+            );
+        }
+    }
+
+    // 2. The store: cold grid (synthesize + write-back), then a fresh
+    // cache over the same directory (a "second process") hitting disk.
+    let dir = match std::env::var("MEDSIM_TRACE_DIR") {
+        Ok(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => std::env::temp_dir().join(format!("medsim-example-store-{}", std::process::id())),
+    };
+    let configs: Vec<SimConfig> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| [1usize, 4].map(|t| SimConfig::new(isa, t).with_spec(spec)))
+        .collect();
+
+    let cold_cache = TraceCache::from_env().with_store(TraceStore::at(&dir));
+    let start = Instant::now();
+    let cold = run_grid_with(&configs, 2, &cold_cache);
+    let cold_s = start.elapsed().as_secs_f64();
+    let cs = cold_cache.stats();
+    println!(
+        "\ncold store ({}): {} runs in {cold_s:.2}s — {} synthesized, {} written",
+        dir.display(),
+        cold.len(),
+        cs.synthesized,
+        cs.store.writes,
+    );
+
+    let warm_cache = TraceCache::from_env().with_store(TraceStore::at(&dir));
+    let start = Instant::now();
+    let warm = run_grid_with(&configs, 2, &warm_cache);
+    let warm_s = start.elapsed().as_secs_f64();
+    let ws = warm_cache.stats();
+    println!(
+        "warm store: {} runs in {warm_s:.2}s — {} synthesized, {} loaded from disk ({:.2}x)",
+        warm.len(),
+        ws.synthesized,
+        ws.store.hits,
+        cold_s / warm_s.max(1e-9),
+    );
+    assert_eq!(cold, warm, "replayed traces are bit-identical");
+    println!("results bit-identical across cold and warm runs");
+
+    if std::env::var("MEDSIM_TRACE_DIR").is_err() {
+        std::fs::remove_dir_all(&dir).ok();
+        println!("(scratch store removed; set MEDSIM_TRACE_DIR to keep one)");
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`isa`] (`medsim-isa`) — instruction sets and functional semantics;
 //! * [`workloads`] (`medsim-workloads`) — media kernels and trace
 //!   generators;
+//! * [`trace`] (`medsim-trace`) — packed trace encoding, the persistent
+//!   on-disk trace store and the streaming decoder;
 //! * [`mem`] (`medsim-mem`) — the memory hierarchy;
 //! * [`cpu`] (`medsim-cpu`) — the SMT pipeline;
 //! * [`core`] (`medsim-core`) — simulation facade, metrics, experiments.
@@ -39,4 +41,5 @@ pub use medsim_core as core;
 pub use medsim_cpu as cpu;
 pub use medsim_isa as isa;
 pub use medsim_mem as mem;
+pub use medsim_trace as trace;
 pub use medsim_workloads as workloads;

@@ -1,0 +1,59 @@
+//! End-to-end trace-store test: simulation results are bit-identical
+//! whether traces come from fresh synthesis, the in-memory packed
+//! cache, or the persistent on-disk store — and a warm store serves a
+//! whole grid without a single synthesis.
+
+use medsim::core::runner::{run_grid_with, TraceCache};
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::trace::TraceStore;
+use medsim::workloads::{trace::SimdIsa, WorkloadSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("medsim-e2e-store-{tag}-{}-{n}", std::process::id()))
+}
+
+fn grid(spec: WorkloadSpec) -> Vec<SimConfig> {
+    SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| [1usize, 2].map(|t| SimConfig::new(isa, t).with_spec(spec)))
+        .collect()
+}
+
+#[test]
+fn cold_and_warm_store_runs_are_bit_identical() {
+    let spec = WorkloadSpec {
+        scale: 1.5e-5,
+        seed: 11,
+    };
+    let dir = unique_dir("grid");
+    let configs = grid(spec);
+
+    // Reference: no store, no memoization.
+    let reference: Vec<_> = configs
+        .iter()
+        .map(|c| Simulation::run_cached(c, &TraceCache::disabled()))
+        .collect();
+
+    // Cold store (serial, so per-key counters are exact): synthesizes
+    // and writes every trace back.
+    let cold_cache = TraceCache::from_env().with_store(TraceStore::at(&dir));
+    let cold = run_grid_with(&configs, 1, &cold_cache);
+    assert_eq!(cold, reference, "cold store run matches uncached");
+    let cold_stats = cold_cache.stats();
+    assert_eq!(cold_stats.synthesized, 16, "8 slots x 2 ISAs synthesized");
+    assert_eq!(cold_stats.store.writes, 16);
+
+    // Warm store, fresh cache (models a fresh process), parallel this
+    // time: zero synthesis regardless of worker interleaving.
+    let warm_cache = TraceCache::from_env().with_store(TraceStore::at(&dir));
+    let warm = run_grid_with(&configs, 2, &warm_cache);
+    assert_eq!(warm, reference, "warm store run matches uncached");
+    let warm_stats = warm_cache.stats();
+    assert_eq!(warm_stats.synthesized, 0, "warm store serves everything");
+    assert!(warm_stats.store.hits >= 16, "every trace came from disk");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
