@@ -14,6 +14,13 @@
 //! * `packed_decode` — full decode of one packed program trace; its
 //!   `sim_cycles` column holds *instructions decoded*, so
 //!   `sim_cycles_per_sec` reads as decode insts/sec;
+//! * `event_queue` — a synthetic completion stream through the
+//!   calendar-queue scheduler (`sim_cycles` holds *operations*, so
+//!   `sim_cycles_per_sec` reads as queue ops/sec), printed against the
+//!   seed binary heap on the same stream;
+//! * `stream_batch` — a stream-heavy SMT+MOM run with the batched
+//!   `request_stream` path (the default), printed against the
+//!   per-element reference path;
 //! * `fig5_real_cold_store` / `fig5_real_warm_store` — the figure-5
 //!   grid with a persistent trace store (`MEDSIM_TRACE_DIR`), first
 //!   against an empty directory (synthesize + write-back), then against
@@ -27,6 +34,7 @@ use medsim_bench::{spec_from_env, timed_secs, BenchRecorder};
 use medsim_core::experiments::fig5_real;
 use medsim_core::runner::{effective_jobs, run_grid};
 use medsim_core::sim::{SimConfig, Simulation};
+use medsim_cpu::{CompletionQueue, SchedulerKind};
 use medsim_isa::Inst;
 use medsim_trace::{PackedStream, PackedTrace};
 use medsim_workloads::trace::SimdIsa;
@@ -103,6 +111,66 @@ fn main() {
         packed.bytes_per_inst(),
         (std::mem::size_of::<Inst>() as f64 / packed.bytes_per_inst()).round(),
         decoded as f64 / dec_s.max(1e-9),
+    );
+
+    // Completion-scheduler microbenchmark: a pipeline-shaped event
+    // stream (bursts of short-latency completions, a DRAM-class tail)
+    // through the calendar queue, printed against the seed heap.
+    let queue_ops = |kind: SchedulerKind| -> u64 {
+        let mut q = CompletionQueue::new(kind, 256);
+        let mut now = 0u64;
+        let mut i = 0u64;
+        let mut ops = 0u64;
+        while ops < 3_000_000 {
+            for _ in 0..3 {
+                i += 1;
+                let lat = match i % 64 {
+                    0 => 320,    // DRAM-class overflow event
+                    1..=4 => 40, // L2-ish
+                    _ => 1 + (i % 6),
+                };
+                q.push(now + lat, (i & 0xffff) as u32);
+                ops += 1;
+            }
+            now += 1;
+            while q.pop_due(now).is_some() {
+                ops += 1;
+            }
+        }
+        while q.pop_due(u64::MAX).is_some() {
+            ops += 1;
+        }
+        ops
+    };
+    let (wheel_ops, wheel_s) = timed_secs(|| queue_ops(SchedulerKind::Wheel));
+    recorder.record("event_queue", wheel_s, wheel_ops);
+    let (heap_ops, heap_s) = timed_secs(|| queue_ops(SchedulerKind::Heap));
+    assert_eq!(wheel_ops, heap_ops, "both schedulers process every event");
+    println!(
+        "event_queue: wheel {:.0} ops/sec vs heap {:.0} ops/sec ({:.2}x)",
+        wheel_ops as f64 / wheel_s.max(1e-9),
+        heap_ops as f64 / heap_s.max(1e-9),
+        heap_s / wheel_s.max(1e-9),
+    );
+
+    // Batched stream requests on a stream-heavy SMT+MOM run over the
+    // decoupled hierarchy (§5.4 — every vector element otherwise pays
+    // its own L2 tag walk), printed against the per-element reference
+    // path (identical results, by the differential suite).
+    let mom = SimConfig::new(SimdIsa::Mom, 4)
+        .with_hierarchy(medsim_mem::HierarchyKind::Decoupled)
+        .with_spec(WorkloadSpec {
+            scale: 2e-5,
+            seed: 3,
+        });
+    let (batched, batched_s) = timed_secs(|| Simulation::run(&mom.clone().with_stream_batch(true)));
+    recorder.record("stream_batch", batched_s, batched.cycles);
+    let (per_elem, per_elem_s) =
+        timed_secs(|| Simulation::run(&mom.clone().with_stream_batch(false)));
+    assert_eq!(batched, per_elem, "stream batching must be invisible");
+    println!(
+        "stream_batch: batched {batched_s:.3}s vs per-element {per_elem_s:.3}s ({:.2}x)",
+        per_elem_s / batched_s.max(1e-9),
     );
 
     // Cold vs warm persistent trace store around the fig5 grid. The

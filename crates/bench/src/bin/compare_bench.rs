@@ -1,39 +1,43 @@
-//! Trend comparison of two `BENCH_runs.json` reports.
+//! Trend comparison of two `BENCH_runs.json` reports — the CI perf gate.
 //!
 //! ```text
-//! compare_bench <previous.json> <current.json> [threshold-percent]
+//! compare_bench <previous.json> <current.json> [threshold-percent] [--noise-floor <seconds>]
 //! ```
 //!
-//! Prints a per-row table, and a GitHub Actions `::warning::` line for
-//! every benchmark whose wall clock regressed by more than the
-//! threshold (default 10%). Always exits 0 — the comparison warns, it
-//! does not gate: smoke-scale CI timings on shared runners are too
-//! noisy to fail a build on.
+//! Prints a per-row table, then classifies every wall-clock regression
+//! beyond the threshold (default 10%):
+//!
+//! * regressions on the **gated rows** (`fig5_real`,
+//!   `pipeline_1thread`) print a GitHub Actions `::error::` line and
+//!   the process exits non-zero — unless `MEDSIM_BENCH_GATE=warn`
+//!   downgrades the gate to warnings;
+//! * regressions elsewhere print `::warning::` lines only;
+//! * rows faster than the noise floor (default 50 ms) in both reports
+//!   are ignored — sub-floor timings are scheduler noise on shared CI
+//!   runners;
+//! * reports measured at different `MEDSIM_SCALE`s are declared
+//!   incomparable (the baseline resets) instead of producing bogus
+//!   regressions.
 
-use medsim_bench::{parse_runs, regressions};
-
-/// Rows faster than this in both reports are ignored (scheduler noise).
-const NOISE_FLOOR_S: f64 = 0.05;
+use medsim_bench::{evaluate_gate, parse_compare_args, parse_report, GateMode};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: compare_bench <previous.json> <current.json> [threshold-percent]");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_compare_args(&argv).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
-    };
-    let threshold = args
-        .get(3)
-        .and_then(|v| v.parse::<f64>().ok())
-        .map_or(0.10, |pct| pct / 100.0);
+    });
 
-    let old = parse_runs(&read_or_exit(old_path));
-    let new = parse_runs(&read_or_exit(new_path));
-    if old.is_empty() || new.is_empty() {
-        println!(
-            "nothing to compare (old: {} rows, new: {} rows)",
-            old.len(),
-            new.len()
-        );
+    let old = parse_report(&read_or_exit(&args.old_path));
+    let new = parse_report(&read_or_exit(&args.new_path));
+    if new.runs.is_empty() {
+        // An unparseable *current* report must not silently pass the
+        // gate — it means the benchmark or the parser broke.
+        eprintln!("current report {} has no parseable rows", args.new_path);
+        std::process::exit(2);
+    }
+    if old.runs.is_empty() {
+        println!("previous report has no rows; nothing to compare");
         return;
     }
 
@@ -41,8 +45,8 @@ fn main() {
         "{:<28} {:>10} {:>10} {:>8}",
         "benchmark", "prev s", "now s", "delta"
     );
-    for n in &new {
-        match old.iter().find(|o| o.name == n.name) {
+    for n in &new.runs {
+        match old.runs.iter().find(|o| o.name == n.name) {
             Some(o) if o.wall_s > 0.0 => {
                 let delta = (n.wall_s / o.wall_s - 1.0) * 100.0;
                 println!(
@@ -54,20 +58,51 @@ fn main() {
         }
     }
 
-    let regs = regressions(&old, &new, threshold, NOISE_FLOOR_S);
-    for (name, old_s, new_s) in &regs {
+    let decision = evaluate_gate(&old, &new, args.threshold, args.noise_floor_s);
+    if !decision.comparable {
+        println!(
+            "workload scale changed ({:?} -> {:?}): baseline reset, nothing to gate",
+            old.scale, new.scale
+        );
+        return;
+    }
+
+    let gate = GateMode::from_env();
+    for (name, old_s, new_s) in &decision.ungated {
         println!(
             "::warning title=bench regression::{name}: {old_s:.3}s -> {new_s:.3}s \
              (+{:.0}%, threshold {:.0}%)",
             (new_s / old_s - 1.0) * 100.0,
-            threshold * 100.0
+            args.threshold * 100.0
         );
     }
-    if regs.is_empty() {
+    for (name, old_s, new_s) in &decision.gated {
+        let level = if gate == GateMode::Fail {
+            "error"
+        } else {
+            "warning"
+        };
         println!(
-            "no wall-clock regressions beyond {:.0}% (noise floor {NOISE_FLOOR_S}s)",
-            threshold * 100.0
+            "::{level} title=bench regression (gated)::{name}: {old_s:.3}s -> {new_s:.3}s \
+             (+{:.0}%, threshold {:.0}%)",
+            (new_s / old_s - 1.0) * 100.0,
+            args.threshold * 100.0
         );
+    }
+    if decision.gated.is_empty() && decision.ungated.is_empty() {
+        println!(
+            "no wall-clock regressions beyond {:.0}% (noise floor {}s)",
+            args.threshold * 100.0,
+            args.noise_floor_s
+        );
+    }
+    if !decision.gated.is_empty() && gate == GateMode::Fail {
+        eprintln!(
+            "{} gated benchmark(s) regressed beyond {:.0}%; set MEDSIM_BENCH_GATE=warn to bypass",
+            decision.gated.len(),
+            args.threshold * 100.0
+        );
+        std::process::exit(1);
     }
 }
 

@@ -79,7 +79,8 @@ impl BenchEntry {
 
 /// Collects [`BenchEntry`] rows and emits `BENCH_runs.json` so the
 /// perf trajectory of the simulator itself is tracked PR over PR (the
-/// CI smoke-bench job uploads the file as an artifact).
+/// CI smoke-bench job uploads the file as an artifact and
+/// `compare_bench` gates on it).
 #[derive(Debug, Default)]
 pub struct BenchRecorder {
     entries: Vec<BenchEntry>,
@@ -121,10 +122,15 @@ impl BenchRecorder {
     }
 
     /// Render the report as a JSON document (hand-emitted: the
-    /// environment's serde is a no-op shim).
+    /// environment's serde is a no-op shim). The top-level `scale`
+    /// records the workload scale the rows were measured at, so trend
+    /// comparison can refuse to compare across scale changes.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"medsim-bench-runs/v1\",\n  \"runs\": [\n");
+        let mut out = format!(
+            "{{\n  \"schema\": \"medsim-bench-runs/v2\",\n  \"scale\": {},\n  \"runs\": [\n",
+            spec_from_env().scale
+        );
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
             out.push_str(&format!(
@@ -154,11 +160,34 @@ impl BenchRecorder {
     }
 }
 
-/// Parse a `BENCH_runs.json` document back into entries — the inverse
-/// of [`BenchRecorder::to_json`], hand-rolled for the same reason that
+/// A parsed `BENCH_runs.json` document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Workload scale the rows were measured at (absent in v1 reports).
+    pub scale: Option<f64>,
+    /// Measured rows.
+    pub runs: Vec<BenchEntry>,
+}
+
+/// Parse a `BENCH_runs.json` document — the inverse of
+/// [`BenchRecorder::to_json`], hand-rolled for the same reason that
 /// emitter is (the workspace serde is a no-op shim). Tolerant of
 /// unknown fields; rows missing `name`/`wall_s`/`sim_cycles` are
-/// skipped.
+/// skipped; v1 reports (no top-level `scale`) parse with `scale: None`.
+#[must_use]
+pub fn parse_report(json: &str) -> BenchReport {
+    let scale = json
+        .split('{')
+        .nth(1)
+        .and_then(|head| extract_number(head, "\"scale\": "));
+    BenchReport {
+        scale,
+        runs: parse_runs(json),
+    }
+}
+
+/// Parse just the rows of a `BENCH_runs.json` document (see
+/// [`parse_report`] for the scale-aware variant).
 #[must_use]
 pub fn parse_runs(json: &str) -> Vec<BenchEntry> {
     let mut out = Vec::new();
@@ -207,6 +236,146 @@ pub fn regressions(
         }
     }
     out
+}
+
+/// How `compare_bench` responds to a regression on a gated row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Gated regressions fail the build (the default).
+    Fail,
+    /// Everything only warns (opt-out: `MEDSIM_BENCH_GATE=warn`).
+    Warn,
+}
+
+impl GateMode {
+    /// Gate mode selected by `MEDSIM_BENCH_GATE` (`warn`/`off`/`0`
+    /// disable the failing gate; anything else, or unset, enforces it).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("MEDSIM_BENCH_GATE") {
+            Ok(v)
+                if v.eq_ignore_ascii_case("warn") || v.eq_ignore_ascii_case("off") || v == "0" =>
+            {
+                GateMode::Warn
+            }
+            _ => GateMode::Fail,
+        }
+    }
+}
+
+/// The headline rows whose wall-clock regressions fail CI: the
+/// figure-5 grid (end-to-end) and the raw single-thread hot path.
+pub const GATED_ROWS: &[&str] = &["fig5_real", "pipeline_1thread"];
+
+/// Whether a regression on `name` fails the build (vs warns).
+#[must_use]
+pub fn is_gated(name: &str) -> bool {
+    GATED_ROWS.contains(&name)
+}
+
+/// The verdict of a trend comparison between two reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GateDecision {
+    /// Regressions on [`GATED_ROWS`] — these fail the build in
+    /// [`GateMode::Fail`].
+    pub gated: Vec<(String, f64, f64)>,
+    /// Regressions on other rows — always warnings.
+    pub ungated: Vec<(String, f64, f64)>,
+    /// `false` when the two reports were measured at different workload
+    /// scales: wall clocks are incomparable and the baseline resets.
+    pub comparable: bool,
+}
+
+/// Compare two reports and classify every regression. Reports measured
+/// at different scales (e.g. after a CI smoke-scale change) are
+/// declared incomparable rather than producing bogus regressions. A v1
+/// baseline (no recorded scale) against a v2 report is likewise
+/// incomparable — the old artifact may have been measured at any scale,
+/// and guessing would fabricate regressions on the first run after the
+/// schema change; two legacy reports still compare best-effort.
+#[must_use]
+pub fn evaluate_gate(
+    old: &BenchReport,
+    new: &BenchReport,
+    threshold: f64,
+    noise_floor_s: f64,
+) -> GateDecision {
+    let comparable = match (old.scale, new.scale) {
+        (Some(a), Some(b)) => (a - b).abs() <= a.abs() * 1e-9,
+        (None, None) => true,
+        _ => false,
+    };
+    if !comparable {
+        return GateDecision {
+            comparable: false,
+            ..GateDecision::default()
+        };
+    }
+    let (gated, ungated) = regressions(&old.runs, &new.runs, threshold, noise_floor_s)
+        .into_iter()
+        .partition(|(name, _, _)| is_gated(name));
+    GateDecision {
+        gated,
+        ungated,
+        comparable: true,
+    }
+}
+
+/// Parsed `compare_bench` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Previous report path.
+    pub old_path: String,
+    /// Current report path.
+    pub new_path: String,
+    /// Regression threshold as a fraction (CLI takes percent).
+    pub threshold: f64,
+    /// Rows faster than this (seconds) in both reports are ignored.
+    pub noise_floor_s: f64,
+}
+
+/// Parse `compare_bench` arguments:
+/// `<previous.json> <current.json> [threshold-percent] [--noise-floor <seconds>]`.
+///
+/// # Errors
+///
+/// Returns a usage message when paths are missing or a value fails to
+/// parse.
+pub fn parse_compare_args(args: &[String]) -> Result<CompareArgs, String> {
+    const USAGE: &str = "usage: compare_bench <previous.json> <current.json> [threshold-percent] \
+         [--noise-floor <seconds>]";
+    let mut positional = Vec::new();
+    let mut noise_floor_s = 0.05;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--noise-floor" {
+            let v = it
+                .next()
+                .ok_or(format!("--noise-floor needs a value\n{USAGE}"))?;
+            noise_floor_s = v
+                .parse::<f64>()
+                .map_err(|_| format!("bad --noise-floor {v:?}\n{USAGE}"))?;
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let (Some(old_path), Some(new_path)) = (positional.first(), positional.get(1)) else {
+        return Err(USAGE.to_string());
+    };
+    let threshold = match positional.get(2) {
+        Some(v) => {
+            v.parse::<f64>()
+                .map_err(|_| format!("bad threshold {v:?}\n{USAGE}"))?
+                / 100.0
+        }
+        None => 0.10,
+    };
+    Ok(CompareArgs {
+        old_path: old_path.clone(),
+        new_path: new_path.clone(),
+        threshold,
+        noise_floor_s,
+    })
 }
 
 fn extract_string(row: &str, key: &str) -> Option<String> {
@@ -351,6 +520,131 @@ mod tests {
         let regs = regressions(&old, &new, 0.10, 0.05);
         assert_eq!(regs.len(), 1, "only b regressed beyond 10%: {regs:?}");
         assert_eq!(regs[0].0, "b");
+    }
+
+    #[test]
+    fn report_records_and_parses_scale() {
+        let mut r = BenchRecorder::new();
+        r.record("fig5_real", 1.0, 10);
+        let report = parse_report(&r.to_json());
+        assert_eq!(report.scale, Some(DEFAULT_SCALE));
+        assert_eq!(report.runs, r.entries());
+        // v1 documents (no scale) parse with None.
+        let v1 = "{\n \"schema\": \"medsim-bench-runs/v1\",\n \"runs\": [\n \
+                  {\"name\": \"a\", \"wall_s\": 1.0, \"sim_cycles\": 2}\n ]\n}\n";
+        let legacy = parse_report(v1);
+        assert_eq!(legacy.scale, None);
+        assert_eq!(legacy.runs.len(), 1);
+    }
+
+    fn entry(name: &str, wall_s: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            wall_s,
+            sim_cycles: 1,
+        }
+    }
+
+    fn report(scale: Option<f64>, runs: Vec<BenchEntry>) -> BenchReport {
+        BenchReport { scale, runs }
+    }
+
+    #[test]
+    fn gate_partitions_gated_and_ungated_regressions() {
+        let old = report(
+            Some(1e-4),
+            vec![entry("fig5_real", 1.0), entry("grid_serial", 1.0)],
+        );
+        let new = report(
+            Some(1e-4),
+            vec![entry("fig5_real", 1.5), entry("grid_serial", 1.5)],
+        );
+        let d = evaluate_gate(&old, &new, 0.10, 0.05);
+        assert!(d.comparable);
+        assert_eq!(d.gated.len(), 1);
+        assert_eq!(d.gated[0].0, "fig5_real");
+        assert_eq!(d.ungated.len(), 1);
+        assert_eq!(d.ungated[0].0, "grid_serial");
+    }
+
+    #[test]
+    fn gate_respects_threshold_and_noise_floor() {
+        let old = report(
+            Some(1e-4),
+            vec![entry("fig5_real", 1.0), entry("pipeline_1thread", 0.01)],
+        );
+        // +9% on fig5_real (under threshold); pipeline_1thread doubles
+        // but sits under the noise floor in both reports.
+        let new = report(
+            Some(1e-4),
+            vec![entry("fig5_real", 1.09), entry("pipeline_1thread", 0.02)],
+        );
+        let d = evaluate_gate(&old, &new, 0.10, 0.05);
+        assert!(d.comparable);
+        assert!(d.gated.is_empty(), "{:?}", d.gated);
+        assert!(d.ungated.is_empty());
+        // A tighter threshold flags the +9%.
+        let d = evaluate_gate(&old, &new, 0.05, 0.05);
+        assert_eq!(d.gated.len(), 1);
+    }
+
+    #[test]
+    fn gate_refuses_cross_scale_comparison() {
+        let old = report(Some(1e-5), vec![entry("fig5_real", 0.06)]);
+        let new = report(Some(1e-4), vec![entry("fig5_real", 0.60)]);
+        let d = evaluate_gate(&old, &new, 0.10, 0.05);
+        assert!(!d.comparable, "scale change must reset the baseline");
+        assert!(d.gated.is_empty() && d.ungated.is_empty());
+        // A v1 baseline (unknown scale) against a v2 report must also
+        // reset: the old artifact may have been measured at any scale.
+        let legacy = report(None, vec![entry("fig5_real", 0.06)]);
+        assert!(!evaluate_gate(&legacy, &new, 0.10, 0.05).comparable);
+        // Two legacy reports still compare best-effort.
+        let legacy2 = report(None, vec![entry("fig5_real", 0.10)]);
+        let d = evaluate_gate(&legacy, &legacy2, 0.10, 0.05);
+        assert!(d.comparable);
+        assert_eq!(d.gated.len(), 1);
+    }
+
+    #[test]
+    fn gated_rows_are_the_headline_benchmarks() {
+        assert!(is_gated("fig5_real"));
+        assert!(is_gated("pipeline_1thread"));
+        assert!(!is_gated("grid_serial"));
+        assert!(!is_gated("fig5_real_warm_store"));
+    }
+
+    #[test]
+    fn compare_args_parse_positionals_and_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        let a = parse_compare_args(&args(&["old.json", "new.json"])).unwrap();
+        assert_eq!(a.threshold, 0.10);
+        assert_eq!(a.noise_floor_s, 0.05);
+        let a = parse_compare_args(&args(&[
+            "old.json",
+            "new.json",
+            "25",
+            "--noise-floor",
+            "0.2",
+        ]))
+        .unwrap();
+        assert_eq!(a.threshold, 0.25);
+        assert_eq!(a.noise_floor_s, 0.2);
+        assert_eq!(a.old_path, "old.json");
+        assert_eq!(a.new_path, "new.json");
+        // Flag order does not matter.
+        let a = parse_compare_args(&args(&["--noise-floor", "0.1", "o", "n", "5"])).unwrap();
+        assert_eq!(a.threshold, 0.05);
+        assert_eq!(a.noise_floor_s, 0.1);
+        assert!(parse_compare_args(&args(&["only-one.json"])).is_err());
+        assert!(parse_compare_args(&args(&["o", "n", "not-a-number"])).is_err());
+        assert!(parse_compare_args(&args(&["o", "n", "--noise-floor"])).is_err());
+    }
+
+    #[test]
+    fn gate_mode_defaults_to_fail() {
+        // No env mutation (tests run in parallel): just the default.
+        assert_eq!(GateMode::from_env(), GateMode::Fail);
     }
 
     #[test]

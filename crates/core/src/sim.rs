@@ -11,7 +11,7 @@
 
 use crate::metrics::RunResult;
 use crate::runner::TraceCache;
-use medsim_cpu::{Cpu, CpuConfig, FetchPolicy};
+use medsim_cpu::{Cpu, CpuConfig, FetchPolicy, SchedulerKind};
 use medsim_mem::{HierarchyKind, MemConfig, MemSystem};
 use medsim_workloads::trace::SimdIsa;
 use medsim_workloads::WorkloadSpec;
@@ -38,6 +38,11 @@ pub struct SimConfig {
     /// Cap on MOM stream lengths (ablation): stream instructions longer
     /// than this are split. `16` (the architectural maximum) disables it.
     pub max_stream_len: u8,
+    /// Completion scheduler (calendar queue by default; the seed binary
+    /// heap as a differential reference).
+    pub scheduler: SchedulerKind,
+    /// Batched stream-request path (`false` = per-element reference).
+    pub stream_batch: bool,
 }
 
 impl SimConfig {
@@ -54,7 +59,24 @@ impl SimConfig {
             max_cycles: 2_000_000_000,
             mem_override: None,
             max_stream_len: medsim_isa::MAX_STREAM_LEN,
+            scheduler: SchedulerKind::from_env(),
+            stream_batch: medsim_cpu::config::stream_batch_from_env(),
         }
+    }
+
+    /// Builder: select the completion scheduler (differential testing).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder: enable/disable the batched stream-request path
+    /// (differential testing).
+    #[must_use]
+    pub fn with_stream_batch(mut self, enabled: bool) -> Self {
+        self.stream_batch = enabled;
+        self
     }
 
     /// Builder: override the full memory configuration (ablations).
@@ -131,8 +153,10 @@ impl Simulation {
             .clone()
             .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
         let mem = MemSystem::new(mem_config);
-        let cpu_config =
-            CpuConfig::paper(config.threads, config.isa).with_policy(config.fetch_policy);
+        let cpu_config = CpuConfig::paper(config.threads, config.isa)
+            .with_policy(config.fetch_policy)
+            .with_scheduler(config.scheduler)
+            .with_stream_batch(config.stream_batch);
         let mut cpu = Cpu::new(cpu_config, mem);
 
         let stream_for = |slot: usize| -> Box<dyn medsim_workloads::trace::InstStream> {

@@ -1,5 +1,6 @@
 //! Processor configuration, with the paper's parameters as defaults.
 
+use crate::events::{wheel_slots_from_env, SchedulerKind};
 use medsim_workloads::SimdIsa;
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +180,15 @@ pub struct CpuConfig {
     pub lat_fp_div: u64,
     /// Packed-multiply latency (MMX or per-group MOM).
     pub lat_simd_mul: u64,
+    /// Completion scheduler (calendar queue, or the seed binary heap as
+    /// a differential reference).
+    pub scheduler: SchedulerKind,
+    /// Calendar-queue horizon in cycles (wheel slot count).
+    pub wheel_slots: usize,
+    /// Resolve stream memory instructions through the batched
+    /// [`medsim_mem::MemSystem::request_stream`] path (`false` = the
+    /// per-element reference path).
+    pub stream_batch: bool,
 }
 
 impl CpuConfig {
@@ -208,6 +218,9 @@ impl CpuConfig {
             lat_fp_mul: 4,
             lat_fp_div: 12,
             lat_simd_mul: 3,
+            scheduler: SchedulerKind::from_env(),
+            wheel_slots: wheel_slots_from_env(),
+            stream_batch: stream_batch_from_env(),
         }
     }
 
@@ -217,6 +230,28 @@ impl CpuConfig {
         self.fetch_policy = policy;
         self
     }
+
+    /// Same configuration with a different completion scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Same configuration with the batched stream-request path enabled
+    /// or disabled.
+    #[must_use]
+    pub fn with_stream_batch(mut self, enabled: bool) -> Self {
+        self.stream_batch = enabled;
+        self
+    }
+}
+
+/// Batched stream requests from `MEDSIM_STREAM_BATCH` (`0` disables —
+/// the per-element reference path; anything else, or unset, batches).
+#[must_use]
+pub fn stream_batch_from_env() -> bool {
+    std::env::var("MEDSIM_STREAM_BATCH").map_or(true, |v| v != "0")
 }
 
 #[cfg(test)]

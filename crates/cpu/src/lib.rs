@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod events;
 pub mod fetch;
 pub mod pipeline;
 pub mod predictor;
@@ -33,6 +34,7 @@ pub mod rename;
 pub mod stats;
 
 pub use config::{CpuConfig, FetchPolicy, SizingParams};
+pub use events::{CompletionQueue, EventQueue, SchedulerKind};
 pub use pipeline::Cpu;
 pub use stats::CpuStats;
 

@@ -15,15 +15,16 @@
 //! paper's §5.4 exploits with the decoupled cache hierarchy.
 
 use crate::config::CpuConfig;
+use crate::events::CompletionQueue;
 use crate::fetch::{select_threads_into, ThreadFetchInfo};
 use crate::predictor::Predictor;
 use crate::rename::{PhysReg, RenameFile};
 use crate::stats::CpuStats;
 use crate::Cycle;
 use medsim_isa::{Inst, MomOp, Op, QueueKind};
-use medsim_mem::{AccessKind, MemRequest, MemSystem, Stall};
+use medsim_mem::{AccessKind, MemRequest, MemSystem, Stall, StreamRequest};
 use medsim_workloads::trace::{InstStream, SimdIsa};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 const DECODE_BUF_CAP: usize = 16;
 const ICACHE_LINE: u64 = 32;
@@ -92,7 +93,7 @@ pub struct Cpu {
     robs: Vec<VecDeque<u32>>,
     threads: Vec<ThreadCtx>,
     predictors: Vec<Predictor>,
-    completions: BinaryHeap<(std::cmp::Reverse<Cycle>, u32)>,
+    completions: CompletionQueue,
     stats: CpuStats,
     rr_cursor: usize,
     media_unit_free: Cycle,
@@ -134,7 +135,7 @@ impl Cpu {
             robs: (0..threads).map(|_| VecDeque::new()).collect(),
             threads: (0..threads).map(|_| ThreadCtx::empty()).collect(),
             predictors: (0..threads).map(|_| Predictor::new(12)).collect(),
-            completions: BinaryHeap::new(),
+            completions: CompletionQueue::new(config.scheduler, config.wheel_slots),
             rr_cursor: 0,
             media_unit_free: 0,
             int_div_free: 0,
@@ -255,7 +256,7 @@ impl Cpu {
     /// the per-cycle statistics the skipped idle cycles would have
     /// accumulated, so results are identical to ticking through them.
     fn fast_forward_idle(&mut self) {
-        let mut wake: Option<Cycle> = self.completions.peek().map(|&(std::cmp::Reverse(t), _)| t);
+        let mut wake: Option<Cycle> = self.completions.next_due();
         let mut branch_blocked = 0u64;
         let mut time_blocked = 0u64;
         let prev = self.now - 1; // the idle cycle just simulated
@@ -334,11 +335,7 @@ impl Cpu {
 
     fn complete(&mut self) -> usize {
         let mut processed = 0;
-        while let Some(&(std::cmp::Reverse(when), id)) = self.completions.peek() {
-            if when > self.now {
-                break;
-            }
-            self.completions.pop();
+        while let Some(id) = self.completions.pop_due(self.now) {
             processed += 1;
             let d = self.slab[id as usize]
                 .as_mut()
@@ -545,8 +542,7 @@ impl Cpu {
                 .as_mut()
                 .expect("queued instruction exists");
             d.state = InstState::Executing;
-            self.completions
-                .push((std::cmp::Reverse(self.now + lat), id));
+            self.completions.push(self.now + lat, id);
             self.threads[tid].icount -= 1;
             self.threads[tid].ocount -= inst.equivalent_count();
             issued += 1;
@@ -608,27 +604,57 @@ impl Cpu {
             let elems_before = d.mem_elems_issued;
             let mut elems = elems_before;
             let mut mem_done = d.mem_done;
-            while elems < mem.count && slots > 0 {
-                let req = MemRequest {
-                    tid: tid as u8,
-                    addr: mem.elem_addr(elems),
-                    size: mem.size,
-                    kind,
-                };
-                match self.mem.request(self.now, req) {
-                    Ok(reply) => {
-                        elems += 1;
-                        slots -= 1;
-                        mem_done = mem_done.max(reply.done_at);
-                    }
-                    Err(Stall::PortBusy) => {
+            if self.config.stream_batch && mem.count > 1 {
+                // Batched path: hand the whole element group for this
+                // cycle to the memory system in one call (identical
+                // timing and statistics to the per-element loop below —
+                // enforced by the differential suite).
+                let want = (mem.count - elems).min(slots.min(usize::from(u8::MAX)) as u8);
+                let reply = self.mem.request_stream(
+                    self.now,
+                    StreamRequest {
+                        tid: tid as u8,
+                        base: mem.elem_addr(elems),
+                        stride: mem.stride,
+                        count: want,
+                        size: mem.size,
+                        kind,
+                    },
+                );
+                elems += reply.issued;
+                slots -= reply.issued as usize;
+                mem_done = mem_done.max(reply.done_at);
+                match reply.stall {
+                    Some(Stall::PortBusy) => {
                         self.stats.mem_stalls += 1;
                         slots = 0; // ports exhausted this cycle
-                        break;
                     }
-                    Err(_) => {
-                        self.stats.mem_stalls += 1;
-                        break;
+                    Some(_) => self.stats.mem_stalls += 1,
+                    None => {}
+                }
+            } else {
+                while elems < mem.count && slots > 0 {
+                    let req = MemRequest {
+                        tid: tid as u8,
+                        addr: mem.elem_addr(elems),
+                        size: mem.size,
+                        kind,
+                    };
+                    match self.mem.request(self.now, req) {
+                        Ok(reply) => {
+                            elems += 1;
+                            slots -= 1;
+                            mem_done = mem_done.max(reply.done_at);
+                        }
+                        Err(Stall::PortBusy) => {
+                            self.stats.mem_stalls += 1;
+                            slots = 0; // ports exhausted this cycle
+                            break;
+                        }
+                        Err(_) => {
+                            self.stats.mem_stalls += 1;
+                            break;
+                        }
                     }
                 }
             }
@@ -640,8 +666,7 @@ impl Cpu {
             }
             if elems == mem.count {
                 d.state = InstState::Executing;
-                self.completions
-                    .push((std::cmp::Reverse(mem_done.max(self.now + 1)), id));
+                self.completions.push(mem_done.max(self.now + 1), id);
                 self.threads[tid].icount -= 1;
                 self.threads[tid].ocount -= d.inst.equivalent_count();
                 // Fully issued: drop from the queue (hole compacted).

@@ -1,0 +1,173 @@
+//! Property test: the calendar queue must be indistinguishable from a
+//! totally ordered reference model.
+//!
+//! The reference is a `BinaryHeap` over `Reverse((due, seq, id))` — a
+//! priority queue that breaks same-cycle ties by push order, i.e. the
+//! FIFO-within-a-cycle contract the wheel promises. Random interleaved
+//! push/advance/drain schedules (including far-future pushes that land
+//! in the overflow bucket, and long jumps that cross several wheel
+//! rotations at once) must produce identical pop sequences, identical
+//! `next_due` answers and identical lengths at every step.
+
+use medsim_cpu::EventQueue;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reference model: totally ordered by `(due, push sequence)`.
+#[derive(Default)]
+struct Model {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, due: u64, id: u32) {
+        self.seq += 1;
+        self.heap.push(Reverse((due, self.seq, id)));
+    }
+
+    fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((d, _, _))| d)
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<u32> {
+        match self.heap.peek() {
+            Some(&Reverse((d, _, _))) if d <= now => self.heap.pop().map(|Reverse((_, _, id))| id),
+            _ => None,
+        }
+    }
+}
+
+/// One random schedule: returns the full pop trace for cross-seed
+/// sanity.
+fn run_schedule(seed: u64, wheel_slots: usize, steps: usize) -> Vec<(u64, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut q = EventQueue::new(wheel_slots);
+    let mut model = Model::default();
+    let mut now = 0u64;
+    let mut next_id = 0u32;
+    let mut trace = Vec::new();
+
+    for step in 0..steps {
+        // Advance time: small ticks usually; sometimes jump straight to
+        // the earliest pending event (the fast-forward pattern), and
+        // occasionally far past a whole wheel rotation.
+        now += match rng.gen_range(0..10u32) {
+            0..=5 => rng.gen_range(0..3u64),
+            6..=7 => model.next_due().map_or(1, |d| d.saturating_sub(now).max(1)),
+            8 => rng.gen_range(0..2 * wheel_slots as u64),
+            _ => rng.gen_range(0..8u64),
+        };
+
+        // Drain everything due, in lock step.
+        loop {
+            assert_eq!(q.next_due(), model.next_due(), "step {step} next_due");
+            let (a, b) = (q.pop_due(now), model.pop_due(now));
+            assert_eq!(a, b, "step {step} at now={now}: wheel {a:?} vs model {b:?}");
+            match a {
+                Some(id) => trace.push((now, id)),
+                None => break,
+            }
+        }
+        assert_eq!(q.len(), model.heap.len(), "step {step} len");
+
+        // Push a burst of events: mostly short-horizon (FU latencies,
+        // cache hits), some same-cycle ties, a tail far enough out to
+        // overflow the wheel (DRAM-class latencies).
+        for _ in 0..rng.gen_range(0..6u32) {
+            let offset = match rng.gen_range(0..12u32) {
+                0..=6 => rng.gen_range(0..12u64),
+                7..=8 => rng.gen_range(0..wheel_slots as u64),
+                9 => 0, // due immediately
+                _ => rng.gen_range(wheel_slots as u64..4 * wheel_slots as u64),
+            };
+            next_id += 1;
+            q.push(now + offset, next_id);
+            model.push(now + offset, next_id);
+        }
+    }
+
+    // Final drain: everything left must come out in model order.
+    loop {
+        let due = model.next_due();
+        assert_eq!(q.next_due(), due);
+        let Some(due) = due else { break };
+        now = now.max(due);
+        let (a, b) = (q.pop_due(now), model.pop_due(now));
+        assert_eq!(a, b, "final drain at {now}");
+        trace.push((now, a.expect("due event")));
+    }
+    assert!(q.is_empty());
+    trace
+}
+
+#[test]
+fn random_schedules_match_the_heap_reference() {
+    for seed in 0..20 {
+        let trace = run_schedule(seed, 64, 400);
+        assert!(!trace.is_empty(), "seed {seed} exercised nothing");
+    }
+}
+
+#[test]
+fn default_sized_wheel_matches_too() {
+    for seed in 100..104 {
+        run_schedule(seed, 256, 300);
+    }
+}
+
+#[test]
+fn same_cycle_bursts_pop_fifo_through_rotations() {
+    let mut q = EventQueue::new(64);
+    let mut model = Model::default();
+    let mut id = 0u32;
+    let mut now = 0;
+    // Many rotations of dense same-cycle bursts.
+    for round in 0..50u64 {
+        let due = now + 1 + (round % 7);
+        for _ in 0..8 {
+            id += 1;
+            q.push(due, id);
+            model.push(due, id);
+        }
+        // Partial drains at intermediate times, then the due cycle.
+        for t in [due - 1, due] {
+            now = t;
+            loop {
+                let (a, b) = (q.pop_due(now), model.pop_due(now));
+                assert_eq!(a, b, "round {round} at {now}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(q.is_empty());
+}
+
+#[test]
+fn overflow_heavy_schedule_stays_ordered() {
+    // Everything lands beyond the horizon, then time sweeps across.
+    let mut q = EventQueue::new(64);
+    let mut model = Model::default();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for id in 1..=300u32 {
+        let due = rng.gen_range(500..4000u64);
+        q.push(due, id);
+        model.push(due, id);
+    }
+    let mut now = 0;
+    while !q.is_empty() {
+        now += rng.gen_range(1..40u64);
+        loop {
+            assert_eq!(q.next_due(), model.next_due());
+            let (a, b) = (q.pop_due(now), model.pop_due(now));
+            assert_eq!(a, b, "at {now}");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -234,6 +234,67 @@ impl Cache {
         }
     }
 
+    /// Re-access a line known to be resident (tag present, possibly with
+    /// a fill still in flight): exactly the bookkeeping [`Cache::access`]
+    /// does on its tag-match path — LRU touch, hit/store accounting,
+    /// dirty marking — without re-deciding hit vs miss. The batched
+    /// stream path uses this for the second and later elements that
+    /// land on a line the first element already walked the tags for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (protocol violation: the
+    /// caller just accessed it).
+    pub fn retouch(&mut self, addr: u64, is_store: bool) {
+        self.retouch_many(addr, is_store, 1);
+    }
+
+    /// [`Cache::retouch`] for `n` back-to-back accesses to the same
+    /// resident line: one tag walk, with the LRU counter and statistics
+    /// advanced exactly as `n` sequential accesses would have left them
+    /// (only the final `last_use` is ever observable, since nothing else
+    /// touches the cache in between).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (protocol violation: the
+    /// caller just accessed it).
+    pub fn retouch_many(&mut self, addr: u64, is_store: bool, n: u64) {
+        self.use_counter += n;
+        let lru_now = self.use_counter;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let write_back = self.config.write_back;
+        let line = self
+            .set_slice_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .expect("retouch of a line that is not resident");
+        line.last_use = lru_now;
+        if is_store && write_back {
+            line.dirty = true;
+        }
+        if is_store {
+            self.stats.stores += n;
+        } else {
+            self.stats.hits += n;
+        }
+    }
+
+    /// Fill time of the line holding `addr`, if resident. A past value
+    /// means the data is there; a future one, that the fill is still in
+    /// flight. No statistics, no LRU update.
+    #[must_use]
+    pub fn fill_time_of(&self, addr: u64) -> Option<Cycle> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set as usize * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.fill_at)
+    }
+
     /// Record when the fill for the line holding `addr` completes.
     pub fn set_fill_time(&mut self, addr: u64, fill_at: Cycle) {
         let set = self.set_of(addr);

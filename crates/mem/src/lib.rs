@@ -52,7 +52,7 @@ pub use config::{HierarchyKind, MemConfig};
 pub use dram::{Dram, DramConfig};
 pub use mshr::MshrFile;
 pub use stats::{CacheStats, MemStats};
-pub use system::{AccessKind, MemReply, MemRequest, MemSystem, Stall};
+pub use system::{AccessKind, MemReply, MemRequest, MemSystem, Stall, StreamReply, StreamRequest};
 pub use wbuf::WriteBuffer;
 
 /// Simulation time in CPU cycles.

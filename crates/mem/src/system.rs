@@ -74,6 +74,50 @@ pub struct MemReply {
     pub l1_hit: bool,
 }
 
+/// One strided multi-element (vector/stream) access request: the whole
+/// element group a stream memory instruction wants to issue this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRequest {
+    /// Requesting hardware thread (statistics only).
+    pub tid: u8,
+    /// Effective address of the first element in this group.
+    pub base: u64,
+    /// Byte distance between consecutive elements.
+    pub stride: i64,
+    /// Elements to attempt in this call (the caller caps it by its
+    /// per-cycle issue budget).
+    pub count: u8,
+    /// Size of each element access in bytes.
+    pub size: u8,
+    /// Access classification (applies to every element).
+    pub kind: AccessKind,
+}
+
+impl StreamRequest {
+    /// The `i`-th element as a single-access request.
+    #[must_use]
+    fn elem(&self, i: u8) -> MemRequest {
+        MemRequest {
+            tid: self.tid,
+            addr: (self.base as i64).wrapping_add(self.stride.wrapping_mul(i64::from(i))) as u64,
+            size: self.size,
+            kind: self.kind,
+        }
+    }
+}
+
+/// Outcome of a [`MemSystem::request_stream`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamReply {
+    /// Elements accepted this cycle (a prefix of the request).
+    pub issued: u8,
+    /// Latest completion cycle among the accepted elements (`0` when
+    /// none were accepted).
+    pub done_at: Cycle,
+    /// Why issuing stopped before `count` elements, if it did.
+    pub stall: Option<Stall>,
+}
+
 /// Reasons a request could not be accepted this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stall {
@@ -266,8 +310,8 @@ impl MemSystem {
         }
     }
 
-    fn claim_port(&mut self, now: Cycle, kind: AccessKind) -> Result<(), Stall> {
-        let ports: &mut Vec<Cycle> = match self.config.hierarchy {
+    fn ports_for_mut(&mut self, kind: AccessKind) -> &mut Vec<Cycle> {
+        match self.config.hierarchy {
             HierarchyKind::Ideal | HierarchyKind::Conventional => &mut self.general_ports,
             HierarchyKind::Decoupled => {
                 if kind.is_vector() {
@@ -276,7 +320,11 @@ impl MemSystem {
                     &mut self.scalar_ports
                 }
             }
-        };
+        }
+    }
+
+    fn claim_port(&mut self, now: Cycle, kind: AccessKind) -> Result<(), Stall> {
+        let ports = self.ports_for_mut(kind);
         match ports.iter_mut().find(|p| **p <= now) {
             Some(p) => {
                 *p = now + 1;
@@ -286,13 +334,264 @@ impl MemSystem {
         }
     }
 
+    /// Ports of the right kind still free at `now`.
+    fn ports_free_count(&self, now: Cycle, kind: AccessKind) -> usize {
+        self.ports_for(kind).iter().filter(|&&p| p <= now).count()
+    }
+
+    /// Claim `n` ports at once: identical final state to `n` sequential
+    /// [`MemSystem::claim_port`] calls at the same cycle (each claim
+    /// takes the first free port and busies it until `now + 1`).
+    fn claim_ports_bulk(&mut self, now: Cycle, kind: AccessKind, n: usize) {
+        let ports = self.ports_for_mut(kind);
+        let mut left = n;
+        for p in ports.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            if *p <= now {
+                *p = now + 1;
+                left -= 1;
+            }
+        }
+        debug_assert_eq!(left, 0, "bulk claim exceeded the free-port count");
+    }
+
+    /// Issue one stream memory instruction's element group for this
+    /// cycle in a single call: semantically **identical** to calling
+    /// [`MemSystem::request`] once per element (same completion cycles,
+    /// same statistics, same stall behavior, bit for bit — the
+    /// differential suite enforces it), but with the per-element
+    /// overheads amortized per touched cache line. Elements that stay
+    /// within the line the previous element already walked skip the tag
+    /// walk, MSHR scan, write-buffer scan and per-element port scan; the
+    /// first element of each line pays the full path. Issuing stops at
+    /// the first back-pressure stall, which is reported in the reply
+    /// exactly as `request` would have returned it.
+    pub fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        if self.config.hierarchy == HierarchyKind::Ideal {
+            self.stats.l1_accesses += u64::from(req.count);
+            self.stats.l1_latency_sum += u64::from(req.count);
+            return StreamReply {
+                issued: req.count,
+                done_at: if req.count == 0 { 0 } else { now + 1 },
+                stall: None,
+            };
+        }
+        let use_vector_path =
+            self.config.hierarchy == HierarchyKind::Decoupled && req.kind.is_vector();
+        if use_vector_path {
+            return self.vector_request_stream(now, req);
+        }
+        if req.kind.is_store() {
+            // Through-L1 store admission rides on write-buffer drain
+            // timing element by element; the batched fast path covers
+            // the latency-critical load side. Delegate faithfully.
+            let mut reply = StreamReply {
+                issued: 0,
+                done_at: 0,
+                stall: None,
+            };
+            for i in 0..req.count {
+                match self.l1_request(now, req.elem(i)) {
+                    Ok(r) => {
+                        reply.issued += 1;
+                        reply.done_at = reply.done_at.max(r.done_at);
+                    }
+                    Err(e) => {
+                        reply.stall = Some(e);
+                        break;
+                    }
+                }
+            }
+            return reply;
+        }
+        self.l1_request_stream(now, req)
+    }
+
+    /// Batched through-L1 loads/prefetches: one full reference-path
+    /// access per touched line, then the rest of that line's run in
+    /// bulk arithmetic. A repeat access is fully determined by the
+    /// line's fill time (`hit` once it has passed, delayed hit before —
+    /// both count as cache hits) and its bank-arbitrated start, which
+    /// advances by exactly one slot per element; the LRU/statistics
+    /// effects of the whole run collapse into one `retouch_many` and
+    /// one write-buffer retirement sweep.
+    fn l1_request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        debug_assert!(!req.kind.is_store());
+        let lat = self.config.l1_latency;
+        let track_stats = req.kind != AccessKind::Prefetch;
+        let mut avail = self.ports_free_count(now, req.kind);
+        let mut used = 0usize;
+        let mut reply = StreamReply {
+            issued: 0,
+            done_at: 0,
+            stall: None,
+        };
+        let mut i = 0u8;
+        while i < req.count {
+            // First element of a line: the full reference path —
+            // admission (stats on rejection), port, bank, selective
+            // flush, tag walk, miss handling.
+            let r = req.elem(i);
+            if let Err(e) = self.l1_admission(now, r) {
+                reply.stall = Some(e);
+                break;
+            }
+            if avail == 0 {
+                reply.stall = Some(Stall::PortBusy);
+                break;
+            }
+            avail -= 1;
+            used += 1;
+            let elem_reply = self.l1_data_access(now, r);
+            reply.issued += 1;
+            reply.done_at = reply.done_at.max(elem_reply.done_at);
+            i += 1;
+            // Length of the same-line run that follows.
+            let line = self.l1d.line_addr(r.addr);
+            let mut run = 0u8;
+            while i + run < req.count && self.l1d.line_addr(req.elem(i + run).addr) == line {
+                run += 1;
+            }
+            if run == 0 {
+                continue;
+            }
+            let k = u64::from(run).min(avail as u64);
+            if k > 0 {
+                // The k repeats start at consecutive bank slots s, s+1,
+                // …: the first element already pushed the bank counter
+                // past `now`, so every one of them is a bank conflict —
+                // exactly as the per-element walk would count them.
+                let ready_at = self.l1d.fill_time_of(r.addr).expect("line just accessed");
+                let bank = self.l1d.bank_of(r.addr);
+                let s = self.l1d_banks[bank].max(now);
+                debug_assert!(s > now);
+                self.stats.bank_conflicts += k;
+                self.l1d_banks[bank] = s + k;
+                // The per-element selective-flush scans find nothing
+                // (the first touch flushed or found nothing), but their
+                // retirement sweeps are observable state: the last one
+                // subsumes the rest.
+                self.wbuf.retire_until(s + k - 1);
+                self.l1d.retouch_many(r.addr, false, k);
+                for t in 0..k {
+                    // hit once ready_at <= start (done = start + lat);
+                    // delayed hit before that (done = fill time).
+                    let done = ready_at.max(s + t + lat);
+                    if track_stats {
+                        self.stats.l1_accesses += 1;
+                        self.stats.l1_latency_sum += done - now;
+                    }
+                    reply.done_at = reply.done_at.max(done);
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    reply.issued += k as u8;
+                    i += k as u8;
+                }
+                avail -= k as usize;
+                used += k as usize;
+            }
+            if k < u64::from(run) {
+                // The next repeat would have found every port busy.
+                reply.stall = Some(Stall::PortBusy);
+                break;
+            }
+        }
+        if used > 0 {
+            self.claim_ports_bulk(now, req.kind, used);
+        }
+        reply
+    }
+
+    /// Batched decoupled vector accesses (loads and stores): the L2 tag
+    /// walk, coherence probe and write-buffer scan are per-line; repeat
+    /// elements pay only the L2 bank slot and LRU/dirty bookkeeping.
+    fn vector_request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        let is_store = req.kind.is_store();
+        let mut avail = self.ports_free_count(now, req.kind);
+        let mut used = 0usize;
+        // (L1 line, L2 line, L2 fill time, L2 bank) of the previous element.
+        let mut memo: Option<(u64, u64, Cycle, usize)> = None;
+        let mut reply = StreamReply {
+            issued: 0,
+            done_at: 0,
+            stall: None,
+        };
+        for i in 0..req.count {
+            let r = req.elem(i);
+            let l1_line = self.l1d.line_addr(r.addr);
+            let l2_line = self.l2.line_addr(r.addr);
+            if avail == 0 {
+                reply.stall = Some(Stall::PortBusy);
+                break;
+            }
+            avail -= 1;
+            used += 1;
+            let same_l2 = memo.is_some_and(|(_, l2, _, _)| l2 == l2_line);
+            let done = if let (true, Some((prev_l1, _, ready_at, bank))) = (same_l2, memo) {
+                self.stats.vector_bypasses += 1;
+                let mut start = now;
+                if prev_l1 != l1_line {
+                    // Crossed into a new L1 line within the same L2
+                    // line: the coherence probe and selective flush are
+                    // keyed on L1 lines, so they run for real.
+                    if self.l1d.probe(r.addr) {
+                        self.l1d.invalidate(r.addr);
+                        self.stats.coherence_invalidation += 1;
+                        start += self.config.coherence_probe_penalty;
+                    }
+                    if let Some(ready) = self.wbuf.selective_flush(start, l1_line) {
+                        self.stats.selective_flushes += 1;
+                        start = start.max(ready);
+                    }
+                    memo = Some((l1_line, l2_line, ready_at, bank));
+                } else {
+                    // Same L1 line as the previous element: the flush
+                    // scan finds nothing, but replicate its retirement.
+                    self.wbuf.retire_until(start);
+                }
+                // The L2 side of access_l2_sized on a resident line:
+                // bank slot, LRU/dirty touch, hit or delayed hit.
+                let s = self.l2_banks[bank].max(start);
+                if s > start {
+                    self.stats.bank_conflicts += 1;
+                }
+                let occupancy = u64::from(req.size).div_ceil(8).clamp(1, 4);
+                self.l2_banks[bank] = s + occupancy;
+                self.l2.retouch(r.addr, is_store);
+                ready_at.max(s + self.config.l2_latency)
+            } else {
+                let elem_reply = self.vector_data_access(now, r);
+                let ready_at = self
+                    .l2
+                    .fill_time_of(r.addr)
+                    .expect("access allocates the line");
+                memo = Some((l1_line, l2_line, ready_at, self.l2.bank_of(r.addr)));
+                elem_reply.done_at
+            };
+            reply.issued += 1;
+            reply.done_at = reply.done_at.max(done);
+        }
+        if used > 0 {
+            self.claim_ports_bulk(now, req.kind, used);
+        }
+        reply
+    }
+
     /// The normal (through-L1) data path.
     fn l1_request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
-        let line = self.l1d.line_addr(req.addr);
-        let is_store = req.kind.is_store();
+        self.l1_admission(now, req)?;
+        self.claim_port(now, req.kind)?;
+        Ok(self.l1_data_access(now, req))
+    }
 
-        // Admission checks before any state is mutated.
-        if is_store {
+    /// Admission checks for the through-L1 path, made before any state
+    /// is mutated (back-pressure stalls the requester, stats included).
+    fn l1_admission(&mut self, now: Cycle, req: MemRequest) -> Result<(), Stall> {
+        let line = self.l1d.line_addr(req.addr);
+        if req.kind.is_store() {
             if !self.wbuf_would_accept(now, line) {
                 self.stats.write_buffer_full_stalls += 1;
                 return Err(Stall::WriteBufferFull);
@@ -303,7 +602,14 @@ impl MemSystem {
             self.stats.mshr_full_stalls += 1;
             return Err(Stall::MshrFull);
         }
-        self.claim_port(now, req.kind)?;
+        Ok(())
+    }
+
+    /// The through-L1 access proper: everything [`MemSystem::l1_request`]
+    /// does after admission and port claim.
+    fn l1_data_access(&mut self, now: Cycle, req: MemRequest) -> MemReply {
+        let line = self.l1d.line_addr(req.addr);
+        let is_store = req.kind.is_store();
 
         // Bank arbitration.
         let bank = self.l1d.bank_of(req.addr);
@@ -330,10 +636,10 @@ impl MemSystem {
             // Write-through: update L1 if present (no allocate on miss).
             let _ = self.l1d.access(start, req.addr, true);
             let done = start + self.config.l1_latency;
-            return Ok(MemReply {
+            return MemReply {
                 done_at: done,
                 l1_hit: true,
-            });
+            };
         }
 
         // Loads must see buffered stores to the same line: selective flush.
@@ -376,10 +682,10 @@ impl MemSystem {
             self.stats.l1_accesses += 1;
             self.stats.l1_latency_sum += done - now;
         }
-        Ok(MemReply {
+        MemReply {
             done_at: done,
             l1_hit: lookup.hit,
-        })
+        }
     }
 
     /// The decoupled vector path: bypass L1, access L2 directly through
@@ -387,6 +693,12 @@ impl MemSystem {
     /// exclusive-bit policy.
     fn vector_request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
         self.claim_port(now, req.kind)?;
+        Ok(self.vector_data_access(now, req))
+    }
+
+    /// The decoupled vector access proper: everything
+    /// [`MemSystem::vector_request`] does after the port claim.
+    fn vector_data_access(&mut self, now: Cycle, req: MemRequest) -> MemReply {
         self.stats.vector_bypasses += 1;
         let line = self.l1d.line_addr(req.addr);
         let mut start = now;
@@ -406,10 +718,10 @@ impl MemSystem {
 
         let done = self.access_l2_sized(start, req.addr, req.kind.is_store(), u64::from(req.size));
         let hit_l2 = done <= start + self.config.l2_latency + 2;
-        Ok(MemReply {
+        MemReply {
             done_at: done,
             l1_hit: hit_l2,
-        })
+        }
     }
 
     fn wbuf_would_accept(&mut self, now: Cycle, line: u64) -> bool {

@@ -94,6 +94,16 @@ impl WriteBuffer {
         Some(entry.drains_at.min(now + self.drain_latency))
     }
 
+    /// Drop entries that have drained by `now` — the lazy retirement
+    /// every buffer operation performs on entry. Exposed so the batched
+    /// stream path can replicate the per-element path's retirement
+    /// schedule exactly: a selective-flush probe retires entries as of
+    /// its (possibly bank-delayed, future) start cycle, and whether an
+    /// entry is still present is observable to later coalescing checks.
+    pub fn retire_until(&mut self, now: Cycle) {
+        self.retire(now);
+    }
+
     /// Buffer capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
