@@ -11,9 +11,20 @@
 //!   [`Simulation::run`] calls, printing the observed speedup;
 //! * `pipeline_1thread` — a single small run, whose
 //!   `sim_cycles_per_sec` is the raw hot-path throughput metric;
-//! * `packed_decode` — full decode of one packed program trace; its
-//!   `sim_cycles` column holds *instructions decoded*, so
-//!   `sim_cycles_per_sec` reads as decode insts/sec;
+//! * `packed_decode` — full decode of one packed program trace through
+//!   the per-instruction pull interface; its `sim_cycles` column holds
+//!   *instructions decoded*, so `sim_cycles_per_sec` reads as decode
+//!   insts/sec;
+//! * `packed_block_decode` — the same trace through
+//!   [`PackedStream::next_block_into`] (whole blocks into a reused
+//!   buffer, memoized word decode) — the decoder the CPU model and the
+//!   sharded frontend actually drive, printed against the per-inst
+//!   row;
+//! * `sharded_frontend` — one fig5-scale 8-thread SMT+MOM run with the
+//!   sharded frontend (per-context producer threads behind bounded
+//!   rings, budgeted by `MEDSIM_JOBS`), printed against the inline
+//!   reference run on an identical fresh cache; results are asserted
+//!   bitwise equal;
 //! * `event_queue` — a synthetic completion stream through the
 //!   calendar-queue scheduler (`sim_cycles` holds *operations*, so
 //!   `sim_cycles_per_sec` reads as queue ops/sec), printed against the
@@ -32,7 +43,8 @@
 
 use medsim_bench::{spec_from_env, timed_secs, BenchRecorder};
 use medsim_core::experiments::fig5_real;
-use medsim_core::runner::{effective_jobs, run_grid};
+use medsim_core::frontend::{self, Frontend, JobBudget};
+use medsim_core::runner::{effective_jobs, run_grid, TraceCache};
 use medsim_core::sim::{SimConfig, Simulation};
 use medsim_cpu::{CompletionQueue, SchedulerKind};
 use medsim_isa::Inst;
@@ -113,6 +125,26 @@ fn main() {
         decoded as f64 / dec_s.max(1e-9),
     );
 
+    // Block decode of the same trace: whole blocks into a reused
+    // buffer — the replay path the CPU model and the sharded frontend
+    // producers drive.
+    let (block_decoded, blk_s) = timed_secs(|| {
+        let mut s = PackedStream::new(Arc::clone(&packed));
+        let mut buf: Vec<Inst> = Vec::new();
+        let mut n = 0u64;
+        while s.next_block_into(&mut buf) {
+            n += buf.len() as u64;
+        }
+        n
+    });
+    assert_eq!(block_decoded, decoded, "both decoders cover the trace");
+    recorder.record("packed_block_decode", blk_s, block_decoded);
+    println!(
+        "packed_block_decode: {:.0} insts/sec ({:.2}x the per-inst decode)",
+        block_decoded as f64 / blk_s.max(1e-9),
+        dec_s / blk_s.max(1e-9),
+    );
+
     // Completion-scheduler microbenchmark: a pipeline-shaped event
     // stream (bursts of short-latency completions, a DRAM-class tail)
     // through the calendar queue, printed against the seed heap.
@@ -171,6 +203,36 @@ fn main() {
     println!(
         "stream_batch: batched {batched_s:.3}s vs per-element {per_elem_s:.3}s ({:.2}x)",
         per_elem_s / batched_s.max(1e-9),
+    );
+
+    // Sharded vs inline frontend on one big 8-thread SMT+MOM run at
+    // the full MEDSIM_SCALE (a fig5-style grid point). Fresh caches on
+    // both sides: trace synthesis/decode is the work the producer
+    // threads overlap with the cycle loop. An explicit roomy budget
+    // (not the MEDSIM_JOBS pool) guarantees the producer/ring path is
+    // actually exercised — and thus gated — even on the jobs=1 CI
+    // axis, where the global pool would silently fall back inline; the
+    // *speedup* still needs a multi-core host, producers merely
+    // timeslice on one core.
+    let big = SimConfig::new(SimdIsa::Mom, 8).with_spec(spec);
+    let (inline_run, inline_s) =
+        timed_secs(|| Simulation::run_fronted(&big, &TraceCache::from_env(), &Frontend::inline()));
+    let shard_stats_before = frontend::stats();
+    let shard_budget = JobBudget::new(8);
+    let sharded_frontend = Frontend::sharded_with(&shard_budget);
+    let (sharded_run, sharded_s) =
+        timed_secs(|| Simulation::run_fronted(&big, &TraceCache::from_env(), &sharded_frontend));
+    assert_eq!(
+        sharded_run, inline_run,
+        "the sharded frontend must be invisible"
+    );
+    recorder.record("sharded_frontend", sharded_s, sharded_run.cycles);
+    println!(
+        "sharded_frontend: sharded {sharded_s:.2}s vs inline {inline_s:.2}s ({:.2}x, \
+         {} shards on {} workers)",
+        inline_s / sharded_s.max(1e-9),
+        frontend::stats().sharded - shard_stats_before.sharded,
+        frontend::total_workers(),
     );
 
     // Cold vs warm persistent trace store around the fig5 grid. The

@@ -264,8 +264,16 @@ impl GateMode {
 }
 
 /// The headline rows whose wall-clock regressions fail CI: the
-/// figure-5 grid (end-to-end) and the raw single-thread hot path.
-pub const GATED_ROWS: &[&str] = &["fig5_real", "pipeline_1thread"];
+/// figure-5 grid (end-to-end), the raw single-thread hot path, the
+/// sharded-frontend single big run and the packed block-decode
+/// throughput. All are still subject to the `--noise-floor` guard —
+/// rows under the floor in both reports never gate.
+pub const GATED_ROWS: &[&str] = &[
+    "fig5_real",
+    "pipeline_1thread",
+    "sharded_frontend",
+    "packed_block_decode",
+];
 
 /// Whether a regression on `name` fails the build (vs warns).
 #[must_use]
@@ -565,6 +573,33 @@ mod tests {
         assert_eq!(d.gated[0].0, "fig5_real");
         assert_eq!(d.ungated.len(), 1);
         assert_eq!(d.ungated[0].0, "grid_serial");
+    }
+
+    #[test]
+    fn new_frontend_and_block_decode_rows_are_gated() {
+        assert!(is_gated("sharded_frontend"));
+        assert!(is_gated("packed_block_decode"));
+        let old = report(
+            Some(1e-4),
+            vec![
+                entry("sharded_frontend", 1.0),
+                entry("packed_block_decode", 0.01),
+            ],
+        );
+        // sharded_frontend regresses over the floor => gated failure;
+        // packed_block_decode doubles but stays under the noise floor
+        // in both reports => ignored.
+        let new = report(
+            Some(1e-4),
+            vec![
+                entry("sharded_frontend", 1.5),
+                entry("packed_block_decode", 0.02),
+            ],
+        );
+        let d = evaluate_gate(&old, &new, 0.10, 0.05);
+        assert_eq!(d.gated.len(), 1);
+        assert_eq!(d.gated[0].0, "sharded_frontend");
+        assert!(d.ungated.is_empty());
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   memoized trace cache (packed `medsim-trace` encoding, layered over
 //!   the persistent `MEDSIM_TRACE_DIR` store), bit-identical to serial
 //!   execution;
+//! * [`frontend`] — decoupled per-thread frontends: trace synthesis and
+//!   packed decode for each simulated thread context run on worker
+//!   threads drawn from the same `MEDSIM_JOBS` budget as the grid,
+//!   feeding the cycle loop through bounded rings of decoded blocks —
+//!   bitwise identical to the inline reference
+//!   (`MEDSIM_FRONTEND=inline`);
 //! * [`experiments`] — one driver per table/figure of the paper's
 //!   evaluation (Tables 1–4, Figures 4–6, 8, 9), all routed through the
 //!   grid runner;
@@ -35,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod frontend;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod sim;
 
+pub use frontend::{Frontend, FrontendKind, JobBudget};
 pub use metrics::{EipcFactor, RunResult};
 pub use runner::{run_grid, CacheStats, TraceCache};
 pub use sim::{SimConfig, Simulation};

@@ -36,11 +36,14 @@
 //! * `MEDSIM_TRACE_DIR` — directory of the persistent trace store
 //!   (unset: persistence disabled).
 
+use crate::frontend::{total_workers, JobBudget};
 use crate::metrics::RunResult;
 use crate::sim::{SimConfig, Simulation};
 use medsim_isa::Inst;
 use medsim_trace::{PackedStream, PackedTrace, StoreStats, TraceKey, TraceStore};
-use medsim_workloads::trace::{InstStream, SimdIsa, StreamIter};
+use medsim_workloads::trace::{
+    BlockStream, InstSource, InstStream, SimdIsa, StreamIter, VecSource,
+};
 use medsim_workloads::{Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -71,6 +74,23 @@ pub struct CacheStats {
     pub bytes_used: u64,
     /// On-disk store counters (all zero without `MEDSIM_TRACE_DIR`).
     pub store: StoreStats,
+}
+
+/// Resolve the in-memory byte budget from the two knob values:
+/// `MEDSIM_TRACE_CACHE_MAX_BYTES` wins; the legacy
+/// `MEDSIM_TRACE_CACHE_MAX_INSTS` instruction-count ceiling is
+/// converted at the 64 B/inst resident cost instructions had when that
+/// knob was introduced; unparseable or absent values fall back to the
+/// 256 MiB default.
+fn byte_budget_from(max_bytes: Option<&str>, legacy_max_insts: Option<&str>) -> u64 {
+    max_bytes
+        .and_then(|v| v.parse::<u64>().ok())
+        .or_else(|| {
+            legacy_max_insts
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|insts| insts.saturating_mul(UNPACKED_BYTES_PER_INST))
+        })
+        .unwrap_or(DEFAULT_BYTE_BUDGET)
 }
 
 fn cache_key(spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> TraceKey {
@@ -106,18 +126,14 @@ impl TraceCache {
     #[must_use]
     pub fn from_env() -> Self {
         let enabled = std::env::var("MEDSIM_TRACE_CACHE").map_or(true, |v| v != "0");
-        let byte_budget = std::env::var("MEDSIM_TRACE_CACHE_MAX_BYTES")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .or_else(|| {
-                // Legacy instruction-count ceiling, at the resident
-                // cost instructions had when the knob was introduced.
-                std::env::var("MEDSIM_TRACE_CACHE_MAX_INSTS")
-                    .ok()
-                    .and_then(|v| v.parse::<u64>().ok())
-                    .map(|insts| insts.saturating_mul(UNPACKED_BYTES_PER_INST))
-            })
-            .unwrap_or(DEFAULT_BYTE_BUDGET);
+        let byte_budget = byte_budget_from(
+            std::env::var("MEDSIM_TRACE_CACHE_MAX_BYTES")
+                .ok()
+                .as_deref(),
+            std::env::var("MEDSIM_TRACE_CACHE_MAX_INSTS")
+                .ok()
+                .as_deref(),
+        );
         TraceCache {
             enabled,
             byte_budget,
@@ -179,24 +195,27 @@ impl TraceCache {
         }
     }
 
-    /// The instruction stream for program-list `slot` under `isa`,
-    /// memoized when enabled and the estimated packed size fits the
-    /// byte budget; read through (and written back to) the persistent
-    /// store when one is configured.
+    /// The block-oriented instruction source for program-list `slot`
+    /// under `isa`, memoized when enabled and the estimated packed size
+    /// fits the byte budget; read through (and written back to) the
+    /// persistent store when one is configured. This is the interface
+    /// the CPU model consumes — and the call a sharded frontend's
+    /// producer thread runs, so synthesis and decode happen off the
+    /// cycle loop.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panicked while holding the cache lock.
     #[must_use]
-    pub fn stream_for(
+    pub fn source_for(
         &self,
         spec: &WorkloadSpec,
         slot: usize,
         isa: SimdIsa,
-    ) -> Box<dyn InstStream> {
+    ) -> Box<dyn InstSource> {
         let workload = Workload::new(*spec);
         if !self.enabled {
-            return workload.stream_for_slot(slot, isa);
+            return workload.source_for_slot(slot, isa);
         }
         // Map lookup first: a hit costs no new budget, so it must not
         // be subject to admission (a near-full cache would otherwise
@@ -207,7 +226,7 @@ impl TraceCache {
         }
         if !self.admits(spec, slot, isa) {
             self.synthesized.fetch_add(1, Ordering::Relaxed);
-            return workload.stream_for_slot(slot, isa);
+            return workload.source_for_slot(slot, isa);
         }
         // Resolve the miss outside the lock: store reads and synthesis
         // can take a while and other workers may need other traces.
@@ -219,12 +238,28 @@ impl TraceCache {
             Arc::clone(&trace)
         });
         // On a synthesis miss the instructions were materialized to be
-        // packed; hand them to this first consumer directly instead of
-        // round-tripping through the decoder.
+        // packed; hand them to this first consumer directly (memcpy
+        // block replay) instead of round-tripping through the decoder.
         match materialized {
-            Some(insts) => Box::new(medsim_workloads::trace::VecStream::new(insts)),
+            Some(insts) => Box::new(VecSource::new(insts)),
             None => Box::new(PackedStream::new(Arc::clone(entry))),
         }
+    }
+
+    /// [`TraceCache::source_for`] as a per-instruction stream
+    /// (analysis consumers and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the cache lock.
+    #[must_use]
+    pub fn stream_for(
+        &self,
+        spec: &WorkloadSpec,
+        slot: usize,
+        isa: SimdIsa,
+    ) -> Box<dyn InstStream> {
+        Box::new(BlockStream::new(self.source_for(spec, slot, isa)))
     }
 
     /// Store read-through, falling back to synthesis plus write-back.
@@ -267,19 +302,12 @@ impl TraceCache {
     }
 }
 
-/// Worker-thread count for a grid of `n_configs` runs: `MEDSIM_JOBS`
-/// if set, else the machine's available parallelism, capped at the
-/// number of runs.
+/// Worker-thread count for a grid of `n_configs` runs: the process's
+/// [`total_workers`] budget (`MEDSIM_JOBS`, else available
+/// parallelism), capped at the number of runs.
 #[must_use]
 pub fn effective_jobs(n_configs: usize) -> usize {
-    let jobs = std::env::var("MEDSIM_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&j| j > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
-    jobs.min(n_configs).max(1)
+    total_workers().min(n_configs).max(1)
 }
 
 /// Run every configuration and return the results in input order.
@@ -310,10 +338,17 @@ pub fn run_grid_with(configs: &[SimConfig], jobs: usize, cache: &TraceCache) -> 
             .map(|c| Simulation::run_cached(c, cache))
             .collect();
     }
+    // Grid workers and frontend shards draw from the same MEDSIM_JOBS
+    // pool: claim the extra workers (beyond the calling thread, which
+    // blocks while the grid runs) so the per-run sharded frontends
+    // inside the workers see an exhausted budget and produce inline
+    // instead of oversubscribing the host.
+    let workers = jobs.min(configs.len());
+    let _claim = JobBudget::global().claim_up_to(workers - 1);
     let next = AtomicUsize::new(0);
     let done = Mutex::new(Vec::with_capacity(configs.len()));
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(configs.len()) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(config) = configs.get(idx) else {
@@ -446,6 +481,103 @@ mod tests {
             2,
             "cached key served from memory despite full budget"
         );
+    }
+
+    #[test]
+    fn zero_byte_budget_admits_nothing_but_still_streams() {
+        let spec = tiny();
+        let mut cache = TraceCache::from_env();
+        cache.byte_budget = 0;
+        assert!(!cache.admits(&spec, 0, SimdIsa::Mmx));
+        // Streams still flow — straight from synthesis, unmemoized.
+        let mut want = Vec::new();
+        let mut s = Workload::new(spec).stream_for_slot(0, SimdIsa::Mmx);
+        while let Some(i) = s.next_inst() {
+            want.push(i);
+        }
+        let mut got = Vec::new();
+        let mut s = cache.stream_for(&spec, 0, SimdIsa::Mmx);
+        while let Some(i) = s.next_inst() {
+            got.push(i);
+        }
+        assert_eq!(got, want);
+        assert_eq!(cache.len(), 0, "nothing memoized under a zero budget");
+        assert_eq!(cache.stats().bytes_used, 0);
+        assert_eq!(cache.stats().synthesized, 1);
+    }
+
+    #[test]
+    fn legacy_max_insts_knob_converts_at_64_bytes_per_inst() {
+        // MAX_BYTES wins when both are set.
+        assert_eq!(byte_budget_from(Some("12345"), Some("99")), 12345);
+        // The legacy instruction ceiling converts at the 64 B/inst
+        // resident cost of the former Vec<Inst> representation.
+        assert_eq!(
+            byte_budget_from(None, Some("1000")),
+            1000 * UNPACKED_BYTES_PER_INST
+        );
+        // Saturating: a huge legacy count must not wrap.
+        assert_eq!(
+            byte_budget_from(None, Some(&u64::MAX.to_string())),
+            u64::MAX
+        );
+        // Unparseable or absent values fall back to the default.
+        assert_eq!(byte_budget_from(Some("oops"), None), DEFAULT_BYTE_BUDGET);
+        assert_eq!(byte_budget_from(None, Some("-3")), DEFAULT_BYTE_BUDGET);
+        assert_eq!(byte_budget_from(None, None), DEFAULT_BYTE_BUDGET);
+        // And an unparseable MAX_BYTES still honors the legacy knob.
+        assert_eq!(
+            byte_budget_from(Some(""), Some("2")),
+            2 * UNPACKED_BYTES_PER_INST
+        );
+    }
+
+    #[test]
+    fn estimate_fits_but_real_size_overshoots_the_budget() {
+        // At microscopic scales the admission estimate (paper Table-3
+        // counts x scale x 16 B) is a handful of bytes, but generators
+        // floor at one work unit, so the real packed trace is orders of
+        // magnitude bigger. Admission is by estimate (the trace does
+        // not exist yet); the insert then accounts *actual* bytes, so
+        // the budget overshoots once and subsequent admissions see a
+        // saturated pool — the documented "approximate budget"
+        // behavior.
+        let spec = WorkloadSpec {
+            scale: 1e-9,
+            seed: 5,
+        };
+        let estimate = (Workload::slot_benchmark(0).paper_minsts(SimdIsa::Mmx)
+            * 1.0e6
+            * spec.scale
+            * EST_PACKED_BYTES_PER_INST)
+            .ceil() as u64;
+        let mut cache = TraceCache::from_env();
+        cache.byte_budget = estimate + 8;
+        assert!(cache.admits(&spec, 0, SimdIsa::Mmx), "estimate fits");
+        let mut s = cache.stream_for(&spec, 0, SimdIsa::Mmx);
+        let mut n = 0u64;
+        while s.next_inst().is_some() {
+            n += 1;
+        }
+        assert!(n > 100, "one floored work unit is much bigger: {n} insts");
+        let stats = cache.stats();
+        assert_eq!(cache.len(), 1, "the admitted trace is memoized anyway");
+        assert!(
+            stats.bytes_used > cache.byte_budget,
+            "actual packed bytes ({}) overshoot the budget ({})",
+            stats.bytes_used,
+            cache.byte_budget
+        );
+        // The pool is saturated: the same benchmark under another seed
+        // (same estimate) is no longer admitted...
+        let reseeded = WorkloadSpec {
+            seed: spec.seed + 1,
+            ..spec
+        };
+        assert!(!cache.admits(&reseeded, 0, SimdIsa::Mmx));
+        // ...but the resident key keeps serving from memory.
+        let _ = cache.stream_for(&spec, 0, SimdIsa::Mmx);
+        assert_eq!(cache.stats().synthesized, 1, "no re-synthesis on a hit");
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! This avoids having fractions of time with less threads than those
 //! allowed by the machine."*
 
+use crate::frontend::Frontend;
 use crate::metrics::RunResult;
 use crate::runner::TraceCache;
-use medsim_cpu::{Cpu, CpuConfig, FetchPolicy, SchedulerKind};
+use medsim_cpu::{Cpu, CpuConfig, EnvKnobs, FetchPolicy, SchedulerKind};
 use medsim_mem::{HierarchyKind, MemConfig, MemSystem};
-use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::trace::{ClampSource, InstSource, SimdIsa};
 use medsim_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,10 @@ impl SimConfig {
     /// default workload scale.
     #[must_use]
     pub fn new(isa: SimdIsa, threads: usize) -> Self {
+        // Environment-defaulted knobs come from the process-wide
+        // EnvKnobs snapshot, so configs built at different times can
+        // never disagree because the environment changed in between.
+        let knobs = EnvKnobs::get();
         SimConfig {
             isa,
             threads,
@@ -59,8 +64,8 @@ impl SimConfig {
             max_cycles: 2_000_000_000,
             mem_override: None,
             max_stream_len: medsim_isa::MAX_STREAM_LEN,
-            scheduler: SchedulerKind::from_env(),
-            stream_batch: medsim_cpu::config::stream_batch_from_env(),
+            scheduler: knobs.scheduler,
+            stream_batch: knobs.stream_batch,
         }
     }
 
@@ -140,7 +145,9 @@ impl Simulation {
     }
 
     /// Execute one run, drawing program traces through `cache` (shared
-    /// by [`crate::runner::run_grid`] across a whole grid of runs).
+    /// by [`crate::runner::run_grid`] across a whole grid of runs),
+    /// under the environment-selected frontend (see
+    /// [`crate::frontend`]).
     ///
     /// # Panics
     ///
@@ -148,67 +155,90 @@ impl Simulation {
     /// deadlocked model — should never happen).
     #[must_use]
     pub fn run_cached(config: &SimConfig, cache: &TraceCache) -> RunResult {
+        Simulation::run_fronted(config, cache, &Frontend::from_env())
+    }
+
+    /// Execute one run under an explicit [`Frontend`]: sharded
+    /// (per-thread producer workers feeding bounded rings of decoded
+    /// blocks) or inline (the serial reference). Results are bitwise
+    /// identical across frontends — the consumer sees the exact same
+    /// instruction sequence either way, just earlier (enforced by
+    /// `tests/frontend_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `config.max_cycles` (indicates a
+    /// deadlocked model — should never happen).
+    #[must_use]
+    pub fn run_fronted(config: &SimConfig, cache: &TraceCache, frontend: &Frontend) -> RunResult {
         let mem_config = config
             .mem_override
             .clone()
             .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
-        let mem = MemSystem::new(mem_config);
-        let cpu_config = CpuConfig::paper(config.threads, config.isa)
-            .with_policy(config.fetch_policy)
-            .with_scheduler(config.scheduler)
-            .with_stream_batch(config.stream_batch);
-        let mut cpu = Cpu::new(cpu_config, mem);
+        // All shard producers are scoped to this run: the scope joins
+        // them before returning (dropping the CPU — and with it every
+        // ring consumer — unblocks any producer still mid-program).
+        std::thread::scope(|scope| {
+            let mem = MemSystem::new(mem_config);
+            let cpu_config = CpuConfig::paper(config.threads, config.isa)
+                .with_policy(config.fetch_policy)
+                .with_scheduler(config.scheduler)
+                .with_stream_batch(config.stream_batch);
+            let mut cpu = Cpu::new(cpu_config, mem);
 
-        let stream_for = |slot: usize| -> Box<dyn medsim_workloads::trace::InstStream> {
-            let s = cache.stream_for(&config.spec, slot, config.isa);
-            if config.max_stream_len < medsim_isa::MAX_STREAM_LEN {
-                Box::new(medsim_workloads::trace::ClampStream::new(
-                    s,
-                    config.max_stream_len,
-                ))
-            } else {
-                s
+            let source_for = |slot: usize| -> Box<dyn InstSource> {
+                let spec = config.spec;
+                let isa = config.isa;
+                let cap = config.max_stream_len;
+                frontend.source(scope, move || {
+                    let s = cache.source_for(&spec, slot, isa);
+                    if cap < medsim_isa::MAX_STREAM_LEN {
+                        Box::new(ClampSource::new(s, cap))
+                    } else {
+                        s
+                    }
+                })
+            };
+
+            let n = config.threads;
+            let mut ctx_slot: Vec<usize> = (0..n).collect();
+            let mut next_slot = n;
+            let mut completed = [false; PROGRAMS_TO_COMPLETE];
+            for tid in 0..n {
+                cpu.attach_source(tid, source_for(tid));
             }
-        };
 
-        let n = config.threads;
-        let mut ctx_slot: Vec<usize> = (0..n).collect();
-        let mut next_slot = n;
-        let mut completed = [false; PROGRAMS_TO_COMPLETE];
-        for tid in 0..n {
-            cpu.attach_thread(tid, stream_for(tid));
-        }
-
-        let all_done = |c: &[bool; PROGRAMS_TO_COMPLETE]| c.iter().all(|&x| x);
-        loop {
-            cpu.cycle();
-            // Refill drained contexts with the next program in the list.
-            for (tid, slot) in ctx_slot.iter_mut().enumerate() {
-                if !cpu.thread_idle(tid) {
-                    continue;
+            let all_done = |c: &[bool; PROGRAMS_TO_COMPLETE]| c.iter().all(|&x| x);
+            loop {
+                cpu.cycle();
+                // Refill drained contexts with the next program in the list.
+                for (tid, slot) in ctx_slot.iter_mut().enumerate() {
+                    if !cpu.thread_idle(tid) {
+                        continue;
+                    }
+                    if *slot < PROGRAMS_TO_COMPLETE {
+                        completed[*slot] = true;
+                    }
+                    cpu.note_program_completed(tid);
+                    if all_done(&completed) {
+                        continue;
+                    }
+                    cpu.attach_source(tid, source_for(next_slot));
+                    *slot = next_slot;
+                    next_slot += 1;
                 }
-                if *slot < PROGRAMS_TO_COMPLETE {
-                    completed[*slot] = true;
-                }
-                cpu.note_program_completed(tid);
                 if all_done(&completed) {
-                    continue;
+                    break;
                 }
-                cpu.attach_thread(tid, stream_for(next_slot));
-                *slot = next_slot;
-                next_slot += 1;
+                assert!(
+                    cpu.now() < config.max_cycles,
+                    "simulation exceeded {} cycles — model deadlock?",
+                    config.max_cycles
+                );
             }
-            if all_done(&completed) {
-                break;
-            }
-            assert!(
-                cpu.now() < config.max_cycles,
-                "simulation exceeded {} cycles — model deadlock?",
-                config.max_cycles
-            );
-        }
 
-        RunResult::collect(config, &cpu)
+            RunResult::collect(config, &cpu)
+        })
     }
 }
 

@@ -197,6 +197,7 @@ impl CpuConfig {
     /// has a single media unit of width 2 (issue width 1, two pipes).
     #[must_use]
     pub fn paper(threads: usize, isa: SimdIsa) -> Self {
+        let knobs = EnvKnobs::get();
         CpuConfig {
             threads,
             isa,
@@ -218,9 +219,9 @@ impl CpuConfig {
             lat_fp_mul: 4,
             lat_fp_div: 12,
             lat_simd_mul: 3,
-            scheduler: SchedulerKind::from_env(),
-            wheel_slots: wheel_slots_from_env(),
-            stream_batch: stream_batch_from_env(),
+            scheduler: knobs.scheduler,
+            wheel_slots: knobs.wheel_slots,
+            stream_batch: knobs.stream_batch,
         }
     }
 
@@ -249,9 +250,45 @@ impl CpuConfig {
 
 /// Batched stream requests from `MEDSIM_STREAM_BATCH` (`0` disables —
 /// the per-element reference path; anything else, or unset, batches).
+///
+/// Raw environment read — prefer [`EnvKnobs::get`], which resolves it
+/// once per process.
 #[must_use]
 pub fn stream_batch_from_env() -> bool {
     std::env::var("MEDSIM_STREAM_BATCH").map_or(true, |v| v != "0")
+}
+
+/// The pipeline's environment knobs, resolved **once** per process.
+///
+/// Config constructors ([`CpuConfig::paper`],
+/// `medsim_core::sim::SimConfig::new`) read their defaults from here
+/// instead of the ambient environment, so two configs built at
+/// different times can never disagree because something mutated the
+/// environment in between (a hazard for multi-threaded test binaries
+/// in particular — `std::env::set_var` mid-process is otherwise
+/// racy with these reads). Builder methods still override per config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvKnobs {
+    /// `MEDSIM_SCHED`: completion scheduler.
+    pub scheduler: SchedulerKind,
+    /// `MEDSIM_STREAM_BATCH`: batched stream-request path.
+    pub stream_batch: bool,
+    /// `MEDSIM_WHEEL_SLOTS`: calendar-queue horizon.
+    pub wheel_slots: usize,
+}
+
+impl EnvKnobs {
+    /// The process-wide knob values (first call resolves the
+    /// environment; later calls return the frozen copy).
+    #[must_use]
+    pub fn get() -> EnvKnobs {
+        static KNOBS: std::sync::OnceLock<EnvKnobs> = std::sync::OnceLock::new();
+        *KNOBS.get_or_init(|| EnvKnobs {
+            scheduler: SchedulerKind::from_env(),
+            stream_batch: stream_batch_from_env(),
+            wheel_slots: wheel_slots_from_env(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +331,26 @@ mod tests {
     #[should_panic(expected = "unsupported thread count")]
     fn odd_thread_counts_rejected() {
         let _ = SizingParams::for_threads(3);
+    }
+
+    #[test]
+    fn env_knobs_are_frozen_at_first_use() {
+        let first = EnvKnobs::get();
+        // A mid-process environment change must not produce configs
+        // that disagree with earlier ones. Only knobs no parallel test
+        // reads raw are mutated here (`scheduler_kind_env_parsing`
+        // asserts the unfrozen `SchedulerKind::from_env` directly, so
+        // touching MEDSIM_SCHED would race it).
+        std::env::set_var("MEDSIM_STREAM_BATCH", "0");
+        std::env::set_var("MEDSIM_WHEEL_SLOTS", "64");
+        let second = EnvKnobs::get();
+        std::env::remove_var("MEDSIM_STREAM_BATCH");
+        std::env::remove_var("MEDSIM_WHEEL_SLOTS");
+        assert_eq!(first, second, "knobs resolve once per process");
+        let cfg = CpuConfig::paper(1, SimdIsa::Mmx);
+        assert_eq!(cfg.scheduler, first.scheduler);
+        assert_eq!(cfg.stream_batch, first.stream_batch);
+        assert_eq!(cfg.wheel_slots, first.wheel_slots);
     }
 
     #[test]

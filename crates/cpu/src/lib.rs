@@ -33,7 +33,7 @@ pub mod predictor;
 pub mod rename;
 pub mod stats;
 
-pub use config::{CpuConfig, FetchPolicy, SizingParams};
+pub use config::{CpuConfig, EnvKnobs, FetchPolicy, SizingParams};
 pub use events::{CompletionQueue, EventQueue, SchedulerKind};
 pub use pipeline::Cpu;
 pub use stats::CpuStats;

@@ -23,7 +23,7 @@ use crate::stats::CpuStats;
 use crate::Cycle;
 use medsim_isa::{Inst, MomOp, Op, QueueKind};
 use medsim_mem::{AccessKind, MemRequest, MemSystem, Stall, StreamRequest};
-use medsim_workloads::trace::{InstStream, SimdIsa};
+use medsim_workloads::trace::{InstSource, InstStream, SimdIsa, StreamSource};
 use std::collections::VecDeque;
 
 const DECODE_BUF_CAP: usize = 16;
@@ -50,7 +50,14 @@ struct DynInst {
 }
 
 struct ThreadCtx {
-    stream: Option<Box<dyn InstStream>>,
+    /// Block-oriented instruction supply (a generator adapter, a packed
+    /// trace decoder, or a sharded frontend's ring consumer).
+    source: Option<Box<dyn InstSource>>,
+    /// Current decoded block; the per-instruction hot path is an
+    /// indexed read from here — no virtual dispatch per instruction.
+    block: Vec<Inst>,
+    /// Read position inside `block`.
+    block_pos: usize,
     lookahead: Option<Inst>,
     decode_buf: VecDeque<Inst>,
     fetch_blocked_until: Cycle,
@@ -66,7 +73,9 @@ struct ThreadCtx {
 impl ThreadCtx {
     fn empty() -> Self {
         ThreadCtx {
-            stream: None,
+            source: None,
+            block: Vec::new(),
+            block_pos: 0,
             lookahead: None,
             decode_buf: VecDeque::new(),
             fetch_blocked_until: 0,
@@ -77,6 +86,24 @@ impl ThreadCtx {
             icount: 0,
             ocount: 0,
             fetched_vector_last: false,
+        }
+    }
+
+    /// Next instruction from the current block, refilling from the
+    /// source at block boundaries. `None` means the program ended.
+    #[inline]
+    fn next_from_block(&mut self) -> Option<Inst> {
+        loop {
+            if let Some(&inst) = self.block.get(self.block_pos) {
+                self.block_pos += 1;
+                return Some(inst);
+            }
+            let src = self.source.as_mut()?;
+            self.block_pos = 0;
+            if !src.next_block(&mut self.block) {
+                self.block.clear();
+                return None;
+            }
         }
     }
 }
@@ -185,20 +212,33 @@ impl Cpu {
         &self.config
     }
 
-    /// Attach an instruction stream to hardware context `tid`.
+    /// Attach a block-oriented instruction source to hardware context
+    /// `tid` — the primary attach path.
     ///
     /// # Panics
     ///
     /// Panics if the context still has instructions in flight.
-    pub fn attach_thread(&mut self, tid: usize, stream: Box<dyn InstStream>) {
+    pub fn attach_source(&mut self, tid: usize, source: Box<dyn InstSource>) {
         assert!(self.thread_idle(tid), "context {tid} still busy");
         let t = &mut self.threads[tid];
-        t.stream = Some(stream);
+        t.source = Some(source);
+        t.block.clear();
+        t.block_pos = 0;
         t.exhausted = false;
         t.lookahead = None;
         t.last_fetch_line = u64::MAX;
         t.fetch_blocked_until = self.now;
         t.blocked_on_branch = None;
+    }
+
+    /// Attach a per-instruction stream to hardware context `tid`
+    /// (wrapped into blocks; see [`Cpu::attach_source`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context still has instructions in flight.
+    pub fn attach_thread(&mut self, tid: usize, stream: Box<dyn InstStream>) {
+        self.attach_source(tid, Box::new(StreamSource::new(stream)));
     }
 
     /// Whether context `tid` has fully drained (stream ended, no
@@ -833,11 +873,11 @@ impl Cpu {
                     Some(i) => Some(i),
                     None => {
                         let t = &mut self.threads[tid];
-                        match t.stream.as_mut().and_then(|s| s.next_inst()) {
+                        match t.next_from_block() {
                             Some(i) => Some(i),
                             None => {
                                 t.exhausted = true;
-                                t.stream = None;
+                                t.source = None;
                                 None
                             }
                         }

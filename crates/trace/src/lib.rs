@@ -16,9 +16,13 @@
 //!   versioned, checksummed trace files keyed by `(slot, isa, spec)`
 //!   content hash. Corrupt, truncated or version-mismatched files are
 //!   detected and reported as misses (callers fall back to synthesis);
-//! * [`stream`] — [`PackedStream`], a chunked streaming decoder
-//!   implementing [`medsim_workloads::InstStream`], so the CPU model
-//!   consumes packed traces directly without materializing `Vec<Inst>`.
+//! * [`stream`] — [`PackedStream`], a block streaming decoder
+//!   implementing [`medsim_workloads::InstSource`] (and the
+//!   per-instruction [`medsim_workloads::InstStream`] view), so the CPU
+//!   model consumes packed traces directly without materializing
+//!   `Vec<Inst>`. Block decode memoizes the per-word architectural
+//!   decode ([`packed::DecodeCache`]) — loopy media traces replay at
+//!   near-`memcpy` rates.
 //!
 //! `medsim_core::runner::TraceCache` layers the three: an in-memory
 //! `Arc<PackedTrace>` cache with an approximate byte budget, read-through
@@ -32,6 +36,6 @@ pub mod packed;
 pub mod store;
 pub mod stream;
 
-pub use packed::{PackError, PackedTrace};
+pub use packed::{DecodeCache, PackError, PackedTrace};
 pub use store::{StoreStats, TraceKey, TraceStore, FORMAT_VERSION};
 pub use stream::PackedStream;

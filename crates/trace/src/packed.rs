@@ -31,7 +31,7 @@
 //! ride in the sidecar) — property-tested in this module and fuzzed in
 //! `tests/roundtrip.rs`.
 
-use medsim_isa::encode::{decode_at, encode_lossy_imm, DecodeInstError};
+use medsim_isa::encode::{decode, decode_at, encode_lossy_imm, DecodeInstError};
 use medsim_isa::{BranchInfo, Inst, MemRef};
 
 const HAS_MEM: u8 = 1 << 0;
@@ -267,6 +267,74 @@ impl Iterator for PackedIter<'_> {
     }
 }
 
+/// A direct-mapped memo of `word -> decoded Inst` for the block
+/// decoder. Media traces are loop nests: a handful of static
+/// instructions account for almost every dynamic instruction, so
+/// decoding becomes a hash, a 64-bit compare and a struct copy instead
+/// of a full field-by-field word decode. Keyed on the complete
+/// architectural word, so a hit is exact by construction.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    /// Tag plane: the architectural word held in each slot. The
+    /// sentinel `u64::MAX` carries an unassigned opcode, which the
+    /// encoder never emits, so it can never be hit.
+    words: Vec<u64>,
+    /// Value plane, indexed like `words` (split planes keep the tag
+    /// probe a dense 8-byte load).
+    insts: Vec<Inst>,
+}
+
+/// Slots in a [`DecodeCache`] (power of two). The full suite has a few
+/// thousand distinct static instructions per program; 2048 slots keep
+/// direct-mapped conflicts rare at ~144 KiB — L2-resident, and far
+/// cheaper to miss into than a full word decode.
+const DECODE_CACHE_SLOTS: usize = 2048;
+
+impl DecodeCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        let filler = decode(0).expect("the all-zero word decodes");
+        DecodeCache {
+            words: vec![u64::MAX; DECODE_CACHE_SLOTS],
+            insts: vec![filler; DECODE_CACHE_SLOTS],
+        }
+    }
+
+    /// The slot index for `word`.
+    #[inline]
+    fn slot(word: u64) -> usize {
+        (word.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize & (DECODE_CACHE_SLOTS - 1)
+    }
+
+    /// Push the decoded instruction for `word` (dynamic fields zeroed)
+    /// onto `out`, memoized: a hit is a 64-byte copy straight from the
+    /// value plane. A lookup *of* the sentinel word itself must not
+    /// false-hit the empty-slot tag — it takes the miss path, where
+    /// `decode` rejects it like the per-inst cursor would (reachable
+    /// only through `from_parts_trusted` payloads that passed an
+    /// external integrity check yet hold garbage).
+    #[inline]
+    fn decode_push(&mut self, word: u64, out: &mut Vec<Inst>) -> Result<(), DecodeInstError> {
+        let slot = Self::slot(word);
+        if self.words[slot] == word && word != u64::MAX {
+            out.push(self.insts[slot]);
+            return Ok(());
+        }
+        let inst = decode(word)?;
+        self.words[slot] = word;
+        self.insts[slot] = inst;
+        out.push(inst);
+        Ok(())
+    }
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        DecodeCache::new()
+    }
+}
+
 /// Decode state: the position in both planes plus the two predictors.
 /// Shared by the borrowed iterator and the owning [`crate::PackedStream`].
 #[derive(Debug, Clone)]
@@ -287,77 +355,172 @@ impl Cursor {
         }
     }
 
-    /// Decode the next instruction of `trace`, or `Ok(None)` at the end.
+    /// Decode the next instruction of `trace`, or `Ok(None)` at the
+    /// end. Built on the same [`read_pc`]/[`apply_sidecar`] record
+    /// decoders as [`Cursor::decode_block`], so the two paths cannot
+    /// drift.
     pub(crate) fn next(&mut self, trace: &PackedTrace) -> Result<Option<Inst>, PackError> {
         let Some(&word) = trace.words.get(self.idx) else {
             return Ok(None);
         };
-        let side = &trace.sidecar;
-        let flags = *side.get(self.side).ok_or(PackError::Truncated)?;
-        self.side += 1;
-
-        let pc = if flags & PC_SEQ != 0 {
-            self.prev_pc.wrapping_add(4)
-        } else {
-            let delta = self.take_zigzag(side)?;
-            self.prev_pc.wrapping_add(4).wrapping_add(delta as u64)
-        };
+        let side = trace.sidecar.as_slice();
+        let mut si = self.side;
+        let mut prev_addr = self.prev_addr;
+        let flags = *side.get(si).ok_or(PackError::Truncated)?;
+        si += 1;
+        let pc = read_pc(flags, self.prev_pc, side, &mut si)?;
         let mut inst = decode_at(word, pc).map_err(PackError::Word)?;
-
-        if flags & RAW_IMM != 0 {
-            let end = self.side.checked_add(4).ok_or(PackError::Truncated)?;
-            let bytes = side.get(self.side..end).ok_or(PackError::Truncated)?;
-            inst.imm = i32::from_le_bytes(bytes.try_into().expect("4-byte slice"));
-            self.side = end;
-        }
-        if flags & HAS_BRANCH != 0 {
-            let delta = self.take_zigzag(side)?;
-            inst.branch = Some(BranchInfo {
-                taken: flags & BRANCH_TAKEN != 0,
-                target: pc.wrapping_add(delta as u64),
-            });
-        }
-        if flags & HAS_MEM != 0 {
-            let delta = self.take_zigzag(side)?;
-            let addr = self.prev_addr.wrapping_add(delta as u64);
-            let size = if flags & MEM_SIZE8 != 0 {
-                8
-            } else {
-                self.take_byte(side)?
-            };
-            let stride = self.take_zigzag(side)?;
-            let count = if flags & MEM_CNT_SLEN != 0 {
-                inst.slen
-            } else {
-                self.take_byte(side)?
-            };
-            let m = MemRef {
-                addr,
-                size,
-                stride,
-                count,
-                is_store: flags & MEM_IS_STORE != 0,
-            };
-            self.prev_addr = predict_next(&m);
-            inst.mem = Some(m);
-        }
-
+        apply_sidecar(&mut inst, flags, pc, side, &mut si, &mut prev_addr)?;
+        self.side = si;
+        self.prev_addr = prev_addr;
         self.prev_pc = pc;
         self.idx += 1;
         Ok(Some(inst))
     }
 
-    fn take_byte(&mut self, side: &[u8]) -> Result<u8, PackError> {
-        let b = *side.get(self.side).ok_or(PackError::Truncated)?;
-        self.side += 1;
-        Ok(b)
+    /// Decode up to `max` instructions into `out` (appended), using
+    /// `cache` to memoize the per-word architectural decode. Returns
+    /// the number of instructions appended (0 at end of trace).
+    /// Produces exactly the sequence repeated [`Cursor::next`] calls
+    /// would — the block shape and the decode cache are invisible.
+    ///
+    /// This is the hot replay loop: cursor state lives in locals
+    /// (committed back only on success), instructions are written once
+    /// directly into `out` and patched in place, and the dominant path
+    /// (sequential PC, no sidecar records beyond the flags byte) is a
+    /// flag compare plus a memoized word decode — `memcpy` with
+    /// patches.
+    pub(crate) fn decode_block(
+        &mut self,
+        trace: &PackedTrace,
+        cache: &mut DecodeCache,
+        out: &mut Vec<Inst>,
+        max: usize,
+    ) -> Result<usize, PackError> {
+        let words = trace.words.as_slice();
+        let side = trace.sidecar.as_slice();
+        let n = max.min(words.len() - self.idx);
+        out.reserve(n);
+        let end = self.idx + n;
+        let mut idx = self.idx;
+        let mut si = self.side;
+        let mut prev_pc = self.prev_pc;
+        let mut prev_addr = self.prev_addr;
+        while idx < end {
+            let word = words[idx];
+            let flags = *side.get(si).ok_or(PackError::Truncated)?;
+            si += 1;
+            let pc = read_pc(flags, prev_pc, side, &mut si)?;
+            cache.decode_push(word, out).map_err(PackError::Word)?;
+            let inst = out.last_mut().expect("just pushed");
+            inst.pc = pc;
+            // Anything beyond a plain sequential instruction peels off
+            // to the shared record decoder (the combined check keeps
+            // the dominant no-record path a single compare).
+            if flags & (RAW_IMM | HAS_BRANCH | HAS_MEM) != 0 {
+                apply_sidecar(inst, flags, pc, side, &mut si, &mut prev_addr)?;
+            }
+            prev_pc = pc;
+            idx += 1;
+        }
+        // Commit the cursor only on success; an error leaves the trace
+        // poisoned for this stream, which callers treat as end-of-trace
+        // (packs built by `pack`/`from_parts` cannot get here).
+        self.idx = idx;
+        self.side = si;
+        self.prev_pc = prev_pc;
+        self.prev_addr = prev_addr;
+        Ok(n)
     }
+}
 
-    fn take_zigzag(&mut self, side: &[u8]) -> Result<i64, PackError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
+/// The PC of the instruction whose flags byte was just consumed:
+/// sequential for free, otherwise a zigzag delta record.
+#[inline]
+fn read_pc(flags: u8, prev_pc: u64, side: &[u8], si: &mut usize) -> Result<u64, PackError> {
+    if flags & PC_SEQ != 0 {
+        Ok(prev_pc.wrapping_add(4))
+    } else {
+        let delta = take_zigzag_at(side, si)?;
+        Ok(prev_pc.wrapping_add(4).wrapping_add(delta as u64))
+    }
+}
+
+/// Decode the RAW_IMM / HAS_BRANCH / HAS_MEM sidecar records onto a
+/// freshly word-decoded instruction — the single implementation both
+/// [`Cursor::next`] and [`Cursor::decode_block`] drive, so the per-inst
+/// and block paths decode bit-identically by construction.
+#[inline]
+fn apply_sidecar(
+    inst: &mut Inst,
+    flags: u8,
+    pc: u64,
+    side: &[u8],
+    si: &mut usize,
+    prev_addr: &mut u64,
+) -> Result<(), PackError> {
+    if flags & RAW_IMM != 0 {
+        let stop = si.checked_add(4).ok_or(PackError::Truncated)?;
+        let bytes = side.get(*si..stop).ok_or(PackError::Truncated)?;
+        inst.imm = i32::from_le_bytes(bytes.try_into().expect("4-byte slice"));
+        *si = stop;
+    }
+    if flags & HAS_BRANCH != 0 {
+        let delta = take_zigzag_at(side, si)?;
+        inst.branch = Some(BranchInfo {
+            taken: flags & BRANCH_TAKEN != 0,
+            target: pc.wrapping_add(delta as u64),
+        });
+    }
+    if flags & HAS_MEM != 0 {
+        let delta = take_zigzag_at(side, si)?;
+        let addr = prev_addr.wrapping_add(delta as u64);
+        let size = if flags & MEM_SIZE8 != 0 {
+            8
+        } else {
+            take_byte_at(side, si)?
+        };
+        let stride = take_zigzag_at(side, si)?;
+        let count = if flags & MEM_CNT_SLEN != 0 {
+            inst.slen
+        } else {
+            take_byte_at(side, si)?
+        };
+        let m = MemRef {
+            addr,
+            size,
+            stride,
+            count,
+            is_store: flags & MEM_IS_STORE != 0,
+        };
+        *prev_addr = predict_next(&m);
+        inst.mem = Some(m);
+    }
+    Ok(())
+}
+
+/// One sidecar byte against a caller-local position (the block decoder
+/// keeps its state in registers).
+#[inline]
+fn take_byte_at(side: &[u8], si: &mut usize) -> Result<u8, PackError> {
+    let b = *side.get(*si).ok_or(PackError::Truncated)?;
+    *si += 1;
+    Ok(b)
+}
+
+/// One zigzag LEB128 varint against a caller-local position, with a
+/// fast path for single-byte varints — PC deltas, predicted addresses
+/// and small strides, i.e. nearly every record of a media trace.
+#[inline]
+fn take_zigzag_at(side: &[u8], si: &mut usize) -> Result<i64, PackError> {
+    let b = *side.get(*si).ok_or(PackError::Truncated)?;
+    *si += 1;
+    let mut v = u64::from(b & 0x7f);
+    if b & 0x80 != 0 {
+        let mut shift = 7u32;
         loop {
-            let b = self.take_byte(side)?;
+            let b = *side.get(*si).ok_or(PackError::Truncated)?;
+            *si += 1;
             v |= u64::from(b & 0x7f) << shift;
             if b & 0x80 == 0 {
                 break;
@@ -367,8 +530,8 @@ impl Cursor {
                 return Err(PackError::Truncated);
             }
         }
-        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
+    Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
 }
 
 /// The address predictor after an access: one stride past its last
@@ -501,6 +664,57 @@ mod tests {
     }
 
     #[test]
+    fn decode_block_matches_per_inst_cursor() {
+        // Includes branches, raw immediates, stores, streams — every
+        // sidecar record kind — plus a loopy tail that hammers the
+        // decode cache with repeated words.
+        let mut insts = sample();
+        for i in 0..2000u64 {
+            insts.push(Inst::int_rri(IntOp::Addi, int(1), int(1), 1).at(0x5000 + i * 4));
+            if i % 3 == 0 {
+                insts.push(Inst::mom_load(stream(0), int(1), 0x2_0000 + i * 128, 8, 16).at(0x6000));
+            }
+        }
+        let packed = PackedTrace::pack(insts.iter().copied());
+        for block_size in [1usize, 7, 256, 4096] {
+            let mut cursor = Cursor::new();
+            let mut cache = DecodeCache::new();
+            let mut got = Vec::new();
+            loop {
+                let n = cursor
+                    .decode_block(&packed, &mut cache, &mut got, block_size)
+                    .expect("valid trace");
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(got, insts, "block_size={block_size}");
+        }
+    }
+
+    #[test]
+    fn sentinel_word_cannot_false_hit_the_decode_cache() {
+        // An all-ones word carries an unassigned opcode; it can only
+        // reach the decoder via `from_parts_trusted` (checksum-valid
+        // but garbage payload). The block path must reject it exactly
+        // like the per-inst cursor — not match the empty-slot sentinel
+        // tag and fabricate the filler instruction.
+        let garbage = PackedTrace::from_parts_trusted(vec![u64::MAX], vec![PC_SEQ]);
+        let mut per_inst = Cursor::new();
+        let want = per_inst.next(&garbage);
+        assert!(matches!(want, Err(PackError::Word(_))));
+        let mut block_cursor = Cursor::new();
+        let mut cache = DecodeCache::new();
+        let mut out = Vec::new();
+        let got = block_cursor.decode_block(&garbage, &mut cache, &mut out, 16);
+        assert!(
+            matches!(got, Err(PackError::Word(_))),
+            "block path must match the per-inst rejection, got {got:?}"
+        );
+        assert!(out.is_empty(), "no fabricated instruction");
+    }
+
+    #[test]
     fn zigzag_varint_round_trips() {
         let mut buf = Vec::new();
         let values = [
@@ -518,12 +732,9 @@ mod tests {
         for &v in &values {
             buf.clear();
             put_zigzag(&mut buf, v);
-            let trace = PackedTrace {
-                words: vec![],
-                sidecar: buf.clone(),
-            };
-            let mut c = Cursor::new();
-            assert_eq!(c.take_zigzag(&trace.sidecar).unwrap(), v, "{v}");
+            let mut si = 0usize;
+            assert_eq!(take_zigzag_at(&buf, &mut si).unwrap(), v, "{v}");
+            assert_eq!(si, buf.len(), "{v}: every byte consumed");
         }
     }
 }

@@ -1,24 +1,30 @@
-//! Streaming decoder: packed traces as [`InstStream`]s.
+//! Streaming decoder: packed traces as block [`InstSource`]s.
 //!
-//! [`PackedStream`] owns an `Arc<PackedTrace>` and decodes it in fixed
-//! chunks into a small ring buffer, so the CPU model replays a packed
-//! trace with no per-run materialization — the resident cost of a
-//! cached program is its packed bytes, not 64 B per instruction.
+//! [`PackedStream`] owns an `Arc<PackedTrace>` and decodes it block by
+//! block, so the CPU model replays a packed trace with no per-run
+//! materialization — the resident cost of a cached program is its
+//! packed bytes, not 64 B per instruction.
+//!
+//! The primary interface is [`PackedStream::next_block_into`]: a whole
+//! block of instructions decoded straight into a caller-owned, reused
+//! buffer. The decode loop memoizes the per-word architectural decode
+//! in a [`DecodeCache`] — media traces are loop nests, so nearly every
+//! dynamic instruction hits the memo and replay approaches a `memcpy`
+//! plus the sidecar's dynamic-field patches. The per-instruction
+//! [`InstStream`] view remains for analysis consumers.
 
-use crate::packed::{Cursor, PackedTrace};
+use crate::packed::{Cursor, DecodeCache, PackedTrace};
 use medsim_isa::Inst;
-use medsim_workloads::trace::InstStream;
+use medsim_workloads::trace::{InstSource, InstStream, BLOCK_INSTS};
 use std::sync::Arc;
 
-/// Instructions decoded per refill: large enough to amortize the
-/// decode-loop setup, small enough to live in L1.
-const CHUNK: usize = 256;
-
-/// An [`InstStream`] that decodes a shared [`PackedTrace`] chunk by
-/// chunk.
+/// An [`InstSource`] (and [`InstStream`]) that decodes a shared
+/// [`PackedTrace`] block by block.
 pub struct PackedStream {
     trace: Arc<PackedTrace>,
     cursor: Cursor,
+    cache: DecodeCache,
+    /// Buffer backing the per-instruction [`InstStream`] view.
     buf: Vec<Inst>,
     /// Read position inside `buf`.
     pos: usize,
@@ -31,7 +37,8 @@ impl PackedStream {
         PackedStream {
             trace,
             cursor: Cursor::new(),
-            buf: Vec::with_capacity(CHUNK),
+            cache: DecodeCache::new(),
+            buf: Vec::new(),
             pos: 0,
         }
     }
@@ -42,20 +49,48 @@ impl PackedStream {
         &self.trace
     }
 
+    /// Decode the next block of instructions into `out` (cleared
+    /// first), reusing its capacity. Returns `false` at the end of the
+    /// trace. Mixing with [`InstStream::next_inst`] is allowed: any
+    /// instructions already buffered for the per-inst view are
+    /// delivered first, so the overall sequence is preserved.
+    pub fn next_block_into(&mut self, out: &mut Vec<Inst>) -> bool {
+        out.clear();
+        if self.pos < self.buf.len() {
+            out.extend_from_slice(&self.buf[self.pos..]);
+            self.buf.clear();
+            self.pos = 0;
+            return true;
+        }
+        // Packs are validated at construction; decode cannot fail.
+        match self
+            .cursor
+            .decode_block(&self.trace, &mut self.cache, out, BLOCK_INSTS)
+        {
+            Ok(n) => n > 0,
+            Err(e) => {
+                debug_assert!(false, "corrupt packed trace: {e}");
+                false
+            }
+        }
+    }
+
     fn refill(&mut self) {
         self.buf.clear();
         self.pos = 0;
-        for _ in 0..CHUNK {
-            // Packs are validated at construction; decode cannot fail.
-            match self.cursor.next(&self.trace) {
-                Ok(Some(inst)) => self.buf.push(inst),
-                Ok(None) => break,
-                Err(e) => {
-                    debug_assert!(false, "corrupt packed trace: {e}");
-                    break;
-                }
-            }
+        match self
+            .cursor
+            .decode_block(&self.trace, &mut self.cache, &mut self.buf, BLOCK_INSTS)
+        {
+            Ok(_) => {}
+            Err(e) => debug_assert!(false, "corrupt packed trace: {e}"),
         }
+    }
+}
+
+impl InstSource for PackedStream {
+    fn next_block(&mut self, out: &mut Vec<Inst>) -> bool {
+        self.next_block_into(out)
     }
 }
 
@@ -82,6 +117,13 @@ mod tests {
             if i % 7 == 0 {
                 insts.push(Inst::load(MemOp::LoadW, int(2), int(1), 0x1000 + i * 8).at(i * 4 + 4));
             }
+            if i % 11 == 0 {
+                insts.push(Inst::branch(CtlOp::Bne, int(2), i % 22 == 0, i * 4).at(i * 4 + 8));
+            }
+            if i % 13 == 0 {
+                // Oversized immediate: exercises the RAW_IMM sidecar.
+                insts.push(Inst::int_rri(IntOp::Addi, int(3), int(0), 1 << 20).at(i * 4 + 12));
+            }
         }
         let packed = Arc::new(PackedTrace::pack(insts.iter().copied()));
         (insts, packed)
@@ -89,9 +131,9 @@ mod tests {
 
     #[test]
     fn streams_the_whole_trace_in_order() {
-        // Lengths straddling the chunk size, including 0 and exact
+        // Lengths straddling the block size, including 0 and exact
         // multiples.
-        for n in [0u64, 1, 100, 255, 256, 257, 1000] {
+        for n in [0u64, 1, 100, 1023, 1024, 1025, 5000] {
             let (insts, packed) = trace_of(n);
             let mut s = PackedStream::new(packed);
             let mut got = Vec::new();
@@ -101,6 +143,40 @@ mod tests {
             assert_eq!(got, insts, "n={n}");
             assert!(s.next_inst().is_none(), "stream stays finished");
         }
+    }
+
+    #[test]
+    fn block_decode_matches_per_inst_decode() {
+        for n in [0u64, 1, 500, 1024, 4000] {
+            let (insts, packed) = trace_of(n);
+            let mut s = PackedStream::new(packed);
+            let mut got = Vec::new();
+            let mut block = Vec::new();
+            while s.next_block_into(&mut block) {
+                assert!(!block.is_empty(), "true delivery is non-empty");
+                got.extend_from_slice(&block);
+            }
+            assert_eq!(got, insts, "n={n}");
+            assert!(!s.next_block_into(&mut block), "source stays finished");
+            assert!(block.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixing_per_inst_and_block_reads_preserves_the_sequence() {
+        let (insts, packed) = trace_of(3000);
+        let mut s = PackedStream::new(packed);
+        let mut got = Vec::new();
+        let mut block = Vec::new();
+        // A few per-inst pulls buffer a block internally...
+        for _ in 0..10 {
+            got.push(s.next_inst().expect("trace long enough"));
+        }
+        // ...then block reads must first drain that buffer.
+        while s.next_block_into(&mut block) {
+            got.extend_from_slice(&block);
+        }
+        assert_eq!(got, insts);
     }
 
     #[test]

@@ -36,4 +36,7 @@ pub mod trace;
 
 pub use mix::{InstMix, MixBreakdown};
 pub use suite::{Benchmark, Workload, WorkloadSpec};
-pub use trace::{ChunkedStream, ClampStream, InstStream, SimdIsa, StreamIter};
+pub use trace::{
+    BlockStream, ChunkSource, ChunkedStream, ClampSource, ClampStream, InstSource, InstStream,
+    SimdIsa, StreamIter, StreamSource, VecSource, BLOCK_INSTS,
+};

@@ -16,7 +16,7 @@ use crate::trace::gsm_gen::{GsmDecGen, GsmEncGen};
 use crate::trace::jpeg_gen::{JpegDecGen, JpegEncGen};
 use crate::trace::mesa_gen::MesaGen;
 use crate::trace::mpeg2_gen::{Mpeg2DecGen, Mpeg2EncGen};
-use crate::trace::{ChunkedStream, InstStream, SimdIsa};
+use crate::trace::{BlockStream, ChunkSource, InstSource, InstStream, SimdIsa};
 use serde::{Deserialize, Serialize};
 
 /// One of the seven Mediabench programs in the workload.
@@ -159,35 +159,43 @@ impl Benchmark {
         ((self.units_full() as f64 * scale).round() as u64).max(1)
     }
 
-    /// Build the instruction stream for this benchmark as program
-    /// instance `instance` under `isa`.
+    /// Build the block-oriented instruction source for this benchmark
+    /// as program instance `instance` under `isa` — the interface the
+    /// CPU model consumes (and the one frontend producer threads
+    /// drive).
     #[must_use]
-    pub fn stream(self, instance: usize, isa: SimdIsa, spec: &WorkloadSpec) -> Box<dyn InstStream> {
+    pub fn source(self, instance: usize, isa: SimdIsa, spec: &WorkloadSpec) -> Box<dyn InstSource> {
         let units = self.units(spec.scale);
         let seed = spec.seed ^ ((instance as u64) << 8) ^ self as u64;
         match self {
-            Benchmark::Mpeg2Enc => Box::new(ChunkedStream::new(Mpeg2EncGen::new(
+            Benchmark::Mpeg2Enc => Box::new(ChunkSource::new(Mpeg2EncGen::new(
                 instance, isa, units, seed,
             ))),
-            Benchmark::Mpeg2Dec => Box::new(ChunkedStream::new(Mpeg2DecGen::new(
+            Benchmark::Mpeg2Dec => Box::new(ChunkSource::new(Mpeg2DecGen::new(
                 instance, isa, units, seed,
             ))),
-            Benchmark::JpegEnc => Box::new(ChunkedStream::new(JpegEncGen::new(
+            Benchmark::JpegEnc => Box::new(ChunkSource::new(JpegEncGen::new(
                 instance, isa, units, seed,
             ))),
-            Benchmark::JpegDec => Box::new(ChunkedStream::new(JpegDecGen::new(
+            Benchmark::JpegDec => Box::new(ChunkSource::new(JpegDecGen::new(
                 instance, isa, units, seed,
             ))),
-            Benchmark::GsmEnc => Box::new(ChunkedStream::new(GsmEncGen::new(
-                instance, isa, units, seed,
-            ))),
-            Benchmark::GsmDec => Box::new(ChunkedStream::new(GsmDecGen::new(
-                instance, isa, units, seed,
-            ))),
-            Benchmark::Mesa => {
-                Box::new(ChunkedStream::new(MesaGen::new(instance, isa, units, seed)))
+            Benchmark::GsmEnc => {
+                Box::new(ChunkSource::new(GsmEncGen::new(instance, isa, units, seed)))
             }
+            Benchmark::GsmDec => {
+                Box::new(ChunkSource::new(GsmDecGen::new(instance, isa, units, seed)))
+            }
+            Benchmark::Mesa => Box::new(ChunkSource::new(MesaGen::new(instance, isa, units, seed))),
         }
+    }
+
+    /// Build the instruction stream for this benchmark as program
+    /// instance `instance` under `isa` (a per-instruction view over
+    /// [`Benchmark::source`]).
+    #[must_use]
+    pub fn stream(self, instance: usize, isa: SimdIsa, spec: &WorkloadSpec) -> Box<dyn InstStream> {
+        Box::new(BlockStream::new(self.source(instance, isa, spec)))
     }
 }
 
@@ -251,6 +259,12 @@ impl Workload {
     #[must_use]
     pub fn slot_benchmark(slot: usize) -> Benchmark {
         Benchmark::PAPER_ORDER[slot % Benchmark::PAPER_ORDER.len()]
+    }
+
+    /// Block-oriented instruction source for slot `slot` under `isa`.
+    #[must_use]
+    pub fn source_for_slot(&self, slot: usize, isa: SimdIsa) -> Box<dyn InstSource> {
+        Workload::slot_benchmark(slot).source(slot % 8, isa, &self.spec)
     }
 
     /// Instruction stream for slot `slot` under `isa`.

@@ -1,0 +1,97 @@
+//! Differential proof for the sharded frontend: running trace
+//! synthesis/decode on producer threads behind bounded rings must be
+//! **invisible** — bitwise-identical [`RunResult`]s to the inline
+//! reference path (`MEDSIM_FRONTEND=inline`) across every cache
+//! hierarchy, every SMT fetch policy, both ISAs and the paper's thread
+//! counts, on the real synthesized workloads. The sharded runs use an
+//! explicit worker budget so real producer threads spawn even on a
+//! single-core CI host, and each configuration also runs with the
+//! budget exhausted to pin the mid-run inline-fallback path.
+
+use medsim::core::frontend::{Frontend, JobBudget};
+use medsim::core::runner::TraceCache;
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::core::RunResult;
+use medsim::cpu::FetchPolicy;
+use medsim::mem::HierarchyKind;
+use medsim::workloads::trace::SimdIsa;
+use medsim::workloads::WorkloadSpec;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        scale: 1.0e-5,
+        seed: 99,
+    }
+}
+
+/// Hierarchies at the paper's thread counts plus the fetch-policy sweep
+/// at 8 threads — every frontend-visible structural axis.
+fn grid() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for &isa in &SimdIsa::ALL {
+        for &h in &HierarchyKind::ALL {
+            for &threads in &[1usize, 4, 8] {
+                configs.push(
+                    SimConfig::new(isa, threads)
+                        .with_hierarchy(h)
+                        .with_spec(spec()),
+                );
+            }
+        }
+        for &p in &FetchPolicy::ALL {
+            configs.push(SimConfig::new(isa, 8).with_policy(p).with_spec(spec()));
+        }
+    }
+    configs
+}
+
+fn run_all(frontend: &Frontend) -> Vec<RunResult> {
+    // A shared cache per sweep, like a real grid; first runs synthesize
+    // (producers doing generator work), later runs replay packed
+    // traces (producers doing block decode) — both paths covered.
+    let cache = TraceCache::from_env();
+    grid()
+        .iter()
+        .map(|c| Simulation::run_fronted(c, &cache, frontend))
+        .collect()
+}
+
+#[test]
+fn sharded_frontend_is_bitwise_identical_to_inline() {
+    let reference = run_all(&Frontend::inline());
+
+    // Enough permits for every context of the widest run: all shards
+    // get real producer threads.
+    let roomy = JobBudget::new(16);
+    let got = run_all(&Frontend::sharded_with(&roomy));
+    assert_eq!(got, reference, "fully sharded frontend diverges");
+    assert_eq!(roomy.available(), 16, "all permits returned");
+
+    // One permit: within a run, some contexts shard and the rest fall
+    // back inline mid-run — the mixed path must be invisible too.
+    let tight = JobBudget::new(1);
+    let got = run_all(&Frontend::sharded_with(&tight));
+    assert_eq!(got, reference, "budget-starved sharded frontend diverges");
+
+    // Exhausted budget: sharded selection, pure inline fallback.
+    let dry = JobBudget::new(0);
+    let got = run_all(&Frontend::sharded_with(&dry));
+    assert_eq!(got, reference, "inline-fallback frontend diverges");
+}
+
+#[test]
+fn sharded_frontend_is_identical_across_prefetch_depths() {
+    // Ring depth changes production scheduling, never the sequence.
+    let cfg = SimConfig::new(SimdIsa::Mom, 8).with_spec(spec());
+    let cache = TraceCache::from_env();
+    let reference = Simulation::run_fronted(&cfg, &cache, &Frontend::inline());
+    for depth in [1usize, 2, 16] {
+        let budget = JobBudget::new(8);
+        let frontend = Frontend {
+            prefetch_blocks: depth,
+            ..Frontend::sharded_with(&budget)
+        };
+        let got = Simulation::run_fronted(&cfg, &cache, &frontend);
+        assert_eq!(got, reference, "prefetch depth {depth} diverges");
+    }
+}
