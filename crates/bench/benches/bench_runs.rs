@@ -32,6 +32,11 @@
 //! * `stream_batch` — a stream-heavy SMT+MOM run with the batched
 //!   `request_stream` path (the default), printed against the
 //!   per-element reference path;
+//! * `cmp_4core` — a 4-core × 2-thread CMP run (private L1s, one
+//!   shared L2/DRAM backend) under the environment-default machine;
+//!   the serial reference schedule and a forced barrier-parallel run
+//!   (explicit budget, so the worker path is exercised on every axis)
+//!   are timed alongside and asserted bitwise equal;
 //! * `fig5_real_cold_store` / `fig5_real_warm_store` — the figure-5
 //!   grid with a persistent trace store (`MEDSIM_TRACE_DIR`), first
 //!   against an empty directory (synthesize + write-back), then against
@@ -233,6 +238,61 @@ fn main() {
         inline_s / sharded_s.max(1e-9),
         frontend::stats().sharded - shard_stats_before.sharded,
         frontend::total_workers(),
+    );
+
+    // A 4-core × 2-thread CMP run (8 contexts, one shared L2/DRAM
+    // backend) at the full MEDSIM_SCALE. Three runs: the serial
+    // reference schedule; a barrier-parallel run on an explicit roomy
+    // budget (so the worker/barrier path is *exercised and asserted
+    // bitwise-equal* even on the jobs=1 CI axis, where the global pool
+    // would fall back serial); and the environment-default machine
+    // (MEDSIM_JOBS decides whether phase-A workers spawn), which is
+    // the **recorded, gated** row — what a user actually gets, and
+    // stable on the jobs=1 axis (a 4-participant barrier timeslicing
+    // one host core is a context-switch storm, useful as an assert but
+    // far too noisy to gate; the multi-core parallel number lands in
+    // BENCH_runs-jobs4).
+    let cmp = SimConfig::new(SimdIsa::Mom, 2)
+        .with_cores(4)
+        .with_spec(spec);
+    let (cmp_serial, cmp_serial_s) = timed_secs(|| {
+        Simulation::run_fronted(
+            &cmp.clone().with_exec(medsim_core::ExecMode::Serial),
+            &TraceCache::from_env(),
+            &Frontend::inline(),
+        )
+    });
+    let cmp_budget = JobBudget::new(8);
+    let cmp_frontend = Frontend::sharded_with(&cmp_budget);
+    let (cmp_parallel, cmp_parallel_s) = timed_secs(|| {
+        Simulation::run_fronted(
+            &cmp.clone().with_exec(medsim_core::ExecMode::Parallel),
+            &TraceCache::from_env(),
+            &cmp_frontend,
+        )
+    });
+    assert_eq!(
+        cmp_parallel, cmp_serial,
+        "barrier-parallel core stepping must be invisible"
+    );
+    let (cmp_default, cmp_default_s) = timed_secs(|| {
+        Simulation::run_fronted(
+            &cmp.clone().with_exec(medsim_core::ExecMode::Parallel),
+            &TraceCache::from_env(),
+            &Frontend::from_env(),
+        )
+    });
+    assert_eq!(
+        cmp_default, cmp_serial,
+        "the default-budget machine must match the reference schedule"
+    );
+    recorder.record("cmp_4core", cmp_default_s, cmp_default.cycles);
+    println!(
+        "cmp_4core: default {cmp_default_s:.2}s, serial {cmp_serial_s:.2}s, \
+         forced-parallel {cmp_parallel_s:.2}s ({:.2}x serial; 4 cores x 2 threads, \
+         shared L2 hit rate {:.1}%)",
+        cmp_serial_s / cmp_parallel_s.max(1e-9),
+        cmp_default.l2_hit_rate * 100.0,
     );
 
     // Cold vs warm persistent trace store around the fig5 grid. The

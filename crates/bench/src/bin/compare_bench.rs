@@ -15,11 +15,14 @@
 //! * rows faster than the noise floor (default 50 ms) in both reports
 //!   are ignored — sub-floor timings are scheduler noise on shared CI
 //!   runners;
+//! * rows present in only one report are listed as added/removed (a
+//!   removed row also prints a `::warning::` — it silently left the
+//!   trend, and if it was gated, it silently left the gate);
 //! * reports measured at different `MEDSIM_SCALE`s are declared
 //!   incomparable (the baseline resets) instead of producing bogus
 //!   regressions.
 
-use medsim_bench::{evaluate_gate, parse_compare_args, parse_report, GateMode};
+use medsim_bench::{evaluate_gate, parse_compare_args, parse_report, row_changes, GateMode};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +59,27 @@ fn main() {
             }
             _ => println!("{:<28} {:>10} {:>10.3}     (new)", n.name, "-", n.wall_s),
         }
+    }
+    // Rows present in only one report enter/leave the trend visibly:
+    // skipping them silently would also silently un-gate them.
+    let (added, removed) = row_changes(&old.runs, &new.runs);
+    for name in &removed {
+        let o = old
+            .runs
+            .iter()
+            .find(|o| &o.name == name)
+            .expect("removed row");
+        println!("{:<28} {:>10.3} {:>10}     (removed)", name, o.wall_s, "-");
+    }
+    if !added.is_empty() || !removed.is_empty() {
+        println!(
+            "rows added since baseline: [{}]; rows removed: [{}]",
+            added.join(", "),
+            removed.join(", ")
+        );
+    }
+    for name in &removed {
+        println!("::warning title=bench row removed::{name}: present in the baseline but missing from the current report");
     }
 
     let decision = evaluate_gate(&old, &new, args.threshold, args.noise_floor_s);

@@ -265,15 +265,36 @@ impl GateMode {
 
 /// The headline rows whose wall-clock regressions fail CI: the
 /// figure-5 grid (end-to-end), the raw single-thread hot path, the
-/// sharded-frontend single big run and the packed block-decode
-/// throughput. All are still subject to the `--noise-floor` guard —
-/// rows under the floor in both reports never gate.
+/// sharded-frontend single big run, the packed block-decode throughput
+/// and the 4-core CMP run. All are still subject to the
+/// `--noise-floor` guard — rows under the floor in both reports never
+/// gate.
 pub const GATED_ROWS: &[&str] = &[
     "fig5_real",
     "pipeline_1thread",
     "sharded_frontend",
     "packed_block_decode",
+    "cmp_4core",
 ];
+
+/// Rows present in only one of two reports: `(added, removed)` relative
+/// to the old one. The gate only compares rows present in both, so new
+/// rows (a fresh CMP configuration, say) and vanished rows (a silently
+/// un-gated benchmark) must be reported rather than skipped.
+#[must_use]
+pub fn row_changes(old: &[BenchEntry], new: &[BenchEntry]) -> (Vec<String>, Vec<String>) {
+    let added = new
+        .iter()
+        .filter(|n| !old.iter().any(|o| o.name == n.name))
+        .map(|n| n.name.clone())
+        .collect();
+    let removed = old
+        .iter()
+        .filter(|o| !new.iter().any(|n| n.name == o.name))
+        .map(|o| o.name.clone())
+        .collect();
+    (added, removed)
+}
 
 /// Whether a regression on `name` fails the build (vs warns).
 #[must_use]
@@ -645,8 +666,20 @@ mod tests {
     fn gated_rows_are_the_headline_benchmarks() {
         assert!(is_gated("fig5_real"));
         assert!(is_gated("pipeline_1thread"));
+        assert!(is_gated("cmp_4core"));
         assert!(!is_gated("grid_serial"));
         assert!(!is_gated("fig5_real_warm_store"));
+    }
+
+    #[test]
+    fn row_changes_report_added_and_removed() {
+        let old = vec![entry("fig5_real", 1.0), entry("vanished", 1.0)];
+        let new = vec![entry("fig5_real", 1.0), entry("cmp_4core", 2.0)];
+        let (added, removed) = row_changes(&old, &new);
+        assert_eq!(added, vec!["cmp_4core".to_string()]);
+        assert_eq!(removed, vec!["vanished".to_string()]);
+        let (added, removed) = row_changes(&new, &new);
+        assert!(added.is_empty() && removed.is_empty());
     }
 
     #[test]

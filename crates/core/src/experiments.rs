@@ -219,6 +219,78 @@ pub fn fig9_hierarchy(spec: &WorkloadSpec) -> Vec<Curve> {
     run_curves(spec, &combos, &factor, &cache)
 }
 
+/// The core counts the CMP scaling driver sweeps.
+pub const CORE_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// A performance curve over **core counts** for one `(ISA, threads per
+/// core)` configuration — the CMP analogue of [`Curve`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmpCurve {
+    /// ISA of the runs.
+    pub isa: SimdIsa,
+    /// Hardware thread contexts per core.
+    pub threads: usize,
+    /// Hierarchy of the runs (the non-ideal organizations share one
+    /// L2/DRAM backend across cores).
+    pub hierarchy: HierarchyKind,
+    /// `(cores, figure of merit)` points: IPC for MMX, EIPC for MOM.
+    pub points: Vec<(usize, f64)>,
+    /// The raw run results behind the points.
+    pub runs: Vec<RunResult>,
+}
+
+impl CmpCurve {
+    /// Figure of merit at a core count, if present.
+    #[must_use]
+    pub fn at(&self, cores: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(c, _)| *c == cores)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// CMP scaling: sweep the machine over [`CORE_COUNTS`] × threads per
+/// core {1, 2} × both ISAs under the conventional hierarchy — every
+/// core a full SMT pipeline with private L1s, all sharing one L2/DRAM
+/// backend. The whole sweep fans out as **one grid** over a shared
+/// trace cache, like every other figure driver.
+#[must_use]
+pub fn cmp_scaling(spec: &WorkloadSpec) -> Vec<CmpCurve> {
+    let cache = TraceCache::from_env();
+    let factor = EipcFactor::compute_cached(spec, &cache);
+    let combos: Vec<(SimdIsa, usize)> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| [1usize, 2].iter().map(move |&t| (isa, t)))
+        .collect();
+    let configs: Vec<SimConfig> = combos
+        .iter()
+        .flat_map(|&(isa, threads)| {
+            CORE_COUNTS.iter().map(move |&cores| {
+                SimConfig::new(isa, threads)
+                    .with_cores(cores)
+                    .with_spec(*spec)
+            })
+        })
+        .collect();
+    let results = run_grid_with(&configs, effective_jobs(configs.len()), &cache);
+    combos
+        .iter()
+        .zip(results.chunks_exact(CORE_COUNTS.len()))
+        .map(|(&(isa, threads), runs)| CmpCurve {
+            isa,
+            threads,
+            hierarchy: HierarchyKind::Conventional,
+            points: CORE_COUNTS
+                .iter()
+                .zip(runs)
+                .map(|(&c, r)| (c, r.figure_of_merit(&factor)))
+                .collect(),
+            runs: runs.to_vec(),
+        })
+        .collect()
+}
+
 /// The headline numbers of the abstract: SMT speedups at 8 threads over
 /// the 1-thread MMX superscalar baseline, and the degradation vs ideal
 /// memory.
@@ -365,6 +437,30 @@ mod tests {
         for r in &rows {
             assert!(r.l1_hit_rate > 0.3 && r.l1_hit_rate <= 1.0, "{r:?}");
             assert!(r.l1_avg_latency >= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cmp_scaling_produces_curves_per_isa_and_thread_count() {
+        let curves = cmp_scaling(&tiny());
+        assert_eq!(curves.len(), 4, "2 ISAs × 2 thread counts");
+        for c in &curves {
+            assert_eq!(c.points.len(), CORE_COUNTS.len());
+            assert!(c.at(1).unwrap() > 0.0);
+            for r in &c.runs {
+                assert_eq!(r.threads, c.threads);
+                assert!(r.programs_completed >= 8, "{r:?}");
+            }
+            // More cores must not lose work throughput: the per-core
+            // private L1s only add capacity, and the shared L2 is the
+            // same size. (Equal is possible at tiny scales.)
+            assert!(
+                c.at(4).unwrap() >= c.at(1).unwrap() * 0.9,
+                "4 cores should roughly scale ({:?} t{}): {:?}",
+                c.isa,
+                c.threads,
+                c.points
+            );
         }
     }
 

@@ -179,6 +179,20 @@ impl BudgetClaim<'_> {
     pub fn taken(&self) -> usize {
         self.taken
     }
+
+    /// Return permits beyond `keep` to the pool immediately; the rest
+    /// stay held until drop. Lets a caller that over-claimed (it could
+    /// not know its real need yet) hand the surplus back to concurrent
+    /// grid workers and frontend shards instead of parking it.
+    pub fn shrink_to(&mut self, keep: usize) {
+        if keep < self.taken {
+            self.budget.permits.fetch_add(
+                (self.taken - keep).try_into().unwrap_or(isize::MAX),
+                Ordering::AcqRel,
+            );
+            self.taken = keep;
+        }
+    }
 }
 
 impl Drop for BudgetClaim<'_> {
@@ -372,6 +386,85 @@ mod tests {
         drop(claim);
         drop(b);
         assert_eq!(budget.available(), 2, "all permits restored");
+        // Shrinking returns the surplus immediately, keeps the rest.
+        let mut claim = budget.claim_up_to(2);
+        assert_eq!(claim.taken(), 2);
+        claim.shrink_to(1);
+        assert_eq!(claim.taken(), 1);
+        assert_eq!(budget.available(), 1, "surplus permit back in the pool");
+        claim.shrink_to(5);
+        assert_eq!(claim.taken(), 1, "growing is not a thing");
+        drop(claim);
+        assert_eq!(budget.available(), 2);
+    }
+
+    #[test]
+    fn budget_never_oversubscribes_under_concurrent_claim_release() {
+        // Property: across racing acquirers, the permits in flight
+        // never exceed the pool, and every permit returns — including
+        // permits dropped early, batch claims dropped unused, and
+        // claims that raced to a partial take.
+        use std::sync::atomic::AtomicUsize;
+        const POOL: usize = 3;
+        let budget = JobBudget::new(POOL);
+        let in_flight = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let track = |n: usize| {
+            let now = in_flight.fetch_add(n, Ordering::SeqCst) + n;
+            max_seen.fetch_max(now, Ordering::SeqCst);
+        };
+        std::thread::scope(|scope| {
+            for t in 0..6u64 {
+                let budget = &budget;
+                let in_flight = &in_flight;
+                let track = &track;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xb06e7 + t);
+                    for _ in 0..500 {
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                if let Some(permit) = budget.try_acquire() {
+                                    track(1);
+                                    if rng.gen_range(0..2) == 0 {
+                                        std::thread::yield_now();
+                                    }
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    drop(permit);
+                                }
+                            }
+                            1 => {
+                                let want = rng.gen_range(0..POOL + 2);
+                                let claim = budget.claim_up_to(want);
+                                assert!(claim.taken() <= want);
+                                track(claim.taken());
+                                in_flight.fetch_sub(claim.taken(), Ordering::SeqCst);
+                                drop(claim);
+                            }
+                            _ => {
+                                // Early drop: take and abandon immediately.
+                                let claim = budget.claim_up_to(1);
+                                track(claim.taken());
+                                in_flight.fetch_sub(claim.taken(), Ordering::SeqCst);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= POOL,
+            "permits in flight exceeded the pool: {}",
+            max_seen.load(Ordering::SeqCst)
+        );
+        assert!(
+            max_seen.load(Ordering::SeqCst) > 0,
+            "the property run must actually acquire permits"
+        );
+        assert_eq!(
+            budget.available(),
+            POOL,
+            "every permit restored after the storm"
+        );
     }
 
     #[test]

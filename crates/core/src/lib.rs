@@ -7,6 +7,12 @@
 //!   methodology (program list cycling through the eight contexts until
 //!   the first eight list entries complete) over a configured SMT
 //!   processor and memory hierarchy;
+//! * [`machine`] — the CMP machine layer: `MEDSIM_CORES` SMT cores
+//!   with private L1 levels sharing one L2/DRAM backend, stepped in
+//!   lockstep behind a deterministic per-cycle bus arbiter;
+//!   `MEDSIM_EXEC=parallel` fans the core-private phase out across
+//!   budgeted worker threads, bitwise identical to the serial
+//!   reference (`tests/cmp_equivalence.rs`);
 //! * [`metrics`] — IPC, the **EIPC** metric for cross-ISA comparison
 //!   (`EIPC = (I_MMX / I_MOM) × IPC_MOM`, §5.1), and speedups;
 //! * [`runner`] — the parallel experiment engine: [`runner::run_grid`]
@@ -42,12 +48,14 @@
 
 pub mod experiments;
 pub mod frontend;
+pub mod machine;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod sim;
 
 pub use frontend::{Frontend, FrontendKind, JobBudget};
+pub use machine::ExecMode;
 pub use metrics::{EipcFactor, RunResult};
 pub use runner::{run_grid, CacheStats, TraceCache};
 pub use sim::{SimConfig, Simulation};

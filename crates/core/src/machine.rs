@@ -1,0 +1,600 @@
+//! The CMP machine layer: N SMT cores sharing an L2/DRAM backend,
+//! stepped in lockstep one cycle at a time.
+//!
+//! The paper's machine is one SMT core. This module scales the *machine
+//! model* along the scale-out axis: every core is a full
+//! [`Cpu`] pipeline with private L1 levels (data/instruction caches,
+//! MSHRs, write buffer, ports, banks), and all cores contend on one
+//! [`L2Backend`] — the shared-cache pressure that decides throughput
+//! for low-operational-intensity media kernels.
+//!
+//! ## The per-cycle bus arbiter
+//!
+//! Each machine cycle is two phases per core:
+//!
+//! 1. **Phase A** ([`Cpu::cycle_compute`]) — complete, commit, and
+//!    issue from the integer/FP/SIMD queues. Touches only core-private
+//!    state, so the phases of different cores commute.
+//! 2. **Phase B** ([`Cpu::cycle_mem_frontend`]) — memory issue,
+//!    dispatch and fetch: everything that reaches the memory system.
+//!    The machine runs this phase **serially in fixed core order**,
+//!    which is the bus arbiter: the shared backend always observes the
+//!    same deterministic, monotonic request sequence, so results are
+//!    seed-stable and independent of host scheduling.
+//!
+//! Under [`ExecMode::Serial`] one thread runs both phases core by core
+//! — the reference schedule. Under [`ExecMode::Parallel`] phase A fans
+//! out across worker threads (permits drawn from the run's
+//! [`JobBudget`](crate::frontend::JobBudget), the same pool the grid
+//! runner and the sharded frontends use) behind a per-cycle barrier,
+//! and phase B stays serial. Because phase A is core-private and phase
+//! B order is fixed, the two modes are **bitwise identical** — enforced
+//! by `tests/cmp_equivalence.rs` over cores × threads × hierarchies —
+//! and a 1-core machine is stat-for-stat the pre-CMP pipeline.
+//!
+//! The idle fast-forward generalizes per-core: when *no* core had any
+//! activity this cycle, the whole chip jumps to the earliest per-core
+//! wakeup (idle cycles touch no shared state, so the jump is exact).
+//!
+//! The §5.1 program list generalizes to context order `(core, tid)`:
+//! context `(c, t)` starts with list slot `c × threads + t`, drained
+//! contexts pull the next slot from a machine-global counter, and the
+//! run ends when the first eight list entries complete — at one core
+//! this is exactly the paper's methodology.
+//!
+//! Environment knobs (resolved once per process):
+//!
+//! * `MEDSIM_CORES` — cores of the simulated CMP (default 1: the
+//!   paper's machine, reproducing its figures unchanged);
+//! * `MEDSIM_EXEC` — `serial` forces the reference schedule; anything
+//!   else, or unset, steps phase A on worker threads when the job
+//!   budget has permits (falling back to serial when it is dry).
+
+use crate::frontend::Frontend;
+use crate::metrics::RunResult;
+use crate::runner::TraceCache;
+use crate::sim::SimConfig;
+use medsim_cpu::{Cpu, CpuConfig};
+use medsim_mem::{L2Backend, MemConfig, MemSystem};
+use medsim_workloads::trace::{ClampSource, InstSource};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+
+/// Number of program-list entries that must complete before a run ends
+/// (§5.1: the first eight entries of the cycling list).
+pub const PROGRAMS_TO_COMPLETE: usize = 8;
+
+/// How the host steps the cores of a CMP each machine cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One thread steps every core, both phases, in core order — the
+    /// differential reference schedule.
+    Serial,
+    /// Phase A fans out across budgeted worker threads behind a
+    /// per-cycle barrier; phase B stays serial in core order. Bitwise
+    /// identical to [`ExecMode::Serial`].
+    Parallel,
+}
+
+impl ExecMode {
+    /// Stepping mode selected by `MEDSIM_EXEC` (`serial` for the
+    /// reference schedule; anything else, or unset, parallel).
+    /// Resolved once per process.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static MODE: OnceLock<ExecMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("MEDSIM_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("serial") => ExecMode::Serial,
+            _ => ExecMode::Parallel,
+        })
+    }
+
+    /// Label used in experiment output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ExecMode::Serial => "serial",
+            ExecMode::Parallel => "parallel",
+        }
+    }
+}
+
+impl core::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cores of the simulated CMP from `MEDSIM_CORES` (default 1 — the
+/// paper's single-core machine; clamped to `1..=64`). Resolved once per
+/// process.
+#[must_use]
+pub fn cores_from_env() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::env::var("MEDSIM_CORES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, 64))
+    })
+}
+
+/// The §5.1 program-list scheduler generalized to `(core, tid)`
+/// context order.
+struct ProgramList {
+    /// Current list slot per global context (`core × threads + tid`).
+    ctx_slot: Vec<usize>,
+    /// Next list slot to hand out.
+    next_slot: usize,
+    /// Which of the first eight list entries have completed.
+    completed: [bool; PROGRAMS_TO_COMPLETE],
+}
+
+impl ProgramList {
+    fn new(contexts: usize) -> Self {
+        ProgramList {
+            ctx_slot: (0..contexts).collect(),
+            next_slot: contexts,
+            completed: [false; PROGRAMS_TO_COMPLETE],
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.completed.iter().all(|&x| x)
+    }
+
+    /// Refill the drained contexts of core `core` with the next
+    /// programs in the list (run after every machine cycle, in fixed
+    /// core order).
+    fn refill(
+        &mut self,
+        core: usize,
+        threads: usize,
+        cpu: &mut Cpu,
+        source_for: &impl Fn(usize) -> Box<dyn InstSource>,
+    ) {
+        for tid in 0..threads {
+            if !cpu.thread_idle(tid) {
+                continue;
+            }
+            let ctx = core * threads + tid;
+            let slot = self.ctx_slot[ctx];
+            if slot < PROGRAMS_TO_COMPLETE {
+                self.completed[slot] = true;
+            }
+            cpu.note_program_completed(tid);
+            if self.all_done() {
+                continue;
+            }
+            cpu.attach_source(tid, source_for(self.next_slot));
+            self.ctx_slot[ctx] = self.next_slot;
+            self.next_slot += 1;
+        }
+    }
+}
+
+/// Build the machine's cores: private L1 levels each, one shared
+/// L2/DRAM backend when there is more than one core (a single core
+/// owns its backend exclusively — the zero-overhead pre-CMP layout).
+fn build_cores(config: &SimConfig, n_cores: usize) -> Vec<Cpu> {
+    let mem_config = config
+        .mem_override
+        .clone()
+        .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
+    let cpu_config = CpuConfig::paper(config.threads, config.isa)
+        .with_policy(config.fetch_policy)
+        .with_scheduler(config.scheduler)
+        .with_stream_batch(config.stream_batch);
+    if n_cores == 1 {
+        return vec![Cpu::new(cpu_config, MemSystem::new(mem_config))];
+    }
+    let backend = L2Backend::shared(&mem_config);
+    (0..n_cores)
+        .map(|_| {
+            Cpu::new(
+                cpu_config.clone(),
+                MemSystem::with_shared_backend(mem_config.clone(), backend.clone()),
+            )
+        })
+        .collect()
+}
+
+/// Marker letting an `impl Trait` return type name a lifetime it
+/// captures without bounding by it (the scope's `'env` outlives the
+/// factory anyway; stable Rust just needs it spelled out).
+trait Captures<'a> {}
+impl<T: ?Sized> Captures<'_> for T {}
+
+/// The per-slot instruction-source factory both schedules share: trace
+/// synthesis or packed decode through the cache, stream-length
+/// clamping, and frontend realization (inline, or on a scoped producer
+/// thread). Factored so the serial reference and the parallel schedule
+/// can never drift apart — `tests/cmp_equivalence.rs` relies on the
+/// two consuming identical instruction supplies.
+fn source_factory<'s, 'env: 's, 'b: 's>(
+    config: &'s SimConfig,
+    cache: &'s TraceCache,
+    frontend: &'s Frontend<'b>,
+    scope: &'s std::thread::Scope<'s, 'env>,
+) -> impl Fn(usize) -> Box<dyn InstSource> + Captures<'env> + 's {
+    move |slot: usize| {
+        let spec = config.spec;
+        let isa = config.isa;
+        let cap = config.max_stream_len;
+        frontend.source(scope, move || {
+            let s = cache.source_for(&spec, slot, isa);
+            if cap < medsim_isa::MAX_STREAM_LEN {
+                Box::new(ClampSource::new(s, cap))
+            } else {
+                s
+            }
+        })
+    }
+}
+
+/// Contiguous chunk of cores owned by phase-A participant `p` (of
+/// `participants` total; participant 0 is the coordinator). The single
+/// source of truth for the partition — [`effective_workers`] and its
+/// starvation test are defined against this exact formula.
+fn chunk_range(p: usize, n_cores: usize, participants: usize) -> std::ops::Range<usize> {
+    let per = n_cores.div_ceil(participants);
+    (p * per).min(n_cores)..((p + 1) * per).min(n_cores)
+}
+
+/// The largest phase-A worker count (≤ `granted`) whose
+/// [`chunk_range`] partition leaves no participant with an empty core
+/// range: with few cores, `div_ceil` chunking can starve trailing
+/// participants, and an empty chunk would burn a thread, a budget
+/// permit and two barrier waits per cycle for nothing.
+fn effective_workers(n_cores: usize, granted: usize) -> usize {
+    let mut w = granted.min(n_cores.saturating_sub(1));
+    while w > 0 {
+        if !chunk_range(w, n_cores, w + 1).is_empty() {
+            break;
+        }
+        w -= 1;
+    }
+    w
+}
+
+/// Execute one run on the machine the config describes. This is what
+/// [`crate::sim::Simulation::run_fronted`] calls.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `config.max_cycles` (indicates a
+/// deadlocked model — should never happen).
+#[must_use]
+pub fn run(config: &SimConfig, cache: &TraceCache, frontend: &Frontend) -> RunResult {
+    run_with(config, cache, frontend, true)
+}
+
+/// [`run`] with the machine-level idle fast-forward switchable
+/// (differential testing: the jump must be stats-invisible).
+///
+/// # Panics
+///
+/// Panics if the run exceeds `config.max_cycles`.
+#[must_use]
+pub fn run_with(
+    config: &SimConfig,
+    cache: &TraceCache,
+    frontend: &Frontend,
+    fast_forward: bool,
+) -> RunResult {
+    let n_cores = config.cores.max(1);
+    if n_cores > 1 && config.exec == ExecMode::Parallel {
+        // Phase-A workers draw from the same budget as grid workers
+        // and frontend shards; a dry pool means this run steps
+        // serially instead of oversubscribing the host. Permits beyond
+        // what the chunk partition can use go straight back.
+        let mut claim = frontend.budget.claim_up_to(n_cores - 1);
+        let workers = effective_workers(n_cores, claim.taken());
+        claim.shrink_to(workers);
+        if workers > 0 {
+            return run_parallel(config, cache, frontend, fast_forward, n_cores, workers);
+        }
+    }
+    run_serial(config, cache, frontend, fast_forward, n_cores)
+}
+
+/// The reference schedule: one thread steps every core, both phases,
+/// in core order.
+fn run_serial(
+    config: &SimConfig,
+    cache: &TraceCache,
+    frontend: &Frontend,
+    fast_forward: bool,
+    n_cores: usize,
+) -> RunResult {
+    let mut list = ProgramList::new(n_cores * config.threads);
+    // All shard producers are scoped to this run: the scope joins them
+    // before returning, and the cores are built (and dropped) *inside*
+    // the scope — dropping a core drops its ring consumers, which
+    // unblocks any producer still mid-program.
+    std::thread::scope(|scope| {
+        let mut cores = build_cores(config, n_cores);
+        let source_for = source_factory(config, cache, frontend, scope);
+        for (core, cpu) in cores.iter_mut().enumerate() {
+            for tid in 0..config.threads {
+                cpu.attach_source(tid, source_for(core * config.threads + tid));
+            }
+        }
+        loop {
+            let mut any_activity = false;
+            for cpu in &mut cores {
+                any_activity |= cpu.cycle_no_ff();
+            }
+            if fast_forward && !any_activity {
+                chip_fast_forward(&mut cores);
+            }
+            for (core, cpu) in cores.iter_mut().enumerate() {
+                list.refill(core, config.threads, cpu, &source_for);
+            }
+            if list.all_done() {
+                break;
+            }
+            assert!(
+                cores[0].now() < config.max_cycles,
+                "simulation exceeded {} cycles — model deadlock?",
+                config.max_cycles
+            );
+        }
+        let refs: Vec<&Cpu> = cores.iter().collect();
+        RunResult::collect_cores(config, &refs)
+    })
+}
+
+/// Releases the phase-A workers and the frontend producers if the
+/// coordinator unwinds mid-run — most importantly through the
+/// `max_cycles` model-deadlock assert, whose diagnostic must reach the
+/// user instead of hanging the scope join. On drop (armed): sets the
+/// done flag, joins one barrier round so workers parked at either gate
+/// observe it and exit, then detaches every core's ring consumers so
+/// producers blocked on full rings unblock. The normal exit path runs
+/// this protocol inline and disarms the guard.
+///
+/// A panic *inside a worker's* phase A still hangs the coordinator at
+/// the phase-A barrier — worker code is a `Cpu` stepping whose
+/// invariants the serial schedule exercises identically first, so a
+/// worker-only panic would require a scheduling-dependent model bug.
+struct AbortGuard<'a> {
+    cells: &'a [Mutex<Cpu>],
+    barrier: &'a Barrier,
+    done: &'a AtomicBool,
+    aborted: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Both flags: `done` exits workers parked at the cycle-start
+        // gate, `aborted` exits workers parked at the phase-A-complete
+        // gate. (Only the guard ever sets `aborted`: a gate-2 check of
+        // `done` would race the coordinator's normal termination store
+        // during phase B and strand the coordinator at the next gate.)
+        self.aborted.store(true, Ordering::Release);
+        self.done.store(true, Ordering::Release);
+        self.barrier.wait();
+        for cell in self.cells {
+            let mut cpu = match cell.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            cpu.detach_sources();
+        }
+    }
+}
+
+/// The barrier schedule: phase A on `n_workers + 1` participants (the
+/// calling thread takes the first chunk of cores), phase B serial in
+/// core order on the calling thread.
+fn run_parallel(
+    config: &SimConfig,
+    cache: &TraceCache,
+    frontend: &Frontend,
+    fast_forward: bool,
+    n_cores: usize,
+    n_workers: usize,
+) -> RunResult {
+    let cells: Vec<Mutex<Cpu>> = build_cores(config, n_cores)
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
+    let mut list = ProgramList::new(n_cores * config.threads);
+    let barrier = Barrier::new(n_workers + 1);
+    let done = AtomicBool::new(false);
+    let aborted = AtomicBool::new(false);
+    let participants = n_workers + 1;
+    let chunk = |p: usize| chunk_range(p, n_cores, participants);
+    std::thread::scope(|scope| {
+        for w in 1..=n_workers {
+            let cells = &cells;
+            let barrier = &barrier;
+            let done = &done;
+            let aborted = &aborted;
+            let range = chunk(w);
+            scope.spawn(move || loop {
+                barrier.wait();
+                // Normal termination: the coordinator sets `done`
+                // strictly before arriving at this gate.
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                for i in range.clone() {
+                    cells[i].lock().expect("core poisoned").cycle_compute();
+                }
+                barrier.wait();
+                // Abort only — `done` must NOT be checked here: the
+                // coordinator's normal-termination store happens during
+                // phase B, concurrently with this line, and an early
+                // exit would strand the coordinator at the next gate.
+                if aborted.load(Ordering::Acquire) {
+                    break;
+                }
+            });
+        }
+        let mut abort = AbortGuard {
+            cells: &cells,
+            barrier: &barrier,
+            done: &done,
+            aborted: &aborted,
+            armed: true,
+        };
+
+        let source_for = source_factory(config, cache, frontend, scope);
+        for (core, cell) in cells.iter().enumerate() {
+            let mut cpu = cell.lock().expect("core poisoned");
+            for tid in 0..config.threads {
+                cpu.attach_source(tid, source_for(core * config.threads + tid));
+            }
+        }
+
+        let mut finished = false;
+        loop {
+            if finished {
+                done.store(true, Ordering::Release);
+            }
+            barrier.wait(); // release the workers into phase A
+            if finished {
+                break;
+            }
+            for i in chunk(0) {
+                cells[i].lock().expect("core poisoned").cycle_compute();
+            }
+            barrier.wait(); // phase A complete everywhere
+
+            // Phase B — the bus arbiter: fixed core order, one thread.
+            let mut any_activity = false;
+            for cell in &cells {
+                let mut cpu = cell.lock().expect("core poisoned");
+                cpu.cycle_mem_frontend();
+                any_activity |= cpu.cycle_finish();
+            }
+            if fast_forward && !any_activity {
+                let wake = cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("core poisoned").fast_forward_wake())
+                    .min();
+                if let Some(w) = wake {
+                    for cell in &cells {
+                        cell.lock().expect("core poisoned").apply_fast_forward(w);
+                    }
+                }
+            }
+            for (core, cell) in cells.iter().enumerate() {
+                let mut cpu = cell.lock().expect("core poisoned");
+                list.refill(core, config.threads, &mut cpu, &source_for);
+            }
+            finished = list.all_done();
+            if !finished {
+                let now = cells[0].lock().expect("core poisoned").now();
+                assert!(
+                    now < config.max_cycles,
+                    "simulation exceeded {} cycles — model deadlock?",
+                    config.max_cycles
+                );
+            }
+        }
+
+        // Workers have observed `done` and exited; the inline shutdown
+        // protocol replaced the guard's.
+        abort.armed = false;
+        let mut guards: Vec<_> = cells
+            .iter()
+            .map(|c| c.lock().expect("core poisoned"))
+            .collect();
+        // The cells outlive the scope (the phase-A workers borrow
+        // them), so the ring consumers must be dropped explicitly
+        // before the scope joins any producer still blocked on a full
+        // ring.
+        for g in &mut guards {
+            g.detach_sources();
+        }
+        let refs: Vec<&Cpu> = guards.iter().map(|g| &**g).collect();
+        RunResult::collect_cores(config, &refs)
+    })
+}
+
+/// Machine-level idle fast-forward: every core just finished a cycle
+/// with no activity anywhere, so jump the whole chip to the earliest
+/// per-core wakeup (idle cycles touch no shared state, so each core's
+/// replicated statistics are exact — see [`Cpu::apply_fast_forward`]).
+fn chip_fast_forward(cores: &mut [Cpu]) {
+    let wake = cores.iter().filter_map(|c| c.fast_forward_wake()).min();
+    if let Some(w) = wake {
+        for cpu in cores {
+            cpu.apply_fast_forward(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_labels() {
+        assert_eq!(ExecMode::Serial.label(), "serial");
+        assert_eq!(ExecMode::Parallel.to_string(), "parallel");
+    }
+
+    #[test]
+    fn env_knobs_freeze() {
+        let mode = ExecMode::from_env();
+        let cores = cores_from_env();
+        std::env::set_var("MEDSIM_EXEC", "serial");
+        std::env::set_var("MEDSIM_CORES", "7");
+        assert_eq!(ExecMode::from_env(), mode, "mode resolves once");
+        assert_eq!(cores_from_env(), cores, "cores resolve once");
+        std::env::remove_var("MEDSIM_EXEC");
+        std::env::remove_var("MEDSIM_CORES");
+    }
+
+    #[test]
+    fn program_list_cycles_and_terminates() {
+        let mut list = ProgramList::new(2);
+        assert_eq!(list.ctx_slot, vec![0, 1]);
+        assert!(!list.all_done());
+        for s in 0..PROGRAMS_TO_COMPLETE {
+            list.completed[s] = true;
+        }
+        assert!(list.all_done());
+    }
+
+    #[test]
+    fn chunks_cover_every_core_exactly_once_and_never_go_empty() {
+        for n_cores in 1..=17usize {
+            for granted in 0..=8usize {
+                let workers = effective_workers(n_cores, granted);
+                assert!(workers <= granted);
+                let participants = workers + 1;
+                let chunk = |p: usize| chunk_range(p, n_cores, participants);
+                let mut seen = vec![0u32; n_cores];
+                for p in 0..participants {
+                    assert!(
+                        !chunk(p).is_empty(),
+                        "cores {n_cores} granted {granted}: participant {p} starved"
+                    );
+                    for i in chunk(p) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "cores {n_cores} x workers {workers}: {seen:?}"
+                );
+            }
+        }
+        // The reviewer's case: 5 cores, 3 permits granted — div_ceil
+        // chunking would starve the 4th participant, so only 2 workers
+        // are useful.
+        assert_eq!(effective_workers(5, 3), 2);
+        assert_eq!(effective_workers(4, 3), 3);
+        assert_eq!(effective_workers(1, 8), 0);
+    }
+}

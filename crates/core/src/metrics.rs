@@ -76,8 +76,10 @@ impl EipcFactor {
 pub struct RunResult {
     /// The ISA the run used.
     pub isa: SimdIsa,
-    /// Thread count.
+    /// Thread count (per core).
     pub threads: usize,
+    /// Cores of the simulated CMP (1 = the paper's machine).
+    pub cores: usize,
     /// Hierarchy organization.
     pub hierarchy: HierarchyKind,
     /// Cycles to complete the §5.1 workload.
@@ -105,26 +107,69 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Collect metrics from a finished simulation.
+    /// Collect metrics from a finished single-core simulation.
     #[must_use]
     pub fn collect(config: &SimConfig, cpu: &Cpu) -> Self {
-        let stats = cpu.stats();
-        let mem = cpu.mem();
+        RunResult::collect_cores(config, &[cpu])
+    }
+
+    /// Collect metrics from a finished machine of one or more cores:
+    /// per-core counters are summed, rate denominators are summed
+    /// before dividing, and the shared L2/DRAM side is read once (every
+    /// core of a CMP sees the same backend). At one core this is
+    /// arithmetic-identical to the pre-CMP collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    #[must_use]
+    pub fn collect_cores(config: &SimConfig, cores: &[&Cpu]) -> Self {
+        assert!(!cores.is_empty(), "a machine has at least one core");
+        let cycles = cores[0].stats().cycles;
+        debug_assert!(
+            cores.iter().all(|c| c.stats().cycles == cycles),
+            "lockstep cores share one clock"
+        );
+        let sum = |f: &dyn Fn(&Cpu) -> u64| -> u64 { cores.iter().map(|c| f(c)).sum() };
+        let branches = sum(&|c| c.stats().threads.iter().map(|t| t.branches).sum());
+        let mispredicts = sum(&|c| c.stats().threads.iter().map(|t| t.mispredicts).sum());
+        let rate = |num: u64, den: u64, empty: f64| {
+            if den == 0 {
+                empty
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let (ihits, ireads) = cores.iter().fold((0u64, 0u64), |(h, r), c| {
+            let s = c.mem().l1i_stats();
+            (h + s.hits, r + s.reads())
+        });
+        let (dhits, dreads) = cores.iter().fold((0u64, 0u64), |(h, r), c| {
+            let s = c.mem().l1d_stats();
+            (h + s.hits, r + s.reads())
+        });
+        let (lat_sum, lat_n) = cores.iter().fold((0u64, 0u64), |(s, n), c| {
+            let p = c.mem().private_stats();
+            (s + p.l1_latency_sum, n + p.l1_accesses)
+        });
         RunResult {
             isa: config.isa,
             threads: config.threads,
+            cores: cores.len(),
             hierarchy: config.hierarchy,
-            cycles: stats.cycles,
-            committed: stats.committed(),
-            committed_equiv: stats.committed_equiv(),
-            programs_completed: stats.threads.iter().map(|t| t.programs_completed).sum(),
-            mispredict_rate: stats.mispredict_rate(),
-            icache_hit_rate: mem.l1i_stats().hit_rate(),
-            l1_hit_rate: mem.l1d_stats().hit_rate(),
-            l1_avg_latency: mem.stats().avg_l1_latency(),
-            l2_hit_rate: mem.l2_stats().hit_rate(),
-            vector_only_cycles: stats.vector_only_cycles,
-            mem_stalls: stats.mem_stalls,
+            cycles,
+            committed: sum(&|c| c.stats().committed()),
+            committed_equiv: sum(&|c| c.stats().committed_equiv()),
+            programs_completed: sum(&|c| {
+                c.stats().threads.iter().map(|t| t.programs_completed).sum()
+            }),
+            mispredict_rate: rate(mispredicts, branches, 0.0),
+            icache_hit_rate: rate(ihits, ireads, 1.0),
+            l1_hit_rate: rate(dhits, dreads, 1.0),
+            l1_avg_latency: rate(lat_sum, lat_n, 0.0),
+            l2_hit_rate: cores[0].mem().l2_stats().hit_rate(),
+            vector_only_cycles: sum(&|c| c.stats().vector_only_cycles),
+            mem_stalls: sum(&|c| c.stats().mem_stalls),
         }
     }
 
@@ -183,6 +228,7 @@ mod tests {
         let mk = |isa: SimdIsa| RunResult {
             isa,
             threads: 1,
+            cores: 1,
             hierarchy: HierarchyKind::Ideal,
             cycles: 100,
             committed: 200,
@@ -211,6 +257,7 @@ mod tests {
         let r = RunResult {
             isa: SimdIsa::Mmx,
             threads: 1,
+            cores: 1,
             hierarchy: HierarchyKind::Ideal,
             cycles: 0,
             committed: 0,

@@ -1,6 +1,8 @@
 //! Plain-text rendering of experiment results in the paper's shapes.
 
-use crate::experiments::{Curve, Headline, Table3Row, Table4Row, THREAD_COUNTS};
+use crate::experiments::{
+    CmpCurve, Curve, Headline, Table3Row, Table4Row, CORE_COUNTS, THREAD_COUNTS,
+};
 use crate::metrics::EipcFactor;
 use medsim_workloads::trace::SimdIsa;
 use medsim_workloads::Benchmark;
@@ -22,6 +24,35 @@ pub fn format_curves(title: &str, curves: &[Curve]) -> String {
         let _ = write!(out, "{label:<28}");
         for t in THREAD_COUNTS {
             match c.at(t) {
+                Some(v) => {
+                    let _ = write!(out, "{v:>12.2}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a set of CMP scaling curves as a table with one column per
+/// core count.
+#[must_use]
+pub fn format_cmp_curves(title: &str, curves: &[CmpCurve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<28}", "configuration");
+    for c in CORE_COUNTS {
+        let _ = write!(out, "{c:>8} core");
+    }
+    let _ = writeln!(out);
+    for c in curves {
+        let label = format!("CMP+{} {}thr/core [{}]", c.isa, c.threads, c.hierarchy);
+        let _ = write!(out, "{label:<28}");
+        for n in CORE_COUNTS {
+            match c.at(n) {
                 Some(v) => {
                     let _ = write!(out, "{v:>12.2}");
                 }
@@ -208,6 +239,22 @@ mod tests {
         assert!(s.contains("MOM"));
         assert!(s.contains("8 thr"));
         assert_eq!(s.lines().count(), 4, "title + header + 2 curves");
+    }
+
+    #[test]
+    fn cmp_curves_table_contains_core_columns() {
+        let curve = CmpCurve {
+            isa: SimdIsa::Mom,
+            threads: 2,
+            hierarchy: HierarchyKind::Conventional,
+            points: CORE_COUNTS.iter().map(|&c| (c, c as f64)).collect(),
+            runs: Vec::new(),
+        };
+        let s = format_cmp_curves("CMP scaling", &[curve]);
+        assert!(s.contains("CMP scaling"));
+        assert!(s.contains("4 core"));
+        assert!(s.contains("2thr/core"));
+        assert_eq!(s.lines().count(), 3, "title + header + 1 curve");
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! allowed by the machine."*
 
 use crate::frontend::Frontend;
+use crate::machine::{self, ExecMode};
 use crate::metrics::RunResult;
 use crate::runner::TraceCache;
-use medsim_cpu::{Cpu, CpuConfig, EnvKnobs, FetchPolicy, SchedulerKind};
-use medsim_mem::{HierarchyKind, MemConfig, MemSystem};
-use medsim_workloads::trace::{ClampSource, InstSource, SimdIsa};
+use medsim_cpu::{EnvKnobs, FetchPolicy, SchedulerKind};
+use medsim_mem::{HierarchyKind, MemConfig};
+use medsim_workloads::trace::SimdIsa;
 use medsim_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -23,8 +24,16 @@ use serde::{Deserialize, Serialize};
 pub struct SimConfig {
     /// μ-SIMD extension under evaluation.
     pub isa: SimdIsa,
-    /// Hardware thread contexts (1, 2, 4 or 8).
+    /// Hardware thread contexts **per core** (1, 2, 4 or 8).
     pub threads: usize,
+    /// Cores of the simulated CMP, each a full SMT pipeline with
+    /// private L1 levels, all sharing one L2/DRAM backend. The default
+    /// of `1` is the paper's machine.
+    pub cores: usize,
+    /// How the host steps the cores of a CMP each cycle (serial
+    /// reference order, or phase-A-parallel behind a barrier). Results
+    /// are bitwise identical either way; irrelevant at `cores = 1`.
+    pub exec: ExecMode,
     /// Cache-hierarchy organization.
     pub hierarchy: HierarchyKind,
     /// SMT fetch policy.
@@ -58,6 +67,8 @@ impl SimConfig {
         SimConfig {
             isa,
             threads,
+            cores: machine::cores_from_env(),
+            exec: ExecMode::from_env(),
             hierarchy: HierarchyKind::Conventional,
             fetch_policy: FetchPolicy::RoundRobin,
             spec: WorkloadSpec::default(),
@@ -67,6 +78,21 @@ impl SimConfig {
             scheduler: knobs.scheduler,
             stream_batch: knobs.stream_batch,
         }
+    }
+
+    /// Builder: size the CMP (cores sharing one L2/DRAM backend).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder: select the host stepping mode for a CMP (differential
+    /// testing; results are identical either way).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Builder: select the completion scheduler (differential testing).
@@ -125,9 +151,6 @@ impl SimConfig {
 #[derive(Debug)]
 pub struct Simulation;
 
-/// Number of list entries that must complete before the run ends.
-const PROGRAMS_TO_COMPLETE: usize = 8;
-
 impl Simulation {
     /// Execute one run and collect its metrics.
     ///
@@ -165,80 +188,17 @@ impl Simulation {
     /// instruction sequence either way, just earlier (enforced by
     /// `tests/frontend_equivalence.rs`).
     ///
+    /// The run is executed by the machine layer ([`crate::machine`]):
+    /// one core by default, or a CMP of [`SimConfig::cores`] SMT cores
+    /// sharing an L2/DRAM backend, stepped per [`SimConfig::exec`].
+    ///
     /// # Panics
     ///
     /// Panics if the run exceeds `config.max_cycles` (indicates a
     /// deadlocked model — should never happen).
     #[must_use]
     pub fn run_fronted(config: &SimConfig, cache: &TraceCache, frontend: &Frontend) -> RunResult {
-        let mem_config = config
-            .mem_override
-            .clone()
-            .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
-        // All shard producers are scoped to this run: the scope joins
-        // them before returning (dropping the CPU — and with it every
-        // ring consumer — unblocks any producer still mid-program).
-        std::thread::scope(|scope| {
-            let mem = MemSystem::new(mem_config);
-            let cpu_config = CpuConfig::paper(config.threads, config.isa)
-                .with_policy(config.fetch_policy)
-                .with_scheduler(config.scheduler)
-                .with_stream_batch(config.stream_batch);
-            let mut cpu = Cpu::new(cpu_config, mem);
-
-            let source_for = |slot: usize| -> Box<dyn InstSource> {
-                let spec = config.spec;
-                let isa = config.isa;
-                let cap = config.max_stream_len;
-                frontend.source(scope, move || {
-                    let s = cache.source_for(&spec, slot, isa);
-                    if cap < medsim_isa::MAX_STREAM_LEN {
-                        Box::new(ClampSource::new(s, cap))
-                    } else {
-                        s
-                    }
-                })
-            };
-
-            let n = config.threads;
-            let mut ctx_slot: Vec<usize> = (0..n).collect();
-            let mut next_slot = n;
-            let mut completed = [false; PROGRAMS_TO_COMPLETE];
-            for tid in 0..n {
-                cpu.attach_source(tid, source_for(tid));
-            }
-
-            let all_done = |c: &[bool; PROGRAMS_TO_COMPLETE]| c.iter().all(|&x| x);
-            loop {
-                cpu.cycle();
-                // Refill drained contexts with the next program in the list.
-                for (tid, slot) in ctx_slot.iter_mut().enumerate() {
-                    if !cpu.thread_idle(tid) {
-                        continue;
-                    }
-                    if *slot < PROGRAMS_TO_COMPLETE {
-                        completed[*slot] = true;
-                    }
-                    cpu.note_program_completed(tid);
-                    if all_done(&completed) {
-                        continue;
-                    }
-                    cpu.attach_source(tid, source_for(next_slot));
-                    *slot = next_slot;
-                    next_slot += 1;
-                }
-                if all_done(&completed) {
-                    break;
-                }
-                assert!(
-                    cpu.now() < config.max_cycles,
-                    "simulation exceeded {} cycles — model deadlock?",
-                    config.max_cycles
-                );
-            }
-
-            RunResult::collect(config, &cpu)
-        })
+        machine::run(config, cache, frontend)
     }
 }
 

@@ -22,12 +22,55 @@ use crate::rename::{PhysReg, RenameFile};
 use crate::stats::CpuStats;
 use crate::Cycle;
 use medsim_isa::{Inst, MomOp, Op, QueueKind};
-use medsim_mem::{AccessKind, MemRequest, MemSystem, Stall, StreamRequest};
+use medsim_mem::{AccessKind, MemReply, MemRequest, MemSystem, Stall, StreamReply, StreamRequest};
 use medsim_workloads::trace::{InstSource, InstStream, SimdIsa, StreamSource};
 use std::collections::VecDeque;
 
 const DECODE_BUF_CAP: usize = 16;
 const ICACHE_LINE: u64 = 32;
+
+/// The pipeline's window onto the memory hierarchy.
+///
+/// The CPU model is written against this trait rather than a concrete
+/// [`MemSystem`], so a core can be timed over an exclusively owned
+/// hierarchy (the single-core case), over per-core private levels
+/// backed by a CMP's shared L2 ([`MemSystem::with_shared_backend`]),
+/// or over a mock in tests. All three calls carry the current cycle
+/// and must be made with non-decreasing `now` values.
+pub trait MemPort {
+    /// Instruction fetch of one cache line for thread `tid`; returns
+    /// the cycle the line is available.
+    fn ifetch(&mut self, now: Cycle, tid: u8, addr: u64) -> Cycle;
+
+    /// Issue a data access, or report back-pressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stall`] when no port is free, the MSHRs are
+    /// exhausted (load miss) or the write buffer is full (store).
+    fn request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall>;
+
+    /// Issue one stream instruction's element group for this cycle in
+    /// a single call (see [`MemSystem::request_stream`]).
+    fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply;
+}
+
+impl MemPort for MemSystem {
+    #[inline]
+    fn ifetch(&mut self, now: Cycle, tid: u8, addr: u64) -> Cycle {
+        MemSystem::ifetch(self, now, tid, addr)
+    }
+
+    #[inline]
+    fn request(&mut self, now: Cycle, req: MemRequest) -> Result<MemReply, Stall> {
+        MemSystem::request(self, now, req)
+    }
+
+    #[inline]
+    fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        MemSystem::request_stream(self, now, req)
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InstState {
@@ -108,11 +151,24 @@ impl ThreadCtx {
     }
 }
 
-/// The SMT processor.
-pub struct Cpu {
+/// Per-cycle activity carried between the pipeline's phase methods
+/// (see [`Cpu::cycle_compute`]): a CMP machine runs the phases of its
+/// cores under a barrier schedule, so the counts cannot live on the
+/// stack of one `cycle()` call.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseScratch {
+    completed: usize,
+    committed: usize,
+    issued: [usize; 4],
+    dispatched: usize,
+    fetch_active: bool,
+}
+
+/// The SMT processor, timed over any [`MemPort`].
+pub struct Cpu<M: MemPort = MemSystem> {
     config: CpuConfig,
     now: Cycle,
-    mem: MemSystem,
+    mem: M,
     rename: RenameFile,
     slab: Vec<Option<DynInst>>,
     free_slots: Vec<u32>,
@@ -143,12 +199,14 @@ pub struct Cpu {
     fetch_infos: Vec<ThreadFetchInfo>,
     /// Scratch for the fetch thread selection (reused every cycle).
     fetch_sel: Vec<usize>,
+    /// Activity counters of the phase currently in flight.
+    phase: PhaseScratch,
 }
 
-impl Cpu {
-    /// Build a processor over a memory system.
+impl<M: MemPort> Cpu<M> {
+    /// Build a processor over a memory port.
     #[must_use]
-    pub fn new(config: CpuConfig, mem: MemSystem) -> Self {
+    pub fn new(config: CpuConfig, mem: M) -> Self {
         let threads = config.threads;
         let rename = RenameFile::new(threads, &config.sizing);
         Cpu {
@@ -173,6 +231,7 @@ impl Cpu {
             fast_forward: true,
             fetch_infos: Vec::with_capacity(threads),
             fetch_sel: Vec::with_capacity(threads),
+            phase: PhaseScratch::default(),
             config,
         }
     }
@@ -200,9 +259,9 @@ impl Cpu {
         &self.stats
     }
 
-    /// The memory system (for its statistics).
+    /// The memory port (for its statistics).
     #[must_use]
-    pub fn mem(&self) -> &MemSystem {
+    pub fn mem(&self) -> &M {
         &self.mem
     }
 
@@ -241,6 +300,18 @@ impl Cpu {
         self.attach_source(tid, Box::new(StreamSource::new(stream)));
     }
 
+    /// Drop every context's instruction source (ring consumers of a
+    /// sharded frontend included), unblocking any producer thread still
+    /// waiting to ship blocks into a full ring. The machine layer calls
+    /// this once a run completes, before its thread scope joins the
+    /// producers; all statistics stay intact. The core must not be
+    /// cycled afterwards.
+    pub fn detach_sources(&mut self) {
+        for t in &mut self.threads {
+            t.source = None;
+        }
+    }
+
     /// Whether context `tid` has fully drained (stream ended, no
     /// buffered or in-flight instructions).
     #[must_use]
@@ -264,13 +335,70 @@ impl Cpu {
     /// Advance one cycle (plus any provably idle cycles after it —
     /// see [`Cpu::set_fast_forward`]).
     pub fn cycle(&mut self) {
-        let completed = self.complete();
-        let committed = self.commit();
-        let issued = self.issue();
-        let dispatched = self.dispatch();
-        let fetch_active = self.fetch();
+        let any_activity = self.cycle_no_ff();
+        if self.fast_forward && !any_activity {
+            self.fast_forward_idle();
+        }
+    }
+
+    /// Advance exactly one cycle — no idle fast-forward — returning
+    /// whether anything moved. A CMP machine steps every core with this
+    /// and applies a machine-level fast-forward only when *no* core had
+    /// activity (all cores share one clock, so no core may jump alone).
+    pub fn cycle_no_ff(&mut self) -> bool {
+        self.cycle_compute();
+        self.cycle_mem_frontend();
+        self.cycle_finish()
+    }
+
+    /// Phase A of one cycle: **complete**, **commit** and issue from
+    /// the integer/FP/SIMD queues — every stage that touches only
+    /// core-private state, never the [`MemPort`]. A CMP machine runs
+    /// this phase for all cores concurrently (the phases commute across
+    /// cores); the single-core [`Cpu::cycle`] runs it inline. Must be
+    /// followed by [`Cpu::cycle_mem_frontend`] then
+    /// [`Cpu::cycle_finish`].
+    pub fn cycle_compute(&mut self) {
+        self.phase = PhaseScratch {
+            completed: self.complete(),
+            ..PhaseScratch::default()
+        };
+        self.phase.committed = self.commit();
+        // A completion marked registers ready: every queue prefix that
+        // was known-blocked must be rescanned.
+        if self.ready_event {
+            self.scan_from = [0; 4];
+            self.ready_event = false;
+        }
+        self.issue_blocked_ready = false;
+        self.phase.issued[0] = self.issue_queue(QueueKind::Int, self.config.int_issue);
+        self.phase.issued[2] = self.issue_queue(QueueKind::Fp, self.config.fp_issue);
+        self.phase.issued[3] = self.issue_queue(QueueKind::Simd, self.config.simd_issue);
+        self.stats.issued[0] += self.phase.issued[0] as u64;
+        self.stats.issued[2] += self.phase.issued[2] as u64;
+        self.stats.issued[3] += self.phase.issued[3] as u64;
+    }
+
+    /// Phase B of one cycle: memory issue, dispatch and fetch — the
+    /// stages that talk to the [`MemPort`]. In a CMP the machine layer
+    /// is the bus arbiter: it runs this phase core by core in **fixed
+    /// core order** behind the phase-A barrier, so the shared L2/DRAM
+    /// backend sees a deterministic request sequence no matter how the
+    /// host schedules the phase-A workers.
+    pub fn cycle_mem_frontend(&mut self) {
+        self.phase.issued[1] = self.issue_mem();
+        self.stats.issued[1] += self.phase.issued[1] as u64;
+        self.phase.dispatched = self.dispatch();
+        self.phase.fetch_active = self.fetch();
+    }
+
+    /// Close the cycle opened by [`Cpu::cycle_compute`]: per-cycle
+    /// diagnostics, the clock tick, and the activity verdict (`false`
+    /// means nothing moved and nothing can move until a completion or
+    /// an I-fetch wakeup — the fast-forward precondition).
+    pub fn cycle_finish(&mut self) -> bool {
+        let [int_i, mem_i, fp_i, simd_i] = self.phase.issued;
         // §5.3 diagnostic: cycles where only the vector pipe issued.
-        let (int_i, mem_i, fp_i, simd_i) = issued;
         if simd_i > 0 && int_i == 0 && fp_i == 0 && mem_i == 0 {
             self.stats.vector_only_cycles += 1;
         }
@@ -279,15 +407,10 @@ impl Cpu {
         }
         self.now += 1;
         self.stats.cycles = self.now;
-        // Nothing moved anywhere in the machine and nothing can move
-        // until a completion or an I-fetch wakeup: skip straight there.
-        let any_activity = completed + committed + dispatched != 0
+        self.phase.completed + self.phase.committed + self.phase.dispatched != 0
             || int_i + mem_i + fp_i + simd_i != 0
-            || fetch_active
-            || self.issue_blocked_ready;
-        if self.fast_forward && !any_activity {
-            self.fast_forward_idle();
-        }
+            || self.phase.fetch_active
+            || self.issue_blocked_ready
     }
 
     /// Jump from the current (already advanced) cycle to the next cycle
@@ -296,7 +419,36 @@ impl Cpu {
     /// the per-cycle statistics the skipped idle cycles would have
     /// accumulated, so results are identical to ticking through them.
     fn fast_forward_idle(&mut self) {
+        if let Some(wake) = self.fast_forward_wake() {
+            self.apply_fast_forward(wake);
+        }
+    }
+
+    /// The next cycle at which this core's state can change, given the
+    /// cycle just finished had no activity: the earliest pending
+    /// completion or I-fetch unblock. `None` when nothing is pending
+    /// (the core is drained, or blocked solely on branch resolution
+    /// that will never come — impossible after a no-activity cycle).
+    #[must_use]
+    pub fn fast_forward_wake(&self) -> Option<Cycle> {
         let mut wake: Option<Cycle> = self.completions.next_due();
+        let prev = self.now - 1; // the idle cycle just simulated
+        for t in &self.threads {
+            if t.exhausted || t.blocked_on_branch.is_some() {
+                continue;
+            }
+            if t.fetch_blocked_until > prev {
+                wake = Some(wake.map_or(t.fetch_blocked_until, |w| w.min(t.fetch_blocked_until)));
+            }
+        }
+        wake
+    }
+
+    /// Skip idle cycles up to `wake` (at most this core's own
+    /// [`Cpu::fast_forward_wake`] — a CMP machine passes the minimum
+    /// over its cores so the chip stays in lockstep), replicating the
+    /// per-cycle statistics the skipped cycles would have accumulated.
+    pub fn apply_fast_forward(&mut self, wake: Cycle) {
         let mut branch_blocked = 0u64;
         let mut time_blocked = 0u64;
         let prev = self.now - 1; // the idle cycle just simulated
@@ -308,10 +460,8 @@ impl Cpu {
                 branch_blocked += 1;
             } else if t.fetch_blocked_until > prev {
                 time_blocked += 1;
-                wake = Some(wake.map_or(t.fetch_blocked_until, |w| w.min(t.fetch_blocked_until)));
             }
         }
-        let Some(wake) = wake else { return };
         let Some(skipped) = wake.checked_sub(self.now) else {
             return;
         };
@@ -448,25 +598,6 @@ impl Cpu {
 
     fn sources_ready(&self, d: &DynInst) -> bool {
         d.srcs.iter().flatten().all(|&p| self.rename.is_ready(p))
-    }
-
-    fn issue(&mut self) -> (usize, usize, usize, usize) {
-        // A completion marked registers ready: every queue prefix that
-        // was known-blocked must be rescanned.
-        if self.ready_event {
-            self.scan_from = [0; 4];
-            self.ready_event = false;
-        }
-        self.issue_blocked_ready = false;
-        let int_issued = self.issue_queue(QueueKind::Int, self.config.int_issue);
-        let fp_issued = self.issue_queue(QueueKind::Fp, self.config.fp_issue);
-        let simd_issued = self.issue_queue(QueueKind::Simd, self.config.simd_issue);
-        let mem_issued = self.issue_mem();
-        self.stats.issued[0] += int_issued as u64;
-        self.stats.issued[1] += mem_issued as u64;
-        self.stats.issued[2] += fp_issued as u64;
-        self.stats.issued[3] += simd_issued as u64;
-        (int_issued, mem_issued, fp_issued, simd_issued)
     }
 
     fn queue_idx(q: QueueKind) -> usize {

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod dram;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod system;
 pub mod wbuf;
 
+pub use backend::{L2Backend, SharedL2};
 pub use cache::{Cache, CacheConfig};
 pub use config::{HierarchyKind, MemConfig};
 pub use dram::{Dram, DramConfig};

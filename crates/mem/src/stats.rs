@@ -102,6 +102,28 @@ impl MemStats {
             self.l1_latency_sum as f64 / self.l1_accesses as f64
         }
     }
+
+    /// Field-wise sum of two counter sets. Every memory-system event
+    /// increments exactly one side of the private/backend split, so the
+    /// merge of a core's private counters with its backend's equals the
+    /// single pre-split structure.
+    #[must_use]
+    pub fn merged(&self, other: &MemStats) -> MemStats {
+        MemStats {
+            l1_accesses: self.l1_accesses + other.l1_accesses,
+            l1_latency_sum: self.l1_latency_sum + other.l1_latency_sum,
+            bank_conflicts: self.bank_conflicts + other.bank_conflicts,
+            mshr_full_stalls: self.mshr_full_stalls + other.mshr_full_stalls,
+            write_buffer_full_stalls: self.write_buffer_full_stalls
+                + other.write_buffer_full_stalls,
+            write_coalesced: self.write_coalesced + other.write_coalesced,
+            selective_flushes: self.selective_flushes + other.selective_flushes,
+            vector_bypasses: self.vector_bypasses + other.vector_bypasses,
+            coherence_invalidation: self.coherence_invalidation + other.coherence_invalidation,
+            dram_reads: self.dram_reads + other.dram_reads,
+            dram_writes: self.dram_writes + other.dram_writes,
+        }
+    }
 }
 
 #[cfg(test)]

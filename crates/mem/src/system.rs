@@ -10,10 +10,21 @@
 //!
 //! Calls must be made with non-decreasing `now` values (the resource
 //! reservation counters advance monotonically).
+//!
+//! A `MemSystem` is one core's view of the hierarchy: the L1 levels
+//! (data and instruction caches, MSHRs, write buffer, ports, banks) are
+//! owned privately, while the L2/DRAM levels live in an
+//! [`L2Backend`](crate::backend::L2Backend) that is either owned
+//! exclusively (the single-core case — exactly the pre-CMP layout) or
+//! shared with the other cores of a CMP through
+//! [`MemSystem::with_shared_backend`]. Sharing cores must serialize
+//! their backend-touching calls (the machine layer's per-cycle bus
+//! arbiter drains requests in fixed core order), preserving the
+//! non-decreasing-`now` contract across the whole chip.
 
+use crate::backend::{L2Backend, SharedL2};
 use crate::cache::Cache;
 use crate::config::{HierarchyKind, MemConfig};
-use crate::dram::Dram;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::stats::MemStats;
 use crate::wbuf::{WriteBuffer, WriteOutcome};
@@ -142,54 +153,97 @@ impl core::fmt::Display for Stall {
 
 impl std::error::Error for Stall {}
 
-/// The full memory hierarchy.
+/// The L2/DRAM levels behind one core's private levels: owned
+/// exclusively (single core — a zero-overhead match) or shared with the
+/// other cores of a CMP (serialized by the machine layer's bus
+/// arbiter).
+#[derive(Debug)]
+enum Backend {
+    Owned(Box<L2Backend>),
+    Shared(SharedL2),
+}
+
+/// One core's view of the full memory hierarchy: private L1 levels plus
+/// an owned or shared L2/DRAM backend.
 #[derive(Debug)]
 pub struct MemSystem {
     config: MemConfig,
     l1d: Cache,
     l1i: Cache,
-    l2: Cache,
     d_mshrs: MshrFile,
     v_mshrs: MshrFile,
     i_mshrs: MshrFile,
-    l2_mshrs: MshrFile,
     wbuf: WriteBuffer,
-    dram: Dram,
     general_ports: Vec<Cycle>,
     scalar_ports: Vec<Cycle>,
     vector_ports: Vec<Cycle>,
     l1d_banks: Vec<Cycle>,
     l1i_banks: Vec<Cycle>,
-    l2_banks: Vec<Cycle>,
+    backend: Backend,
     stats: MemStats,
 }
 
 impl MemSystem {
-    /// Build the memory system from a configuration.
+    /// Build the memory system from a configuration, owning its
+    /// L2/DRAM backend exclusively (the single-core case).
     #[must_use]
     pub fn new(config: MemConfig) -> Self {
+        let backend = Backend::Owned(Box::new(L2Backend::new(&config)));
+        MemSystem::assemble(config, backend)
+    }
+
+    /// Build one core's memory system over a **shared** L2/DRAM backend
+    /// (the CMP case). The caller is responsible for serializing the
+    /// cores' backend-touching calls in a deterministic order with
+    /// non-decreasing cycles — the machine layer's per-cycle bus
+    /// arbiter does exactly that.
+    #[must_use]
+    pub fn with_shared_backend(config: MemConfig, backend: SharedL2) -> Self {
+        MemSystem::assemble(config, Backend::Shared(backend))
+    }
+
+    fn assemble(config: MemConfig, backend: Backend) -> Self {
         MemSystem {
             l1d: Cache::new(config.l1d),
             l1i: Cache::new(config.l1i),
-            l2: Cache::new(config.l2),
             d_mshrs: MshrFile::new(config.mshrs),
             v_mshrs: MshrFile::new(config.mshrs),
             i_mshrs: MshrFile::new(config.mshrs),
-            l2_mshrs: MshrFile::new(config.mshrs),
             // The write buffer drains one entry per L2-bank occupancy
             // slot (2 cycles), not a full L2 access — stores are fire
             // and forget once buffered.
             wbuf: WriteBuffer::new(config.write_buffer_depth, 2),
-            dram: Dram::new(config.dram),
             general_ports: vec![0; config.general_ports],
             scalar_ports: vec![0; config.scalar_ports],
             vector_ports: vec![0; config.vector_ports],
             l1d_banks: vec![0; config.l1d.banks],
             l1i_banks: vec![0; config.l1i.banks],
-            l2_banks: vec![0; config.l2.banks],
+            backend,
             stats: MemStats::default(),
             config,
         }
+    }
+
+    /// Run `f` over the (owned or shared) backend.
+    fn with_backend<R>(&mut self, f: impl FnOnce(&mut L2Backend) -> R) -> R {
+        match &mut self.backend {
+            Backend::Owned(b) => f(b),
+            Backend::Shared(m) => f(&mut m.lock().expect("L2 backend poisoned")),
+        }
+    }
+
+    /// Run `f` over the backend read-only.
+    fn backend_ref<R>(&self, f: impl FnOnce(&L2Backend) -> R) -> R {
+        match &self.backend {
+            Backend::Owned(b) => f(b),
+            Backend::Shared(m) => f(&m.lock().expect("L2 backend poisoned")),
+        }
+    }
+
+    /// The L2-line-aligned address of `addr` (pure geometry — no
+    /// backend access).
+    fn l2_line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.l2.line_bytes - 1)
     }
 
     /// The configuration in use.
@@ -198,10 +252,26 @@ impl MemSystem {
         &self.config
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics: the core-private counters merged with the
+    /// backend-side ones (L2 bank conflicts, L2 MSHR exhaustion, DRAM
+    /// traffic). With a shared backend the latter cover the whole chip,
+    /// so sum the *private* sides across cores and add the backend once.
     #[must_use]
-    pub fn stats(&self) -> &MemStats {
-        &self.stats
+    pub fn stats(&self) -> MemStats {
+        self.stats.merged(&self.backend_ref(L2Backend::stats))
+    }
+
+    /// Core-private counters only (excludes the L2/DRAM backend side) —
+    /// what a CMP sums per core before adding the shared backend once.
+    #[must_use]
+    pub fn private_stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Backend-side counters only (see [`MemSystem::stats`]).
+    #[must_use]
+    pub fn backend_stats(&self) -> MemStats {
+        self.backend_ref(L2Backend::stats)
     }
 
     /// L1 data-cache statistics (Table 4's "L1 hit rate" row).
@@ -216,16 +286,16 @@ impl MemSystem {
         self.l1i.stats()
     }
 
-    /// L2 statistics.
+    /// L2 statistics (chip-wide when the backend is shared).
     #[must_use]
-    pub fn l2_stats(&self) -> &crate::stats::CacheStats {
-        self.l2.stats()
+    pub fn l2_stats(&self) -> crate::stats::CacheStats {
+        self.backend_ref(L2Backend::l2_stats)
     }
 
-    /// DRAM statistics.
+    /// DRAM statistics (chip-wide when the backend is shared).
     #[must_use]
-    pub fn dram_stats(&self) -> &crate::dram::DramStats {
-        self.dram.stats()
+    pub fn dram_stats(&self) -> crate::dram::DramStats {
+        self.backend_ref(L2Backend::dram_stats)
     }
 
     /// Instruction fetch of one cache line for thread `tid`. Returns the
@@ -261,6 +331,12 @@ impl MemSystem {
                 fill
             }
         }
+    }
+
+    /// Access the L2 for a full line fill (L1 misses, I-misses).
+    fn access_l2(&mut self, at: Cycle, addr: u64, is_store: bool) -> Cycle {
+        let bytes = self.config.l1d.line_bytes;
+        self.with_backend(|b| b.access_sized(at, addr, is_store, bytes))
     }
 
     /// Issue a data access. `now` is the issue cycle; calls must use
@@ -522,7 +598,7 @@ impl MemSystem {
         for i in 0..req.count {
             let r = req.elem(i);
             let l1_line = self.l1d.line_addr(r.addr);
-            let l2_line = self.l2.line_addr(r.addr);
+            let l2_line = self.l2_line_addr(r.addr);
             if avail == 0 {
                 reply.stall = Some(Stall::PortBusy);
                 break;
@@ -552,23 +628,20 @@ impl MemSystem {
                     // scan finds nothing, but replicate its retirement.
                     self.wbuf.retire_until(start);
                 }
-                // The L2 side of access_l2_sized on a resident line:
+                // The L2 side of the sized access on a resident line:
                 // bank slot, LRU/dirty touch, hit or delayed hit.
-                let s = self.l2_banks[bank].max(start);
-                if s > start {
-                    self.stats.bank_conflicts += 1;
-                }
-                let occupancy = u64::from(req.size).div_ceil(8).clamp(1, 4);
-                self.l2_banks[bank] = s + occupancy;
-                self.l2.retouch(r.addr, is_store);
-                ready_at.max(s + self.config.l2_latency)
+                self.with_backend(|b| {
+                    b.repeat_access(start, r.addr, is_store, req.size, ready_at, bank)
+                })
             } else {
                 let elem_reply = self.vector_data_access(now, r);
-                let ready_at = self
-                    .l2
-                    .fill_time_of(r.addr)
-                    .expect("access allocates the line");
-                memo = Some((l1_line, l2_line, ready_at, self.l2.bank_of(r.addr)));
+                let (ready_at, bank) = self.with_backend(|b| {
+                    (
+                        b.fill_time_of(r.addr).expect("access allocates the line"),
+                        b.bank_of(r.addr),
+                    )
+                });
+                memo = Some((l1_line, l2_line, ready_at, bank));
                 elem_reply.done_at
             };
             reply.issued += 1;
@@ -628,9 +701,7 @@ impl MemSystem {
                     // buffered line consumes an L2 bank slot, contending
                     // with read misses. This is the bandwidth wall the
                     // decoupled hierarchy's port split alleviates (§5.4).
-                    let bank = self.l2.bank_of(line);
-                    let slot = self.l2_banks[bank].max(start);
-                    self.l2_banks[bank] = slot + 2;
+                    self.with_backend(|b| b.store_drain_slot(line, start));
                 }
             }
             // Write-through: update L1 if present (no allocate on miss).
@@ -716,7 +787,9 @@ impl MemSystem {
             start = start.max(ready);
         }
 
-        let done = self.access_l2_sized(start, req.addr, req.kind.is_store(), u64::from(req.size));
+        let is_store = req.kind.is_store();
+        let bytes = u64::from(req.size);
+        let done = self.with_backend(|b| b.access_sized(start, req.addr, is_store, bytes));
         let hit_l2 = done <= start + self.config.l2_latency + 2;
         MemReply {
             done_at: done,
@@ -745,67 +818,6 @@ impl MemSystem {
         }
         // Full, but a coalescing miss is still acceptable.
         !matches!(mshrs.register(now, line), MshrOutcome::Coalesced(_))
-    }
-
-    /// Access the L2 for a full line fill (L1 misses, I-misses).
-    fn access_l2(&mut self, at: Cycle, addr: u64, is_store: bool) -> Cycle {
-        self.access_l2_sized(at, addr, is_store, self.config.l1d.line_bytes)
-    }
-
-    /// Access the L2, going to DRAM on a miss. Returns the completion
-    /// cycle (data at the requester). Bank occupancy scales with the
-    /// transfer size: a 32-byte line fill holds a bank four cycles, a
-    /// direct 8-byte vector element access only one — the effective
-    /// bandwidth the decoupled organization exploits.
-    fn access_l2_sized(&mut self, at: Cycle, addr: u64, is_store: bool, bytes: u64) -> Cycle {
-        let bank = self.l2.bank_of(addr);
-        let start = self.l2_banks[bank].max(at);
-        if start > at {
-            self.stats.bank_conflicts += 1;
-        }
-        let occupancy = bytes.div_ceil(8).clamp(1, 4);
-        self.l2_banks[bank] = start + occupancy;
-        let line = self.l2.line_addr(addr);
-        let lookup = self.l2.access(start, addr, is_store);
-        if let Some(victim) = lookup.writeback {
-            let _ = self.dram.access(
-                start + self.config.l2_latency,
-                victim,
-                self.config.l2.line_bytes,
-            );
-            self.stats.dram_writes += 1;
-        }
-        if lookup.hit {
-            return start + self.config.l2_latency;
-        }
-        if let Some(ready) = lookup.pending {
-            return ready.max(start + self.config.l2_latency);
-        }
-        match self.l2_mshrs.register(start, line) {
-            MshrOutcome::Coalesced(t) => t.max(start + self.config.l2_latency),
-            MshrOutcome::Full => {
-                self.stats.mshr_full_stalls += 1;
-                // Wait out a DRAM round trip before the retry succeeds.
-                let fill = self.dram.access(
-                    start + self.config.l2_latency,
-                    line,
-                    self.config.l2.line_bytes,
-                );
-                self.stats.dram_reads += 1;
-                fill + self.config.l2_latency
-            }
-            MshrOutcome::Allocated => {
-                let fill = self.dram.access(
-                    start + self.config.l2_latency,
-                    line,
-                    self.config.l2.line_bytes,
-                );
-                self.stats.dram_reads += 1;
-                self.l2_mshrs.set_fill_time(line, fill);
-                self.l2.set_fill_time(line, fill);
-                fill
-            }
-        }
     }
 }
 

@@ -1,0 +1,248 @@
+//! Differential proof for the CMP machine layer.
+//!
+//! 1. `MEDSIM_EXEC=parallel` (phase-A barrier stepping on budgeted
+//!    workers) must be **bitwise identical** to the `serial` reference
+//!    schedule over cores {1, 2, 4} × thread counts × every cache
+//!    hierarchy — including with the worker budget partially granted
+//!    (cores chunked onto fewer workers) and fully starved (serial
+//!    fallback).
+//! 2. The 1-core machine must be **stat-for-stat identical** to the
+//!    pre-refactor single-pipeline run loop on the figure-5 grid: the
+//!    reference implementation below is the old `Simulation` body,
+//!    verbatim, driving one `Cpu` directly.
+//! 3. The machine-level idle fast-forward (the whole chip jumps to the
+//!    earliest per-core wakeup) must be stats-invisible.
+
+use medsim::core::frontend::{Frontend, JobBudget};
+use medsim::core::machine::{self, ExecMode, PROGRAMS_TO_COMPLETE};
+use medsim::core::runner::TraceCache;
+use medsim::core::sim::{SimConfig, Simulation};
+use medsim::core::RunResult;
+use medsim::cpu::{Cpu, CpuConfig};
+use medsim::mem::{HierarchyKind, MemConfig, MemSystem};
+use medsim::workloads::trace::SimdIsa;
+use medsim::workloads::WorkloadSpec;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        scale: 1.0e-5,
+        seed: 4242,
+    }
+}
+
+/// Cores × threads-per-core × hierarchy, alternating the ISA so both
+/// vectorizations cover every structural axis.
+fn cmp_grid() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for &cores in &[1usize, 2, 4] {
+        for &threads in &[1usize, 2] {
+            for (i, &h) in HierarchyKind::ALL.iter().enumerate() {
+                let isa = if (cores + threads + i) % 2 == 0 {
+                    SimdIsa::Mmx
+                } else {
+                    SimdIsa::Mom
+                };
+                configs.push(
+                    SimConfig::new(isa, threads)
+                        .with_cores(cores)
+                        .with_hierarchy(h)
+                        .with_spec(spec()),
+                );
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn parallel_stepping_is_bitwise_identical_to_serial() {
+    let cache = TraceCache::from_env();
+    for config in cmp_grid() {
+        let serial = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Serial),
+            &cache,
+            &Frontend::inline(),
+        );
+
+        // Roomy budget: every core beyond the first gets a real
+        // phase-A worker, and the sharded frontend gets producers too.
+        let roomy = JobBudget::new(16);
+        let got = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Parallel),
+            &cache,
+            &Frontend::sharded_with(&roomy),
+        );
+        assert_eq!(
+            got, serial,
+            "parallel != serial at cores={} threads={} {:?} {:?}",
+            config.cores, config.threads, config.hierarchy, config.isa
+        );
+        assert_eq!(roomy.available(), 16, "all permits returned");
+
+        // One permit: several cores chunk onto a single worker while
+        // the coordinator takes the rest — a different (but still
+        // deterministic) phase-A partition.
+        let tight = JobBudget::new(1);
+        let got = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Parallel),
+            &cache,
+            &Frontend::sharded_with(&tight),
+        );
+        assert_eq!(
+            got, serial,
+            "single-worker parallel diverges at cores={} threads={} {:?}",
+            config.cores, config.threads, config.hierarchy
+        );
+
+        // Starved budget: parallel requested, serial fallback taken.
+        let dry = JobBudget::new(0);
+        let got = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Parallel),
+            &cache,
+            &Frontend::sharded_with(&dry),
+        );
+        assert_eq!(
+            got, serial,
+            "dry-budget parallel diverges at cores={} threads={} {:?}",
+            config.cores, config.threads, config.hierarchy
+        );
+    }
+}
+
+/// The pre-refactor `Simulation::run_fronted` body, verbatim: one
+/// `Cpu`, `cycle()` with its internal fast-forward, and the §5.1
+/// program-list refill loop — no machine layer anywhere.
+fn pre_refactor_reference(config: &SimConfig, cache: &TraceCache) -> RunResult {
+    let mem_config = MemConfig::paper_with(config.hierarchy);
+    let cpu_config = CpuConfig::paper(config.threads, config.isa)
+        .with_policy(config.fetch_policy)
+        .with_scheduler(config.scheduler)
+        .with_stream_batch(config.stream_batch);
+    let mut cpu = Cpu::new(cpu_config, MemSystem::new(mem_config));
+
+    let source_for = |slot: usize| cache.source_for(&config.spec, slot, config.isa);
+
+    let n = config.threads;
+    let mut ctx_slot: Vec<usize> = (0..n).collect();
+    let mut next_slot = n;
+    let mut completed = [false; PROGRAMS_TO_COMPLETE];
+    for tid in 0..n {
+        cpu.attach_source(tid, source_for(tid));
+    }
+
+    let all_done = |c: &[bool; PROGRAMS_TO_COMPLETE]| c.iter().all(|&x| x);
+    loop {
+        cpu.cycle();
+        for (tid, slot) in ctx_slot.iter_mut().enumerate() {
+            if !cpu.thread_idle(tid) {
+                continue;
+            }
+            if *slot < PROGRAMS_TO_COMPLETE {
+                completed[*slot] = true;
+            }
+            cpu.note_program_completed(tid);
+            if all_done(&completed) {
+                continue;
+            }
+            cpu.attach_source(tid, source_for(next_slot));
+            *slot = next_slot;
+            next_slot += 1;
+        }
+        if all_done(&completed) {
+            break;
+        }
+        assert!(cpu.now() < config.max_cycles, "reference deadlocked");
+    }
+    RunResult::collect(config, &cpu)
+}
+
+#[test]
+fn one_core_machine_matches_the_pre_refactor_pipeline_on_the_fig5_grid() {
+    // The figure-5 grid: ideal + conventional hierarchies, both ISAs,
+    // the paper's four thread counts — all at one core, both stepping
+    // modes. Every statistic must match the direct single-pipeline
+    // loop exactly.
+    let cache = TraceCache::from_env();
+    for &h in &[HierarchyKind::Ideal, HierarchyKind::Conventional] {
+        for &isa in &SimdIsa::ALL {
+            for &threads in &[1usize, 2, 4, 8] {
+                let config = SimConfig::new(isa, threads)
+                    .with_cores(1)
+                    .with_hierarchy(h)
+                    .with_spec(spec());
+                let want = pre_refactor_reference(&config, &cache);
+                for exec in [ExecMode::Serial, ExecMode::Parallel] {
+                    let got = Simulation::run_fronted(
+                        &config.clone().with_exec(exec),
+                        &cache,
+                        &Frontend::inline(),
+                    );
+                    assert_eq!(
+                        got, want,
+                        "1-core machine ({exec}) diverges from the pre-refactor \
+                         pipeline at {isa:?} {h:?} {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn machine_fast_forward_is_invisible() {
+    // The conventional hierarchy at a small thread count has long DRAM
+    // gaps — plenty of chip-idle cycles to jump. Disabling the
+    // machine-level fast-forward must not change a single statistic.
+    let cache = TraceCache::from_env();
+    for &cores in &[2usize, 4] {
+        let config = SimConfig::new(SimdIsa::Mmx, 1)
+            .with_cores(cores)
+            .with_exec(ExecMode::Serial)
+            .with_spec(spec());
+        let fast = machine::run_with(&config, &cache, &Frontend::inline(), true);
+        let slow = machine::run_with(&config, &cache, &Frontend::inline(), false);
+        assert_eq!(fast, slow, "machine fast-forward visible at {cores} cores");
+        // The parallel schedule with the fast-forward off must agree too.
+        let budget = JobBudget::new(4);
+        let par = machine::run_with(
+            &config.clone().with_exec(ExecMode::Parallel),
+            &cache,
+            &Frontend::sharded_with(&budget),
+            false,
+        );
+        assert_eq!(par, slow, "parallel no-ff diverges at {cores} cores");
+    }
+}
+
+#[test]
+#[should_panic(expected = "model deadlock")]
+fn parallel_max_cycles_assert_panics_instead_of_hanging() {
+    // The coordinator's model-deadlock diagnostic must unwind cleanly
+    // through the barrier schedule: the abort guard releases the
+    // phase-A workers and detaches the ring consumers, so the panic
+    // reaches the harness instead of deadlocking the scope join.
+    let cache = TraceCache::from_env();
+    let mut config = SimConfig::new(SimdIsa::Mmx, 1)
+        .with_cores(2)
+        .with_exec(ExecMode::Parallel)
+        .with_spec(spec());
+    config.max_cycles = 10;
+    let budget = JobBudget::new(2);
+    let _ = Simulation::run_fronted(&config, &cache, &Frontend::sharded_with(&budget));
+}
+
+#[test]
+fn cmp_shares_one_l2_backend() {
+    // Every core of a CMP reports the same (chip-wide) L2 and DRAM
+    // statistics, and the machine completes the same §5.1 workload.
+    let config = SimConfig::new(SimdIsa::Mom, 2)
+        .with_cores(4)
+        .with_exec(ExecMode::Serial)
+        .with_spec(spec());
+    let r = Simulation::run(&config);
+    assert_eq!(r.cores, 4);
+    assert!(r.programs_completed >= 8, "{}", r.programs_completed);
+    // A 4-core × 2-thread machine runs 8 contexts: at least the first
+    // eight list entries were spread across them at start.
+    assert!(r.committed > 0 && r.cycles > 0);
+}
