@@ -266,15 +266,17 @@ impl GateMode {
 /// The headline rows whose wall-clock regressions fail CI: the
 /// figure-5 grid (end-to-end), the raw single-thread hot path, the
 /// sharded-frontend single big run, the packed block-decode throughput
-/// and the 4-core CMP run. All are still subject to the
-/// `--noise-floor` guard — rows under the floor in both reports never
-/// gate.
+/// and the 4-core CMP run under both the environment-default machine
+/// and the forced quantum-parallel schedule. All are still subject to
+/// the `--noise-floor` guard — rows under the floor in both reports
+/// never gate.
 pub const GATED_ROWS: &[&str] = &[
     "fig5_real",
     "pipeline_1thread",
     "sharded_frontend",
     "packed_block_decode",
     "cmp_4core",
+    "cmp_4core_quantum",
 ];
 
 /// Rows present in only one of two reports: `(added, removed)` relative
@@ -667,6 +669,7 @@ mod tests {
         assert!(is_gated("fig5_real"));
         assert!(is_gated("pipeline_1thread"));
         assert!(is_gated("cmp_4core"));
+        assert!(is_gated("cmp_4core_quantum"));
         assert!(!is_gated("grid_serial"));
         assert!(!is_gated("fig5_real_warm_store"));
     }

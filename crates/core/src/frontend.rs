@@ -545,11 +545,15 @@ mod tests {
     fn env_knobs_freeze() {
         let kind = FrontendKind::from_env();
         let depth = prefetch_blocks_from_env();
-        std::env::set_var("MEDSIM_FRONTEND", "inline");
-        std::env::set_var("MEDSIM_PREFETCH_BLOCKS", "63");
-        assert_eq!(FrontendKind::from_env(), kind);
-        assert_eq!(prefetch_blocks_from_env(), depth);
-        std::env::remove_var("MEDSIM_FRONTEND");
-        std::env::remove_var("MEDSIM_PREFETCH_BLOCKS");
+        crate::testenv::with_env_vars(
+            &[
+                ("MEDSIM_FRONTEND", "inline"),
+                ("MEDSIM_PREFETCH_BLOCKS", "63"),
+            ],
+            || {
+                assert_eq!(FrontendKind::from_env(), kind);
+                assert_eq!(prefetch_blocks_from_env(), depth);
+            },
+        );
     }
 }

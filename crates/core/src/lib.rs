@@ -8,11 +8,12 @@
 //!   the first eight list entries complete) over a configured SMT
 //!   processor and memory hierarchy;
 //! * [`machine`] — the CMP machine layer: `MEDSIM_CORES` SMT cores
-//!   with private L1 levels sharing one L2/DRAM backend, stepped in
-//!   lockstep behind a deterministic per-cycle bus arbiter;
-//!   `MEDSIM_EXEC=parallel` fans the core-private phase out across
-//!   budgeted worker threads, bitwise identical to the serial
-//!   reference (`tests/cmp_equivalence.rs`);
+//!   with private L1 levels sharing one L2/DRAM backend behind a
+//!   deterministic bus arbiter; `MEDSIM_EXEC=parallel` steps cores on
+//!   budgeted worker threads in multi-cycle quanta bounded by the
+//!   hierarchy's cross-core interaction latency (`MEDSIM_QUANTUM`
+//!   overrides; `1` degenerates to the per-cycle barrier), bitwise
+//!   identical to the serial reference (`tests/cmp_equivalence.rs`);
 //! * [`metrics`] — IPC, the **EIPC** metric for cross-ISA comparison
 //!   (`EIPC = (I_MMX / I_MOM) × IPC_MOM`, §5.1), and speedups;
 //! * [`runner`] — the parallel experiment engine: [`runner::run_grid`]
@@ -59,3 +60,34 @@ pub use machine::ExecMode;
 pub use metrics::{EipcFactor, RunResult};
 pub use runner::{run_grid, CacheStats, TraceCache};
 pub use sim::{SimConfig, Simulation};
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    //! Serialized environment mutation for knob tests: `cargo test`
+    //! runs tests on concurrent threads, and `set_var`/`remove_var`
+    //! racing other tests that *read* the environment is undefined
+    //! behavior territory on POSIX. Every test that mutates the
+    //! environment must go through [`with_env_vars`].
+
+    /// Run `f` with `vars` set, restoring the previous values after —
+    /// all under one process-wide lock.
+    pub(crate) fn with_env_vars<T>(vars: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev: Vec<_> = vars
+            .iter()
+            .map(|(k, _)| (*k, std::env::var(k).ok()))
+            .collect();
+        for (k, v) in vars {
+            std::env::set_var(k, v);
+        }
+        let out = f();
+        for (k, v) in prev {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        out
+    }
+}

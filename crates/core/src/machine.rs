@@ -1,5 +1,6 @@
 //! The CMP machine layer: N SMT cores sharing an L2/DRAM backend,
-//! stepped in lockstep one cycle at a time.
+//! stepped in multi-cycle quanta bounded by the hierarchy's cross-core
+//! interaction latency (degenerating to per-cycle lockstep).
 //!
 //! The paper's machine is one SMT core. This module scales the *machine
 //! model* along the scale-out axis: every core is a full
@@ -32,9 +33,49 @@
 //! by `tests/cmp_equivalence.rs` over cores × threads × hierarchies —
 //! and a 1-core machine is stat-for-stat the pre-CMP pipeline.
 //!
+//! ## Multi-cycle quanta, and how they stay deterministic
+//!
+//! Two barriers per simulated cycle dwarf the ~µs of phase-A work, so
+//! the parallel schedule steps cores in multi-cycle **quanta** whenever
+//! it can prove the serial outcome is unchanged — classic conservative-
+//! lookahead parallel discrete-event simulation. The lookahead is the
+//! minimum cross-core interaction latency of the active memory
+//! configuration ([`MemConfig::quantum_bound`]: nothing comes back out
+//! of the shared L2/DRAM backend faster than an L2 hit), overridable
+//! with `MEDSIM_QUANTUM` / [`SimConfig::quantum`]. Determinism and
+//! bitwise equality with the serial reference rest on four mechanisms:
+//!
+//! 1. **Deferred fire-and-forget traffic.** Inside a quantum each
+//!    core's `MemSystem` runs in deferred mode: the only backend
+//!    traffic with no synchronous reply (write-buffer drain slots) is
+//!    logged cycle-stamped per core instead of touching the backend.
+//! 2. **Parking.** Before each in-quantum cycle's phase B the core
+//!    checks, conservatively, whether any memory issue or I-fetch might
+//!    need a backend *reply* this cycle ([`Cpu::step_quantum`]) —
+//!    including the indirect case where a ready store's write-allocate
+//!    would evict the L1 set a probed-resident ready load depends on;
+//!    if so it stops with phase A done and its local clock frozen. A
+//!    `debug_assert` in `MemSystem` guarantees the check never
+//!    under-approximates.
+//! 3. **The boundary merge.** At the quantum boundary one thread
+//!    replays every core's log and finishes every parked core in
+//!    **(cycle, core) order** — exactly the per-cycle bus-arbiter
+//!    sequence the serial schedule produces, so the backend observes
+//!    the identical monotonic request stream.
+//! 4. **The supply horizon.** A quantum is only taken when every
+//!    thread of every core has enough instructions pulled ahead
+//!    ([`Cpu::quantum_horizon`]) that in-quantum fetches never query a
+//!    source and no context can drain mid-quantum (the §5.1 refill
+//!    stays a boundary-only event). Otherwise the round degenerates to
+//!    the per-cycle lockstep schedule above — which is also the `K=1`
+//!    behavior, so `MEDSIM_QUANTUM=1` continuously proves the
+//!    degenerate case equals the barrier schedule.
+//!
 //! The idle fast-forward generalizes per-core: when *no* core had any
 //! activity this cycle, the whole chip jumps to the earliest per-core
 //! wakeup (idle cycles touch no shared state, so the jump is exact).
+//! Inside a quantum the same jump applies per core, clipped at the
+//! quantum edge.
 //!
 //! The §5.1 program list generalizes to context order `(core, tid)`:
 //! context `(c, t)` starts with list slot `c × threads + t`, drained
@@ -55,11 +96,11 @@ use crate::metrics::RunResult;
 use crate::runner::TraceCache;
 use crate::sim::SimConfig;
 use medsim_cpu::{Cpu, CpuConfig};
-use medsim_mem::{L2Backend, MemConfig, MemSystem};
+use medsim_mem::{DeferredOp, L2Backend, MemConfig, MemSystem, SharedL2};
 use medsim_workloads::trace::{ClampSource, InstSource};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, OnceLock};
 
 /// Number of program-list entries that must complete before a run ends
 /// (§5.1: the first eight entries of the cycling list).
@@ -120,6 +161,37 @@ pub fn cores_from_env() -> usize {
     })
 }
 
+/// The memory configuration a run actually simulates — the ablation
+/// override when present, else the paper hierarchy's defaults. The
+/// single resolution point [`build_cores`] and [`quantum_cycles`]
+/// share, so the lookahead bound always matches the simulated backend.
+fn mem_config_of(config: &SimConfig) -> MemConfig {
+    config
+        .mem_override
+        .clone()
+        .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy))
+}
+
+/// The parallel-stepping quantum in cycles: the explicit override
+/// ([`SimConfig::quantum`] / `MEDSIM_QUANTUM`) when set, else `mem`'s
+/// minimum cross-core interaction latency
+/// ([`MemConfig::quantum_bound`]) — the largest lookahead that is
+/// *derivably* safe. Always ≥ 1; `1` is the degenerate per-cycle
+/// lockstep schedule. An explicit override is taken as-is (results stay
+/// bitwise identical for any value; larger quanta just park more).
+#[must_use]
+pub fn quantum_cycles(config: &SimConfig, mem: &MemConfig) -> u64 {
+    config.quantum.unwrap_or_else(|| mem.quantum_bound()).max(1)
+}
+
+/// [`quantum_cycles`] with the memory configuration resolved exactly
+/// the way the machine builds its cores (ablation override when
+/// present, else the paper hierarchy's defaults).
+#[must_use]
+pub fn resolved_quantum(config: &SimConfig) -> u64 {
+    quantum_cycles(config, &mem_config_of(config))
+}
+
 /// The §5.1 program-list scheduler generalized to `(core, tid)`
 /// context order.
 struct ProgramList {
@@ -177,27 +249,27 @@ impl ProgramList {
 /// Build the machine's cores: private L1 levels each, one shared
 /// L2/DRAM backend when there is more than one core (a single core
 /// owns its backend exclusively — the zero-overhead pre-CMP layout).
-fn build_cores(config: &SimConfig, n_cores: usize) -> Vec<Cpu> {
-    let mem_config = config
-        .mem_override
-        .clone()
-        .unwrap_or_else(|| MemConfig::paper_with(config.hierarchy));
+/// Returns the shared backend handle alongside the cores so the
+/// quantum merge can replay deferred traffic into it directly.
+fn build_cores(config: &SimConfig, n_cores: usize) -> (Vec<Cpu>, Option<SharedL2>) {
+    let mem_config = mem_config_of(config);
     let cpu_config = CpuConfig::paper(config.threads, config.isa)
         .with_policy(config.fetch_policy)
         .with_scheduler(config.scheduler)
         .with_stream_batch(config.stream_batch);
     if n_cores == 1 {
-        return vec![Cpu::new(cpu_config, MemSystem::new(mem_config))];
+        return (vec![Cpu::new(cpu_config, MemSystem::new(mem_config))], None);
     }
     let backend = L2Backend::shared(&mem_config);
-    (0..n_cores)
+    let cores = (0..n_cores)
         .map(|_| {
             Cpu::new(
                 cpu_config.clone(),
                 MemSystem::with_shared_backend(mem_config.clone(), backend.clone()),
             )
         })
-        .collect()
+        .collect();
+    (cores, Some(backend))
 }
 
 /// Marker letting an `impl Trait` return type name a lifetime it
@@ -314,7 +386,7 @@ fn run_serial(
     // the scope — dropping a core drops its ring consumers, which
     // unblocks any producer still mid-program.
     std::thread::scope(|scope| {
-        let mut cores = build_cores(config, n_cores);
+        let (mut cores, _backend) = build_cores(config, n_cores);
         let source_for = source_factory(config, cache, frontend, scope);
         for (core, cpu) in cores.iter_mut().enumerate() {
             for tid in 0..config.threads {
@@ -390,9 +462,13 @@ impl Drop for AbortGuard<'_> {
     }
 }
 
-/// The barrier schedule: phase A on `n_workers + 1` participants (the
-/// calling thread takes the first chunk of cores), phase B serial in
-/// core order on the calling thread.
+/// The quantum schedule: each round the coordinator publishes a cycle
+/// count `k` — `0` for one per-cycle lockstep round (phase A fanned out
+/// on `n_workers + 1` participants, phase B serial in core order), or
+/// `k ≥ 2` for a quantum every participant steps its chunk of cores
+/// through independently (deferred backend traffic, parking) before the
+/// coordinator's boundary merge. The calling thread takes the first
+/// chunk of cores either way.
 fn run_parallel(
     config: &SimConfig,
     cache: &TraceCache,
@@ -401,14 +477,16 @@ fn run_parallel(
     n_cores: usize,
     n_workers: usize,
 ) -> RunResult {
-    let cells: Vec<Mutex<Cpu>> = build_cores(config, n_cores)
-        .into_iter()
-        .map(Mutex::new)
-        .collect();
+    let (cores, backend) = build_cores(config, n_cores);
+    let cells: Vec<Mutex<Cpu>> = cores.into_iter().map(Mutex::new).collect();
     let mut list = ProgramList::new(n_cores * config.threads);
     let barrier = Barrier::new(n_workers + 1);
     let done = AtomicBool::new(false);
     let aborted = AtomicBool::new(false);
+    // The coordinator publishes the next round's shape here strictly
+    // before releasing the workers at the cycle-start gate, so a plain
+    // load after that gate is ordered.
+    let round = AtomicU64::new(0);
     let participants = n_workers + 1;
     let chunk = |p: usize| chunk_range(p, n_cores, participants);
     std::thread::scope(|scope| {
@@ -417,6 +495,7 @@ fn run_parallel(
             let barrier = &barrier;
             let done = &done;
             let aborted = &aborted;
+            let round = &round;
             let range = chunk(w);
             scope.spawn(move || loop {
                 barrier.wait();
@@ -425,14 +504,27 @@ fn run_parallel(
                 if done.load(Ordering::Acquire) {
                     break;
                 }
-                for i in range.clone() {
-                    cells[i].lock().expect("core poisoned").cycle_compute();
+                match round.load(Ordering::Acquire) {
+                    0 => {
+                        for i in range.clone() {
+                            cells[i].lock().expect("core poisoned").cycle_compute();
+                        }
+                    }
+                    k => {
+                        for i in range.clone() {
+                            let mut cpu = cells[i].lock().expect("core poisoned");
+                            cpu.mem_mut().begin_defer();
+                            let bound = cpu.now() + k;
+                            cpu.step_quantum(bound, fast_forward);
+                        }
+                    }
                 }
                 barrier.wait();
                 // Abort only — `done` must NOT be checked here: the
                 // coordinator's normal-termination store happens during
-                // phase B, concurrently with this line, and an early
-                // exit would strand the coordinator at the next gate.
+                // the boundary work, concurrently with this line, and an
+                // early exit would strand the coordinator at the next
+                // gate.
                 if aborted.load(Ordering::Acquire) {
                     break;
                 }
@@ -447,52 +539,91 @@ fn run_parallel(
         };
 
         let source_for = source_factory(config, cache, frontend, scope);
-        for (core, cell) in cells.iter().enumerate() {
-            let mut cpu = cell.lock().expect("core poisoned");
-            for tid in 0..config.threads {
-                cpu.attach_source(tid, source_for(core * config.threads + tid));
-            }
-        }
-
+        let kq = quantum_cycles(config, &mem_config_of(config));
         let mut finished = false;
+        let mut next_k = {
+            let mut guards: Vec<MutexGuard<'_, Cpu>> = cells
+                .iter()
+                .map(|c| c.lock().expect("core poisoned"))
+                .collect();
+            for (core, cpu) in guards.iter_mut().enumerate() {
+                for tid in 0..config.threads {
+                    cpu.attach_source(tid, source_for(core * config.threads + tid));
+                }
+            }
+            quantum_feasible(&mut guards, kq)
+        };
+        // The machine clock at the start of each round — every core
+        // agrees on it at every round boundary (lockstep invariant).
+        let mut clock: u64 = 0;
         loop {
             if finished {
                 done.store(true, Ordering::Release);
             }
-            barrier.wait(); // release the workers into phase A
+            let k = next_k;
+            round.store(k, Ordering::Release);
+            barrier.wait(); // release the workers into the round
             if finished {
                 break;
             }
-            for i in chunk(0) {
-                cells[i].lock().expect("core poisoned").cycle_compute();
-            }
-            barrier.wait(); // phase A complete everywhere
-
-            // Phase B — the bus arbiter: fixed core order, one thread.
-            let mut any_activity = false;
-            for cell in &cells {
-                let mut cpu = cell.lock().expect("core poisoned");
-                cpu.cycle_mem_frontend();
-                any_activity |= cpu.cycle_finish();
-            }
-            if fast_forward && !any_activity {
-                let wake = cells
-                    .iter()
-                    .filter_map(|c| c.lock().expect("core poisoned").fast_forward_wake())
-                    .min();
-                if let Some(w) = wake {
-                    for cell in &cells {
-                        cell.lock().expect("core poisoned").apply_fast_forward(w);
-                    }
+            if k == 0 {
+                for i in chunk(0) {
+                    cells[i].lock().expect("core poisoned").cycle_compute();
+                }
+            } else {
+                for i in chunk(0) {
+                    let mut cpu = cells[i].lock().expect("core poisoned");
+                    cpu.mem_mut().begin_defer();
+                    let bound = cpu.now() + k;
+                    cpu.step_quantum(bound, fast_forward);
                 }
             }
-            for (core, cell) in cells.iter().enumerate() {
-                let mut cpu = cell.lock().expect("core poisoned");
-                list.refill(core, config.threads, &mut cpu, &source_for);
+            barrier.wait(); // round complete everywhere
+
+            // Boundary work under one lock acquisition per core: phase
+            // B (or the quantum merge), fast-forward, refill, and the
+            // next round's feasibility probe all share these guards.
+            let mut guards: Vec<MutexGuard<'_, Cpu>> = cells
+                .iter()
+                .map(|c| c.lock().expect("core poisoned"))
+                .collect();
+            if k == 0 {
+                // Phase B — the bus arbiter: fixed core order, one
+                // thread.
+                let mut any_activity = false;
+                for cpu in guards.iter_mut() {
+                    cpu.cycle_mem_frontend();
+                    any_activity |= cpu.cycle_finish();
+                }
+                if fast_forward && !any_activity {
+                    let wake = guards.iter().filter_map(|c| c.fast_forward_wake()).min();
+                    if let Some(w) = wake {
+                        for cpu in guards.iter_mut() {
+                            cpu.apply_fast_forward(w);
+                        }
+                    }
+                }
+            } else {
+                let backend = backend
+                    .as_ref()
+                    .expect("a multi-core machine shares its backend");
+                merge_quantum(&mut guards, backend, clock, clock + k);
+            }
+            for (core, cpu) in guards.iter_mut().enumerate() {
+                list.refill(core, config.threads, cpu, &source_for);
             }
             finished = list.all_done();
+            next_k = if finished {
+                0
+            } else {
+                quantum_feasible(&mut guards, kq)
+            };
+            let now = guards[0].now();
+            clock = now;
+            // The abort guard's drop re-locks every cell: release these
+            // guards before the assert below can unwind into it.
+            drop(guards);
             if !finished {
-                let now = cells[0].lock().expect("core poisoned").now();
                 assert!(
                     now < config.max_cycles,
                     "simulation exceeded {} cycles — model deadlock?",
@@ -533,6 +664,73 @@ fn chip_fast_forward(cores: &mut [Cpu]) {
     }
 }
 
+/// The largest quantum (≤ `kq`, the lookahead bound) every core can
+/// step without its in-quantum fetches ever querying an instruction
+/// source or a context draining mid-quantum, or `0` when the next round
+/// must run per-cycle lockstep. Quanta below 2 cycles cannot beat the
+/// barrier round they replace, so they degenerate to it.
+fn quantum_feasible(guards: &mut [MutexGuard<'_, Cpu>], kq: u64) -> u64 {
+    if kq < 2 {
+        return 0;
+    }
+    let mut h = kq;
+    for g in guards.iter_mut() {
+        h = h.min(g.quantum_horizon(kq));
+        if h < 2 {
+            return 0;
+        }
+    }
+    h
+}
+
+/// The quantum-boundary synchronization: replay every core's deferred
+/// backend traffic and finish every parked core, interleaved in
+/// **(cycle, core) order** over `start..bound` — the exact per-cycle
+/// bus-arbiter sequence the serial schedule produces, so the shared
+/// backend observes an identical monotonic request stream. Catch-up
+/// cycles step live (both phases, no fast-forward) so a formerly-parked
+/// core's requests reach the backend at their true cycle: after every
+/// other core's earlier traffic, before all later traffic.
+fn merge_quantum(guards: &mut [MutexGuard<'_, Cpu>], backend: &SharedL2, start: u64, bound: u64) {
+    let logs: Vec<Vec<DeferredOp>> = guards.iter_mut().map(|g| g.mem_mut().end_defer()).collect();
+    let mut idx = vec![0usize; logs.len()];
+    for c in start..bound {
+        for (i, g) in guards.iter_mut().enumerate() {
+            let log = &logs[i];
+            if idx[i] < log.len() && log[idx[i]].at == c {
+                // Batch this core's cycle-c ops under one backend lock —
+                // and never hold it across the live step below, which
+                // takes the same lock from inside the core's MemSystem.
+                let mut b = backend.lock().expect("L2 backend poisoned");
+                while idx[i] < log.len() && log[idx[i]].at == c {
+                    b.replay(log[idx[i]]);
+                    idx[i] += 1;
+                }
+            }
+            if g.now() == c {
+                // A core live at cycle c either parked there (phase A
+                // already done) or was caught up to it by the previous
+                // sweep slot; either way exactly one cycle advances, so
+                // the (cycle, core) interleaving stays exact.
+                if g.parked() {
+                    g.finish_parked_cycle();
+                } else {
+                    let _ = g.cycle_no_ff();
+                }
+            }
+        }
+    }
+    for (i, g) in guards.iter().enumerate() {
+        debug_assert_eq!(g.now(), bound, "core {i} short of the quantum boundary");
+        debug_assert!(!g.parked(), "core {i} still parked after the merge");
+        debug_assert_eq!(
+            idx[i],
+            logs[i].len(),
+            "core {i} has unreplayed deferred ops"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,12 +745,24 @@ mod tests {
     fn env_knobs_freeze() {
         let mode = ExecMode::from_env();
         let cores = cores_from_env();
-        std::env::set_var("MEDSIM_EXEC", "serial");
-        std::env::set_var("MEDSIM_CORES", "7");
-        assert_eq!(ExecMode::from_env(), mode, "mode resolves once");
-        assert_eq!(cores_from_env(), cores, "cores resolve once");
-        std::env::remove_var("MEDSIM_EXEC");
-        std::env::remove_var("MEDSIM_CORES");
+        crate::testenv::with_env_vars(&[("MEDSIM_EXEC", "serial"), ("MEDSIM_CORES", "7")], || {
+            assert_eq!(ExecMode::from_env(), mode, "mode resolves once");
+            assert_eq!(cores_from_env(), cores, "cores resolve once");
+        });
+    }
+
+    #[test]
+    fn quantum_cycles_derives_from_the_hierarchy_and_honors_overrides() {
+        let mut cfg = SimConfig::new(medsim_workloads::trace::SimdIsa::Mmx, 2);
+        cfg.quantum = None;
+        let mem = mem_config_of(&cfg);
+        assert_eq!(quantum_cycles(&cfg, &mem), mem.quantum_bound());
+        assert!(quantum_cycles(&cfg, &mem) >= 1);
+        let forced = cfg.clone().with_quantum(3);
+        assert_eq!(quantum_cycles(&forced, &mem), 3);
+        // `0` is clamped to the degenerate lockstep quantum.
+        let degenerate = cfg.with_quantum(0);
+        assert_eq!(quantum_cycles(&degenerate, &mem), 1);
     }
 
     #[test]

@@ -66,6 +66,27 @@ pub fn format_cmp_curves(title: &str, curves: &[CmpCurve]) -> String {
     out
 }
 
+/// One-line note describing the host stepping schedule of a CMP run:
+/// the exec mode and the resolved parallel-stepping quantum (derived
+/// from the hierarchy's cross-core interaction latency, or forced by
+/// `MEDSIM_QUANTUM` / `SimConfig::quantum`). The benches print it next
+/// to wall-clock numbers so recorded timings say which schedule
+/// produced them — the statistics themselves are bitwise identical
+/// under every schedule.
+#[must_use]
+pub fn format_schedule_note(config: &crate::sim::SimConfig) -> String {
+    let k = crate::machine::resolved_quantum(config);
+    let origin = if config.quantum.is_some() {
+        "forced"
+    } else {
+        "derived"
+    };
+    format!(
+        "schedule: exec={} cores={} quantum={k} ({origin})",
+        config.exec, config.cores
+    )
+}
+
 /// Render Table 2 (the workload description).
 #[must_use]
 pub fn format_table2() -> String {
@@ -255,6 +276,22 @@ mod tests {
         assert!(s.contains("4 core"));
         assert!(s.contains("2thr/core"));
         assert_eq!(s.lines().count(), 3, "title + header + 1 curve");
+    }
+
+    #[test]
+    fn schedule_note_reports_mode_and_quantum() {
+        use crate::machine::ExecMode;
+        use crate::sim::SimConfig;
+        let mut cfg = SimConfig::new(SimdIsa::Mmx, 2)
+            .with_cores(4)
+            .with_exec(ExecMode::Parallel);
+        cfg.quantum = None;
+        let s = format_schedule_note(&cfg);
+        assert!(s.contains("exec=parallel"), "{s}");
+        assert!(s.contains("cores=4"), "{s}");
+        assert!(s.contains("(derived)"), "{s}");
+        let forced = format_schedule_note(&cfg.with_quantum(1));
+        assert!(forced.contains("quantum=1 (forced)"), "{forced}");
     }
 
     #[test]

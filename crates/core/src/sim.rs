@@ -53,6 +53,14 @@ pub struct SimConfig {
     pub scheduler: SchedulerKind,
     /// Batched stream-request path (`false` = per-element reference).
     pub stream_batch: bool,
+    /// Parallel-stepping quantum override in cycles (`MEDSIM_QUANTUM`):
+    /// how long each core of a parallel CMP steps between shared-
+    /// backend synchronizations. `None` derives it from the active
+    /// memory configuration's minimum cross-core interaction latency
+    /// (see [`machine::quantum_cycles`]); `1` (or `0`) forces the
+    /// degenerate per-cycle lockstep schedule. Results are bitwise
+    /// identical for every value; irrelevant under [`ExecMode::Serial`].
+    pub quantum: Option<u64>,
 }
 
 impl SimConfig {
@@ -77,6 +85,7 @@ impl SimConfig {
             max_stream_len: medsim_isa::MAX_STREAM_LEN,
             scheduler: knobs.scheduler,
             stream_batch: knobs.stream_batch,
+            quantum: knobs.quantum,
         }
     }
 
@@ -107,6 +116,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_stream_batch(mut self, enabled: bool) -> Self {
         self.stream_batch = enabled;
+        self
+    }
+
+    /// Builder: force the parallel-stepping quantum to `k` cycles
+    /// (differential testing; `1` degenerates to per-cycle lockstep).
+    #[must_use]
+    pub fn with_quantum(mut self, k: u64) -> Self {
+        self.quantum = Some(k);
         self
     }
 

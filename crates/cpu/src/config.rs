@@ -258,6 +258,19 @@ pub fn stream_batch_from_env() -> bool {
     std::env::var("MEDSIM_STREAM_BATCH").map_or(true, |v| v != "0")
 }
 
+/// Quantum override from `MEDSIM_QUANTUM`: the number of cycles each
+/// core of a parallel CMP machine steps between shared-backend
+/// synchronizations. Unset (or unparsable) means *derive it* from the
+/// memory configuration's minimum cross-core interaction latency;
+/// `1` (or `0`) forces the degenerate per-cycle lockstep schedule.
+///
+/// Raw environment read — prefer [`EnvKnobs::get`], which resolves it
+/// once per process.
+#[must_use]
+pub fn quantum_from_env() -> Option<u64> {
+    std::env::var("MEDSIM_QUANTUM").ok()?.parse().ok()
+}
+
 /// The pipeline's environment knobs, resolved **once** per process.
 ///
 /// Config constructors ([`CpuConfig::paper`],
@@ -275,6 +288,9 @@ pub struct EnvKnobs {
     pub stream_batch: bool,
     /// `MEDSIM_WHEEL_SLOTS`: calendar-queue horizon.
     pub wheel_slots: usize,
+    /// `MEDSIM_QUANTUM`: parallel-stepping quantum override (`None` =
+    /// derive from the memory configuration).
+    pub quantum: Option<u64>,
 }
 
 impl EnvKnobs {
@@ -287,6 +303,7 @@ impl EnvKnobs {
             scheduler: SchedulerKind::from_env(),
             stream_batch: stream_batch_from_env(),
             wheel_slots: wheel_slots_from_env(),
+            quantum: quantum_from_env(),
         })
     }
 }
@@ -333,6 +350,30 @@ mod tests {
         let _ = SizingParams::for_threads(3);
     }
 
+    /// Serialized, restoring environment mutation for knob tests: the
+    /// process-wide lock keeps parallel test threads from interleaving
+    /// `set_var` calls, and every variable is restored to its previous
+    /// value (or removed) before returning.
+    fn with_env_vars<T>(vars: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev: Vec<_> = vars
+            .iter()
+            .map(|(k, _)| (*k, std::env::var(k).ok()))
+            .collect();
+        for (k, v) in vars {
+            std::env::set_var(k, v);
+        }
+        let out = f();
+        for (k, v) in prev {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        out
+    }
+
     #[test]
     fn env_knobs_are_frozen_at_first_use() {
         let first = EnvKnobs::get();
@@ -341,11 +382,14 @@ mod tests {
         // reads raw are mutated here (`scheduler_kind_env_parsing`
         // asserts the unfrozen `SchedulerKind::from_env` directly, so
         // touching MEDSIM_SCHED would race it).
-        std::env::set_var("MEDSIM_STREAM_BATCH", "0");
-        std::env::set_var("MEDSIM_WHEEL_SLOTS", "64");
-        let second = EnvKnobs::get();
-        std::env::remove_var("MEDSIM_STREAM_BATCH");
-        std::env::remove_var("MEDSIM_WHEEL_SLOTS");
+        let second = with_env_vars(
+            &[
+                ("MEDSIM_STREAM_BATCH", "0"),
+                ("MEDSIM_WHEEL_SLOTS", "64"),
+                ("MEDSIM_QUANTUM", "3"),
+            ],
+            EnvKnobs::get,
+        );
         assert_eq!(first, second, "knobs resolve once per process");
         let cfg = CpuConfig::paper(1, SimdIsa::Mmx);
         assert_eq!(cfg.scheduler, first.scheduler);

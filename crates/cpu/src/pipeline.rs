@@ -53,6 +53,38 @@ pub trait MemPort {
     /// Issue one stream instruction's element group for this cycle in
     /// a single call (see [`MemSystem::request_stream`]).
     fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply;
+
+    /// Whether issuing this data access might need a synchronous reply
+    /// from a shared backend (see [`MemSystem::request_would_defer`]).
+    /// A core stepping inside a multi-cycle quantum parks at the
+    /// quantum edge before issuing such an access. The default covers
+    /// ports with no shared backend.
+    fn request_would_defer(&self, _addr: u64, _kind: AccessKind) -> bool {
+        false
+    }
+
+    /// Instruction-fetch analogue of
+    /// [`MemPort::request_would_defer`].
+    fn ifetch_would_defer(&self, _addr: u64) -> bool {
+        false
+    }
+
+    /// The L1D set a store to `addr` would write-allocate into if it
+    /// misses — `Some(set)` means issuing the store evicts that set's
+    /// LRU way, which can turn a probed-resident load in the same
+    /// cycle into a backend miss (see
+    /// [`MemSystem::store_would_evict_set`]). The default covers ports
+    /// where stores cannot evict.
+    fn store_would_evict_set(&self, _addr: u64) -> Option<u64> {
+        None
+    }
+
+    /// The L1D set serving `addr` (pure geometry) — pairs with
+    /// [`MemPort::store_would_evict_set`] in the quantum park
+    /// predicate's set-collision check.
+    fn l1d_set_of(&self, _addr: u64) -> u64 {
+        0
+    }
 }
 
 impl MemPort for MemSystem {
@@ -69,6 +101,26 @@ impl MemPort for MemSystem {
     #[inline]
     fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
         MemSystem::request_stream(self, now, req)
+    }
+
+    #[inline]
+    fn request_would_defer(&self, addr: u64, kind: AccessKind) -> bool {
+        MemSystem::request_would_defer(self, addr, kind)
+    }
+
+    #[inline]
+    fn ifetch_would_defer(&self, addr: u64) -> bool {
+        MemSystem::ifetch_would_defer(self, addr)
+    }
+
+    #[inline]
+    fn store_would_evict_set(&self, addr: u64) -> Option<u64> {
+        MemSystem::store_would_evict_set(self, addr)
+    }
+
+    #[inline]
+    fn l1d_set_of(&self, addr: u64) -> u64 {
+        MemSystem::l1d_set_of(self, addr)
     }
 }
 
@@ -101,6 +153,11 @@ struct ThreadCtx {
     block: Vec<Inst>,
     /// Read position inside `block`.
     block_pos: usize,
+    /// Blocks pulled ahead of `block` by the quantum-horizon probe
+    /// ([`Cpu::quantum_horizon`]), consumed before asking the source
+    /// again — the instruction sequence is exactly the one a serial
+    /// schedule pulls, just buffered earlier.
+    pending: VecDeque<Vec<Inst>>,
     lookahead: Option<Inst>,
     decode_buf: VecDeque<Inst>,
     fetch_blocked_until: Cycle,
@@ -119,6 +176,7 @@ impl ThreadCtx {
             source: None,
             block: Vec::new(),
             block_pos: 0,
+            pending: VecDeque::new(),
             lookahead: None,
             decode_buf: VecDeque::new(),
             fetch_blocked_until: 0,
@@ -133,13 +191,19 @@ impl ThreadCtx {
     }
 
     /// Next instruction from the current block, refilling from the
-    /// source at block boundaries. `None` means the program ended.
+    /// pulled-ahead blocks first and the source at block boundaries.
+    /// `None` means the program ended.
     #[inline]
     fn next_from_block(&mut self) -> Option<Inst> {
         loop {
             if let Some(&inst) = self.block.get(self.block_pos) {
                 self.block_pos += 1;
                 return Some(inst);
+            }
+            if let Some(b) = self.pending.pop_front() {
+                self.block = b;
+                self.block_pos = 0;
+                continue;
             }
             let src = self.source.as_mut()?;
             self.block_pos = 0;
@@ -148,6 +212,41 @@ impl ThreadCtx {
                 return None;
             }
         }
+    }
+
+    /// Ensure at least `need` upcoming instructions are buffered
+    /// core-locally (lookahead + rest of the current block +
+    /// pulled-ahead blocks), pulling whole blocks from the source as
+    /// required. Returns the buffered count, which stays below `need`
+    /// only when the program is near its end. Never flips `exhausted`
+    /// — that transition belongs to fetch.
+    fn buffered_ahead(&mut self, need: usize) -> usize {
+        let mut have = usize::from(self.lookahead.is_some())
+            + (self.block.len() - self.block_pos)
+            + self.pending.iter().map(Vec::len).sum::<usize>();
+        while have < need {
+            let Some(src) = self.source.as_mut() else {
+                break;
+            };
+            let mut b = Vec::new();
+            if !src.next_block(&mut b) {
+                break;
+            }
+            have += b.len();
+            self.pending.push_back(b);
+        }
+        have
+    }
+
+    /// The next `n` buffered instructions, without consuming them —
+    /// exactly the prefix [`ThreadCtx::next_from_block`] would return.
+    fn peek_buffered(&self, n: usize) -> impl Iterator<Item = Inst> + '_ {
+        self.lookahead
+            .iter()
+            .copied()
+            .chain(self.block[self.block_pos..].iter().copied())
+            .chain(self.pending.iter().flat_map(|b| b.iter().copied()))
+            .take(n)
     }
 }
 
@@ -195,6 +294,10 @@ pub struct Cpu<M: MemPort = MemSystem> {
     /// Event-driven idle skip enabled (identical results either way;
     /// see [`Cpu::set_fast_forward`]).
     fast_forward: bool,
+    /// The core stopped mid-cycle at a quantum edge: phase A of the
+    /// current cycle is done, phase B needs the shared backend (see
+    /// [`Cpu::step_quantum`]).
+    parked: bool,
     /// Scratch for fetch-policy inputs (reused every cycle).
     fetch_infos: Vec<ThreadFetchInfo>,
     /// Scratch for the fetch thread selection (reused every cycle).
@@ -229,6 +332,7 @@ impl<M: MemPort> Cpu<M> {
             ready_event: false,
             issue_blocked_ready: false,
             fast_forward: true,
+            parked: false,
             fetch_infos: Vec::with_capacity(threads),
             fetch_sel: Vec::with_capacity(threads),
             phase: PhaseScratch::default(),
@@ -265,6 +369,13 @@ impl<M: MemPort> Cpu<M> {
         &self.mem
     }
 
+    /// Mutable access to the memory port — the machine layer's quantum
+    /// scheduler uses it to enter and leave deferred mode around
+    /// [`Cpu::step_quantum`].
+    pub fn mem_mut(&mut self) -> &mut M {
+        &mut self.mem
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &CpuConfig {
@@ -283,6 +394,7 @@ impl<M: MemPort> Cpu<M> {
         t.source = Some(source);
         t.block.clear();
         t.block_pos = 0;
+        t.pending.clear();
         t.exhausted = false;
         t.lookahead = None;
         t.last_fetch_line = u64::MAX;
@@ -411,6 +523,176 @@ impl<M: MemPort> Cpu<M> {
             || int_i + mem_i + fp_i + simd_i != 0
             || self.phase.fetch_active
             || self.issue_blocked_ready
+    }
+
+    /// How many cycles this core can provably step without its
+    /// instruction sources or a machine-level refill: per live thread,
+    /// enough instructions are pulled ahead ([`ThreadCtx::pending`])
+    /// that at least `fetch_width` stay buffered at every cycle of the
+    /// returned horizon — so in-quantum fetches never query a (possibly
+    /// blocking) source and thread exhaustion cannot flip inside a
+    /// quantum. `0` (take lockstep cycles instead) when a thread is
+    /// already exhausted — it could drain and need the machine's
+    /// program-list refill at any cycle — or near its end. Capped at
+    /// `want`.
+    pub fn quantum_horizon(&mut self, want: u64) -> u64 {
+        let fw = self.config.fetch_width.max(1);
+        let need = (want as usize + 1) * fw;
+        let mut h = want;
+        for t in &mut self.threads {
+            if t.exhausted {
+                return 0;
+            }
+            let buffered = t.buffered_ahead(need);
+            // `buffered / fw` full fetch groups cover that many cycles;
+            // keep one group in reserve so the horizon's last cycle
+            // still fetches without touching the source.
+            h = h.min(((buffered / fw) as u64).saturating_sub(1));
+            if h == 0 {
+                return 0;
+            }
+        }
+        h
+    }
+
+    /// Whether running phase B ([`Cpu::cycle_mem_frontend`]) this cycle
+    /// might need a synchronous reply from the shared backend.
+    /// Conservative: it checks every ready memory-queue entry (not just
+    /// the ones the issue scan would pick) and every runnable thread's
+    /// upcoming fetch lines (not just the threads the fetch policy
+    /// would choose) — it may park a core whose cycle would have stayed
+    /// private, never the reverse (the deferred-mode assertion in
+    /// `MemSystem::with_backend` enforces that).
+    fn phase_b_would_park(&self) -> bool {
+        // Memory issue: any ready element whose access could consult
+        // the backend. Directly — a load/prefetch that would miss L1 —
+        // or indirectly: a store's write-allocate evicts its set's LRU
+        // way, so a store miss issued earlier in this same cycle can
+        // turn a probed-resident load into a real miss before the load
+        // issues. Collect the sets ready store misses would allocate
+        // into; a collision with any ready load's set parks the core
+        // (order-agnostic, so conservative — the load may well issue
+        // first or the victim may be a different way).
+        let qi = Self::queue_idx(QueueKind::Mem);
+        let mut evict_sets: Vec<u64> = Vec::new();
+        for &id in &self.queues[qi] {
+            let d = self.slab[id as usize]
+                .as_ref()
+                .expect("queued instruction exists");
+            if d.state != InstState::InQueue || !self.sources_ready(d) {
+                continue;
+            }
+            let Some(mem) = d.inst.mem else {
+                continue;
+            };
+            let kind = access_kind(&d.inst);
+            for e in d.mem_elems_issued..mem.count {
+                let addr = mem.elem_addr(e);
+                if self.mem.request_would_defer(addr, kind) {
+                    return true;
+                }
+                if kind.is_store() {
+                    if let Some(set) = self.mem.store_would_evict_set(addr) {
+                        evict_sets.push(set);
+                    }
+                }
+            }
+        }
+        if !evict_sets.is_empty() {
+            // Second pass only when a store miss is in play (rare):
+            // check every ready load element's set for a collision.
+            for &id in &self.queues[qi] {
+                let d = self.slab[id as usize]
+                    .as_ref()
+                    .expect("queued instruction exists");
+                if d.state != InstState::InQueue || !self.sources_ready(d) {
+                    continue;
+                }
+                let Some(mem) = d.inst.mem else {
+                    continue;
+                };
+                let kind = access_kind(&d.inst);
+                if kind.is_store() {
+                    continue;
+                }
+                for e in d.mem_elems_issued..mem.count {
+                    if evict_sets.contains(&self.mem.l1d_set_of(mem.elem_addr(e))) {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Fetch: any runnable thread whose fetch group would cross into
+        // an I-line that misses. Dispatch (which runs before fetch) can
+        // free decode-buffer space, so buffer occupancy must NOT gate
+        // runnability here — only the conditions phase B cannot change.
+        for t in &self.threads {
+            if t.exhausted || t.blocked_on_branch.is_some() || t.fetch_blocked_until > self.now {
+                continue;
+            }
+            let mut line = t.last_fetch_line;
+            for inst in t.peek_buffered(self.config.fetch_width) {
+                let l = inst.pc & !(ICACHE_LINE - 1);
+                if l != line {
+                    if self.mem.ifetch_would_defer(l) {
+                        return true;
+                    }
+                    line = l;
+                }
+                if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                    break;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the core stopped mid-cycle at a quantum edge (phase A of
+    /// the cycle at [`Cpu::now`] done, phase B pending the backend —
+    /// see [`Cpu::step_quantum`]).
+    #[must_use]
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Step independently up to `bound` with zero shared-backend
+    /// synchronization — the inside of one scheduling quantum. The
+    /// `MemPort` must already be in deferred mode: fire-and-forget
+    /// store-drain traffic is logged (cycle-stamped) for the boundary
+    /// replay instead of hitting the backend. Before each cycle's
+    /// phase B the core checks [`Cpu::phase_b_would_park`]; a cycle
+    /// that might need a backend reply leaves the core **parked** with
+    /// phase A done and its clock frozen — the machine layer's
+    /// boundary sweep finishes it ([`Cpu::finish_parked_cycle`]) once
+    /// all logs up to that cycle are drained. `fast_forward` mirrors
+    /// the machine-level idle skip (clipped at `bound`); pass the
+    /// machine's setting.
+    pub fn step_quantum(&mut self, bound: Cycle, fast_forward: bool) {
+        debug_assert!(!self.parked, "finish the parked cycle first");
+        while self.now < bound {
+            self.cycle_compute();
+            if self.phase_b_would_park() {
+                self.parked = true;
+                return;
+            }
+            self.cycle_mem_frontend();
+            let active = self.cycle_finish();
+            if fast_forward && !active {
+                if let Some(w) = self.fast_forward_wake() {
+                    self.apply_fast_forward(w.min(bound));
+                }
+            }
+        }
+    }
+
+    /// Finish the cycle a quantum park left half-done: phase B and the
+    /// cycle close, with the backend live again (the machine layer has
+    /// replayed every core's deferred traffic up to this cycle).
+    pub fn finish_parked_cycle(&mut self) {
+        debug_assert!(self.parked, "no parked cycle to finish");
+        self.parked = false;
+        self.cycle_mem_frontend();
+        let _ = self.cycle_finish();
     }
 
     /// Jump from the current (already advanced) cycle to the next cycle

@@ -124,6 +124,13 @@ impl Cache {
         (addr / self.config.line_bytes) % self.sets
     }
 
+    /// Set index serving `addr` (pure geometry — no state touched).
+    /// Two addresses can only evict each other when their sets match.
+    #[must_use]
+    pub fn set_index(&self, addr: u64) -> u64 {
+        self.set_of(addr)
+    }
+
     fn tag_of(&self, addr: u64) -> u64 {
         addr / self.config.line_bytes / self.sets
     }

@@ -12,6 +12,13 @@
 //!    verbatim, driving one `Cpu` directly.
 //! 3. The machine-level idle fast-forward (the whole chip jumps to the
 //!    earliest per-core wakeup) must be stats-invisible.
+//! 4. The quantum schedule (`MEDSIM_QUANTUM` / `SimConfig::quantum`:
+//!    cores step multiple cycles between shared-backend
+//!    synchronizations) must be bitwise identical to serial for forced
+//!    quanta of 1 (the degenerate lockstep), a mid value, and a value
+//!    far past the derived lookahead bound — and the *derived* quantum
+//!    must never exceed the hierarchy's minimum cross-core interaction
+//!    latency for any memory configuration.
 
 use medsim::core::frontend::{Frontend, JobBudget};
 use medsim::core::machine::{self, ExecMode, PROGRAMS_TO_COMPLETE};
@@ -106,6 +113,86 @@ fn parallel_stepping_is_bitwise_identical_to_serial() {
             "dry-budget parallel diverges at cores={} threads={} {:?}",
             config.cores, config.threads, config.hierarchy
         );
+    }
+}
+
+#[test]
+fn forced_quanta_are_bitwise_identical_to_serial() {
+    // K = 1 degenerates to the per-cycle barrier schedule; K = 3 sits
+    // below every hierarchy's derived bound, exercising mixed
+    // quantum/lockstep rounds. Both must be invisible in every
+    // statistic across the whole structural grid.
+    let cache = TraceCache::from_env();
+    for config in cmp_grid() {
+        let serial = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Serial),
+            &cache,
+            &Frontend::inline(),
+        );
+        for k in [1u64, 3] {
+            let budget = JobBudget::new(16);
+            let got = Simulation::run_fronted(
+                &config.clone().with_exec(ExecMode::Parallel).with_quantum(k),
+                &cache,
+                &Frontend::sharded_with(&budget),
+            );
+            assert_eq!(
+                got, serial,
+                "quantum {k} diverges at cores={} threads={} {:?} {:?}",
+                config.cores, config.threads, config.hierarchy, config.isa
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_quantum_is_bitwise_identical_to_serial() {
+    // Exactness never rests on K staying within the derived lookahead:
+    // every backend access needing a reply parks its core, so a quantum
+    // far past the bound must still merge to the serial statistics —
+    // it just parks more.
+    let cache = TraceCache::from_env();
+    for &threads in &[1usize, 2] {
+        let config = SimConfig::new(SimdIsa::Mom, threads)
+            .with_cores(4)
+            .with_hierarchy(HierarchyKind::Conventional)
+            .with_spec(spec());
+        let serial = Simulation::run_fronted(
+            &config.clone().with_exec(ExecMode::Serial),
+            &cache,
+            &Frontend::inline(),
+        );
+        let budget = JobBudget::new(16);
+        let got = Simulation::run_fronted(
+            &config
+                .clone()
+                .with_exec(ExecMode::Parallel)
+                .with_quantum(64),
+            &cache,
+            &Frontend::sharded_with(&budget),
+        );
+        assert_eq!(got, serial, "quantum 64 diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn derived_quantum_never_exceeds_the_cross_core_interaction_latency() {
+    // Property sweep: for every hierarchy and a range of L2 latencies,
+    // the quantum the machine derives (no override) is bounded by the
+    // minimum cross-core interaction latency — an L2 hit — and is
+    // always at least the 1-cycle degenerate schedule.
+    for &h in HierarchyKind::ALL.iter() {
+        for l2_latency in 1..=40u64 {
+            let mut mem = MemConfig::paper_with(h);
+            mem.l2_latency = l2_latency;
+            let mut config = SimConfig::new(SimdIsa::Mmx, 1).with_mem(mem.clone());
+            config.quantum = None;
+            let k = machine::quantum_cycles(&config, &mem);
+            assert!(
+                (1..=l2_latency.max(1)).contains(&k),
+                "{h:?} l2_latency={l2_latency}: derived quantum {k} breaks the bound"
+            );
+        }
     }
 }
 
@@ -245,4 +332,38 @@ fn cmp_shares_one_l2_backend() {
     // A 4-core × 2-thread machine runs 8 contexts: at least the first
     // eight list entries were spread across them at start.
     assert!(r.committed > 0 && r.cycles > 0);
+}
+
+/// Regression: a store miss write-allocates into L1 — evicting the
+/// set's LRU way — so a store issued earlier in the same cycle can
+/// turn a probed-resident load into a real backend miss *after* the
+/// park predicate cleared the cycle. The predicate must park on a
+/// store-miss/load set collision. The 1e-5 grid above never hits the
+/// collision; this config (the bench's CMP run at a 10x scale) does
+/// within the first few thousand cycles, and under `debug_assertions`
+/// the deferred-mode check in `MemSystem::with_backend` turns any
+/// future regression into a panic rather than a silent divergence.
+#[test]
+fn store_allocate_eviction_cannot_slip_past_the_park_predicate() {
+    let spec = WorkloadSpec {
+        scale: 1.0e-4,
+        seed: 0x5eed_2001,
+    };
+    let config = SimConfig::new(SimdIsa::Mom, 2)
+        .with_cores(4)
+        .with_hierarchy(HierarchyKind::Conventional)
+        .with_spec(spec);
+    let cache = TraceCache::from_env();
+    let serial = Simulation::run_fronted(
+        &config.clone().with_exec(ExecMode::Serial),
+        &cache,
+        &Frontend::inline(),
+    );
+    let roomy = JobBudget::new(8);
+    let got = Simulation::run_fronted(
+        &config.clone().with_exec(ExecMode::Parallel),
+        &cache,
+        &Frontend::sharded_with(&roomy),
+    );
+    assert_eq!(got, serial, "quantum schedule diverged from serial");
 }
