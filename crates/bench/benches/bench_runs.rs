@@ -11,6 +11,10 @@
 //!   [`Simulation::run`] calls, printing the observed speedup;
 //! * `pipeline_1thread` — a single small run, whose
 //!   `sim_cycles_per_sec` is the raw hot-path throughput metric;
+//! * `obs_off_overhead` — a mid-size SMT+MOM run with every
+//!   observability knob off: the wall-clock price of the dormant
+//!   `medsim_obs::tracing()` checks threaded through the hot paths,
+//!   which must stay indistinguishable from zero (gated);
 //! * `packed_decode` — full decode of one packed program trace through
 //!   the per-instruction pull interface; its `sim_cycles` column holds
 //!   *instructions decoded*, so `sim_cycles_per_sec` reads as decode
@@ -119,6 +123,26 @@ fn main() {
             .last()
             .expect("just recorded")
             .sim_cycles_per_sec()
+    );
+
+    // Observability off-path: a mid-size run with every obs knob off,
+    // so the row prices the dormant `tracing()` checks on the fetch /
+    // issue / commit / miss paths. The assert keeps the row honest —
+    // if a knob leaks on in the bench environment, fail loudly rather
+    // than silently measuring the on-path.
+    assert!(
+        !medsim_obs::tracing() && medsim_obs::sample_cycles() == 0,
+        "obs_off_overhead must run with observability off"
+    );
+    let obs_cfg = SimConfig::new(SimdIsa::Mom, 4).with_spec(WorkloadSpec {
+        scale: 5e-5,
+        seed: 3,
+    });
+    let (obs_run, obs_s) = timed_secs(|| Simulation::run(&obs_cfg));
+    recorder.record("obs_off_overhead", obs_s, obs_run.cycles);
+    println!(
+        "obs_off_overhead: {:.0} simulated cycles/sec with tracing/sampling off",
+        obs_run.cycles as f64 / obs_s.max(1e-9),
     );
 
     // Packed-trace density and decode throughput.

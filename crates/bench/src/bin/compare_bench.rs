@@ -20,9 +20,14 @@
 //!   trend, and if it was gated, it silently left the gate);
 //! * reports measured at different `MEDSIM_SCALE`s are declared
 //!   incomparable (the baseline resets) instead of producing bogus
-//!   regressions.
+//!   regressions;
+//! * the per-row delta table is additionally emitted as one
+//!   `::notice::` workflow command so the trend lands in the GitHub
+//!   Actions run summary, not only in the raw log.
 
-use medsim_bench::{evaluate_gate, parse_compare_args, parse_report, row_changes, GateMode};
+use medsim_bench::{
+    evaluate_gate, notice_delta_table, parse_compare_args, parse_report, row_changes, GateMode,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +85,11 @@ fn main() {
     }
     for name in &removed {
         println!("::warning title=bench row removed::{name}: present in the baseline but missing from the current report");
+    }
+    // The same per-row table as a single ::notice so the deltas surface
+    // in the GitHub Actions run summary, not only in the raw log.
+    if let Some(notice) = notice_delta_table(&old.runs, &new.runs) {
+        println!("{notice}");
     }
 
     let decision = evaluate_gate(&old, &new, args.threshold, args.noise_floor_s);

@@ -265,11 +265,13 @@ impl GateMode {
 
 /// The headline rows whose wall-clock regressions fail CI: the
 /// figure-5 grid (end-to-end), the raw single-thread hot path, the
-/// sharded-frontend single big run, the packed block-decode throughput
-/// and the 4-core CMP run under both the environment-default machine
-/// and the forced quantum-parallel schedule. All are still subject to
-/// the `--noise-floor` guard — rows under the floor in both reports
-/// never gate.
+/// sharded-frontend single big run, the packed block-decode throughput,
+/// the 4-core CMP run under both the environment-default machine
+/// and the forced quantum-parallel schedule, and the observability
+/// off-path (a run with every `MEDSIM_TRACE_EVENTS`-family knob off —
+/// the price of the dormant `obs::tracing()` checks on the hot path,
+/// which must stay zero). All are still subject to the `--noise-floor`
+/// guard — rows under the floor in both reports never gate.
 pub const GATED_ROWS: &[&str] = &[
     "fig5_real",
     "pipeline_1thread",
@@ -277,6 +279,7 @@ pub const GATED_ROWS: &[&str] = &[
     "packed_block_decode",
     "cmp_4core",
     "cmp_4core_quantum",
+    "obs_off_overhead",
 ];
 
 /// Rows present in only one of two reports: `(added, removed)` relative
@@ -350,6 +353,37 @@ pub fn evaluate_gate(
         ungated,
         comparable: true,
     }
+}
+
+/// The per-row delta table as one GitHub Actions `::notice::` workflow
+/// command, so the PR-over-PR trend surfaces in the run summary instead
+/// of only in the log. Multi-line content uses the `%0A` escape the
+/// workflow-command grammar requires. Rows present in only one report
+/// are skipped (they are reported separately as added/removed); `None`
+/// when no row is comparable.
+#[must_use]
+pub fn notice_delta_table(old: &[BenchEntry], new: &[BenchEntry]) -> Option<String> {
+    let mut lines = Vec::new();
+    for n in new {
+        let Some(o) = old.iter().find(|o| o.name == n.name) else {
+            continue;
+        };
+        if o.wall_s <= 0.0 {
+            continue;
+        }
+        let delta = (n.wall_s / o.wall_s - 1.0) * 100.0;
+        lines.push(format!(
+            "{}: {:.3}s -> {:.3}s ({:+.1}%)",
+            n.name, o.wall_s, n.wall_s, delta
+        ));
+    }
+    if lines.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "::notice title=bench deltas::{}",
+        lines.join("%0A")
+    ))
 }
 
 /// Parsed `compare_bench` command line.
@@ -670,8 +704,29 @@ mod tests {
         assert!(is_gated("pipeline_1thread"));
         assert!(is_gated("cmp_4core"));
         assert!(is_gated("cmp_4core_quantum"));
+        assert!(is_gated("obs_off_overhead"));
         assert!(!is_gated("grid_serial"));
         assert!(!is_gated("fig5_real_warm_store"));
+    }
+
+    #[test]
+    fn notice_delta_table_renders_one_workflow_command() {
+        let old = vec![entry("fig5_real", 1.0), entry("vanished", 1.0)];
+        let new = vec![entry("fig5_real", 1.1), entry("added", 2.0)];
+        let notice = notice_delta_table(&old, &new).expect("one comparable row");
+        assert!(notice.starts_with("::notice title=bench deltas::"));
+        assert!(notice.contains("fig5_real: 1.000s -> 1.100s (+10.0%)"));
+        assert!(!notice.contains("vanished"), "removed rows are skipped");
+        assert!(!notice.contains("added:"), "new rows are skipped");
+        assert!(!notice.contains('\n'), "workflow commands are one line");
+        // Multi-row tables join with the %0A escape.
+        let old2 = vec![entry("a", 1.0), entry("b", 2.0)];
+        let new2 = vec![entry("a", 1.0), entry("b", 1.0)];
+        let n2 = notice_delta_table(&old2, &new2).expect("two rows");
+        assert_eq!(n2.matches("%0A").count(), 1);
+        assert!(n2.contains("b: 2.000s -> 1.000s (-50.0%)"));
+        // Nothing comparable: no command at all.
+        assert!(notice_delta_table(&old, &[entry("other", 1.0)]).is_none());
     }
 
     #[test]

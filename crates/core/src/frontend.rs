@@ -32,7 +32,7 @@
 use medsim_isa::Inst;
 use medsim_workloads::trace::InstSource;
 use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvError, Sender, TryRecvError};
 use std::sync::OnceLock;
 use std::thread::Scope;
 
@@ -298,6 +298,16 @@ impl<'b> Frontend<'b> {
         }
         let Some(permit) = self.budget.try_acquire() else {
             INLINE_SOURCES.fetch_add(1, Ordering::Relaxed);
+            if medsim_obs::tracing() {
+                // The budget was dry: this shard degrades to inline
+                // production on the consumer thread.
+                medsim_obs::emit(
+                    medsim_obs::approx_now(),
+                    medsim_obs::LANE_FRONTEND,
+                    medsim_obs::EventKind::BudgetWait,
+                    0,
+                );
+            }
             return make();
         };
         SHARDED_SOURCES.fetch_add(1, Ordering::Relaxed);
@@ -338,7 +348,25 @@ struct RingSource {
 
 impl InstSource for RingSource {
     fn next_block(&mut self, out: &mut Vec<Inst>) -> bool {
-        match self.blocks.recv() {
+        // Probe first so an under-run (consumer about to block on the
+        // producer) is observable; the blocking receive behaves exactly
+        // like the plain `recv` it replaces.
+        let received = match self.blocks.try_recv() {
+            Ok(block) => Ok(block),
+            Err(TryRecvError::Empty) => {
+                if medsim_obs::tracing() {
+                    medsim_obs::emit(
+                        medsim_obs::approx_now(),
+                        medsim_obs::LANE_FRONTEND,
+                        medsim_obs::EventKind::RingStall,
+                        0,
+                    );
+                }
+                self.blocks.recv()
+            }
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+        };
+        match received {
             Ok(mut block) => {
                 // `out` holds the spent previous block; swap it to the
                 // producer for reuse and hand its replacement back.

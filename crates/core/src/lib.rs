@@ -31,7 +31,11 @@
 //!   evaluation (Tables 1–4, Figures 4–6, 8, 9), all routed through the
 //!   grid runner;
 //! * [`report`] — plain-text rendering of the experiment results in the
-//!   paper's table shapes.
+//!   paper's table shapes;
+//! * [`runreport`] — the machine-readable per-run JSON report
+//!   (`MEDSIM_REPORT_JSON`): interval time-series sampling
+//!   (`MEDSIM_SAMPLE_CYCLES`) and roofline analysis against the DRDRAM
+//!   bandwidth roof.
 //!
 //! ## Example
 //!
@@ -53,12 +57,14 @@ pub mod machine;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod runreport;
 pub mod sim;
 
 pub use frontend::{Frontend, FrontendKind, JobBudget};
 pub use machine::ExecMode;
-pub use metrics::{EipcFactor, RunResult};
+pub use metrics::{EipcFactor, RunResult, SchedCounters};
 pub use runner::{run_grid, CacheStats, TraceCache};
+pub use runreport::{Roofline, SampleRow, Sampler, REPORT_SCHEMA};
 pub use sim::{SimConfig, Simulation};
 
 #[cfg(test)]

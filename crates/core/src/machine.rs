@@ -92,11 +92,13 @@
 //!   budget has permits (falling back to serial when it is dry).
 
 use crate::frontend::Frontend;
-use crate::metrics::RunResult;
+use crate::metrics::{RunResult, SchedCounters};
 use crate::runner::TraceCache;
+use crate::runreport::{Roofline, Sampler};
 use crate::sim::SimConfig;
 use medsim_cpu::{Cpu, CpuConfig};
 use medsim_mem::{DeferredOp, L2Backend, MemConfig, MemSystem, SharedL2};
+use medsim_obs::{EventKind, LANE_MACHINE};
 use medsim_workloads::trace::{ClampSource, InstSource};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -257,19 +259,68 @@ fn build_cores(config: &SimConfig, n_cores: usize) -> (Vec<Cpu>, Option<SharedL2
         .with_policy(config.fetch_policy)
         .with_scheduler(config.scheduler)
         .with_stream_batch(config.stream_batch);
+    let mut cores: Vec<Cpu>;
+    let backend;
     if n_cores == 1 {
-        return (vec![Cpu::new(cpu_config, MemSystem::new(mem_config))], None);
+        cores = vec![Cpu::new(cpu_config, MemSystem::new(mem_config))];
+        backend = None;
+    } else {
+        let shared = L2Backend::shared(&mem_config);
+        cores = (0..n_cores)
+            .map(|_| {
+                Cpu::new(
+                    cpu_config.clone(),
+                    MemSystem::with_shared_backend(mem_config.clone(), shared.clone()),
+                )
+            })
+            .collect();
+        backend = Some(shared);
     }
-    let backend = L2Backend::shared(&mem_config);
-    let cores = (0..n_cores)
-        .map(|_| {
-            Cpu::new(
-                cpu_config.clone(),
-                MemSystem::with_shared_backend(mem_config.clone(), backend.clone()),
-            )
-        })
-        .collect();
-    (cores, Some(backend))
+    // Cosmetic trace-lane tags — never read by the timing model.
+    #[allow(clippy::cast_possible_truncation)]
+    for (i, cpu) in cores.iter_mut().enumerate() {
+        cpu.set_obs_lane(i as u32);
+    }
+    (cores, backend)
+}
+
+/// End-of-run observability outputs: the per-run JSON report
+/// (`MEDSIM_REPORT_JSON`) and the Chrome trace (`MEDSIM_TRACE_EVENTS`
+/// naming a path). The event sink is process-global with one-run scope:
+/// concurrent grid runs interleave their events and the last finisher
+/// wins the file — point the knobs at single-run invocations (the
+/// intended use), not at grid sweeps.
+fn write_obs_outputs(
+    config: &SimConfig,
+    result: &RunResult,
+    cores: &[&Cpu],
+    sampler: Option<&Sampler>,
+) {
+    if medsim_obs::tracing() {
+        medsim_obs::emit(
+            result.cycles,
+            LANE_MACHINE,
+            EventKind::RunEnd,
+            result.committed,
+        );
+        if let Some(path) = medsim_obs::trace_path() {
+            let (events, dropped) = medsim_obs::drain_events();
+            let json = medsim_obs::chrome_trace_json(&events, dropped);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("medsim: failed to write trace {path}: {e}");
+            }
+        }
+        // No path (programmatic buffer-only mode): leave the events in
+        // the sink for the caller to drain.
+    }
+    if let Some(path) = medsim_obs::report_path() {
+        let peak = mem_config_of(config).dram.bytes_per_cycle as f64;
+        let roofline = Roofline::collect(cores, peak);
+        let json = crate::runreport::report_json(config, result, roofline, sampler);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("medsim: failed to write run report {path}: {e}");
+        }
+    }
 }
 
 /// Marker letting an `impl Trait` return type name a lifetime it
@@ -381,6 +432,10 @@ fn run_serial(
     n_cores: usize,
 ) -> RunResult {
     let mut list = ProgramList::new(n_cores * config.threads);
+    let mut sampler = Sampler::from_knob(n_cores);
+    if medsim_obs::tracing() {
+        medsim_obs::emit(0, LANE_MACHINE, EventKind::RunBegin, n_cores as u64);
+    }
     // All shard producers are scoped to this run: the scope joins them
     // before returning, and the cores are built (and dropped) *inside*
     // the scope — dropping a core drops its ring consumers, which
@@ -401,6 +456,10 @@ fn run_serial(
             if fast_forward && !any_activity {
                 chip_fast_forward(&mut cores);
             }
+            if let Some(s) = sampler.as_mut() {
+                let now = cores[0].now();
+                s.maybe_sample(now, cores.iter_mut());
+            }
             for (core, cpu) in cores.iter_mut().enumerate() {
                 list.refill(core, config.threads, cpu, &source_for);
             }
@@ -414,7 +473,9 @@ fn run_serial(
             );
         }
         let refs: Vec<&Cpu> = cores.iter().collect();
-        RunResult::collect_cores(config, &refs)
+        let result = RunResult::collect_cores(config, &refs);
+        write_obs_outputs(config, &result, &refs, sampler.as_ref());
+        result
     })
 }
 
@@ -480,6 +541,11 @@ fn run_parallel(
     let (cores, backend) = build_cores(config, n_cores);
     let cells: Vec<Mutex<Cpu>> = cores.into_iter().map(Mutex::new).collect();
     let mut list = ProgramList::new(n_cores * config.threads);
+    let mut sampler = Sampler::from_knob(n_cores);
+    let mut sched = SchedCounters::default();
+    if medsim_obs::tracing() {
+        medsim_obs::emit(0, LANE_MACHINE, EventKind::RunBegin, n_cores as u64);
+    }
     let barrier = Barrier::new(n_workers + 1);
     let done = AtomicBool::new(false);
     let aborted = AtomicBool::new(false);
@@ -562,6 +628,9 @@ fn run_parallel(
             }
             let k = next_k;
             round.store(k, Ordering::Release);
+            if k > 0 && medsim_obs::tracing() {
+                medsim_obs::emit(clock, LANE_MACHINE, EventKind::QuantumBegin, k);
+            }
             barrier.wait(); // release the workers into the round
             if finished {
                 break;
@@ -590,6 +659,7 @@ fn run_parallel(
             if k == 0 {
                 // Phase B — the bus arbiter: fixed core order, one
                 // thread.
+                sched.lockstep_rounds += 1;
                 let mut any_activity = false;
                 for cpu in guards.iter_mut() {
                     cpu.cycle_mem_frontend();
@@ -607,7 +677,17 @@ fn run_parallel(
                 let backend = backend
                     .as_ref()
                     .expect("a multi-core machine shares its backend");
-                merge_quantum(&mut guards, backend, clock, clock + k);
+                let replays = merge_quantum(&mut guards, backend, clock, clock + k);
+                sched.quantum_rounds += 1;
+                sched.quantum_cycles += k;
+                sched.deferred_replays += replays;
+                if medsim_obs::tracing() {
+                    medsim_obs::emit(clock + k, LANE_MACHINE, EventKind::QuantumEnd, replays);
+                }
+            }
+            if let Some(s) = sampler.as_mut() {
+                let now = guards[0].now();
+                s.maybe_sample(now, guards.iter_mut().map(|g| &mut **g));
             }
             for (core, cpu) in guards.iter_mut().enumerate() {
                 list.refill(core, config.threads, cpu, &source_for);
@@ -647,7 +727,15 @@ fn run_parallel(
             g.detach_sources();
         }
         let refs: Vec<&Cpu> = guards.iter().map(|g| &**g).collect();
-        RunResult::collect_cores(config, &refs)
+        let mut result = RunResult::collect_cores(config, &refs);
+        // Parks came in with the per-core stats; the round and replay
+        // counts live here in the scheduler.
+        result.sched.lockstep_rounds = sched.lockstep_rounds;
+        result.sched.quantum_rounds = sched.quantum_rounds;
+        result.sched.quantum_cycles = sched.quantum_cycles;
+        result.sched.deferred_replays = sched.deferred_replays;
+        write_obs_outputs(config, &result, &refs, sampler.as_ref());
+        result
     })
 }
 
@@ -691,8 +779,17 @@ fn quantum_feasible(guards: &mut [MutexGuard<'_, Cpu>], kq: u64) -> u64 {
 /// cycles step live (both phases, no fast-forward) so a formerly-parked
 /// core's requests reach the backend at their true cycle: after every
 /// other core's earlier traffic, before all later traffic.
-fn merge_quantum(guards: &mut [MutexGuard<'_, Cpu>], backend: &SharedL2, start: u64, bound: u64) {
+///
+/// Returns the number of deferred operations replayed (the
+/// [`SchedCounters::deferred_replays`] contribution of this boundary).
+fn merge_quantum(
+    guards: &mut [MutexGuard<'_, Cpu>],
+    backend: &SharedL2,
+    start: u64,
+    bound: u64,
+) -> u64 {
     let logs: Vec<Vec<DeferredOp>> = guards.iter_mut().map(|g| g.mem_mut().end_defer()).collect();
+    let replays = logs.iter().map(|l| l.len() as u64).sum();
     let mut idx = vec![0usize; logs.len()];
     for c in start..bound {
         for (i, g) in guards.iter_mut().enumerate() {
@@ -729,6 +826,7 @@ fn merge_quantum(guards: &mut [MutexGuard<'_, Cpu>], backend: &SharedL2, start: 
             "core {i} has unreplayed deferred ops"
         );
     }
+    replays
 }
 
 #[cfg(test)]

@@ -87,6 +87,34 @@ pub fn format_schedule_note(config: &crate::sim::SimConfig) -> String {
     )
 }
 
+/// One-line rendering of a run's quantum-scheduler counters
+/// ([`crate::metrics::SchedCounters`]): barrier rounds taken as
+/// multi-cycle quanta vs. per-cycle lockstep degenerations, the mean
+/// quantum length, parks by cause, and deferred-op replays. All zeros
+/// under a serial schedule (the counters describe the host's
+/// scheduling decisions, not the simulated machine).
+#[must_use]
+pub fn format_sched_counters(result: &crate::metrics::RunResult) -> String {
+    let s = &result.sched;
+    let mean_k = if s.quantum_rounds == 0 {
+        0.0
+    } else {
+        s.quantum_cycles as f64 / s.quantum_rounds as f64
+    };
+    format!(
+        "sched: rounds={} (quantum={} lockstep={}) mean-quantum={:.1} \
+         parks={} (backend-reply={} store-evict={}) replays={}",
+        s.rounds(),
+        s.quantum_rounds,
+        s.lockstep_rounds,
+        mean_k,
+        s.parks(),
+        s.parks_backend_reply,
+        s.parks_store_evict,
+        s.deferred_replays,
+    )
+}
+
 /// Render Table 2 (the workload description).
 #[must_use]
 pub fn format_table2() -> String {
@@ -323,5 +351,37 @@ mod tests {
         assert!(s.contains("2.10x"));
         assert!(s.contains("3.30x"));
         assert!(s.contains("1.31"));
+    }
+
+    #[test]
+    fn sched_counters_render_rounds_parks_and_replays() {
+        use crate::metrics::SchedCounters;
+        use crate::sim::SimConfig;
+
+        let config = SimConfig::new(SimdIsa::Mom, 2);
+        let cpu = medsim_cpu::Cpu::new(
+            medsim_cpu::CpuConfig::paper(2, SimdIsa::Mom),
+            medsim_mem::MemSystem::new(medsim_mem::MemConfig::ideal()),
+        );
+        let mut result = crate::metrics::RunResult::collect(&config, &cpu);
+        result.sched = SchedCounters {
+            lockstep_rounds: 5,
+            quantum_rounds: 20,
+            quantum_cycles: 400,
+            parks_backend_reply: 3,
+            parks_store_evict: 1,
+            deferred_replays: 17,
+        };
+        let s = format_sched_counters(&result);
+        assert!(s.contains("rounds=25"), "{s}");
+        assert!(s.contains("quantum=20"), "{s}");
+        assert!(s.contains("lockstep=5"), "{s}");
+        assert!(s.contains("mean-quantum=20.0"), "{s}");
+        assert!(s.contains("parks=4"), "{s}");
+        assert!(s.contains("replays=17"), "{s}");
+
+        result.sched = SchedCounters::default();
+        let zero = format_sched_counters(&result);
+        assert!(zero.contains("mean-quantum=0.0"), "{zero}");
     }
 }

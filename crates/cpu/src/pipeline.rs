@@ -85,6 +85,10 @@ pub trait MemPort {
     fn l1d_set_of(&self, _addr: u64) -> u64 {
         0
     }
+
+    /// Tell the port which observability lane (core index) its trace
+    /// events belong to. Cosmetic; the default ignores it.
+    fn set_obs_lane(&mut self, _lane: u32) {}
 }
 
 impl MemPort for MemSystem {
@@ -121,6 +125,11 @@ impl MemPort for MemSystem {
     #[inline]
     fn l1d_set_of(&self, addr: u64) -> u64 {
         MemSystem::l1d_set_of(self, addr)
+    }
+
+    #[inline]
+    fn set_obs_lane(&mut self, lane: u32) {
+        MemSystem::set_obs_lane(self, lane);
     }
 }
 
@@ -260,7 +269,23 @@ struct PhaseScratch {
     committed: usize,
     issued: [usize; 4],
     dispatched: usize,
+    fetched: u64,
     fetch_active: bool,
+}
+
+/// Why a core stepping inside a multi-cycle quantum parked at the
+/// quantum edge instead of running phase B (see
+/// [`Cpu::step_quantum`]). Counted per cause in
+/// [`CpuStats::parks_backend_reply`] / [`CpuStats::parks_store_evict`]
+/// and surfaced in the machine layer's scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkCause {
+    /// A ready access (load/prefetch miss, store admission, or an
+    /// I-fetch line miss) would need a synchronous backend reply.
+    BackendReply = 0,
+    /// A ready store's write-allocate eviction could collide with a
+    /// probed-resident ready load's L1 set within the same cycle.
+    StoreEvict = 1,
 }
 
 /// The SMT processor, timed over any [`MemPort`].
@@ -298,6 +323,9 @@ pub struct Cpu<M: MemPort = MemSystem> {
     /// current cycle is done, phase B needs the shared backend (see
     /// [`Cpu::step_quantum`]).
     parked: bool,
+    /// Observability lane (core index) trace events report under;
+    /// cosmetic, never read by the timing model.
+    obs_lane: u32,
     /// Scratch for fetch-policy inputs (reused every cycle).
     fetch_infos: Vec<ThreadFetchInfo>,
     /// Scratch for the fetch thread selection (reused every cycle).
@@ -333,6 +361,7 @@ impl<M: MemPort> Cpu<M> {
             issue_blocked_ready: false,
             fast_forward: true,
             parked: false,
+            obs_lane: 0,
             fetch_infos: Vec::with_capacity(threads),
             fetch_sel: Vec::with_capacity(threads),
             phase: PhaseScratch::default(),
@@ -380,6 +409,14 @@ impl<M: MemPort> Cpu<M> {
     #[must_use]
     pub fn config(&self) -> &CpuConfig {
         &self.config
+    }
+
+    /// Set the observability lane (core index) this core and its
+    /// memory port report trace events under. Cosmetic; the timing
+    /// model never reads it.
+    pub fn set_obs_lane(&mut self, lane: u32) {
+        self.obs_lane = lane;
+        self.mem.set_obs_lane(lane);
     }
 
     /// Attach a block-oriented instruction source to hardware context
@@ -501,7 +538,9 @@ impl<M: MemPort> Cpu<M> {
         self.phase.issued[1] = self.issue_mem();
         self.stats.issued[1] += self.phase.issued[1] as u64;
         self.phase.dispatched = self.dispatch();
+        let fetched_before = self.stats.fetched;
         self.phase.fetch_active = self.fetch();
+        self.phase.fetched = self.stats.fetched - fetched_before;
     }
 
     /// Close the cycle opened by [`Cpu::cycle_compute`]: per-cycle
@@ -516,6 +555,30 @@ impl<M: MemPort> Cpu<M> {
         }
         if simd_i + int_i + fp_i + mem_i == 0 {
             self.stats.idle_cycles += 1;
+        }
+        if medsim_obs::tracing() {
+            use medsim_obs::EventKind;
+            medsim_obs::note_cycle(self.now);
+            if self.phase.fetched > 0 {
+                medsim_obs::emit(
+                    self.now,
+                    self.obs_lane,
+                    EventKind::Fetch,
+                    self.phase.fetched,
+                );
+            }
+            let issued = (int_i + mem_i + fp_i + simd_i) as u64;
+            if issued > 0 {
+                medsim_obs::emit(self.now, self.obs_lane, EventKind::Issue, issued);
+            }
+            if self.phase.committed > 0 {
+                medsim_obs::emit(
+                    self.now,
+                    self.obs_lane,
+                    EventKind::Commit,
+                    self.phase.committed as u64,
+                );
+            }
         }
         self.now += 1;
         self.stats.cycles = self.now;
@@ -562,8 +625,9 @@ impl<M: MemPort> Cpu<M> {
     /// upcoming fetch lines (not just the threads the fetch policy
     /// would choose) — it may park a core whose cycle would have stayed
     /// private, never the reverse (the deferred-mode assertion in
-    /// `MemSystem::with_backend` enforces that).
-    fn phase_b_would_park(&self) -> bool {
+    /// `MemSystem::with_backend` enforces that). Returns the park
+    /// cause, or `None` when phase B is provably private this cycle.
+    fn phase_b_would_park(&self) -> Option<ParkCause> {
         // Memory issue: any ready element whose access could consult
         // the backend. Directly — a load/prefetch that would miss L1 —
         // or indirectly: a store's write-allocate evicts its set's LRU
@@ -589,7 +653,7 @@ impl<M: MemPort> Cpu<M> {
             for e in d.mem_elems_issued..mem.count {
                 let addr = mem.elem_addr(e);
                 if self.mem.request_would_defer(addr, kind) {
-                    return true;
+                    return Some(ParkCause::BackendReply);
                 }
                 if kind.is_store() {
                     if let Some(set) = self.mem.store_would_evict_set(addr) {
@@ -617,7 +681,7 @@ impl<M: MemPort> Cpu<M> {
                 }
                 for e in d.mem_elems_issued..mem.count {
                     if evict_sets.contains(&self.mem.l1d_set_of(mem.elem_addr(e))) {
-                        return true;
+                        return Some(ParkCause::StoreEvict);
                     }
                 }
             }
@@ -635,7 +699,7 @@ impl<M: MemPort> Cpu<M> {
                 let l = inst.pc & !(ICACHE_LINE - 1);
                 if l != line {
                     if self.mem.ifetch_would_defer(l) {
-                        return true;
+                        return Some(ParkCause::BackendReply);
                     }
                     line = l;
                 }
@@ -644,7 +708,7 @@ impl<M: MemPort> Cpu<M> {
                 }
             }
         }
-        false
+        None
     }
 
     /// Whether the core stopped mid-cycle at a quantum edge (phase A of
@@ -671,7 +735,19 @@ impl<M: MemPort> Cpu<M> {
         debug_assert!(!self.parked, "finish the parked cycle first");
         while self.now < bound {
             self.cycle_compute();
-            if self.phase_b_would_park() {
+            if let Some(cause) = self.phase_b_would_park() {
+                match cause {
+                    ParkCause::BackendReply => self.stats.parks_backend_reply += 1,
+                    ParkCause::StoreEvict => self.stats.parks_store_evict += 1,
+                }
+                if medsim_obs::tracing() {
+                    medsim_obs::emit(
+                        self.now,
+                        self.obs_lane,
+                        medsim_obs::EventKind::Park,
+                        cause as u64,
+                    );
+                }
                 self.parked = true;
                 return;
             }

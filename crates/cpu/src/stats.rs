@@ -48,6 +48,14 @@ pub struct CpuStats {
     pub vector_only_cycles: u64,
     /// Cycles in which nothing issued at all.
     pub idle_cycles: u64,
+    /// Quantum-edge parks because phase B would need a synchronous
+    /// backend reply (load/ifetch miss or store admission). Zero under
+    /// a serial or lockstep schedule.
+    pub parks_backend_reply: u64,
+    /// Quantum-edge parks because a store's write-allocate eviction
+    /// could collide with a probed-resident load's set in the same
+    /// cycle. Zero under a serial or lockstep schedule.
+    pub parks_store_evict: u64,
 }
 
 impl CpuStats {
@@ -156,5 +164,47 @@ mod tests {
         s.record_commit_kind(OpKind::Integer, 1);
         s.record_commit_kind(OpKind::SimdArith, 16);
         assert_eq!(s.committed_by_kind, [1, 0, 16, 0]);
+        s.record_commit_kind(OpKind::Fp, 2);
+        s.record_commit_kind(OpKind::Memory, 3);
+        assert_eq!(s.committed_by_kind, [1, 2, 16, 3]);
+    }
+
+    /// Accessor sweep: every derived-rate accessor against a stats
+    /// block with all inputs populated, including the zero-denominator
+    /// edges the accessors guard.
+    #[test]
+    fn accessor_sweep() {
+        let mut s = CpuStats::new(2);
+        s.cycles = 1000;
+        s.threads[0] = ThreadStats {
+            committed: 300,
+            committed_equiv: 900,
+            branches: 40,
+            mispredicts: 4,
+            programs_completed: 2,
+        };
+        s.threads[1] = ThreadStats {
+            committed: 200,
+            committed_equiv: 600,
+            branches: 10,
+            mispredicts: 1,
+            programs_completed: 1,
+        };
+        s.parks_backend_reply = 7;
+        s.parks_store_evict = 3;
+
+        assert_eq!(s.committed(), 500);
+        assert_eq!(s.committed_equiv(), 1500);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.equiv_ipc() - 1.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+
+        // Zero-denominator guards.
+        let z = CpuStats::new(1);
+        assert_eq!(z.committed(), 0);
+        assert_eq!(z.committed_equiv(), 0);
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.equiv_ipc(), 0.0);
+        assert_eq!(z.mispredict_rate(), 0.0);
     }
 }

@@ -19,6 +19,7 @@ use crate::dram::{Dram, DramStats};
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::stats::{CacheStats, MemStats};
 use crate::Cycle;
+use medsim_obs::EventKind;
 use std::sync::{Arc, Mutex};
 
 /// A shared handle to one [`L2Backend`]: what the machine layer hands
@@ -178,9 +179,15 @@ impl L2Backend {
                 .dram
                 .access(start + self.l2_latency, victim, line_bytes);
             self.stats.dram_writes += 1;
+            if medsim_obs::tracing() {
+                medsim_obs::emit(start, medsim_obs::LANE_SHARED_MEM, EventKind::DramAccess, 1);
+            }
         }
         if lookup.hit {
             return start + self.l2_latency;
+        }
+        if medsim_obs::tracing() {
+            medsim_obs::emit(start, medsim_obs::LANE_SHARED_MEM, EventKind::L2Miss, line);
         }
         if let Some(ready) = lookup.pending {
             return ready.max(start + self.l2_latency);
@@ -192,11 +199,17 @@ impl L2Backend {
                 // Wait out a DRAM round trip before the retry succeeds.
                 let fill = self.dram.access(start + self.l2_latency, line, line_bytes);
                 self.stats.dram_reads += 1;
+                if medsim_obs::tracing() {
+                    medsim_obs::emit(start, medsim_obs::LANE_SHARED_MEM, EventKind::DramAccess, 0);
+                }
                 fill + self.l2_latency
             }
             MshrOutcome::Allocated => {
                 let fill = self.dram.access(start + self.l2_latency, line, line_bytes);
                 self.stats.dram_reads += 1;
+                if medsim_obs::tracing() {
+                    medsim_obs::emit(start, medsim_obs::LANE_SHARED_MEM, EventKind::DramAccess, 0);
+                }
                 self.l2_mshrs.set_fill_time(line, fill);
                 self.l2.set_fill_time(line, fill);
                 fill

@@ -143,6 +143,66 @@ mod tests {
         assert_eq!(s.accesses(), 4);
     }
 
+    /// Field-exhaustive check of [`MemStats::merged`]: the
+    /// destructuring patterns below have no `..` rest, so adding a
+    /// counter to `MemStats` fails this test's build until both the
+    /// merge and this test account for it.
+    #[test]
+    fn merged_sums_every_field() {
+        // Distinct primes on one side, distinct offsets on the other,
+        // so a swapped or dropped field changes some asserted sum.
+        let a = MemStats {
+            l1_accesses: 2,
+            l1_latency_sum: 3,
+            bank_conflicts: 5,
+            mshr_full_stalls: 7,
+            write_buffer_full_stalls: 11,
+            write_coalesced: 13,
+            selective_flushes: 17,
+            vector_bypasses: 19,
+            coherence_invalidation: 23,
+            dram_reads: 29,
+            dram_writes: 31,
+        };
+        let b = MemStats {
+            l1_accesses: 100,
+            l1_latency_sum: 200,
+            bank_conflicts: 300,
+            mshr_full_stalls: 400,
+            write_buffer_full_stalls: 500,
+            write_coalesced: 600,
+            selective_flushes: 700,
+            vector_bypasses: 800,
+            coherence_invalidation: 900,
+            dram_reads: 1000,
+            dram_writes: 1100,
+        };
+        let MemStats {
+            l1_accesses,
+            l1_latency_sum,
+            bank_conflicts,
+            mshr_full_stalls,
+            write_buffer_full_stalls,
+            write_coalesced,
+            selective_flushes,
+            vector_bypasses,
+            coherence_invalidation,
+            dram_reads,
+            dram_writes,
+        } = a.merged(&b);
+        assert_eq!(l1_accesses, 102);
+        assert_eq!(l1_latency_sum, 203);
+        assert_eq!(bank_conflicts, 305);
+        assert_eq!(mshr_full_stalls, 407);
+        assert_eq!(write_buffer_full_stalls, 511);
+        assert_eq!(write_coalesced, 613);
+        assert_eq!(selective_flushes, 717);
+        assert_eq!(vector_bypasses, 819);
+        assert_eq!(coherence_invalidation, 923);
+        assert_eq!(dram_reads, 1029);
+        assert_eq!(dram_writes, 1131);
+    }
+
     #[test]
     fn avg_latency_edges() {
         let s = MemStats::default();

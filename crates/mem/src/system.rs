@@ -180,6 +180,9 @@ pub struct MemSystem {
     l1d_banks: Vec<Cycle>,
     l1i_banks: Vec<Cycle>,
     backend: Backend,
+    /// Observability lane (core index in a CMP) this system's trace
+    /// events report under; cosmetic, never read by the timing model.
+    obs_lane: u32,
     /// When set (a core stepping inside a multi-cycle quantum), the
     /// fire-and-forget write-buffer drain traffic is logged into
     /// `drain_log` instead of touching the shared backend; every other
@@ -226,11 +229,32 @@ impl MemSystem {
             l1d_banks: vec![0; config.l1d.banks],
             l1i_banks: vec![0; config.l1i.banks],
             backend,
+            obs_lane: 0,
             defer: false,
             drain_log: Vec::new(),
             stats: MemStats::default(),
             config,
         }
+    }
+
+    /// Set the observability lane (core index) this memory system's
+    /// trace events report under. Purely cosmetic for the event trace;
+    /// the timing model never reads it.
+    pub fn set_obs_lane(&mut self, lane: u32) {
+        self.obs_lane = lane;
+    }
+
+    /// Write-buffer occupancy at `now` as `(entries, capacity)` —
+    /// interval-sampler fodder. Retires already-drained entries first,
+    /// which the next store admission would do anyway.
+    pub fn wbuf_occupancy(&mut self, now: Cycle) -> (usize, usize) {
+        (self.wbuf.occupancy(now), self.wbuf.capacity())
+    }
+
+    /// Scalar-data MSHR occupancy at `now` as `(outstanding misses,
+    /// capacity)` — interval-sampler fodder.
+    pub fn dmshr_occupancy(&mut self, now: Cycle) -> (usize, usize) {
+        (self.d_mshrs.outstanding(now), self.d_mshrs.capacity())
     }
 
     /// Enter deferred mode for a quantum: until [`MemSystem::end_defer`]
@@ -343,6 +367,9 @@ impl MemSystem {
         let acc = self.l1i.access(start, addr, false);
         if acc.hit {
             return start + self.config.l1_latency;
+        }
+        if medsim_obs::tracing() {
+            medsim_obs::emit(start, self.obs_lane, medsim_obs::EventKind::L1Miss, addr);
         }
         if let Some(ready) = acc.pending {
             return ready.max(start + self.config.l1_latency);
@@ -762,6 +789,14 @@ impl MemSystem {
         }
 
         let lookup = self.l1d.access(start, req.addr, false);
+        if medsim_obs::tracing() && !lookup.hit {
+            medsim_obs::emit(
+                start,
+                self.obs_lane,
+                medsim_obs::EventKind::L1Miss,
+                req.addr,
+            );
+        }
         let done = if lookup.hit {
             start + self.config.l1_latency
         } else if let Some(ready) = lookup.pending {

@@ -17,7 +17,11 @@
 //!   on-disk trace store and the streaming decoder;
 //! * [`mem`] (`medsim-mem`) — the memory hierarchy;
 //! * [`cpu`] (`medsim-cpu`) — the SMT pipeline;
-//! * [`core`] (`medsim-core`) — simulation facade, metrics, experiments.
+//! * [`core`] (`medsim-core`) — simulation facade, metrics, experiments;
+//! * [`obs`] (`medsim-obs`) — zero-cost-when-off event tracing,
+//!   interval sampling and per-run report plumbing
+//!   (`MEDSIM_TRACE_EVENTS`, `MEDSIM_SAMPLE_CYCLES`,
+//!   `MEDSIM_REPORT_JSON`).
 //!
 //! ## Quickstart
 //!
@@ -41,5 +45,6 @@ pub use medsim_core as core;
 pub use medsim_cpu as cpu;
 pub use medsim_isa as isa;
 pub use medsim_mem as mem;
+pub use medsim_obs as obs;
 pub use medsim_trace as trace;
 pub use medsim_workloads as workloads;
