@@ -36,6 +36,10 @@
 //! * `stream_batch` — a stream-heavy SMT+MOM run with the batched
 //!   `request_stream` path (the default), printed against the
 //!   per-element reference path;
+//! * `decoupled_vector` — the stream-heavy run again with the
+//!   decoupled run-ahead vector-fetch unit on (gated), printed against
+//!   the coupled reference; a depth-0 run is asserted bitwise equal to
+//!   the coupled machine (the structural off-path);
 //! * `cmp_4core` — a 4-core × 2-thread CMP run (private L1s, one
 //!   shared L2/DRAM backend) under the environment-default machine;
 //!   the serial reference schedule is timed alongside and asserted
@@ -236,6 +240,30 @@ fn main() {
     println!(
         "stream_batch: batched {batched_s:.3}s vs per-element {per_elem_s:.3}s ({:.2}x)",
         per_elem_s / batched_s.max(1e-9),
+    );
+
+    // Decoupled run-ahead vector fetch on the same stream-heavy
+    // SMT+MOM configuration: the gated row times the unit on; the
+    // coupled reference is timed alongside and its simulated-cycle
+    // delta printed (the run-ahead unit is a *timing* feature — the
+    // two runs legitimately differ). The depth-0 leg pins the
+    // structural off-path: decoupled with an empty window must be
+    // bitwise the coupled machine.
+    let (dec_on, dec_on_s) = timed_secs(|| Simulation::run(&mom.clone().with_decouple(true)));
+    recorder.record("decoupled_vector", dec_on_s, dec_on.cycles);
+    let (dec_off, dec_off_s) = timed_secs(|| Simulation::run(&mom.clone().with_decouple(false)));
+    let depth0 = Simulation::run(&mom.clone().with_decouple(true).with_decouple_depth(0));
+    assert_eq!(
+        depth0, dec_off,
+        "an empty run-ahead window must be bitwise the coupled machine"
+    );
+    println!(
+        "decoupled_vector: on {dec_on_s:.3}s vs coupled {dec_off_s:.3}s; \
+         {} cycles vs {} coupled ({:+.2}% sim cycles, {} elems run ahead)",
+        dec_on.cycles,
+        dec_off.cycles,
+        (dec_on.cycles as f64 / dec_off.cycles.max(1) as f64 - 1.0) * 100.0,
+        dec_on.vfetch.runahead_elems,
     );
 
     // Sharded vs inline frontend on one big 8-thread SMT+MOM run at

@@ -1,0 +1,45 @@
+//! Decoupled run-ahead vector fetch vs the coupled machine, over the
+//! §5 workload (both ISAs × both real hierarchies, 4-thread SMT).
+//!
+//! Each configuration runs twice — `MEDSIM_DECOUPLE` off (the
+//! paper-faithful coupled pipeline) and on — and the table reports the
+//! IPC next to the achieved fraction of the DRAM roofline, so the
+//! unit's benefit shows up in the same units the run report's roofline
+//! section uses: a machine that was memory-bound and moves closer to
+//! the roof is converting run-ahead into bandwidth, not just hiding
+//! latency. Only MOM stream loads decouple — the MMX rows are the
+//! control pair and must come out bitwise identical.
+
+use medsim_bench::{spec_from_env, timed};
+use medsim_core::experiments::decoupled_sweep;
+use medsim_core::report::format_decoupled_sweep;
+use medsim_workloads::trace::SimdIsa;
+
+fn main() {
+    let spec = spec_from_env();
+    let rows = timed("decoupled_sweep", || decoupled_sweep(&spec));
+    println!("{}", format_decoupled_sweep(&rows));
+    for r in &rows {
+        assert_eq!(
+            r.coupled.vfetch,
+            Default::default(),
+            "{} {}: the coupled leg must never wake the unit",
+            r.isa,
+            r.hierarchy
+        );
+        match r.isa {
+            // Only MOM stream loads decouple; the MMX machine must be
+            // bitwise unaffected by the knob.
+            SimdIsa::Mmx => assert_eq!(
+                r.decoupled, r.coupled,
+                "{}: the unit must not touch a streamless machine",
+                r.hierarchy
+            ),
+            SimdIsa::Mom => assert!(
+                r.decoupled.vfetch.runahead_elems > 0,
+                "{}: the decoupled leg must actually run ahead",
+                r.hierarchy
+            ),
+        }
+    }
+}

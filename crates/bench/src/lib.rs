@@ -267,11 +267,13 @@ impl GateMode {
 /// figure-5 grid (end-to-end), the raw single-thread hot path, the
 /// sharded-frontend single big run, the packed block-decode throughput,
 /// the 4-core CMP run under both the environment-default machine
-/// and the forced quantum-parallel schedule, and the observability
+/// and the forced quantum-parallel schedule, the observability
 /// off-path (a run with every `MEDSIM_TRACE_EVENTS`-family knob off —
 /// the price of the dormant `obs::tracing()` checks on the hot path,
-/// which must stay zero). All are still subject to the `--noise-floor`
-/// guard — rows under the floor in both reports never gate.
+/// which must stay zero), and the decoupled vector-fetch run so the
+/// run-ahead path's wall clock cannot rot unnoticed. All are still
+/// subject to the `--noise-floor` guard — rows under the floor in both
+/// reports never gate.
 pub const GATED_ROWS: &[&str] = &[
     "fig5_real",
     "pipeline_1thread",
@@ -280,6 +282,7 @@ pub const GATED_ROWS: &[&str] = &[
     "cmp_4core",
     "cmp_4core_quantum",
     "obs_off_overhead",
+    "decoupled_vector",
 ];
 
 /// Rows present in only one of two reports: `(added, removed)` relative
@@ -705,6 +708,7 @@ mod tests {
         assert!(is_gated("cmp_4core"));
         assert!(is_gated("cmp_4core_quantum"));
         assert!(is_gated("obs_off_overhead"));
+        assert!(is_gated("decoupled_vector"));
         assert!(!is_gated("grid_serial"));
         assert!(!is_gated("fig5_real_warm_store"));
     }

@@ -291,6 +291,101 @@ pub fn cmp_scaling(spec: &WorkloadSpec) -> Vec<CmpCurve> {
         .collect()
 }
 
+/// One row of the decoupled-vs-coupled sweep: the same `(isa,
+/// hierarchy, threads)` configuration run with the decoupled
+/// vector-fetch unit off and on, with each side's figure of merit and
+/// achieved fraction of the DRDRAM memory roofline side by side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoupleRow {
+    /// ISA of the pair.
+    pub isa: SimdIsa,
+    /// Hierarchy of the pair.
+    pub hierarchy: HierarchyKind,
+    /// Hardware thread contexts.
+    pub threads: usize,
+    /// The DRDRAM channel's peak transfer rate (bytes per cycle) the
+    /// roofline fractions are measured against.
+    pub peak_bytes_per_cycle: f64,
+    /// The coupled (paper-faithful) run.
+    pub coupled: RunResult,
+    /// The decoupled run-ahead run.
+    pub decoupled: RunResult,
+}
+
+impl DecoupleRow {
+    fn pct_of_roof(&self, r: &RunResult) -> Option<f64> {
+        (r.dram_bytes > 0 && r.cycles > 0)
+            .then(|| (r.dram_bytes as f64 / r.cycles as f64) / self.peak_bytes_per_cycle)
+    }
+
+    /// Fraction of the memory roofline the coupled run achieved
+    /// (`None` without DRAM traffic).
+    #[must_use]
+    pub fn coupled_pct_of_roof(&self) -> Option<f64> {
+        self.pct_of_roof(&self.coupled)
+    }
+
+    /// Fraction of the memory roofline the decoupled run achieved.
+    #[must_use]
+    pub fn decoupled_pct_of_roof(&self) -> Option<f64> {
+        self.pct_of_roof(&self.decoupled)
+    }
+
+    /// Decoupled-over-coupled cycle-count speedup (> 1 means the
+    /// run-ahead unit helped).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.coupled.cycles as f64 / self.decoupled.cycles.max(1) as f64
+    }
+}
+
+/// The decoupled-vs-coupled sweep over the §5 workload: both ISAs ×
+/// both real hierarchies at the paper's 4-thread SMT configuration,
+/// each run twice — vector-fetch unit off (the paper-faithful coupled
+/// pipeline) and on — as **one grid** over a shared trace cache. Rows
+/// report IPC/EIPC and pct-of-roofline side by side, so the readout is
+/// directly "decoupling moved this kernel from X% to Y% of its
+/// DRDRAM roofline".
+#[must_use]
+pub fn decoupled_sweep(spec: &WorkloadSpec) -> Vec<DecoupleRow> {
+    let cache = TraceCache::from_env();
+    let combos: Vec<(SimdIsa, HierarchyKind)> = SimdIsa::ALL
+        .iter()
+        .flat_map(|&isa| {
+            [HierarchyKind::Conventional, HierarchyKind::Decoupled]
+                .iter()
+                .map(move |&h| (isa, h))
+        })
+        .collect();
+    let threads = 4;
+    let configs: Vec<SimConfig> = combos
+        .iter()
+        .flat_map(|&(isa, h)| {
+            [false, true].iter().map(move |&on| {
+                SimConfig::new(isa, threads)
+                    .with_hierarchy(h)
+                    .with_spec(*spec)
+                    .with_decouple(on)
+            })
+        })
+        .collect();
+    let results = run_grid_with(&configs, effective_jobs(configs.len()), &cache);
+    combos
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(&(isa, hierarchy), pair)| DecoupleRow {
+            isa,
+            hierarchy,
+            threads,
+            peak_bytes_per_cycle: medsim_mem::MemConfig::paper_with(hierarchy)
+                .dram
+                .bytes_per_cycle as f64,
+            coupled: pair[0].clone(),
+            decoupled: pair[1].clone(),
+        })
+        .collect()
+}
+
 /// The headline numbers of the abstract: SMT speedups at 8 threads over
 /// the 1-thread MMX superscalar baseline, and the degradation vs ideal
 /// memory.

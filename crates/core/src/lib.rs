@@ -62,7 +62,7 @@ pub mod sim;
 
 pub use frontend::{Frontend, FrontendKind, JobBudget};
 pub use machine::ExecMode;
-pub use metrics::{EipcFactor, RunResult, SchedCounters};
+pub use metrics::{EipcFactor, RunResult, SchedCounters, VfetchCounters};
 pub use runner::{run_grid, CacheStats, TraceCache};
 pub use runreport::{Roofline, SampleRow, Sampler, REPORT_SCHEMA};
 pub use sim::{SimConfig, Simulation};

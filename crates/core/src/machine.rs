@@ -258,7 +258,9 @@ fn build_cores(config: &SimConfig, n_cores: usize) -> (Vec<Cpu>, Option<SharedL2
     let cpu_config = CpuConfig::paper(config.threads, config.isa)
         .with_policy(config.fetch_policy)
         .with_scheduler(config.scheduler)
-        .with_stream_batch(config.stream_batch);
+        .with_stream_batch(config.stream_batch)
+        .with_decouple(config.decouple)
+        .with_decouple_depth(config.decouple_depth);
     let mut cores: Vec<Cpu>;
     let backend;
     if n_cores == 1 {

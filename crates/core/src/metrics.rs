@@ -115,6 +115,46 @@ impl SchedCounters {
     }
 }
 
+/// Decoupled vector-fetch unit counters, summed across a machine's
+/// cores (the max-runahead field takes the per-core maximum instead).
+///
+/// All zeros with the unit off — and unlike [`SchedCounters`] these
+/// describe the *simulated* machine, so `RunResult` equality covers
+/// them: the knob-off equivalence suite thereby proves the off path
+/// never wakes the unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VfetchCounters {
+    /// Stream elements issued early, ahead of execute.
+    pub runahead_elems: u64,
+    /// Vector loads fully issued by the run-ahead unit and drained by
+    /// execute without touching a memory port.
+    pub drains: u64,
+    /// Maximum run-ahead distance observed (streams holding
+    /// early-issued elements ahead of execute); bounded by the
+    /// configured window depth.
+    pub max_runahead: u64,
+    /// Redirect flushes that discarded run-ahead state.
+    pub flushes: u64,
+    /// Early-issued elements discarded by redirect flushes.
+    pub flushed_elems: u64,
+    /// Cycles the vector access queue was non-empty (summed).
+    pub busy_cycles: u64,
+    /// Occupancy integral over those busy cycles.
+    pub occupancy_sum: u64,
+}
+
+impl VfetchCounters {
+    /// Average access-queue occupancy while the unit had work.
+    #[must_use]
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.busy_cycles as f64
+        }
+    }
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -148,6 +188,12 @@ pub struct RunResult {
     pub vector_only_cycles: u64,
     /// Memory-system stall events observed at issue.
     pub mem_stalls: u64,
+    /// Bytes moved over the (chip-shared) DRAM channel — the roofline
+    /// numerator, surfaced here so sweeps can report pct-of-roof
+    /// without re-deriving it.
+    pub dram_bytes: u64,
+    /// Decoupled vector-fetch unit counters (all zeros when off).
+    pub vfetch: VfetchCounters,
     /// How the machine layer scheduled the run (all zeros for a serial
     /// schedule). **Excluded from equality** — see [`SchedCounters`].
     pub sched: SchedCounters,
@@ -178,6 +224,8 @@ impl PartialEq for RunResult {
             l2_hit_rate,
             vector_only_cycles,
             mem_stalls,
+            dram_bytes,
+            vfetch,
             sched: _,
         } = self;
         *isa == other.isa
@@ -195,6 +243,8 @@ impl PartialEq for RunResult {
             && *l2_hit_rate == other.l2_hit_rate
             && *vector_only_cycles == other.vector_only_cycles
             && *mem_stalls == other.mem_stalls
+            && *dram_bytes == other.dram_bytes
+            && *vfetch == other.vfetch
     }
 }
 
@@ -262,6 +312,21 @@ impl RunResult {
             l2_hit_rate: cores[0].mem().l2_stats().hit_rate(),
             vector_only_cycles: sum(&|c| c.stats().vector_only_cycles),
             mem_stalls: sum(&|c| c.stats().mem_stalls),
+            // The DRAM channel is chip-shared: read it once.
+            dram_bytes: cores[0].mem().dram_stats().bytes,
+            vfetch: VfetchCounters {
+                runahead_elems: sum(&|c| c.stats().vfetch_runahead_elems),
+                drains: sum(&|c| c.stats().vfetch_drains),
+                max_runahead: cores
+                    .iter()
+                    .map(|c| c.stats().vfetch_max_runahead)
+                    .max()
+                    .unwrap_or(0),
+                flushes: sum(&|c| c.stats().vfetch_flushes),
+                flushed_elems: sum(&|c| c.stats().vfetch_flushed_elems),
+                busy_cycles: sum(&|c| c.stats().vfetch_cycles),
+                occupancy_sum: sum(&|c| c.stats().vfetch_occupancy_sum),
+            },
             sched: SchedCounters {
                 parks_backend_reply: sum(&|c| c.stats().parks_backend_reply),
                 parks_store_evict: sum(&|c| c.stats().parks_store_evict),
@@ -340,6 +405,8 @@ mod tests {
             l2_hit_rate: 1.0,
             vector_only_cycles: 0,
             mem_stalls: 0,
+            dram_bytes: 0,
+            vfetch: VfetchCounters::default(),
             sched: SchedCounters::default(),
         };
         let mmx = mk(SimdIsa::Mmx);
@@ -370,6 +437,8 @@ mod tests {
             l2_hit_rate: 1.0,
             vector_only_cycles: 0,
             mem_stalls: 0,
+            dram_bytes: 0,
+            vfetch: VfetchCounters::default(),
             sched: SchedCounters::default(),
         };
         assert_eq!(r.ipc(), 0.0);
@@ -393,6 +462,8 @@ mod tests {
             l2_hit_rate: 0.8,
             vector_only_cycles: 10,
             mem_stalls: 5,
+            dram_bytes: 4096,
+            vfetch: VfetchCounters::default(),
             sched: SchedCounters::default(),
         };
         let mut parallel = base.clone();

@@ -1,7 +1,7 @@
 //! Plain-text rendering of experiment results in the paper's shapes.
 
 use crate::experiments::{
-    CmpCurve, Curve, Headline, Table3Row, Table4Row, CORE_COUNTS, THREAD_COUNTS,
+    CmpCurve, Curve, DecoupleRow, Headline, Table3Row, Table4Row, CORE_COUNTS, THREAD_COUNTS,
 };
 use crate::metrics::EipcFactor;
 use medsim_workloads::trace::SimdIsa;
@@ -113,6 +113,50 @@ pub fn format_sched_counters(result: &crate::metrics::RunResult) -> String {
         s.parks_store_evict,
         s.deferred_replays,
     )
+}
+
+/// Render the decoupled-vs-coupled sweep: per configuration, the IPC
+/// and the achieved fraction of the DRAM roofline side by side, plus
+/// the run-ahead unit's own counters. A `-` in a roofline column means
+/// the run produced no DRAM traffic.
+#[must_use]
+pub fn format_decoupled_sweep(rows: &[DecoupleRow]) -> String {
+    fn pct(p: Option<f64>) -> String {
+        p.map_or_else(|| format!("{:>8}", "-"), |p| format!("{:>7.1}%", p * 100.0))
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Decoupled run-ahead vector fetch vs the coupled machine =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>9} {:>8}  {:>8} {:>8}  {:>10} {:>8}",
+        "configuration",
+        "IPC off",
+        "IPC on",
+        "speedup",
+        "roof off",
+        "roof on",
+        "ran-ahead",
+        "flushes"
+    );
+    for r in rows {
+        let label = format!("{} {} {}thr", r.isa, r.hierarchy, r.threads);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9.2} {:>9.2} {:>7.2}x  {} {}  {:>10} {:>8}",
+            label,
+            r.coupled.ipc(),
+            r.decoupled.ipc(),
+            r.speedup(),
+            pct(r.coupled_pct_of_roof()),
+            pct(r.decoupled_pct_of_roof()),
+            r.decoupled.vfetch.runahead_elems,
+            r.decoupled.vfetch.flushes,
+        );
+    }
+    out
 }
 
 /// Render Table 2 (the workload description).
@@ -351,6 +395,39 @@ mod tests {
         assert!(s.contains("2.10x"));
         assert!(s.contains("3.30x"));
         assert!(s.contains("1.31"));
+    }
+
+    #[test]
+    fn decoupled_sweep_renders_ipc_and_roofline_side_by_side() {
+        use crate::sim::SimConfig;
+        let config = SimConfig::new(SimdIsa::Mom, 4);
+        let cpu = medsim_cpu::Cpu::new(
+            medsim_cpu::CpuConfig::paper(4, SimdIsa::Mom),
+            medsim_mem::MemSystem::new(medsim_mem::MemConfig::ideal()),
+        );
+        let mut coupled = crate::metrics::RunResult::collect(&config, &cpu);
+        coupled.cycles = 1000;
+        coupled.committed = 2400;
+        coupled.dram_bytes = 2000;
+        let mut decoupled = coupled.clone();
+        decoupled.cycles = 800;
+        decoupled.vfetch.runahead_elems = 512;
+        let row = DecoupleRow {
+            isa: SimdIsa::Mom,
+            hierarchy: HierarchyKind::Conventional,
+            threads: 4,
+            peak_bytes_per_cycle: 4.0,
+            coupled,
+            decoupled,
+        };
+        let s = format_decoupled_sweep(&[row]);
+        assert!(s.contains("roof off"), "{s}");
+        assert!(s.contains("2.40"), "coupled IPC: {s}");
+        assert!(s.contains("3.00"), "decoupled IPC: {s}");
+        assert!(s.contains("1.25x"), "speedup: {s}");
+        assert!(s.contains("50.0%"), "coupled roofline fraction: {s}");
+        assert!(s.contains("62.5%"), "decoupled roofline fraction: {s}");
+        assert!(s.contains("512"), "run-ahead elements: {s}");
     }
 
     #[test]

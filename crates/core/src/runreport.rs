@@ -414,6 +414,8 @@ mod tests {
             l2_hit_rate: 0.7,
             vector_only_cycles: 9,
             mem_stalls: 3,
+            dram_bytes: 0,
+            vfetch: crate::metrics::VfetchCounters::default(),
             sched: SchedCounters::default(),
         }
     }

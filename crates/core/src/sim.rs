@@ -53,6 +53,17 @@ pub struct SimConfig {
     pub scheduler: SchedulerKind,
     /// Batched stream-request path (`false` = per-element reference).
     pub stream_batch: bool,
+    /// Decoupled vector-fetch unit (`MEDSIM_DECOUPLE`, default off): a
+    /// vector access queue runs ahead of execute, issuing stream loads
+    /// early and buffering the replies execute drains in order. Off
+    /// keeps the paper-faithful coupled pipeline, bitwise (enforced by
+    /// `tests/decouple_equivalence.rs`).
+    pub decouple: bool,
+    /// Run-ahead window of the decoupled unit (`MEDSIM_DECOUPLE_DEPTH`,
+    /// default 8): how many vector loads may sit ahead of execute with
+    /// early-issued elements. `0` disables run-ahead issuing entirely —
+    /// bitwise identical to `decouple = false`.
+    pub decouple_depth: usize,
     /// Parallel-stepping quantum override in cycles (`MEDSIM_QUANTUM`):
     /// how long each core of a parallel CMP steps between shared-
     /// backend synchronizations. `None` derives it from the active
@@ -85,6 +96,8 @@ impl SimConfig {
             max_stream_len: medsim_isa::MAX_STREAM_LEN,
             scheduler: knobs.scheduler,
             stream_batch: knobs.stream_batch,
+            decouple: knobs.decouple,
+            decouple_depth: knobs.decouple_depth,
             quantum: knobs.quantum,
         }
     }
@@ -116,6 +129,21 @@ impl SimConfig {
     #[must_use]
     pub fn with_stream_batch(mut self, enabled: bool) -> Self {
         self.stream_batch = enabled;
+        self
+    }
+
+    /// Builder: enable/disable the decoupled vector-fetch unit.
+    #[must_use]
+    pub fn with_decouple(mut self, enabled: bool) -> Self {
+        self.decouple = enabled;
+        self
+    }
+
+    /// Builder: set the decoupled unit's run-ahead window (`0` issues
+    /// nothing early — bitwise identical to the unit being off).
+    #[must_use]
+    pub fn with_decouple_depth(mut self, depth: usize) -> Self {
+        self.decouple_depth = depth;
         self
     }
 

@@ -189,6 +189,16 @@ pub struct CpuConfig {
     /// [`medsim_mem::MemSystem::request_stream`] path (`false` = the
     /// per-element reference path).
     pub stream_batch: bool,
+    /// Decoupled run-ahead vector fetch: dispatch enqueues vector
+    /// loads into a small vector access queue that issues their stream
+    /// requests ahead of the memory-issue stage (default off — the
+    /// paper-faithful coupled core).
+    pub decouple: bool,
+    /// Vector access-queue window: how many queued vector loads the
+    /// run-ahead unit may work ahead over. `0` with `decouple` on is
+    /// the degenerate case — structurally decoupled, but never issuing
+    /// early — and is bitwise identical to `decouple` off.
+    pub decouple_depth: usize,
 }
 
 impl CpuConfig {
@@ -222,6 +232,8 @@ impl CpuConfig {
             scheduler: knobs.scheduler,
             wheel_slots: knobs.wheel_slots,
             stream_batch: knobs.stream_batch,
+            decouple: knobs.decouple,
+            decouple_depth: knobs.decouple_depth,
         }
     }
 
@@ -246,6 +258,48 @@ impl CpuConfig {
         self.stream_batch = enabled;
         self
     }
+
+    /// Same configuration with the decoupled run-ahead vector-fetch
+    /// unit enabled or disabled.
+    #[must_use]
+    pub fn with_decouple(mut self, enabled: bool) -> Self {
+        self.decouple = enabled;
+        self
+    }
+
+    /// Same configuration with a different vector access-queue window.
+    #[must_use]
+    pub fn with_decouple_depth(mut self, depth: usize) -> Self {
+        self.decouple_depth = depth;
+        self
+    }
+}
+
+/// Default vector access-queue window of the decoupled fetch unit.
+pub const DEFAULT_DECOUPLE_DEPTH: usize = 8;
+
+/// Decoupled vector fetch from `MEDSIM_DECOUPLE` (set and not `0`
+/// enables; unset or `0` keeps the paper-faithful coupled core).
+///
+/// Raw environment read — prefer [`EnvKnobs::get`], which resolves it
+/// once per process.
+#[must_use]
+pub fn decouple_from_env() -> bool {
+    std::env::var("MEDSIM_DECOUPLE").is_ok_and(|v| v != "0")
+}
+
+/// Vector access-queue window from `MEDSIM_DECOUPLE_DEPTH` (clamped to
+/// `0..=64`; unset or unparsable falls back to
+/// [`DEFAULT_DECOUPLE_DEPTH`]).
+///
+/// Raw environment read — prefer [`EnvKnobs::get`], which resolves it
+/// once per process.
+#[must_use]
+pub fn decouple_depth_from_env() -> usize {
+    std::env::var("MEDSIM_DECOUPLE_DEPTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(DEFAULT_DECOUPLE_DEPTH, |n| n.min(64))
 }
 
 /// Batched stream requests from `MEDSIM_STREAM_BATCH` (`0` disables —
@@ -291,6 +345,10 @@ pub struct EnvKnobs {
     /// `MEDSIM_QUANTUM`: parallel-stepping quantum override (`None` =
     /// derive from the memory configuration).
     pub quantum: Option<u64>,
+    /// `MEDSIM_DECOUPLE`: decoupled run-ahead vector fetch.
+    pub decouple: bool,
+    /// `MEDSIM_DECOUPLE_DEPTH`: vector access-queue window.
+    pub decouple_depth: usize,
 }
 
 impl EnvKnobs {
@@ -304,6 +362,8 @@ impl EnvKnobs {
             stream_batch: stream_batch_from_env(),
             wheel_slots: wheel_slots_from_env(),
             quantum: quantum_from_env(),
+            decouple: decouple_from_env(),
+            decouple_depth: decouple_depth_from_env(),
         })
     }
 }
@@ -387,6 +447,7 @@ mod tests {
                 ("MEDSIM_STREAM_BATCH", "0"),
                 ("MEDSIM_WHEEL_SLOTS", "64"),
                 ("MEDSIM_QUANTUM", "3"),
+                ("MEDSIM_DECOUPLE_DEPTH", "2"),
             ],
             EnvKnobs::get,
         );
@@ -395,6 +456,22 @@ mod tests {
         assert_eq!(cfg.scheduler, first.scheduler);
         assert_eq!(cfg.stream_batch, first.stream_batch);
         assert_eq!(cfg.wheel_slots, first.wheel_slots);
+    }
+
+    #[test]
+    fn decouple_knobs_parse() {
+        with_env_vars(&[("MEDSIM_DECOUPLE", "0")], || {
+            assert!(!decouple_from_env(), "0 keeps the coupled core");
+        });
+        with_env_vars(&[("MEDSIM_DECOUPLE", "1")], || {
+            assert!(decouple_from_env());
+        });
+        with_env_vars(&[("MEDSIM_DECOUPLE_DEPTH", "200")], || {
+            assert_eq!(decouple_depth_from_env(), 64, "clamped");
+        });
+        with_env_vars(&[("MEDSIM_DECOUPLE_DEPTH", "junk")], || {
+            assert_eq!(decouple_depth_from_env(), DEFAULT_DECOUPLE_DEPTH);
+        });
     }
 
     #[test]

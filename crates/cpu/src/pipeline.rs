@@ -86,6 +86,15 @@ pub trait MemPort {
         0
     }
 
+    /// Run-ahead variant of [`MemPort::request_stream`], used by the
+    /// decoupled vector-fetch unit: loads only, and the port may hold
+    /// the whole request back (issuing nothing) to keep MSHR headroom
+    /// for demand traffic. The default has no headroom policy and just
+    /// issues the stream.
+    fn request_stream_runahead(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        self.request_stream(now, req)
+    }
+
     /// Tell the port which observability lane (core index) its trace
     /// events belong to. Cosmetic; the default ignores it.
     fn set_obs_lane(&mut self, _lane: u32) {}
@@ -105,6 +114,11 @@ impl MemPort for MemSystem {
     #[inline]
     fn request_stream(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
         MemSystem::request_stream(self, now, req)
+    }
+
+    #[inline]
+    fn request_stream_runahead(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        MemSystem::request_stream_runahead(self, now, req)
     }
 
     #[inline]
@@ -138,6 +152,20 @@ enum InstState {
     InQueue,
     Executing,
     Done,
+}
+
+/// One vector load tracked by the decoupled vector-fetch unit, in
+/// dispatch order. The entry stays queued until execute drains the
+/// instruction, so fully issued streams hold their window slot — that
+/// is the vector-data-queue backpressure: at most
+/// [`CpuConfig::decouple_depth`] streams can be ahead of execute.
+#[derive(Debug, Clone, Copy)]
+struct VFetchEntry {
+    id: u32,
+    tid: usize,
+    /// The run-ahead unit issued elements for this entry (as opposed
+    /// to the demand path). Flushed entries re-issue on demand.
+    early: bool,
 }
 
 #[derive(Debug)]
@@ -271,6 +299,9 @@ struct PhaseScratch {
     dispatched: usize,
     fetched: u64,
     fetch_active: bool,
+    /// Stream elements the decoupled vector-fetch unit issued early
+    /// this cycle (activity: the cycle moved architectural state).
+    vfetch_issued: u64,
 }
 
 /// Why a core stepping inside a multi-cycle quantum parked at the
@@ -326,6 +357,10 @@ pub struct Cpu<M: MemPort = MemSystem> {
     /// Observability lane (core index) trace events report under;
     /// cosmetic, never read by the timing model.
     obs_lane: u32,
+    /// Decoupled vector-fetch access queue (dispatch-ordered vector
+    /// loads still ahead of execute). Empty unless
+    /// [`CpuConfig::decouple`] is set.
+    vfetch: VecDeque<VFetchEntry>,
     /// Scratch for fetch-policy inputs (reused every cycle).
     fetch_infos: Vec<ThreadFetchInfo>,
     /// Scratch for the fetch thread selection (reused every cycle).
@@ -362,6 +397,7 @@ impl<M: MemPort> Cpu<M> {
             fast_forward: true,
             parked: false,
             obs_lane: 0,
+            vfetch: VecDeque::new(),
             fetch_infos: Vec::with_capacity(threads),
             fetch_sel: Vec::with_capacity(threads),
             phase: PhaseScratch::default(),
@@ -537,6 +573,12 @@ impl<M: MemPort> Cpu<M> {
     pub fn cycle_mem_frontend(&mut self) {
         self.phase.issued[1] = self.issue_mem();
         self.stats.issued[1] += self.phase.issued[1] as u64;
+        // The decoupled vector-fetch unit runs after demand issue (it
+        // uses whatever ports demand traffic left free) and before
+        // dispatch (entries dispatched this cycle wait a cycle before
+        // running ahead, so the quantum park predicate — evaluated
+        // before phase B — has seen every entry the unit can touch).
+        self.vfetch_run();
         self.phase.dispatched = self.dispatch();
         let fetched_before = self.stats.fetched;
         self.phase.fetch_active = self.fetch();
@@ -585,6 +627,7 @@ impl<M: MemPort> Cpu<M> {
         self.phase.completed + self.phase.committed + self.phase.dispatched != 0
             || int_i + mem_i + fp_i + simd_i != 0
             || self.phase.fetch_active
+            || self.phase.vfetch_issued > 0
             || self.issue_blocked_ready
     }
 
@@ -682,6 +725,32 @@ impl<M: MemPort> Cpu<M> {
                 for e in d.mem_elems_issued..mem.count {
                     if evict_sets.contains(&self.mem.l1d_set_of(mem.elem_addr(e))) {
                         return Some(ParkCause::StoreEvict);
+                    }
+                }
+            }
+        }
+        // Decoupled run-ahead: the vector-fetch unit issues loads in
+        // phase B too, and it does NOT wait for source registers.
+        // Conservative: scan the whole access queue, not just the
+        // run-ahead window — drains earlier in the same phase can
+        // slide entries into the window.
+        if self.config.decouple {
+            for e in &self.vfetch {
+                let d = self.slab[e.id as usize]
+                    .as_ref()
+                    .expect("vfetch entry exists");
+                if d.state != InstState::InQueue {
+                    continue;
+                }
+                let Some(mem) = d.inst.mem else {
+                    continue;
+                };
+                for el in d.mem_elems_issued..mem.count {
+                    if self
+                        .mem
+                        .request_would_defer(mem.elem_addr(el), AccessKind::VectorLoad)
+                    {
+                        return Some(ParkCause::BackendReply);
                     }
                 }
             }
@@ -835,6 +904,13 @@ impl<M: MemPort> Cpu<M> {
         self.stats.dispatch_queue_stalls += skipped * queue;
         self.stats.dispatch_reg_stalls += skipped * reg;
         self.stats.idle_cycles += skipped;
+        // The vector-fetch occupancy gauge the skipped cycles would
+        // have sampled (their queue composition cannot change during
+        // an idle stretch: draining an entry is issue activity).
+        if self.config.decouple && !self.vfetch.is_empty() {
+            self.stats.vfetch_cycles += skipped;
+            self.stats.vfetch_occupancy_sum += skipped * self.vfetch.len() as u64;
+        }
         self.rr_cursor = (self.rr_cursor + skipped as usize) % self.threads.len();
         self.now = wake;
         self.stats.cycles = self.now;
@@ -903,6 +979,12 @@ impl<M: MemPort> Cpu<M> {
             if mispredicted && self.threads[tid].blocked_on_branch == Some(id) {
                 self.threads[tid].blocked_on_branch = None;
                 self.threads[tid].fetch_blocked_until = self.now + self.config.mispredict_penalty;
+                // A redirect discards the thread's run-ahead state: the
+                // buffered vector data is stale, so its loads re-issue
+                // on the demand path.
+                if self.config.decouple {
+                    self.vfetch_flush(tid);
+                }
             }
         }
         processed
@@ -1131,6 +1213,24 @@ impl<M: MemPort> Cpu<M> {
             let tid = d.tid;
             let kind = access_kind(&d.inst);
             let elems_before = d.mem_elems_issued;
+            // Decoupled drain: the run-ahead unit already issued the
+            // whole stream, so execute consumes the buffered replies
+            // in order — one issue slot, no memory port.
+            if self.config.decouple && elems_before == mem.count {
+                let equiv = d.inst.equivalent_count();
+                let mem_done = d.mem_done;
+                let d = self.slab[id as usize].as_mut().expect("exists");
+                d.state = InstState::Executing;
+                self.completions.push(mem_done.max(self.now + 1), id);
+                self.threads[tid].icount -= 1;
+                self.threads[tid].ocount -= equiv;
+                self.vfetch_forget(id);
+                self.stats.vfetch_drains += 1;
+                issued_count += 1;
+                slots -= 1;
+                pos += 1;
+                continue;
+            }
             let mut elems = elems_before;
             let mut mem_done = d.mem_done;
             if self.config.stream_batch && mem.count > 1 {
@@ -1199,6 +1299,11 @@ impl<M: MemPort> Cpu<M> {
                 self.threads[tid].icount -= 1;
                 self.threads[tid].ocount -= d.inst.equivalent_count();
                 // Fully issued: drop from the queue (hole compacted).
+                // A partially run-ahead stream finished on the demand
+                // path leaves the access queue here.
+                if self.config.decouple {
+                    self.vfetch_forget(id);
+                }
             } else {
                 // Ready but port/MSHR/write-buffer limited: keep, and
                 // make sure the next scan starts at or before it.
@@ -1218,6 +1323,133 @@ impl<M: MemPort> Cpu<M> {
         self.queues[qi].truncate(write);
         self.scan_from[qi] = resume;
         issued_count
+    }
+
+    /// Step the decoupled vector-fetch unit: issue stream element
+    /// groups for the oldest queued vector loads ahead of execute,
+    /// strictly in order, through whatever memory ports demand issue
+    /// left free this cycle. Only the first
+    /// [`CpuConfig::decouple_depth`] entries — the run-ahead window,
+    /// which doubles as the vector-data-queue capacity since a fully
+    /// issued stream keeps its slot until execute drains it — are
+    /// eligible; a stalled entry (ports, MSHR headroom) blocks the
+    /// younger entries behind it.
+    fn vfetch_run(&mut self) {
+        self.phase.vfetch_issued = 0;
+        if !self.config.decouple || self.vfetch.is_empty() {
+            return;
+        }
+        self.stats.vfetch_cycles += 1;
+        self.stats.vfetch_occupancy_sum += self.vfetch.len() as u64;
+        let window = self.config.decouple_depth.min(self.vfetch.len());
+        let mut issued_total = 0u64;
+        for i in 0..window {
+            let e = self.vfetch[i];
+            let d = self.slab[e.id as usize]
+                .as_ref()
+                .expect("vfetch entry exists");
+            debug_assert_eq!(
+                d.state,
+                InstState::InQueue,
+                "drained entries leave the access queue"
+            );
+            let Some(mem) = d.inst.mem else {
+                continue;
+            };
+            if d.mem_elems_issued >= mem.count {
+                continue; // buffered, waiting for execute to drain
+            }
+            let want = mem.count - d.mem_elems_issued;
+            let reply = self.mem.request_stream_runahead(
+                self.now,
+                StreamRequest {
+                    tid: e.tid as u8,
+                    base: mem.elem_addr(d.mem_elems_issued),
+                    stride: mem.stride,
+                    count: want,
+                    size: mem.size,
+                    kind: AccessKind::VectorLoad,
+                },
+            );
+            let d = self.slab[e.id as usize]
+                .as_mut()
+                .expect("vfetch entry exists");
+            d.mem_elems_issued += reply.issued;
+            d.mem_done = d.mem_done.max(reply.done_at);
+            if reply.issued > 0 {
+                self.vfetch[i].early = true;
+                issued_total += u64::from(reply.issued);
+            }
+            if self.slab[e.id as usize]
+                .as_ref()
+                .expect("vfetch entry exists")
+                .mem_elems_issued
+                < mem.count
+            {
+                // Port or MSHR-headroom stall: strictly in order, so
+                // nothing younger runs ahead past this entry — and the
+                // idle fast-forward must not skip the retry cycles.
+                self.issue_blocked_ready = true;
+                break;
+            }
+        }
+        self.stats.vfetch_runahead_elems += issued_total;
+        self.phase.vfetch_issued = issued_total;
+        // Run-ahead distance: entries holding early-issued elements
+        // ahead of execute. Entries only move toward the queue front,
+        // so every flagged entry sits inside the window — the distance
+        // is bounded by the configured depth (property-tested).
+        let dist = self.vfetch.iter().filter(|e| e.early).count() as u64;
+        self.stats.vfetch_max_runahead = self.stats.vfetch_max_runahead.max(dist);
+        if issued_total > 0 && medsim_obs::tracing() {
+            medsim_obs::emit(
+                self.now,
+                self.obs_lane,
+                medsim_obs::EventKind::VfetchIssue,
+                issued_total,
+            );
+        }
+    }
+
+    /// Remove a drained (completed) vector load from the access queue.
+    fn vfetch_forget(&mut self, id: u32) {
+        self.vfetch.retain(|e| e.id != id);
+    }
+
+    /// Precise redirect flush: discard thread `tid`'s run-ahead state.
+    /// Entries stay queued (this model redirects by stalling fetch —
+    /// the queued instructions themselves are not squashed), but their
+    /// early-issued elements are discarded and re-issue on the demand
+    /// path, modelling the re-fetch of a buffered stream the redirect
+    /// invalidated.
+    fn vfetch_flush(&mut self, tid: usize) {
+        let mut flushed = 0u64;
+        for i in 0..self.vfetch.len() {
+            let e = self.vfetch[i];
+            if e.tid != tid || !e.early {
+                continue;
+            }
+            let d = self.slab[e.id as usize]
+                .as_mut()
+                .expect("vfetch entry exists");
+            debug_assert_eq!(d.state, InstState::InQueue);
+            flushed += u64::from(d.mem_elems_issued);
+            d.mem_elems_issued = 0;
+            d.mem_done = 0;
+            self.vfetch[i].early = false;
+        }
+        if flushed > 0 {
+            self.stats.vfetch_flushes += 1;
+            self.stats.vfetch_flushed_elems += flushed;
+            if medsim_obs::tracing() {
+                medsim_obs::emit(
+                    self.now,
+                    self.obs_lane,
+                    medsim_obs::EventKind::VfetchFlush,
+                    flushed,
+                );
+            }
+        }
     }
 
     fn dispatch(&mut self) -> usize {
@@ -1305,6 +1537,29 @@ impl<M: MemPort> Cpu<M> {
                 self.queues[qi].push(id);
                 self.robs[tid].push_back(id);
                 self.threads[tid].in_flight += 1;
+                // Stream loads also enter the decoupled vector-fetch
+                // unit's access queue (stream addresses are known at
+                // dispatch — source operands gate execute, not fetch).
+                // Only MOM stream instructions decouple: a single
+                // packed MMX load is one demand access with nothing to
+                // run ahead of, and on the conventional hierarchy it
+                // would only fight demand misses for MSHR headroom.
+                // An empty window (depth 0) keeps the unit fully
+                // dormant — nothing is enqueued, so not even the
+                // occupancy bookkeeping can diverge from the coupled
+                // machine.
+                if self.config.decouple
+                    && self.config.decouple_depth > 0
+                    && inst.op.is_stream()
+                    && inst.queue() == QueueKind::Mem
+                    && matches!(access_kind(&inst), AccessKind::VectorLoad)
+                {
+                    self.vfetch.push_back(VFetchEntry {
+                        id,
+                        tid,
+                        early: false,
+                    });
+                }
                 if mispredicted {
                     self.threads[tid].blocked_on_branch = Some(id);
                 }

@@ -56,6 +56,28 @@ pub struct CpuStats {
     /// could collide with a probed-resident load's set in the same
     /// cycle. Zero under a serial or lockstep schedule.
     pub parks_store_evict: u64,
+    /// Decoupled vector fetch: sum of the access queue's occupancy over
+    /// [`CpuStats::vfetch_cycles`] (occupancy_sum / cycles = average
+    /// queue depth while the unit had work). Zero with the unit off.
+    pub vfetch_occupancy_sum: u64,
+    /// Cycles the vector access queue was non-empty.
+    pub vfetch_cycles: u64,
+    /// Stream elements issued early by the run-ahead unit (before the
+    /// memory-issue stage reached the instruction).
+    pub vfetch_runahead_elems: u64,
+    /// Vector loads whose stream was fully issued by the run-ahead unit
+    /// before execute reached them — execute drained the buffered reply
+    /// without touching a memory port.
+    pub vfetch_drains: u64,
+    /// Maximum run-ahead distance observed: queued vector loads with
+    /// early-issued elements ahead of the execute stage. Bounded by the
+    /// configured queue depth (property-tested).
+    pub vfetch_max_runahead: u64,
+    /// Redirect flushes of the access queue (a resolved misprediction
+    /// on the owning thread discards its run-ahead state).
+    pub vfetch_flushes: u64,
+    /// Early-issued stream elements discarded by redirect flushes.
+    pub vfetch_flushed_elems: u64,
 }
 
 impl CpuStats {

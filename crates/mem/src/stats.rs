@@ -89,6 +89,12 @@ pub struct MemStats {
     pub dram_reads: u64,
     /// Write-backs that reached DRAM.
     pub dram_writes: u64,
+    /// Stream elements issued through the run-ahead path (the decoupled
+    /// vector-fetch unit working ahead of execute).
+    pub runahead_elems: u64,
+    /// Run-ahead stream requests held back to preserve MSHR headroom
+    /// for demand traffic.
+    pub runahead_mshr_holds: u64,
 }
 
 impl MemStats {
@@ -122,6 +128,8 @@ impl MemStats {
             coherence_invalidation: self.coherence_invalidation + other.coherence_invalidation,
             dram_reads: self.dram_reads + other.dram_reads,
             dram_writes: self.dram_writes + other.dram_writes,
+            runahead_elems: self.runahead_elems + other.runahead_elems,
+            runahead_mshr_holds: self.runahead_mshr_holds + other.runahead_mshr_holds,
         }
     }
 }
@@ -163,6 +171,8 @@ mod tests {
             coherence_invalidation: 23,
             dram_reads: 29,
             dram_writes: 31,
+            runahead_elems: 37,
+            runahead_mshr_holds: 41,
         };
         let b = MemStats {
             l1_accesses: 100,
@@ -176,6 +186,8 @@ mod tests {
             coherence_invalidation: 900,
             dram_reads: 1000,
             dram_writes: 1100,
+            runahead_elems: 1200,
+            runahead_mshr_holds: 1300,
         };
         let MemStats {
             l1_accesses,
@@ -189,6 +201,8 @@ mod tests {
             coherence_invalidation,
             dram_reads,
             dram_writes,
+            runahead_elems,
+            runahead_mshr_holds,
         } = a.merged(&b);
         assert_eq!(l1_accesses, 102);
         assert_eq!(l1_latency_sum, 203);
@@ -201,6 +215,8 @@ mod tests {
         assert_eq!(coherence_invalidation, 923);
         assert_eq!(dram_reads, 1029);
         assert_eq!(dram_writes, 1131);
+        assert_eq!(runahead_elems, 1237);
+        assert_eq!(runahead_mshr_holds, 1341);
     }
 
     #[test]

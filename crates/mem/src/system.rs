@@ -543,6 +543,45 @@ impl MemSystem {
         self.l1_request_stream(now, req)
     }
 
+    /// [`MemSystem::request_stream`] for the decoupled vector-fetch
+    /// unit's run-ahead requests. Timing-identical to the demand path —
+    /// a run-ahead element is the *same* access, just issued earlier —
+    /// with one admission difference: on MSHR-tracked paths the unit
+    /// must **coexist with scalar traffic**, so it keeps one MSHR of
+    /// headroom free for demand misses. When the relevant file is down
+    /// to its last free entry the request is held (an `MshrFull` stall
+    /// the pipeline retries next cycle) instead of racing demand loads
+    /// for it. Loads only — stores are never issued ahead.
+    pub fn request_stream_runahead(&mut self, now: Cycle, req: StreamRequest) -> StreamReply {
+        debug_assert!(!req.kind.is_store(), "run-ahead never issues stores");
+        let mshr_tracked = match self.config.hierarchy {
+            // Ideal has no MSHRs; the decoupled vector path goes
+            // straight to L2 without touching the L1 miss machinery.
+            HierarchyKind::Ideal => false,
+            HierarchyKind::Decoupled if req.kind.is_vector() => false,
+            _ => true,
+        };
+        if mshr_tracked {
+            let mshrs = if req.kind.is_vector() {
+                &mut self.v_mshrs
+            } else {
+                &mut self.d_mshrs
+            };
+            let free = mshrs.capacity().saturating_sub(mshrs.outstanding(now));
+            if free <= 1 {
+                self.stats.runahead_mshr_holds += 1;
+                return StreamReply {
+                    issued: 0,
+                    done_at: 0,
+                    stall: Some(Stall::MshrFull),
+                };
+            }
+        }
+        let reply = self.request_stream(now, req);
+        self.stats.runahead_elems += u64::from(reply.issued);
+        reply
+    }
+
     /// Batched through-L1 loads/prefetches: one full reference-path
     /// access per touched line, then the rest of that line's run in
     /// bulk arithmetic. A repeat access is fully determined by the

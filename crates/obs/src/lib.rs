@@ -204,6 +204,12 @@ pub enum EventKind {
     RunBegin,
     /// A machine run ends (`arg` = total cycles).
     RunEnd,
+    /// The decoupled vector-fetch unit issued stream elements ahead of
+    /// execute this cycle (`arg` = element count).
+    VfetchIssue,
+    /// A redirect flushed a thread's run-ahead state (`arg` = discarded
+    /// early-issued elements).
+    VfetchFlush,
 }
 
 /// One traced occurrence. 24 bytes; the sink caps at
@@ -303,6 +309,8 @@ fn event_name(kind: EventKind) -> &'static str {
         EventKind::RingStall => "ring_stall",
         EventKind::BudgetWait => "budget_wait",
         EventKind::RunBegin | EventKind::RunEnd => "run",
+        EventKind::VfetchIssue => "vfetch_issue",
+        EventKind::VfetchFlush => "vfetch_flush",
     }
 }
 
