@@ -384,6 +384,41 @@ fn main() {
     }
     std::fs::remove_dir_all(&store_dir).ok();
 
+    // Cold vs warm *result* store around the same grid: where the
+    // trace store only skips synthesis, a warm result store skips the
+    // pipelines entirely (`MEDSIM_RESULT_DIR` read-through in
+    // `run_grid`). Same scratch-directory discipline as above.
+    let preset_results = std::env::var("MEDSIM_RESULT_DIR").ok();
+    let result_dir =
+        std::env::temp_dir().join(format!("medsim-bench-results-{}", std::process::id()));
+    std::fs::remove_dir_all(&result_dir).ok();
+    std::env::set_var("MEDSIM_RESULT_DIR", &result_dir);
+    let (grid_cold, grid_cold_s) = timed_secs(|| fig5_real(&spec));
+    let grid_warm = recorder.measure("warm_grid", || fig5_real(&spec), sum_fig5_cycles);
+    assert_eq!(
+        grid_cold, grid_warm,
+        "result-cache replay must be bit-identical"
+    );
+    let grid_warm_s = recorder.entries().last().expect("row just recorded").wall_s;
+    println!(
+        "result store ({}): fig5_real cold {grid_cold_s:.2}s vs warm {grid_warm_s:.2}s ({:.2}x)",
+        result_dir.display(),
+        grid_cold_s / grid_warm_s.max(1e-9),
+    );
+    // The whole point of the cache: warm sweeps are (nearly) free. Only
+    // enforced when the cold run is long enough to measure — at smoke
+    // scales both sides sit in process-startup noise.
+    assert!(
+        grid_cold_s >= 5.0 * grid_warm_s || grid_cold_s < 0.25,
+        "warm grid should be >= 5x faster than cold \
+         ({grid_cold_s:.3}s cold vs {grid_warm_s:.3}s warm)"
+    );
+    match preset_results {
+        Some(d) => std::env::set_var("MEDSIM_RESULT_DIR", d),
+        None => std::env::remove_var("MEDSIM_RESULT_DIR"),
+    }
+    std::fs::remove_dir_all(&result_dir).ok();
+
     recorder.write_default().expect("write BENCH_runs.json");
 }
 

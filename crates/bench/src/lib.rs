@@ -283,6 +283,7 @@ pub const GATED_ROWS: &[&str] = &[
     "cmp_4core_quantum",
     "obs_off_overhead",
     "decoupled_vector",
+    "warm_grid",
 ];
 
 /// Rows present in only one of two reports: `(added, removed)` relative
@@ -709,6 +710,7 @@ mod tests {
         assert!(is_gated("cmp_4core_quantum"));
         assert!(is_gated("obs_off_overhead"));
         assert!(is_gated("decoupled_vector"));
+        assert!(is_gated("warm_grid"));
         assert!(!is_gated("grid_serial"));
         assert!(!is_gated("fig5_real_warm_store"));
     }

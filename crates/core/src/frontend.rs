@@ -31,9 +31,9 @@
 
 use medsim_isa::Inst;
 use medsim_workloads::trace::InstSource;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvError, Sender, TryRecvError};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::Scope;
 
 /// Which frontend feeds the cycle loop.
@@ -314,72 +314,174 @@ impl<'b> Frontend<'b> {
         // JobPermit borrows the budget for 'b; the producer thread only
         // needs it for 'scope, which `source` callers guarantee is
         // outlived by the budget ('b: 'scope via the `self` borrow).
-        let (block_tx, block_rx) = sync_channel::<Vec<Inst>>(self.prefetch_blocks.max(1));
-        let (recycle_tx, recycle_rx) = channel::<Vec<Inst>>();
+        let ring = Ring::new(self.prefetch_blocks);
+        let producer = RingProducer {
+            ring: Arc::clone(&ring),
+        };
         scope.spawn(move || {
             let _permit = permit;
             let mut source = make();
             loop {
                 // Reuse a spent buffer from the consumer when one is
                 // waiting; steady state allocates nothing.
-                let mut block = recycle_rx.try_recv().unwrap_or_default();
+                let mut block = producer.take_spare();
                 if !source.next_block(&mut block) {
                     break;
                 }
-                if block_tx.send(block).is_err() {
-                    // Consumer gone (run finished early): stop producing.
+                if producer.send(block).is_err() {
+                    // Consumer gone (the run finished early, or its
+                    // thread is unwinding through an abort): stop
+                    // producing.
                     break;
                 }
             }
         });
-        Box::new(RingSource {
-            blocks: block_rx,
-            recycle: recycle_tx,
-        })
+        Box::new(RingSource { ring })
     }
 }
 
-/// Consumer half of one shard's ring: receives decoded blocks from the
-/// producer thread, returning spent buffers for reuse.
+/// Shared state of one shard's bounded SPSC ring: decoded blocks in
+/// flight, spent buffers headed back for reuse, and the two disconnect
+/// flags.
+///
+/// Both disconnects (producer exhausted its source; consumer dropped —
+/// possibly mid-panic while an abort guard unwinds the simulation) are
+/// a flag write plus a `notify_all` **under the same mutex the other
+/// side waits on**, so a park/detach interleaving that loses the
+/// wakeup cannot be expressed: either the waiter re-checks the flag
+/// before sleeping, or it is woken by the notify. Every lock
+/// acquisition is poison-tolerant — the whole point of the disconnect
+/// path is surviving a panicking peer.
+struct RingState {
+    blocks: VecDeque<Vec<Inst>>,
+    spares: Vec<Vec<Inst>>,
+    producer_done: bool,
+    consumer_gone: bool,
+}
+
+struct Ring {
+    capacity: usize,
+    state: Mutex<RingState>,
+    cond: Condvar,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Arc<Ring> {
+        Arc::new(Ring {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                blocks: VecDeque::new(),
+                spares: Vec::new(),
+                producer_done: false,
+                consumer_gone: false,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'g>(&self, guard: MutexGuard<'g, RingState>) -> MutexGuard<'g, RingState> {
+        self.cond
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Producer half of one shard's ring (owned by the producer thread).
+struct RingProducer {
+    ring: Arc<Ring>,
+}
+
+impl RingProducer {
+    /// A spent buffer returned by the consumer, if one is waiting
+    /// (never blocks).
+    fn take_spare(&self) -> Vec<Inst> {
+        self.ring.lock().spares.pop().unwrap_or_default()
+    }
+
+    /// Ship one decoded block, blocking while the ring is full.
+    /// `Err` when the consumer is gone (the block is dropped).
+    fn send(&self, block: Vec<Inst>) -> Result<(), ()> {
+        let mut st = self.ring.lock();
+        loop {
+            if st.consumer_gone {
+                return Err(());
+            }
+            if st.blocks.len() < self.ring.capacity {
+                let was_empty = st.blocks.is_empty();
+                st.blocks.push_back(block);
+                if was_empty {
+                    // The consumer only ever waits on an empty ring.
+                    self.ring.cond.notify_all();
+                }
+                return Ok(());
+            }
+            st = self.ring.wait(st);
+        }
+    }
+}
+
+impl Drop for RingProducer {
+    fn drop(&mut self) {
+        let mut st = self.ring.lock();
+        st.producer_done = true;
+        self.ring.cond.notify_all();
+    }
+}
+
+/// Consumer half of one shard's ring: hands decoded blocks to the
+/// cycle loop, returning spent buffers for reuse.
 struct RingSource {
-    blocks: Receiver<Vec<Inst>>,
-    recycle: Sender<Vec<Inst>>,
+    ring: Arc<Ring>,
 }
 
 impl InstSource for RingSource {
     fn next_block(&mut self, out: &mut Vec<Inst>) -> bool {
-        // Probe first so an under-run (consumer about to block on the
-        // producer) is observable; the blocking receive behaves exactly
-        // like the plain `recv` it replaces.
-        let received = match self.blocks.try_recv() {
-            Ok(block) => Ok(block),
-            Err(TryRecvError::Empty) => {
-                if medsim_obs::tracing() {
-                    medsim_obs::emit(
-                        medsim_obs::approx_now(),
-                        medsim_obs::LANE_FRONTEND,
-                        medsim_obs::EventKind::RingStall,
-                        0,
-                    );
-                }
-                self.blocks.recv()
-            }
-            Err(TryRecvError::Disconnected) => Err(RecvError),
-        };
-        match received {
-            Ok(mut block) => {
+        let mut st = self.ring.lock();
+        let mut stalled = false;
+        loop {
+            if let Some(mut block) = st.blocks.pop_front() {
+                let was_full = st.blocks.len() + 1 == self.ring.capacity;
                 // `out` holds the spent previous block; swap it to the
                 // producer for reuse and hand its replacement back.
                 std::mem::swap(out, &mut block);
-                let _ = self.recycle.send(block);
-                true
+                st.spares.push(block);
+                if was_full {
+                    // The producer only ever waits on a full ring.
+                    self.ring.cond.notify_all();
+                }
+                return true;
             }
-            Err(_) => {
+            if st.producer_done {
                 // Producer finished and the ring drained.
                 out.clear();
-                false
+                return false;
             }
+            if !stalled && medsim_obs::tracing() {
+                // Under-run: the cycle loop is about to block on the
+                // producer. Emitted once per under-run, like the old
+                // probe-then-recv shape.
+                medsim_obs::emit(
+                    medsim_obs::approx_now(),
+                    medsim_obs::LANE_FRONTEND,
+                    medsim_obs::EventKind::RingStall,
+                    0,
+                );
+            }
+            stalled = true;
+            st = self.ring.wait(st);
         }
+    }
+}
+
+impl Drop for RingSource {
+    fn drop(&mut self) {
+        let mut st = self.ring.lock();
+        st.consumer_gone = true;
+        self.ring.cond.notify_all();
     }
 }
 
@@ -567,6 +669,51 @@ mod tests {
             // test by hanging.
         });
         assert_eq!(budget.available(), 1, "permit returned");
+    }
+
+    #[test]
+    fn consumer_detach_always_wakes_a_parked_producer() {
+        // Pins the ring's disconnect guarantee: a producer parked on a
+        // full ring must always observe the consumer's detach (the
+        // machine's abort guard relies on this to unwedge producers
+        // when a run unwinds). The race window for a lost wakeup would
+        // be one park/detach interleaving, so loop many times with a
+        // depth-1 ring (the producer parks after the second block) and
+        // a consumer that detaches while the producer is (probably)
+        // parked.
+        let block = program(&mut SmallRng::seed_from_u64(5), 4);
+        for round in 0..300 {
+            let ring = Ring::new(1);
+            let producer = RingProducer {
+                ring: Arc::clone(&ring),
+            };
+            let mut consumer = RingSource {
+                ring: Arc::clone(&ring),
+            };
+            let payload = block.clone();
+            let handle = std::thread::spawn(move || {
+                let mut sent = 0u32;
+                while producer.send(payload.clone()).is_ok() {
+                    sent += 1;
+                }
+                sent
+            });
+            // Vary how far the consumer gets before detaching so the
+            // drop lands on every producer state: mid-send, parked on
+            // full, and between sends.
+            let mut out = Vec::new();
+            for _ in 0..(round % 4) {
+                if !consumer.next_block(&mut out) {
+                    break;
+                }
+            }
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            drop(consumer);
+            let sent = handle.join().expect("producer exits after detach");
+            assert!(sent >= 1 || round % 4 == 0, "producer made progress");
+        }
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! * [`experiments`] — one driver per table/figure of the paper's
 //!   evaluation (Tables 1–4, Figures 4–6, 8, 9), all routed through the
 //!   grid runner;
+//! * [`resultstore`] — the content-addressed **result** cache
+//!   (`MEDSIM_RESULT_DIR`): write-once, versioned, checksummed files
+//!   keyed by the complete simulation identity (every config knob plus
+//!   the workload's packed-trace checksums), read through by
+//!   [`sim::Simulation::run_resulted`] and the grid runner so warm
+//!   sweeps cost file reads instead of simulation — multi-process safe
+//!   via the same atomic temp-file + rename protocol as the trace
+//!   store;
 //! * [`report`] — plain-text rendering of the experiment results in the
 //!   paper's table shapes;
 //! * [`runreport`] — the machine-readable per-run JSON report
@@ -56,6 +64,7 @@ pub mod frontend;
 pub mod machine;
 pub mod metrics;
 pub mod report;
+pub mod resultstore;
 pub mod runner;
 pub mod runreport;
 pub mod sim;
@@ -63,6 +72,7 @@ pub mod sim;
 pub use frontend::{Frontend, FrontendKind, JobBudget};
 pub use machine::ExecMode;
 pub use metrics::{EipcFactor, RunResult, SchedCounters, VfetchCounters};
+pub use resultstore::{ResultCache, ResultKey, ResultStore, RESULT_FORMAT_VERSION};
 pub use runner::{run_grid, CacheStats, TraceCache};
 pub use runreport::{Roofline, SampleRow, Sampler, REPORT_SCHEMA};
 pub use sim::{SimConfig, Simulation};

@@ -102,7 +102,7 @@ use medsim_obs::{EventKind, LANE_MACHINE};
 use medsim_workloads::trace::{ClampSource, InstSource};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Number of program-list entries that must complete before a run ends
 /// (§5.1: the first eight entries of the cycling list).
@@ -167,7 +167,7 @@ pub fn cores_from_env() -> usize {
 /// override when present, else the paper hierarchy's defaults. The
 /// single resolution point [`build_cores`] and [`quantum_cycles`]
 /// share, so the lookahead bound always matches the simulated backend.
-fn mem_config_of(config: &SimConfig) -> MemConfig {
+pub(crate) fn mem_config_of(config: &SimConfig) -> MemConfig {
     config
         .mem_override
         .clone()
@@ -383,6 +383,18 @@ fn effective_workers(n_cores: usize, granted: usize) -> usize {
     w
 }
 
+/// Process-wide count of runs the machine layer actually *executed*
+/// (stepped pipeline cycles for), as opposed to runs served from the
+/// result cache, which never reach this layer at all. The warm-grid
+/// tests assert a zero delta across an all-hits grid.
+static RUNS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide executed-run counter.
+#[must_use]
+pub fn runs_executed() -> u64 {
+    RUNS_EXECUTED.load(Ordering::Relaxed)
+}
+
 /// Execute one run on the machine the config describes. This is what
 /// [`crate::sim::Simulation::run_fronted`] calls.
 ///
@@ -392,6 +404,7 @@ fn effective_workers(n_cores: usize, granted: usize) -> usize {
 /// deadlocked model — should never happen).
 #[must_use]
 pub fn run(config: &SimConfig, cache: &TraceCache, frontend: &Frontend) -> RunResult {
+    RUNS_EXECUTED.fetch_add(1, Ordering::Relaxed);
     run_with(config, cache, frontend, true)
 }
 
@@ -481,14 +494,83 @@ fn run_serial(
     })
 }
 
+/// A counted round barrier the coordinator can cancel. `wait` blocks
+/// until all participants arrive, exactly like `std::sync::Barrier` —
+/// unless `cancel` has been called, in which case every parked waiter
+/// wakes immediately and every subsequent `wait` returns without
+/// blocking. `wait` returns `true` iff the barrier was cancelled, so a
+/// waiter can distinguish an orderly round release from a teardown.
+///
+/// The cancel path is what `std::sync::Barrier` cannot express: an
+/// aborting coordinator has no way to know which gate each worker will
+/// arrive at next (a worker released from one gate may or may not have
+/// sampled an abort flag before parking at the following gate), so any
+/// protocol built on counted waits has a lost-pairing window. A sticky
+/// cancel needs no pairing at all.
+struct RoundBarrier {
+    participants: usize,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    cancelled: bool,
+}
+
+impl RoundBarrier {
+    fn new(participants: usize) -> Self {
+        RoundBarrier {
+            participants,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                cancelled: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all participants arrive (returns `false`) or the
+    /// barrier is cancelled (returns `true`, immediately if cancel
+    /// already happened).
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.cancelled {
+            return true;
+        }
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cond.notify_all();
+            return false;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.cancelled {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.cancelled
+    }
+
+    /// Sticky: wakes every parked waiter and makes all future `wait`
+    /// calls return `true` without blocking.
+    fn cancel(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.cancelled = true;
+        self.cond.notify_all();
+    }
+}
+
 /// Releases the phase-A workers and the frontend producers if the
 /// coordinator unwinds mid-run — most importantly through the
 /// `max_cycles` model-deadlock assert, whose diagnostic must reach the
-/// user instead of hanging the scope join. On drop (armed): sets the
-/// done flag, joins one barrier round so workers parked at either gate
-/// observe it and exit, then detaches every core's ring consumers so
-/// producers blocked on full rings unblock. The normal exit path runs
-/// this protocol inline and disarms the guard.
+/// user instead of hanging the scope join. On drop (armed): cancels the
+/// round barrier so workers parked at (or headed for) either gate exit,
+/// then detaches every core's ring consumers so producers blocked on
+/// full rings unblock. The normal exit path shuts down inline through
+/// the `done` flag and disarms the guard.
 ///
 /// A panic *inside a worker's* phase A still hangs the coordinator at
 /// the phase-A barrier — worker code is a `Cpu` stepping whose
@@ -496,9 +578,7 @@ fn run_serial(
 /// worker-only panic would require a scheduling-dependent model bug.
 struct AbortGuard<'a> {
     cells: &'a [Mutex<Cpu>],
-    barrier: &'a Barrier,
-    done: &'a AtomicBool,
-    aborted: &'a AtomicBool,
+    barrier: &'a RoundBarrier,
     armed: bool,
 }
 
@@ -507,14 +587,7 @@ impl Drop for AbortGuard<'_> {
         if !self.armed {
             return;
         }
-        // Both flags: `done` exits workers parked at the cycle-start
-        // gate, `aborted` exits workers parked at the phase-A-complete
-        // gate. (Only the guard ever sets `aborted`: a gate-2 check of
-        // `done` would race the coordinator's normal termination store
-        // during phase B and strand the coordinator at the next gate.)
-        self.aborted.store(true, Ordering::Release);
-        self.done.store(true, Ordering::Release);
-        self.barrier.wait();
+        self.barrier.cancel();
         for cell in self.cells {
             let mut cpu = match cell.lock() {
                 Ok(guard) => guard,
@@ -548,9 +621,8 @@ fn run_parallel(
     if medsim_obs::tracing() {
         medsim_obs::emit(0, LANE_MACHINE, EventKind::RunBegin, n_cores as u64);
     }
-    let barrier = Barrier::new(n_workers + 1);
+    let barrier = RoundBarrier::new(n_workers + 1);
     let done = AtomicBool::new(false);
-    let aborted = AtomicBool::new(false);
     // The coordinator publishes the next round's shape here strictly
     // before releasing the workers at the cycle-start gate, so a plain
     // load after that gate is ordered.
@@ -562,11 +634,14 @@ fn run_parallel(
             let cells = &cells;
             let barrier = &barrier;
             let done = &done;
-            let aborted = &aborted;
             let round = &round;
             let range = chunk(w);
             scope.spawn(move || loop {
-                barrier.wait();
+                // A cancelled gate (either of them) is the abort
+                // guard's teardown: exit without touching the cells.
+                if barrier.wait() {
+                    break;
+                }
                 // Normal termination: the coordinator sets `done`
                 // strictly before arriving at this gate.
                 if done.load(Ordering::Acquire) {
@@ -587,13 +662,15 @@ fn run_parallel(
                         }
                     }
                 }
-                barrier.wait();
-                // Abort only — `done` must NOT be checked here: the
+                // `done` must NOT be checked after this gate: the
                 // coordinator's normal-termination store happens during
-                // the boundary work, concurrently with this line, and an
-                // early exit would strand the coordinator at the next
-                // gate.
-                if aborted.load(Ordering::Acquire) {
+                // the boundary work, concurrently, and an early exit
+                // would strand the coordinator at the next gate. (An
+                // abort-flag check here would have the mirror-image
+                // race — seeing the flag and exiting without arriving
+                // at a gate the aborter is counting on — which is why
+                // teardown is a barrier cancel, not a flag.)
+                if barrier.wait() {
                     break;
                 }
             });
@@ -601,8 +678,6 @@ fn run_parallel(
         let mut abort = AbortGuard {
             cells: &cells,
             barrier: &barrier,
-            done: &done,
-            aborted: &aborted,
             armed: true,
         };
 

@@ -34,10 +34,15 @@
 //!   generation. (`MEDSIM_TRACE_CACHE_MAX_INSTS` is still honored as a
 //!   legacy alias, converted at the old 64 B/inst resident cost.)
 //! * `MEDSIM_TRACE_DIR` — directory of the persistent trace store
-//!   (unset: persistence disabled).
+//!   (unset: persistence disabled);
+//! * `MEDSIM_RESULT_DIR` / `MEDSIM_RESULT_CACHE` — the persistent
+//!   **result** store ([`crate::resultstore`]): grid points whose
+//!   complete identity hash matches a stored run return its
+//!   [`RunResult`] without simulating at all.
 
 use crate::frontend::{total_workers, JobBudget};
 use crate::metrics::RunResult;
+use crate::resultstore::ResultCache;
 use crate::sim::{SimConfig, Simulation};
 use medsim_isa::Inst;
 use medsim_trace::{PackedStream, PackedTrace, StoreStats, TraceKey, TraceStore};
@@ -119,6 +124,11 @@ pub struct TraceCache {
     synthesized: AtomicU64,
     store: Option<TraceStore>,
     map: Mutex<HashMap<TraceKey, Arc<PackedTrace>>>,
+    /// Memoized [`PackedTrace::content_checksum`] per key — the result
+    /// cache hashes the eight workload traces into every
+    /// [`crate::resultstore::ResultKey`], and this keeps that from
+    /// costing more than one resolution per trace per grid.
+    checksums: Mutex<HashMap<TraceKey, u64>>,
 }
 
 impl TraceCache {
@@ -141,6 +151,7 @@ impl TraceCache {
             synthesized: AtomicU64::new(0),
             store: TraceStore::from_env(),
             map: Mutex::new(HashMap::new()),
+            checksums: Mutex::new(HashMap::new()),
         }
     }
 
@@ -154,6 +165,7 @@ impl TraceCache {
             synthesized: AtomicU64::new(0),
             store: None,
             map: Mutex::new(HashMap::new()),
+            checksums: Mutex::new(HashMap::new()),
         }
     }
 
@@ -288,6 +300,64 @@ impl TraceCache {
         (trace, Some(insts))
     }
 
+    /// Stable content checksum of the packed trace for `(spec, slot,
+    /// isa)` — what the result cache folds into its keys. Memoized per
+    /// key; resolves through the in-memory map, then the persistent
+    /// store, then synthesis (which, when the trace is admitted,
+    /// leaves it resident for the simulation that asked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding a cache lock.
+    #[must_use]
+    pub fn trace_checksum(&self, spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> u64 {
+        let key = cache_key(spec, slot, isa);
+        if let Some(&sum) = self
+            .checksums
+            .lock()
+            .expect("checksum memo poisoned")
+            .get(&key)
+        {
+            return sum;
+        }
+        let sum = self.compute_checksum(&key, spec, slot, isa);
+        self.checksums
+            .lock()
+            .expect("checksum memo poisoned")
+            .insert(key, sum);
+        sum
+    }
+
+    fn compute_checksum(
+        &self,
+        key: &TraceKey,
+        spec: &WorkloadSpec,
+        slot: usize,
+        isa: SimdIsa,
+    ) -> u64 {
+        if self.enabled {
+            if let Some(trace) = self.map.lock().expect("trace cache poisoned").get(key) {
+                return trace.content_checksum();
+            }
+        }
+        // Same miss resolution as `source_for`: store read-through,
+        // else synthesize + write back. The packed trace is then kept
+        // resident when admissible — whoever asked for the checksum is
+        // about to run (or hit the result cache for) this very config.
+        let workload = Workload::new(*spec);
+        let (trace, _) = self.load_or_synthesize(&workload, key, slot, isa);
+        let sum = trace.content_checksum();
+        if self.enabled && self.admits(spec, slot, isa) {
+            let mut map = self.map.lock().expect("trace cache poisoned");
+            map.entry(*key).or_insert_with(|| {
+                self.bytes_used
+                    .fetch_add(trace.packed_bytes() as u64, Ordering::Relaxed);
+                trace
+            });
+        }
+        sum
+    }
+
     /// Budget admission: memoize only traces whose estimated packed
     /// size (from the paper's Table-3 instruction counts, scaled) fits
     /// the *remaining* byte budget — full-scale runs stream their
@@ -321,7 +391,9 @@ pub fn run_grid(configs: &[SimConfig]) -> Vec<RunResult> {
     run_grid_with(configs, effective_jobs(configs.len()), &cache)
 }
 
-/// [`run_grid`] with explicit worker count and trace cache.
+/// [`run_grid`] with explicit worker count and trace cache. The
+/// result cache is the environment-configured one, constructed once
+/// for the whole grid.
 ///
 /// # Panics
 ///
@@ -329,13 +401,32 @@ pub fn run_grid(configs: &[SimConfig]) -> Vec<RunResult> {
 /// aborts the grid).
 #[must_use]
 pub fn run_grid_with(configs: &[SimConfig], jobs: usize, cache: &TraceCache) -> Vec<RunResult> {
+    run_grid_resulted(configs, jobs, cache, &ResultCache::from_env())
+}
+
+/// [`run_grid_with`] with an explicit result cache: every grid point
+/// is a read-through lookup (warm hits skip simulation entirely) with
+/// write-back after cold runs. Results are bit-identical either way —
+/// the store only ever returns what an identical run produced.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a panicking simulation run
+/// aborts the grid).
+#[must_use]
+pub fn run_grid_resulted(
+    configs: &[SimConfig],
+    jobs: usize,
+    cache: &TraceCache,
+    results: &ResultCache,
+) -> Vec<RunResult> {
     if configs.is_empty() {
         return Vec::new();
     }
     if jobs <= 1 || configs.len() == 1 {
         return configs
             .iter()
-            .map(|c| Simulation::run_cached(c, cache))
+            .map(|c| Simulation::run_resulted(c, cache, results))
             .collect();
     }
     // Grid workers and frontend shards draw from the same MEDSIM_JOBS
@@ -354,7 +445,7 @@ pub fn run_grid_with(configs: &[SimConfig], jobs: usize, cache: &TraceCache) -> 
                 let Some(config) = configs.get(idx) else {
                     break;
                 };
-                let result = Simulation::run_cached(config, cache);
+                let result = Simulation::run_resulted(config, cache, results);
                 done.lock()
                     .expect("result sink poisoned")
                     .push((idx, result));

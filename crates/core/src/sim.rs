@@ -12,6 +12,7 @@
 use crate::frontend::Frontend;
 use crate::machine::{self, ExecMode};
 use crate::metrics::RunResult;
+use crate::resultstore::{ResultCache, ResultKey};
 use crate::runner::TraceCache;
 use medsim_cpu::{EnvKnobs, FetchPolicy, SchedulerKind};
 use medsim_mem::{HierarchyKind, MemConfig};
@@ -223,7 +224,40 @@ impl Simulation {
     /// deadlocked model — should never happen).
     #[must_use]
     pub fn run_cached(config: &SimConfig, cache: &TraceCache) -> RunResult {
-        Simulation::run_fronted(config, cache, &Frontend::from_env())
+        Simulation::run_resulted(config, cache, &ResultCache::from_env())
+    }
+
+    /// Execute one run through the content-addressed **result cache**
+    /// ([`crate::resultstore`]): a warm hit returns the stored
+    /// [`RunResult`] without stepping a single pipeline cycle; a miss
+    /// simulates and writes the store back. With the cache inactive
+    /// (no `MEDSIM_RESULT_DIR`, `MEDSIM_RESULT_CACHE=0`, or
+    /// observability output requested — a cached run has no timeline
+    /// to trace) this is exactly [`Simulation::run_cached`]'s
+    /// uncached behavior, and either way the returned result is
+    /// bitwise identical: the store only ever holds what an identical
+    /// run produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `config.max_cycles` (indicates a
+    /// deadlocked model — should never happen).
+    #[must_use]
+    pub fn run_resulted(
+        config: &SimConfig,
+        cache: &TraceCache,
+        results: &ResultCache,
+    ) -> RunResult {
+        if !results.active() {
+            return Simulation::run_fronted(config, cache, &Frontend::from_env());
+        }
+        let key = ResultKey::of(config, cache);
+        if let Some(hit) = results.load(&key) {
+            return hit;
+        }
+        let result = Simulation::run_fronted(config, cache, &Frontend::from_env());
+        results.save(&key, &result);
+        result
     }
 
     /// Execute one run under an explicit [`Frontend`]: sharded

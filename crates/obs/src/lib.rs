@@ -140,6 +140,16 @@ pub fn report_path() -> Option<String> {
         .clone()
 }
 
+/// Whether any observability output is active — event tracing, the
+/// interval sampler, or the per-run JSON report. The result cache
+/// consults this to bypass warm hits: a run that never executes has no
+/// timeline, samples or roofline to emit, so observed runs must always
+/// simulate.
+#[must_use]
+pub fn observing() -> bool {
+    tracing() || sample_cycles() > 0 || report_path().is_some()
+}
+
 /// Programmatic override of the trace knob (tests; last caller wins).
 /// `path: None` keeps events in the buffer instead of writing a file.
 pub fn set_trace(on: bool, path: Option<&str>) {

@@ -37,5 +37,5 @@ pub mod store;
 pub mod stream;
 
 pub use packed::{DecodeCache, PackError, PackedTrace};
-pub use store::{StoreStats, TraceKey, TraceStore, FORMAT_VERSION};
+pub use store::{unique_tmp_name, StoreStats, TraceKey, TraceStore, FORMAT_VERSION};
 pub use stream::PackedStream;

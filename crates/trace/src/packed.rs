@@ -216,6 +216,17 @@ impl PackedTrace {
         &self.sidecar
     }
 
+    /// Stable FNV-1a checksum of the packed content (words, then
+    /// sidecar) — the same digest the on-disk store records in its file
+    /// header, computable without serializing. Content-addressed
+    /// consumers (the result cache) fold it into their keys, so any
+    /// behavioral change to trace generation invalidates downstream
+    /// entries automatically.
+    #[must_use]
+    pub fn content_checksum(&self) -> u64 {
+        crate::store::payload_fnv(&self.words, &self.sidecar)
+    }
+
     /// Borrowed decoding iterator over the instructions.
     #[must_use]
     pub fn iter(&self) -> PackedIter<'_> {

@@ -229,9 +229,7 @@ impl TraceStore {
         }
         let result = (|| {
             std::fs::create_dir_all(&self.dir)?;
-            let tmp = self
-                .dir
-                .join(format!(".tmp-{}-{}", std::process::id(), key.file_name()));
+            let tmp = self.dir.join(unique_tmp_name(&key.file_name()));
             {
                 let mut f = std::fs::File::create(&tmp)?;
                 f.write_all(&serialize_file(trace))?;
@@ -257,6 +255,36 @@ enum ParseError {
     Corrupt,
 }
 
+/// FNV-1a digest of a packed payload (`words` then `sidecar`) — the
+/// checksum [`serialize_file`] records in the header, shared with
+/// [`PackedTrace::content_checksum`] so content-addressed consumers
+/// agree with the on-disk format byte for byte.
+pub(crate) fn payload_fnv(words: &[u64], sidecar: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    for w in words {
+        h.update(&w.to_le_bytes());
+    }
+    h.update(sidecar);
+    h.finish()
+}
+
+/// A collision-free temp-file name for the atomic write-once protocol:
+/// unique per `(process, sequence)`, so concurrent writers — racing
+/// threads inside one process as much as racing processes — never
+/// write through the same temp path. Each writer renames its own
+/// complete file over the final path; with deterministic producers the
+/// losers' bytes are identical to the winner's, so any interleaving of
+/// renames publishes a valid file.
+#[must_use]
+pub fn unique_tmp_name(file_name: &str) -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    format!(
+        ".tmp-{}-{}-{file_name}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 /// Serialize a trace with the versioned, checksummed header.
 fn serialize_file(trace: &PackedTrace) -> Vec<u8> {
     let words = trace.words();
@@ -266,12 +294,7 @@ fn serialize_file(trace: &PackedTrace) -> Vec<u8> {
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&(words.len() as u64).to_le_bytes());
     out.extend_from_slice(&(sidecar.len() as u64).to_le_bytes());
-    let mut h = Fnv::new();
-    for w in words {
-        h.update(&w.to_le_bytes());
-    }
-    h.update(sidecar);
-    out.extend_from_slice(&h.finish().to_le_bytes());
+    out.extend_from_slice(&payload_fnv(words, sidecar).to_le_bytes());
     for w in words {
         out.extend_from_slice(&w.to_le_bytes());
     }
@@ -474,6 +497,45 @@ mod tests {
             [a, b, c, d].iter().map(TraceKey::file_name).collect();
         assert_eq!(names.len(), 4);
         assert!(names.iter().all(|n| n.ends_with(".mtrc")));
+    }
+
+    #[test]
+    fn tmp_names_are_unique_per_call() {
+        let a = unique_tmp_name("x.mtrc");
+        let b = unique_tmp_name("x.mtrc");
+        assert_ne!(a, b, "same key from the same process must not collide");
+        assert!(a.starts_with(".tmp-") && a.ends_with("x.mtrc"));
+    }
+
+    #[test]
+    fn concurrent_writers_race_to_one_valid_file() {
+        // Many threads hammer the same key in one store. The write-once
+        // protocol (unique temp names + atomic rename) must leave
+        // exactly one valid file and no temp debris, whatever the
+        // interleaving of renames.
+        let dir = unique_dir("race");
+        let store = TraceStore::at(&dir);
+        let trace = sample_trace();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        store.store(&key(), &trace).expect("racing write");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.load(&key()).expect("winner is valid"), trace);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

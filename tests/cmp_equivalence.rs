@@ -318,6 +318,80 @@ fn parallel_max_cycles_assert_panics_instead_of_hanging() {
     let _ = Simulation::run_fronted(&config, &cache, &Frontend::sharded_with(&budget));
 }
 
+/// Inner half of `abort_unwind_never_wedges_the_machine`: loop the
+/// model-deadlock repro many times in-process. Before the machine's
+/// round barrier grew a cancel path this hung roughly once per hundred
+/// iterations: a phase-A worker released from the round-complete gate
+/// could observe the abort flag *before* re-parking, exit without
+/// arriving at the gate the unwinding abort guard's counted
+/// `Barrier::wait` was pairing against, and strand the coordinator —
+/// which in turn never detached the ring consumers, leaving a producer
+/// parked on a full ring. 60 rounds give better than
+/// 1 - 0.99^60 ≈ 45% per run — and the outer test's process boundary
+/// turns any recurrence into a clean timeout instead of a wedged test
+/// binary. `#[ignore]`d so plain `cargo test` never runs it directly;
+/// only the subprocess wrapper does.
+#[test]
+#[ignore = "spawned by abort_unwind_never_wedges_the_machine"]
+fn repro_parallel_max_cycles_panic_loop() {
+    // The repro panics by design on every round; silence the default
+    // hook so the subprocess log stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let cache = TraceCache::from_env();
+    for round in 0..60 {
+        let mut config = SimConfig::new(SimdIsa::Mmx, 1)
+            .with_cores(2)
+            .with_exec(ExecMode::Parallel)
+            .with_spec(spec());
+        config.max_cycles = 10;
+        let budget = JobBudget::new(2);
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = Simulation::run_fronted(&config, &cache, &Frontend::sharded_with(&budget));
+        });
+        assert!(
+            outcome.is_err(),
+            "round {round}: expected model-deadlock panic"
+        );
+    }
+    println!("ABORT_REPRO_ROUNDS_OK");
+}
+
+#[test]
+fn abort_unwind_never_wedges_the_machine() {
+    // Regression for the ~1% hang: run the looped panic repro in a
+    // child process with a hard deadline. A worker that exits without
+    // pairing the aborting coordinator's barrier wait wedges the
+    // child's scope join forever; the deadline turns that into a test
+    // failure here instead of a hung CI job.
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "repro_parallel_max_cycles_panic_loop",
+            "--ignored",
+            "--nocapture",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro child");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(240);
+    loop {
+        match child.try_wait().expect("poll repro child") {
+            Some(status) => {
+                assert!(status.success(), "repro child failed: {status}");
+                break;
+            }
+            None if std::time::Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("abort-unwind hang: repro child exceeded deadline");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+}
+
 #[test]
 fn cmp_shares_one_l2_backend() {
     // Every core of a CMP reports the same (chip-wide) L2 and DRAM
