@@ -266,6 +266,34 @@ fn main() {
         dec_on.vfetch.runahead_elems,
     );
 
+    // Memory-hierarchy hot path: the same stream-heavy run under the
+    // packed line-state model (the default) and under the
+    // `MEDSIM_CACHE=ref` reference model. The packed planes are a
+    // representation change, not a model change, so the two runs must
+    // be bitwise identical — the row gates the memory hot path's wall
+    // clock and re-proves the equivalence end to end on every CI axis.
+    // The model knob is read at cache construction, so the legs force
+    // it explicitly and restore the ambient value afterwards (this
+    // section runs no worker threads).
+    let prev_cache = std::env::var("MEDSIM_CACHE").ok();
+    std::env::set_var("MEDSIM_CACHE", "packed");
+    let (mem_packed, mem_packed_s) = timed_secs(|| Simulation::run(&mom));
+    std::env::set_var("MEDSIM_CACHE", "ref");
+    let (mem_ref, mem_ref_s) = timed_secs(|| Simulation::run(&mom));
+    match prev_cache {
+        Some(v) => std::env::set_var("MEDSIM_CACHE", v),
+        None => std::env::remove_var("MEDSIM_CACHE"),
+    }
+    assert_eq!(
+        mem_packed, mem_ref,
+        "packed and reference line-state models must be stat-identical"
+    );
+    recorder.record("mem_hot_path", mem_packed_s, mem_packed.cycles);
+    println!(
+        "mem_hot_path: packed {mem_packed_s:.3}s vs ref {mem_ref_s:.3}s ({:.2}x)",
+        mem_ref_s / mem_packed_s.max(1e-9),
+    );
+
     // Sharded vs inline frontend on one big 8-thread SMT+MOM run at
     // the full MEDSIM_SCALE (a fig5-style grid point). Fresh caches on
     // both sides: trace synthesis/decode is the work the producer

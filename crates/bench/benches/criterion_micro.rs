@@ -6,7 +6,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use medsim_core::sim::{SimConfig, Simulation};
 use medsim_isa::Inst;
-use medsim_mem::{AccessKind, MemConfig, MemRequest, MemSystem};
+use medsim_mem::mshr::MshrOutcome;
+use medsim_mem::{
+    AccessKind, Cache, CacheConfig, CacheModel, MemConfig, MemRequest, MemSystem, MshrFile,
+};
 use medsim_trace::{PackedStream, PackedTrace};
 use medsim_workloads::kernels::{dct, motion};
 use medsim_workloads::trace::SimdIsa;
@@ -92,6 +95,81 @@ fn bench_packed_trace(c: &mut Criterion) {
     );
 }
 
+/// The hit path the simulator spends its memory time on: repeated
+/// loads over a resident working set in the paper's L1D geometry
+/// (32 KB direct-mapped, 32 B lines, 8 banks, write-through), timed
+/// for both line-state models so the packed planes' advantage over
+/// the reference `Vec<Line>` stays visible.
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let l1d = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 1,
+        line_bytes: 32,
+        banks: 8,
+        write_back: false,
+    };
+    for (name, model) in [
+        ("cache_hit_path_packed", CacheModel::Packed),
+        ("cache_hit_path_ref", CacheModel::Ref),
+    ] {
+        let mut cache = Cache::with_model(l1d, model);
+        // Warm a quarter of the capacity so every timed access hits.
+        let lines = 256u64;
+        for i in 0..lines {
+            let _ = cache.access(0, i * 32, false);
+        }
+        c.bench_function(name, |b| {
+            let mut now = 1;
+            b.iter(|| {
+                let mut hits = 0u32;
+                // Element-granular traffic, as the pipeline issues it:
+                // four 8-byte elements walk each 32-byte line before
+                // moving on, so the MRU line filter sees the repeats.
+                for i in 0..lines {
+                    for e in 0..4u64 {
+                        let a = cache.access(now, black_box(i * 32 + e * 8), false);
+                        hits += u32::from(a.hit);
+                    }
+                    now += 1;
+                }
+                black_box(hits)
+            });
+        });
+    }
+}
+
+/// The MSHR duty cycle under a miss burst: allocate to capacity,
+/// coalesce repeats, retire, repeat — the scan `outstanding` and
+/// `register` perform every miss.
+fn bench_mshr_scan(c: &mut Criterion) {
+    for (name, model) in [
+        ("mshr_scan_packed", CacheModel::Packed),
+        ("mshr_scan_ref", CacheModel::Ref),
+    ] {
+        c.bench_function(name, |b| {
+            let mut mshr = MshrFile::with_model(16, model);
+            let mut now = 0;
+            b.iter(|| {
+                let mut allocated = 0u32;
+                for i in 0..64u64 {
+                    let line = (i % 16) * 64;
+                    match mshr.register(now, black_box(line)) {
+                        MshrOutcome::Allocated => {
+                            mshr.set_fill_time(line, now + 20);
+                            allocated += 1;
+                        }
+                        MshrOutcome::Coalesced(_) | MshrOutcome::Full => {}
+                    }
+                    allocated += mshr.outstanding(now) as u32;
+                    now += 1;
+                }
+                now += 40; // drain before the next iteration
+                black_box(allocated)
+            });
+        });
+    }
+}
+
 fn bench_memory(c: &mut Criterion) {
     c.bench_function("memsystem_1k_requests", |b| {
         b.iter(|| {
@@ -165,6 +243,8 @@ criterion_group!(
     bench_kernels,
     bench_trace_generation,
     bench_packed_trace,
+    bench_cache_hit_path,
+    bench_mshr_scan,
     bench_memory,
     bench_pipeline,
     bench_grid

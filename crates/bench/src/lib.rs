@@ -270,10 +270,12 @@ impl GateMode {
 /// and the forced quantum-parallel schedule, the observability
 /// off-path (a run with every `MEDSIM_TRACE_EVENTS`-family knob off —
 /// the price of the dormant `obs::tracing()` checks on the hot path,
-/// which must stay zero), and the decoupled vector-fetch run so the
-/// run-ahead path's wall clock cannot rot unnoticed. All are still
-/// subject to the `--noise-floor` guard — rows under the floor in both
-/// reports never gate.
+/// which must stay zero), the decoupled vector-fetch run so the
+/// run-ahead path's wall clock cannot rot unnoticed, and the
+/// memory-hierarchy hot-path row (the packed line-state model timed
+/// against the reference model, with identical stats asserted). All are
+/// still subject to the `--noise-floor` guard — rows under the floor in
+/// both reports never gate.
 pub const GATED_ROWS: &[&str] = &[
     "fig5_real",
     "pipeline_1thread",
@@ -284,6 +286,7 @@ pub const GATED_ROWS: &[&str] = &[
     "obs_off_overhead",
     "decoupled_vector",
     "warm_grid",
+    "mem_hot_path",
 ];
 
 /// Rows present in only one of two reports: `(added, removed)` relative

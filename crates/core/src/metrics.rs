@@ -18,8 +18,8 @@
 use crate::sim::SimConfig;
 use medsim_cpu::Cpu;
 use medsim_mem::HierarchyKind;
-use medsim_workloads::trace::{InstStream, SimdIsa};
-use medsim_workloads::{Benchmark, InstMix, WorkloadSpec};
+use medsim_workloads::trace::SimdIsa;
+use medsim_workloads::{Benchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// The `I_MMX / I_MOM` ratio for a workload spec, computed from the
@@ -43,20 +43,17 @@ impl EipcFactor {
 
     /// [`EipcFactor::compute`] drawing traces through `cache`, so a
     /// grid driver pays for trace generation once across the factor
-    /// computation and all of its runs.
+    /// computation and all of its runs. The per-slot totals come from
+    /// the packed traces' precomputed equivalent counts
+    /// ([`crate::runner::TraceCache::equiv_total_for`]) — no decode
+    /// pass, and resolved traces stay resident for the runs that
+    /// follow.
     #[must_use]
     pub fn compute_cached(spec: &WorkloadSpec, cache: &crate::runner::TraceCache) -> Self {
         let total = |isa: SimdIsa| -> u64 {
-            let mut sum = 0u64;
-            for slot in 0..Benchmark::PAPER_ORDER.len() {
-                let mut mix = InstMix::default();
-                let mut s = cache.stream_for(spec, slot, isa);
-                while let Some(i) = s.next_inst() {
-                    mix.record(&i);
-                }
-                sum += mix.total();
-            }
-            sum
+            (0..Benchmark::PAPER_ORDER.len())
+                .map(|slot| cache.equiv_total_for(spec, slot, isa))
+                .sum()
         };
         EipcFactor {
             mmx_insts: total(SimdIsa::Mmx),

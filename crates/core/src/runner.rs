@@ -129,6 +129,10 @@ pub struct TraceCache {
     /// [`crate::resultstore::ResultKey`], and this keeps that from
     /// costing more than one resolution per trace per grid.
     checksums: Mutex<HashMap<TraceKey, u64>>,
+    /// Memoized equivalent-instruction totals per key (the EIPC
+    /// factor's Table-3 `#ins` inputs), so the factor computation never
+    /// decodes a trace it — or any run in the grid — already resolved.
+    equiv_totals: Mutex<HashMap<TraceKey, u64>>,
 }
 
 impl TraceCache {
@@ -152,6 +156,7 @@ impl TraceCache {
             store: TraceStore::from_env(),
             map: Mutex::new(HashMap::new()),
             checksums: Mutex::new(HashMap::new()),
+            equiv_totals: Mutex::new(HashMap::new()),
         }
     }
 
@@ -166,6 +171,7 @@ impl TraceCache {
             store: None,
             map: Mutex::new(HashMap::new()),
             checksums: Mutex::new(HashMap::new()),
+            equiv_totals: Mutex::new(HashMap::new()),
         }
     }
 
@@ -356,6 +362,71 @@ impl TraceCache {
             });
         }
         sum
+    }
+
+    /// Total equivalent instructions of the trace for `(spec, slot,
+    /// isa)` — the Table-3 `#ins` input of
+    /// [`crate::metrics::EipcFactor`]. Memoized per key. Resolution
+    /// order mirrors [`TraceCache::source_for`]: an in-memory hit reads
+    /// the packed trace's precomputed total (O(1), no decode); a miss
+    /// resolves through the store / synthesis — leaving the trace
+    /// resident when admissible, since the factor computation always
+    /// precedes the grid that consumes the same traces — and a
+    /// disabled cache walks a fresh stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding a cache lock.
+    #[must_use]
+    pub fn equiv_total_for(&self, spec: &WorkloadSpec, slot: usize, isa: SimdIsa) -> u64 {
+        let key = cache_key(spec, slot, isa);
+        if let Some(&t) = self
+            .equiv_totals
+            .lock()
+            .expect("equiv-total memo poisoned")
+            .get(&key)
+        {
+            return t;
+        }
+        let total = self.compute_equiv_total(&key, spec, slot, isa);
+        self.equiv_totals
+            .lock()
+            .expect("equiv-total memo poisoned")
+            .insert(key, total);
+        total
+    }
+
+    fn compute_equiv_total(
+        &self,
+        key: &TraceKey,
+        spec: &WorkloadSpec,
+        slot: usize,
+        isa: SimdIsa,
+    ) -> u64 {
+        if self.enabled {
+            if let Some(trace) = self.map.lock().expect("trace cache poisoned").get(key) {
+                return trace.equiv_total();
+            }
+            if self.admits(spec, slot, isa) {
+                let workload = Workload::new(*spec);
+                let (trace, _) = self.load_or_synthesize(&workload, key, slot, isa);
+                let total = trace.equiv_total();
+                let mut map = self.map.lock().expect("trace cache poisoned");
+                map.entry(*key).or_insert_with(|| {
+                    self.bytes_used
+                        .fetch_add(trace.packed_bytes() as u64, Ordering::Relaxed);
+                    trace
+                });
+                return total;
+            }
+        }
+        // Disabled or not admissible: stream the generator once and sum
+        // (exactly what the pre-memo EIPC pass did per call).
+        self.synthesized.fetch_add(1, Ordering::Relaxed);
+        let workload = Workload::new(*spec);
+        StreamIter(workload.stream_for_slot(slot, isa))
+            .map(|i| i.equivalent_count())
+            .sum()
     }
 
     /// Budget admission: memoize only traces whose estimated packed

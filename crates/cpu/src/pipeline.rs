@@ -1575,38 +1575,46 @@ impl<M: MemPort> Cpu<M> {
     /// I-cache or exhausts a stream) — when `false`, fetch is fully
     /// stalled and contributes nothing until a wakeup time.
     fn fetch(&mut self) -> bool {
+        // Build the selection inputs and account stall reasons in one
+        // pass over the thread contexts.
         let mut infos = std::mem::take(&mut self.fetch_infos);
         infos.clear();
-        infos.extend(self.threads.iter().map(|t| ThreadFetchInfo {
-            runnable: !t.exhausted
+        let mut any_runnable = false;
+        for t in &self.threads {
+            let runnable = !t.exhausted
                 && t.blocked_on_branch.is_none()
                 && t.fetch_blocked_until <= self.now
-                && t.decode_buf.len() + self.config.fetch_width <= DECODE_BUF_CAP,
-            icount: t.icount,
-            ocount: t.ocount,
-            fetched_vector_last: t.fetched_vector_last,
-        }));
-        // Account stall reasons for non-runnable threads.
-        for t in &self.threads {
-            if t.exhausted {
-                continue;
-            }
-            if t.blocked_on_branch.is_some() {
-                self.stats.fetch_branch_stalls += 1;
-            } else if t.fetch_blocked_until > self.now {
-                self.stats.fetch_icache_stalls += 1;
+                && t.decode_buf.len() + self.config.fetch_width <= DECODE_BUF_CAP;
+            any_runnable |= runnable;
+            infos.push(ThreadFetchInfo {
+                runnable,
+                icount: t.icount,
+                ocount: t.ocount,
+                fetched_vector_last: t.fetched_vector_last,
+            });
+            if !t.exhausted {
+                if t.blocked_on_branch.is_some() {
+                    self.stats.fetch_branch_stalls += 1;
+                } else if t.fetch_blocked_until > self.now {
+                    self.stats.fetch_icache_stalls += 1;
+                }
             }
         }
-        let vector_pipe_empty = self.queues[Self::queue_idx(QueueKind::Simd)].is_empty();
         let mut chosen = std::mem::take(&mut self.fetch_sel);
-        select_threads_into(
-            self.config.fetch_policy,
-            &infos,
-            self.rr_cursor,
-            self.config.fetch_threads,
-            vector_pipe_empty,
-            &mut chosen,
-        );
+        chosen.clear();
+        // The selection policies only ever pick runnable threads, so
+        // with none runnable the sort-and-pick is a no-op — skip it.
+        if any_runnable {
+            let vector_pipe_empty = self.queues[Self::queue_idx(QueueKind::Simd)].is_empty();
+            select_threads_into(
+                self.config.fetch_policy,
+                &infos,
+                self.rr_cursor,
+                self.config.fetch_threads,
+                vector_pipe_empty,
+                &mut chosen,
+            );
+        }
         self.fetch_infos = infos;
         let any_chosen = !chosen.is_empty();
         for &tid in &chosen {

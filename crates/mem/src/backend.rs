@@ -57,7 +57,7 @@ pub struct DeferredOp {
 pub struct L2Backend {
     l2: Cache,
     l2_mshrs: MshrFile,
-    l2_banks: Vec<Cycle>,
+    l2_banks: Box<[Cycle]>,
     dram: Dram,
     l2_latency: u64,
     /// Backend-side counters only (L2 bank conflicts, L2 MSHR
@@ -74,7 +74,7 @@ impl L2Backend {
         L2Backend {
             l2: Cache::new(config.l2),
             l2_mshrs: MshrFile::new(config.mshrs),
-            l2_banks: vec![0; config.l2.banks],
+            l2_banks: vec![0; config.l2.banks].into_boxed_slice(),
             dram: Dram::new(config.dram),
             l2_latency: config.l2_latency,
             stats: MemStats::default(),

@@ -49,7 +49,7 @@ pub mod system;
 pub mod wbuf;
 
 pub use backend::{DeferredOp, L2Backend, SharedL2};
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheConfig, CacheModel};
 pub use config::{HierarchyKind, MemConfig};
 pub use dram::{Dram, DramConfig};
 pub use mshr::MshrFile;

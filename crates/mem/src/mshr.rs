@@ -6,21 +6,18 @@
 //! next-level request. When all entries are busy, new misses must stall —
 //! this is the mechanism that throttles memory-level parallelism and
 //! makes latency grow under many threads (§5.3).
+//!
+//! Like [`crate::Cache`], the file has two implementations selected by
+//! the `MEDSIM_CACHE` knob: the default packs entries into fixed
+//! split planes guided by an occupancy bitmap (O(1) free-slot pick, no
+//! `retain` compaction), while `ref` keeps the seed's `Vec<Entry>`
+//! scans. Line addresses are unique within a file (misses to an
+//! outstanding line coalesce instead of allocating), so slot choice and
+//! scan order are unobservable — the two models are behaviorally
+//! identical, which the equivalence property suite checks directly.
 
+use crate::cache::CacheModel;
 use crate::Cycle;
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line_addr: u64,
-    fill_at: Cycle,
-}
-
-/// A file of MSHRs for one cache.
-#[derive(Debug, Clone)]
-pub struct MshrFile {
-    capacity: usize,
-    entries: Vec<Entry>,
-}
 
 /// Outcome of trying to register a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,33 +32,40 @@ pub enum MshrOutcome {
     Full,
 }
 
-impl MshrFile {
-    /// Create a file with `capacity` entries.
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        MshrFile {
+// ---------------------------------------------------------------------
+// Reference model: the seed's Vec<Entry> scans, verbatim.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line_addr: u64,
+    fill_at: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct RefMshr {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+impl RefMshr {
+    fn new(capacity: usize) -> Self {
+        RefMshr {
             capacity,
             entries: Vec::with_capacity(capacity),
         }
     }
 
-    /// Number of entries currently outstanding at `now`.
-    #[must_use]
-    pub fn outstanding(&mut self, now: Cycle) -> usize {
-        self.retire(now);
-        self.entries.len()
-    }
-
-    /// Drop entries whose fill time has passed.
     fn retire(&mut self, now: Cycle) {
         self.entries.retain(|e| e.fill_at > now);
     }
 
-    /// Register a miss on `line_addr` observed at `now`.
-    ///
-    /// If a new entry is allocated the caller computes the fill time and
-    /// must confirm it with [`MshrFile::set_fill_time`].
-    pub fn register(&mut self, now: Cycle, line_addr: u64) -> MshrOutcome {
+    fn outstanding(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    fn register(&mut self, now: Cycle, line_addr: u64) -> MshrOutcome {
         self.retire(now);
         if let Some(e) = self.entries.iter().find(|e| e.line_addr == line_addr) {
             return MshrOutcome::Coalesced(e.fill_at);
@@ -77,18 +81,167 @@ impl MshrFile {
         MshrOutcome::Allocated
     }
 
-    /// Fix the fill time of the entry allocated for `line_addr`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no entry exists for `line_addr` (protocol violation).
-    pub fn set_fill_time(&mut self, line_addr: u64, fill_at: Cycle) {
+    fn set_fill_time(&mut self, line_addr: u64, fill_at: Cycle) {
         let e = self
             .entries
             .iter_mut()
             .find(|e| e.line_addr == line_addr)
             .expect("set_fill_time without register");
         e.fill_at = fill_at;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed model: occupancy-bitmap-guided fixed split planes.
+// ---------------------------------------------------------------------
+
+/// Most entries one occupancy word can govern. The paper's files are
+/// 8-deep; larger configurations fall back to the reference model.
+const PACKED_MAX_ENTRIES: usize = 64;
+
+#[derive(Debug, Clone)]
+struct PackedMshr {
+    capacity: usize,
+    /// Bit `i` set ⇔ slot `i` holds a live entry.
+    occ: u64,
+    line_addr: Box<[u64]>,
+    fill_at: Box<[Cycle]>,
+}
+
+impl PackedMshr {
+    fn new(capacity: usize) -> Self {
+        PackedMshr {
+            capacity,
+            occ: 0,
+            line_addr: vec![0; capacity].into_boxed_slice(),
+            fill_at: vec![0; capacity].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn retire(&mut self, now: Cycle) {
+        let mut live = self.occ;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.fill_at[i] <= now {
+                self.occ &= !(1u64 << i);
+            }
+            live &= live - 1;
+        }
+    }
+
+    #[inline]
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let mut live = self.occ;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.line_addr[i] == line_addr {
+                return Some(i);
+            }
+            live &= live - 1;
+        }
+        None
+    }
+
+    fn outstanding(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.occ.count_ones() as usize
+    }
+
+    fn register(&mut self, now: Cycle, line_addr: u64) -> MshrOutcome {
+        self.retire(now);
+        if let Some(i) = self.find(line_addr) {
+            return MshrOutcome::Coalesced(self.fill_at[i]);
+        }
+        if self.occ.count_ones() as usize >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        // O(1) free-slot pick: occupancy below capacity guarantees a
+        // clear bit among slots 0..capacity.
+        let slot = (!self.occ).trailing_zeros() as usize;
+        self.occ |= 1u64 << slot;
+        self.line_addr[slot] = line_addr;
+        // Provisional infinite fill time; set_fill_time fixes it.
+        self.fill_at[slot] = Cycle::MAX;
+        MshrOutcome::Allocated
+    }
+
+    fn set_fill_time(&mut self, line_addr: u64, fill_at: Cycle) {
+        let i = self
+            .find(line_addr)
+            .expect("set_fill_time without register");
+        self.fill_at[i] = fill_at;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public file: model dispatch.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Model {
+    Packed(PackedMshr),
+    Ref(RefMshr),
+}
+
+/// A file of MSHRs for one cache.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    inner: Model,
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` entries, using the model selected
+    /// by `MEDSIM_CACHE` (see [`CacheModel::from_env`]).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MshrFile::with_model(capacity, CacheModel::from_env())
+    }
+
+    /// Create a file with an explicit model. Capacities beyond one
+    /// occupancy word (64) fall back to the reference model.
+    #[must_use]
+    pub fn with_model(capacity: usize, model: CacheModel) -> Self {
+        let inner = match model {
+            CacheModel::Packed if capacity <= PACKED_MAX_ENTRIES => {
+                Model::Packed(PackedMshr::new(capacity))
+            }
+            _ => Model::Ref(RefMshr::new(capacity)),
+        };
+        MshrFile { capacity, inner }
+    }
+
+    /// Number of entries currently outstanding at `now`.
+    #[must_use]
+    pub fn outstanding(&mut self, now: Cycle) -> usize {
+        match &mut self.inner {
+            Model::Packed(p) => p.outstanding(now),
+            Model::Ref(r) => r.outstanding(now),
+        }
+    }
+
+    /// Register a miss on `line_addr` observed at `now`.
+    ///
+    /// If a new entry is allocated the caller computes the fill time and
+    /// must confirm it with [`MshrFile::set_fill_time`].
+    pub fn register(&mut self, now: Cycle, line_addr: u64) -> MshrOutcome {
+        match &mut self.inner {
+            Model::Packed(p) => p.register(now, line_addr),
+            Model::Ref(r) => r.register(now, line_addr),
+        }
+    }
+
+    /// Fix the fill time of the entry allocated for `line_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry exists for `line_addr` (protocol violation).
+    pub fn set_fill_time(&mut self, line_addr: u64, fill_at: Cycle) {
+        match &mut self.inner {
+            Model::Packed(p) => p.set_fill_time(line_addr, fill_at),
+            Model::Ref(r) => r.set_fill_time(line_addr, fill_at),
+        }
     }
 
     /// Capacity of the file.
@@ -102,57 +255,95 @@ impl MshrFile {
 mod tests {
     use super::*;
 
+    const MODELS: [CacheModel; 2] = [CacheModel::Packed, CacheModel::Ref];
+
     #[test]
     fn allocate_then_coalesce() {
-        let mut m = MshrFile::new(2);
-        assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
-        m.set_fill_time(0x100, 50);
-        assert_eq!(m.register(3, 0x100), MshrOutcome::Coalesced(50));
-        assert_eq!(m.outstanding(10), 1);
+        for model in MODELS {
+            let mut m = MshrFile::with_model(2, model);
+            assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
+            m.set_fill_time(0x100, 50);
+            assert_eq!(m.register(3, 0x100), MshrOutcome::Coalesced(50));
+            assert_eq!(m.outstanding(10), 1);
+        }
     }
 
     #[test]
     fn fills_free_entries() {
-        let mut m = MshrFile::new(1);
-        assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
-        m.set_fill_time(0x100, 20);
-        assert_eq!(m.register(5, 0x200), MshrOutcome::Full);
-        // After the fill time passes, the entry is free again.
-        assert_eq!(m.register(21, 0x200), MshrOutcome::Allocated);
-        m.set_fill_time(0x200, 80);
-        assert_eq!(m.outstanding(21), 1);
+        for model in MODELS {
+            let mut m = MshrFile::with_model(1, model);
+            assert_eq!(m.register(0, 0x100), MshrOutcome::Allocated);
+            m.set_fill_time(0x100, 20);
+            assert_eq!(m.register(5, 0x200), MshrOutcome::Full);
+            // After the fill time passes, the entry is free again.
+            assert_eq!(m.register(21, 0x200), MshrOutcome::Allocated);
+            m.set_fill_time(0x200, 80);
+            assert_eq!(m.outstanding(21), 1);
+        }
     }
 
     #[test]
     fn full_when_capacity_reached() {
-        let mut m = MshrFile::new(2);
-        assert_eq!(m.register(0, 0x0), MshrOutcome::Allocated);
-        m.set_fill_time(0x0, 100);
-        assert_eq!(m.register(0, 0x40), MshrOutcome::Allocated);
-        m.set_fill_time(0x40, 100);
-        assert_eq!(m.register(1, 0x80), MshrOutcome::Full);
-        // Coalescing still works while full.
-        assert_eq!(m.register(1, 0x40), MshrOutcome::Coalesced(100));
+        for model in MODELS {
+            let mut m = MshrFile::with_model(2, model);
+            assert_eq!(m.register(0, 0x0), MshrOutcome::Allocated);
+            m.set_fill_time(0x0, 100);
+            assert_eq!(m.register(0, 0x40), MshrOutcome::Allocated);
+            m.set_fill_time(0x40, 100);
+            assert_eq!(m.register(1, 0x80), MshrOutcome::Full);
+            // Coalescing still works while full.
+            assert_eq!(m.register(1, 0x40), MshrOutcome::Coalesced(100));
+        }
     }
 
     #[test]
     fn distinct_lines_use_distinct_entries() {
-        let mut m = MshrFile::new(8);
-        for i in 0..8u64 {
-            assert_eq!(m.register(0, i * 0x40), MshrOutcome::Allocated);
-            m.set_fill_time(i * 0x40, 100 + i);
+        for model in MODELS {
+            let mut m = MshrFile::with_model(8, model);
+            for i in 0..8u64 {
+                assert_eq!(m.register(0, i * 0x40), MshrOutcome::Allocated);
+                m.set_fill_time(i * 0x40, 100 + i);
+            }
+            assert_eq!(m.outstanding(0), 8);
+            assert_eq!(m.register(0, 0x1000), MshrOutcome::Full);
+            // Entries retire one by one as fill times pass.
+            assert_eq!(m.outstanding(100), 7);
+            assert_eq!(m.outstanding(107), 0);
         }
-        assert_eq!(m.outstanding(0), 8);
-        assert_eq!(m.register(0, 0x1000), MshrOutcome::Full);
-        // Entries retire one by one as fill times pass.
-        assert_eq!(m.outstanding(100), 7);
-        assert_eq!(m.outstanding(107), 0);
+    }
+
+    /// Slots freed out of order are reused without disturbing survivors
+    /// — the packed model's free-slot pick must not clobber live entries.
+    #[test]
+    fn out_of_order_retirement_reuses_slots() {
+        for model in MODELS {
+            let mut m = MshrFile::with_model(4, model);
+            for i in 0..4u64 {
+                assert_eq!(m.register(0, i * 0x40), MshrOutcome::Allocated);
+                // Middle entries retire first.
+                m.set_fill_time(i * 0x40, if i == 1 || i == 2 { 10 } else { 100 });
+            }
+            assert_eq!(m.outstanding(11), 2);
+            assert_eq!(m.register(12, 0x400), MshrOutcome::Allocated);
+            m.set_fill_time(0x400, 200);
+            assert_eq!(m.register(13, 0x0), MshrOutcome::Coalesced(100));
+            assert_eq!(m.register(13, 0xc0), MshrOutcome::Coalesced(100));
+            assert_eq!(m.register(13, 0x400), MshrOutcome::Coalesced(200));
+            assert_eq!(m.outstanding(13), 3);
+        }
     }
 
     #[test]
     #[should_panic(expected = "set_fill_time without register")]
     fn set_fill_time_requires_register() {
         let mut m = MshrFile::new(1);
+        m.set_fill_time(0xdead, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_fill_time without register")]
+    fn set_fill_time_requires_register_ref_model() {
+        let mut m = MshrFile::with_model(1, CacheModel::Ref);
         m.set_fill_time(0xdead, 10);
     }
 }

@@ -153,6 +153,78 @@ impl core::fmt::Display for Stall {
 
 impl std::error::Error for Stall {}
 
+/// Widest port pool the inline reservation array holds. The paper's
+/// widest is 4 (conventional general-purpose ports); 8 leaves sweep
+/// headroom without growing the struct past one cache line.
+const MAX_PORTS: usize = 8;
+
+/// A pool of identical memory ports as an inline fixed array of
+/// busy-until cycles — no heap indirection on the per-access claim
+/// path (the seed kept these in `Vec<Cycle>`s).
+#[derive(Debug, Clone, Copy)]
+struct PortSet {
+    busy_until: [Cycle; MAX_PORTS],
+    len: u8,
+}
+
+impl PortSet {
+    fn new(n: usize) -> Self {
+        assert!(n <= MAX_PORTS, "port pools are at most {MAX_PORTS} wide");
+        #[allow(clippy::cast_possible_truncation)]
+        PortSet {
+            busy_until: [0; MAX_PORTS],
+            len: n as u8,
+        }
+    }
+
+    #[inline]
+    fn slots(&self) -> &[Cycle] {
+        &self.busy_until[..usize::from(self.len)]
+    }
+
+    /// Whether any port is free at `now`.
+    #[inline]
+    fn any_free(&self, now: Cycle) -> bool {
+        self.slots().iter().any(|&p| p <= now)
+    }
+
+    /// Ports still free at `now`.
+    #[inline]
+    fn free_count(&self, now: Cycle) -> usize {
+        self.slots().iter().filter(|&&p| p <= now).count()
+    }
+
+    /// Claim the first free port (busy until `now + 1`). Returns whether
+    /// one was free.
+    #[inline]
+    fn claim(&mut self, now: Cycle) -> bool {
+        for p in &mut self.busy_until[..usize::from(self.len)] {
+            if *p <= now {
+                *p = now + 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Claim `n` ports at once: identical final state to `n` sequential
+    /// [`PortSet::claim`] calls at the same cycle.
+    #[inline]
+    fn claim_bulk(&mut self, now: Cycle, n: usize) {
+        let mut left = n;
+        for p in &mut self.busy_until[..usize::from(self.len)] {
+            if left == 0 {
+                break;
+            }
+            if *p <= now {
+                *p = now + 1;
+                left -= 1;
+            }
+        }
+        debug_assert_eq!(left, 0, "bulk claim exceeded the free-port count");
+    }
+}
+
 /// The L2/DRAM levels behind one core's private levels: owned
 /// exclusively (single core — a zero-overhead match) or shared with the
 /// other cores of a CMP (serialized by the machine layer's bus
@@ -174,11 +246,11 @@ pub struct MemSystem {
     v_mshrs: MshrFile,
     i_mshrs: MshrFile,
     wbuf: WriteBuffer,
-    general_ports: Vec<Cycle>,
-    scalar_ports: Vec<Cycle>,
-    vector_ports: Vec<Cycle>,
-    l1d_banks: Vec<Cycle>,
-    l1i_banks: Vec<Cycle>,
+    general_ports: PortSet,
+    scalar_ports: PortSet,
+    vector_ports: PortSet,
+    l1d_banks: Box<[Cycle]>,
+    l1i_banks: Box<[Cycle]>,
     backend: Backend,
     /// Observability lane (core index in a CMP) this system's trace
     /// events report under; cosmetic, never read by the timing model.
@@ -223,11 +295,11 @@ impl MemSystem {
             // slot (2 cycles), not a full L2 access — stores are fire
             // and forget once buffered.
             wbuf: WriteBuffer::new(config.write_buffer_depth, 2),
-            general_ports: vec![0; config.general_ports],
-            scalar_ports: vec![0; config.scalar_ports],
-            vector_ports: vec![0; config.vector_ports],
-            l1d_banks: vec![0; config.l1d.banks],
-            l1i_banks: vec![0; config.l1i.banks],
+            general_ports: PortSet::new(config.general_ports),
+            scalar_ports: PortSet::new(config.scalar_ports),
+            vector_ports: PortSet::new(config.vector_ports),
+            l1d_banks: vec![0; config.l1d.banks].into_boxed_slice(),
+            l1i_banks: vec![0; config.l1i.banks].into_boxed_slice(),
             backend,
             obs_lane: 0,
             defer: false,
@@ -426,14 +498,12 @@ impl MemSystem {
     /// check before committing issue slots).
     #[must_use]
     pub fn port_available(&self, now: Cycle, kind: AccessKind) -> bool {
-        let ports = self.ports_for(kind);
-        ports.iter().any(|&p| p <= now)
+        self.ports_for(kind).any_free(now)
     }
 
-    fn ports_for(&self, kind: AccessKind) -> &[Cycle] {
+    fn ports_for(&self, kind: AccessKind) -> &PortSet {
         match self.config.hierarchy {
-            HierarchyKind::Ideal => &self.general_ports,
-            HierarchyKind::Conventional => &self.general_ports,
+            HierarchyKind::Ideal | HierarchyKind::Conventional => &self.general_ports,
             HierarchyKind::Decoupled => {
                 if kind.is_vector() {
                     &self.vector_ports
@@ -444,7 +514,7 @@ impl MemSystem {
         }
     }
 
-    fn ports_for_mut(&mut self, kind: AccessKind) -> &mut Vec<Cycle> {
+    fn ports_for_mut(&mut self, kind: AccessKind) -> &mut PortSet {
         match self.config.hierarchy {
             HierarchyKind::Ideal | HierarchyKind::Conventional => &mut self.general_ports,
             HierarchyKind::Decoupled => {
@@ -458,37 +528,23 @@ impl MemSystem {
     }
 
     fn claim_port(&mut self, now: Cycle, kind: AccessKind) -> Result<(), Stall> {
-        let ports = self.ports_for_mut(kind);
-        match ports.iter_mut().find(|p| **p <= now) {
-            Some(p) => {
-                *p = now + 1;
-                Ok(())
-            }
-            None => Err(Stall::PortBusy),
+        if self.ports_for_mut(kind).claim(now) {
+            Ok(())
+        } else {
+            Err(Stall::PortBusy)
         }
     }
 
     /// Ports of the right kind still free at `now`.
     fn ports_free_count(&self, now: Cycle, kind: AccessKind) -> usize {
-        self.ports_for(kind).iter().filter(|&&p| p <= now).count()
+        self.ports_for(kind).free_count(now)
     }
 
     /// Claim `n` ports at once: identical final state to `n` sequential
     /// [`MemSystem::claim_port`] calls at the same cycle (each claim
     /// takes the first free port and busies it until `now + 1`).
     fn claim_ports_bulk(&mut self, now: Cycle, kind: AccessKind, n: usize) {
-        let ports = self.ports_for_mut(kind);
-        let mut left = n;
-        for p in ports.iter_mut() {
-            if left == 0 {
-                break;
-            }
-            if *p <= now {
-                *p = now + 1;
-                left -= 1;
-            }
-        }
-        debug_assert_eq!(left, 0, "bulk claim exceeded the free-port count");
+        self.ports_for_mut(kind).claim_bulk(now, n);
     }
 
     /// Issue one stream memory instruction's element group for this

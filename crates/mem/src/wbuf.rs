@@ -6,26 +6,17 @@
 //! line already buffered *coalesce* (no new entry). A load that hits a
 //! buffered line triggers a *selective flush*: only the matching entry is
 //! forced out (ahead of order) rather than draining the whole buffer.
+//!
+//! Two implementations behind the `MEDSIM_CACHE` knob, mirroring
+//! [`crate::Cache`] and [`crate::MshrFile`]: the default keeps entries
+//! in occupancy-bitmap-guided fixed planes (no `retain`/`remove`
+//! compaction on the hot path); `ref` keeps the seed's `Vec<Entry>`.
+//! Buffered line addresses are unique (same-line stores coalesce), so
+//! slot and scan order are unobservable and the models are behaviorally
+//! identical.
 
+use crate::cache::CacheModel;
 use crate::Cycle;
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line_addr: u64,
-    /// Cycle at which this entry will have drained to L2.
-    drains_at: Cycle,
-}
-
-/// An 8-deep (configurable) coalescing write buffer.
-#[derive(Debug, Clone)]
-pub struct WriteBuffer {
-    capacity: usize,
-    entries: Vec<Entry>,
-    /// Cycles needed to push one entry to the next level.
-    drain_latency: Cycle,
-    /// Next cycle the drain port to L2 is free.
-    drain_port_free: Cycle,
-}
 
 /// Outcome of offering a store to the buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,47 +29,197 @@ pub enum WriteOutcome {
     Full,
 }
 
+// ---------------------------------------------------------------------
+// Reference model: the seed's Vec<Entry> scans, verbatim.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line_addr: u64,
+    /// Cycle at which this entry will have drained to L2.
+    drains_at: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct RefWbuf {
+    entries: Vec<Entry>,
+}
+
+impl RefWbuf {
+    fn retire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.drains_at > now);
+    }
+
+    fn occupancy(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.line_addr == line_addr)
+    }
+
+    fn insert(&mut self, line_addr: u64, drains_at: Cycle) {
+        self.entries.push(Entry {
+            line_addr,
+            drains_at,
+        });
+    }
+
+    fn remove(&mut self, idx: usize) -> Cycle {
+        self.entries.remove(idx).drains_at
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed model: occupancy-bitmap-guided fixed split planes.
+// ---------------------------------------------------------------------
+
+/// Most entries one occupancy word can govern (the paper's buffers are
+/// 8-deep; deeper configurations fall back to the reference model).
+const PACKED_MAX_ENTRIES: usize = 64;
+
+#[derive(Debug, Clone)]
+struct PackedWbuf {
+    /// Bit `i` set ⇔ slot `i` holds a buffered line.
+    occ: u64,
+    line_addr: Box<[u64]>,
+    drains_at: Box<[Cycle]>,
+}
+
+impl PackedWbuf {
+    #[inline]
+    fn retire(&mut self, now: Cycle) {
+        let mut live = self.occ;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.drains_at[i] <= now {
+                self.occ &= !(1u64 << i);
+            }
+            live &= live - 1;
+        }
+    }
+
+    fn occupancy(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.occ.count_ones() as usize
+    }
+
+    #[inline]
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let mut live = self.occ;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.line_addr[i] == line_addr {
+                return Some(i);
+            }
+            live &= live - 1;
+        }
+        None
+    }
+
+    fn insert(&mut self, line_addr: u64, drains_at: Cycle) {
+        // O(1) free-slot pick: occupancy below capacity guarantees a
+        // clear bit among slots 0..capacity.
+        let slot = (!self.occ).trailing_zeros() as usize;
+        self.occ |= 1u64 << slot;
+        self.line_addr[slot] = line_addr;
+        self.drains_at[slot] = drains_at;
+    }
+
+    fn remove(&mut self, idx: usize) -> Cycle {
+        self.occ &= !(1u64 << idx);
+        self.drains_at[idx]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public buffer: drain-port bookkeeping + model dispatch.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Model {
+    Packed(PackedWbuf),
+    Ref(RefWbuf),
+}
+
+/// An 8-deep (configurable) coalescing write buffer.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    inner: Model,
+    /// Cycles needed to push one entry to the next level.
+    drain_latency: Cycle,
+    /// Next cycle the drain port to L2 is free.
+    drain_port_free: Cycle,
+}
+
 impl WriteBuffer {
     /// Create a buffer of `capacity` entries that drains one entry every
-    /// `drain_latency` cycles.
+    /// `drain_latency` cycles, using the model selected by `MEDSIM_CACHE`
+    /// (see [`CacheModel::from_env`]).
     #[must_use]
     pub fn new(capacity: usize, drain_latency: Cycle) -> Self {
+        WriteBuffer::with_model(capacity, drain_latency, CacheModel::from_env())
+    }
+
+    /// Create a buffer with an explicit model. Capacities beyond one
+    /// occupancy word (64) fall back to the reference model.
+    #[must_use]
+    pub fn with_model(capacity: usize, drain_latency: Cycle, model: CacheModel) -> Self {
+        let inner = match model {
+            CacheModel::Packed if capacity <= PACKED_MAX_ENTRIES => Model::Packed(PackedWbuf {
+                occ: 0,
+                line_addr: vec![0; capacity].into_boxed_slice(),
+                drains_at: vec![0; capacity].into_boxed_slice(),
+            }),
+            _ => Model::Ref(RefWbuf {
+                entries: Vec::with_capacity(capacity),
+            }),
+        };
         WriteBuffer {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            inner,
             drain_latency,
             drain_port_free: 0,
         }
     }
 
-    fn retire(&mut self, now: Cycle) {
-        self.entries.retain(|e| e.drains_at > now);
-    }
-
     /// Entries still buffered at `now`.
     #[must_use]
     pub fn occupancy(&mut self, now: Cycle) -> usize {
-        self.retire(now);
-        self.entries.len()
+        match &mut self.inner {
+            Model::Packed(p) => p.occupancy(now),
+            Model::Ref(r) => r.occupancy(now),
+        }
     }
 
     /// Offer a store to line `line_addr` at `now`.
     pub fn push(&mut self, now: Cycle, line_addr: u64) -> WriteOutcome {
-        self.retire(now);
-        if self.entries.iter().any(|e| e.line_addr == line_addr) {
+        let (found, len) = match &mut self.inner {
+            Model::Packed(p) => {
+                p.retire(now);
+                (p.find(line_addr).is_some(), p.occ.count_ones() as usize)
+            }
+            Model::Ref(r) => {
+                r.retire(now);
+                (r.find(line_addr).is_some(), r.entries.len())
+            }
+        };
+        if found {
             return WriteOutcome::Coalesced;
         }
-        if self.entries.len() >= self.capacity {
+        if len >= self.capacity {
             return WriteOutcome::Full;
         }
         // The drain port serializes entries towards L2.
         let start = self.drain_port_free.max(now);
         let drains_at = start + self.drain_latency;
         self.drain_port_free = start + self.drain_latency;
-        self.entries.push(Entry {
-            line_addr,
-            drains_at,
-        });
+        match &mut self.inner {
+            Model::Packed(p) => p.insert(line_addr, drains_at),
+            Model::Ref(r) => r.insert(line_addr, drains_at),
+        }
         WriteOutcome::Accepted
     }
 
@@ -86,12 +227,21 @@ impl WriteBuffer {
     /// entry out now and return the cycle by which it is safely in L2
     /// (the load must wait for it). Returns `None` when nothing matches.
     pub fn selective_flush(&mut self, now: Cycle, line_addr: u64) -> Option<Cycle> {
-        self.retire(now);
-        let idx = self.entries.iter().position(|e| e.line_addr == line_addr)?;
-        let entry = self.entries.remove(idx);
+        let drains_at = match &mut self.inner {
+            Model::Packed(p) => {
+                p.retire(now);
+                let idx = p.find(line_addr)?;
+                p.remove(idx)
+            }
+            Model::Ref(r) => {
+                r.retire(now);
+                let idx = r.find(line_addr)?;
+                r.remove(idx)
+            }
+        };
         // Flushing ahead of order still costs the drain latency from now
         // (or completes at its scheduled time if that is sooner).
-        Some(entry.drains_at.min(now + self.drain_latency))
+        Some(drains_at.min(now + self.drain_latency))
     }
 
     /// Drop entries that have drained by `now` — the lazy retirement
@@ -101,7 +251,10 @@ impl WriteBuffer {
     /// its (possibly bank-delayed, future) start cycle, and whether an
     /// entry is still present is observable to later coalescing checks.
     pub fn retire_until(&mut self, now: Cycle) {
-        self.retire(now);
+        match &mut self.inner {
+            Model::Packed(p) => p.retire(now),
+            Model::Ref(r) => r.retire(now),
+        }
     }
 
     /// Buffer capacity.
@@ -115,66 +268,126 @@ impl WriteBuffer {
 mod tests {
     use super::*;
 
+    const MODELS: [CacheModel; 2] = [CacheModel::Packed, CacheModel::Ref];
+
     #[test]
     fn accept_and_coalesce() {
-        let mut wb = WriteBuffer::new(8, 4);
-        assert_eq!(wb.push(0, 0x100), WriteOutcome::Accepted);
-        assert_eq!(wb.push(1, 0x100), WriteOutcome::Coalesced);
-        assert_eq!(wb.push(1, 0x140), WriteOutcome::Accepted);
-        assert_eq!(wb.occupancy(1), 2);
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(8, 4, model);
+            assert_eq!(wb.push(0, 0x100), WriteOutcome::Accepted);
+            assert_eq!(wb.push(1, 0x100), WriteOutcome::Coalesced);
+            assert_eq!(wb.push(1, 0x140), WriteOutcome::Accepted);
+            assert_eq!(wb.occupancy(1), 2);
+        }
     }
 
     #[test]
     fn fills_and_drains() {
-        let mut wb = WriteBuffer::new(2, 10);
-        assert_eq!(wb.push(0, 0x000), WriteOutcome::Accepted); // drains at 10
-        assert_eq!(wb.push(0, 0x040), WriteOutcome::Accepted); // drains at 20
-        assert_eq!(wb.push(0, 0x080), WriteOutcome::Full);
-        // At cycle 11 the first entry has drained.
-        assert_eq!(wb.push(11, 0x080), WriteOutcome::Accepted);
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(2, 10, model);
+            assert_eq!(wb.push(0, 0x000), WriteOutcome::Accepted); // drains at 10
+            assert_eq!(wb.push(0, 0x040), WriteOutcome::Accepted); // drains at 20
+            assert_eq!(wb.push(0, 0x080), WriteOutcome::Full);
+            // At cycle 11 the first entry has drained.
+            assert_eq!(wb.push(11, 0x080), WriteOutcome::Accepted);
+        }
     }
 
     #[test]
     fn drain_is_serialized() {
-        let mut wb = WriteBuffer::new(8, 5);
-        wb.push(0, 0x000);
-        wb.push(0, 0x040);
-        wb.push(0, 0x080);
-        // Entries drain at 5, 10, 15 — at cycle 12 one remains.
-        assert_eq!(wb.occupancy(12), 1);
-        assert_eq!(wb.occupancy(15), 0);
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(8, 5, model);
+            wb.push(0, 0x000);
+            wb.push(0, 0x040);
+            wb.push(0, 0x080);
+            // Entries drain at 5, 10, 15 — at cycle 12 one remains.
+            assert_eq!(wb.occupancy(12), 1);
+            assert_eq!(wb.occupancy(15), 0);
+        }
     }
 
     #[test]
     fn selective_flush_hits_matching_entry() {
-        let mut wb = WriteBuffer::new(8, 6);
-        wb.push(0, 0x200);
-        wb.push(0, 0x240);
-        let ready = wb.selective_flush(1, 0x240).expect("entry present");
-        assert!(
-            ready <= 12,
-            "flush completes within one drain latency: {ready}"
-        );
-        assert_eq!(
-            wb.occupancy(1),
-            1,
-            "only the matching entry left the buffer"
-        );
-        assert!(wb.selective_flush(1, 0x240).is_none(), "already flushed");
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(8, 6, model);
+            wb.push(0, 0x200);
+            wb.push(0, 0x240);
+            let ready = wb.selective_flush(1, 0x240).expect("entry present");
+            assert!(
+                ready <= 12,
+                "flush completes within one drain latency: {ready}"
+            );
+            assert_eq!(
+                wb.occupancy(1),
+                1,
+                "only the matching entry left the buffer"
+            );
+            assert!(wb.selective_flush(1, 0x240).is_none(), "already flushed");
+        }
     }
 
     #[test]
     fn selective_flush_misses_cleanly() {
-        let mut wb = WriteBuffer::new(8, 6);
-        wb.push(0, 0x200);
-        assert!(wb.selective_flush(0, 0x999).is_none());
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(8, 6, model);
+            wb.push(0, 0x200);
+            assert!(wb.selective_flush(0, 0x999).is_none());
+        }
     }
 
     #[test]
     fn flush_of_nearly_drained_entry_uses_scheduled_time() {
-        let mut wb = WriteBuffer::new(8, 10);
-        wb.push(0, 0x100); // drains at 10
-        let ready = wb.selective_flush(9, 0x100).unwrap();
-        assert_eq!(ready, 10, "scheduled drain is sooner than 9+10");
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(8, 10, model);
+            wb.push(0, 0x100); // drains at 10
+            let ready = wb.selective_flush(9, 0x100).unwrap();
+            assert_eq!(ready, 10, "scheduled drain is sooner than 9+10");
+        }
+    }
+
+    /// Dedicated pin of the `retire_until` contract: retirement is by
+    /// drain time against the *given* cycle (which may be in the future
+    /// relative to the last operation), it frees capacity, and it makes
+    /// retired lines invisible to later coalescing checks — exactly the
+    /// lazy retirement `push`/`selective_flush` perform on entry.
+    #[test]
+    fn retire_until_matches_lazy_retirement_schedule() {
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(2, 10, model);
+            wb.push(0, 0x000); // drains at 10
+            wb.push(0, 0x040); // drains at 20
+            assert_eq!(wb.push(5, 0x080), WriteOutcome::Full);
+            // A future-cycle probe (bank-delayed start) retires the first
+            // entry even though "now" for the caller is still 5.
+            wb.retire_until(10);
+            assert_eq!(
+                wb.push(5, 0x000),
+                WriteOutcome::Accepted,
+                "retired line no longer coalesces — it re-enters as new"
+            );
+            // 0x040 is still buffered and still coalesces.
+            assert_eq!(wb.push(5, 0x040), WriteOutcome::Coalesced);
+            // retire_until beyond every drain empties the buffer.
+            wb.retire_until(1_000);
+            assert_eq!(wb.occupancy(5), 0);
+        }
+    }
+
+    /// Out-of-order slot reuse keeps survivors intact (packed model's
+    /// free-slot pick must not clobber live entries).
+    #[test]
+    fn out_of_order_drain_reuses_slots() {
+        for model in MODELS {
+            let mut wb = WriteBuffer::with_model(4, 5, model);
+            wb.push(0, 0x000); // drains at 5
+            wb.push(0, 0x040); // drains at 10
+            wb.push(0, 0x080); // drains at 15
+                               // Flush the middle entry out of order.
+            assert!(wb.selective_flush(0, 0x040).is_some());
+            wb.push(0, 0x0c0); // reuses the freed slot
+            assert_eq!(wb.push(0, 0x000), WriteOutcome::Coalesced);
+            assert_eq!(wb.push(0, 0x080), WriteOutcome::Coalesced);
+            assert_eq!(wb.push(0, 0x0c0), WriteOutcome::Coalesced);
+        }
     }
 }

@@ -78,6 +78,11 @@ impl std::error::Error for PackError {}
 pub struct PackedTrace {
     words: Vec<u64>,
     sidecar: Vec<u8>,
+    /// Total equivalent instructions (Σ [`Inst::equivalent_count`]) —
+    /// a pure function of the word plane (op + stream length), carried
+    /// here so Table-3 / EIPC consumers never pay a sidecar decode
+    /// pass just to count.
+    equiv_total: u64,
 }
 
 impl PackedTrace {
@@ -88,9 +93,11 @@ impl PackedTrace {
         let mut sidecar = Vec::new();
         let mut prev_pc = PC_INIT;
         let mut prev_addr = 0u64;
+        let mut equiv_total = 0u64;
         for inst in insts {
             let (word, raw_imm) = encode_lossy_imm(&inst);
             words.push(word);
+            equiv_total += inst.equivalent_count();
 
             let mut flags = 0u8;
             let pc_seq = inst.pc == prev_pc.wrapping_add(4);
@@ -145,7 +152,11 @@ impl PackedTrace {
             }
             prev_pc = inst.pc;
         }
-        PackedTrace { words, sidecar }
+        PackedTrace {
+            words,
+            sidecar,
+            equiv_total,
+        }
     }
 
     /// Reassemble a trace from its serialized parts, fully validating
@@ -173,7 +184,26 @@ impl PackedTrace {
     /// surfaces lazily as an early stream end rather than an error,
     /// so this stays crate-internal.
     pub(crate) fn from_parts_trusted(words: Vec<u64>, sidecar: Vec<u8>) -> Self {
-        PackedTrace { words, sidecar }
+        // The word plane alone determines the equivalent total; an
+        // undecodable word (impossible for checksummed store payloads)
+        // counts as one, matching the stream's one-slot consumption.
+        let equiv_total = words
+            .iter()
+            .map(|&w| decode(w).map_or(1, |i| i.equivalent_count()))
+            .sum();
+        PackedTrace {
+            words,
+            sidecar,
+            equiv_total,
+        }
+    }
+
+    /// Total equivalent instructions in the trace (scalar/MMX count 1,
+    /// MOM instructions their stream length — the paper's §4.2 counting
+    /// rule). Precomputed; O(1).
+    #[must_use]
+    pub fn equiv_total(&self) -> u64 {
+        self.equiv_total
     }
 
     /// Number of instructions in the trace.
@@ -640,6 +670,22 @@ mod tests {
         assert!(packed.is_empty());
         assert_eq!(packed.bytes_per_inst(), 0.0);
         assert_eq!(packed.unpack(), Vec::<Inst>::new());
+        assert_eq!(packed.equiv_total(), 0);
+    }
+
+    /// The precomputed equivalent total must match the decoded walk on
+    /// every constructor path (pack and the store's trusted reassembly).
+    #[test]
+    fn equiv_total_matches_decoded_walk() {
+        let insts = sample();
+        let walked: u64 = insts.iter().map(Inst::equivalent_count).sum();
+        let packed = PackedTrace::pack(insts.iter().copied());
+        assert_eq!(packed.equiv_total(), walked);
+        let reassembled =
+            PackedTrace::from_parts(packed.words().to_vec(), packed.sidecar().to_vec())
+                .expect("valid parts");
+        assert_eq!(reassembled.equiv_total(), walked);
+        assert_eq!(reassembled, packed);
     }
 
     #[test]
